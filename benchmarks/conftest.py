@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+and prints the corresponding rows/series.  Absolute numbers come from the
+synthetic Parasol plant, so they will not match the paper's testbed; the
+assertions check the *shape* — who wins, by roughly what factor, where
+crossovers fall (see EXPERIMENTS.md).
+
+Year-scale results are cached under ``.cache/`` at the repo root; delete
+it to force fresh runs.  ``REPRO_SAMPLE_DAYS=7`` reproduces the paper's
+exact weekly sampling (default 14 for speed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run
+
+
+def show(text: str) -> None:
+    """Print a table with spacing that survives pytest's capture (-s)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,54 @@
+"""Extension: band-width ablation.
+
+Section 5.1 justifies Width = 5C: "narrower bands tend to make it harder
+to control temperature variations (higher cooling energy and more regime
+changes) and wider bands needlessly allow temperatures to vary."  This
+bench sweeps Width at Newark and checks both halves of that sentence.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.core.versions import all_nd
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.yearsim import run_year
+from repro.weather.locations import NEWARK
+from repro.workload.traces import FacebookTraceGenerator
+
+WIDTHS = (2.0, 5.0, 10.0)
+STRIDE = 28
+
+
+def run_sweep():
+    trace = FacebookTraceGenerator(num_jobs=1200).generate()
+    model = trained_cooling_model()
+    results = {}
+    for width in WIDTHS:
+        config = dataclasses.replace(
+            all_nd(), name=f"All-ND-w{width:.0f}", width_c=width
+        )
+        results[width] = run_year(
+            config, NEWARK, trace, model=model, sample_every_days=STRIDE
+        )
+    return results
+
+
+def test_ext_band_width_ablation(once):
+    results = once(run_sweep)
+
+    rows = [
+        [f"{width:.0f}C", r.avg_range_c, r.max_range_c, r.cooling_kwh, r.pue]
+        for width, r in results.items()
+    ]
+    show(format_table(
+        ["Width", "avg range C", "max range C", "cooling kWh", "PUE"],
+        rows,
+        title="Extension — band-width sweep at Newark (All-ND)",
+    ))
+
+    narrow, default, wide = results[2.0], results[5.0], results[10.0]
+    # Narrower bands cost more cooling energy than the default.
+    assert narrow.cooling_kwh >= default.cooling_kwh
+    # Wider bands needlessly allow temperatures to vary.
+    assert wide.avg_range_c >= default.avg_range_c

@@ -1,0 +1,85 @@
+"""Extension: disk-reliability impact of the management systems.
+
+The paper motivates CoolAir with three conflicting disk-failure studies
+(absolute temperature vs temporal variation) and argues CoolAir is useful
+*however* the dispute resolves, because it manages both.  This bench
+quantifies that claim: it exposes the disk fleet to a simulated year under
+the baseline and under All-ND, scores the exposure under all three failure
+hypotheses, and runs the cooling-energy-vs-replacement tradeoff.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.core.versions import all_nd
+from repro.reliability import assess, exposure_from_day_traces, yearly_tradeoff
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.yearsim import run_year
+from repro.weather.locations import NEWARK
+from repro.workload.traces import FacebookTraceGenerator
+
+STRIDE = 28  # ~13 sampled days
+
+
+def run_exposures():
+    trace = FacebookTraceGenerator(num_jobs=1200).generate()
+    model = trained_cooling_model()
+    baseline = run_year(
+        "baseline", NEWARK, trace, sample_every_days=STRIDE, keep_traces=True
+    )
+    coolair = run_year(
+        all_nd(), NEWARK, trace, model=model, sample_every_days=STRIDE,
+        keep_traces=True,
+    )
+    return {
+        "baseline": (baseline, exposure_from_day_traces(baseline.traces)),
+        "All-ND": (coolair, exposure_from_day_traces(coolair.traces)),
+    }
+
+
+def test_ext_reliability_impact(once):
+    results = once(run_exposures)
+
+    assessments = {}
+    rows = []
+    for name, (year, exposure) in results.items():
+        assessment = assess(exposure)
+        assessments[name] = assessment
+        rows.append([
+            name,
+            assessment.arrhenius,
+            assessment.threshold,
+            assessment.variation,
+            assessment.worst_case,
+        ])
+    show(format_table(
+        ["system", "Arrhenius AFRx", "threshold AFRx", "variation AFRx",
+         "worst case"],
+        rows,
+        title="Extension — relative disk failure rates at Newark (year)",
+    ))
+
+    base_year, _ = results["baseline"]
+    cool_year, _ = results["All-ND"]
+    tradeoff = yearly_tradeoff(
+        cooling_kwh_a=base_year.cooling_kwh,
+        assessment_a=assessments["baseline"],
+        cooling_kwh_b=cool_year.cooling_kwh,
+        assessment_b=assessments["All-ND"],
+    )
+    show(
+        f"All-ND vs baseline: cooling cost {tradeoff.cooling_cost_delta_usd:+.0f} "
+        f"USD/yr, replacement cost {tradeoff.replacement_cost_delta_usd:+.0f} "
+        f"USD/yr, net {tradeoff.net_delta_usd:+.0f} USD/yr"
+    )
+
+    # Shape: All-ND's tighter daily ranges must win decisively under the
+    # variation hypothesis...
+    assert assessments["All-ND"].variation < assessments["baseline"].variation
+    # ...and not lose under the absolute-temperature hypotheses.
+    assert (
+        assessments["All-ND"].arrhenius
+        <= assessments["baseline"].arrhenius + 0.1
+    )
+    assert (
+        assessments["All-ND"].worst_case < assessments["baseline"].worst_case
+    )

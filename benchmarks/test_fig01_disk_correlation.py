@@ -1,0 +1,83 @@
+"""Figure 1: disk, inlet, and outside temperatures under free cooling.
+
+The paper plots two July days (7/6-7/7/2013) on Parasol with a workload
+holding disks 50% utilized, showing a strong correlation between outside
+air, inlet air, and disk temperatures.  This bench runs the same scenario
+on the simulated Parasol and prints the hourly series plus correlation
+coefficients.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.cooling.regimes import CoolingCommand
+from repro.physics.thermal import DiskThermalModel, PlantInputs, ThermalPlant
+from repro.weather.locations import NEWARK
+from repro.weather.tmy import generate_tmy
+
+
+def run_two_days_free_cooling():
+    """Free cooling at a fixed medium fan speed for two July days."""
+    tmy = generate_tmy(NEWARK)
+    plant = ThermalPlant()
+    disks = DiskThermalModel(num_pods=4)
+    start = 186 * 86_400  # July 6th
+    plant.reset(tmy.temperature_c(start) + 3.0, tmy.mixing_ratio(start))
+
+    hours, outside, inlet_lo, inlet_hi, disk_lo, disk_hi = [], [], [], [], [], []
+    for step in range(2 * 720):
+        t = start + step * 120.0
+        inputs = PlantInputs(
+            fc_fan_speed=0.4,
+            pod_it_power_w=[420.0] * 4,  # ~50% utilization
+            outside_temp_c=tmy.temperature_c(t),
+            outside_mixing_ratio=tmy.mixing_ratio(t),
+        )
+        state = plant.step(inputs, 120.0)
+        disk_temps = disks.step(state.pod_inlet_temp_c, 0.5, 120.0)
+        if step % 30 == 0:  # hourly
+            hours.append(step / 30.0)
+            outside.append(tmy.temperature_c(t))
+            inlet_lo.append(float(state.pod_inlet_temp_c.min()))
+            inlet_hi.append(float(state.pod_inlet_temp_c.max()))
+            disk_lo.append(float(disk_temps.min()))
+            disk_hi.append(float(disk_temps.max()))
+    return {
+        "hours": hours,
+        "outside": outside,
+        "inlet_lo": inlet_lo,
+        "inlet_hi": inlet_hi,
+        "disk_lo": disk_lo,
+        "disk_hi": disk_hi,
+    }
+
+
+def test_fig01_disk_inlet_outside_correlation(once):
+    series = once(run_two_days_free_cooling)
+
+    rows = [
+        [f"{h:.0f}", o, il, ih, dl, dh]
+        for h, o, il, ih, dl, dh in zip(
+            series["hours"], series["outside"], series["inlet_lo"],
+            series["inlet_hi"], series["disk_lo"], series["disk_hi"],
+        )
+    ][::3]
+    show(format_table(
+        ["hour", "outside", "inlet1", "inlet2", "disk1", "disk2"],
+        rows,
+        title="Figure 1 — temperatures under free cooling (every 3rd hour)",
+    ))
+
+    out = np.array(series["outside"])
+    inlet = np.array(series["inlet_hi"])
+    disk = np.array(series["disk_hi"])
+    corr_in = float(np.corrcoef(out, inlet)[0, 1])
+    corr_disk = float(np.corrcoef(inlet, disk)[0, 1])
+    show(f"corr(outside, inlet) = {corr_in:.3f}   corr(inlet, disk) = {corr_disk:.3f}")
+
+    # The paper's point: a strong correlation chain outside -> inlet -> disk.
+    assert corr_in > 0.9
+    assert corr_disk > 0.9
+    # Disks run well above their inlets (Figure 1 shows a 10-18C gap).
+    assert float(np.mean(disk - inlet)) > 8.0

@@ -1,0 +1,63 @@
+"""Figure 3: daily temperature band selection.
+
+Shows, for a sample mild day, the hourly outside forecast and the band
+CoolAir selects (average + Offset, Width wide, clamped to [Min, Max]),
+plus the sliding behaviour on a hot and a cold day.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.core.band import select_band
+from repro.core.versions import all_nd
+from repro.weather.forecast import ForecastService
+from repro.weather.locations import CHAD, ICELAND, NEWARK
+from repro.weather.tmy import generate_tmy
+
+
+def select_for(climate, day):
+    forecast = ForecastService(generate_tmy(climate)).forecast_for_day(day)
+    band = select_band(forecast, all_nd())
+    return forecast, band
+
+
+def coldest_day(climate):
+    tmy = generate_tmy(climate)
+    return min(range(365), key=tmy.daily_mean_temp_c)
+
+
+def test_fig03_band_selection(once):
+    results = once(
+        lambda: {
+            "mild": select_for(NEWARK, 130),
+            "hot": select_for(CHAD, 120),
+            "cold": select_for(ICELAND, coldest_day(ICELAND)),
+        }
+    )
+
+    forecast, band = results["mild"]
+    rows = [[f"{h:02d}:00", float(t)] for h, t in enumerate(forecast.hourly_temps_c)]
+    show(format_table(
+        ["hour", "forecast C"], rows[::3],
+        title=f"Figure 3 — Newark day 130 forecast (avg {forecast.average_temp_c:.1f}C)",
+    ))
+    show(
+        f"selected band: [{band.low_c:.1f}, {band.high_c:.1f}]C "
+        f"(center = avg + Offset = {forecast.average_temp_c:.1f} + 8.0)"
+    )
+
+    config = all_nd()
+    # Mild day: band centered at forecast average + Offset.
+    assert band.center_c == forecast.average_temp_c + config.offset_c
+    assert band.width_c == config.width_c
+
+    # Hot day (Chad): the band slides back just below Max.
+    _, hot_band = results["hot"]
+    show(f"Chad day 120 band: [{hot_band.low_c:.1f}, {hot_band.high_c:.1f}] (slid={hot_band.slid})")
+    assert hot_band.high_c == config.max_c
+    assert hot_band.slid
+
+    # Cold day (Iceland): the band slides just above Min.
+    _, cold_band = results["cold"]
+    show(f"Iceland day 20 band: [{cold_band.low_c:.1f}, {cold_band.high_c:.1f}] (slid={cold_band.slid})")
+    assert cold_band.low_c == config.min_c
+    assert cold_band.slid

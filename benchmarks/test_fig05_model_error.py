@@ -1,0 +1,63 @@
+"""Figure 5: Cooling Model prediction-error CDFs.
+
+Reproduces the validation of Section 4.2: predict 2 and 10 minutes ahead
+over two held-out days, with and without regime transitions, and report
+the CDF.  Paper headline: without transitions, 95% of 2-minute and 90% of
+10-minute predictions fall within 1C; with transitions, over 90% and over
+80% respectively.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.sim.campaign import run_learning_campaign, trained_cooling_model
+from repro.sim.validation import fraction_within, prediction_error_cdf
+
+HELD_OUT_DAYS = (121, 171)  # 5/1 and 6/20, as in the paper — not in the campaign
+
+
+def compute_cdfs():
+    model = trained_cooling_model()
+    log = run_learning_campaign(days=HELD_OUT_DAYS)
+    cases = {
+        "2-minutes": (1, False),
+        "2-minutes no-transition": (1, True),
+        "10-minutes": (5, False),
+        "10-minutes no-transition": (5, True),
+    }
+    results = {}
+    for name, (steps, exclude) in cases.items():
+        errors, percent = prediction_error_cdf(model, log, steps, exclude)
+        results[name] = errors
+    return results
+
+
+def test_fig05_model_error_cdfs(once):
+    results = once(compute_cdfs)
+
+    rows = []
+    for name, errors in results.items():
+        rows.append([
+            name,
+            100.0 * fraction_within(errors, 0.5),
+            100.0 * fraction_within(errors, 1.0),
+            100.0 * fraction_within(errors, 2.0),
+            float(np.median(errors)),
+        ])
+    show(format_table(
+        ["case", "<=0.5C %", "<=1.0C %", "<=2.0C %", "median C"],
+        rows,
+        title="Figure 5 — prediction error CDF summary (2 held-out days)",
+    ))
+
+    # Paper shape: no-transition >= with-transition accuracy at each
+    # horizon, and the paper's headline thresholds hold.
+    assert fraction_within(results["2-minutes no-transition"], 1.0) >= 0.95
+    assert fraction_within(results["10-minutes no-transition"], 1.0) >= 0.90
+    assert fraction_within(results["2-minutes"], 1.0) >= 0.90
+    assert fraction_within(results["10-minutes"], 1.0) >= 0.80
+    assert (
+        fraction_within(results["10-minutes no-transition"], 1.0)
+        >= fraction_within(results["10-minutes"], 1.0)
+    )

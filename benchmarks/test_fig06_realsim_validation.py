@@ -1,0 +1,74 @@
+"""Figure 6: validating Real-Sim against a real baseline execution.
+
+The paper compares a real 7/2/2013 baseline day on Parasol against its
+Real-Sim simulation: maximum temperatures, temperature variations, and
+cooling energy all within 8%, and 89% of measurements within 2C.
+
+Substitution: the "real" execution here is the plant with sensor-level
+process noise enabled (the physical container stand-in); Real-Sim is the
+deterministic simulator.  Both run the same baseline controller, weather,
+and Facebook workload.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.ascii_plot import render_day
+from repro.analysis.report import format_table
+from repro.sim.engine import (
+    BaselineAdapter,
+    ClusterWorkload,
+    DayRunner,
+    make_realsim,
+)
+from repro.sim.validation import trace_agreement
+from repro.weather.locations import NEWARK
+from repro.workload.traces import FacebookTraceGenerator
+
+JULY_2 = 182
+
+
+def run_pair():
+    trace_wl = FacebookTraceGenerator(num_jobs=1200).generate()
+
+    def run(noise):
+        setup = make_realsim(NEWARK, process_noise_c=noise)
+        runner = DayRunner(
+            setup, ClusterWorkload(trace_wl, setup.layout), BaselineAdapter()
+        )
+        return runner.run_day(JULY_2)
+
+    real = run(noise=0.35)  # the "physical" container
+    simulated = run(noise=0.0)  # Real-Sim
+    return real, simulated
+
+
+def test_fig06_realsim_matches_real_baseline_day(once):
+    real, simulated = once(run_pair)
+    agreement = trace_agreement(real, simulated)
+
+    rows = [
+        ["max inlet temp C", real.max_sensor_temp_c(), simulated.max_sensor_temp_c()],
+        ["worst daily range C", real.worst_sensor_range_c(),
+         simulated.worst_sensor_range_c()],
+        ["cooling energy kWh", real.cooling_energy_kwh(),
+         simulated.cooling_energy_kwh()],
+        ["PUE", real.pue(), simulated.pue()],
+    ]
+    show(format_table(
+        ["metric", "real", "Real-Sim"], rows,
+        title="Figure 6 — baseline day 7/2, real vs Real-Sim",
+    ))
+    show(render_day(real))
+    show(render_day(simulated))
+    show(
+        f"within 2C: {agreement.fraction_within_2c*100:.0f}%   "
+        f"rel errors: max={agreement.max_temp_rel_error*100:.1f}% "
+        f"range={agreement.range_rel_error*100:.1f}% "
+        f"energy={agreement.cooling_energy_rel_error*100:.1f}%"
+    )
+
+    # Paper validation targets for the baseline: everything within 8%,
+    # 89% of measurements within 2C.
+    assert agreement.max_temp_rel_error < 0.08
+    assert agreement.range_rel_error < 0.15
+    assert agreement.cooling_energy_rel_error < 0.15
+    assert agreement.fraction_within_2c > 0.85

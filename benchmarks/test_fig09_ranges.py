@@ -1,0 +1,60 @@
+"""Figure 9: daily worst-sensor temperature ranges (average, with min/max
+whiskers), including the outside ranges, five locations x five systems.
+
+Paper shape: the baseline's average daily range hovers around 9C with much
+wider maxima (>=16.5C at locations with cold seasons); Temperature/Energy
+can make maxima *worse*; Variation and All-ND cut the average consistently
+and roughly halve the maximum range at Newark/Santiago/Iceland.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import five_location_matrix
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+SYSTEMS = ("baseline", "Temperature", "Energy", "Variation", "All-ND")
+COLD_SEASON_LOCATIONS = ("Newark", "Santiago", "Iceland")
+
+
+def test_fig09_temperature_ranges(once):
+    matrix = once(five_location_matrix, SYSTEMS)
+
+    rows = []
+    outside_row = ["Outside"]
+    for loc in NAMED_LOCATIONS:
+        result = matrix["baseline"][loc]
+        outside_row.append(
+            f"{result.avg_outside_range_c:.1f} (max {result.max_outside_range_c:.1f})"
+        )
+    rows.append(outside_row)
+    for system in SYSTEMS:
+        row = [system]
+        for loc in NAMED_LOCATIONS:
+            result = matrix[system][loc]
+            row.append(f"{result.avg_range_c:.1f} (max {result.max_range_c:.1f})")
+        rows.append(row)
+    show(format_table(
+        ["system"] + list(NAMED_LOCATIONS), rows,
+        title="Figure 9 — daily worst-sensor temperature ranges, avg (max), C",
+    ))
+
+    baseline = matrix["baseline"]
+    variation = matrix["Variation"]
+    all_nd = matrix["All-ND"]
+
+    for loc in NAMED_LOCATIONS:
+        # Variation-aware versions lower the average daily range.
+        assert variation[loc].avg_range_c <= baseline[loc].avg_range_c + 0.5, loc
+        assert all_nd[loc].avg_range_c <= baseline[loc].avg_range_c + 0.5, loc
+
+    # The headline: at cold-season locations All-ND cuts the maximum daily
+    # range substantially (the paper reports about half).
+    for loc in COLD_SEASON_LOCATIONS:
+        assert all_nd[loc].max_range_c <= 0.75 * baseline[loc].max_range_c, loc
+
+    # Non-variation-aware versions do NOT deliver those cuts.
+    for loc in COLD_SEASON_LOCATIONS:
+        assert (
+            matrix["Energy"][loc].max_range_c
+            > all_nd[loc].max_range_c
+        ), loc

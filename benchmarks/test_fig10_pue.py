@@ -1,0 +1,59 @@
+"""Figure 10: yearly PUEs (including 0.08 for power delivery).
+
+Paper shape: the baseline's PUE is highest in Chad and Singapore; the
+Energy version reduces it significantly there; the Variation version pays
+a substantial cooling-energy penalty; All-ND brings PUE back near the
+Energy version (except Santiago, where limiting variation costs energy
+the baseline never spends).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import five_location_matrix
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+SYSTEMS = ("baseline", "Temperature", "Energy", "Variation", "All-ND")
+HOT_LOCATIONS = ("Chad", "Singapore")
+
+
+def test_fig10_yearly_pues(once):
+    matrix = once(five_location_matrix, SYSTEMS)
+
+    rows = []
+    for system in SYSTEMS:
+        rows.append([system] + [matrix[system][loc].pue for loc in NAMED_LOCATIONS])
+    show(format_table(
+        ["system"] + list(NAMED_LOCATIONS), rows,
+        title="Figure 10 — yearly PUEs (incl. 0.08 delivery)",
+    ))
+
+    baseline = matrix["baseline"]
+    energy = matrix["Energy"]
+    variation = matrix["Variation"]
+    all_nd = matrix["All-ND"]
+
+    # Baseline PUE is highest at the hot locations.
+    hot_pue = max(baseline[loc].pue for loc in HOT_LOCATIONS)
+    mild_pue = max(baseline[loc].pue for loc in ("Newark", "Iceland"))
+    assert hot_pue > mild_pue
+
+    # All PUEs are at least the delivery floor and physically plausible.
+    for system in SYSTEMS:
+        for loc in NAMED_LOCATIONS:
+            assert 1.08 <= matrix[system][loc].pue < 2.6, (system, loc)
+
+    # Variation management carries a cooling-energy penalty vs Energy.
+    penalty_locations = sum(
+        variation[loc].cooling_kwh > energy[loc].cooling_kwh
+        for loc in NAMED_LOCATIONS
+    )
+    assert penalty_locations >= 3
+
+    # All-ND lands between Variation (costly) and Energy (cheap) on
+    # cooling energy at most locations.
+    between = sum(
+        energy[loc].cooling_kwh <= all_nd[loc].cooling_kwh
+        <= variation[loc].cooling_kwh + 1e-6
+        for loc in NAMED_LOCATIONS
+    )
+    assert between >= 3

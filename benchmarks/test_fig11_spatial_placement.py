@@ -1,0 +1,59 @@
+"""Figure 11: temperature ranges as a function of spatial placement and
+variation-limiting approach.
+
+Four systems isolate two effects:
+
+* Var-Low-Recirc vs Var-High-Recirc (same fixed 25-30C band, no weather
+  forecast) isolates *placement*: filling high-recirculation pods first
+  keeps them consistently warm and reduces maximum ranges somewhat.
+* Var-High-Recirc vs Variation (adds the adaptive band + forecast)
+  isolates the *band*: the largest reductions at cold-season locations
+  come from the band.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import five_location_matrix
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+SYSTEMS = ("baseline", "Var-Low-Recirc", "Var-High-Recirc", "Variation")
+COLD_SEASON_LOCATIONS = ("Newark", "Santiago", "Iceland")
+
+
+def test_fig11_spatial_placement_and_band(once):
+    matrix = once(five_location_matrix, SYSTEMS)
+
+    rows = []
+    for system in SYSTEMS:
+        row = [system]
+        for loc in NAMED_LOCATIONS:
+            result = matrix[system][loc]
+            row.append(f"{result.avg_range_c:.1f} (max {result.max_range_c:.1f})")
+        rows.append(row)
+    show(format_table(
+        ["system"] + list(NAMED_LOCATIONS), rows,
+        title="Figure 11 — ranges by placement and band, avg (max), C",
+    ))
+
+    low = matrix["Var-Low-Recirc"]
+    high = matrix["Var-High-Recirc"]
+    variation = matrix["Variation"]
+
+    # Placement effect: high-recirculation placement reduces (or at least
+    # never meaningfully worsens) maximum ranges relative to the
+    # energy-ideal low-recirculation placement.
+    improved = sum(
+        high[loc].max_range_c <= low[loc].max_range_c + 0.5
+        for loc in NAMED_LOCATIONS
+    )
+    assert improved >= 4
+
+    # Band effect: the adaptive band delivers the largest reductions at
+    # cold-season locations relative to the fixed band.
+    for loc in COLD_SEASON_LOCATIONS:
+        assert variation[loc].max_range_c <= high[loc].max_range_c + 0.5, loc
+    band_wins = sum(
+        variation[loc].max_range_c < high[loc].max_range_c
+        for loc in COLD_SEASON_LOCATIONS
+    )
+    assert band_wins >= 2

@@ -1,0 +1,79 @@
+"""Figures 12 and 13: world-wide reductions in maximum daily range and
+yearly PUE, baseline vs All-ND.
+
+The paper runs 1520 TMY locations; this bench defaults to a 24-point
+subsample of the same deterministic world grid (set
+``REPRO_WORLD_LOCATIONS=1520`` for the full run).  Paper headlines: the
+average maximum range falls from 18.6C to 12.1C for an average PUE shift
+of 1.08 -> 1.09; reductions are largest in cold climates; fewer than 2%
+of locations get worse, never by more than 1C.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import (
+    DEFAULT_WORLD_LOCATIONS,
+    facebook_trace,
+    year_result,
+)
+from repro.analysis.report import format_table
+from repro.analysis.worldmap import (
+    PUE_BINS,
+    RANGE_BINS,
+    bucket_counts,
+    summarize_world,
+)
+from repro.weather.locations import world_grid
+
+
+def run_world():
+    climates = world_grid(DEFAULT_WORLD_LOCATIONS)
+    pairs = []
+    coordinates = []
+    for climate in climates:
+        baseline = year_result("baseline", climate)
+        coolair = year_result("All-ND", climate)
+        pairs.append((baseline, coolair))
+        coordinates.append((climate.latitude, climate.longitude))
+    return summarize_world(pairs, coordinates)
+
+
+def test_fig12_13_worldwide_reductions(once):
+    summary = once(run_world)
+
+    range_reductions = [c.range_reduction_c for c in summary.comparisons]
+    pue_reductions = [c.pue_reduction for c in summary.comparisons]
+    show(format_table(
+        ["bin C", "locations"],
+        list(bucket_counts(range_reductions, RANGE_BINS).items()),
+        title=f"Figure 12 — max-range reduction ({len(summary.comparisons)} locations)",
+    ))
+    show(format_table(
+        ["bin", "locations"],
+        list(bucket_counts(pue_reductions, PUE_BINS).items()),
+        title="Figure 13 — yearly PUE reduction",
+    ))
+    show(
+        f"avg max range: baseline {summary.avg_baseline_max_range_c:.1f}C -> "
+        f"CoolAir {summary.avg_coolair_max_range_c:.1f}C;  "
+        f"avg PUE: {summary.avg_baseline_pue:.2f} -> {summary.avg_coolair_pue:.2f}"
+    )
+
+    # Headline shape: a large average reduction in maximum daily range...
+    assert (
+        summary.avg_coolair_max_range_c
+        < summary.avg_baseline_max_range_c - 2.0
+    )
+    # ...for a small average PUE change.
+    assert abs(summary.avg_coolair_pue - summary.avg_baseline_pue) < 0.1
+
+    # Cold climates benefit most (lesson 7): compare the polar third of
+    # locations against the tropical third.
+    by_lat = sorted(summary.comparisons, key=lambda c: abs(c.latitude))
+    third = max(1, len(by_lat) // 3)
+    tropical = sum(c.range_reduction_c for c in by_lat[:third]) / third
+    polar = sum(c.range_reduction_c for c in by_lat[-third:]) / third
+    assert polar > tropical
+
+    # Few locations get worse, and only slightly.
+    assert summary.fraction_range_worsened < 0.15
+    assert summary.worst_range_increase_c < 2.0

@@ -1,0 +1,54 @@
+"""Section 5.2, "Cost of managing temperature and variation".
+
+The paper quantifies the yearly energy cost of lowering absolute
+temperature by 1C (Energy at 30C vs Temperature at 29C) versus shrinking
+the maximum daily range by 1C (Energy vs Variation): temperature costs
+more in places with warm seasons (Newark 232 vs 53 kWh, Chad 1275 vs 131,
+Singapore 2145 vs 716) and less in places with colder ones (Santiago 110
+vs 171, Iceland 7 vs 29).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.costs import management_costs
+from repro.analysis.experiments import year_result
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+WARM = ("Chad", "Singapore")
+COLD = ("Iceland",)
+
+
+def compute_costs():
+    costs = {}
+    for name, climate in NAMED_LOCATIONS.items():
+        energy = year_result("Energy", climate)
+        temperature = year_result("Temperature", climate)
+        variation = year_result("Variation", climate)
+        costs[name] = management_costs(name, energy, temperature, variation)
+    return costs
+
+
+def test_sec52_cost_of_managing_temperature_vs_variation(once):
+    costs = once(compute_costs)
+
+    rows = [
+        [name, c.temperature_kwh_per_c, c.variation_kwh_per_c,
+         "temperature" if c.temperature_costs_more else "variation"]
+        for name, c in costs.items()
+    ]
+    show(format_table(
+        ["location", "kWh per C of max temp", "kWh per C of max range",
+         "costlier"],
+        rows,
+        title="Section 5.2 — yearly energy cost of management",
+    ))
+
+    # Shape: hot climates pay far more for absolute temperature than cold
+    # ones do.
+    hot_temp_cost = min(costs[loc].temperature_kwh_per_c for loc in WARM)
+    cold_temp_cost = max(costs[loc].temperature_kwh_per_c for loc in COLD)
+    assert hot_temp_cost > cold_temp_cost
+
+    # In the hottest climates, managing absolute temperature costs more
+    # than managing variation (the paper's Chad/Singapore result).
+    assert sum(costs[loc].temperature_costs_more for loc in WARM) >= 1

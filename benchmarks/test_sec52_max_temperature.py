@@ -1,0 +1,61 @@
+"""Section 5.2, "Impact of the desired maximum temperature".
+
+Paper finding: CoolAir's benefits grow when operators accept higher
+maximum temperatures — the max-range reductions are greater at Max=30C
+than at Max=25C, and where PUE is high at 30C CoolAir lowers it, but at
+25C CoolAir tends to *increase* PUE at those same locations.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import year_result
+from repro.analysis.report import format_table
+from repro.core.versions import all_nd
+from repro.weather.locations import NAMED_LOCATIONS
+
+LOCATIONS = ("Newark", "Chad", "Singapore")
+
+
+def all_nd_with_max(max_c: float):
+    config = all_nd()
+    config = dataclasses.replace(config, name=f"All-ND-max{max_c:.0f}", max_c=max_c)
+    return config
+
+
+def run_all():
+    results = {}
+    for loc in LOCATIONS:
+        climate = NAMED_LOCATIONS[loc]
+        results[loc] = {
+            "baseline": year_result("baseline", climate),
+            30.0: year_result(all_nd_with_max(30.0), climate),
+            25.0: year_result(all_nd_with_max(25.0), climate),
+        }
+    return results
+
+
+def test_sec52_impact_of_desired_maximum_temperature(once):
+    results = once(run_all)
+
+    rows = []
+    for loc in LOCATIONS:
+        for key in ("baseline", 30.0, 25.0):
+            r = results[loc][key]
+            label = key if isinstance(key, str) else f"All-ND Max={key:.0f}C"
+            rows.append([loc, label, r.max_range_c, r.pue,
+                         r.cooling_kwh])
+    show(format_table(
+        ["location", "system", "max range C", "PUE", "cooling kWh"], rows,
+        title="Section 5.2 — impact of the desired maximum temperature",
+    ))
+
+    for loc in LOCATIONS:
+        at_30 = results[loc][30.0]
+        at_25 = results[loc][25.0]
+        # A lower ceiling costs more cooling energy.
+        assert at_25.cooling_kwh >= at_30.cooling_kwh, loc
+
+    # At the hot locations, a 25C ceiling hurts PUE relative to 30C.
+    for loc in ("Chad", "Singapore"):
+        assert results[loc][25.0].pue >= results[loc][30.0].pue, loc

@@ -1,0 +1,56 @@
+"""Section 5.2, "Impact of workload": the Nutch trace.
+
+Paper finding: the widely different Nutch trace exhibits the exact same
+trends as Facebook — All-ND roughly halves the maximum daily range at
+Newark/Santiago/Iceland and lowers the average range everywhere, with
+significant PUE reductions at Chad and Singapore.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import year_result
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+COLD_SEASON_LOCATIONS = ("Newark", "Santiago", "Iceland")
+
+
+def run_all():
+    results = {}
+    for loc, climate in NAMED_LOCATIONS.items():
+        results[loc] = {
+            "baseline": year_result("baseline", climate, workload="nutch"),
+            "All-ND": year_result("All-ND", climate, workload="nutch"),
+        }
+    return results
+
+
+def test_sec52_nutch_shows_same_trends(once):
+    results = once(run_all)
+
+    rows = []
+    for loc in NAMED_LOCATIONS:
+        for system in ("baseline", "All-ND"):
+            r = results[loc][system]
+            rows.append([loc, system, r.avg_range_c, r.max_range_c, r.pue])
+    show(format_table(
+        ["location", "system", "avg range C", "max range C", "PUE"], rows,
+        title="Section 5.2 — Nutch workload, baseline vs All-ND",
+    ))
+
+    big_cuts = 0
+    for loc in COLD_SEASON_LOCATIONS:
+        baseline = results[loc]["baseline"]
+        all_nd = results[loc]["All-ND"]
+        # Same headline as Facebook: large range cuts at cold-season
+        # locations (the max statistic is noisy under 14-day sampling).
+        assert all_nd.max_range_c <= 0.85 * baseline.max_range_c, loc
+        assert all_nd.avg_range_c <= 0.85 * baseline.avg_range_c, loc
+        if all_nd.avg_range_c <= 0.70 * baseline.avg_range_c:
+            big_cuts += 1
+    assert big_cuts >= 2  # "roughly half" at most cold-season locations
+
+    for loc in NAMED_LOCATIONS:
+        assert (
+            results[loc]["All-ND"].avg_range_c
+            <= results[loc]["baseline"].avg_range_c + 0.5
+        ), loc

@@ -1,0 +1,64 @@
+"""Section 5.2, "Temporal scheduling".
+
+Paper findings:
+
+* All-DEF (band-aware deferral) provides only minor reductions over
+  All-ND, because the days where All-ND does poorly are exactly the days
+  All-DEF forgoes scheduling.  All-ND is therefore the best
+  implementation.
+* Energy-DEF (energy-driven coldest-hours deferral, as in prior work)
+  *widens* maximum ranges dramatically — Newark 10 -> 19C and Santiago
+  10 -> 18C versus All-ND — in exchange for small PUE gains (1.17 -> 1.13
+  and 1.25 -> 1.10), ending up worse than even the baseline.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import year_result
+from repro.analysis.report import format_table
+from repro.weather.locations import NAMED_LOCATIONS
+
+LOCATIONS = ("Newark", "Santiago", "Iceland")
+
+
+def run_all():
+    results = {}
+    for loc in LOCATIONS:
+        climate = NAMED_LOCATIONS[loc]
+        results[loc] = {
+            "baseline": year_result("baseline", climate),
+            "All-ND": year_result("All-ND", climate),
+            "All-DEF": year_result("All-DEF", climate, deferrable=True),
+            "Energy-DEF": year_result("Energy-DEF", climate, deferrable=True),
+        }
+    return results
+
+
+def test_sec52_temporal_scheduling(once):
+    results = once(run_all)
+
+    rows = []
+    for loc in LOCATIONS:
+        for system in ("baseline", "All-ND", "All-DEF", "Energy-DEF"):
+            r = results[loc][system]
+            rows.append([loc, system, r.avg_range_c, r.max_range_c, r.pue])
+    show(format_table(
+        ["location", "system", "avg range C", "max range C", "PUE"], rows,
+        title="Section 5.2 — temporal scheduling",
+    ))
+
+    for loc in LOCATIONS:
+        all_nd = results[loc]["All-ND"]
+        all_def = results[loc]["All-DEF"]
+        energy_def = results[loc]["Energy-DEF"]
+
+        # "All-DEF provides only minor reductions ... All-ND is the best
+        # implementation of CoolAir": deferral never buys a substantial
+        # variation win over All-ND.
+        assert all_def.max_range_c >= all_nd.max_range_c - 1.0, loc
+
+        # Energy-driven temporal scheduling widens variation vs All-ND
+        # (paper: Newark 10 -> 19C, Santiago 10 -> 18C).
+        assert energy_def.max_range_c > all_nd.max_range_c + 2.0, loc
+
+        # ...in exchange for lower cooling energy.
+        assert energy_def.cooling_kwh <= all_nd.cooling_kwh, loc

@@ -1,0 +1,57 @@
+"""Table 1: the CoolAir version matrix.
+
+Regenerates the table from the live version definitions so it can never
+drift from the code.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.core.config import BandMode, TemporalPolicy
+from repro.core.versions import ALL_VERSIONS
+
+PAPER_ROWS = {
+    "Temperature": ("non-deferrable", "low", False),
+    "Variation": ("non-deferrable", "high", False),
+    "Energy": ("non-deferrable", "low", False),
+    "All-ND": ("non-deferrable", "high", False),
+    "All-DEF": ("deferrable", "low", True),
+}
+
+
+def build_table():
+    rows = []
+    for name in ("Temperature", "Variation", "Energy", "All-ND", "All-DEF"):
+        config = ALL_VERSIONS[name]()
+        if config.band_mode is BandMode.ADAPTIVE:
+            utility = f"adaptive band (max {config.max_c:.0f}C)"
+        else:
+            utility = f"max temp ({config.max_temp_setpoint_c:.0f}C)"
+        if config.use_energy_term:
+            utility += " + energy"
+        utility += " + humidity"
+        placement = (
+            "high recirculation"
+            if "HIGH" in config.placement.name
+            else "low recirculation"
+        )
+        temporal = "yes" if config.temporal is not TemporalPolicy.NONE else "no"
+        workload = (
+            "deferrable" if config.temporal is not TemporalPolicy.NONE
+            else "non-deferrable"
+        )
+        rows.append([name, workload, utility, placement, temporal])
+    return rows
+
+
+def test_table1_version_matrix(once):
+    rows = once(build_table)
+    show(format_table(
+        ["version", "workload", "utility function", "spatial placement", "temporal"],
+        rows,
+        title="Table 1 — CoolAir versions",
+    ))
+    for name, (workload, placement, temporal) in PAPER_ROWS.items():
+        row = next(r for r in rows if r[0] == name)
+        assert row[1] == workload
+        assert placement in row[3]
+        assert (row[4] == "yes") == temporal

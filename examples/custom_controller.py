@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Writing and evaluating your own cooling controller.
+
+The simulators accept any management adapter with three methods —
+``start_day``, ``control``, and ``placement_order`` — so new control
+policies drop straight into the same evaluation harness as the baseline
+and CoolAir.  This example implements a naive "always free-cool at a speed
+proportional to the temperature error" controller and pits it against the
+TKS baseline and CoolAir on a winter day, where its lack of a closed
+regime hurts.
+
+Run:  python examples/custom_controller.py
+"""
+
+from repro import NEWARK, FacebookTraceGenerator, all_nd, make_realsim, make_smoothsim, trained_cooling_model
+from repro.cooling.regimes import CoolingCommand
+from repro.core.coolair import CoolAir
+from repro.sim.engine import (
+    BaselineAdapter,
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+)
+
+JANUARY_15 = 14
+
+
+class ProportionalFanController:
+    """Naive P-controller: fan speed proportional to error above target.
+
+    It has no closed regime and no AC, so on a cold day it keeps flushing
+    the container with freezing air — exactly the failure mode CoolAir's
+    regime selection avoids.
+    """
+
+    name = "proportional-fan"
+
+    def __init__(self, target_c: float = 24.0, gain: float = 0.2) -> None:
+        self.target_c = target_c
+        self.gain = gain
+
+    def start_day(self, runner, day_of_year):
+        pass
+
+    def control(self, runner):
+        layout = runner.setup.layout
+        hottest = float(layout.inlet_readings().max())
+        error = hottest - self.target_c
+        if error <= 0.0:
+            speed = 0.15  # hardware minimum; it never closes the damper
+        else:
+            speed = min(1.0, 0.15 + self.gain * error)
+        runner.setup.units.apply(CoolingCommand.free_cooling(speed))
+
+    def placement_order(self, runner):
+        return None
+
+
+def run_day(setup, adapter, trace, day):
+    runner = DayRunner(
+        setup, ProfileWorkload(trace, setup.layout, 600.0), adapter
+    )
+    return runner.run_day(day)
+
+
+def main():
+    trace = FacebookTraceGenerator(num_jobs=1200).generate()
+    model = trained_cooling_model()
+
+    naive_day = run_day(
+        make_realsim(NEWARK), ProportionalFanController(), trace, JANUARY_15
+    )
+    baseline_day = run_day(make_realsim(NEWARK), BaselineAdapter(), trace, JANUARY_15)
+    setup = make_smoothsim(NEWARK)
+    coolair = CoolAir(all_nd(), model, setup.layout, setup.forecast,
+                      smooth_hardware=True)
+    coolair_day = run_day(setup, CoolAirAdapter(coolair), trace, JANUARY_15)
+
+    print(f"Winter day (Jan 15) at {NEWARK.name}:\n")
+    for name, day in [("proportional fan", naive_day),
+                      ("TKS baseline", baseline_day),
+                      ("CoolAir All-ND", coolair_day)]:
+        temps = day.sensor_temps()
+        print(
+            f"{name:<18} min {temps.min():5.1f}C  max {temps.max():5.1f}C  "
+            f"range {day.worst_sensor_range_c():4.1f}C  PUE {day.pue():.2f}"
+        )
+
+    print(
+        "\nThe naive controller never closes the container, so inlets track "
+        "the freezing outside air; the baseline and CoolAir exploit "
+        "recirculation to stay warm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scaling out: a multi-container fleet with one CoolAir manager per zone.
+
+Section 6 of the paper: "For a large datacenter with multiple independent
+'cooling zones' (e.g., containers), each of them would have its own
+CoolAir-like manager."  This example runs a 4-zone fleet (256 servers) for
+one day at Newark under per-zone CoolAir and under the per-zone baseline,
+and reports fleet-level metrics.
+
+Run:  python examples/multizone_fleet.py
+"""
+
+from repro import NEWARK, FacebookTraceGenerator, all_nd, trained_cooling_model
+from repro.analysis.report import format_table
+from repro.sim.multizone import MultiZoneDatacenter
+
+NUM_ZONES = 4
+JULY_1 = 182
+
+
+def main():
+    # Four containers' worth of work: scale the trace up accordingly.
+    trace = FacebookTraceGenerator(num_jobs=1200 * NUM_ZONES).generate()
+    model = trained_cooling_model()
+
+    print(f"Simulating a {NUM_ZONES}-zone fleet "
+          f"({NUM_ZONES * 64} servers) for one day...")
+    fleets = {
+        "baseline": MultiZoneDatacenter(
+            NEWARK, trace, NUM_ZONES, system="baseline"
+        ),
+        "CoolAir All-ND": MultiZoneDatacenter(
+            NEWARK, trace, NUM_ZONES, system=all_nd(), model=model
+        ),
+    }
+
+    rows = []
+    for name, fleet in fleets.items():
+        result = fleet.run_day(JULY_1)
+        rows.append([
+            name,
+            result.max_temp_c,
+            result.worst_zone_range_c,
+            result.zone_spread_c(),
+            result.fleet_pue(),
+            result.cooling_kwh,
+        ])
+
+    print()
+    print(format_table(
+        ["fleet management", "max temp C", "worst zone range C",
+         "zone spread C", "fleet PUE", "cooling kWh"],
+        rows,
+        title=f"{NUM_ZONES}-zone fleet at Newark, one July day",
+    ))
+    print("\nEach zone runs its own manager against shared site weather;"
+          "\nfleet PUE aggregates energy across zones.")
+
+
+if __name__ == "__main__":
+    main()

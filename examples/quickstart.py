@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: run CoolAir for one summer day and compare it to the
+baseline cooling controller.
+
+This walks the whole pipeline on a simulated Parasol container sited in
+Newark:
+
+1. learn the Cooling Model from a monitoring campaign (Section 4.2),
+2. run the extended-TKS baseline for one day,
+3. run CoolAir (All-ND) on the smooth cooling hardware for the same day,
+4. print what each did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NEWARK,
+    FacebookTraceGenerator,
+    all_nd,
+    make_realsim,
+    make_smoothsim,
+    trained_cooling_model,
+)
+from repro.core.coolair import CoolAir
+from repro.sim.engine import BaselineAdapter, CoolAirAdapter, DayRunner, ProfileWorkload
+
+JULY_1 = 182
+
+
+def describe(name, day, band=None):
+    line = (
+        f"{name:<22} max {day.max_sensor_temp_c():5.1f}C   "
+        f"daily range {day.worst_sensor_range_c():4.1f}C   "
+        f"PUE {day.pue():.2f}   cooling {day.cooling_energy_kwh():.1f} kWh"
+    )
+    if band is not None:
+        line += f"   band [{band.low_c:.0f}, {band.high_c:.0f}]C"
+    print(line)
+
+
+def main():
+    print("Generating the day-long Facebook workload trace...")
+    trace = FacebookTraceGenerator(num_jobs=1200).generate()
+
+    print("Learning the Cooling Model from the monitoring campaign "
+          "(one-time, ~5s)...")
+    model = trained_cooling_model()
+
+    # --- baseline: Parasol's extended TKS controller --------------------
+    setup = make_realsim(NEWARK)
+    runner = DayRunner(
+        setup, ProfileWorkload(trace, setup.layout, 600.0), BaselineAdapter()
+    )
+    baseline_day = runner.run_day(JULY_1)
+
+    # --- CoolAir All-ND on smooth cooling hardware -----------------------
+    setup = make_smoothsim(NEWARK)
+    coolair = CoolAir(
+        all_nd(), model, setup.layout, setup.forecast, smooth_hardware=True
+    )
+    runner = DayRunner(
+        setup, ProfileWorkload(trace, setup.layout, 600.0), CoolAirAdapter(coolair)
+    )
+    coolair_day = runner.run_day(JULY_1)
+
+    print(f"\nOne simulated day (July 1) at {NEWARK.name}:")
+    describe("baseline (TKS@30C)", baseline_day)
+    describe("CoolAir All-ND", coolair_day, coolair.band)
+
+    reduction = (
+        baseline_day.worst_sensor_range_c() - coolair_day.worst_sensor_range_c()
+    )
+    print(f"\nCoolAir cut the worst daily temperature range by "
+          f"{reduction:.1f}C on this day.")
+
+
+if __name__ == "__main__":
+    main()

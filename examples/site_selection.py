@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Site selection: where does free cooling need CoolAir the most?
+
+The paper's world-wide study (Figures 12/13) asks, for every candidate
+site, how much CoolAir would reduce temperature variation and what it
+would do to PUE.  This example answers the same question for a handful of
+candidate sites an operator might shortlist — the paper's five named
+locations plus two synthesized sites — and prints a recommendation table.
+
+Run:  python examples/site_selection.py           (about 2-4 minutes)
+      REPRO_FAST=1 python examples/site_selection.py   (coarser sampling)
+"""
+
+import os
+
+from repro import NAMED_LOCATIONS, FacebookTraceGenerator, all_nd, run_year, trained_cooling_model
+from repro.analysis.report import format_table
+from repro.weather.locations import climate_for_coordinates
+
+# Coarse year sampling keeps this example interactive; drop the stride to
+# 7 to match the paper's weekly sampling.
+STRIDE = 56 if os.environ.get("REPRO_FAST") else 28
+
+CANDIDATE_SITES = dict(NAMED_LOCATIONS)
+CANDIDATE_SITES["Oslo-like"] = climate_for_coordinates(59.9, 10.8)
+CANDIDATE_SITES["Nairobi-like"] = climate_for_coordinates(-1.3, 36.8)
+
+
+def main():
+    trace = FacebookTraceGenerator(num_jobs=1200).generate()
+    model = trained_cooling_model()
+
+    rows = []
+    for name, climate in CANDIDATE_SITES.items():
+        print(f"Simulating a year at {name}...")
+        baseline = run_year("baseline", climate, trace, sample_every_days=STRIDE)
+        coolair = run_year(
+            all_nd(), climate, trace, model=model, sample_every_days=STRIDE
+        )
+        range_cut = baseline.max_range_c - coolair.max_range_c
+        pue_delta = coolair.pue - baseline.pue
+        if range_cut > 4.0 and pue_delta < 0.05:
+            verdict = "strong fit: big variation cut, cheap"
+        elif pue_delta < -0.01:
+            verdict = "strong fit: CoolAir also lowers PUE"
+        elif range_cut > 1.0:
+            verdict = "good fit"
+        else:
+            verdict = "marginal: already stable"
+        rows.append([
+            name,
+            baseline.max_range_c,
+            coolair.max_range_c,
+            baseline.pue,
+            coolair.pue,
+            verdict,
+        ])
+
+    print()
+    print(format_table(
+        ["site", "max range (baseline)", "max range (CoolAir)",
+         "PUE (baseline)", "PUE (CoolAir)", "verdict"],
+        rows,
+        title="Free-cooled site assessment (year-long simulation)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

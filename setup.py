@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package cannot take the PEP 660 path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""CoolAir: temperature- and variation-aware management for free-cooled
+datacenters — a full reproduction of the ASPLOS 2015 paper by Goiri,
+Nguyen, and Bianchini.
+
+Quick tour of the public API::
+
+    from repro import (
+        NEWARK, all_nd, FacebookTraceGenerator,
+        trained_cooling_model, run_year,
+    )
+
+    trace = FacebookTraceGenerator().generate()
+    model = trained_cooling_model()                 # Section 4.2 campaign
+    result = run_year(all_nd(), NEWARK, trace, model=model)
+    print(result.summary_row())
+
+Packages:
+
+* :mod:`repro.core` — CoolAir itself (Modeler, Manager, Compute Manager).
+* :mod:`repro.physics` — psychrometrics and the thermal plant.
+* :mod:`repro.datacenter` — servers, pods, sensors, disks, energy.
+* :mod:`repro.cooling` — cooling units and the TKS/baseline controllers.
+* :mod:`repro.weather` — synthetic TMY data, locations, forecasts.
+* :mod:`repro.ml` — regression substrate (OLS, LMS, M5P).
+* :mod:`repro.workload` — Hadoop-like jobs, traces, cluster, profiles.
+* :mod:`repro.sim` — Real-Sim, Smooth-Sim, campaign, year runner.
+* :mod:`repro.analysis` — the evaluation's metrics and tables.
+"""
+
+from repro.core import (
+    CoolAir,
+    CoolAirConfig,
+    TemperatureBand,
+    all_def,
+    all_nd,
+    energy_def,
+    energy_version,
+    select_band,
+    temperature_version,
+    var_high_recirc,
+    var_low_recirc,
+    variation_version,
+)
+from repro.cooling import BaselineController, CoolingCommand, CoolingMode, TKSController
+from repro.sim import (
+    DayRunner,
+    make_realsim,
+    make_smoothsim,
+    run_year,
+    trained_cooling_model,
+)
+from repro.weather import (
+    CHAD,
+    ICELAND,
+    NEWARK,
+    SANTIAGO,
+    SINGAPORE,
+    NAMED_LOCATIONS,
+    world_grid,
+)
+from repro.workload import FacebookTraceGenerator, NutchTraceGenerator
+from repro.reliability import assess, exposure_from_day_traces, yearly_tradeoff
+from repro.sim.multizone import MultiZoneDatacenter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoolAir",
+    "CoolAirConfig",
+    "TemperatureBand",
+    "select_band",
+    "temperature_version",
+    "variation_version",
+    "energy_version",
+    "all_nd",
+    "all_def",
+    "energy_def",
+    "var_low_recirc",
+    "var_high_recirc",
+    "BaselineController",
+    "TKSController",
+    "CoolingCommand",
+    "CoolingMode",
+    "DayRunner",
+    "make_realsim",
+    "make_smoothsim",
+    "run_year",
+    "trained_cooling_model",
+    "NEWARK",
+    "CHAD",
+    "SANTIAGO",
+    "ICELAND",
+    "SINGAPORE",
+    "NAMED_LOCATIONS",
+    "world_grid",
+    "FacebookTraceGenerator",
+    "NutchTraceGenerator",
+    "assess",
+    "exposure_from_day_traces",
+    "yearly_tradeoff",
+    "MultiZoneDatacenter",
+    "__version__",
+]

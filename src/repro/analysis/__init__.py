@@ -1,0 +1,21 @@
+"""Analysis: the metrics and tables of the paper's evaluation section."""
+
+from repro.analysis.ascii_plot import regime_ribbon, render_day, sparkline
+from repro.analysis.costs import energy_cost_per_degree, management_costs
+from repro.analysis.experiments import five_location_matrix, year_result
+from repro.analysis.report import format_table
+from repro.analysis.worldmap import WorldSummary, bucket_counts, summarize_world
+
+__all__ = [
+    "energy_cost_per_degree",
+    "management_costs",
+    "format_table",
+    "WorldSummary",
+    "bucket_counts",
+    "summarize_world",
+    "sparkline",
+    "regime_ribbon",
+    "render_day",
+    "year_result",
+    "five_location_matrix",
+]

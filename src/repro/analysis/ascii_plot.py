@@ -1,0 +1,86 @@
+"""Terminal-friendly timeline rendering for day traces.
+
+The paper's Figures 6 and 7 are day-long timelines of outside/inlet
+temperatures with the active cooling regime shaded underneath.  This
+module renders the same information as text so the benchmark harness and
+examples can show *what the controller did*, not just summary numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cooling.regimes import CoolingMode
+from repro.errors import SimulationError
+from repro.sim.trace import DayTrace
+
+MODE_GLYPHS = {
+    CoolingMode.CLOSED: ".",
+    CoolingMode.FREE_COOLING: "F",
+    CoolingMode.AC_FAN: "a",
+    CoolingMode.AC_ON: "A",
+}
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as a one-line unicode sparkline."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise SimulationError("cannot sparkline an empty series")
+    ticks = "▁▂▃▄▅▆▇█"
+    resampled = _resample(values, width)
+    lo, hi = float(resampled.min()), float(resampled.max())
+    if hi - lo < 1e-12:
+        return ticks[0] * len(resampled)
+    scaled = (resampled - lo) / (hi - lo) * (len(ticks) - 1)
+    return "".join(ticks[int(round(v))] for v in scaled)
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    if width < 1:
+        raise SimulationError("width must be >= 1")
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    return np.array(
+        [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+    )
+
+
+def regime_ribbon(trace: DayTrace, width: int = 72) -> str:
+    """One character per time slot showing the active cooling regime.
+
+    ``.`` closed, ``F`` free cooling, ``a`` AC fan-only, ``A`` compressor.
+    """
+    modes = trace.modes()
+    if not modes:
+        raise SimulationError("cannot render an empty trace")
+    edges = np.linspace(0, len(modes), width + 1).astype(int)
+    chars: List[str] = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        window = modes[a:b] or [modes[min(a, len(modes) - 1)]]
+        # Dominant mode in the window.
+        dominant = max(set(window), key=window.count)
+        chars.append(MODE_GLYPHS[dominant])
+    return "".join(chars)
+
+
+def render_day(trace: DayTrace, width: int = 72) -> str:
+    """A Figure 6/7-style text panel for one simulated day."""
+    temps = trace.sensor_temps()
+    outside = trace.outside_temps()
+    inlet_hi = temps.max(axis=1)
+    lines = [
+        f"{trace.label or 'day'} — day {trace.day_of_year}"
+        f"  (max {trace.max_sensor_temp_c():.1f}C, "
+        f"range {trace.worst_sensor_range_c():.1f}C, PUE {trace.pue():.2f})",
+        f"outside [{outside.min():5.1f}..{outside.max():5.1f}C] "
+        + sparkline(outside, width),
+        f"inlet   [{inlet_hi.min():5.1f}..{inlet_hi.max():5.1f}C] "
+        + sparkline(inlet_hi, width),
+        "regime  " + " " * 16 + regime_ribbon(trace, width),
+        "        " + " " * 16 + "(. closed  F free-cooling  a AC fan  A compressor)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""World-wide aggregation (Figures 12 and 13).
+
+The paper maps, for 1520 locations, CoolAir's reduction in maximum daily
+temperature range and in yearly PUE relative to the baseline.  This module
+buckets per-location results into the figures' legend bins and computes
+the headline averages (paper: max range 18.6 -> 12.1C on average, PUE 1.08
+-> 1.09).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.yearsim import YearResult
+
+# Figure 12 legend bins for max-range reduction, in degrees C.
+RANGE_BINS: Tuple[Tuple[float, float], ...] = (
+    (-1.0, 0.0),
+    (0.0, 2.0),
+    (2.0, 4.0),
+    (4.0, 6.0),
+    (6.0, 8.0),
+    (8.0, 10.0),
+    (10.0, 14.0),
+    (14.0, float("inf")),
+)
+
+# Figure 13 legend bins for PUE reduction.
+PUE_BINS: Tuple[Tuple[float, float], ...] = (
+    (-0.04, -0.02),
+    (-0.02, -0.01),
+    (-0.01, 0.0),
+    (0.0, 0.01),
+    (0.01, 0.02),
+    (0.02, 0.03),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LocationComparison:
+    """Baseline-vs-CoolAir deltas at one location."""
+
+    name: str
+    latitude: float
+    longitude: float
+    baseline_max_range_c: float
+    coolair_max_range_c: float
+    baseline_pue: float
+    coolair_pue: float
+
+    @property
+    def range_reduction_c(self) -> float:
+        return self.baseline_max_range_c - self.coolair_max_range_c
+
+    @property
+    def pue_reduction(self) -> float:
+        return self.baseline_pue - self.coolair_pue
+
+
+@dataclasses.dataclass(frozen=True)
+class WorldSummary:
+    """Aggregates over all compared locations."""
+
+    comparisons: Tuple[LocationComparison, ...]
+
+    @property
+    def avg_baseline_max_range_c(self) -> float:
+        return float(np.mean([c.baseline_max_range_c for c in self.comparisons]))
+
+    @property
+    def avg_coolair_max_range_c(self) -> float:
+        return float(np.mean([c.coolair_max_range_c for c in self.comparisons]))
+
+    @property
+    def avg_baseline_pue(self) -> float:
+        return float(np.mean([c.baseline_pue for c in self.comparisons]))
+
+    @property
+    def avg_coolair_pue(self) -> float:
+        return float(np.mean([c.coolair_pue for c in self.comparisons]))
+
+    @property
+    def fraction_range_worsened(self) -> float:
+        """Locations where CoolAir *increased* the max range (paper: <2%,
+        always by less than 1C)."""
+        return float(
+            np.mean([c.range_reduction_c < 0 for c in self.comparisons])
+        )
+
+    @property
+    def worst_range_increase_c(self) -> float:
+        increases = [-c.range_reduction_c for c in self.comparisons]
+        return float(max(increases)) if increases else 0.0
+
+
+def summarize_world(
+    pairs: Sequence[Tuple[YearResult, YearResult]],
+    coordinates: Sequence[Tuple[float, float]],
+) -> WorldSummary:
+    """Build a :class:`WorldSummary` from (baseline, coolair) result pairs."""
+    if len(pairs) != len(coordinates):
+        raise SimulationError("need one coordinate pair per result pair")
+    if not pairs:
+        raise SimulationError("no locations to summarize")
+    comparisons = []
+    for (baseline, coolair), (lat, lon) in zip(pairs, coordinates):
+        comparisons.append(
+            LocationComparison(
+                name=baseline.climate_name,
+                latitude=lat,
+                longitude=lon,
+                baseline_max_range_c=baseline.max_range_c,
+                coolair_max_range_c=coolair.max_range_c,
+                baseline_pue=baseline.pue,
+                coolair_pue=coolair.pue,
+            )
+        )
+    return WorldSummary(comparisons=tuple(comparisons))
+
+
+def bucket_counts(
+    values: Sequence[float], bins: Sequence[Tuple[float, float]]
+) -> Dict[str, int]:
+    """Histogram of values into legend bins; keys are "lo..hi" labels."""
+    counts: Dict[str, int] = {}
+    for lo, hi in bins:
+        label = f"{lo:g}..{hi:g}" if hi != float("inf") else f">={lo:g}"
+        counts[label] = sum(1 for v in values if lo <= v < hi)
+    return counts

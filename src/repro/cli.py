@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro`` or the ``coolair`` script.
+
+Subcommands mirror the workflows a datacenter operator would run:
+
+* ``versions``  — print the Table 1 system matrix.
+* ``band``      — show the temperature band CoolAir would pick for a day.
+* ``campaign``  — run the model-learning campaign and report model quality.
+* ``day``       — simulate one day of a system at a location.
+* ``year``      — simulate a year and print the headline metrics.
+* ``locations`` — list the named evaluation locations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.core.band import select_band
+from repro.core.coolair import CoolAir
+from repro.core.versions import ALL_VERSIONS
+from repro.errors import ReproError
+from repro.sim.campaign import run_learning_campaign, trained_cooling_model
+from repro.sim.engine import (
+    BaselineAdapter,
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+    make_realsim,
+    make_smoothsim,
+)
+from repro.sim.validation import fraction_within, prediction_errors
+from repro.sim.yearsim import run_year
+from repro.weather.forecast import ForecastService
+from repro.weather.locations import NAMED_LOCATIONS
+from repro.weather.tmy import generate_tmy
+from repro.workload.traces import FacebookTraceGenerator, NutchTraceGenerator
+
+SYSTEM_CHOICES = ["baseline"] + list(ALL_VERSIONS)
+
+
+def _climate(name: str):
+    try:
+        return NAMED_LOCATIONS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown location {name!r}; choices: {', '.join(NAMED_LOCATIONS)}"
+        )
+
+
+def _trace(name: str, deferrable: bool):
+    if name == "facebook":
+        return FacebookTraceGenerator(num_jobs=1200).generate(deferrable=deferrable)
+    if name == "nutch":
+        return NutchTraceGenerator().generate(deferrable=deferrable)
+    raise ReproError(f"unknown workload {name!r}; choices: facebook, nutch")
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_versions(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in ALL_VERSIONS.items():
+        config = factory()
+        rows.append([
+            name,
+            config.band_mode.value,
+            "yes" if config.use_energy_term else "no",
+            config.placement.value.replace("_first", ""),
+            config.temporal.value,
+        ])
+    print(format_table(
+        ["version", "band mode", "energy term", "placement", "temporal"],
+        rows, title="CoolAir versions (Table 1 + ablations)",
+    ))
+    return 0
+
+
+def cmd_locations(args: argparse.Namespace) -> int:
+    rows = [
+        [c.name, c.latitude, c.longitude, c.mean_temp_c,
+         c.seasonal_amplitude_c, c.mean_rh_pct]
+        for c in NAMED_LOCATIONS.values()
+    ]
+    print(format_table(
+        ["location", "lat", "lon", "mean C", "seasonal amp C", "mean RH %"],
+        rows, title="Named evaluation locations",
+    ))
+    return 0
+
+
+def cmd_band(args: argparse.Namespace) -> int:
+    climate = _climate(args.location)
+    forecast = ForecastService(generate_tmy(climate)).forecast_for_day(args.day)
+    config = ALL_VERSIONS[args.system]() if args.system != "baseline" else None
+    if config is None:
+        raise ReproError("the baseline has no temperature band; pick a version")
+    band = select_band(forecast, config)
+    print(
+        f"{climate.name} day {args.day}: forecast avg "
+        f"{forecast.average_temp_c:.1f}C "
+        f"({forecast.min_temp_c:.1f}..{forecast.max_temp_c:.1f})"
+    )
+    print(
+        f"{config.name} band: [{band.low_c:.1f}, {band.high_c:.1f}]C"
+        + ("  (slid against Min/Max)" if band.slid else "")
+    )
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    print(f"Running the learning campaign ({args.days} days)...")
+    days = tuple(
+        int(round(d)) for d in
+        [i * 365 / args.days + 5 for i in range(args.days)]
+    )
+    model = trained_cooling_model(days=days, use_cache=False)
+    held_out = run_learning_campaign(days=(100, 270))
+    errors2 = prediction_errors(model, held_out, 1)
+    errors10 = prediction_errors(model, held_out, 5)
+    print(f"learned regimes: {', '.join(model.learned_regimes)}")
+    print(
+        f"validation: {fraction_within(errors2, 1.0)*100:.0f}% of 2-min and "
+        f"{fraction_within(errors10, 1.0)*100:.0f}% of 10-min predictions "
+        "within 1C"
+    )
+    return 0
+
+
+def cmd_day(args: argparse.Namespace) -> int:
+    climate = _climate(args.location)
+    trace = _trace(args.workload, deferrable=args.system.endswith("DEF"))
+    if args.system == "baseline":
+        setup = make_realsim(climate)
+        adapter = BaselineAdapter()
+    else:
+        config = ALL_VERSIONS[args.system]()
+        setup = make_realsim(climate) if args.abrupt else make_smoothsim(climate)
+        coolair = CoolAir(
+            config, trained_cooling_model(), setup.layout, setup.forecast,
+            smooth_hardware=setup.smooth_hardware,
+        )
+        adapter = CoolAirAdapter(coolair)
+    runner = DayRunner(setup, ProfileWorkload(trace, setup.layout, 600.0), adapter)
+    day = runner.run_day(args.day)
+    print(
+        f"{args.system} at {climate.name}, day {args.day}: "
+        f"max {day.max_sensor_temp_c():.1f}C, "
+        f"range {day.worst_sensor_range_c():.1f}C, "
+        f"PUE {day.pue():.2f}, cooling {day.cooling_energy_kwh():.1f} kWh"
+    )
+    return 0
+
+
+def cmd_year(args: argparse.Namespace) -> int:
+    climate = _climate(args.location)
+    trace = _trace(args.workload, deferrable=args.system.endswith("DEF"))
+    system = "baseline" if args.system == "baseline" else ALL_VERSIONS[args.system]()
+    model = None if args.system == "baseline" else trained_cooling_model()
+    result = run_year(
+        system, climate, trace, model=model,
+        sample_every_days=args.sample_days,
+    )
+    print(result.summary_row())
+    return 0
+
+
+# -- entry point ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coolair",
+        description="CoolAir free-cooled datacenter management (ASPLOS'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("versions", help="print the system matrix")
+    sub.add_parser("locations", help="list named locations")
+
+    band = sub.add_parser("band", help="show a day's temperature band")
+    band.add_argument("--location", default="Newark")
+    band.add_argument("--day", type=int, default=182)
+    band.add_argument("--system", default="All-ND", choices=SYSTEM_CHOICES)
+
+    campaign = sub.add_parser("campaign", help="run the learning campaign")
+    campaign.add_argument("--days", type=int, default=10)
+
+    day = sub.add_parser("day", help="simulate one day")
+    day.add_argument("--location", default="Newark")
+    day.add_argument("--day", type=int, default=182)
+    day.add_argument("--system", default="All-ND", choices=SYSTEM_CHOICES)
+    day.add_argument("--workload", default="facebook")
+    day.add_argument("--abrupt", action="store_true",
+                     help="use Parasol's abrupt hardware for CoolAir")
+
+    year = sub.add_parser("year", help="simulate a year")
+    year.add_argument("--location", default="Newark")
+    year.add_argument("--system", default="All-ND", choices=SYSTEM_CHOICES)
+    year.add_argument("--workload", default="facebook")
+    year.add_argument("--sample-days", type=int, default=14,
+                      help="stride between simulated days (7 = paper)")
+    return parser
+
+
+COMMANDS = {
+    "versions": cmd_versions,
+    "locations": cmd_locations,
+    "band": cmd_band,
+    "campaign": cmd_campaign,
+    "day": cmd_day,
+    "year": cmd_year,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Physical constants and Parasol-derived calibration figures.
+
+All values are either standard physical constants or numbers reported in
+the CoolAir paper (Sections 4 and 5.1).  Everything here is expressed in
+SI units unless the name says otherwise; temperatures are degrees Celsius
+throughout the package because the paper reasons in Celsius.
+"""
+
+from __future__ import annotations
+
+# --- air properties -------------------------------------------------------
+
+AIR_DENSITY_KG_M3 = 1.2
+"""Density of air at ~20C, sea level."""
+
+AIR_SPECIFIC_HEAT_J_KG_K = 1005.0
+"""Specific heat capacity of dry air."""
+
+ATMOSPHERIC_PRESSURE_PA = 101_325.0
+"""Standard sea-level atmospheric pressure."""
+
+# --- paper-reported Parasol figures (Section 4.1) -------------------------
+
+AC_FAN_ONLY_W = 135.0
+"""DX AC power draw with compressor off (fan only)."""
+
+AC_COMPRESSOR_W = 2200.0
+"""DX AC power draw with compressor and fan on."""
+
+FC_MIN_POWER_W = 8.0
+"""Free-cooling unit power at its minimum operating speed."""
+
+FC_MAX_POWER_W = 425.0
+"""Free-cooling unit power at 100% fan speed."""
+
+FC_MIN_SPEED = 0.15
+"""Minimum fan speed of the Dantherm free-cooling unit (fraction of max)."""
+
+SMOOTH_FC_MIN_SPEED = 0.01
+"""Minimum fan speed of the fine-grained (Smooth-Sim) free-cooling unit."""
+
+TKS_DEFAULT_SETPOINT_C = 25.0
+"""Default TKS setpoint SP."""
+
+TKS_DEFAULT_BAND_C = 5.0
+"""Default TKS proportional band P (free cooling operates in [SP-P, SP])."""
+
+TKS_HYSTERESIS_C = 1.0
+"""Hysteresis applied around the setpoint for LOT/HOT mode switching."""
+
+AC_CYCLE_LOW_OFFSET_C = 2.0
+"""AC compressor stops when inside temperature < SP - this offset."""
+
+SERVER_IDLE_W = 22.0
+"""Idle power of one Parasol half-U Atom server."""
+
+SERVER_PEAK_W = 30.0
+"""Peak power of one Parasol half-U Atom server."""
+
+SERVER_SLEEP_W = 2.0
+"""Power of a server in ACPI S3 sleep."""
+
+XEON_SERVER_W = 80.0
+"""The 4-core Xeon management server hosting the CoolAir managers."""
+
+NUM_SERVERS = 64
+"""Number of half-U servers hosted in Parasol."""
+
+POWER_DELIVERY_PUE_OVERHEAD = 0.08
+"""Power delivery losses of Parasol, expressed as a PUE contribution."""
+
+SENSOR_ACCURACY_C = 0.5
+"""Accuracy of Parasol's temperature sensors."""
+
+# --- CoolAir defaults (Section 5.1) ---------------------------------------
+
+DEFAULT_OFFSET_C = 8.0
+"""Typical outside-to-inlet temperature offset observed in Parasol."""
+
+DEFAULT_WIDTH_C = 5.0
+"""Default width of the CoolAir temperature band."""
+
+DEFAULT_MIN_C = 10.0
+"""Lowest allowed edge of the temperature band (Min)."""
+
+DEFAULT_MAX_C = 30.0
+"""Highest allowed edge of the temperature band (Max)."""
+
+DEFAULT_MAX_RH_PCT = 80.0
+"""Maximum allowed relative humidity."""
+
+DEFAULT_MAX_RATE_C_PER_HOUR = 20.0
+"""ASHRAE-recommended maximum air temperature change rate."""
+
+CONTROL_PERIOD_S = 600
+"""The Cooling Optimizer period (10 minutes)."""
+
+MODEL_STEP_S = 120
+"""The short-term step of the learned Cooling Model (2 minutes)."""
+
+# --- disk reliability (Section 4.2) ---------------------------------------
+
+DISK_LOAD_UNLOAD_CYCLES = 300_000
+"""Rated load/unload cycles of a modern disk."""
+
+DISK_LIFETIME_YEARS = 4.0
+"""Typical disk lifetime assumed by the paper."""
+
+MAX_AVG_POWER_CYCLES_PER_HOUR = 8.5
+"""Average hourly power-cycle budget over a 4-year disk lifetime."""

@@ -1,0 +1,31 @@
+"""Cooling infrastructure: regimes, units, and feedback controllers.
+
+Parasol's cooling regimes (Section 4.1) are: free cooling with a fan speed
+above 15%; air conditioning with the compressor on or off; or neither (the
+container is closed).  The *smooth* unit variants used by Smooth-Sim add
+fine-grained fan ramp-up from 1% and a variable-speed compressor
+(Section 5.1) — the commercially available hardware class the paper points
+to for making temperature variation controllable.
+"""
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode, RegimeKey, regime_key
+from repro.cooling.units import (
+    AbruptCoolingUnits,
+    CoolingUnits,
+    SmoothCoolingUnits,
+)
+from repro.cooling.tks import TKSConfig, TKSController
+from repro.cooling.baseline import BaselineController
+
+__all__ = [
+    "CoolingCommand",
+    "CoolingMode",
+    "RegimeKey",
+    "regime_key",
+    "CoolingUnits",
+    "AbruptCoolingUnits",
+    "SmoothCoolingUnits",
+    "TKSConfig",
+    "TKSController",
+    "BaselineController",
+]

@@ -1,0 +1,60 @@
+"""The baseline management system (Section 5.1).
+
+The baseline extends Parasol's default TKS control scheme in two ways that
+make it more efficient and comparable to CoolAir: (1) the setpoint is 30C
+instead of the default 25C, and (2) it adds humidity control with a maximum
+limit of 80% relative humidity.
+
+Humidity control works on top of the TKS decision: when the cold-aisle
+relative humidity exceeds the limit while free cooling is bringing humid
+outside air in, the baseline stops ingesting outside air — it closes the
+container if temperatures allow, or falls back to the AC (whose coil
+dehumidifies) when it is too warm to close.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.cooling.tks import TKSConfig, TKSController
+
+
+class BaselineController:
+    """TKS with a 30C setpoint and 80% relative-humidity control."""
+
+    def __init__(
+        self,
+        setpoint_c: float = constants.DEFAULT_MAX_C,
+        max_rh_pct: float = constants.DEFAULT_MAX_RH_PCT,
+        tks_config: TKSConfig = None,
+    ) -> None:
+        config = tks_config or TKSConfig()
+        config.setpoint_c = setpoint_c
+        self.tks = TKSController(config)
+        self.max_rh_pct = max_rh_pct
+
+    @property
+    def setpoint_c(self) -> float:
+        return self.tks.config.setpoint_c
+
+    def decide(
+        self,
+        control_temp_c: float,
+        outside_temp_c: float,
+        cold_aisle_rh_pct: float,
+        outside_rh_pct: float,
+    ) -> CoolingCommand:
+        """One control decision with the humidity override applied."""
+        command = self.tks.decide(control_temp_c, outside_temp_c)
+        humid_inside = cold_aisle_rh_pct > self.max_rh_pct
+        humid_outside = outside_rh_pct > self.max_rh_pct
+        if command.mode is CoolingMode.FREE_COOLING and humid_inside and humid_outside:
+            # Free cooling is feeding the humidity problem; stop taking
+            # outside air.  Closing also warms the container, which lowers
+            # relative humidity; if it is already too warm to close, use the
+            # AC so the coil condenses moisture out.
+            sp = self.tks.config.setpoint_c
+            if control_temp_c < sp:
+                return CoolingCommand.closed()
+            return CoolingCommand.ac(compressor_duty=1.0)
+        return command

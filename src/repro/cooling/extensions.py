@@ -1,0 +1,122 @@
+"""Cooling-infrastructure extensions beyond Parasol's hardware.
+
+The paper points at both of these:
+
+* **Adiabatic (evaporative) cooling** — "some free-cooled datacenters
+  also apply adiabatic cooling (via water evaporation, within the
+  humidity constraint) to lower the temperature of the outside air before
+  letting it reach the servers" (Section 2).
+  :class:`EvaporativeCoolingUnits` adds a media pad + pump in front of
+  the smooth free-cooling unit; a small policy helper decides when
+  evaporation is worthwhile and humidity-safe.
+* **Chilled-water backup** — "for datacenters that combine free cooling
+  with chillers (instead of DX AC), we can use [Le et al.] to strike the
+  proper ratio of power consumptions" (Section 6).
+  :class:`ChilledWaterUnits` keeps the smooth AC's thermal behaviour but
+  draws power through a chiller COP instead of the DX compressor curve.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.cooling.units import SmoothCoolingUnits, free_cooling_power_w
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import wet_bulb_c
+from repro.physics.thermal import PlantInputs
+
+
+class EvaporativeCoolingUnits(SmoothCoolingUnits):
+    """Smooth free-cooling with an adiabatic pre-cooling stage.
+
+    When ``evaporative_on`` is set and free cooling is running, incoming
+    air is pulled toward its wet bulb with the configured media
+    effectiveness; the pump adds a constant draw.
+    """
+
+    def __init__(
+        self,
+        ramp_per_step: float = 0.20,
+        effectiveness: float = 0.7,
+        pump_power_w: float = 55.0,
+    ) -> None:
+        super().__init__(ramp_per_step=ramp_per_step)
+        if not 0.0 < effectiveness <= 1.0:
+            raise ConfigError(f"effectiveness {effectiveness} out of (0, 1]")
+        if pump_power_w < 0:
+            raise ConfigError("pump_power_w must be non-negative")
+        self.effectiveness = effectiveness
+        self.pump_power_w = pump_power_w
+        self.evaporative_on = False
+
+    def set_evaporative(self, on: bool) -> None:
+        self.evaporative_on = on
+
+    def plant_inputs(self) -> PlantInputs:
+        inputs = super().plant_inputs()
+        if self.evaporative_on and self.fc_fan_speed > 0.0:
+            inputs.evaporative_effectiveness = self.effectiveness
+        return inputs
+
+    def power_w(self) -> float:
+        power = super().power_w()
+        if self.evaporative_on and self.fc_fan_speed > 0.0:
+            power += self.pump_power_w
+        return power
+
+
+def evaporation_worthwhile(
+    outside_temp_c: float,
+    outside_rh_pct: float,
+    inside_rh_pct: float,
+    target_temp_c: float,
+    max_rh_pct: float = constants.DEFAULT_MAX_RH_PCT,
+    min_depression_c: float = 2.0,
+) -> bool:
+    """Should the evaporative stage run right now?
+
+    Yes when (1) outside air is warmer than the target, (2) the wet-bulb
+    depression offers a real gain, and (3) humidity has headroom — the
+    paper's "within the humidity constraint".
+    """
+    if outside_temp_c <= target_temp_c:
+        return False
+    depression = outside_temp_c - wet_bulb_c(outside_temp_c, outside_rh_pct)
+    if depression < min_depression_c:
+        return False
+    headroom = 0.8 * max_rh_pct
+    return inside_rh_pct < headroom and outside_rh_pct < headroom
+
+
+class ChilledWaterUnits(SmoothCoolingUnits):
+    """Smooth backup cooling driven by a chilled-water plant.
+
+    Thermally identical to the smooth AC (the plant sees the same supply
+    behaviour); the power model replaces the DX compressor curve with
+    cooling capacity over a chiller COP, plus the air-handler fan.
+    Typical water-cooled chiller COPs are 3-6; Parasol's DX unit works
+    out to ~2.5 (5.5 kW of cooling for 2.2 kW of input).
+    """
+
+    def __init__(
+        self,
+        ramp_per_step: float = 0.20,
+        cop: float = 4.5,
+        capacity_w: float = 5500.0,
+        fan_power_w: float = constants.AC_COMPRESSOR_W / 4.0,
+    ) -> None:
+        super().__init__(ramp_per_step=ramp_per_step)
+        if cop <= 0:
+            raise ConfigError("cop must be positive")
+        if capacity_w <= 0:
+            raise ConfigError("capacity_w must be positive")
+        self.cop = cop
+        self.capacity_w = capacity_w
+        self.fan_power_w = fan_power_w
+
+    def power_w(self) -> float:
+        power = 0.0
+        if self.fc_fan_speed > 0.0:
+            power += free_cooling_power_w(self.fc_fan_speed)
+        power += self.fan_power_w * self.ac_fan_speed
+        power += self.capacity_w * self.ac_compressor_duty / self.cop
+        return power

@@ -1,0 +1,102 @@
+"""Cooling regimes and commands.
+
+A :class:`CoolingCommand` is what a controller asks the infrastructure to
+do; a :class:`RegimeKey` identifies which learned model applies — the
+Cooling Modeler fits "a distinct function F for each possible cooling
+regime and transition between regimes" (Section 3.1), so keys name either
+a steady regime or an ordered (from, to) transition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+from repro.errors import RegimeError
+
+
+class CoolingMode(enum.Enum):
+    """The three high-level regimes of Section 4.1."""
+
+    CLOSED = "closed"  # neither free cooling nor AC; container sealed
+    FREE_COOLING = "free_cooling"
+    AC_ON = "ac_on"  # AC with compressor running
+    AC_FAN = "ac_fan"  # AC fan circulating, compressor off
+
+
+@dataclasses.dataclass(frozen=True)
+class CoolingCommand:
+    """Desired actuator settings for the next control period."""
+
+    mode: CoolingMode
+    fc_fan_speed: float = 0.0
+    ac_fan_speed: float = 0.0
+    ac_compressor_duty: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("fc_fan_speed", "ac_fan_speed", "ac_compressor_duty"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise RegimeError(f"{name} {value} out of [0, 1]")
+        if self.mode is CoolingMode.CLOSED:
+            if self.fc_fan_speed or self.ac_fan_speed or self.ac_compressor_duty:
+                raise RegimeError("CLOSED command must have all actuators at zero")
+        elif self.mode is CoolingMode.FREE_COOLING:
+            if self.fc_fan_speed <= 0.0:
+                raise RegimeError("FREE_COOLING command needs fc_fan_speed > 0")
+            if self.ac_fan_speed or self.ac_compressor_duty:
+                raise RegimeError("FREE_COOLING runs with the AC off")
+        elif self.mode is CoolingMode.AC_ON:
+            if self.ac_fan_speed <= 0.0 or self.ac_compressor_duty <= 0.0:
+                raise RegimeError("AC_ON needs fan and compressor running")
+            if self.fc_fan_speed:
+                raise RegimeError("AC runs with free cooling off")
+        elif self.mode is CoolingMode.AC_FAN:
+            if self.ac_fan_speed <= 0.0:
+                raise RegimeError("AC_FAN needs the fan running")
+            if self.ac_compressor_duty:
+                raise RegimeError("AC_FAN means compressor off")
+            if self.fc_fan_speed:
+                raise RegimeError("AC runs with free cooling off")
+
+    # -- convenience constructors -----------------------------------------
+
+    @staticmethod
+    def closed() -> "CoolingCommand":
+        return CoolingCommand(mode=CoolingMode.CLOSED)
+
+    @staticmethod
+    def free_cooling(fan_speed: float) -> "CoolingCommand":
+        return CoolingCommand(mode=CoolingMode.FREE_COOLING, fc_fan_speed=fan_speed)
+
+    @staticmethod
+    def ac(compressor_duty: float, fan_speed: float = 1.0) -> "CoolingCommand":
+        if compressor_duty > 0.0:
+            return CoolingCommand(
+                mode=CoolingMode.AC_ON,
+                ac_fan_speed=fan_speed,
+                ac_compressor_duty=compressor_duty,
+            )
+        return CoolingCommand(mode=CoolingMode.AC_FAN, ac_fan_speed=fan_speed)
+
+
+# A RegimeKey is "steady:<mode>" or "transition:<from>-><to>".
+RegimeKey = str
+
+
+def regime_key(previous: CoolingMode, current: CoolingMode) -> RegimeKey:
+    """Model key for a step that went from ``previous`` to ``current``."""
+    if previous is current:
+        return f"steady:{current.value}"
+    return f"transition:{previous.value}->{current.value}"
+
+
+def all_regime_keys() -> Tuple[RegimeKey, ...]:
+    """Every steady and transition key the Cooling Modeler may learn."""
+    modes = list(CoolingMode)
+    keys = [regime_key(mode, mode) for mode in modes]
+    keys.extend(
+        regime_key(a, b) for a in modes for b in modes if a is not b
+    )
+    return tuple(keys)

@@ -1,0 +1,104 @@
+"""The TKS 3000 feedback controller (Section 4.1).
+
+The TKS selects the cooling mode from how the *outside* temperature relates
+to a configurable setpoint SP (default 25C), with 1C hysteresis:
+
+* **LOT mode** (outside below SP): use free cooling as much as possible,
+  driven by a control sensor in a typically warmer area of the cold aisle.
+  When the control temperature is low (below SP - P), close the container
+  so recirculation warms it; between SP - P and SP, run free cooling with
+  the fan speed chosen from the outside/inside temperature difference (the
+  closer the two, the faster the fan; minimum speed 15%).
+* **HOT mode** (outside above SP): close the damper, turn free cooling
+  off, and run the AC.  The AC cycles its compressor: off below SP - 2C,
+  on above SP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import constants
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass
+class TKSConfig:
+    """Tunable parameters of the TKS control scheme."""
+
+    setpoint_c: float = constants.TKS_DEFAULT_SETPOINT_C  # SP
+    band_c: float = constants.TKS_DEFAULT_BAND_C  # P
+    hysteresis_c: float = constants.TKS_HYSTERESIS_C
+    ac_cycle_low_offset_c: float = constants.AC_CYCLE_LOW_OFFSET_C
+    min_fan_speed: float = constants.FC_MIN_SPEED
+
+    def __post_init__(self) -> None:
+        if self.band_c <= 0:
+            raise ConfigError("band_c (P) must be positive")
+        if self.hysteresis_c < 0:
+            raise ConfigError("hysteresis_c must be non-negative")
+
+
+class TKSController:
+    """Stateful reimplementation of Parasol's commercial controller."""
+
+    def __init__(self, config: TKSConfig = None) -> None:
+        self.config = config or TKSConfig()
+        self._hot_mode = False  # outside-temperature mode latch
+        self._compressor_on = False  # AC cycling latch
+
+    @property
+    def in_hot_mode(self) -> bool:
+        return self._hot_mode
+
+    def set_setpoint(self, setpoint_c: float) -> None:
+        """Change SP — the knob CoolAir's Configurer drives (Section 4.2)."""
+        self.config.setpoint_c = setpoint_c
+
+    def _update_mode(self, outside_temp_c: float) -> None:
+        sp = self.config.setpoint_c
+        h = self.config.hysteresis_c
+        if self._hot_mode and outside_temp_c < sp - h:
+            self._hot_mode = False
+        elif not self._hot_mode and outside_temp_c > sp + h:
+            self._hot_mode = True
+
+    def _fan_speed(self, control_temp_c: float, outside_temp_c: float) -> float:
+        """Fan speed from the outside/inside temperature difference.
+
+        The closer the two temperatures, the faster the fan blows; a large
+        gap means cold outside air, so the fan can idle at the minimum.
+        """
+        gap = control_temp_c - outside_temp_c
+        if gap <= 0.0:
+            # Outside is warmer than inside: free cooling can only help at
+            # full dilution, run flat out (the TKS has no better option).
+            return 1.0
+        # Map gap in [0, band] to speed in [1.0, min]: linear roll-off.
+        fraction = min(1.0, gap / (2.0 * self.config.band_c))
+        speed = 1.0 - (1.0 - self.config.min_fan_speed) * fraction
+        return max(self.config.min_fan_speed, min(1.0, speed))
+
+    def decide(self, control_temp_c: float, outside_temp_c: float) -> CoolingCommand:
+        """One control decision from the two temperatures the TKS reads."""
+        self._update_mode(outside_temp_c)
+        sp = self.config.setpoint_c
+
+        if self._hot_mode:
+            # HOT mode: AC with compressor cycling.
+            if self._compressor_on and control_temp_c < sp - self.config.ac_cycle_low_offset_c:
+                self._compressor_on = False
+            elif not self._compressor_on and control_temp_c > sp:
+                self._compressor_on = True
+            if self._compressor_on:
+                return CoolingCommand.ac(compressor_duty=1.0)
+            return CoolingCommand.ac(compressor_duty=0.0)
+
+        # LOT mode: free cooling as much as possible.
+        self._compressor_on = False
+        if control_temp_c < sp - self.config.band_c:
+            # Too cold inside: close the container and let recirculation warm it.
+            return CoolingCommand.closed()
+        speed = self._fan_speed(control_temp_c, outside_temp_c)
+        return CoolingCommand.free_cooling(speed)

@@ -1,0 +1,175 @@
+"""Cooling units: the actuators that turn commands into plant inputs.
+
+Two hardware generations are modeled:
+
+* :class:`AbruptCoolingUnits` — Parasol's real hardware.  The Dantherm
+  free-cooling unit cannot run below 15% fan speed, so opening the damper
+  jumps straight to >=15% (the cause of the 9C-in-12-minutes crashes of
+  Figure 7(b)).  The DX AC's compressor is on/off only.
+* :class:`SmoothCoolingUnits` — the fine-grained units of Smooth-Sim
+  (Section 5.1): the free-cooling fan ramps up from 1% (ramp *down* still
+  goes from 15% directly to off), the AC fan ramps up from 1% and settles
+  at 100%, and the compressor speed is continuously variable; both AC
+  actuators go straight from 15% to 0% when shutting down.
+
+Power models (Sections 4.1 and 5.1/6): free-cooling power is cubic in fan
+speed between 8W and 425W; the abrupt AC draws 135W fan-only or 2.2kW
+total; the smooth AC's fan accounts for 1/4 of full-unit power and its
+compressor draws linearly with speed.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.errors import RegimeError
+from repro.physics.thermal import PlantInputs
+
+
+def free_cooling_power_w(fan_speed: float) -> float:
+    """Cubic fan power law between the measured endpoints."""
+    if not 0.0 <= fan_speed <= 1.0:
+        raise RegimeError(f"fan speed {fan_speed} out of [0, 1]")
+    if fan_speed <= 0.0:
+        return 0.0
+    return constants.FC_MIN_POWER_W + (
+        constants.FC_MAX_POWER_W - constants.FC_MIN_POWER_W
+    ) * fan_speed**3
+
+
+class CoolingUnits:
+    """Base class: applies a command, yields plant inputs and power draw.
+
+    Subclasses enforce the hardware's reachable actuator settings.  Units
+    are stateful because smooth ramp-up constrains the next step's speed to
+    the neighborhood of the current one.
+    """
+
+    def __init__(self) -> None:
+        self.fc_fan_speed = 0.0
+        self.ac_fan_speed = 0.0
+        self.ac_compressor_duty = 0.0
+
+    @property
+    def mode(self) -> CoolingMode:
+        if self.fc_fan_speed > 0.0:
+            return CoolingMode.FREE_COOLING
+        if self.ac_compressor_duty > 0.0:
+            return CoolingMode.AC_ON
+        if self.ac_fan_speed > 0.0:
+            return CoolingMode.AC_FAN
+        return CoolingMode.CLOSED
+
+    def apply(self, command: CoolingCommand) -> None:
+        """Apply a command, clamped to what the hardware can do."""
+        raise NotImplementedError
+
+    def plant_inputs(self) -> PlantInputs:
+        """Actuator portion of the plant inputs (boundary terms unset)."""
+        return PlantInputs(
+            fc_fan_speed=self.fc_fan_speed,
+            ac_fan_speed=self.ac_fan_speed,
+            ac_compressor_duty=self.ac_compressor_duty,
+        )
+
+    def power_w(self) -> float:
+        raise NotImplementedError
+
+
+class AbruptCoolingUnits(CoolingUnits):
+    """Parasol's real hardware: 15%-minimum fan, on/off compressor."""
+
+    def apply(self, command: CoolingCommand) -> None:
+        if command.mode is CoolingMode.FREE_COOLING:
+            # The unit cannot run below 15%: opening at a lower request
+            # still slams in at the minimum speed.
+            self.fc_fan_speed = max(constants.FC_MIN_SPEED, command.fc_fan_speed)
+            self.ac_fan_speed = 0.0
+            self.ac_compressor_duty = 0.0
+        elif command.mode is CoolingMode.AC_ON:
+            self.fc_fan_speed = 0.0
+            self.ac_fan_speed = 1.0  # fixed-speed fan
+            self.ac_compressor_duty = 1.0  # on/off compressor: full blast
+        elif command.mode is CoolingMode.AC_FAN:
+            self.fc_fan_speed = 0.0
+            self.ac_fan_speed = 1.0
+            self.ac_compressor_duty = 0.0
+        else:
+            self.fc_fan_speed = 0.0
+            self.ac_fan_speed = 0.0
+            self.ac_compressor_duty = 0.0
+
+    def power_w(self) -> float:
+        if self.fc_fan_speed > 0.0:
+            return free_cooling_power_w(self.fc_fan_speed)
+        if self.ac_compressor_duty > 0.0:
+            return constants.AC_COMPRESSOR_W
+        if self.ac_fan_speed > 0.0:
+            return constants.AC_FAN_ONLY_W
+        return 0.0
+
+
+class SmoothCoolingUnits(CoolingUnits):
+    """Fine-grained units: 1% fan ramp-up, variable-speed compressor.
+
+    ``ramp_per_step`` bounds how much any actuator may *increase* per
+    control application — this is the "fine-grained ramp up" of Section
+    5.1.  Decreases are immediate, except that fan speeds and compressor
+    duty below 15% snap to 0 (both shut down "straight from 15% to 0%").
+    """
+
+    # Smooth AC: fan is 1/4 of full-unit power, compressor linear in speed.
+    AC_FAN_FULL_W = constants.AC_COMPRESSOR_W / 4.0
+    AC_COMPRESSOR_FULL_W = constants.AC_COMPRESSOR_W - AC_FAN_FULL_W
+
+    def __init__(self, ramp_per_step: float = 0.20) -> None:
+        super().__init__()
+        if not 0.0 < ramp_per_step <= 1.0:
+            raise RegimeError(f"ramp_per_step {ramp_per_step} out of (0, 1]")
+        self.ramp_per_step = ramp_per_step
+
+    def _ramp_up(self, current: float, target: float, floor: float) -> float:
+        """Move toward a higher target, starting from ``floor`` if off."""
+        if current <= 0.0:
+            start = floor
+        else:
+            start = current
+        return min(target, max(start, current + self.ramp_per_step))
+
+    def _apply_axis(self, current: float, target: float, min_speed: float) -> float:
+        if target <= 0.0:
+            return 0.0  # shutdown is immediate (15% -> 0 allowed)
+        target = max(min_speed, target)
+        if target > current:
+            return self._ramp_up(current, target, min_speed)
+        return target  # ramping down within the operating range is free
+
+    def apply(self, command: CoolingCommand) -> None:
+        min_speed = constants.SMOOTH_FC_MIN_SPEED
+        if command.mode is CoolingMode.FREE_COOLING:
+            self.fc_fan_speed = self._apply_axis(
+                self.fc_fan_speed, command.fc_fan_speed, min_speed
+            )
+            self.ac_fan_speed = 0.0
+            self.ac_compressor_duty = 0.0
+        elif command.mode in (CoolingMode.AC_ON, CoolingMode.AC_FAN):
+            self.fc_fan_speed = 0.0
+            # The smooth AC fan ramps up fine-grained and settles at 100%.
+            self.ac_fan_speed = self._apply_axis(
+                self.ac_fan_speed, command.ac_fan_speed, min_speed
+            )
+            self.ac_compressor_duty = self._apply_axis(
+                self.ac_compressor_duty, command.ac_compressor_duty, min_speed
+            )
+        else:
+            self.fc_fan_speed = 0.0
+            self.ac_fan_speed = 0.0
+            self.ac_compressor_duty = 0.0
+
+    def power_w(self) -> float:
+        power = 0.0
+        if self.fc_fan_speed > 0.0:
+            power += free_cooling_power_w(self.fc_fan_speed)
+        power += self.AC_FAN_FULL_W * self.ac_fan_speed
+        power += self.AC_COMPRESSOR_FULL_W * self.ac_compressor_duty
+        return power

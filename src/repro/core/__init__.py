@@ -1,0 +1,58 @@
+"""CoolAir: the paper's primary contribution.
+
+The architecture (Figure 2) has three components:
+
+* **Cooling Modeler** (:mod:`repro.core.modeler`) — offline learning of
+  per-regime/per-transition linear models for temperature, humidity, and
+  cooling power from monitoring data, plus the pod recirculation ranking.
+* **Cooling Manager** (:mod:`repro.core.band`, :mod:`repro.core.predictor`,
+  :mod:`repro.core.optimizer`, :mod:`repro.core.configurer`) — daily
+  temperature-band selection from weather forecasts, 10-minute regime
+  optimization through a penalty utility function, and actuation.
+* **Compute Manager** (:mod:`repro.core.compute`) — server activation,
+  recirculation-ranked spatial placement, and temporal scheduling of
+  deferrable jobs.
+
+:mod:`repro.core.versions` builds the Table 1 system variants, and
+:class:`repro.core.coolair.CoolAir` ties everything together.
+"""
+
+from repro.core.band import TemperatureBand, select_band
+from repro.core.config import CoolAirConfig, PlacementStrategy
+from repro.core.coolair import CoolAir
+from repro.core.modeler import CoolingLearner, CoolingModel
+from repro.core.optimizer import CoolingOptimizer
+from repro.core.predictor import CoolingPredictor
+from repro.core.utility import UtilityFunction, UtilityWeights
+from repro.core.versions import (
+    all_nd,
+    all_def,
+    energy_def,
+    energy_version,
+    temperature_version,
+    var_high_recirc,
+    var_low_recirc,
+    variation_version,
+)
+
+__all__ = [
+    "TemperatureBand",
+    "select_band",
+    "CoolAirConfig",
+    "PlacementStrategy",
+    "CoolAir",
+    "CoolingLearner",
+    "CoolingModel",
+    "CoolingOptimizer",
+    "CoolingPredictor",
+    "UtilityFunction",
+    "UtilityWeights",
+    "temperature_version",
+    "variation_version",
+    "energy_version",
+    "all_nd",
+    "all_def",
+    "energy_def",
+    "var_low_recirc",
+    "var_high_recirc",
+]

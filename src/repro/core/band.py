@@ -1,0 +1,89 @@
+"""Daily temperature band selection (Section 3.2, Figure 3).
+
+CoolAir selects a band of inlet temperatures ``Width`` degrees wide around
+the day's average predicted outside temperature plus ``Offset`` (the
+typical outside-to-inlet difference).  No part of the band may exceed
+``Max`` or fall below ``Min``; the band slides back just below Max or just
+above Min in those cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import BandMode, CoolAirConfig
+from repro.errors import ConfigError
+from repro.weather.forecast import DailyForecast
+
+
+@dataclasses.dataclass(frozen=True)
+class TemperatureBand:
+    """An inclusive inlet temperature target range [low, high]."""
+
+    low_c: float
+    high_c: float
+    # True when the band had to slide against Min/Max — one of the two
+    # conditions under which All-DEF forgoes temporal scheduling.
+    slid: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low_c > self.high_c:
+            raise ConfigError(f"band low {self.low_c} above high {self.high_c}")
+
+    @property
+    def center_c(self) -> float:
+        return (self.low_c + self.high_c) / 2.0
+
+    @property
+    def width_c(self) -> float:
+        return self.high_c - self.low_c
+
+    def contains(self, temp_c: float) -> bool:
+        return self.low_c <= temp_c <= self.high_c
+
+    def distance_c(self, temp_c: float) -> float:
+        """Degrees outside the band (0 when inside)."""
+        if temp_c < self.low_c:
+            return self.low_c - temp_c
+        if temp_c > self.high_c:
+            return temp_c - self.high_c
+        return 0.0
+
+
+def select_band(forecast: DailyForecast, config: CoolAirConfig) -> TemperatureBand:
+    """Pick the day's band from the forecast per the config's band mode."""
+    if config.band_mode is BandMode.FIXED:
+        return TemperatureBand(config.fixed_band_low_c, config.fixed_band_high_c)
+    if config.band_mode is BandMode.MAX_ONLY:
+        # No band management: the whole allowed range, capped at the
+        # version's maximum-temperature setpoint.
+        return TemperatureBand(config.min_c, config.max_temp_setpoint_c)
+
+    center = forecast.average_temp_c + config.offset_c
+    low = center - config.width_c / 2.0
+    high = center + config.width_c / 2.0
+    slid = False
+    if high > config.max_c:
+        high = config.max_c
+        low = high - config.width_c
+        slid = True
+    elif low < config.min_c:
+        low = config.min_c
+        high = low + config.width_c
+        slid = True
+    return TemperatureBand(low, high, slid=slid)
+
+
+def band_overlaps_forecast(
+    band: TemperatureBand, forecast: DailyForecast, offset_c: float
+) -> bool:
+    """Whether any forecast hour's expected *inlet* temperature hits the band.
+
+    Outside air heats by roughly ``Offset`` on its way to the inlets, so an
+    hour with outside forecast ``T`` maps to an expected inlet of
+    ``T + Offset``.  When no hour overlaps, temporal scheduling provides no
+    benefit and All-DEF forgoes it (Section 3.3).
+    """
+    return any(
+        band.contains(float(temp) + offset_c) for temp in forecast.hourly_temps_c
+    )

@@ -1,0 +1,190 @@
+"""The Compute Manager (Section 3.3): server activation, spatial placement,
+and temporal scheduling.
+
+Spatial placement: CoolAir targets the pods *most* prone to heat
+recirculation first.  Counter-intuitively, this eases variation management:
+low-recirculation pods are more exposed to the cooling infrastructure and
+swing harder (Figure 11).  The energy-aware placement of prior work fills
+low-recirculation pods first.
+
+Temporal scheduling (All-DEF): jobs already arrived are scheduled 24 hours
+ahead, never beyond their start deadlines, packing as much load as possible
+into hours whose outside forecast falls within the temperature band.  It is
+skipped for days when (1) the band had to slide against Min/Max, or (2) the
+band does not overlap the forecast at all — such days gain nothing from it.
+
+Energy-DEF's policy (prior art) instead packs load into the *coldest*
+hours, which conserves cooling energy but widens temperature variation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.band import TemperatureBand, band_overlaps_forecast
+from repro.core.config import CoolAirConfig, PlacementStrategy, TemporalPolicy
+from repro.datacenter.layout import DatacenterLayout
+from repro.datacenter.server import PowerState, Server
+from repro.errors import SchedulingError
+from repro.weather.forecast import DailyForecast
+from repro.workload.job import Job
+
+
+class ComputeOptimizer:
+    """Chooses which servers should be active and in what placement order."""
+
+    def __init__(self, config: CoolAirConfig, layout: DatacenterLayout) -> None:
+        self.config = config
+        self.layout = layout
+
+    def placement_order(self) -> List[Server]:
+        """Servers in workload-filling order per the placement strategy."""
+        high_first = self.config.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
+        ordered_pods = self.layout.recirculation_ranking(high_first=high_first)
+        servers: List[Server] = []
+        for pod in ordered_pods:
+            servers.extend(sorted(pod.servers, key=lambda s: s.server_id))
+        return servers
+
+    def plan_active_set(self, demanded_servers: int) -> Set[int]:
+        """Server ids that should be active for the coming period.
+
+        The Covering Subset always stays active (data availability); beyond
+        it, servers are taken in placement order until demand is met.
+        """
+        order = self.placement_order()
+        active: Set[int] = {
+            server.server_id for server in order if server.in_covering_subset
+        }
+        for server in order:
+            if len(active) >= demanded_servers:
+                break
+            active.add(server.server_id)
+        return active
+
+    def active_pod_indices(self, active_ids: Set[int]) -> List[int]:
+        """Pods that contain at least one active server — these are the
+        sensors the utility function scores (Section 3.2)."""
+        indices = []
+        for pod in self.layout.pods:
+            if any(server.server_id in active_ids for server in pod.servers):
+                indices.append(pod.pod_id)
+        return indices
+
+
+class ComputeConfigurer:
+    """Applies power-state transitions (Section 4.2's three rules).
+
+    1. An active server that need not be active but still stores data a
+       running job needs is *decommissioned*.
+    2. An active/decommissioned server that need not be active and holds no
+       relevant data is put to *sleep*.
+    3. Sleeping servers required for computation are *activated*.
+    """
+
+    def __init__(self, layout: DatacenterLayout) -> None:
+        self.layout = layout
+
+    def apply(self, active_ids: Set[int]) -> None:
+        for server in self.layout.all_servers():
+            needed = server.server_id in active_ids or server.in_covering_subset
+            if needed:
+                if server.state is not PowerState.ACTIVE:
+                    server.activate()
+            else:
+                if server.state is PowerState.ACTIVE:
+                    if server.holds_job_data:
+                        server.decommission()
+                    else:
+                        server.sleep()
+                elif server.state is PowerState.DECOMMISSIONED:
+                    if not server.holds_job_data:
+                        server.sleep()
+
+
+class TemporalScheduler:
+    """Deferral of jobs within their start deadlines."""
+
+    def __init__(self, config: CoolAirConfig) -> None:
+        self.config = config
+
+    def schedule_day(
+        self,
+        jobs: Sequence[Job],
+        forecast: DailyForecast,
+        band: Optional[TemperatureBand],
+    ) -> int:
+        """Assign ``scheduled_start_s`` to deferrable jobs; returns the
+        number of jobs deferred."""
+        policy = self.config.temporal
+        if policy is TemporalPolicy.NONE:
+            return 0
+        if policy is TemporalPolicy.BAND_AWARE:
+            if band is None:
+                raise SchedulingError("band-aware scheduling needs a band")
+            if band.slid or not band_overlaps_forecast(
+                band, forecast, self.config.offset_c
+            ):
+                return 0  # scheduling provides no benefit on such days
+            return self._band_aware(jobs, forecast, band)
+        return self._coldest_hours(jobs, forecast)
+
+    def _hour_temps(self, forecast: DailyForecast) -> List[float]:
+        return [float(t) for t in forecast.hourly_temps_c]
+
+    def _band_aware(
+        self, jobs: Sequence[Job], forecast: DailyForecast, band: TemperatureBand
+    ) -> int:
+        temps = self._hour_temps(forecast)
+        offset = self.config.offset_c
+        in_band_hours = [
+            forecast.issued_hour + i
+            for i, temp in enumerate(temps)
+            if band.contains(temp + offset)
+        ]
+        # Spread deferred work across the in-band hours instead of piling
+        # everything onto the first one (which would trade an out-of-band
+        # start for a thermal spike).
+        load_per_hour = {hour: 0 for hour in in_band_hours}
+        deferred = 0
+        for job in jobs:
+            if not job.is_deferrable:
+                continue
+            arrival_hour = int(job.arrival_s // 3600)
+            if arrival_hour in in_band_hours:
+                load_per_hour[arrival_hour] += 1
+                continue  # already arriving at a good time
+            assert job.deadline_s is not None
+            deadline_hour = int(job.deadline_s // 3600)
+            candidates = [
+                h for h in in_band_hours if arrival_hour < h <= deadline_hour
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda h: (load_per_hour[h], h))
+            load_per_hour[target] += 1
+            job.defer_to(target * 3600.0)
+            deferred += 1
+        return deferred
+
+    def _coldest_hours(self, jobs: Sequence[Job], forecast: DailyForecast) -> int:
+        temps = self._hour_temps(forecast)
+        deferred = 0
+        for job in jobs:
+            if not job.is_deferrable:
+                continue
+            arrival_hour = int(job.arrival_s // 3600)
+            assert job.deadline_s is not None
+            deadline_hour = min(23, int(job.deadline_s // 3600))
+            window = [
+                (temps[h - forecast.issued_hour], h)
+                for h in range(max(arrival_hour, forecast.issued_hour), deadline_hour + 1)
+                if 0 <= h - forecast.issued_hour < len(temps)
+            ]
+            if not window:
+                continue
+            coldest_temp, coldest_hour = min(window)
+            if coldest_hour > arrival_hour:
+                job.defer_to(coldest_hour * 3600.0)
+                deferred += 1
+        return deferred

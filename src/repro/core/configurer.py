@@ -1,0 +1,81 @@
+"""The Cooling Configurer: the only module that touches the cooling
+infrastructure (Section 3.2).
+
+Two flavors are provided:
+
+* :class:`DirectCoolingConfigurer` drives the cooling units directly —
+  what a datacenter with a programmable cooling interface would use, and
+  what the simulators use.
+* :class:`TKSTranslatingConfigurer` reproduces Parasol's reality
+  (Section 4.2): CoolAir cannot bypass the TKS, so it translates desired
+  behavior into TKS setpoint changes — the top of the temperature band
+  becomes SP and the band width becomes the TKS's P value; forcing the
+  regime works by pushing SP around.
+"""
+
+from __future__ import annotations
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.cooling.tks import TKSController
+from repro.cooling.units import CoolingUnits
+from repro.core.band import TemperatureBand
+
+
+class DirectCoolingConfigurer:
+    """Applies optimizer decisions straight to the units."""
+
+    def __init__(self, units: CoolingUnits) -> None:
+        self.units = units
+
+    def apply(self, command: CoolingCommand) -> None:
+        self.units.apply(command)
+
+
+class TKSTranslatingConfigurer:
+    """Drives the TKS by rewriting its setpoint.
+
+    ``install_band`` maps the CoolAir band onto the TKS control scheme.
+    ``force_command`` nudges SP to push the TKS into the regime the
+    optimizer chose: a very high setpoint closes the container (LOT mode,
+    inside "cold enough"), a setpoint at the current control temperature
+    makes the TKS run free cooling, and a very low setpoint drives it into
+    HOT/AC behavior via the inside-temperature cycling rules.
+    """
+
+    # SP excursions used to force regimes, in degrees C.
+    _FORCE_MARGIN_C = 15.0
+
+    def __init__(self, tks: TKSController, units: CoolingUnits) -> None:
+        self.tks = tks
+        self.units = units
+
+    def install_band(self, band: TemperatureBand) -> None:
+        """Top of the band becomes SP; Width becomes the TKS P value."""
+        self.tks.config.setpoint_c = band.high_c
+        self.tks.config.band_c = max(0.5, band.width_c)
+
+    def force_command(
+        self,
+        command: CoolingCommand,
+        control_temp_c: float,
+        outside_temp_c: float,
+    ) -> CoolingCommand:
+        """Install a setpoint that makes the TKS do what CoolAir wants,
+        then let the TKS decide.  Returns the command the TKS actually
+        produced (the fidelity limit of driving Parasol's controller)."""
+        if command.mode is CoolingMode.CLOSED:
+            # Raise SP so the control temperature looks "too cold".
+            self.tks.config.setpoint_c = control_temp_c + self._FORCE_MARGIN_C
+        elif command.mode is CoolingMode.FREE_COOLING:
+            # Keep SP near the control temperature so the TKS free-cools;
+            # the fan speed follows the TKS's own outside/inside rule.
+            self.tks.config.setpoint_c = control_temp_c + 0.5
+        else:
+            # Drop SP below the control temperature with HOT-mode outside
+            # conditions so the TKS switches the AC on.
+            self.tks.config.setpoint_c = min(
+                control_temp_c - 1.0, outside_temp_c - self.tks.config.hysteresis_c - 0.5
+            )
+        produced = self.tks.decide(control_temp_c, outside_temp_c)
+        self.units.apply(produced)
+        return produced

@@ -1,0 +1,120 @@
+"""The CoolAir manager: daily band selection plus the 10-minute loop.
+
+This class wires the Figure 2 architecture together:
+
+* at the start of each day it queries the forecast service, selects the
+  temperature band, and (for deferrable workloads) runs the temporal
+  scheduler;
+* every control period it plans the active server set and placement order
+  (Compute Manager) and selects the best cooling regime (Cooling Manager).
+
+The simulation engines own the plant and the clock; they call into this
+class, which is also how a real deployment would drive it (Section 6,
+"Practical considerations").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.cooling.regimes import CoolingCommand
+from repro.core.band import TemperatureBand, select_band
+from repro.core.compute import ComputeConfigurer, ComputeOptimizer, TemporalScheduler
+from repro.core.config import BandMode, CoolAirConfig
+from repro.core.modeler import CoolingModel
+from repro.core.optimizer import CoolingOptimizer
+from repro.core.predictor import CoolingPredictor, PredictorState
+from repro.core.utility import UtilityFunction, UtilityWeights
+from repro.datacenter.layout import DatacenterLayout
+from repro.errors import ConfigError, WeatherError
+from repro.weather.forecast import DailyForecast, ForecastService
+from repro.workload.job import Job
+
+
+class CoolAir:
+    """Workload and cooling manager for a free-cooled datacenter."""
+
+    def __init__(
+        self,
+        config: CoolAirConfig,
+        model: CoolingModel,
+        layout: DatacenterLayout,
+        forecast_service: ForecastService,
+        smooth_hardware: bool = False,
+        utility_weights: Optional[UtilityWeights] = None,
+    ) -> None:
+        if model.num_sensors != layout.num_pods:
+            raise ConfigError(
+                f"model has {model.num_sensors} sensors, layout has "
+                f"{layout.num_pods} pods"
+            )
+        self.config = config
+        self.model = model
+        self.layout = layout
+        self.forecast_service = forecast_service
+        self.predictor = CoolingPredictor(model, config.model_step_s)
+        self.utility = UtilityFunction(config, utility_weights)
+        self.optimizer = CoolingOptimizer(
+            config, self.predictor, self.utility, smooth_hardware=smooth_hardware
+        )
+        self.compute_optimizer = ComputeOptimizer(config, layout)
+        self.compute_configurer = ComputeConfigurer(layout)
+        self.temporal_scheduler = TemporalScheduler(config)
+        self.band: Optional[TemperatureBand] = None
+        self.forecast: Optional[DailyForecast] = None
+
+    # -- daily --------------------------------------------------------------
+
+    def start_day(
+        self, day_of_year: int, jobs: Sequence[Job] = ()
+    ) -> TemperatureBand:
+        """Select the day's band and temporally schedule deferrable jobs.
+
+        If the Web forecast service is unreachable, CoolAir degrades
+        gracefully: it keeps yesterday's band (bands for consecutive days
+        almost always overlap — Section 3.2), or centers a first-day band
+        inside [Min, Max].  Temporal scheduling is skipped without a
+        forecast.
+        """
+        try:
+            self.forecast = self.forecast_service.forecast_for_day(day_of_year)
+        except WeatherError:
+            self.forecast = None
+            if self.band is None:
+                center = (self.config.min_c + self.config.max_c) / 2.0
+                self.band = TemperatureBand(
+                    center - self.config.width_c / 2.0,
+                    center + self.config.width_c / 2.0,
+                )
+            return self.band
+        if self.config.use_weather_forecast or self.config.band_mode is not BandMode.ADAPTIVE:
+            self.band = select_band(self.forecast, self.config)
+        else:
+            # No-forecast variants (Var-High/Low-Recirc) fall back to a
+            # fixed band; reaching here with ADAPTIVE is a config error.
+            raise ConfigError(
+                "adaptive band selection requires use_weather_forecast=True"
+            )
+        if jobs:
+            self.temporal_scheduler.schedule_day(jobs, self.forecast, self.band)
+        return self.band
+
+    # -- per control period ---------------------------------------------------
+
+    def plan_compute(self, demanded_servers: int) -> Tuple[Set[int], List[int]]:
+        """Activate servers for the demand; returns (active ids, active pods)."""
+        active = self.compute_optimizer.plan_active_set(demanded_servers)
+        self.compute_configurer.apply(active)
+        return active, self.compute_optimizer.active_pod_indices(active)
+
+    def decide_cooling(
+        self, state: PredictorState, active_pods: Optional[Sequence[int]] = None
+    ) -> CoolingCommand:
+        """Select the best cooling regime for the next period."""
+        if self.band is None:
+            raise ConfigError("call start_day before decide_cooling")
+        return self.optimizer.decide(state, self.band, active_pods)
+
+    def placement_order(self):
+        """Spatial placement order for the workload scheduler."""
+        return self.compute_optimizer.placement_order()

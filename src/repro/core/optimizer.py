@@ -1,0 +1,135 @@
+"""The Cooling Optimizer (Section 3.2).
+
+Every 10 minutes the Optimizer enumerates the cooling regimes the
+infrastructure can reach, asks the Cooling Predictor what each would do
+over the next period, scores the predictions with the utility function,
+and selects the lowest-penalty regime.  Ties break toward the cheaper
+regime, then toward staying put (regime changes are what cause variation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.core.band import TemperatureBand
+from repro.core.config import CoolAirConfig
+from repro.core.predictor import CoolingPredictor, PredictorState
+from repro.core.utility import UtilityFunction
+
+
+def abrupt_candidates() -> List[CoolingCommand]:
+    """Regimes reachable with Parasol's real hardware."""
+    commands = [CoolingCommand.closed()]
+    for speed in (0.15, 0.3, 0.5, 0.75, 1.0):
+        commands.append(CoolingCommand.free_cooling(speed))
+    commands.append(CoolingCommand.ac(compressor_duty=0.0))
+    commands.append(CoolingCommand.ac(compressor_duty=1.0))
+    return commands
+
+
+def smooth_candidates(
+    current_fc_speed: float = 0.0, ramp_per_step: float = 0.20
+) -> List[CoolingCommand]:
+    """Regimes reachable with the fine-grained (Smooth-Sim) hardware.
+
+    Fan speeds near the current speed are included so the optimizer can
+    make small moves; the ramp limit keeps the far choices honest (the
+    units clamp anyway, but offering unreachable speeds wastes predictions).
+    """
+    commands = [CoolingCommand.closed()]
+    speeds = {0.01, 0.05, 0.10, 0.20, 0.35, 0.5, 0.75, 1.0}
+    if current_fc_speed > 0.0:
+        ceiling = min(1.0, current_fc_speed + ramp_per_step)
+        speeds.update(
+            min(ceiling, max(0.01, current_fc_speed + delta))
+            for delta in (-0.10, -0.05, -0.02, 0.02, 0.05, 0.10)
+        )
+    for speed in sorted(speeds):
+        commands.append(CoolingCommand.free_cooling(speed))
+    commands.append(CoolingCommand.ac(compressor_duty=0.0))
+    for duty in (0.25, 0.5, 0.75, 1.0):
+        commands.append(CoolingCommand.ac(compressor_duty=duty))
+    return commands
+
+
+class CoolingOptimizer:
+    """Selects the best cooling regime for the next control period."""
+
+    def __init__(
+        self,
+        config: CoolAirConfig,
+        predictor: CoolingPredictor,
+        utility: UtilityFunction,
+        smooth_hardware: bool = False,
+    ) -> None:
+        self.config = config
+        self.predictor = predictor
+        self.utility = utility
+        self.smooth_hardware = smooth_hardware
+        self.last_scores: List[Tuple[CoolingCommand, float]] = []
+
+    def _candidates(
+        self, state: PredictorState, band: TemperatureBand
+    ) -> List[CoolingCommand]:
+        if self.smooth_hardware:
+            commands = smooth_candidates(
+                current_fc_speed=state.fan_speed if state.mode is CoolingMode.FREE_COOLING else 0.0
+            )
+        else:
+            commands = abrupt_candidates()
+        # Backup cooling is for when outside air is too warm to free-cool
+        # (Section 2).  Far below the band the AC can only act as a
+        # recirculating heater, a condition its learned models never saw
+        # in the campaign (the TKS engages the AC only in HOT mode), so
+        # predictions there are pure extrapolation — exclude it.  Near the
+        # band the AC stays available: the paper's CoolAir spends AC
+        # energy at mild locations to limit variation (Figure 10,
+        # Santiago), and the full-speed penalty prices that choice.
+        if state.outside_temp_c < band.low_c - 10.0:
+            commands = [
+                c for c in commands
+                if c.mode in (CoolingMode.CLOSED, CoolingMode.FREE_COOLING)
+            ]
+        return commands
+
+    def decide(
+        self,
+        state: PredictorState,
+        band: TemperatureBand,
+        active_sensor_indices: Optional[Sequence[int]] = None,
+    ) -> CoolingCommand:
+        """Pick the regime with the lowest predicted penalty.
+
+        ``active_sensor_indices`` restricts the utility sum to "the sensors
+        of all active pods" (Section 3.2); None scores every sensor.
+        """
+        steps = self.config.steps_per_control_period
+        horizon_s = float(self.config.control_period_s)
+        best_command: Optional[CoolingCommand] = None
+        best_key: Optional[Tuple[float, float, int]] = None
+        self.last_scores = []
+
+        for command in self._candidates(state, band):
+            prediction = self.predictor.predict(state, command, steps)
+            if active_sensor_indices is not None:
+                indices = list(active_sensor_indices)
+                prediction = type(prediction)(
+                    sensor_temps_c=prediction.sensor_temps_c[:, indices],
+                    rh_pct=prediction.rh_pct,
+                    cooling_energy_kwh=prediction.cooling_energy_kwh,
+                    ac_at_full_speed=prediction.ac_at_full_speed,
+                )
+                current = [state.sensor_temps_c[i] for i in indices]
+            else:
+                current = list(state.sensor_temps_c)
+            score = self.utility.score(prediction, band, current, horizon_s)
+            self.last_scores.append((command, score))
+            same_mode = 0 if command.mode is state.mode else 1
+            key = (round(score, 6), prediction.cooling_energy_kwh, same_mode)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_command = command
+
+        assert best_command is not None
+        return best_command

@@ -1,0 +1,210 @@
+"""The Cooling Predictor (Section 3.2).
+
+The Cooling Model predicts only one 2-minute step ahead, so the Predictor
+applies it repeatedly — each application feeding on the previous one's
+output — to produce the 10-minute trajectories the Cooling Optimizer
+scores.  The first step of a regime change uses the learned *transition*
+model when one exists.
+
+Smooth-hardware support follows Section 5.1 exactly: free-cooling
+predictions at low fan speeds extrapolate the learned models (fan speed is
+a model input), and variable-speed AC predictions interpolate between the
+compressor-on and compressor-off models, weighted by compressor duty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode, regime_key
+from repro.core.modeler import CoolingModel
+from repro.core.utility import RegimePrediction
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import absolute_to_relative_humidity
+
+
+@dataclasses.dataclass
+class PredictorState:
+    """Everything the Predictor needs to know about "now"."""
+
+    mode: CoolingMode
+    fan_speed: float
+    sensor_temps_c: Sequence[float]
+    prev_sensor_temps_c: Sequence[float]
+    outside_temp_c: float
+    prev_outside_temp_c: float
+    prev_fan_speed: float
+    utilization: float
+    inside_mixing_ratio: float
+    outside_mixing_ratio: float
+
+
+class CoolingPredictor:
+    """Iterates the learned 2-minute model out to the control horizon."""
+
+    def __init__(self, model: CoolingModel, model_step_s: int = 120) -> None:
+        if model_step_s <= 0:
+            raise ConfigError("model_step_s must be positive")
+        self.model = model
+        self.model_step_s = model_step_s
+
+    def predict(
+        self,
+        state: PredictorState,
+        command: CoolingCommand,
+        steps: int,
+    ) -> RegimePrediction:
+        """Trajectory of temperatures and humidity under ``command``."""
+        if steps < 1:
+            raise ConfigError("steps must be >= 1")
+        num_sensors = self.model.num_sensors
+        if len(state.sensor_temps_c) != num_sensors:
+            raise ConfigError(
+                f"state has {len(state.sensor_temps_c)} sensors, model expects "
+                f"{num_sensors}"
+            )
+
+        duty = command.ac_compressor_duty
+        cmd_fan = command.fc_fan_speed
+
+        temps = np.array(state.sensor_temps_c, dtype=float)
+        prev_temps = np.array(state.prev_sensor_temps_c, dtype=float)
+        w_in = state.inside_mixing_ratio
+        fan_prev = state.prev_fan_speed
+        fan_cur = state.fan_speed
+        out_prev = state.prev_outside_temp_c
+
+        temp_rows: List[np.ndarray] = []
+        rh_rows: List[float] = []
+        for step in range(steps):
+            prev_mode = state.mode if step == 0 else command.mode
+            features_matrix = np.empty((num_sensors, 9))
+            features_matrix[:, 0] = temps
+            features_matrix[:, 1] = prev_temps
+            features_matrix[:, 2] = state.outside_temp_c
+            features_matrix[:, 3] = out_prev
+            features_matrix[:, 4] = cmd_fan
+            features_matrix[:, 5] = fan_cur
+            features_matrix[:, 6] = state.utilization
+            features_matrix[:, 7] = cmd_fan * temps
+            features_matrix[:, 8] = cmd_fan * state.outside_temp_c
+            next_temps = self._predict_temps_vec(
+                prev_mode, command, duty, features_matrix
+            )
+            hum_features = [
+                w_in,
+                state.outside_mixing_ratio,
+                cmd_fan,
+                cmd_fan * w_in,
+                cmd_fan * state.outside_mixing_ratio,
+            ]
+            w_in = self._predict_humidity(prev_mode, command, duty, hum_features)
+
+            prev_temps = temps
+            temps = next_temps
+            fan_prev, fan_cur = fan_cur, cmd_fan
+            out_prev = state.outside_temp_c
+            temp_rows.append(temps.copy())
+            rh_rows.append(
+                absolute_to_relative_humidity(w_in, float(np.mean(temps)))
+            )
+
+        power_w = self._predict_power(state.mode, command, duty)
+        horizon_s = steps * self.model_step_s
+        energy_kwh = power_w * horizon_s / 3.6e6
+        # "Turning on the AC at full speed" (Section 3.2): the compressor
+        # at full blast, or the fixed-speed AC fan running flat out.
+        ac_full = (
+            command.mode is CoolingMode.AC_ON and duty >= 1.0 - 1e-9
+        ) or (
+            command.mode in (CoolingMode.AC_ON, CoolingMode.AC_FAN)
+            and command.ac_fan_speed >= 1.0 - 1e-9
+        )
+        return RegimePrediction(
+            sensor_temps_c=np.vstack(temp_rows),
+            rh_pct=np.asarray(rh_rows),
+            cooling_energy_kwh=energy_kwh,
+            ac_at_full_speed=ac_full,
+        )
+
+    # -- per-quantity dispatch ------------------------------------------------
+
+    def _predict_temps_vec(
+        self,
+        prev_mode: CoolingMode,
+        command: CoolingCommand,
+        duty: float,
+        features_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """All-sensor temperature prediction (the optimizer's hot path)."""
+        mode = command.mode
+        if mode is CoolingMode.AC_ON and 0.0 < duty < 1.0:
+            on = self.model.predict_temps_vector(
+                regime_key(prev_mode, CoolingMode.AC_ON), features_matrix
+            )
+            off = self.model.predict_temps_vector(
+                regime_key(prev_mode, CoolingMode.AC_FAN), features_matrix
+            )
+            return duty * on + (1.0 - duty) * off
+        return self.model.predict_temps_vector(
+            regime_key(prev_mode, mode), features_matrix
+        )
+
+    def _predict_temp(
+        self,
+        prev_mode: CoolingMode,
+        command: CoolingCommand,
+        duty: float,
+        sensor: int,
+        features: Sequence[float],
+    ) -> float:
+        mode = command.mode
+        if mode is CoolingMode.AC_ON and 0.0 < duty < 1.0:
+            # Variable-speed compressor: interpolate on/off models.
+            on = self.model.predict_temp(
+                regime_key(prev_mode, CoolingMode.AC_ON), sensor, features
+            )
+            off = self.model.predict_temp(
+                regime_key(prev_mode, CoolingMode.AC_FAN), sensor, features
+            )
+            return duty * on + (1.0 - duty) * off
+        return self.model.predict_temp(regime_key(prev_mode, mode), sensor, features)
+
+    def _predict_humidity(
+        self,
+        prev_mode: CoolingMode,
+        command: CoolingCommand,
+        duty: float,
+        features: Sequence[float],
+    ) -> float:
+        mode = command.mode
+        if mode is CoolingMode.AC_ON and 0.0 < duty < 1.0:
+            on = self.model.predict_humidity(
+                regime_key(prev_mode, CoolingMode.AC_ON), features
+            )
+            off = self.model.predict_humidity(
+                regime_key(prev_mode, CoolingMode.AC_FAN), features
+            )
+            return duty * on + (1.0 - duty) * off
+        return self.model.predict_humidity(regime_key(prev_mode, mode), features)
+
+    def _predict_power(
+        self, prev_mode: CoolingMode, command: CoolingCommand, duty: float
+    ) -> float:
+        mode = command.mode
+        steady = f"steady:{mode.value}"
+        if mode is CoolingMode.AC_ON and 0.0 < duty < 1.0:
+            # Smooth AC: fan is 1/4 of unit power, compressor linear in duty.
+            on = self.model.predict_power_w(
+                f"steady:{CoolingMode.AC_ON.value}", 0.0
+            )
+            off = self.model.predict_power_w(
+                f"steady:{CoolingMode.AC_FAN.value}", 0.0
+            )
+            return off + duty * (on - off)
+        if mode is CoolingMode.CLOSED:
+            return 0.0
+        return self.model.predict_power_w(steady, command.fc_fan_speed)

@@ -1,0 +1,165 @@
+"""The CoolAir versions of Table 1, plus the Figure 11 / Section 5.2
+ablation systems.
+
+==========  ==============  ===================================  =================  =========
+Version     Workload        Utility function                     Spatial placement  Temporal
+==========  ==============  ===================================  =================  =========
+Temperature non-deferrable  lower max temp + energy + humidity   low recirculation  no
+Variation   non-deferrable  adaptive band (max 30C) + humidity   high recirculation no
+Energy      non-deferrable  max temp (30C) + energy + humidity   low recirculation  no
+All-ND      non-deferrable  adaptive band + energy + humidity    high recirculation no
+All-DEF     deferrable      adaptive band + energy + humidity    low recirculation  yes
+==========  ==============  ===================================  =================  =========
+
+Ablations: Var-Low-Recirc and Var-High-Recirc hold a fixed 25-30C band (no
+weather prediction) and differ only in placement; Energy-DEF adds
+coldest-hours temporal scheduling to the Energy version.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    BandMode,
+    CoolAirConfig,
+    PlacementStrategy,
+    TemporalPolicy,
+)
+
+
+def temperature_version(max_temp_setpoint_c: float = 29.0) -> CoolAirConfig:
+    """Absolute temperatures below a low setpoint only.
+
+    Represents today's energy-aware thermal management in non-free-cooled
+    datacenters.  The setpoint is the lowest value that achieves the same
+    PUE as the baseline system (29C at the paper's five locations).
+    """
+    return CoolAirConfig(
+        name="Temperature",
+        band_mode=BandMode.MAX_ONLY,
+        max_temp_setpoint_c=max_temp_setpoint_c,
+        use_energy_term=True,
+        use_band_term=False,
+        use_rate_term=False,
+        placement=PlacementStrategy.LOW_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+    )
+
+
+def variation_version() -> CoolAirConfig:
+    """Temperature variation only: adaptive band + humidity, no energy."""
+    return CoolAirConfig(
+        name="Variation",
+        band_mode=BandMode.ADAPTIVE,
+        use_energy_term=False,
+        use_band_term=True,
+        use_rate_term=True,
+        placement=PlacementStrategy.HIGH_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+    )
+
+
+def energy_version(max_temp_setpoint_c: float = 30.0) -> CoolAirConfig:
+    """Absolute temperature + cooling energy, no variation management."""
+    return CoolAirConfig(
+        name="Energy",
+        band_mode=BandMode.MAX_ONLY,
+        max_temp_setpoint_c=max_temp_setpoint_c,
+        use_energy_term=True,
+        use_band_term=False,
+        use_rate_term=False,
+        placement=PlacementStrategy.LOW_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+    )
+
+
+def all_nd() -> CoolAirConfig:
+    """The complete CoolAir implementation for non-deferrable workloads."""
+    return CoolAirConfig(
+        name="All-ND",
+        band_mode=BandMode.ADAPTIVE,
+        use_energy_term=True,
+        use_band_term=True,
+        use_rate_term=True,
+        placement=PlacementStrategy.HIGH_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+    )
+
+
+def all_def() -> CoolAirConfig:
+    """CoolAir for deferrable workloads (6-hour start deadlines)."""
+    return CoolAirConfig(
+        name="All-DEF",
+        band_mode=BandMode.ADAPTIVE,
+        use_energy_term=True,
+        use_band_term=True,
+        use_rate_term=True,
+        placement=PlacementStrategy.LOW_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.BAND_AWARE,
+    )
+
+
+def var_low_recirc() -> CoolAirConfig:
+    """Fixed 25-30C band, low-recirculation placement, no forecast.
+
+    The spatial placement prior work identified as ideal for energy
+    savings (Figure 11's isolation of placement impact).
+    """
+    return CoolAirConfig(
+        name="Var-Low-Recirc",
+        band_mode=BandMode.FIXED,
+        fixed_band_low_c=25.0,
+        fixed_band_high_c=30.0,
+        use_energy_term=False,
+        use_band_term=True,
+        use_rate_term=True,
+        placement=PlacementStrategy.LOW_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+        use_weather_forecast=False,
+    )
+
+
+def var_high_recirc() -> CoolAirConfig:
+    """Fixed 25-30C band with CoolAir's high-recirculation placement."""
+    return CoolAirConfig(
+        name="Var-High-Recirc",
+        band_mode=BandMode.FIXED,
+        fixed_band_low_c=25.0,
+        fixed_band_high_c=30.0,
+        use_energy_term=False,
+        use_band_term=True,
+        use_rate_term=True,
+        placement=PlacementStrategy.HIGH_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.NONE,
+        use_weather_forecast=False,
+    )
+
+
+def energy_def(max_temp_setpoint_c: float = 30.0) -> CoolAirConfig:
+    """Energy version + coldest-hours temporal scheduling (prior art).
+
+    Conserves cooling energy but widens temperature variation — the
+    Section 5.2 result arguing against energy-driven temporal scheduling
+    in free-cooled datacenters.
+    """
+    return CoolAirConfig(
+        name="Energy-DEF",
+        band_mode=BandMode.MAX_ONLY,
+        max_temp_setpoint_c=max_temp_setpoint_c,
+        use_energy_term=True,
+        use_band_term=False,
+        use_rate_term=False,
+        placement=PlacementStrategy.LOW_RECIRCULATION_FIRST,
+        temporal=TemporalPolicy.COLDEST_HOURS,
+    )
+
+
+ALL_VERSIONS = {
+    "Temperature": temperature_version,
+    "Variation": variation_version,
+    "Energy": energy_version,
+    "All-ND": all_nd,
+    "All-DEF": all_def,
+    "Var-Low-Recirc": var_low_recirc,
+    "Var-High-Recirc": var_high_recirc,
+    "Energy-DEF": energy_def,
+}

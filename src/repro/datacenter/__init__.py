@@ -1,0 +1,26 @@
+"""Datacenter substrate: the Parasol container's IT side.
+
+Models the 64 half-U Atom servers, their organization into pods (sets of
+spatially close servers that behave alike thermally — Section 3), the
+air temperature and humidity sensors, disk power-cycle accounting, and
+energy/PUE bookkeeping.
+"""
+
+from repro.datacenter.server import PowerState, Server
+from repro.datacenter.pod import Pod
+from repro.datacenter.sensors import HumiditySensor, TemperatureSensor
+from repro.datacenter.disks import DiskFleet
+from repro.datacenter.power import EnergyAccountant
+from repro.datacenter.layout import DatacenterLayout, parasol_layout
+
+__all__ = [
+    "PowerState",
+    "Server",
+    "Pod",
+    "TemperatureSensor",
+    "HumiditySensor",
+    "DiskFleet",
+    "EnergyAccountant",
+    "DatacenterLayout",
+    "parasol_layout",
+]

@@ -1,0 +1,148 @@
+"""Datacenter layout: pods, servers, sensors, and recirculation geometry.
+
+``parasol_layout`` builds the container the paper evaluates: 64 half-U
+servers in two racks, organized into 4 pods of 16, with per-pod inlet
+temperature sensors, one humidity sensor per aisle, and an outside
+temperature + humidity sensor pair (the CoolAir sensor requirements of
+Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.datacenter.disks import DiskFleet
+from repro.datacenter.pod import Pod
+from repro.datacenter.sensors import HumiditySensor, TemperatureSensor
+from repro.datacenter.server import PowerState, Server
+from repro.errors import ConfigError
+
+
+class DatacenterLayout:
+    """The IT-side topology CoolAir manages."""
+
+    def __init__(self, pods: List[Pod]) -> None:
+        if not pods:
+            raise ConfigError("layout needs at least one pod")
+        ids = [pod.pod_id for pod in pods]
+        if ids != list(range(len(pods))):
+            raise ConfigError("pods must be numbered 0..n-1 in order")
+        self.pods = pods
+        self.inlet_sensors = [
+            TemperatureSensor(f"inlet_pod{pod.pod_id}") for pod in pods
+        ]
+        self.cold_aisle_humidity = HumiditySensor("cold_aisle_rh")
+        self.hot_aisle_humidity = HumiditySensor("hot_aisle_rh")
+        self.outside_temp = TemperatureSensor("outside_temp")
+        self.outside_humidity = HumiditySensor("outside_rh")
+        self.disks = DiskFleet(self.all_servers(), len(pods))
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_pods(self) -> int:
+        return len(self.pods)
+
+    @property
+    def num_servers(self) -> int:
+        return sum(len(pod) for pod in self.pods)
+
+    def all_servers(self) -> List[Server]:
+        return [server for pod in self.pods for server in pod.servers]
+
+    def server_by_id(self, server_id: int) -> Server:
+        for pod in self.pods:
+            for server in pod.servers:
+                if server.server_id == server_id:
+                    return server
+        raise ConfigError(f"no server with id {server_id}")
+
+    def recirculation_ranking(self, high_first: bool = True) -> List[Pod]:
+        """Pods ordered by heat-recirculation potential.
+
+        ``high_first=True`` is CoolAir's variation-aware placement; False is
+        the energy-aware placement of prior work (Section 3.3, Figure 11).
+        """
+        return sorted(
+            self.pods, key=lambda pod: pod.recirculation, reverse=high_first
+        )
+
+    # -- aggregate state -----------------------------------------------------
+
+    def pod_it_power_w(self) -> List[float]:
+        return [pod.it_power_w() for pod in self.pods]
+
+    def total_it_power_w(self) -> float:
+        return sum(self.pod_it_power_w())
+
+    def utilization(self) -> float:
+        """Fraction of servers that are active (the paper's "utilization")."""
+        active = sum(pod.num_active() for pod in self.pods)
+        return active / self.num_servers
+
+    def observe(
+        self,
+        pod_inlet_temp_c: Sequence[float],
+        cold_aisle_rh_pct: float,
+        outside_temp_c: float,
+        outside_rh_pct: float,
+        hot_aisle_rh_pct: float = None,
+    ) -> Dict[str, float]:
+        """Push plant truth through all sensors; returns the readings."""
+        if len(pod_inlet_temp_c) != self.num_pods:
+            raise ConfigError(
+                f"expected {self.num_pods} inlet temperatures, "
+                f"got {len(pod_inlet_temp_c)}"
+            )
+        readings: Dict[str, float] = {}
+        for sensor, temp in zip(self.inlet_sensors, pod_inlet_temp_c):
+            readings[sensor.name] = sensor.observe(float(temp))
+        readings[self.cold_aisle_humidity.name] = self.cold_aisle_humidity.observe(
+            cold_aisle_rh_pct
+        )
+        if hot_aisle_rh_pct is None:
+            hot_aisle_rh_pct = cold_aisle_rh_pct
+        readings[self.hot_aisle_humidity.name] = self.hot_aisle_humidity.observe(
+            hot_aisle_rh_pct
+        )
+        readings[self.outside_temp.name] = self.outside_temp.observe(outside_temp_c)
+        readings[self.outside_humidity.name] = self.outside_humidity.observe(
+            outside_rh_pct
+        )
+        return readings
+
+    def inlet_readings(self) -> np.ndarray:
+        """Latest per-pod inlet sensor readings."""
+        return np.array([sensor.read() for sensor in self.inlet_sensors])
+
+
+def parasol_layout(
+    num_servers: int = constants.NUM_SERVERS,
+    num_pods: int = 4,
+    recirculation: Sequence[float] = (0.08, 0.16, 0.26, 0.38),
+) -> DatacenterLayout:
+    """Build the Parasol container layout.
+
+    Servers are dealt into pods contiguously (racks are split into pods of
+    spatially adjacent servers).  The recirculation fractions match the
+    default :class:`~repro.physics.thermal.ThermalPlantConfig` so the
+    layout and the plant describe the same container.
+    """
+    if num_servers % num_pods != 0:
+        raise ConfigError(
+            f"{num_servers} servers do not divide evenly into {num_pods} pods"
+        )
+    if len(recirculation) != num_pods:
+        raise ConfigError("need one recirculation fraction per pod")
+    per_pod = num_servers // num_pods
+    pods: List[Pod] = []
+    for pod_id in range(num_pods):
+        servers = [
+            Server(server_id=pod_id * per_pod + i, pod_id=pod_id)
+            for i in range(per_pod)
+        ]
+        pods.append(Pod(pod_id, servers, recirculation[pod_id]))
+    return DatacenterLayout(pods)

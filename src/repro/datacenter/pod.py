@@ -1,0 +1,54 @@
+"""Pods: sets of spatially close servers that behave alike thermally.
+
+CoolAir assumes the datacenter is organized into pods with one inlet air
+temperature sensor per pod (Section 3).  Each pod carries a heat
+recirculation potential, which the Cooling Modeler ranks by observing inlet
+temperature changes when load is scheduled on the pod (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datacenter.server import PowerState, Server
+from repro.errors import ConfigError
+
+
+class Pod:
+    """A group of servers sharing an inlet temperature sensor."""
+
+    def __init__(self, pod_id: int, servers: List[Server], recirculation: float) -> None:
+        if not servers:
+            raise ConfigError(f"pod {pod_id} must contain at least one server")
+        if not 0.0 <= recirculation < 1.0:
+            raise ConfigError(f"recirculation {recirculation} out of [0, 1)")
+        for server in servers:
+            if server.pod_id != pod_id:
+                raise ConfigError(
+                    f"server {server.server_id} belongs to pod {server.pod_id}, "
+                    f"not {pod_id}"
+                )
+        self.pod_id = pod_id
+        self.servers = servers
+        self.recirculation = recirculation
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def it_power_w(self) -> float:
+        """Total IT power currently dissipated in the pod."""
+        return sum(server.power_w() for server in self.servers)
+
+    def active_servers(self) -> List[Server]:
+        return [s for s in self.servers if s.state is PowerState.ACTIVE]
+
+    def awake_servers(self) -> List[Server]:
+        """Servers that are powered on (active or decommissioned)."""
+        return [s for s in self.servers if s.is_on]
+
+    def num_active(self) -> int:
+        return len(self.active_servers())
+
+    def utilization(self) -> float:
+        """Mean CPU utilization across all servers in the pod."""
+        return sum(s.utilization for s in self.servers) / len(self.servers)

@@ -1,0 +1,59 @@
+"""Energy accounting and PUE computation.
+
+PUE = (IT energy + cooling energy + delivery losses) / IT energy.  The
+paper reports PUEs "including 0.08 for power delivery" (Figure 10), i.e.
+delivery losses contribute a constant 0.08 to the PUE.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigError
+
+
+class EnergyAccountant:
+    """Accumulates IT and cooling energy over a simulation run."""
+
+    def __init__(
+        self, delivery_pue_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD
+    ) -> None:
+        if delivery_pue_overhead < 0:
+            raise ConfigError("delivery overhead must be non-negative")
+        self.delivery_pue_overhead = delivery_pue_overhead
+        self.it_energy_j = 0.0
+        self.cooling_energy_j = 0.0
+        self.elapsed_s = 0.0
+
+    def record(self, it_power_w: float, cooling_power_w: float, dt_s: float) -> None:
+        """Accumulate one interval of power draw."""
+        if dt_s <= 0:
+            raise ConfigError("dt_s must be positive")
+        if it_power_w < 0 or cooling_power_w < 0:
+            raise ConfigError("power draws must be non-negative")
+        self.it_energy_j += it_power_w * dt_s
+        self.cooling_energy_j += cooling_power_w * dt_s
+        self.elapsed_s += dt_s
+
+    @property
+    def it_energy_kwh(self) -> float:
+        return self.it_energy_j / 3.6e6
+
+    @property
+    def cooling_energy_kwh(self) -> float:
+        return self.cooling_energy_j / 3.6e6
+
+    def pue(self) -> float:
+        """Power Usage Effectiveness including delivery losses."""
+        if self.it_energy_j <= 0:
+            raise ConfigError("PUE undefined with zero IT energy")
+        return (
+            1.0
+            + self.cooling_energy_j / self.it_energy_j
+            + self.delivery_pue_overhead
+        )
+
+    def merge(self, other: "EnergyAccountant") -> None:
+        """Fold another accountant's totals into this one."""
+        self.it_energy_j += other.it_energy_j
+        self.cooling_energy_j += other.cooling_energy_j
+        self.elapsed_s += other.elapsed_s

@@ -1,0 +1,70 @@
+"""Air temperature and humidity sensors.
+
+Parasol's sensors are accurate to within 0.5C (Section 5.1); readings here
+are quantized to that resolution so the learned models see realistic data.
+CoolAir requires at least one outside temperature + humidity sensor, one
+inlet temperature sensor per pod, and one cold-aisle humidity sensor
+(Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import constants
+from repro.errors import SensorError
+
+
+class TemperatureSensor:
+    """A quantizing air temperature sensor."""
+
+    def __init__(
+        self, name: str, resolution_c: float = constants.SENSOR_ACCURACY_C
+    ) -> None:
+        if resolution_c <= 0:
+            raise SensorError(f"sensor {name}: resolution must be positive")
+        self.name = name
+        self.resolution_c = resolution_c
+        self._reading: Optional[float] = None
+
+    def observe(self, true_temp_c: float) -> float:
+        """Record a new reading, quantized to the sensor resolution."""
+        quantized = round(true_temp_c / self.resolution_c) * self.resolution_c
+        self._reading = quantized
+        return quantized
+
+    def read(self) -> float:
+        """The most recent reading."""
+        if self._reading is None:
+            raise SensorError(f"sensor {self.name} has no reading yet")
+        return self._reading
+
+    @property
+    def has_reading(self) -> bool:
+        return self._reading is not None
+
+
+class HumiditySensor:
+    """A relative humidity sensor, quantized to 1%."""
+
+    def __init__(self, name: str, resolution_pct: float = 1.0) -> None:
+        if resolution_pct <= 0:
+            raise SensorError(f"sensor {name}: resolution must be positive")
+        self.name = name
+        self.resolution_pct = resolution_pct
+        self._reading: Optional[float] = None
+
+    def observe(self, true_rh_pct: float) -> float:
+        clamped = max(0.0, min(100.0, true_rh_pct))
+        quantized = round(clamped / self.resolution_pct) * self.resolution_pct
+        self._reading = quantized
+        return quantized
+
+    def read(self) -> float:
+        if self._reading is None:
+            raise SensorError(f"sensor {self.name} has no reading yet")
+        return self._reading
+
+    @property
+    def has_reading(self) -> bool:
+        return self._reading is not None

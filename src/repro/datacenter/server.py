@@ -1,0 +1,106 @@
+"""Server model with the three CoolAir power states (Section 4.2).
+
+* ``ACTIVE`` — running, draws idle..peak power with utilization.
+* ``DECOMMISSIONED`` — no new tasks start, but the server stays powered
+  because it still stores (temporary) data needed by running jobs.
+* ``SLEEP`` — ACPI S3; draws a trickle, disk spun down.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import constants
+from repro.errors import ConfigError
+
+
+class PowerState(enum.Enum):
+    ACTIVE = "active"
+    DECOMMISSIONED = "decommissioned"
+    SLEEP = "sleep"
+
+
+class Server:
+    """One Parasol half-U server (2-core Atom, 250GB HDD, 64GB SSD)."""
+
+    def __init__(
+        self,
+        server_id: int,
+        pod_id: int,
+        idle_power_w: float = constants.SERVER_IDLE_W,
+        peak_power_w: float = constants.SERVER_PEAK_W,
+        sleep_power_w: float = constants.SERVER_SLEEP_W,
+    ) -> None:
+        if peak_power_w < idle_power_w:
+            raise ConfigError("peak power must be >= idle power")
+        self.server_id = server_id
+        self.pod_id = pod_id
+        self.idle_power_w = idle_power_w
+        self.peak_power_w = peak_power_w
+        self.sleep_power_w = sleep_power_w
+        self.state = PowerState.ACTIVE
+        self.utilization = 0.0
+        # Set for servers in the Covering Subset, which must stay active to
+        # keep a full copy of the dataset available (Section 4.2).
+        self.in_covering_subset = False
+        # Set while the server stores temporary data a running job needs;
+        # such a server can be decommissioned but not slept.
+        self.holds_job_data = False
+        self.power_cycles = 0
+
+    def set_utilization(self, utilization: float) -> None:
+        """Set CPU utilization; only meaningful for powered-on servers."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigError(f"utilization {utilization} out of [0, 1]")
+        self.utilization = utilization if self.state is not PowerState.SLEEP else 0.0
+
+    @property
+    def is_on(self) -> bool:
+        return self.state is not PowerState.SLEEP
+
+    @property
+    def can_run_new_tasks(self) -> bool:
+        return self.state is PowerState.ACTIVE
+
+    def power_w(self) -> float:
+        """Instantaneous power draw."""
+        if self.state is PowerState.SLEEP:
+            return self.sleep_power_w
+        return self.idle_power_w + (self.peak_power_w - self.idle_power_w) * self.utilization
+
+    # -- power state transitions --------------------------------------------
+
+    def activate(self) -> None:
+        """Wake or re-commission the server."""
+        if self.state is PowerState.SLEEP:
+            self.power_cycles += 1
+        self.state = PowerState.ACTIVE
+
+    def decommission(self) -> None:
+        """Stop accepting new tasks; stay powered for stored data."""
+        if self.state is PowerState.SLEEP:
+            raise ConfigError(
+                f"server {self.server_id}: cannot decommission a sleeping server"
+            )
+        self.state = PowerState.DECOMMISSIONED
+
+    def sleep(self) -> None:
+        """Enter ACPI S3.  Refused for covering-subset members and servers
+        still holding live job data (the Compute Configurer's invariants)."""
+        if self.in_covering_subset:
+            raise ConfigError(
+                f"server {self.server_id} is in the covering subset; must stay active"
+            )
+        if self.holds_job_data:
+            raise ConfigError(
+                f"server {self.server_id} still holds job data; decommission first"
+            )
+        if self.state is not PowerState.SLEEP:
+            self.state = PowerState.SLEEP
+            self.utilization = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Server(id={self.server_id}, pod={self.pod_id}, "
+            f"state={self.state.value}, util={self.utilization:.2f})"
+        )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the CoolAir reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being
+able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ModelNotTrainedError(ReproError):
+    """A learned model was queried before :meth:`fit` was called."""
+
+
+class RegimeError(ReproError):
+    """An unknown or inapplicable cooling regime was requested."""
+
+
+class SensorError(ReproError):
+    """A sensor was queried that does not exist or has no reading."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or job specification is malformed."""
+
+
+class SchedulingError(ReproError):
+    """Temporal scheduling could not satisfy a job's constraints."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class WeatherError(ReproError):
+    """Weather data was requested outside the available range."""

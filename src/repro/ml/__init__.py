@@ -1,0 +1,22 @@
+"""Machine-learning substrate standing in for Weka (Section 4.2).
+
+The paper fits its per-regime temperature, humidity, and power models with
+Weka: plain linear regression and least-median-squares for linear
+behaviours ("we try linear and least median square approaches and pick the
+one with the lowest error"), and M5P piecewise-linear model trees for
+non-linear behaviours such as power versus fan speed.
+"""
+
+from repro.ml.dataset import Dataset
+from repro.ml.linreg import LinearRegression
+from repro.ml.lms import LeastMedianSquares
+from repro.ml.m5p import M5PModelTree
+from repro.ml.selection import fit_best_linear
+
+__all__ = [
+    "Dataset",
+    "LinearRegression",
+    "LeastMedianSquares",
+    "M5PModelTree",
+    "fit_best_linear",
+]

@@ -1,0 +1,64 @@
+"""Feature-matrix container used by the regression learners."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Dataset:
+    """A named-feature design matrix with a single regression target.
+
+    Rows are appended incrementally as the monitoring campaign produces
+    samples; learners consume the frozen numpy views.
+    """
+
+    def __init__(self, feature_names: Sequence[str]) -> None:
+        if not feature_names:
+            raise ConfigError("feature_names must be non-empty")
+        if len(set(feature_names)) != len(feature_names):
+            raise ConfigError("feature names must be unique")
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self._rows: List[List[float]] = []
+        self._targets: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names)
+
+    def add(self, features: Sequence[float], target: float) -> None:
+        """Append one (features, target) sample."""
+        if len(features) != self.num_features:
+            raise ConfigError(
+                f"expected {self.num_features} features, got {len(features)}"
+            )
+        self._rows.append([float(value) for value in features])
+        self._targets.append(float(target))
+
+    def matrix(self) -> np.ndarray:
+        """The (n_samples, n_features) design matrix."""
+        if not self._rows:
+            return np.empty((0, self.num_features))
+        return np.asarray(self._rows, dtype=float)
+
+    def targets(self) -> np.ndarray:
+        return np.asarray(self._targets, dtype=float)
+
+    def split(self, train_fraction: float = 0.8) -> Tuple["Dataset", "Dataset"]:
+        """Chronological train/validation split (no shuffling: time series)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ConfigError(f"train_fraction {train_fraction} out of (0, 1)")
+        cut = int(len(self._rows) * train_fraction)
+        train = Dataset(self.feature_names)
+        valid = Dataset(self.feature_names)
+        train._rows = self._rows[:cut]
+        train._targets = self._targets[:cut]
+        valid._rows = self._rows[cut:]
+        valid._targets = self._targets[cut:]
+        return train, valid

@@ -1,0 +1,59 @@
+"""Ordinary-least-squares linear regression."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelNotTrainedError
+from repro.ml.dataset import Dataset
+
+
+class LinearRegression:
+    """OLS regression with an intercept, solved via lstsq.
+
+    Mirrors Weka's ``LinearRegression`` as used by the Cooling Learner for
+    linear thermal and humidity behaviours.
+    """
+
+    def __init__(self) -> None:
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self.feature_names: Sequence[str] = ()
+
+    @property
+    def is_trained(self) -> bool:
+        return self.coefficients is not None
+
+    def fit(self, dataset: Dataset) -> "LinearRegression":
+        """Fit to the dataset and return self."""
+        x = dataset.matrix()
+        y = dataset.targets()
+        if x.shape[0] == 0:
+            raise ModelNotTrainedError("cannot fit on an empty dataset")
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept = float(solution[0])
+        self.coefficients = solution[1:]
+        self.feature_names = dataset.feature_names
+        return self
+
+    def predict_one(self, features: Sequence[float]) -> float:
+        """Predict the target for a single feature vector."""
+        if self.coefficients is None:
+            raise ModelNotTrainedError("predict_one called before fit")
+        return self.intercept + float(
+            np.dot(self.coefficients, np.asarray(features, dtype=float))
+        )
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, n_features) matrix."""
+        if self.coefficients is None:
+            raise ModelNotTrainedError("predict called before fit")
+        return self.intercept + matrix @ self.coefficients
+
+    def rmse(self, dataset: Dataset) -> float:
+        """Root-mean-squared error on a dataset."""
+        predictions = self.predict(dataset.matrix())
+        return float(np.sqrt(np.mean((predictions - dataset.targets()) ** 2)))

@@ -1,0 +1,93 @@
+"""Least-median-of-squares robust regression.
+
+Weka's ``LeastMedSq`` fits OLS models to many random subsamples and keeps
+the one whose *median* squared residual over the full dataset is smallest,
+which makes it robust to the outliers a real monitoring campaign produces
+(sensor glitches, undocumented regime flips).  This is the approach the
+paper cites for linear behaviours alongside plain linear regression.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelNotTrainedError
+from repro.ml.dataset import Dataset
+from repro.ml.linreg import LinearRegression
+
+
+class LeastMedianSquares:
+    """LMS regression via random subsampling of OLS fits."""
+
+    def __init__(self, num_samples: int = 40, seed: int = 11) -> None:
+        self.num_samples = num_samples
+        self._seed = seed
+        self._best: Optional[LinearRegression] = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self._best is not None
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        if self._best is None:
+            raise ModelNotTrainedError("coefficients read before fit")
+        assert self._best.coefficients is not None
+        return self._best.coefficients
+
+    @property
+    def intercept(self) -> float:
+        if self._best is None:
+            raise ModelNotTrainedError("intercept read before fit")
+        return self._best.intercept
+
+    def fit(self, dataset: Dataset) -> "LeastMedianSquares":
+        """Fit to the dataset and return self."""
+        x = dataset.matrix()
+        y = dataset.targets()
+        n = x.shape[0]
+        if n == 0:
+            raise ModelNotTrainedError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self._seed)
+        # Subsample size: enough for a stable OLS fit, small enough that a
+        # clean (outlier-free) subset is drawn with high probability across
+        # the trials.  Fall back to the whole set when data is scarce.
+        subset_size = max(
+            dataset.num_features + 2,
+            min(n // 2, 3 * (dataset.num_features + 1)),
+        )
+        subset_size = min(subset_size, n)
+
+        best_median = float("inf")
+        best_model: Optional[LinearRegression] = None
+        trials = self.num_samples if subset_size < n else 1
+        for _ in range(trials):
+            indices = rng.choice(n, size=subset_size, replace=False)
+            sub = Dataset(dataset.feature_names)
+            for i in indices:
+                sub.add(x[i], float(y[i]))
+            model = LinearRegression().fit(sub)
+            residuals = model.predict(x) - y
+            median = float(np.median(residuals**2))
+            if median < best_median:
+                best_median = median
+                best_model = model
+        assert best_model is not None
+        self._best = best_model
+        return self
+
+    def predict_one(self, features: Sequence[float]) -> float:
+        if self._best is None:
+            raise ModelNotTrainedError("predict_one called before fit")
+        return self._best.predict_one(features)
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if self._best is None:
+            raise ModelNotTrainedError("predict called before fit")
+        return self._best.predict(matrix)
+
+    def rmse(self, dataset: Dataset) -> float:
+        predictions = self.predict(dataset.matrix())
+        return float(np.sqrt(np.mean((predictions - dataset.targets()) ** 2)))

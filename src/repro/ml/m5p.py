@@ -1,0 +1,158 @@
+"""M5P-style piecewise-linear model tree.
+
+The paper uses Weka's M5P for non-linear behaviours — notably cooling power
+as a function of free-cooling fan speed, which is cubic.  M5P grows a
+regression tree whose splits minimize target standard deviation and fits a
+linear model in each leaf, yielding a piecewise-linear approximation.
+
+This implementation keeps the core of the algorithm: standard-deviation
+reduction splits, a minimum leaf size, and per-leaf OLS models, without
+Weka's smoothing and pruning heuristics (which matter for generalization on
+noisy data but not for the low-noise monitoring campaigns here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ModelNotTrainedError
+from repro.ml.dataset import Dataset
+from repro.ml.linreg import LinearRegression
+
+
+@dataclasses.dataclass
+class _Node:
+    # Internal node: split on feature_index at threshold; leaf: model set.
+    feature_index: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    model: Optional[LinearRegression] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.model is not None
+
+
+class M5PModelTree:
+    """Piecewise-linear regression via a model tree."""
+
+    def __init__(
+        self,
+        min_leaf_size: int = 8,
+        max_depth: int = 4,
+        min_std_reduction: float = 0.05,
+    ) -> None:
+        if min_leaf_size < 2:
+            raise ConfigError("min_leaf_size must be >= 2")
+        if max_depth < 0:
+            raise ConfigError("max_depth must be >= 0")
+        self.min_leaf_size = min_leaf_size
+        self.max_depth = max_depth
+        self.min_std_reduction = min_std_reduction
+        self._root: Optional[_Node] = None
+        self._feature_names: Sequence[str] = ()
+
+    @property
+    def is_trained(self) -> bool:
+        return self._root is not None
+
+    def fit(self, dataset: Dataset) -> "M5PModelTree":
+        """Fit to the dataset and return self."""
+        x = dataset.matrix()
+        y = dataset.targets()
+        if x.shape[0] == 0:
+            raise ModelNotTrainedError("cannot fit on an empty dataset")
+        self._feature_names = dataset.feature_names
+        self._root = self._build(x, y, depth=0, names=dataset.feature_names)
+        return self
+
+    def _build(
+        self, x: np.ndarray, y: np.ndarray, depth: int, names: Sequence[str]
+    ) -> _Node:
+        if depth >= self.max_depth or x.shape[0] < 2 * self.min_leaf_size:
+            return self._leaf(x, y, names)
+
+        base_std = float(np.std(y))
+        if base_std < 1e-12:
+            return self._leaf(x, y, names)
+
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in range(x.shape[1]):
+            values = np.unique(x[:, feature])
+            if values.shape[0] < 2:
+                continue
+            # Candidate thresholds: midpoints between distinct values,
+            # capped for speed.
+            midpoints = (values[:-1] + values[1:]) / 2.0
+            if midpoints.shape[0] > 16:
+                idx = np.linspace(0, midpoints.shape[0] - 1, 16).astype(int)
+                midpoints = midpoints[idx]
+            for threshold in midpoints:
+                mask = x[:, feature] <= threshold
+                n_left = int(np.sum(mask))
+                n_right = x.shape[0] - n_left
+                if n_left < self.min_leaf_size or n_right < self.min_leaf_size:
+                    continue
+                std_left = float(np.std(y[mask]))
+                std_right = float(np.std(y[~mask]))
+                weighted = (n_left * std_left + n_right * std_right) / x.shape[0]
+                gain = (base_std - weighted) / base_std
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = feature
+                    best_threshold = float(threshold)
+
+        if best_feature < 0 or best_gain < self.min_std_reduction:
+            return self._leaf(x, y, names)
+
+        mask = x[:, best_feature] <= best_threshold
+        return _Node(
+            feature_index=best_feature,
+            threshold=best_threshold,
+            left=self._build(x[mask], y[mask], depth + 1, names),
+            right=self._build(x[~mask], y[~mask], depth + 1, names),
+        )
+
+    def _leaf(self, x: np.ndarray, y: np.ndarray, names: Sequence[str]) -> _Node:
+        leaf_data = Dataset(names)
+        for row, target in zip(x, y):
+            leaf_data.add(row, float(target))
+        return _Node(model=LinearRegression().fit(leaf_data))
+
+    def predict_one(self, features: Sequence[float]) -> float:
+        """Predict the target for a single feature vector."""
+        if self._root is None:
+            raise ModelNotTrainedError("predict_one called before fit")
+        vector = np.asarray(features, dtype=float)
+        node = self._root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if vector[node.feature_index] <= node.threshold else node.right
+        assert node.model is not None
+        return node.model.predict_one(vector)
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        return np.array([self.predict_one(row) for row in matrix])
+
+    def rmse(self, dataset: Dataset) -> float:
+        predictions = self.predict(dataset.matrix())
+        return float(np.sqrt(np.mean((predictions - dataset.targets()) ** 2)))
+
+    def num_leaves(self) -> int:
+        """Number of linear models in the tree."""
+        if self._root is None:
+            return 0
+
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return count(node.left) + count(node.right)
+
+        return count(self._root)

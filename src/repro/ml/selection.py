@@ -1,0 +1,29 @@
+"""Model selection: "try linear and least median square approaches and pick
+the one with the lowest error" (Section 4.2)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.ml.dataset import Dataset
+from repro.ml.linreg import LinearRegression
+from repro.ml.lms import LeastMedianSquares
+
+LinearModel = Union[LinearRegression, LeastMedianSquares]
+
+
+def fit_best_linear(dataset: Dataset, validation_fraction: float = 0.25) -> LinearModel:
+    """Fit OLS and LMS, return whichever validates better.
+
+    With very small datasets the chronological validation split can be
+    empty; in that case the comparison falls back to training error.
+    """
+    ols = LinearRegression().fit(dataset)
+    # LMS is only worth its cost with enough data to subsample.
+    if len(dataset) < 4 * dataset.num_features:
+        return ols
+    lms = LeastMedianSquares().fit(dataset)
+
+    train, valid = dataset.split(1.0 - validation_fraction)
+    scoring = valid if len(valid) > 0 else dataset
+    return ols if ols.rmse(scoring) <= lms.rmse(scoring) else lms

@@ -1,0 +1,29 @@
+"""Physical substrate: psychrometrics and the lumped thermal plant model.
+
+This package is the "ground truth" that stands in for the real Parasol
+container.  CoolAir itself never reads these equations; it learns a linear
+model from sensor logs produced by simulating this plant, exactly as the
+paper learns from Parasol's monitoring data.
+"""
+
+from repro.physics.psychrometrics import (
+    absolute_to_relative_humidity,
+    dew_point_c,
+    mixing_ratio_from_relative_humidity,
+    relative_to_absolute_humidity,
+    saturation_pressure_pa,
+    saturation_mixing_ratio,
+)
+from repro.physics.thermal import PlantState, ThermalPlant, ThermalPlantConfig
+
+__all__ = [
+    "absolute_to_relative_humidity",
+    "dew_point_c",
+    "mixing_ratio_from_relative_humidity",
+    "relative_to_absolute_humidity",
+    "saturation_pressure_pa",
+    "saturation_mixing_ratio",
+    "PlantState",
+    "ThermalPlant",
+    "ThermalPlantConfig",
+]

@@ -1,0 +1,128 @@
+"""Psychrometric conversions between absolute and relative humidity.
+
+The CoolAir Cooling Modeler predicts *absolute* inside humidity and then
+converts it to *relative* humidity at the predicted inside temperature
+(Section 3.1).  These helpers implement that conversion using the Magnus
+formula for saturation vapor pressure, which is accurate to a few hundredths
+of a hPa over the -40..60C range a datacenter can see.
+
+Absolute humidity here means the mixing ratio w, in kilograms of water vapor
+per kilogram of dry air (kg/kg).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import ATMOSPHERIC_PRESSURE_PA
+from repro.errors import ConfigError
+
+# Magnus formula coefficients (Alduchov & Eskridge 1996, over water).
+_MAGNUS_A = 610.94  # Pa
+_MAGNUS_B = 17.625
+_MAGNUS_C = 243.04  # degrees C
+
+# Ratio of molecular weights of water vapor and dry air.
+_EPSILON = 0.622
+
+
+def saturation_pressure_pa(temperature_c: float) -> float:
+    """Saturation vapor pressure over water, in Pascal.
+
+    Uses the Magnus formula.  Valid for temperatures above -40C.
+    """
+    if temperature_c < -60.0:
+        raise ConfigError(f"temperature {temperature_c}C below Magnus validity range")
+    return _MAGNUS_A * math.exp(_MAGNUS_B * temperature_c / (_MAGNUS_C + temperature_c))
+
+
+def saturation_mixing_ratio(
+    temperature_c: float, pressure_pa: float = ATMOSPHERIC_PRESSURE_PA
+) -> float:
+    """Mixing ratio (kg/kg) of saturated air at the given temperature."""
+    p_sat = saturation_pressure_pa(temperature_c)
+    if p_sat >= pressure_pa:
+        # Above boiling at this pressure; saturation is unbounded.  Clamp to
+        # something huge so downstream relative humidities go to ~0.
+        return 10.0
+    return _EPSILON * p_sat / (pressure_pa - p_sat)
+
+
+def relative_to_absolute_humidity(
+    relative_humidity_pct: float,
+    temperature_c: float,
+    pressure_pa: float = ATMOSPHERIC_PRESSURE_PA,
+) -> float:
+    """Convert relative humidity (percent) at a temperature to a mixing ratio.
+
+    Returns kg water vapor per kg dry air.
+    """
+    if not 0.0 <= relative_humidity_pct <= 100.0:
+        raise ConfigError(f"relative humidity {relative_humidity_pct}% out of [0, 100]")
+    p_sat = saturation_pressure_pa(temperature_c)
+    p_vapor = relative_humidity_pct / 100.0 * p_sat
+    if p_vapor >= pressure_pa:
+        raise ConfigError("vapor pressure exceeds total pressure")
+    return _EPSILON * p_vapor / (pressure_pa - p_vapor)
+
+
+def absolute_to_relative_humidity(
+    mixing_ratio: float,
+    temperature_c: float,
+    pressure_pa: float = ATMOSPHERIC_PRESSURE_PA,
+) -> float:
+    """Convert a mixing ratio (kg/kg) to relative humidity (percent).
+
+    The result is clamped to [0, 100]: supersaturated air reads as 100%.
+    """
+    if mixing_ratio < 0.0:
+        raise ConfigError(f"mixing ratio {mixing_ratio} must be non-negative")
+    p_vapor = mixing_ratio * pressure_pa / (_EPSILON + mixing_ratio)
+    p_sat = saturation_pressure_pa(temperature_c)
+    return max(0.0, min(100.0, 100.0 * p_vapor / p_sat))
+
+
+def mixing_ratio_from_relative_humidity(
+    relative_humidity_pct: float, temperature_c: float
+) -> float:
+    """Alias of :func:`relative_to_absolute_humidity` at standard pressure."""
+    return relative_to_absolute_humidity(relative_humidity_pct, temperature_c)
+
+
+def wet_bulb_c(temperature_c: float, relative_humidity_pct: float) -> float:
+    """Wet-bulb temperature via Stull's (2011) empirical fit.
+
+    Valid for RH in [5, 99]% and temperatures in [-20, 50]C — the range
+    adiabatic (evaporative) cooling decisions live in.  The wet bulb is
+    the floor an evaporative cooler can reach.
+    """
+    if not 0.0 <= relative_humidity_pct <= 100.0:
+        raise ConfigError(
+            f"relative humidity {relative_humidity_pct}% out of [0, 100]"
+        )
+    rh = max(5.0, min(99.0, relative_humidity_pct))
+    t = temperature_c
+    tw = (
+        t * math.atan(0.151977 * math.sqrt(rh + 8.313659))
+        + math.atan(t + rh)
+        - math.atan(rh - 1.676331)
+        + 0.00391838 * rh**1.5 * math.atan(0.023101 * rh)
+        - 4.686035
+    )
+    return min(tw, t)  # the wet bulb never exceeds the dry bulb
+
+
+LATENT_HEAT_VAPORIZATION_J_KG = 2.45e6
+
+
+def dew_point_c(mixing_ratio: float, pressure_pa: float = ATMOSPHERIC_PRESSURE_PA) -> float:
+    """Dew point temperature (C) of air with the given mixing ratio.
+
+    Inverts the Magnus formula.  Air cooled below its dew point condenses,
+    which is how the DX AC dehumidifies.
+    """
+    if mixing_ratio <= 0.0:
+        return -_MAGNUS_C + 1e-9  # effectively "never condenses"
+    p_vapor = mixing_ratio * pressure_pa / (_EPSILON + mixing_ratio)
+    ln_ratio = math.log(p_vapor / _MAGNUS_A)
+    return _MAGNUS_C * ln_ratio / (_MAGNUS_B - ln_ratio)

@@ -1,0 +1,41 @@
+"""Disk-reliability impact models.
+
+The paper's motivation is that free cooling may expose disks to high
+absolute temperatures and/or wide daily temperature variations, and that
+the literature disagrees about which matters (Section 1):
+
+* Pinheiro et al. (FAST'07, Google): absolute temperature matters little
+  up to ~50C;
+* Sankar et al. (ToS'13, Microsoft): absolute temperature matters a lot
+  (Arrhenius-like), variation does not;
+* El-Sayed et al. (SIGMETRICS'12): wide *temporal variation* consistently
+  increases sector errors.
+
+CoolAir's value proposition is robust to however that dispute resolves —
+it manages both.  This package implements all three failure models so the
+management systems can be compared under each hypothesis, plus a simple
+cost model for the cooling-energy-vs-replacement tradeoff the paper
+mentions.
+"""
+
+from repro.reliability.models import (
+    ArrheniusModel,
+    DiskExposure,
+    ThresholdModel,
+    VariationModel,
+    exposure_from_day_traces,
+)
+from repro.reliability.assessment import ReliabilityAssessment, assess
+from repro.reliability.costs import TradeoffInputs, yearly_tradeoff
+
+__all__ = [
+    "ArrheniusModel",
+    "ThresholdModel",
+    "VariationModel",
+    "DiskExposure",
+    "exposure_from_day_traces",
+    "ReliabilityAssessment",
+    "assess",
+    "TradeoffInputs",
+    "yearly_tradeoff",
+]

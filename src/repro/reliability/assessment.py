@@ -1,0 +1,71 @@
+"""Fleet-level reliability assessment across the three failure models."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.reliability.models import (
+    ArrheniusModel,
+    DiskExposure,
+    ThresholdModel,
+    VariationModel,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityAssessment:
+    """Relative AFR multipliers of one exposure under each hypothesis."""
+
+    arrhenius: float
+    threshold: float
+    variation: float
+
+    @property
+    def worst_case(self) -> float:
+        """The multiplier under whichever hypothesis is least favorable —
+        the number a risk-averse operator plans against."""
+        return max(self.arrhenius, self.threshold, self.variation)
+
+    @property
+    def by_model(self) -> Dict[str, float]:
+        return {
+            "arrhenius": self.arrhenius,
+            "threshold": self.threshold,
+            "variation": self.variation,
+        }
+
+    def expected_annual_failures(
+        self, fleet_size: int, base_afr: float = 0.02
+    ) -> Dict[str, float]:
+        """Expected disk failures per year under each hypothesis.
+
+        ``base_afr`` is the fleet's annualized failure rate at the
+        reference exposure (2% is a typical published figure).
+        """
+        if fleet_size < 1:
+            raise ConfigError("fleet_size must be >= 1")
+        if not 0.0 < base_afr < 1.0:
+            raise ConfigError("base_afr must be in (0, 1)")
+        return {
+            name: fleet_size * base_afr * multiplier
+            for name, multiplier in self.by_model.items()
+        }
+
+
+def assess(
+    exposure: DiskExposure,
+    arrhenius: ArrheniusModel = None,
+    threshold: ThresholdModel = None,
+    variation: VariationModel = None,
+) -> ReliabilityAssessment:
+    """Score an exposure under all three published failure hypotheses."""
+    arrhenius = arrhenius or ArrheniusModel()
+    threshold = threshold or ThresholdModel()
+    variation = variation or VariationModel()
+    return ReliabilityAssessment(
+        arrhenius=arrhenius.afr_multiplier(exposure),
+        threshold=threshold.afr_multiplier(exposure),
+        variation=variation.afr_multiplier(exposure),
+    )

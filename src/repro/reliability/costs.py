@@ -1,0 +1,71 @@
+"""Cooling-energy versus disk-replacement tradeoff.
+
+The paper observes that "many locations exhibit a tradeoff between the
+cooling energy savings due to free cooling and hardware maintenance and
+replacement costs" (Section 1).  This module quantifies it: given two
+management systems' cooling energy and reliability assessments, compute
+the net yearly cost difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.reliability.assessment import ReliabilityAssessment
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffInputs:
+    """Economic parameters of the tradeoff."""
+
+    fleet_size: int = 64
+    base_afr: float = 0.02
+    disk_replacement_usd: float = 120.0
+    electricity_usd_per_kwh: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.fleet_size < 1:
+            raise ConfigError("fleet_size must be >= 1")
+        if not 0.0 < self.base_afr < 1.0:
+            raise ConfigError("base_afr must be in (0, 1)")
+        if self.disk_replacement_usd < 0 or self.electricity_usd_per_kwh < 0:
+            raise ConfigError("costs must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffResult:
+    """Yearly cost deltas of system B relative to system A (USD)."""
+
+    cooling_cost_delta_usd: float
+    replacement_cost_delta_usd: float  # under the worst-case hypothesis
+
+    @property
+    def net_delta_usd(self) -> float:
+        """Negative means system B is cheaper overall."""
+        return self.cooling_cost_delta_usd + self.replacement_cost_delta_usd
+
+
+def yearly_tradeoff(
+    cooling_kwh_a: float,
+    assessment_a: ReliabilityAssessment,
+    cooling_kwh_b: float,
+    assessment_b: ReliabilityAssessment,
+    inputs: TradeoffInputs = None,
+) -> TradeoffResult:
+    """Cost of running system B instead of system A for one year."""
+    inputs = inputs or TradeoffInputs()
+    cooling_delta = (
+        (cooling_kwh_b - cooling_kwh_a) * inputs.electricity_usd_per_kwh
+    )
+    failures_a = (
+        inputs.fleet_size * inputs.base_afr * assessment_a.worst_case
+    )
+    failures_b = (
+        inputs.fleet_size * inputs.base_afr * assessment_b.worst_case
+    )
+    replacement_delta = (failures_b - failures_a) * inputs.disk_replacement_usd
+    return TradeoffResult(
+        cooling_cost_delta_usd=cooling_delta,
+        replacement_cost_delta_usd=replacement_delta,
+    )

@@ -1,0 +1,169 @@
+"""Failure-rate models from the three disk-reliability studies.
+
+Each model maps a :class:`DiskExposure` — the thermal history disks saw
+over a simulated period — to a *relative annualized failure rate* (AFR
+multiplier), normalized so that a disk held at the reference temperature
+with no daily variation scores 1.0.  The absolute AFRs in the studies are
+population-specific; only the relative shape transfers, which is all the
+management-system comparison needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.trace import DayTrace
+
+KELVIN = 273.15
+BOLTZMANN_EV = 8.617e-5
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskExposure:
+    """Thermal history of the disk fleet over some number of days.
+
+    ``daily_mean_temp_c`` and ``daily_max_temp_c`` are per-day disk
+    temperatures; ``daily_range_c`` is the per-day disk temperature span
+    (max - min of the worst disk).
+    """
+
+    daily_mean_temp_c: Sequence[float]
+    daily_max_temp_c: Sequence[float]
+    daily_range_c: Sequence[float]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.daily_mean_temp_c),
+            len(self.daily_max_temp_c),
+            len(self.daily_range_c),
+        }
+        if len(lengths) != 1:
+            raise ConfigError("exposure series must have equal lengths")
+        if not self.daily_mean_temp_c:
+            raise ConfigError("exposure must cover at least one day")
+
+    @property
+    def num_days(self) -> int:
+        return len(self.daily_mean_temp_c)
+
+
+def exposure_from_day_traces(traces: Sequence[DayTrace]) -> DiskExposure:
+    """Build an exposure from simulated day traces (uses disk sensors)."""
+    if not traces:
+        raise ConfigError("need at least one day trace")
+    means: List[float] = []
+    maxes: List[float] = []
+    ranges: List[float] = []
+    for trace in traces:
+        disk_temps = np.array([r.disk_temps_c for r in trace.records])
+        if disk_temps.size == 0:
+            raise ConfigError("trace has no disk temperature records")
+        means.append(float(disk_temps.mean()))
+        maxes.append(float(disk_temps.max()))
+        per_disk_range = disk_temps.max(axis=0) - disk_temps.min(axis=0)
+        ranges.append(float(per_disk_range.max()))
+    return DiskExposure(means, maxes, ranges)
+
+
+class ArrheniusModel:
+    """Sankar et al.: AFR grows exponentially with absolute temperature.
+
+    AFR multiplier = exp(Ea/k * (1/T_ref - 1/T)), the standard Arrhenius
+    acceleration with activation energy ``ea_ev`` (disk studies report
+    roughly 0.4-0.6 eV).  Daily variation is ignored, as that study found.
+    """
+
+    name = "arrhenius (Sankar et al.)"
+
+    def __init__(self, ea_ev: float = 0.46, reference_temp_c: float = 38.0) -> None:
+        if ea_ev <= 0:
+            raise ConfigError("activation energy must be positive")
+        self.ea_ev = ea_ev
+        self.reference_temp_c = reference_temp_c
+
+    def afr_multiplier(self, exposure: DiskExposure) -> float:
+        t_ref = self.reference_temp_c + KELVIN
+        factors = [
+            math.exp(
+                self.ea_ev / BOLTZMANN_EV * (1.0 / t_ref - 1.0 / (t + KELVIN))
+            )
+            for t in exposure.daily_mean_temp_c
+        ]
+        return float(np.mean(factors))
+
+
+class ThresholdModel:
+    """Pinheiro et al.: temperature matters little below a knee (~50C
+    disk temperature), then failure rates climb steeply."""
+
+    name = "threshold (Pinheiro et al.)"
+
+    def __init__(
+        self,
+        knee_c: float = 50.0,
+        slope_per_c: float = 0.15,
+        mild_slope_per_c: float = 0.005,
+        reference_temp_c: float = 38.0,
+    ) -> None:
+        if slope_per_c < 0 or mild_slope_per_c < 0:
+            raise ConfigError("slopes must be non-negative")
+        self.knee_c = knee_c
+        self.slope_per_c = slope_per_c
+        self.mild_slope_per_c = mild_slope_per_c
+        self.reference_temp_c = reference_temp_c
+
+    def _factor(self, temp_c: float) -> float:
+        base = 1.0 + self.mild_slope_per_c * (temp_c - self.reference_temp_c)
+        if temp_c > self.knee_c:
+            base += self.slope_per_c * (temp_c - self.knee_c)
+        return max(0.1, base)
+
+    def afr_multiplier(self, exposure: DiskExposure) -> float:
+        return float(
+            np.mean([self._factor(t) for t in exposure.daily_max_temp_c])
+        )
+
+
+class VariationModel:
+    """El-Sayed et al.: wide temporal variation drives sector errors.
+
+    The error-rate multiplier grows linearly with the daily disk
+    temperature range beyond a benign span; absolute temperature
+    contributes only weakly.
+    """
+
+    name = "variation (El-Sayed et al.)"
+
+    def __init__(
+        self,
+        benign_range_c: float = 5.0,
+        slope_per_c: float = 0.08,
+        absolute_slope_per_c: float = 0.004,
+        reference_temp_c: float = 38.0,
+    ) -> None:
+        if slope_per_c < 0:
+            raise ConfigError("slope must be non-negative")
+        self.benign_range_c = benign_range_c
+        self.slope_per_c = slope_per_c
+        self.absolute_slope_per_c = absolute_slope_per_c
+        self.reference_temp_c = reference_temp_c
+
+    def afr_multiplier(self, exposure: DiskExposure) -> float:
+        factors = []
+        for mean_t, day_range in zip(
+            exposure.daily_mean_temp_c, exposure.daily_range_c
+        ):
+            factor = 1.0 + self.slope_per_c * max(
+                0.0, day_range - self.benign_range_c
+            )
+            factor += self.absolute_slope_per_c * (mean_t - self.reference_temp_c)
+            factors.append(max(0.1, factor))
+        return float(np.mean(factors))
+
+
+ALL_MODELS = (ArrheniusModel, ThresholdModel, VariationModel)

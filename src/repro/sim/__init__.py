@@ -1,0 +1,34 @@
+"""Simulators: Real-Sim, Smooth-Sim, the learning campaign, and the
+year-long experiment runner.
+
+Real-Sim simulates Hadoop on Parasol (abrupt cooling hardware) with or
+without CoolAir; Smooth-Sim swaps in the fine-grained cooling units of
+Section 5.1.  Year-long runs simulate the first day of each week of the
+year, repeating the day-long workload, exactly as the paper does.
+"""
+
+from repro.sim.trace import DayTrace, StepRecord
+from repro.sim.campaign import (
+    probe_recirculation,
+    run_learning_campaign,
+    trained_cooling_model,
+)
+from repro.sim.engine import DayRunner, SimSetup, make_realsim, make_smoothsim
+from repro.sim.yearsim import YearResult, run_year
+from repro.sim.validation import prediction_error_cdf, trace_agreement
+
+__all__ = [
+    "DayTrace",
+    "StepRecord",
+    "run_learning_campaign",
+    "probe_recirculation",
+    "trained_cooling_model",
+    "DayRunner",
+    "SimSetup",
+    "make_realsim",
+    "make_smoothsim",
+    "YearResult",
+    "run_year",
+    "prediction_error_cdf",
+    "trace_agreement",
+]

@@ -1,0 +1,140 @@
+"""Multi-zone datacenters: one CoolAir manager per cooling zone.
+
+Section 6: "For a large datacenter with multiple independent 'cooling
+zones' (e.g., containers), each of them would have its own CoolAir-like
+manager."  This module scales the single-container machinery out: the
+offered workload is partitioned across zones, each zone runs its own
+plant, cooling units, and manager, and fleet-level metrics aggregate
+across zones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.coolair import CoolAir
+from repro.core.config import CoolAirConfig
+from repro.core.modeler import CoolingModel
+from repro.errors import ConfigError
+from repro.sim.engine import (
+    BaselineAdapter,
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+    make_realsim,
+    make_smoothsim,
+)
+from repro.sim.trace import DayTrace
+from repro.weather.climate import Climate
+from repro.workload.job import Job
+from repro.workload.traces import Trace
+
+
+def partition_trace(trace: Trace, num_zones: int) -> List[Trace]:
+    """Deal jobs round-robin across zones (arrival order preserved)."""
+    if num_zones < 1:
+        raise ConfigError("num_zones must be >= 1")
+    buckets: List[List[Job]] = [[] for _ in range(num_zones)]
+    for index, job in enumerate(trace.jobs):
+        buckets[index % num_zones].append(
+            dataclasses.replace(job, scheduled_start_s=None)
+        )
+    return [
+        Trace(name=f"{trace.name}-zone{z}", jobs=jobs)
+        for z, jobs in enumerate(buckets)
+    ]
+
+
+@dataclasses.dataclass
+class ZoneDayResult:
+    """One zone's day trace plus its identity."""
+
+    zone: int
+    trace: DayTrace
+
+
+@dataclasses.dataclass
+class FleetDayResult:
+    """Aggregated fleet metrics for one day."""
+
+    zones: List[ZoneDayResult]
+
+    @property
+    def worst_zone_range_c(self) -> float:
+        return max(z.trace.worst_sensor_range_c() for z in self.zones)
+
+    @property
+    def max_temp_c(self) -> float:
+        return max(z.trace.max_sensor_temp_c() for z in self.zones)
+
+    @property
+    def cooling_kwh(self) -> float:
+        return sum(z.trace.cooling_energy_kwh() for z in self.zones)
+
+    @property
+    def it_kwh(self) -> float:
+        return sum(z.trace.it_energy_kwh() for z in self.zones)
+
+    def fleet_pue(self, delivery_overhead: float = 0.08) -> float:
+        """PUE over the whole fleet's energy, not a mean of zone PUEs."""
+        if self.it_kwh <= 0:
+            raise ConfigError("fleet PUE undefined with zero IT energy")
+        return 1.0 + self.cooling_kwh / self.it_kwh + delivery_overhead
+
+    def zone_spread_c(self) -> float:
+        """Max-minus-min of zone maximum temperatures (zone imbalance)."""
+        maxima = [z.trace.max_sensor_temp_c() for z in self.zones]
+        return max(maxima) - min(maxima)
+
+
+class MultiZoneDatacenter:
+    """N independent cooling zones under per-zone management."""
+
+    def __init__(
+        self,
+        climate: Climate,
+        trace: Trace,
+        num_zones: int,
+        system: Union[str, CoolAirConfig],
+        model: Optional[CoolingModel] = None,
+        smooth_hardware: bool = True,
+    ) -> None:
+        if num_zones < 1:
+            raise ConfigError("num_zones must be >= 1")
+        is_baseline = isinstance(system, str)
+        if is_baseline and system != "baseline":
+            raise ConfigError(f"unknown system {system!r}")
+        if not is_baseline and model is None:
+            raise ConfigError("CoolAir zones need a trained model")
+
+        self.num_zones = num_zones
+        self.runners: List[DayRunner] = []
+        for zone_trace in partition_trace(trace, num_zones):
+            if is_baseline:
+                setup = make_realsim(climate)
+                adapter = BaselineAdapter()
+            else:
+                maker = make_smoothsim if smooth_hardware else make_realsim
+                setup = maker(climate)
+                coolair = CoolAir(
+                    system, model, setup.layout, setup.forecast,
+                    smooth_hardware=setup.smooth_hardware,
+                )
+                adapter = CoolAirAdapter(coolair)
+            workload = ProfileWorkload(zone_trace, setup.layout, 600.0)
+            self.runners.append(DayRunner(setup, workload, adapter))
+
+    def run_day(self, day_of_year: int) -> FleetDayResult:
+        """Simulate all zones for one day.
+
+        Zones are independent (the paper's point), so they run
+        sequentially without interaction; weather is shared.
+        """
+        zones = [
+            ZoneDayResult(zone=z, trace=runner.run_day(day_of_year))
+            for z, runner in enumerate(self.runners)
+        ]
+        return FleetDayResult(zones=zones)

@@ -1,0 +1,137 @@
+"""Simulation traces: per-step records of one simulated day."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cooling.regimes import CoolingMode
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """State at the end of one model step."""
+
+    time_s: float
+    outside_temp_c: float
+    sensor_temps_c: Tuple[float, ...]
+    mode: CoolingMode
+    fc_fan_speed: float
+    ac_compressor_duty: float
+    cooling_power_w: float
+    it_power_w: float
+    inside_rh_pct: float
+    outside_rh_pct: float
+    utilization: float  # fraction of active servers
+    disk_temps_c: Tuple[float, ...] = ()
+
+
+class DayTrace:
+    """The full record of one simulated day."""
+
+    def __init__(self, day_of_year: int, label: str = "") -> None:
+        self.day_of_year = day_of_year
+        self.label = label
+        self.records: List[StepRecord] = []
+
+    def append(self, record: StepRecord) -> None:
+        if self.records and record.time_s <= self.records[-1].time_s:
+            raise SimulationError("trace records must advance in time")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- column accessors ------------------------------------------------------
+
+    def times_s(self) -> np.ndarray:
+        return np.array([r.time_s for r in self.records])
+
+    def sensor_temps(self) -> np.ndarray:
+        """(steps, sensors) inlet temperature matrix."""
+        return np.array([r.sensor_temps_c for r in self.records])
+
+    def outside_temps(self) -> np.ndarray:
+        return np.array([r.outside_temp_c for r in self.records])
+
+    def cooling_powers_w(self) -> np.ndarray:
+        return np.array([r.cooling_power_w for r in self.records])
+
+    def it_powers_w(self) -> np.ndarray:
+        return np.array([r.it_power_w for r in self.records])
+
+    def inside_rh(self) -> np.ndarray:
+        return np.array([r.inside_rh_pct for r in self.records])
+
+    def modes(self) -> List[CoolingMode]:
+        return [r.mode for r in self.records]
+
+    # -- day-level metrics -------------------------------------------------------
+
+    def worst_sensor_range_c(self) -> float:
+        """The paper's daily variation metric: per-sensor (max - min),
+        worst sensor of the day (Figure 9)."""
+        temps = self.sensor_temps()
+        if temps.size == 0:
+            raise SimulationError("empty trace")
+        ranges = temps.max(axis=0) - temps.min(axis=0)
+        return float(ranges.max())
+
+    def outside_range_c(self) -> float:
+        outside = self.outside_temps()
+        return float(outside.max() - outside.min())
+
+    def max_sensor_temp_c(self) -> float:
+        return float(self.sensor_temps().max())
+
+    def avg_violation_c(self, threshold_c: float = 30.0) -> float:
+        """Mean over all sensor readings of max(0, reading - threshold)."""
+        temps = self.sensor_temps()
+        return float(np.mean(np.maximum(0.0, temps - threshold_c)))
+
+    def max_rate_c_per_hour(self) -> float:
+        """Steepest sensor temperature slope of the day."""
+        temps = self.sensor_temps()
+        times = self.times_s()
+        if len(times) < 2:
+            return 0.0
+        dt_h = np.diff(times)[:, None] / 3600.0
+        slopes = np.abs(np.diff(temps, axis=0)) / dt_h
+        return float(slopes.max())
+
+    def cooling_energy_kwh(self) -> float:
+        times = self.times_s()
+        if len(times) < 2:
+            return 0.0
+        dt = float(np.median(np.diff(times)))
+        return float(np.sum(self.cooling_powers_w())) * dt / 3.6e6
+
+    def it_energy_kwh(self) -> float:
+        times = self.times_s()
+        if len(times) < 2:
+            return 0.0
+        dt = float(np.median(np.diff(times)))
+        return float(np.sum(self.it_powers_w())) * dt / 3.6e6
+
+    def pue(self, delivery_overhead: float = 0.08) -> float:
+        it = self.it_energy_kwh()
+        if it <= 0:
+            raise SimulationError("PUE undefined with zero IT energy")
+        return 1.0 + self.cooling_energy_kwh() / it + delivery_overhead
+
+    def time_in_mode(self, mode: CoolingMode) -> float:
+        """Fraction of the day spent in a cooling mode."""
+        modes = self.modes()
+        if not modes:
+            return 0.0
+        return sum(1 for m in modes if m is mode) / len(modes)
+
+    def rh_violation_fraction(self, limit_pct: float = 80.0) -> float:
+        """Fraction of steps with cold-aisle RH above the limit."""
+        rh = self.inside_rh()
+        if rh.size == 0:
+            return 0.0
+        return float(np.mean(rh > limit_pct))

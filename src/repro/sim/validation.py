@@ -1,0 +1,146 @@
+"""Validation harnesses: model prediction error (Figure 5) and simulator
+agreement (Figure 6 / Section 5.1).
+
+``prediction_error_cdf`` replays a held-out monitoring log through the
+learned Cooling Model, predicting 2 or 10 minutes ahead along the *actual*
+regime sequence, and returns the absolute prediction errors — the data
+behind Figure 5's CDFs, including the with/without-regime-transition
+split.
+
+``trace_agreement`` compares two day traces (e.g. a "real" run and its
+simulation) the way Section 5.1 validates Real-Sim: fraction of sensor
+readings within 2C, plus relative errors on maximum temperature, daily
+range, and cooling energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cooling.regimes import regime_key
+from repro.core.modeler import CoolingModel, MonitoringSample, temp_features
+from repro.errors import SimulationError
+from repro.sim.trace import DayTrace
+
+
+def prediction_errors(
+    model: CoolingModel,
+    log: Sequence[MonitoringSample],
+    horizon_steps: int,
+    exclude_transitions: bool = False,
+) -> np.ndarray:
+    """Absolute temperature prediction errors over a monitoring log.
+
+    For each log position, iterate the model ``horizon_steps`` 2-minute
+    steps ahead following the regimes the log actually used, and compare
+    with the measured temperatures.  ``exclude_transitions`` keeps only
+    windows whose regime never changed (Figure 5's "no-transition" CDFs).
+    """
+    if horizon_steps < 1:
+        raise SimulationError("horizon_steps must be >= 1")
+    errors: List[float] = []
+    num_sensors = model.num_sensors
+    for i in range(1, len(log) - horizon_steps):
+        window = log[i : i + horizon_steps + 1]
+        has_transition = any(
+            window[j].mode is not window[j + 1].mode for j in range(len(window) - 1)
+        )
+        if exclude_transitions and has_transition:
+            continue
+        # Iterate the model along the actual inputs.
+        temps = list(log[i].sensor_temps_c)
+        prev_temps = list(log[i - 1].sensor_temps_c)
+        prev_sample = log[i - 1]
+        for j in range(horizon_steps):
+            cur = window[j]
+            nxt = window[j + 1]
+            key = regime_key(cur.mode, nxt.mode)
+            synthetic = dataclasses.replace(cur, sensor_temps_c=tuple(temps))
+            synthetic_prev = dataclasses.replace(
+                prev_sample, sensor_temps_c=tuple(prev_temps)
+            )
+            new_temps = [
+                model.predict_temp(
+                    key, s, temp_features(synthetic, synthetic_prev, s)
+                )
+                for s in range(num_sensors)
+            ]
+            prev_temps = temps
+            prev_sample = synthetic
+            temps = new_temps
+        actual = window[-1].sensor_temps_c
+        errors.extend(abs(p - a) for p, a in zip(temps, actual))
+    return np.asarray(errors)
+
+
+def prediction_error_cdf(
+    model: CoolingModel,
+    log: Sequence[MonitoringSample],
+    horizon_steps: int,
+    exclude_transitions: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted errors, cumulative percent) — the Figure 5 curves."""
+    errors = prediction_errors(model, log, horizon_steps, exclude_transitions)
+    if errors.size == 0:
+        raise SimulationError("no prediction windows matched the filter")
+    ordered = np.sort(errors)
+    percent = 100.0 * np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, percent
+
+
+def fraction_within(errors: np.ndarray, threshold: float) -> float:
+    """Share of errors at or below ``threshold`` (e.g. 1C)."""
+    if errors.size == 0:
+        raise SimulationError("no errors to summarize")
+    return float(np.mean(errors <= threshold))
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceAgreement:
+    """How closely two day traces match (Section 5.1 validation)."""
+
+    fraction_within_2c: float
+    max_temp_rel_error: float
+    range_rel_error: float
+    cooling_energy_rel_error: float
+
+    @property
+    def overall_rel_error(self) -> float:
+        """Mean of the three headline relative errors."""
+        return (
+            self.max_temp_rel_error
+            + self.range_rel_error
+            + self.cooling_energy_rel_error
+        ) / 3.0
+
+
+def trace_agreement(reference: DayTrace, simulated: DayTrace) -> TraceAgreement:
+    """Compare a simulated day against its reference execution."""
+    ref_temps = reference.sensor_temps()
+    sim_temps = simulated.sensor_temps()
+    n = min(ref_temps.shape[0], sim_temps.shape[0])
+    if n == 0:
+        raise SimulationError("cannot compare empty traces")
+    diffs = np.abs(ref_temps[:n] - sim_temps[:n])
+    within = float(np.mean(diffs <= 2.0))
+
+    def rel(ref_value: float, sim_value: float) -> float:
+        if abs(ref_value) < 1e-9:
+            return 0.0 if abs(sim_value) < 1e-9 else 1.0
+        return abs(sim_value - ref_value) / abs(ref_value)
+
+    return TraceAgreement(
+        fraction_within_2c=within,
+        max_temp_rel_error=rel(
+            reference.max_sensor_temp_c(), simulated.max_sensor_temp_c()
+        ),
+        range_rel_error=rel(
+            reference.worst_sensor_range_c(), simulated.worst_sensor_range_c()
+        ),
+        cooling_energy_rel_error=rel(
+            reference.cooling_energy_kwh(), simulated.cooling_energy_kwh()
+        ),
+    )

@@ -1,0 +1,179 @@
+"""Year-long experiment runner.
+
+The paper limits year-long Smooth-Sim runs by simulating the first day of
+each week of the year and repeating the day-long workload on each of those
+days (Section 5.1).  ``run_year`` does exactly that for either the
+baseline or any CoolAir version, and aggregates the metrics the evaluation
+reports: average temperature violations (Figure 8), daily worst-sensor
+temperature ranges (Figure 9), and yearly PUE (Figure 10).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro import constants
+from repro.core.coolair import CoolAir
+from repro.core.config import CoolAirConfig
+from repro.core.modeler import CoolingModel
+from repro.errors import SimulationError
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.engine import (
+    BaselineAdapter,
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+    make_realsim,
+    make_smoothsim,
+)
+from repro.sim.trace import DayTrace
+from repro.weather.climate import Climate, DAYS_PER_YEAR
+from repro.workload.traces import Trace
+
+
+@dataclasses.dataclass
+class YearResult:
+    """Aggregated metrics of one (system, location, workload) year run."""
+
+    label: str
+    climate_name: str
+    sampled_days: List[int]
+    daily_worst_range_c: List[float]
+    daily_outside_range_c: List[float]
+    daily_avg_violation_c: List[float]
+    daily_max_rate_c_per_hour: List[float]
+    cooling_kwh: float
+    it_kwh: float
+    delivery_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD
+
+    # -- Figure 9 metrics ---------------------------------------------------
+
+    @property
+    def avg_range_c(self) -> float:
+        """Average of daily worst-sensor ranges over the year."""
+        return float(np.mean(self.daily_worst_range_c))
+
+    @property
+    def max_range_c(self) -> float:
+        """The widest worst-sensor daily range of the year."""
+        return float(np.max(self.daily_worst_range_c))
+
+    @property
+    def min_range_c(self) -> float:
+        return float(np.min(self.daily_worst_range_c))
+
+    @property
+    def avg_outside_range_c(self) -> float:
+        return float(np.mean(self.daily_outside_range_c))
+
+    @property
+    def max_outside_range_c(self) -> float:
+        return float(np.max(self.daily_outside_range_c))
+
+    # -- Figure 8 metric -----------------------------------------------------
+
+    @property
+    def avg_violation_c(self) -> float:
+        """Mean over all readings of degrees above the 30C threshold."""
+        return float(np.mean(self.daily_avg_violation_c))
+
+    # -- Figure 10 metric ----------------------------------------------------
+
+    @property
+    def pue(self) -> float:
+        if self.it_kwh <= 0:
+            raise SimulationError("PUE undefined with zero IT energy")
+        return 1.0 + self.cooling_kwh / self.it_kwh + self.delivery_overhead
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.label:<16} {self.climate_name:<10} "
+            f"viol={self.avg_violation_c:5.2f}C  "
+            f"range avg={self.avg_range_c:5.1f} max={self.max_range_c:5.1f}C  "
+            f"PUE={self.pue:4.2f}  cooling={self.cooling_kwh:7.1f}kWh"
+        )
+
+
+def sampled_days(sample_every_days: int = 7) -> List[int]:
+    """First day of each week (or each N-day stride) of the year."""
+    return list(range(0, DAYS_PER_YEAR, sample_every_days))
+
+
+def run_year(
+    system: Union[str, CoolAirConfig],
+    climate: Climate,
+    trace: Trace,
+    model: Optional[CoolingModel] = None,
+    smooth_hardware: bool = True,
+    sample_every_days: int = 7,
+    forecast_bias_c: float = 0.0,
+    violation_threshold_c: float = 30.0,
+    keep_traces: bool = False,
+) -> YearResult:
+    """Simulate a year of one management system at one location.
+
+    ``system`` is the string ``"baseline"`` or a :class:`CoolAirConfig`
+    (e.g. from :mod:`repro.core.versions`).  The baseline runs on the
+    abrupt Parasol hardware it was designed for; CoolAir versions default
+    to the smooth hardware of Smooth-Sim (Section 5.1).  Traces are
+    deep-copied because temporal scheduling mutates job start times.
+    """
+    trace = copy.deepcopy(trace)
+    is_baseline = isinstance(system, str)
+    if is_baseline and system != "baseline":
+        raise SimulationError(f"unknown system {system!r}")
+
+    if is_baseline:
+        setup = make_realsim(climate, forecast_bias_c=forecast_bias_c)
+        adapter = BaselineAdapter()
+        label = "Baseline"
+    else:
+        maker = make_smoothsim if smooth_hardware else make_realsim
+        setup = maker(climate, forecast_bias_c=forecast_bias_c)
+        if model is None:
+            model = trained_cooling_model()
+        coolair = CoolAir(
+            config=system,
+            model=model,
+            layout=setup.layout,
+            forecast_service=setup.forecast,
+            smooth_hardware=setup.smooth_hardware,
+        )
+        adapter = CoolAirAdapter(coolair)
+        label = system.name
+
+    workload = ProfileWorkload(trace, setup.layout, float(setup.control_period_s))
+    runner = DayRunner(setup, workload, adapter)
+
+    days = sampled_days(sample_every_days)
+    result = YearResult(
+        label=label,
+        climate_name=climate.name,
+        sampled_days=days,
+        daily_worst_range_c=[],
+        daily_outside_range_c=[],
+        daily_avg_violation_c=[],
+        daily_max_rate_c_per_hour=[],
+        cooling_kwh=0.0,
+        it_kwh=0.0,
+    )
+    traces: List[DayTrace] = []
+    for day in days:
+        day_trace = runner.run_day(day)
+        result.daily_worst_range_c.append(day_trace.worst_sensor_range_c())
+        result.daily_outside_range_c.append(day_trace.outside_range_c())
+        result.daily_avg_violation_c.append(
+            day_trace.avg_violation_c(violation_threshold_c)
+        )
+        result.daily_max_rate_c_per_hour.append(day_trace.max_rate_c_per_hour())
+        result.cooling_kwh += day_trace.cooling_energy_kwh()
+        result.it_kwh += day_trace.it_energy_kwh()
+        if keep_traces:
+            traces.append(day_trace)
+    if keep_traces:
+        result.traces = traces  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,37 @@
+"""Weather substrate: synthetic typical-meteorological-year (TMY) data.
+
+The paper drives its year-long simulations with US DOE TMY temperature and
+humidity series for 5 named locations and 1520 world-wide locations.  Those
+files are not redistributable here, so this package generates deterministic
+synthetic TMY series from per-location climate parameters that reproduce
+the *structure* the experiments depend on: seasonal cycle, diurnal cycle,
+synoptic (multi-day) variability, and humidity regimes.
+"""
+
+from repro.weather.climate import Climate
+from repro.weather.forecast import DailyForecast, ForecastService
+from repro.weather.locations import (
+    CHAD,
+    ICELAND,
+    NEWARK,
+    SANTIAGO,
+    SINGAPORE,
+    NAMED_LOCATIONS,
+    world_grid,
+)
+from repro.weather.tmy import TMYSeries, generate_tmy
+
+__all__ = [
+    "Climate",
+    "DailyForecast",
+    "ForecastService",
+    "TMYSeries",
+    "generate_tmy",
+    "NEWARK",
+    "CHAD",
+    "SANTIAGO",
+    "ICELAND",
+    "SINGAPORE",
+    "NAMED_LOCATIONS",
+    "world_grid",
+]

@@ -1,0 +1,69 @@
+"""Per-location climate parameterization.
+
+A :class:`Climate` captures the handful of statistics that shape a typical
+meteorological year at a site: annual mean temperature, seasonal and diurnal
+amplitudes, synoptic (multi-day weather system) variability, and the
+humidity regime.  The southern hemisphere's season phase is derived from
+the latitude sign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+DAYS_PER_YEAR = 365
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_HOUR = 3_600
+
+
+@dataclasses.dataclass(frozen=True)
+class Climate:
+    """Climate statistics for one geographical location."""
+
+    name: str
+    latitude: float
+    longitude: float
+    # Annual mean of the outside air temperature, C.
+    mean_temp_c: float
+    # Half peak-to-trough amplitude of the seasonal cycle, C.
+    seasonal_amplitude_c: float
+    # Half peak-to-trough amplitude of the diurnal cycle, C.
+    diurnal_amplitude_c: float
+    # Standard deviation of day-to-day (synoptic) temperature anomalies, C.
+    synoptic_std_c: float = 3.0
+    # Mean relative humidity, percent, and its diurnal swing.
+    mean_rh_pct: float = 60.0
+    diurnal_rh_amplitude_pct: float = 12.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ConfigError(f"latitude {self.latitude} out of [-90, 90]")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ConfigError(f"longitude {self.longitude} out of [-180, 180]")
+        if self.seasonal_amplitude_c < 0 or self.diurnal_amplitude_c < 0:
+            raise ConfigError("amplitudes must be non-negative")
+        if not 2.0 <= self.mean_rh_pct <= 98.0:
+            raise ConfigError(f"mean_rh_pct {self.mean_rh_pct} out of [2, 98]")
+
+    @property
+    def southern_hemisphere(self) -> bool:
+        return self.latitude < 0.0
+
+    @property
+    def warmest_day_of_year(self) -> int:
+        """Day of year when the seasonal cycle peaks (lags solstice ~1 month)."""
+        return 200 if not self.southern_hemisphere else 17
+
+    def seed(self) -> int:
+        """Deterministic RNG seed derived from the coordinates.
+
+        The same location always produces the same synthetic TMY, which is
+        what makes year-long experiments repeatable and comparable across
+        management systems (the paper's motivation for simulation in the
+        first place: "the same weather conditions never repeat exactly").
+        """
+        lat_key = int(round((self.latitude + 90.0) * 100))
+        lon_key = int(round((self.longitude + 180.0) * 100))
+        return (lat_key * 100_003 + lon_key * 7 + 12_345) % (2**31 - 1)

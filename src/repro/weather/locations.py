@@ -1,0 +1,143 @@
+"""The five named evaluation locations plus the 1520-point world grid.
+
+The named climates approximate the TMY statistics of the paper's five
+sites (Section 1): Iceland (cold year-round), Chad (hot year-round),
+Santiago de Chile (mild, southern hemisphere), Singapore (hot and humid),
+and Newark (hot summers, cold winters — the closest TMY site to Parasol).
+
+The world grid substitutes for the paper's 1520 TMY locations with a
+deterministic latitude/continentality climate model: mean temperature
+falls with |latitude|, seasonal amplitude grows with |latitude| and with a
+continentality factor derived (deterministically) from the coordinates,
+and humidity regimes range from arid to maritime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.weather.climate import Climate
+
+NEWARK = Climate(
+    name="Newark",
+    latitude=40.7,
+    longitude=-74.2,
+    mean_temp_c=12.5,
+    seasonal_amplitude_c=12.0,
+    diurnal_amplitude_c=4.5,
+    synoptic_std_c=4.0,
+    mean_rh_pct=64.0,
+)
+
+CHAD = Climate(
+    name="Chad",
+    latitude=12.1,
+    longitude=15.0,
+    mean_temp_c=28.0,
+    seasonal_amplitude_c=4.5,
+    diurnal_amplitude_c=6.5,
+    synoptic_std_c=1.5,
+    mean_rh_pct=32.0,
+    diurnal_rh_amplitude_pct=10.0,
+)
+
+SANTIAGO = Climate(
+    name="Santiago",
+    latitude=-33.4,
+    longitude=-70.7,
+    mean_temp_c=14.5,
+    seasonal_amplitude_c=6.5,
+    diurnal_amplitude_c=6.0,
+    synoptic_std_c=2.5,
+    mean_rh_pct=58.0,
+)
+
+ICELAND = Climate(
+    name="Iceland",
+    latitude=64.1,
+    longitude=-21.9,
+    mean_temp_c=5.0,
+    seasonal_amplitude_c=5.5,
+    diurnal_amplitude_c=1.8,
+    synoptic_std_c=3.0,
+    mean_rh_pct=77.0,
+    diurnal_rh_amplitude_pct=6.0,
+)
+
+SINGAPORE = Climate(
+    name="Singapore",
+    latitude=1.35,
+    longitude=103.8,
+    mean_temp_c=27.5,
+    seasonal_amplitude_c=1.0,
+    diurnal_amplitude_c=2.8,
+    synoptic_std_c=0.8,
+    mean_rh_pct=84.0,
+    diurnal_rh_amplitude_pct=8.0,
+)
+
+NAMED_LOCATIONS = {
+    climate.name: climate
+    for climate in (NEWARK, CHAD, SANTIAGO, ICELAND, SINGAPORE)
+}
+
+
+def _pseudo_uniform(latitude: float, longitude: float, salt: int) -> float:
+    """Deterministic pseudo-random value in [0, 1) from coordinates."""
+    x = math.sin(latitude * 12.9898 + longitude * 78.233 + salt * 37.719) * 43_758.5453
+    return x - math.floor(x)
+
+
+def climate_for_coordinates(latitude: float, longitude: float) -> Climate:
+    """Synthesize a plausible climate for arbitrary coordinates.
+
+    Not geographically exact — it needs only to span the same climate *space*
+    (polar to equatorial, maritime to continental, arid to humid) that the
+    paper's 1520 TMY sites span.
+    """
+    continentality = 0.5 + _pseudo_uniform(latitude, longitude, 1)  # [0.5, 1.5)
+    aridity = _pseudo_uniform(latitude, longitude, 2)  # [0, 1)
+    elevation_cooling = 4.0 * _pseudo_uniform(latitude, longitude, 3) ** 2
+
+    abs_lat = abs(latitude)
+    mean_temp = 27.5 - 0.42 * abs_lat - elevation_cooling
+    seasonal = min(18.0, (1.0 + 0.24 * abs_lat) * continentality)
+    diurnal = 2.0 + 5.0 * aridity * min(1.0, continentality)
+    synoptic = 0.8 + 0.05 * abs_lat * continentality
+    rh = max(20.0, min(90.0, 85.0 - 55.0 * aridity + 5.0 * (1.5 - continentality)))
+
+    return Climate(
+        name=f"grid_{latitude:+.1f}_{longitude:+.1f}",
+        latitude=latitude,
+        longitude=longitude,
+        mean_temp_c=mean_temp,
+        seasonal_amplitude_c=seasonal,
+        diurnal_amplitude_c=diurnal,
+        synoptic_std_c=min(synoptic, 5.0),
+        mean_rh_pct=rh,
+    )
+
+
+def world_grid(num_locations: int = 1520) -> List[Climate]:
+    """A deterministic world-wide grid of climates.
+
+    The default reproduces the paper's 1520 locations as a 40 (longitude) by
+    38 (latitude) grid spanning the inhabited latitudes.  Smaller counts
+    subsample the same grid pattern so results remain comparable.
+    """
+    if num_locations < 1:
+        raise ValueError("num_locations must be >= 1")
+    # Choose a near-square grid with cols ~ 40/38 aspect.
+    cols = max(1, int(round(math.sqrt(num_locations * 40.0 / 38.0))))
+    rows = max(1, math.ceil(num_locations / cols))
+    climates: List[Climate] = []
+    for row in range(rows):
+        # Latitudes from 68N down to 56S — the band where datacenters live.
+        latitude = 68.0 - (124.0 * row / max(1, rows - 1) if rows > 1 else 0.0)
+        for col in range(cols):
+            if len(climates) >= num_locations:
+                break
+            longitude = -180.0 + 360.0 * (col + 0.5) / cols
+            climates.append(climate_for_coordinates(latitude, longitude))
+    return climates

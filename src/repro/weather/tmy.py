@@ -1,0 +1,148 @@
+"""Synthetic typical-meteorological-year (TMY) series generation.
+
+A :class:`TMYSeries` holds one year of hourly outside temperature and
+humidity for a location and interpolates to arbitrary times.  The series is
+a deterministic function of the :class:`~repro.weather.climate.Climate`, so
+two simulations of the same location see identical weather.
+
+Construction: seasonal cosine + diurnal cosine (peaking mid-afternoon) +
+an AR(1) chain of daily synoptic anomalies.  Relative humidity is generated
+in anti-phase with the diurnal temperature cycle (nights are more humid)
+and converted to a mixing ratio at the concurrent temperature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import WeatherError
+from repro.physics.psychrometrics import relative_to_absolute_humidity
+from repro.weather.climate import (
+    Climate,
+    DAYS_PER_YEAR,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+)
+
+HOURS_PER_YEAR = DAYS_PER_YEAR * 24
+
+
+class TMYSeries:
+    """One year of hourly weather for a single location."""
+
+    def __init__(
+        self,
+        climate: Climate,
+        temps_c: np.ndarray,
+        mixing_ratios: np.ndarray,
+        rh_pct: np.ndarray,
+    ) -> None:
+        if temps_c.shape != (HOURS_PER_YEAR,):
+            raise WeatherError(
+                f"expected {HOURS_PER_YEAR} hourly temperatures, got {temps_c.shape}"
+            )
+        self.climate = climate
+        self._temps_c = temps_c
+        self._mixing_ratios = mixing_ratios
+        self._rh_pct = rh_pct
+
+    # -- point queries -------------------------------------------------------
+
+    def _interp(self, series: np.ndarray, time_s: float) -> float:
+        hour = (time_s % (DAYS_PER_YEAR * SECONDS_PER_DAY)) / SECONDS_PER_HOUR
+        i0 = int(hour) % HOURS_PER_YEAR
+        i1 = (i0 + 1) % HOURS_PER_YEAR
+        frac = hour - int(hour)
+        return float(series[i0] * (1.0 - frac) + series[i1] * frac)
+
+    def temperature_c(self, time_s: float) -> float:
+        """Outside air temperature at ``time_s`` seconds into the year."""
+        return self._interp(self._temps_c, time_s)
+
+    def mixing_ratio(self, time_s: float) -> float:
+        """Outside absolute humidity (kg/kg) at ``time_s``."""
+        return self._interp(self._mixing_ratios, time_s)
+
+    def relative_humidity_pct(self, time_s: float) -> float:
+        """Outside relative humidity (percent) at ``time_s``."""
+        return self._interp(self._rh_pct, time_s)
+
+    # -- day-level queries ---------------------------------------------------
+
+    def hourly_temps_for_day(self, day_of_year: int) -> np.ndarray:
+        """The 24 hourly temperatures of a given day (0-indexed)."""
+        day = day_of_year % DAYS_PER_YEAR
+        return self._temps_c[day * 24 : (day + 1) * 24].copy()
+
+    def daily_mean_temp_c(self, day_of_year: int) -> float:
+        return float(np.mean(self.hourly_temps_for_day(day_of_year)))
+
+    def daily_range_c(self, day_of_year: int) -> float:
+        """Max minus min outside temperature over one day."""
+        temps = self.hourly_temps_for_day(day_of_year)
+        return float(np.max(temps) - np.min(temps))
+
+    @property
+    def hourly_temps(self) -> np.ndarray:
+        """The full year of hourly temperatures (read-only view)."""
+        view = self._temps_c.view()
+        view.flags.writeable = False
+        return view
+
+    def yearly_stats(self) -> Tuple[float, float, float]:
+        """(mean, min, max) outside temperature over the year."""
+        return (
+            float(np.mean(self._temps_c)),
+            float(np.min(self._temps_c)),
+            float(np.max(self._temps_c)),
+        )
+
+
+def generate_tmy(climate: Climate) -> TMYSeries:
+    """Build the deterministic synthetic TMY series for a climate."""
+    rng = np.random.default_rng(climate.seed())
+
+    # AR(1) daily synoptic anomalies: weather systems persist a few days.
+    persistence = 0.72
+    innovation_std = climate.synoptic_std_c * math.sqrt(1.0 - persistence**2)
+    anomalies = np.empty(DAYS_PER_YEAR)
+    anomalies[0] = rng.normal(0.0, climate.synoptic_std_c)
+    shocks = rng.normal(0.0, innovation_std, DAYS_PER_YEAR)
+    for day in range(1, DAYS_PER_YEAR):
+        anomalies[day] = persistence * anomalies[day - 1] + shocks[day]
+
+    hours = np.arange(HOURS_PER_YEAR, dtype=float)
+    day_of_year = hours / 24.0
+    hour_of_day = hours % 24.0
+
+    seasonal = climate.seasonal_amplitude_c * np.cos(
+        2.0 * math.pi * (day_of_year - climate.warmest_day_of_year) / DAYS_PER_YEAR
+    )
+    # Diurnal cycle peaks around 15:00 local time.
+    diurnal = climate.diurnal_amplitude_c * np.cos(
+        2.0 * math.pi * (hour_of_day - 15.0) / 24.0
+    )
+    synoptic = np.repeat(anomalies, 24)
+    temps = climate.mean_temp_c + seasonal + diurnal + synoptic
+
+    # Relative humidity: anti-phase with the diurnal cycle, plus noise, with
+    # synoptically wet/dry days following the inverted temperature anomaly.
+    rh = (
+        climate.mean_rh_pct
+        - climate.diurnal_rh_amplitude_pct
+        * np.cos(2.0 * math.pi * (hour_of_day - 15.0) / 24.0)
+        - 1.2 * synoptic
+        + rng.normal(0.0, 2.0, HOURS_PER_YEAR)
+    )
+    rh = np.clip(rh, 5.0, 98.0)
+
+    mixing = np.array(
+        [
+            relative_to_absolute_humidity(float(rh[i]), float(temps[i]))
+            for i in range(HOURS_PER_YEAR)
+        ]
+    )
+    return TMYSeries(climate, temps, mixing, rh)

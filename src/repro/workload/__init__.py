@@ -1,0 +1,42 @@
+"""Workload substrate: Hadoop-like jobs, traces, and cluster simulation.
+
+The paper drives Parasol with a modified Hadoop running two day-long
+traces: "Facebook" (a SWIM-scaled trace of a 600-machine Facebook cluster:
+~5500 jobs, ~68000 tasks, 27% average utilization) and "Nutch" (the
+CloudSuite web-indexing workload: 2000 Poisson-arriving jobs, 32% average
+utilization).  Both non-deferrable and deferrable (6-hour start deadline)
+variants are studied.
+
+Two execution models are provided:
+
+* :class:`HadoopCluster` — a task-level slot scheduler with Covering
+  Subset data availability and the active/decommissioned/sleep power-state
+  protocol, used for day-long experiments; and
+* :class:`DemandProfile` — a fast aggregated day profile (demanded server
+  count and utilization per control interval) used by year-long
+  simulations, where the paper repeats the same workload every simulated
+  day.
+"""
+
+from repro.workload.job import Job, JobPhase, Task
+from repro.workload.traces import (
+    FacebookTraceGenerator,
+    NutchTraceGenerator,
+    Trace,
+)
+from repro.workload.profile import DemandProfile, build_demand_profile
+from repro.workload.hadoop import HadoopCluster
+from repro.workload.covering import covering_subset
+
+__all__ = [
+    "Job",
+    "JobPhase",
+    "Task",
+    "Trace",
+    "FacebookTraceGenerator",
+    "NutchTraceGenerator",
+    "DemandProfile",
+    "build_demand_profile",
+    "HadoopCluster",
+    "covering_subset",
+]

@@ -1,0 +1,48 @@
+"""Covering Subset selection (Section 4.2).
+
+The paper configures Hadoop with the Covering Subset scheme of Leverich &
+Kozyrakis: a full copy of the dataset is stored on the smallest possible
+number of servers, and any server outside the subset can sleep without
+hurting data availability.  The subset must stay active at all times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.datacenter.server import Server
+from repro.errors import ConfigError
+
+
+def covering_subset(
+    servers: List[Server],
+    dataset_gb: float = 1500.0,
+    disk_capacity_gb: float = 250.0,
+    reserve_fraction: float = 0.25,
+) -> List[Server]:
+    """Choose and mark the covering subset.
+
+    The subset size is the minimum number of disks that can hold one full
+    dataset copy, keeping ``reserve_fraction`` of each disk free for
+    temporary job data.  Marks ``in_covering_subset`` on the chosen servers
+    (lowest server ids, which live in the lowest-recirculation pods of the
+    default Parasol layout) and clears it elsewhere.
+    """
+    if not servers:
+        raise ConfigError("covering_subset needs at least one server")
+    if dataset_gb <= 0 or disk_capacity_gb <= 0:
+        raise ConfigError("dataset and disk sizes must be positive")
+    if not 0.0 <= reserve_fraction < 1.0:
+        raise ConfigError(f"reserve_fraction {reserve_fraction} out of [0, 1)")
+    usable_gb = disk_capacity_gb * (1.0 - reserve_fraction)
+    size = min(len(servers), max(1, math.ceil(dataset_gb / usable_gb)))
+    ordered = sorted(servers, key=lambda s: s.server_id)
+    subset = ordered[:size]
+    for server in servers:
+        server.in_covering_subset = False
+    for server in subset:
+        server.in_covering_subset = True
+        if not server.is_on:
+            server.activate()
+    return subset

@@ -1,0 +1,221 @@
+"""Task-level Hadoop-like cluster simulator.
+
+Used by the day-long experiments.  Each active server offers task slots;
+jobs become eligible at their (possibly deferred) start time, drain map
+work before reduce work, and pin temporary data to the servers that ran
+their tasks — which is what forces the Compute Configurer's
+decommission-before-sleep protocol (Section 4.2).
+
+Execution is fluid at slot granularity: a busy slot contributes wall-clock
+seconds of work to its job each step.  This keeps year-scale accuracy of
+utilization and placement without simulating 68,000 individual task
+lifetimes, while preserving per-server placement (which servers are busy,
+and therefore which pods heat up).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.datacenter.server import PowerState, Server
+from repro.errors import WorkloadError
+from repro.workload.job import Job, JobPhase
+from repro.workload.traces import Trace
+
+
+class _JobRun:
+    """Execution state of one job."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.map_work_s = job.map_work_s
+        self.reduce_work_s = job.reduce_work_s
+        self.phase = JobPhase.PENDING
+        self.servers_used: Set[int] = set()
+        self.finish_time_s: Optional[float] = None
+
+    @property
+    def parallelism_cap(self) -> int:
+        if self.map_work_s > 0:
+            return self.job.num_maps
+        return max(1, self.job.num_reduces)
+
+    @property
+    def done(self) -> bool:
+        return self.map_work_s <= 0 and self.reduce_work_s <= 0
+
+
+class HadoopCluster:
+    """Slot scheduler over the datacenter's servers."""
+
+    def __init__(
+        self,
+        servers: List[Server],
+        trace: Trace,
+        slots_per_server: int = 2,
+    ) -> None:
+        if not servers:
+            raise WorkloadError("cluster needs at least one server")
+        if slots_per_server < 1:
+            raise WorkloadError("slots_per_server must be >= 1")
+        self.servers = servers
+        self.slots_per_server = slots_per_server
+        self._runs = [_JobRun(job) for job in trace.jobs]
+        self._next_arrival = 0
+        self._active_runs: List[_JobRun] = []
+        self._now_s = 0.0
+        self._data_holders: Dict[int, Set[int]] = {}  # server_id -> job ids
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    @property
+    def jobs_finished(self) -> int:
+        return sum(1 for run in self._runs if run.finish_time_s is not None)
+
+    @property
+    def jobs_pending(self) -> int:
+        return len(self._runs) - self.jobs_finished - len(self._active_runs)
+
+    def all_done(self) -> bool:
+        return self.jobs_finished == len(self._runs)
+
+    def finish_times(self) -> List[float]:
+        """Completion times of finished jobs (for deadline/latency checks)."""
+        return [r.finish_time_s for r in self._runs if r.finish_time_s is not None]
+
+    # -- stepping -------------------------------------------------------------
+
+    def step(self, dt_s: float, placement_order: Optional[List[Server]] = None) -> float:
+        """Advance the cluster by ``dt_s``; returns slot-seconds executed.
+
+        ``placement_order`` is the spatial-placement preference: busy slots
+        fill servers in this order (CoolAir passes pods ranked by
+        recirculation).  Defaults to server-id order.
+        """
+        if dt_s <= 0:
+            raise WorkloadError("dt_s must be positive")
+        self._admit_eligible()
+
+        candidates = placement_order if placement_order is not None else self.servers
+        usable = [s for s in candidates if s.state is PowerState.ACTIVE]
+        total_slots = len(usable) * self.slots_per_server
+
+        # Water-fill capacity across active jobs, respecting parallelism.
+        grants = self._allocate(total_slots, dt_s)
+
+        # Convert granted work into per-server busy-slot placement.
+        busy_slots = 0.0
+        executed = 0.0
+        for run, grant in grants:
+            executed += grant
+            slots_needed = grant / dt_s
+            busy_slots += slots_needed
+            self._charge_work(run, grant)
+            # Record which servers host this job's temporary data.
+            first = int(busy_slots - slots_needed) // self.slots_per_server
+            last = min(len(usable) - 1, int(busy_slots) // self.slots_per_server)
+            for server in usable[first : last + 1]:
+                run.servers_used.add(server.server_id)
+                self._data_holders.setdefault(server.server_id, set()).add(
+                    run.job.job_id
+                )
+
+        # Per-server utilization: fill in placement order.
+        remaining = busy_slots
+        for server in usable:
+            share = min(self.slots_per_server, remaining)
+            server.set_utilization(share / self.slots_per_server)
+            remaining -= share
+        for server in self.servers:
+            if server.state is not PowerState.ACTIVE:
+                server.set_utilization(0.0)
+
+        self._now_s += dt_s
+        self._retire_finished()
+        return executed
+
+    def _admit_eligible(self) -> None:
+        while self._next_arrival < len(self._runs):
+            run = self._runs[self._next_arrival]
+            if run.job.effective_start_s > self._now_s:
+                # Jobs are arrival-sorted, but deferral can reorder
+                # eligibility; scan a bounded window instead of stopping.
+                break
+            run.phase = JobPhase.MAPPING
+            self._active_runs.append(run)
+            self._next_arrival += 1
+        # Deferred jobs later in the list may already be eligible.
+        for run in self._runs[self._next_arrival :]:
+            if (
+                run.phase is JobPhase.PENDING
+                and run.job.effective_start_s <= self._now_s
+                and run not in self._active_runs
+            ):
+                run.phase = JobPhase.MAPPING
+                self._active_runs.append(run)
+
+    def _allocate(self, total_slots: int, dt_s: float) -> List:
+        grants = []
+        remaining = total_slots * dt_s
+        pending = [run for run in self._active_runs if not run.done]
+        totals = {id(run): 0.0 for run in pending}
+        while pending and remaining > 1e-9:
+            share = remaining / len(pending)
+            next_pending = []
+            for run in pending:
+                work = run.map_work_s if run.map_work_s > 0 else run.reduce_work_s
+                cap = run.parallelism_cap * dt_s - totals[id(run)]
+                grant = max(0.0, min(share, cap, work))
+                totals[id(run)] += grant
+                remaining -= grant
+                if grant >= share - 1e-9 and work - grant > 1e-9:
+                    next_pending.append(run)
+            if len(next_pending) == len(pending):
+                break
+            pending = next_pending
+        return [(run, totals[id(run)]) for run in self._active_runs if totals.get(id(run), 0.0) > 0.0]
+
+    def _charge_work(self, run: _JobRun, grant: float) -> None:
+        if run.map_work_s > 0:
+            consumed = min(run.map_work_s, grant)
+            run.map_work_s -= consumed
+            grant -= consumed
+            if run.map_work_s <= 1e-9:
+                run.map_work_s = 0.0
+                run.phase = JobPhase.REDUCING if run.reduce_work_s > 0 else JobPhase.DONE
+        if grant > 0 and run.reduce_work_s > 0:
+            run.reduce_work_s = max(0.0, run.reduce_work_s - grant)
+
+    def _retire_finished(self) -> None:
+        finished = [run for run in self._active_runs if run.done]
+        for run in finished:
+            run.phase = JobPhase.DONE
+            run.finish_time_s = self._now_s
+            self._active_runs.remove(run)
+            for server_id in run.servers_used:
+                holders = self._data_holders.get(server_id)
+                if holders is not None:
+                    holders.discard(run.job.job_id)
+        self._refresh_data_flags()
+
+    def _refresh_data_flags(self) -> None:
+        for server in self.servers:
+            holders = self._data_holders.get(server.server_id, set())
+            server.holds_job_data = bool(holders)
+
+    # -- queries ---------------------------------------------------------------
+
+    def demanded_servers(self) -> int:
+        """Servers needed right now for the eligible workload."""
+        slots = sum(
+            min(run.parallelism_cap, 10**9)
+            for run in self._active_runs
+            if not run.done
+        )
+        return min(len(self.servers), math.ceil(slots / self.slots_per_server))
+
+    def server_holds_data(self, server_id: int) -> bool:
+        return bool(self._data_holders.get(server_id))

@@ -1,0 +1,163 @@
+"""Block-level HDFS namespace and the Covering Subset scheme.
+
+The paper's Hadoop deployment stores "a full copy of the dataset on the
+smallest possible number of servers" (the Covering Subset of Leverich &
+Kozyrakis) so that any server outside the subset can sleep without hurting
+data availability (Section 4.2).
+
+This module models the dataset at block granularity — replicated block
+placement across servers, pod-aware (replicas spread across pods the way
+HDFS spreads them across racks) — and derives the covering subset from the
+*actual* block layout with a greedy set-cover, instead of assuming a size.
+It also provides the availability check the Compute Configurer's
+invariants rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.datacenter.server import Server
+from repro.errors import WorkloadError
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    """One HDFS block and the servers holding its replicas."""
+
+    block_id: int
+    replica_servers: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.replica_servers:
+            raise WorkloadError(f"block {self.block_id} has no replicas")
+        if len(set(self.replica_servers)) != len(self.replica_servers):
+            raise WorkloadError(
+                f"block {self.block_id} has duplicate replica placements"
+            )
+
+
+class HDFSNamespace:
+    """A replicated dataset laid out across the cluster's servers."""
+
+    def __init__(self, blocks: List[Block], num_servers: int) -> None:
+        if num_servers < 1:
+            raise WorkloadError("num_servers must be >= 1")
+        for block in blocks:
+            for server_id in block.replica_servers:
+                if not 0 <= server_id < num_servers:
+                    raise WorkloadError(
+                        f"block {block.block_id} replica on unknown server "
+                        f"{server_id}"
+                    )
+        self.blocks = blocks
+        self.num_servers = num_servers
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def blocks_on(self, server_id: int) -> List[Block]:
+        return [b for b in self.blocks if server_id in b.replica_servers]
+
+    # -- availability -----------------------------------------------------
+
+    def available(self, active_server_ids: Set[int]) -> bool:
+        """True when every block has at least one replica on an active
+        (or decommissioned-but-powered) server."""
+        return all(
+            any(s in active_server_ids for s in block.replica_servers)
+            for block in self.blocks
+        )
+
+    def missing_blocks(self, active_server_ids: Set[int]) -> List[int]:
+        """Block ids with no powered replica (for diagnostics)."""
+        return [
+            block.block_id
+            for block in self.blocks
+            if not any(s in active_server_ids for s in block.replica_servers)
+        ]
+
+    # -- covering subset ----------------------------------------------------
+
+    def covering_subset_ids(self) -> Set[int]:
+        """Smallest-effort server set holding a full dataset copy.
+
+        Greedy set cover: repeatedly take the server covering the most
+        still-uncovered blocks.  Greedy is within ln(n) of optimal, which
+        is exactly the "smallest possible number of servers" spirit.
+        """
+        uncovered: Set[int] = {b.block_id for b in self.blocks}
+        holdings: Dict[int, Set[int]] = {}
+        for block in self.blocks:
+            for server_id in block.replica_servers:
+                holdings.setdefault(server_id, set()).add(block.block_id)
+        chosen: Set[int] = set()
+        while uncovered:
+            best_server = max(
+                holdings, key=lambda s: (len(holdings[s] & uncovered), -s)
+            )
+            gain = holdings[best_server] & uncovered
+            if not gain:
+                raise WorkloadError("dataset cannot be covered (lost blocks?)")
+            chosen.add(best_server)
+            uncovered -= gain
+        return chosen
+
+    def mark_covering_subset(self, servers: Sequence[Server]) -> List[Server]:
+        """Mark ``in_covering_subset`` per the block layout; returns the
+        subset, activated if needed."""
+        ids = self.covering_subset_ids()
+        subset = []
+        for server in servers:
+            server.in_covering_subset = server.server_id in ids
+            if server.in_covering_subset:
+                if not server.is_on:
+                    server.activate()
+                subset.append(server)
+        return subset
+
+
+def place_dataset(
+    dataset_gb: float,
+    num_servers: int,
+    servers_per_pod: int = 16,
+    block_mb: float = 64.0,
+    replication: int = 3,
+    seed: int = 17,
+) -> HDFSNamespace:
+    """Lay a dataset out the way HDFS does, with pod-aware replication.
+
+    The first replica goes to a (pseudo-random) server; subsequent
+    replicas go to servers in *different pods* (HDFS's off-rack rule),
+    which is what makes the covering subset span pods and keeps data
+    available whichever pods CoolAir favors.
+    """
+    if dataset_gb <= 0 or block_mb <= 0:
+        raise WorkloadError("dataset and block sizes must be positive")
+    if replication < 1:
+        raise WorkloadError("replication must be >= 1")
+    num_pods = math.ceil(num_servers / servers_per_pod)
+    if replication > max(1, num_pods):
+        # Cannot honor off-rack placement; cap replicas at pod count.
+        replication = max(1, num_pods)
+    num_blocks = max(1, math.ceil(dataset_gb * 1024.0 / block_mb))
+    rng = np.random.default_rng(seed)
+    blocks: List[Block] = []
+    for block_id in range(num_blocks):
+        first = int(rng.integers(0, num_servers))
+        replicas = [first]
+        used_pods = {first // servers_per_pod}
+        while len(replicas) < replication:
+            candidate = int(rng.integers(0, num_servers))
+            pod = candidate // servers_per_pod
+            if pod in used_pods or candidate in replicas:
+                continue
+            replicas.append(candidate)
+            used_pods.add(pod)
+        blocks.append(Block(block_id=block_id, replica_servers=tuple(replicas)))
+    return HDFSNamespace(blocks, num_servers)

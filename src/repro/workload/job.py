@@ -1,0 +1,109 @@
+"""MapReduce job and task model."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+
+class JobPhase(enum.Enum):
+    PENDING = "pending"
+    MAPPING = "mapping"
+    REDUCING = "reducing"
+    DONE = "done"
+
+
+@dataclasses.dataclass
+class Task:
+    """One map or reduce task."""
+
+    job_id: int
+    is_map: bool
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise WorkloadError(f"task duration {self.duration_s} must be positive")
+
+
+@dataclasses.dataclass
+class Job:
+    """A MapReduce job from a day-long trace.
+
+    Times are seconds from the start of the day.  ``deadline_s`` is the
+    user-provided *start* deadline for deferrable workloads (the paper uses
+    6-hour deadlines); ``None`` marks a non-deferrable job that must start
+    on arrival.
+    """
+
+    job_id: int
+    arrival_s: float
+    num_maps: int
+    map_duration_s: float
+    num_reduces: int
+    reduce_duration_s: float
+    input_mb: float = 64.0
+    output_mb: float = 0.0
+    deadline_s: Optional[float] = None
+    # Set by the temporal scheduler: earliest time the job may start.
+    scheduled_start_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise WorkloadError(f"job {self.job_id}: negative arrival time")
+        if self.num_maps < 1:
+            raise WorkloadError(f"job {self.job_id}: needs at least one map task")
+        if self.num_reduces < 0:
+            raise WorkloadError(f"job {self.job_id}: negative reduce count")
+        if self.map_duration_s <= 0:
+            raise WorkloadError(f"job {self.job_id}: map duration must be positive")
+        if self.num_reduces > 0 and self.reduce_duration_s <= 0:
+            raise WorkloadError(f"job {self.job_id}: reduce duration must be positive")
+        if self.deadline_s is not None and self.deadline_s < self.arrival_s:
+            raise WorkloadError(
+                f"job {self.job_id}: deadline {self.deadline_s} before arrival"
+            )
+
+    @property
+    def is_deferrable(self) -> bool:
+        return self.deadline_s is not None
+
+    @property
+    def effective_start_s(self) -> float:
+        """When the job becomes eligible to run."""
+        if self.scheduled_start_s is None:
+            return self.arrival_s
+        return self.scheduled_start_s
+
+    @property
+    def map_work_s(self) -> float:
+        """Total map task-seconds."""
+        return self.num_maps * self.map_duration_s
+
+    @property
+    def reduce_work_s(self) -> float:
+        return self.num_reduces * self.reduce_duration_s
+
+    @property
+    def total_work_s(self) -> float:
+        return self.map_work_s + self.reduce_work_s
+
+    def defer_to(self, start_s: float) -> None:
+        """Schedule the job to start at ``start_s`` (within its deadline)."""
+        if not self.is_deferrable:
+            raise WorkloadError(f"job {self.job_id} is not deferrable")
+        if start_s < self.arrival_s:
+            raise WorkloadError(
+                f"job {self.job_id}: cannot start before arrival "
+                f"({start_s} < {self.arrival_s})"
+            )
+        assert self.deadline_s is not None
+        if start_s > self.deadline_s:
+            raise WorkloadError(
+                f"job {self.job_id}: start {start_s} is beyond deadline "
+                f"{self.deadline_s}"
+            )
+        self.scheduled_start_s = start_s

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+The trained cooling model and workload traces are expensive relative to a
+unit test, so they are session-scoped and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.layout import parasol_layout
+from repro.sim.campaign import trained_cooling_model
+from repro.workload.traces import FacebookTraceGenerator, NutchTraceGenerator
+
+
+@pytest.fixture(scope="session")
+def cooling_model():
+    """The Cooling Model learned from the default campaign."""
+    return trained_cooling_model()
+
+
+@pytest.fixture(scope="session")
+def facebook_trace():
+    """A small (fast) Facebook-style trace."""
+    return FacebookTraceGenerator(num_jobs=400, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def nutch_trace():
+    return NutchTraceGenerator(num_jobs=400, seed=43).generate()
+
+
+@pytest.fixture()
+def layout():
+    """A fresh Parasol layout (mutable per test)."""
+    return parasol_layout()

@@ -1,0 +1,93 @@
+"""Learning-campaign integration tests (Section 4.2 pipeline)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.cooling.regimes import CoolingMode
+from repro.core.modeler import CoolingLearner, rank_pods_by_recirculation
+from repro.sim.campaign import (
+    probe_recirculation,
+    run_learning_campaign,
+    trained_cooling_model,
+)
+from repro.sim.validation import fraction_within, prediction_errors
+from repro.weather.locations import NEWARK
+
+
+@pytest.fixture(scope="module")
+def campaign_log():
+    return run_learning_campaign(days=(40, 200))
+
+
+class TestCampaignCoverage:
+    def test_visits_all_major_regimes(self, campaign_log):
+        modes = collections.Counter(s.mode for s in campaign_log)
+        assert modes[CoolingMode.CLOSED] > 50
+        assert modes[CoolingMode.FREE_COOLING] > 50
+        assert modes[CoolingMode.AC_ON] > 10
+        assert modes[CoolingMode.AC_FAN] > 10
+
+    def test_fan_speed_diversity(self, campaign_log):
+        speeds = {
+            round(s.fan_speed, 1)
+            for s in campaign_log
+            if s.mode is CoolingMode.FREE_COOLING
+        }
+        assert len(speeds) >= 3
+
+    def test_utilization_diversity(self, campaign_log):
+        utils = {round(s.utilization, 1) for s in campaign_log}
+        assert len(utils) >= 3
+
+    def test_sample_cadence_is_model_step(self, campaign_log):
+        gaps = np.diff([s.time_s for s in campaign_log[:100]])
+        assert np.all(gaps == 120.0)
+
+
+class TestLearnedModelQuality:
+    """The Figure 5 headline numbers: most predictions within 1C."""
+
+    def test_two_minute_accuracy(self, cooling_model):
+        held_out = run_learning_campaign(days=(100,))
+        errors = prediction_errors(cooling_model, held_out, horizon_steps=1)
+        assert fraction_within(errors, 1.0) > 0.90
+
+    def test_ten_minute_accuracy_no_transitions(self, cooling_model):
+        held_out = run_learning_campaign(days=(100,))
+        errors = prediction_errors(
+            cooling_model, held_out, horizon_steps=5, exclude_transitions=True
+        )
+        assert fraction_within(errors, 1.0) > 0.85
+
+    def test_transitions_hurt_accuracy(self, cooling_model):
+        held_out = run_learning_campaign(days=(100, 270))
+        with_t = prediction_errors(cooling_model, held_out, 5, False)
+        without_t = prediction_errors(cooling_model, held_out, 5, True)
+        assert float(np.mean(without_t)) <= float(np.mean(with_t)) + 1e-9
+
+
+class TestModelCache:
+    def test_cache_returns_same_object(self):
+        a = trained_cooling_model()
+        b = trained_cooling_model()
+        assert a is b
+
+    def test_uncached_returns_fresh(self):
+        a = trained_cooling_model(days=(40, 200), use_cache=False)
+        b = trained_cooling_model(days=(40, 200), use_cache=False)
+        assert a is not b
+
+
+class TestRecirculationProbe:
+    def test_probe_orders_pods_by_recirculation(self):
+        rises = probe_recirculation()
+        # The plant's pods have increasing recirculation fractions; the
+        # probe must observe increasing inlet response.
+        ranking = rank_pods_by_recirculation(rises)
+        assert ranking == [3, 2, 1, 0]
+
+    def test_probe_rises_are_positive(self):
+        rises = probe_recirculation()
+        assert all(r > 0 for r in rises)

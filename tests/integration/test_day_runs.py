@@ -1,0 +1,166 @@
+"""Day-scale end-to-end runs: baseline and CoolAir on both hardware
+generations, with both workload drivers."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.cooling.regimes import CoolingMode
+from repro.core.coolair import CoolAir
+from repro.core.versions import all_nd, variation_version
+from repro.sim.engine import (
+    BaselineAdapter,
+    ClusterWorkload,
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+    make_realsim,
+    make_smoothsim,
+)
+from repro.weather.locations import NEWARK, SINGAPORE
+
+
+def run_coolair_day(setup, config, model, trace, day):
+    coolair = CoolAir(
+        config, model, setup.layout, setup.forecast,
+        smooth_hardware=setup.smooth_hardware,
+    )
+    workload = ProfileWorkload(trace, setup.layout, 600.0)
+    runner = DayRunner(setup, workload, CoolAirAdapter(coolair))
+    return runner.run_day(day), coolair
+
+
+class TestBaselineDay:
+    @pytest.fixture(scope="class")
+    def summer_day(self, facebook_trace):
+        setup = make_realsim(NEWARK)
+        runner = DayRunner(
+            setup, ClusterWorkload(facebook_trace, setup.layout), BaselineAdapter()
+        )
+        return runner.run_day(182)
+
+    def test_full_day_recorded(self, summer_day):
+        assert len(summer_day) == 720
+
+    def test_temperatures_bounded_by_setpoint_control(self, summer_day):
+        # The extended baseline aims below 30C; allow controller slack.
+        assert summer_day.max_sensor_temp_c() < 34.0
+
+    def test_uses_free_cooling_on_a_mild_day(self, summer_day):
+        assert summer_day.time_in_mode(CoolingMode.FREE_COOLING) > 0.3
+
+    def test_pue_reasonable(self, summer_day):
+        assert 1.08 <= summer_day.pue() < 1.6
+
+    def test_all_servers_stay_active(self, summer_day):
+        assert all(r.utilization == 1.0 for r in summer_day.records)
+
+
+class TestCoolAirDay:
+    def test_smooth_day_keeps_band(self, cooling_model, facebook_trace):
+        setup = make_smoothsim(NEWARK)
+        day, coolair = run_coolair_day(
+            setup, all_nd(), cooling_model, facebook_trace, 182
+        )
+        band = coolair.band
+        temps = day.sensor_temps()
+        inside = np.mean((temps >= band.low_c - 0.5) & (temps <= band.high_c + 0.5))
+        assert inside > 0.7
+
+    def test_smooth_beats_abrupt_on_variation(self, cooling_model, facebook_trace):
+        """The Figure 7(b)-vs-(d) result: fine-grained hardware controls
+        variation; Parasol's abrupt units cannot.  The sharpest signature
+        is the temperature-change *rate*: opening the abrupt unit at its
+        15% minimum speed produces swings beyond the 20C/h ASHRAE limit
+        that the smooth unit's 1% ramp avoids."""
+        days = (70, 240, 330)
+        smooth_range = abrupt_range = 0.0
+        smooth_rate = abrupt_rate = 0.0
+        for day in days:
+            smooth_day, _ = run_coolair_day(
+                make_smoothsim(NEWARK), all_nd(), cooling_model,
+                facebook_trace, day,
+            )
+            abrupt_day, _ = run_coolair_day(
+                make_realsim(NEWARK), all_nd(), cooling_model,
+                facebook_trace, day,
+            )
+            smooth_range += smooth_day.worst_sensor_range_c()
+            abrupt_range += abrupt_day.worst_sensor_range_c()
+            smooth_rate = max(smooth_rate, smooth_day.max_rate_c_per_hour())
+            abrupt_rate = max(abrupt_rate, abrupt_day.max_rate_c_per_hour())
+        assert smooth_range <= abrupt_range
+        assert smooth_rate < abrupt_rate
+        assert smooth_rate <= 20.0 < abrupt_rate
+
+    def test_energy_management_sleeps_servers(self, cooling_model, facebook_trace):
+        setup = make_smoothsim(NEWARK)
+        day, _ = run_coolair_day(
+            setup, all_nd(), cooling_model, facebook_trace, 182
+        )
+        # At 27% average utilization CoolAir keeps only part of the fleet on.
+        assert float(np.mean([r.utilization for r in day.records])) < 0.9
+
+    def test_humid_location_respects_rh_limit_mostly(
+        self, cooling_model, facebook_trace
+    ):
+        setup = make_smoothsim(SINGAPORE)
+        day, _ = run_coolair_day(
+            setup, all_nd(), cooling_model, facebook_trace, 182
+        )
+        assert day.rh_violation_fraction(80.0) < 0.4
+
+    def test_cluster_workload_day(self, cooling_model, facebook_trace):
+        """The task-level Hadoop driver must work under CoolAir control."""
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        workload = ClusterWorkload(facebook_trace, setup.layout)
+        runner = DayRunner(setup, workload, CoolAirAdapter(coolair))
+        day = runner.run_day(182)
+        assert len(day) == 720
+        assert workload.cluster.jobs_finished > 0.8 * len(facebook_trace)
+
+    def test_disk_power_cycle_budget_respected(self, cooling_model, facebook_trace):
+        """Section 4.2: no more than ~2.2 power cycles per hour on average."""
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        workload = ProfileWorkload(facebook_trace, setup.layout, 600.0)
+        runner = DayRunner(setup, workload, CoolAirAdapter(coolair))
+        runner.run_day(182)
+        assert setup.layout.disks.power_cycles_per_hour() < 2.2
+
+
+class TestWarmup:
+    def test_warmup_removes_initialization_transient(
+        self, cooling_model, facebook_trace
+    ):
+        with_warmup, _ = run_coolair_day(
+            make_smoothsim(NEWARK), all_nd(), cooling_model, facebook_trace, 14
+        )
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        runner = DayRunner(
+            setup, ProfileWorkload(facebook_trace, setup.layout, 600.0),
+            CoolAirAdapter(coolair),
+        )
+        without_warmup = runner.run_day(14, warmup_hours=0.0)
+        assert (
+            with_warmup.worst_sensor_range_c()
+            <= without_warmup.worst_sensor_range_c() + 0.5
+        )
+
+    def test_trace_always_starts_at_midnight(self, cooling_model, facebook_trace):
+        day, _ = run_coolair_day(
+            make_smoothsim(NEWARK), all_nd(), cooling_model, facebook_trace, 100
+        )
+        assert day.records[0].time_s == 0.0

@@ -1,0 +1,89 @@
+"""End-to-end adiabatic cooling on a hot, dry day (Section 2 extension).
+
+Runs the plant through a Chad day under plain free cooling versus free
+cooling with an evaporative stage (policy-gated on the humidity
+constraint), verifying the extension's value where it should exist and
+its restraint where it should not (humid Singapore).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cooling.extensions import (
+    EvaporativeCoolingUnits,
+    evaporation_worthwhile,
+)
+from repro.cooling.regimes import CoolingCommand
+from repro.physics.psychrometrics import absolute_to_relative_humidity
+from repro.physics.thermal import ThermalPlant
+from repro.weather.locations import CHAD, SINGAPORE
+from repro.weather.tmy import generate_tmy
+
+
+def run_day(climate, day, evaporative, target_c=30.0):
+    tmy = generate_tmy(climate)
+    plant = ThermalPlant()
+    units = EvaporativeCoolingUnits(ramp_per_step=1.0)
+    start = day * 86_400
+    plant.reset(tmy.temperature_c(start) + 4.0, tmy.mixing_ratio(start))
+
+    temps, energy_j, evap_steps = [], 0.0, 0
+    for step in range(720):
+        t = start + step * 120.0
+        outside_c = tmy.temperature_c(t)
+        outside_rh = tmy.relative_humidity_pct(t)
+        inside_rh = absolute_to_relative_humidity(
+            plant.state.cold_aisle_mixing_ratio,
+            float(np.mean(plant.state.pod_inlet_temp_c)),
+        )
+        units.apply(CoolingCommand.free_cooling(0.6))
+        if evaporative:
+            on = evaporation_worthwhile(
+                outside_c, outside_rh, inside_rh, target_c
+            )
+            units.set_evaporative(on)
+            evap_steps += int(on)
+        inputs = units.plant_inputs()
+        inputs.pod_it_power_w = [400.0] * 4
+        inputs.outside_temp_c = outside_c
+        inputs.outside_mixing_ratio = tmy.mixing_ratio(t)
+        state = plant.step(inputs, 120.0)
+        temps.append(float(state.pod_inlet_temp_c.max()))
+        energy_j += units.power_w() * 120.0
+    return np.array(temps), energy_j / 3.6e6, evap_steps
+
+
+HOT_DAY = 120  # Chad pre-monsoon heat
+
+
+class TestEvaporativeChad:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        plain_temps, plain_kwh, _ = run_day(CHAD, HOT_DAY, evaporative=False)
+        evap_temps, evap_kwh, evap_steps = run_day(CHAD, HOT_DAY, evaporative=True)
+        return plain_temps, evap_temps, plain_kwh, evap_kwh, evap_steps
+
+    def test_evaporation_engages_in_dry_heat(self, runs):
+        *_, evap_steps = runs
+        assert evap_steps > 100  # a good chunk of the day
+
+    def test_peak_inlets_lowered(self, runs):
+        plain_temps, evap_temps, *_ = runs
+        assert evap_temps.max() < plain_temps.max() - 2.0
+
+    def test_mean_inlets_lowered(self, runs):
+        plain_temps, evap_temps, *_ = runs
+        assert evap_temps.mean() < plain_temps.mean()
+
+    def test_pump_energy_is_modest(self, runs):
+        _, _, plain_kwh, evap_kwh, _ = runs
+        # The pump adds far less than the AC hours it displaces would cost.
+        assert evap_kwh - plain_kwh < 1.5
+
+
+class TestEvaporativeSingapore:
+    def test_humidity_constraint_blocks_evaporation(self):
+        """Singapore is hot but too humid: the §2 'within the humidity
+        constraint' policy must keep the pads mostly off."""
+        _, _, evap_steps = run_day(SINGAPORE, 182, evaporative=True)
+        assert evap_steps < 120  # rarely engaged despite the heat

@@ -1,0 +1,76 @@
+"""Multi-zone datacenter tests (Section 6 scaling)."""
+
+import pytest
+
+from repro.core.versions import all_nd
+from repro.errors import ConfigError
+from repro.sim.multizone import FleetDayResult, MultiZoneDatacenter, partition_trace
+from repro.weather.locations import NEWARK
+
+
+class TestPartition:
+    def test_round_robin_counts(self, facebook_trace):
+        zones = partition_trace(facebook_trace, 3)
+        sizes = [len(z) for z in zones]
+        assert sum(sizes) == len(facebook_trace)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_arrival_order_preserved(self, facebook_trace):
+        zones = partition_trace(facebook_trace, 4)
+        for zone in zones:
+            arrivals = [j.arrival_s for j in zone.jobs]
+            assert arrivals == sorted(arrivals)
+
+    def test_single_zone_is_identity(self, facebook_trace):
+        zones = partition_trace(facebook_trace, 1)
+        assert len(zones[0]) == len(facebook_trace)
+
+    def test_validation(self, facebook_trace):
+        with pytest.raises(ConfigError):
+            partition_trace(facebook_trace, 0)
+
+
+class TestMultiZoneRuns:
+    def test_coolair_fleet_day(self, facebook_trace, cooling_model):
+        fleet = MultiZoneDatacenter(
+            NEWARK, facebook_trace, num_zones=2, system=all_nd(),
+            model=cooling_model,
+        )
+        result = fleet.run_day(182)
+        assert len(result.zones) == 2
+        assert result.worst_zone_range_c > 0
+        assert 1.08 <= result.fleet_pue() < 1.6
+
+    def test_baseline_fleet_day(self, facebook_trace):
+        fleet = MultiZoneDatacenter(
+            NEWARK, facebook_trace, num_zones=2, system="baseline"
+        )
+        result = fleet.run_day(182)
+        assert result.cooling_kwh >= 0
+        assert result.zone_spread_c() >= 0
+
+    def test_zones_share_weather_but_manage_independently(
+        self, facebook_trace, cooling_model
+    ):
+        fleet = MultiZoneDatacenter(
+            NEWARK, facebook_trace, num_zones=3, system=all_nd(),
+            model=cooling_model,
+        )
+        result = fleet.run_day(100)
+        outsides = [z.trace.outside_temps()[0] for z in result.zones]
+        assert max(outsides) - min(outsides) < 0.6  # same site weather
+        # Independent managers: per-zone IT power differs with the split.
+        it = [z.trace.it_energy_kwh() for z in result.zones]
+        assert all(v > 0 for v in it)
+
+    def test_coolair_requires_model(self, facebook_trace):
+        with pytest.raises(ConfigError):
+            MultiZoneDatacenter(
+                NEWARK, facebook_trace, num_zones=2, system=all_nd(), model=None
+            )
+
+    def test_unknown_system_rejected(self, facebook_trace):
+        with pytest.raises(ConfigError):
+            MultiZoneDatacenter(
+                NEWARK, facebook_trace, num_zones=2, system="magic"
+            )

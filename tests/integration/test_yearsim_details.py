@@ -1,0 +1,63 @@
+"""YearResult bookkeeping details."""
+
+import pytest
+
+from repro.core.versions import all_nd
+from repro.sim.yearsim import run_year, sampled_days
+from repro.weather.locations import NEWARK
+
+
+class TestKeepTraces:
+    def test_traces_attached_when_requested(self, facebook_trace, cooling_model):
+        result = run_year(
+            all_nd(), NEWARK, facebook_trace, model=cooling_model,
+            sample_every_days=182, keep_traces=True,
+        )
+        assert len(result.traces) == len(result.sampled_days)
+        assert all(len(t) == 720 for t in result.traces)
+
+    def test_traces_absent_by_default(self, facebook_trace):
+        result = run_year(
+            "baseline", NEWARK, facebook_trace, sample_every_days=182
+        )
+        assert not hasattr(result, "traces")
+
+
+class TestPerDaySeries:
+    @pytest.fixture(scope="class")
+    def result(self, facebook_trace):
+        return run_year(
+            "baseline", NEWARK, facebook_trace, sample_every_days=91
+        )
+
+    def test_series_lengths_match_days(self, result):
+        n = len(result.sampled_days)
+        assert len(result.daily_worst_range_c) == n
+        assert len(result.daily_outside_range_c) == n
+        assert len(result.daily_avg_violation_c) == n
+        assert len(result.daily_max_rate_c_per_hour) == n
+
+    def test_min_max_bracket_avg(self, result):
+        assert (
+            result.min_range_c
+            <= result.avg_range_c
+            <= result.max_range_c
+        )
+
+    def test_energy_positive(self, result):
+        assert result.it_kwh > 0
+        assert result.cooling_kwh >= 0
+
+    def test_labels(self, result):
+        assert result.label == "Baseline"
+        assert result.climate_name == "Newark"
+
+
+class TestSampling:
+    def test_stride_one_covers_year(self):
+        assert len(sampled_days(1)) == 365
+
+    def test_paper_stride(self):
+        days = sampled_days(7)
+        assert days[1] - days[0] == 7
+        assert days[-1] <= 364

@@ -1,0 +1,81 @@
+"""ASCII timeline rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import regime_ribbon, render_day, sparkline
+from repro.cooling.regimes import CoolingMode
+from repro.errors import SimulationError
+from repro.sim.trace import DayTrace, StepRecord
+
+
+def record(t, temp, mode=CoolingMode.FREE_COOLING):
+    return StepRecord(
+        time_s=t,
+        outside_temp_c=temp - 3.0,
+        sensor_temps_c=(temp, temp + 1.0),
+        mode=mode,
+        fc_fan_speed=0.5,
+        ac_compressor_duty=0.0,
+        cooling_power_w=100.0,
+        it_power_w=1500.0,
+        inside_rh_pct=50.0,
+        outside_rh_pct=60.0,
+        utilization=0.5,
+    )
+
+
+@pytest.fixture()
+def day():
+    trace = DayTrace(0, label="test")
+    for i in range(144):
+        mode = CoolingMode.CLOSED if i < 72 else CoolingMode.FREE_COOLING
+        trace.append(record(i * 600.0, 20.0 + 5.0 * np.sin(i / 20.0), mode))
+    return trace
+
+
+class TestSparkline:
+    def test_length_matches_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_flat_series_renders_floor(self):
+        line = sparkline([5.0] * 10)
+        assert set(line) == {"▁"}
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 8), width=8)
+        assert line == "".join(sorted(line))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            sparkline([])
+
+
+class TestRegimeRibbon:
+    def test_shows_dominant_modes(self, day):
+        ribbon = regime_ribbon(day, width=10)
+        assert ribbon[:5] == "....."
+        assert ribbon[5:] == "FFFFF"
+
+    def test_width(self, day):
+        assert len(regime_ribbon(day, width=36)) == 36
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            regime_ribbon(DayTrace(0), width=10)
+
+
+class TestRenderDay:
+    def test_panel_contents(self, day):
+        panel = render_day(day, width=40)
+        assert "outside" in panel
+        assert "inlet" in panel
+        assert "regime" in panel
+        assert "PUE" in panel
+        assert "test — day 0" in panel
+
+    def test_panel_is_multiline(self, day):
+        assert len(render_day(day).splitlines()) == 5

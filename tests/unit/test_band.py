@@ -1,0 +1,98 @@
+"""Temperature band selection tests (Section 3.2, Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.band import TemperatureBand, band_overlaps_forecast, select_band
+from repro.core.config import BandMode, CoolAirConfig
+from repro.errors import ConfigError
+from repro.weather.forecast import DailyForecast
+
+
+def forecast_with_avg(avg_c, spread_c=4.0):
+    hours = np.arange(24)
+    temps = avg_c + spread_c * np.cos(2 * np.pi * (hours - 15) / 24)
+    return DailyForecast(day_of_year=0, issued_hour=0, hourly_temps_c=temps)
+
+
+class TestTemperatureBand:
+    def test_geometry(self):
+        band = TemperatureBand(20.0, 25.0)
+        assert band.center_c == 22.5
+        assert band.width_c == 5.0
+
+    def test_contains_and_distance(self):
+        band = TemperatureBand(20.0, 25.0)
+        assert band.contains(22.0)
+        assert band.distance_c(22.0) == 0.0
+        assert band.distance_c(18.0) == 2.0
+        assert band.distance_c(27.5) == 2.5
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ConfigError):
+            TemperatureBand(25.0, 20.0)
+
+
+class TestAdaptiveSelection:
+    def test_band_centered_on_average_plus_offset(self):
+        config = CoolAirConfig(offset_c=8.0, width_c=5.0)
+        band = select_band(forecast_with_avg(12.0), config)
+        assert band.center_c == pytest.approx(20.0)
+        assert band.width_c == 5.0
+        assert not band.slid
+
+    def test_slides_below_max(self):
+        config = CoolAirConfig(offset_c=8.0, width_c=5.0, max_c=30.0)
+        band = select_band(forecast_with_avg(28.0), config)
+        assert band.high_c == 30.0
+        assert band.low_c == 25.0
+        assert band.slid
+
+    def test_slides_above_min(self):
+        config = CoolAirConfig(offset_c=8.0, width_c=5.0, min_c=10.0)
+        band = select_band(forecast_with_avg(-10.0), config)
+        assert band.low_c == 10.0
+        assert band.high_c == 15.0
+        assert band.slid
+
+    @settings(max_examples=40, deadline=None)
+    @given(avg=st.floats(min_value=-30.0, max_value=45.0))
+    def test_band_always_within_min_max(self, avg):
+        config = CoolAirConfig()
+        band = select_band(forecast_with_avg(avg), config)
+        assert band.low_c >= config.min_c - 1e-9
+        assert band.high_c <= config.max_c + 1e-9
+        assert band.width_c == pytest.approx(config.width_c)
+
+
+class TestOtherModes:
+    def test_fixed_band(self):
+        config = CoolAirConfig(
+            band_mode=BandMode.FIXED, fixed_band_low_c=25.0, fixed_band_high_c=30.0
+        )
+        band = select_band(forecast_with_avg(0.0), config)
+        assert (band.low_c, band.high_c) == (25.0, 30.0)
+
+    def test_max_only_spans_allowed_range(self):
+        config = CoolAirConfig(band_mode=BandMode.MAX_ONLY, max_temp_setpoint_c=29.0)
+        band = select_band(forecast_with_avg(50.0), config)
+        assert band.high_c == 29.0
+        assert band.low_c == config.min_c
+
+
+class TestBandForecastOverlap:
+    def test_overlap_when_forecast_reaches_band(self):
+        band = TemperatureBand(18.0, 23.0)
+        forecast = forecast_with_avg(12.0)  # +8 offset -> inlet ~20
+        assert band_overlaps_forecast(band, forecast, offset_c=8.0)
+
+    def test_no_overlap_when_outside_always_hotter(self):
+        band = TemperatureBand(25.0, 30.0)
+        forecast = forecast_with_avg(35.0)  # +8 -> >39 all day
+        assert not band_overlaps_forecast(band, forecast, offset_c=8.0)
+
+    def test_no_overlap_when_outside_always_colder(self):
+        band = TemperatureBand(25.0, 30.0)
+        forecast = forecast_with_avg(-5.0)
+        assert not band_overlaps_forecast(band, forecast, offset_c=8.0)

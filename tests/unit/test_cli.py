@@ -1,0 +1,64 @@
+"""CLI tests (fast subcommands only; day/year are covered by integration
+tests through the same code paths)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["year"])
+        assert args.location == "Newark"
+        assert args.system == "All-ND"
+        assert args.sample_days == 14
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["day", "--system", "bogus"])
+
+
+class TestFastCommands:
+    def test_versions(self, capsys):
+        assert main(["versions"]) == 0
+        out = capsys.readouterr().out
+        assert "All-ND" in out and "Energy-DEF" in out
+
+    def test_locations(self, capsys):
+        assert main(["locations"]) == 0
+        out = capsys.readouterr().out
+        assert "Singapore" in out and "Iceland" in out
+
+    def test_band(self, capsys):
+        assert main(["band", "--location", "Newark", "--day", "182"]) == 0
+        out = capsys.readouterr().out
+        assert "band: [" in out
+
+    def test_band_rejects_baseline(self, capsys):
+        assert main(["band", "--system", "baseline"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_location_is_clean_error(self, capsys):
+        assert main(["band", "--location", "Atlantis"]) == 2
+        err = capsys.readouterr().err
+        assert "Atlantis" in err
+
+
+class TestDayCommand:
+    def test_baseline_day(self, capsys):
+        assert main([
+            "day", "--system", "baseline", "--location", "Iceland",
+            "--day", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PUE" in out and "range" in out
+
+    def test_coolair_day(self, capsys, cooling_model):
+        # trained_cooling_model() is cached by the session fixture, so
+        # this exercises the full CoolAir path quickly.
+        assert main(["day", "--system", "All-ND", "--day", "100"]) == 0
+        assert "All-ND" in capsys.readouterr().out

@@ -1,0 +1,195 @@
+"""Compute Manager tests: placement, activation, temporal scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.band import TemperatureBand
+from repro.core.compute import (
+    ComputeConfigurer,
+    ComputeOptimizer,
+    TemporalScheduler,
+)
+from repro.core.config import (
+    CoolAirConfig,
+    PlacementStrategy,
+    TemporalPolicy,
+)
+from repro.core.versions import all_def, all_nd, energy_def
+from repro.datacenter.server import PowerState
+from repro.errors import SchedulingError
+from repro.weather.forecast import DailyForecast
+from repro.workload.covering import covering_subset
+from repro.workload.job import Job
+
+
+def forecast(temps):
+    return DailyForecast(
+        day_of_year=0, issued_hour=0, hourly_temps_c=np.asarray(temps, dtype=float)
+    )
+
+
+def deferrable_job(job_id, arrival_hour, deadline_hours=6.0):
+    arrival = arrival_hour * 3600.0
+    return Job(
+        job_id=job_id,
+        arrival_s=arrival,
+        num_maps=4,
+        map_duration_s=100.0,
+        num_reduces=1,
+        reduce_duration_s=50.0,
+        deadline_s=arrival + deadline_hours * 3600.0,
+    )
+
+
+class TestComputeOptimizer:
+    def test_high_recirc_placement_order(self, layout):
+        optimizer = ComputeOptimizer(all_nd(), layout)
+        order = optimizer.placement_order()
+        assert order[0].pod_id == 3  # highest recirculation pod first
+        assert order[-1].pod_id == 0
+
+    def test_low_recirc_placement_order(self, layout):
+        config = all_nd()
+        config.placement = PlacementStrategy.LOW_RECIRCULATION_FIRST
+        optimizer = ComputeOptimizer(config, layout)
+        assert optimizer.placement_order()[0].pod_id == 0
+
+    def test_active_set_meets_demand(self, layout):
+        optimizer = ComputeOptimizer(all_nd(), layout)
+        active = optimizer.plan_active_set(20)
+        assert len(active) == 20
+
+    def test_covering_subset_always_included(self, layout):
+        covering_subset(layout.all_servers(), dataset_gb=1000.0)
+        optimizer = ComputeOptimizer(all_nd(), layout)
+        active = optimizer.plan_active_set(4)
+        subset_ids = {
+            s.server_id for s in layout.all_servers() if s.in_covering_subset
+        }
+        assert subset_ids <= active
+        assert len(active) >= len(subset_ids)
+
+    def test_active_pods_derived_from_active_set(self, layout):
+        optimizer = ComputeOptimizer(all_nd(), layout)
+        active = optimizer.plan_active_set(8)  # half a pod
+        pods = optimizer.active_pod_indices(active)
+        assert pods == [3]  # all in the highest-recirc pod
+
+
+class TestComputeConfigurer:
+    def test_wakes_required_servers(self, layout):
+        configurer = ComputeConfigurer(layout)
+        for server in layout.all_servers():
+            server.sleep()
+        configurer.apply({0, 1, 2})
+        assert layout.server_by_id(0).state is PowerState.ACTIVE
+        assert layout.server_by_id(63).state is PowerState.SLEEP
+
+    def test_sleeps_unneeded_servers(self, layout):
+        configurer = ComputeConfigurer(layout)
+        configurer.apply({0, 1})
+        states = {s.server_id: s.state for s in layout.all_servers()}
+        assert states[0] is PowerState.ACTIVE
+        assert states[10] is PowerState.SLEEP
+
+    def test_decommission_before_sleep_with_data(self, layout):
+        configurer = ComputeConfigurer(layout)
+        server = layout.server_by_id(5)
+        server.holds_job_data = True
+        configurer.apply({0})
+        assert server.state is PowerState.DECOMMISSIONED
+        # Data cleared: next pass puts it to sleep.
+        server.holds_job_data = False
+        configurer.apply({0})
+        assert server.state is PowerState.SLEEP
+
+    def test_covering_subset_never_sleeps(self, layout):
+        covering_subset(layout.all_servers(), dataset_gb=500.0)
+        configurer = ComputeConfigurer(layout)
+        configurer.apply(set())
+        for server in layout.all_servers():
+            if server.in_covering_subset:
+                assert server.state is PowerState.ACTIVE
+
+
+class TestBandAwareScheduling:
+    def test_defers_out_of_band_jobs_to_in_band_hours(self):
+        config = all_def()  # offset 8, band-aware
+        scheduler = TemporalScheduler(config)
+        band = TemperatureBand(25.0, 30.0)
+        # Outside 10C at hour 0 (inlet ~18, out of band), 20C from hour 4
+        # (inlet ~28, in band).
+        temps = [10.0] * 4 + [20.0] * 20
+        jobs = [deferrable_job(0, arrival_hour=1)]
+        deferred = scheduler.schedule_day(jobs, forecast(temps), band)
+        assert deferred == 1
+        assert jobs[0].scheduled_start_s == 4 * 3600.0
+
+    def test_keeps_jobs_already_in_band(self):
+        scheduler = TemporalScheduler(all_def())
+        band = TemperatureBand(25.0, 30.0)
+        temps = [20.0] * 24  # always in band (20 + 8 = 28)
+        jobs = [deferrable_job(0, arrival_hour=2)]
+        assert scheduler.schedule_day(jobs, forecast(temps), band) == 0
+        assert jobs[0].scheduled_start_s is None
+
+    def test_skips_when_band_slid(self):
+        scheduler = TemporalScheduler(all_def())
+        band = TemperatureBand(25.0, 30.0, slid=True)
+        jobs = [deferrable_job(0, arrival_hour=1)]
+        assert scheduler.schedule_day(jobs, forecast([10.0] * 24), band) == 0
+
+    def test_skips_when_no_overlap(self):
+        scheduler = TemporalScheduler(all_def())
+        band = TemperatureBand(25.0, 30.0)
+        # Outside always 40C: inlet predictions never inside the band.
+        assert (
+            scheduler.schedule_day(
+                [deferrable_job(0, 1)], forecast([40.0] * 24), band
+            )
+            == 0
+        )
+
+    def test_never_defers_beyond_deadline(self):
+        scheduler = TemporalScheduler(all_def())
+        band = TemperatureBand(25.0, 30.0)
+        # In-band hours exist only past the job's 6-hour deadline.
+        temps = [10.0] * 10 + [20.0] * 14
+        jobs = [deferrable_job(0, arrival_hour=1, deadline_hours=6.0)]
+        assert scheduler.schedule_day(jobs, forecast(temps), band) == 0
+        assert jobs[0].scheduled_start_s is None
+
+    def test_requires_band(self):
+        scheduler = TemporalScheduler(all_def())
+        with pytest.raises(SchedulingError):
+            scheduler.schedule_day([], forecast([20.0] * 24), None)
+
+    def test_non_deferrable_jobs_untouched(self):
+        scheduler = TemporalScheduler(all_def())
+        band = TemperatureBand(25.0, 30.0)
+        job = Job(0, 3600.0, 4, 100.0, 1, 50.0)  # no deadline
+        temps = [10.0] * 4 + [20.0] * 20
+        assert scheduler.schedule_day([job], forecast(temps), band) == 0
+
+
+class TestColdestHoursScheduling:
+    def test_moves_jobs_to_coldest_hour_in_window(self):
+        scheduler = TemporalScheduler(energy_def())
+        temps = [15.0, 14.0, 13.0, 5.0, 14.0, 15.0] + [16.0] * 18
+        jobs = [deferrable_job(0, arrival_hour=0, deadline_hours=6.0)]
+        deferred = scheduler.schedule_day(jobs, forecast(temps), None)
+        assert deferred == 1
+        assert jobs[0].scheduled_start_s == 3 * 3600.0
+
+    def test_stays_if_arrival_hour_is_coldest(self):
+        scheduler = TemporalScheduler(energy_def())
+        temps = [5.0] + [15.0] * 23
+        jobs = [deferrable_job(0, arrival_hour=0)]
+        assert scheduler.schedule_day(jobs, forecast(temps), None) == 0
+
+
+class TestNonePolicy:
+    def test_none_policy_never_schedules(self):
+        scheduler = TemporalScheduler(all_nd())
+        jobs = [deferrable_job(0, 1)]
+        assert scheduler.schedule_day(jobs, forecast([10.0] * 24), None) == 0

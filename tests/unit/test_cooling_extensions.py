@@ -1,0 +1,161 @@
+"""Evaporative pre-cooling and chilled-water extension tests."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.cooling.extensions import (
+    ChilledWaterUnits,
+    EvaporativeCoolingUnits,
+    evaporation_worthwhile,
+)
+from repro.cooling.regimes import CoolingCommand
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import wet_bulb_c
+from repro.physics.thermal import PlantInputs, ThermalPlant
+
+
+class TestWetBulb:
+    def test_saturated_air_wet_bulb_near_dry_bulb(self):
+        assert wet_bulb_c(25.0, 99.0) == pytest.approx(25.0, abs=0.6)
+
+    def test_dry_air_has_large_depression(self):
+        assert 30.0 - wet_bulb_c(30.0, 20.0) > 10.0
+
+    def test_never_exceeds_dry_bulb(self):
+        for t in (0.0, 15.0, 35.0):
+            for rh in (10.0, 50.0, 95.0):
+                assert wet_bulb_c(t, rh) <= t
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            wet_bulb_c(25.0, 120.0)
+
+
+class TestEvaporativePlantPhysics:
+    def run_fc(self, effectiveness, outside=35.0, rh_mixing=0.006):
+        plant = ThermalPlant()
+        plant.reset(30.0, 0.008)
+        inputs = PlantInputs(
+            fc_fan_speed=0.8,
+            evaporative_effectiveness=effectiveness,
+            pod_it_power_w=[400.0] * 4,
+            outside_temp_c=outside,
+            outside_mixing_ratio=rh_mixing,
+        )
+        for _ in range(30):
+            plant.step(inputs, 120)
+        return plant.state
+
+    def test_evaporation_lowers_inlets_in_dry_heat(self):
+        without = self.run_fc(0.0)
+        with_evap = self.run_fc(0.7)
+        assert (
+            float(with_evap.pod_inlet_temp_c.mean())
+            < float(without.pod_inlet_temp_c.mean()) - 2.0
+        )
+
+    def test_evaporation_adds_moisture(self):
+        without = self.run_fc(0.0)
+        with_evap = self.run_fc(0.7)
+        assert with_evap.cold_aisle_mixing_ratio > without.cold_aisle_mixing_ratio
+
+    def test_effectiveness_validated(self):
+        plant = ThermalPlant()
+        with pytest.raises(ConfigError):
+            plant.step(
+                PlantInputs(
+                    fc_fan_speed=0.5,
+                    evaporative_effectiveness=1.5,
+                    pod_it_power_w=[100.0] * 4,
+                ),
+                120,
+            )
+
+
+class TestEvaporativeUnits:
+    def test_pump_power_added_only_when_running(self):
+        units = EvaporativeCoolingUnits(ramp_per_step=1.0)
+        units.apply(CoolingCommand.free_cooling(0.5))
+        base = units.power_w()
+        units.set_evaporative(True)
+        assert units.power_w() == pytest.approx(base + 55.0)
+        units.apply(CoolingCommand.closed())
+        assert units.power_w() == 0.0
+
+    def test_plant_inputs_carry_effectiveness(self):
+        units = EvaporativeCoolingUnits(ramp_per_step=1.0, effectiveness=0.6)
+        units.set_evaporative(True)
+        units.apply(CoolingCommand.free_cooling(0.5))
+        assert units.plant_inputs().evaporative_effectiveness == 0.6
+        units.set_evaporative(False)
+        assert units.plant_inputs().evaporative_effectiveness == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EvaporativeCoolingUnits(effectiveness=0.0)
+        with pytest.raises(ConfigError):
+            EvaporativeCoolingUnits(pump_power_w=-1.0)
+
+
+class TestEvaporationPolicy:
+    def test_runs_in_dry_heat(self):
+        assert evaporation_worthwhile(
+            outside_temp_c=36.0, outside_rh_pct=25.0,
+            inside_rh_pct=40.0, target_temp_c=28.0,
+        )
+
+    def test_skipped_when_cool_outside(self):
+        assert not evaporation_worthwhile(
+            outside_temp_c=20.0, outside_rh_pct=30.0,
+            inside_rh_pct=40.0, target_temp_c=28.0,
+        )
+
+    def test_skipped_when_humid(self):
+        """The paper's 'within the humidity constraint'."""
+        assert not evaporation_worthwhile(
+            outside_temp_c=34.0, outside_rh_pct=85.0,
+            inside_rh_pct=40.0, target_temp_c=28.0,
+        )
+        assert not evaporation_worthwhile(
+            outside_temp_c=34.0, outside_rh_pct=30.0,
+            inside_rh_pct=75.0, target_temp_c=28.0,
+        )
+
+    def test_skipped_when_depression_too_small(self):
+        # Near saturation the wet bulb is barely below the dry bulb.
+        assert not evaporation_worthwhile(
+            outside_temp_c=34.0, outside_rh_pct=97.0,
+            inside_rh_pct=40.0, target_temp_c=28.0, max_rh_pct=200.0,
+        )
+
+
+class TestChilledWater:
+    def test_power_via_cop(self):
+        units = ChilledWaterUnits(ramp_per_step=1.0, cop=4.5)
+        units.apply(CoolingCommand.ac(compressor_duty=1.0, fan_speed=1.0))
+        expected = constants.AC_COMPRESSOR_W / 4.0 + 5500.0 / 4.5
+        assert units.power_w() == pytest.approx(expected)
+
+    def test_chiller_cheaper_than_dx_at_same_duty(self):
+        from repro.cooling.units import SmoothCoolingUnits
+
+        chiller = ChilledWaterUnits(ramp_per_step=1.0, cop=4.5)
+        dx = SmoothCoolingUnits(ramp_per_step=1.0)
+        for units in (chiller, dx):
+            units.apply(CoolingCommand.ac(compressor_duty=1.0, fan_speed=1.0))
+        assert chiller.power_w() < dx.power_w()
+
+    def test_duty_scales_power_linearly(self):
+        units = ChilledWaterUnits(ramp_per_step=1.0, cop=4.0)
+        units.apply(CoolingCommand.ac(compressor_duty=0.5, fan_speed=1.0))
+        half = units.power_w()
+        units.apply(CoolingCommand.ac(compressor_duty=1.0, fan_speed=1.0))
+        full = units.power_w()
+        assert full - half == pytest.approx(5500.0 / 4.0 / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChilledWaterUnits(cop=0.0)
+        with pytest.raises(ConfigError):
+            ChilledWaterUnits(capacity_w=-5.0)

@@ -1,0 +1,134 @@
+"""Simulation-engine unit tests: setups, workload drivers, adapters."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.units import AbruptCoolingUnits, SmoothCoolingUnits
+from repro.datacenter.server import PowerState
+from repro.errors import ConfigError
+from repro.sim.engine import (
+    BaselineAdapter,
+    ClusterWorkload,
+    DayRunner,
+    ProfileWorkload,
+    SimSetup,
+    make_realsim,
+    make_smoothsim,
+)
+from repro.weather.locations import NEWARK
+from repro.workload.traces import FacebookTraceGenerator
+
+
+class TestSetupFactories:
+    def test_realsim_uses_abrupt_units(self):
+        setup = make_realsim(NEWARK)
+        assert isinstance(setup.units, AbruptCoolingUnits)
+        assert not setup.smooth_hardware
+
+    def test_smoothsim_uses_smooth_units(self):
+        setup = make_smoothsim(NEWARK)
+        assert isinstance(setup.units, SmoothCoolingUnits)
+        assert setup.smooth_hardware
+
+    def test_covering_subset_marked(self):
+        setup = make_realsim(NEWARK)
+        subset = [s for s in setup.layout.all_servers() if s.in_covering_subset]
+        assert len(subset) == 8
+
+    def test_forecast_bias_installed(self):
+        setup = make_realsim(NEWARK, forecast_bias_c=5.0)
+        assert setup.forecast.bias_c == 5.0
+
+    def test_control_period_must_divide(self):
+        setup = make_realsim(NEWARK)
+        with pytest.raises(ConfigError):
+            SimSetup(
+                climate=setup.climate,
+                tmy=setup.tmy,
+                layout=setup.layout,
+                plant=setup.plant,
+                units=setup.units,
+                forecast=setup.forecast,
+                model_step_s=120,
+                control_period_s=500,
+            )
+
+
+class TestProfileWorkload:
+    @pytest.fixture()
+    def workload(self, facebook_trace, layout):
+        return ProfileWorkload(facebook_trace, layout, 600.0)
+
+    def test_demand_wraps_around_day(self, workload):
+        assert workload.demanded_servers(0) == workload.demanded_servers(144)
+
+    def test_step_sets_utilization_on_active_only(self, workload, layout):
+        for server in layout.all_servers()[32:]:
+            server.in_covering_subset = False
+            server.sleep()
+        workload.step(120.0, 12 * 3600.0, None)
+        actives = [s for s in layout.all_servers() if s.state is PowerState.ACTIVE]
+        sleepers = [s for s in layout.all_servers() if s.state is PowerState.SLEEP]
+        assert all(s.utilization >= 0.0 for s in actives)
+        assert all(s.utilization == 0.0 for s in sleepers)
+
+    def test_begin_day_resets_deferrals(self, layout):
+        trace = FacebookTraceGenerator(num_jobs=30).generate(deferrable=True)
+        workload = ProfileWorkload(trace, layout, 600.0)
+        trace.jobs[0].defer_to(trace.jobs[0].arrival_s + 3600.0)
+        workload.begin_day()
+        assert trace.jobs[0].scheduled_start_s is None
+
+    def test_rebuild_reflects_deferral(self, layout):
+        trace = FacebookTraceGenerator(num_jobs=30).generate(deferrable=True)
+        workload = ProfileWorkload(trace, layout, 600.0)
+        before = workload.profile.busy_slot_seconds.copy()
+        for job in trace.jobs:
+            job.defer_to(min(job.deadline_s, job.arrival_s + 4 * 3600.0))
+        workload.rebuild()
+        after = workload.profile.busy_slot_seconds
+        assert not np.array_equal(before, after)
+
+
+class TestClusterWorkload:
+    def test_demand_tracks_cluster(self, facebook_trace, layout):
+        workload = ClusterWorkload(facebook_trace, layout)
+        initial = workload.demanded_servers(0)
+        workload.step(600.0, 0.0, None)
+        assert workload.demanded_servers(0) >= 0
+        assert initial >= 0
+
+    def test_begin_day_resets_cluster(self, facebook_trace, layout):
+        workload = ClusterWorkload(facebook_trace, layout)
+        workload.step(3600.0, 0.0, None)
+        done_before = workload.cluster.jobs_finished
+        workload.begin_day()
+        assert workload.cluster.jobs_finished == 0
+        assert done_before >= 0
+
+
+class TestBaselineAdapter:
+    def test_start_day_wakes_everyone(self, facebook_trace):
+        setup = make_realsim(NEWARK)
+        for server in setup.layout.all_servers()[10:20]:
+            server.in_covering_subset = False
+            server.sleep()
+        runner = DayRunner(
+            setup, ProfileWorkload(facebook_trace, setup.layout, 600.0),
+            BaselineAdapter(),
+        )
+        BaselineAdapter().start_day(runner, 0)
+        assert all(
+            s.state is PowerState.ACTIVE for s in setup.layout.all_servers()
+        )
+
+    def test_control_reads_high_recirc_sensor(self, facebook_trace):
+        setup = make_realsim(NEWARK)
+        setup.layout.observe([20.0, 20.0, 20.0, 29.0], 50.0, 25.0, 60.0)
+        adapter = BaselineAdapter()
+        runner = DayRunner(
+            setup, ProfileWorkload(facebook_trace, setup.layout, 600.0), adapter
+        )
+        adapter.control(runner)
+        # Control temp 29 with SP=30 and outside 25 -> free cooling (LOT).
+        assert setup.units.fc_fan_speed > 0.0

@@ -1,0 +1,88 @@
+"""Error hierarchy and paper-constant sanity checks."""
+
+import pytest
+
+from repro import constants
+from repro.errors import (
+    ConfigError,
+    ModelNotTrainedError,
+    RegimeError,
+    ReproError,
+    SchedulingError,
+    SensorError,
+    SimulationError,
+    WeatherError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            ConfigError,
+            ModelNotTrainedError,
+            RegimeError,
+            SensorError,
+            WorkloadError,
+            SchedulingError,
+            SimulationError,
+            WeatherError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+        with pytest.raises(ReproError):
+            raise error_cls("boom")
+
+    def test_catching_base_does_not_mask_type(self):
+        try:
+            raise SensorError("x")
+        except ReproError as err:
+            assert isinstance(err, SensorError)
+
+
+class TestPaperConstants:
+    """Values printed in the paper must not drift."""
+
+    def test_cooling_power_figures(self):
+        assert constants.AC_FAN_ONLY_W == 135.0
+        assert constants.AC_COMPRESSOR_W == 2200.0
+        assert constants.FC_MIN_POWER_W == 8.0
+        assert constants.FC_MAX_POWER_W == 425.0
+        assert constants.FC_MIN_SPEED == 0.15
+
+    def test_server_figures(self):
+        assert constants.SERVER_IDLE_W == 22.0
+        assert constants.SERVER_PEAK_W == 30.0
+        assert constants.NUM_SERVERS == 64
+
+    def test_coolair_defaults(self):
+        assert constants.DEFAULT_OFFSET_C == 8.0
+        assert constants.DEFAULT_WIDTH_C == 5.0
+        assert constants.DEFAULT_MIN_C == 10.0
+        assert constants.DEFAULT_MAX_C == 30.0
+        assert constants.DEFAULT_MAX_RH_PCT == 80.0
+        assert constants.DEFAULT_MAX_RATE_C_PER_HOUR == 20.0
+
+    def test_control_cadence(self):
+        assert constants.CONTROL_PERIOD_S == 600
+        assert constants.MODEL_STEP_S == 120
+        assert constants.CONTROL_PERIOD_S % constants.MODEL_STEP_S == 0
+
+    def test_tks_defaults(self):
+        assert constants.TKS_DEFAULT_SETPOINT_C == 25.0
+        assert constants.TKS_DEFAULT_BAND_C == 5.0
+        assert constants.TKS_HYSTERESIS_C == 1.0
+
+    def test_disk_cycle_budget(self):
+        # 300,000 cycles over 4 years = 8.5 cycles/hour on average.
+        per_hour = constants.DISK_LOAD_UNLOAD_CYCLES / (
+            constants.DISK_LIFETIME_YEARS * 365.25 * 24
+        )
+        assert per_hour == pytest.approx(
+            constants.MAX_AVG_POWER_CYCLES_PER_HOUR, rel=0.01
+        )
+
+    def test_delivery_overhead(self):
+        assert constants.POWER_DELIVERY_PUE_OVERHEAD == 0.08

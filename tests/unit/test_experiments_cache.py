@@ -1,0 +1,112 @@
+"""Experiment-runner cache tests (repro.analysis.experiments)."""
+
+import json
+
+import pytest
+
+from repro.analysis import experiments
+from repro.sim.yearsim import YearResult
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path)
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    return tmp_path
+
+
+def fake_result(label="All-ND", climate="Newark"):
+    return YearResult(
+        label=label,
+        climate_name=climate,
+        sampled_days=[0, 14],
+        daily_worst_range_c=[5.0, 6.0],
+        daily_outside_range_c=[10.0, 11.0],
+        daily_avg_violation_c=[0.0, 0.1],
+        daily_max_rate_c_per_hour=[4.0, 5.0],
+        cooling_kwh=42.0,
+        it_kwh=500.0,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        result = fake_result()
+        payload = experiments._result_to_json(result)
+        # The payload must be plain JSON.
+        restored = experiments._result_from_json(
+            json.loads(json.dumps(payload))
+        )
+        assert restored.label == result.label
+        assert restored.cooling_kwh == result.cooling_kwh
+        assert restored.daily_worst_range_c == result.daily_worst_range_c
+        assert restored.pue == result.pue
+
+
+class TestCaching:
+    def test_disk_cache_hit_skips_simulation(self, tmp_cache, monkeypatch):
+        calls = []
+
+        def fake_run_year(*args, **kwargs):
+            calls.append(1)
+            return fake_result()
+
+        monkeypatch.setattr(experiments, "run_year", fake_run_year)
+        monkeypatch.setattr(
+            experiments, "trained_cooling_model", lambda: object()
+        )
+        from repro.weather.locations import NEWARK
+
+        first = experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 1
+        # New memory cache, same disk cache: no new simulation.
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        second = experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 1
+        assert second.cooling_kwh == first.cooling_kwh
+
+    def test_memory_cache_returns_same_object(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year", lambda *a, **k: fake_result()
+        )
+        monkeypatch.setattr(
+            experiments, "trained_cooling_model", lambda: object()
+        )
+        from repro.weather.locations import NEWARK
+
+        a = experiments.year_result("All-ND", NEWARK)
+        b = experiments.year_result("All-ND", NEWARK)
+        assert a is b
+
+    def test_distinct_keys_for_bias_and_workload(self, tmp_cache, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments,
+            "run_year",
+            lambda *a, **k: calls.append(1) or fake_result(),
+        )
+        monkeypatch.setattr(
+            experiments, "trained_cooling_model", lambda: object()
+        )
+        from repro.weather.locations import NEWARK
+
+        experiments.year_result("All-ND", NEWARK)
+        experiments.year_result("All-ND", NEWARK, forecast_bias_c=5.0)
+        experiments.year_result("All-ND", NEWARK, workload="nutch")
+        assert len(calls) == 3
+
+
+class TestTraceHelpers:
+    def test_facebook_trace_cached(self):
+        a = experiments.facebook_trace()
+        b = experiments.facebook_trace()
+        assert a is b
+
+    def test_deferrable_is_distinct(self):
+        assert experiments.facebook_trace() is not experiments.facebook_trace(
+            deferrable=True
+        )
+
+    def test_nutch_trace(self):
+        trace = experiments.nutch_trace()
+        assert trace.name == "nutch"

@@ -1,0 +1,100 @@
+"""Failure injection: CoolAir's behavior when dependencies misbehave."""
+
+import numpy as np
+import pytest
+
+from repro.core.coolair import CoolAir
+from repro.core.versions import all_nd
+from repro.errors import WeatherError
+from repro.sim.engine import make_smoothsim
+from repro.weather.forecast import ForecastService
+from repro.weather.locations import NEWARK
+from repro.weather.tmy import generate_tmy
+
+
+class FlakyForecastService(ForecastService):
+    """A forecast service that fails on configured days."""
+
+    def __init__(self, tmy, outage_days):
+        super().__init__(tmy)
+        self.outage_days = set(outage_days)
+        self.calls = 0
+
+    def forecast_for_day(self, day_of_year, issued_hour=0):
+        self.calls += 1
+        if day_of_year in self.outage_days:
+            raise WeatherError(f"forecast service unreachable (day {day_of_year})")
+        return super().forecast_for_day(day_of_year, issued_hour)
+
+
+@pytest.fixture()
+def flaky_coolair(cooling_model):
+    setup = make_smoothsim(NEWARK)
+    service = FlakyForecastService(generate_tmy(NEWARK), outage_days={101})
+    coolair = CoolAir(
+        all_nd(), cooling_model, setup.layout, service, smooth_hardware=True
+    )
+    return coolair, service
+
+
+class TestForecastOutage:
+    def test_keeps_yesterdays_band_during_outage(self, flaky_coolair):
+        coolair, service = flaky_coolair
+        band_before = coolair.start_day(100)
+        band_during = coolair.start_day(101)  # outage
+        assert band_during == band_before  # yesterday's band reused
+        assert coolair.forecast is None
+
+    def test_first_day_outage_uses_safe_default(self, cooling_model):
+        setup = make_smoothsim(NEWARK)
+        service = FlakyForecastService(generate_tmy(NEWARK), outage_days={50})
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, service, smooth_hardware=True
+        )
+        band = coolair.start_day(50)
+        config = coolair.config
+        assert config.min_c <= band.low_c
+        assert band.high_c <= config.max_c
+        assert band.width_c == config.width_c
+
+    def test_recovers_after_outage(self, flaky_coolair):
+        coolair, service = flaky_coolair
+        coolair.start_day(100)
+        coolair.start_day(101)  # outage
+        band_after = coolair.start_day(102)
+        assert coolair.forecast is not None
+        assert band_after.width_c == coolair.config.width_c
+
+    def test_control_still_works_during_outage(self, flaky_coolair):
+        coolair, service = flaky_coolair
+        coolair.start_day(101)  # outage from day one -> default band
+        from repro.cooling.regimes import CoolingMode
+        from repro.core.predictor import PredictorState
+
+        state = PredictorState(
+            mode=CoolingMode.CLOSED,
+            fan_speed=0.0,
+            sensor_temps_c=[26.0] * 4,
+            prev_sensor_temps_c=[26.0] * 4,
+            outside_temp_c=15.0,
+            prev_outside_temp_c=15.0,
+            prev_fan_speed=0.0,
+            utilization=0.5,
+            inside_mixing_ratio=0.008,
+            outside_mixing_ratio=0.006,
+        )
+        command = coolair.decide_cooling(state)
+        assert command is not None
+
+    def test_no_temporal_scheduling_without_forecast(self, cooling_model):
+        from repro.core.versions import all_def
+        from repro.workload.traces import FacebookTraceGenerator
+
+        setup = make_smoothsim(NEWARK)
+        service = FlakyForecastService(generate_tmy(NEWARK), outage_days={60})
+        coolair = CoolAir(
+            all_def(), cooling_model, setup.layout, service, smooth_hardware=True
+        )
+        jobs = FacebookTraceGenerator(num_jobs=30).generate(deferrable=True).jobs
+        coolair.start_day(60, jobs)
+        assert all(job.scheduled_start_s is None for job in jobs)

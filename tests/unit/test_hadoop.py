@@ -1,0 +1,129 @@
+"""Task-level Hadoop cluster simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.server import PowerState, Server
+from repro.errors import WorkloadError
+from repro.workload.hadoop import HadoopCluster
+from repro.workload.job import Job
+from repro.workload.traces import Trace
+
+
+def job(job_id=0, arrival=0.0, maps=4, map_s=100.0, reduces=1, red_s=50.0, **kw):
+    return Job(job_id, arrival, maps, map_s, reduces, red_s, **kw)
+
+
+def make_cluster(jobs, num_servers=8):
+    servers = [Server(i, 0) for i in range(num_servers)]
+    return HadoopCluster(servers, Trace("t", jobs)), servers
+
+
+class TestExecution:
+    def test_small_job_completes(self):
+        cluster, _ = make_cluster([job(maps=2, map_s=100.0, reduces=1, red_s=50.0)])
+        while not cluster.all_done() and cluster.now_s < 3600:
+            cluster.step(60.0)
+        assert cluster.all_done()
+        assert cluster.finish_times()[0] <= 600.0
+
+    def test_work_conservation(self):
+        jobs = [job(i, arrival=i * 100.0, maps=3, map_s=60.0) for i in range(5)]
+        cluster, _ = make_cluster(jobs)
+        total = 0.0
+        while not cluster.all_done() and cluster.now_s < 7200:
+            total += cluster.step(60.0)
+        expected = sum(j.total_work_s for j in jobs)
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_job_not_started_before_arrival(self):
+        cluster, servers = make_cluster([job(arrival=1000.0)])
+        cluster.step(500.0)
+        assert all(s.utilization == 0.0 for s in servers)
+        assert cluster.jobs_finished == 0
+
+    def test_deferred_job_waits_for_scheduled_start(self):
+        j = job(arrival=0.0, deadline_s=7200.0)
+        j.defer_to(3600.0)
+        cluster, servers = make_cluster([j])
+        cluster.step(1800.0)
+        assert cluster.jobs_finished == 0
+        for _ in range(40):
+            cluster.step(120.0)
+        assert cluster.jobs_finished == 1
+
+    def test_parallelism_cap_slows_narrow_jobs(self):
+        # 1 map task of 1000s cannot finish faster than 1000s even with
+        # 16 free slots.
+        cluster, _ = make_cluster([job(maps=1, map_s=1000.0, reduces=0, red_s=0.0)])
+        while not cluster.all_done() and cluster.now_s < 4000:
+            cluster.step(100.0)
+        assert cluster.finish_times()[0] >= 1000.0
+
+    def test_reduce_after_map(self):
+        """Executed slot-seconds never exceed map work until maps finish."""
+        j = job(maps=16, map_s=100.0, reduces=16, red_s=100.0)
+        cluster, _ = make_cluster([j], num_servers=8)
+        executed = cluster.step(50.0)
+        assert executed <= j.map_work_s + 1e-9
+
+
+class TestPlacement:
+    def test_placement_order_fills_first_servers(self):
+        cluster, servers = make_cluster([job(maps=4, map_s=500.0)], num_servers=8)
+        order = list(reversed(servers))
+        cluster.step(60.0, placement_order=order)
+        # Work (4 slots = 2 servers) lands on the tail servers.
+        assert servers[-1].utilization > 0.0
+        assert servers[0].utilization == 0.0
+
+    def test_sleeping_servers_excluded(self):
+        cluster, servers = make_cluster([job(maps=64, map_s=500.0)], num_servers=8)
+        for s in servers[4:]:
+            s.sleep()
+        cluster.step(60.0)
+        assert all(s.utilization == 0.0 for s in servers[4:])
+        assert all(s.utilization > 0.0 for s in servers[:4])
+
+    def test_decommissioned_servers_get_no_new_work(self):
+        cluster, servers = make_cluster([job(maps=64, map_s=500.0)], num_servers=8)
+        servers[0].decommission()
+        cluster.step(60.0)
+        assert servers[0].utilization == 0.0
+
+
+class TestDataFlags:
+    def test_busy_servers_hold_job_data_until_done(self):
+        cluster, servers = make_cluster([job(maps=16, map_s=300.0)], num_servers=4)
+        cluster.step(60.0)
+        assert any(s.holds_job_data for s in servers)
+        while not cluster.all_done() and cluster.now_s < 7200:
+            cluster.step(60.0)
+        assert not any(s.holds_job_data for s in servers)
+
+    def test_server_holds_data_query(self):
+        cluster, servers = make_cluster([job(maps=16, map_s=300.0)], num_servers=4)
+        cluster.step(60.0)
+        assert cluster.server_holds_data(servers[0].server_id)
+
+
+class TestQueries:
+    def test_demanded_servers_reflects_eligible_load(self):
+        cluster, _ = make_cluster([job(maps=8, map_s=600.0)], num_servers=8)
+        assert cluster.demanded_servers() == 0  # nothing admitted yet
+        cluster.step(1.0)
+        assert cluster.demanded_servers() == 4  # 8 maps / 2 slots
+
+    def test_demanded_capped_by_cluster(self):
+        cluster, _ = make_cluster([job(maps=1000, map_s=60.0)], num_servers=8)
+        cluster.step(1.0)
+        assert cluster.demanded_servers() == 8
+
+    def test_step_validation(self):
+        cluster, _ = make_cluster([job()])
+        with pytest.raises(WorkloadError):
+            cluster.step(0.0)
+
+    def test_requires_servers(self):
+        with pytest.raises(WorkloadError):
+            HadoopCluster([], Trace("t", []))

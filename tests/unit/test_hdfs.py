@@ -1,0 +1,128 @@
+"""HDFS namespace and block-level covering subset tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacenter.server import Server
+from repro.errors import WorkloadError
+from repro.workload.hdfs import Block, HDFSNamespace, place_dataset
+
+
+class TestBlock:
+    def test_requires_replicas(self):
+        with pytest.raises(WorkloadError):
+            Block(0, ())
+
+    def test_rejects_duplicate_placement(self):
+        with pytest.raises(WorkloadError):
+            Block(0, (1, 1))
+
+
+class TestNamespaceValidation:
+    def test_rejects_unknown_servers(self):
+        with pytest.raises(WorkloadError):
+            HDFSNamespace([Block(0, (99,))], num_servers=10)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(WorkloadError):
+            HDFSNamespace([], num_servers=0)
+
+
+class TestPlacement:
+    def test_block_count_from_dataset_size(self):
+        namespace = place_dataset(dataset_gb=10.0, num_servers=64, block_mb=64.0)
+        assert namespace.num_blocks == 160
+
+    def test_replicas_span_pods(self):
+        namespace = place_dataset(dataset_gb=5.0, num_servers=64,
+                                  servers_per_pod=16, replication=3)
+        for block in namespace.blocks:
+            pods = {s // 16 for s in block.replica_servers}
+            assert len(pods) == 3  # off-rack rule: all replicas on
+            # distinct pods
+
+    def test_replication_capped_by_pod_count(self):
+        namespace = place_dataset(dataset_gb=1.0, num_servers=16,
+                                  servers_per_pod=16, replication=3)
+        assert all(len(b.replica_servers) == 1 for b in namespace.blocks)
+
+    def test_deterministic(self):
+        a = place_dataset(2.0, 64, seed=5)
+        b = place_dataset(2.0, 64, seed=5)
+        assert [t.replica_servers for t in a.blocks] == [
+            t.replica_servers for t in b.blocks
+        ]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            place_dataset(0.0, 64)
+        with pytest.raises(WorkloadError):
+            place_dataset(1.0, 64, replication=0)
+
+
+class TestAvailability:
+    def test_available_with_all_servers(self):
+        namespace = place_dataset(2.0, 64)
+        assert namespace.available(set(range(64)))
+        assert namespace.missing_blocks(set(range(64))) == []
+
+    def test_unavailable_with_no_servers(self):
+        namespace = place_dataset(2.0, 64)
+        assert not namespace.available(set())
+        assert len(namespace.missing_blocks(set())) == namespace.num_blocks
+
+    def test_single_replica_loss(self):
+        namespace = HDFSNamespace(
+            [Block(0, (0, 1)), Block(1, (2,))], num_servers=4
+        )
+        assert namespace.available({0, 2})
+        assert not namespace.available({0, 1})
+        assert namespace.missing_blocks({0, 1}) == [1]
+
+
+class TestCoveringSubset:
+    def test_subset_covers_everything(self):
+        namespace = place_dataset(10.0, 64)
+        subset = namespace.covering_subset_ids()
+        assert namespace.available(subset)
+
+    def test_subset_is_small(self):
+        # With 3x replication and even spread, the cover should need far
+        # fewer servers than the cluster holds.
+        namespace = place_dataset(5.0, 64)
+        subset = namespace.covering_subset_ids()
+        assert len(subset) < 30
+
+    def test_subset_minimal_on_handcrafted_layout(self):
+        # Server 0 holds every block: the greedy cover must find just it.
+        blocks = [Block(i, (0, i + 1)) for i in range(5)]
+        namespace = HDFSNamespace(blocks, num_servers=10)
+        assert namespace.covering_subset_ids() == {0}
+
+    def test_mark_covering_subset(self):
+        namespace = place_dataset(5.0, 16, servers_per_pod=4)
+        servers = [Server(i, i // 4) for i in range(16)]
+        for s in servers:
+            s.sleep()
+        subset = namespace.mark_covering_subset(servers)
+        assert all(s.in_covering_subset and s.is_on for s in subset)
+        marked = {s.server_id for s in servers if s.in_covering_subset}
+        assert namespace.available(marked)
+
+    def test_blocks_on(self):
+        namespace = HDFSNamespace([Block(0, (3, 5))], num_servers=8)
+        assert [b.block_id for b in namespace.blocks_on(3)] == [0]
+        assert namespace.blocks_on(4) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dataset_gb=st.floats(min_value=0.5, max_value=30.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_cover_always_valid(self, dataset_gb, seed):
+        namespace = place_dataset(dataset_gb, 64, seed=seed)
+        subset = namespace.covering_subset_ids()
+        assert namespace.available(subset)
+        # Sleeping everything outside the subset keeps data available —
+        # the paper's invariant.
+        assert not namespace.missing_blocks(subset)

@@ -1,0 +1,216 @@
+"""ML substrate tests: dataset, OLS, LMS, M5P, and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, ModelNotTrainedError
+from repro.ml.dataset import Dataset
+from repro.ml.linreg import LinearRegression
+from repro.ml.lms import LeastMedianSquares
+from repro.ml.m5p import M5PModelTree
+from repro.ml.selection import fit_best_linear
+
+
+def make_linear_dataset(slope=2.0, intercept=1.0, n=50, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    data = Dataset(("x",))
+    for _ in range(n):
+        x = rng.uniform(-10, 10)
+        data.add([x], slope * x + intercept + rng.normal(0, noise))
+    return data
+
+
+class TestDataset:
+    def test_requires_feature_names(self):
+        with pytest.raises(ConfigError):
+            Dataset(())
+
+    def test_unique_names(self):
+        with pytest.raises(ConfigError):
+            Dataset(("a", "a"))
+
+    def test_add_checks_width(self):
+        data = Dataset(("a", "b"))
+        with pytest.raises(ConfigError):
+            data.add([1.0], 2.0)
+
+    def test_matrix_and_targets(self):
+        data = Dataset(("a",))
+        data.add([1.0], 2.0)
+        data.add([3.0], 4.0)
+        assert data.matrix().shape == (2, 1)
+        assert data.targets().tolist() == [2.0, 4.0]
+
+    def test_empty_matrix_shape(self):
+        assert Dataset(("a", "b")).matrix().shape == (0, 2)
+
+    def test_chronological_split(self):
+        data = make_linear_dataset(n=10)
+        train, valid = data.split(0.8)
+        assert len(train) == 8
+        assert len(valid) == 2
+        # Order preserved: train rows are the first 8.
+        assert np.array_equal(train.matrix(), data.matrix()[:8])
+
+    def test_split_validation(self):
+        with pytest.raises(ConfigError):
+            make_linear_dataset().split(1.0)
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        model = LinearRegression().fit(make_linear_dataset(slope=3.0, intercept=-2.0))
+        assert model.coefficients[0] == pytest.approx(3.0, abs=1e-9)
+        assert model.intercept == pytest.approx(-2.0, abs=1e-9)
+
+    def test_predict_one_and_batch_agree(self):
+        model = LinearRegression().fit(make_linear_dataset())
+        single = model.predict_one([2.5])
+        batch = model.predict(np.array([[2.5]]))
+        assert single == pytest.approx(float(batch[0]))
+
+    def test_rmse_zero_on_noiseless_data(self):
+        data = make_linear_dataset(noise=0.0)
+        model = LinearRegression().fit(data)
+        assert model.rmse(data) < 1e-9
+
+    def test_untrained_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            LinearRegression().predict_one([1.0])
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            LinearRegression().fit(Dataset(("x",)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        slope=st.floats(min_value=-5, max_value=5),
+        intercept=st.floats(min_value=-5, max_value=5),
+    )
+    def test_recovers_arbitrary_lines(self, slope, intercept):
+        model = LinearRegression().fit(
+            make_linear_dataset(slope=slope, intercept=intercept)
+        )
+        assert model.predict_one([1.0]) == pytest.approx(slope + intercept, abs=1e-6)
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(1)
+        data = Dataset(("a", "b", "c"))
+        for _ in range(100):
+            a, b, c = rng.uniform(-5, 5, 3)
+            data.add([a, b, c], 1.0 * a - 2.0 * b + 0.5 * c + 4.0)
+        model = LinearRegression().fit(data)
+        assert model.coefficients == pytest.approx([1.0, -2.0, 0.5], abs=1e-9)
+
+
+class TestLeastMedianSquares:
+    def test_matches_ols_on_clean_data(self):
+        data = make_linear_dataset(slope=2.0, intercept=0.0, noise=0.05)
+        lms = LeastMedianSquares().fit(data)
+        assert lms.predict_one([5.0]) == pytest.approx(10.0, abs=0.5)
+
+    def test_robust_to_outliers(self):
+        """A quarter of wildly corrupted points should not move LMS much,
+        while OLS gets dragged."""
+        rng = np.random.default_rng(3)
+        data = Dataset(("x",))
+        for i in range(80):
+            x = rng.uniform(-10, 10)
+            y = 2.0 * x + 1.0
+            if i % 4 == 0:
+                y += 200.0  # gross outlier
+            data.add([x], y)
+        ols = LinearRegression().fit(data)
+        lms = LeastMedianSquares(num_samples=60, seed=7).fit(data)
+        true_at_5 = 11.0
+        assert abs(lms.predict_one([5.0]) - true_at_5) < abs(
+            ols.predict_one([5.0]) - true_at_5
+        )
+        assert abs(lms.predict_one([5.0]) - true_at_5) < 5.0
+
+    def test_untrained_accessors_raise(self):
+        lms = LeastMedianSquares()
+        with pytest.raises(ModelNotTrainedError):
+            lms.predict_one([1.0])
+        with pytest.raises(ModelNotTrainedError):
+            _ = lms.coefficients
+
+    def test_deterministic_given_seed(self):
+        data = make_linear_dataset(noise=1.0)
+        a = LeastMedianSquares(seed=5).fit(data).predict_one([3.0])
+        b = LeastMedianSquares(seed=5).fit(data).predict_one([3.0])
+        assert a == b
+
+
+class TestM5P:
+    def test_fits_piecewise_linear_function(self):
+        data = Dataset(("x",))
+        for x in np.linspace(-10, 10, 200):
+            y = 0.0 if x < 0 else 3.0 * x
+            data.add([x], y)
+        tree = M5PModelTree(min_leaf_size=8).fit(data)
+        assert tree.num_leaves() >= 2
+        assert tree.predict_one([-5.0]) == pytest.approx(0.0, abs=0.5)
+        assert tree.predict_one([5.0]) == pytest.approx(15.0, abs=1.0)
+
+    def test_beats_single_line_on_cubic_power_curve(self):
+        """The paper's use case: FC power is cubic in fan speed."""
+        data = Dataset(("speed",))
+        for s in np.linspace(0.15, 1.0, 120):
+            data.add([s], 8.0 + 417.0 * s**3)
+        tree = M5PModelTree().fit(data)
+        line = LinearRegression().fit(data)
+        assert tree.rmse(data) < 0.5 * line.rmse(data)
+
+    def test_constant_target_yields_single_leaf(self):
+        data = Dataset(("x",))
+        for x in range(40):
+            data.add([float(x)], 7.0)
+        tree = M5PModelTree().fit(data)
+        assert tree.num_leaves() == 1
+        assert tree.predict_one([100.0]) == pytest.approx(7.0)
+
+    def test_respects_max_depth(self):
+        data = Dataset(("x",))
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            x = rng.uniform(0, 1)
+            data.add([x], np.sin(8 * x))
+        tree = M5PModelTree(max_depth=2).fit(data)
+        assert tree.num_leaves() <= 4
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            M5PModelTree(min_leaf_size=1)
+        with pytest.raises(ConfigError):
+            M5PModelTree(max_depth=-1)
+
+    def test_untrained_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            M5PModelTree().predict_one([1.0])
+
+
+class TestModelSelection:
+    def test_prefers_ols_on_clean_data(self):
+        data = make_linear_dataset(n=100, noise=0.01)
+        model = fit_best_linear(data)
+        assert model.rmse(data) < 0.1
+
+    def test_small_dataset_falls_back_to_ols(self):
+        data = make_linear_dataset(n=3)
+        model = fit_best_linear(data)
+        assert isinstance(model, LinearRegression)
+
+    def test_prefers_robust_fit_with_outliers(self):
+        rng = np.random.default_rng(9)
+        data = Dataset(("x",))
+        for i in range(200):
+            x = rng.uniform(-10, 10)
+            y = 2.0 * x + rng.normal(0, 0.1)
+            # Corrupt a block late in the series (hits the validation split).
+            if 100 <= i < 125:
+                y += 300.0
+            data.add([x], y)
+        model = fit_best_linear(data)
+        assert model.predict_one([5.0]) == pytest.approx(10.0, abs=4.0)

@@ -1,0 +1,163 @@
+"""Cooling Modeler tests: feature assembly, learning, fallbacks, ranking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cooling.regimes import CoolingMode
+from repro.core.modeler import (
+    CoolingLearner,
+    CoolingModel,
+    HUMIDITY_FEATURES,
+    MonitoringSample,
+    TEMP_FEATURES,
+    humidity_features,
+    rank_pods_by_recirculation,
+    temp_features,
+)
+from repro.errors import ModelNotTrainedError
+
+
+def sample(t, temps, mode=CoolingMode.FREE_COOLING, fan=0.5, outside=15.0,
+           util=0.5, w_in=0.008, w_out=0.006, power=50.0):
+    return MonitoringSample(
+        time_s=t,
+        mode=mode,
+        fan_speed=fan,
+        sensor_temps_c=tuple(temps),
+        outside_temp_c=outside,
+        utilization=util,
+        inside_mixing_ratio=w_in,
+        outside_mixing_ratio=w_out,
+        cooling_power_w=power,
+    )
+
+
+def synthetic_log(n=400, alpha=0.1):
+    """A log whose dynamics are exactly linear: T' = T + alpha (T_out - T).
+
+    The learner must recover this relation almost perfectly.
+    """
+    log = []
+    temps = [25.0, 26.0]
+    for i in range(n):
+        # Alternate closed and free cooling in long blocks.
+        if (i // 60) % 2 == 0:
+            mode, fan, power = CoolingMode.FREE_COOLING, 0.4, 50.0
+        else:
+            mode, fan, power = CoolingMode.CLOSED, 0.0, 0.0
+        outside = 12.0 + 5.0 * math.sin(i / 40.0)
+        log.append(sample(i * 120.0, temps, mode=mode, fan=fan, outside=outside,
+                          power=power))
+        rate = alpha * fan + 0.01
+        temps = [t + rate * (outside - t) + (0.05 if mode is CoolingMode.CLOSED else 0.0)
+                 for t in temps]
+    return log
+
+
+class TestFeatureAssembly:
+    def test_temp_features_order(self):
+        prev = sample(0.0, [20.0, 21.0], fan=0.2, outside=10.0)
+        cur = sample(120.0, [22.0, 23.0], fan=0.4, outside=12.0, util=0.7)
+        features = temp_features(cur, prev, sensor=0)
+        assert features == [22.0, 20.0, 12.0, 10.0, 0.4, 0.2, 0.7,
+                            0.4 * 22.0, 0.4 * 12.0]
+        assert len(features) == len(TEMP_FEATURES)
+
+    def test_humidity_features_order(self):
+        cur = sample(0.0, [20.0, 21.0], fan=0.3, w_in=0.010, w_out=0.004)
+        features = humidity_features(cur)
+        assert features == [0.010, 0.004, 0.3, 0.3 * 0.010, 0.3 * 0.004]
+        assert len(features) == len(HUMIDITY_FEATURES)
+
+
+class TestLearner:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CoolingLearner(num_sensors=2).learn(synthetic_log())
+
+    def test_learns_steady_regimes(self, model):
+        assert "steady:free_cooling" in model.learned_regimes
+        assert "steady:closed" in model.learned_regimes
+
+    def test_predictions_track_synthetic_dynamics(self, model):
+        prev = sample(0.0, [25.0, 25.0], fan=0.4, outside=10.0)
+        cur = sample(120.0, [25.0, 25.0], fan=0.4, outside=10.0)
+        predicted = model.predict_temp(
+            "steady:free_cooling", 0, temp_features(cur, prev, 0)
+        )
+        expected = 25.0 + (0.1 * 0.4 + 0.01) * (10.0 - 25.0)
+        assert predicted == pytest.approx(expected, abs=0.3)
+
+    def test_vectorized_matches_scalar(self, model):
+        prev = sample(0.0, [24.0, 26.0], fan=0.4, outside=12.0)
+        cur = sample(120.0, [25.0, 27.0], fan=0.4, outside=12.0)
+        matrix = np.array(
+            [temp_features(cur, prev, s) for s in range(2)]
+        )
+        vector = model.predict_temps_vector("steady:free_cooling", matrix)
+        scalar = [
+            model.predict_temp("steady:free_cooling", s, matrix[s]) for s in range(2)
+        ]
+        assert vector == pytest.approx(scalar)
+
+    def test_transition_fallback_to_steady(self, model):
+        """An unseen transition falls back to the target's steady model."""
+        prev = sample(0.0, [25.0, 25.0], fan=0.0, outside=10.0,
+                      mode=CoolingMode.AC_ON)
+        cur = sample(120.0, [25.0, 25.0], fan=0.4, outside=10.0)
+        features = temp_features(cur, prev, 0)
+        via_transition = model.predict_temp(
+            "transition:ac_on->free_cooling", 0, features
+        )
+        via_steady = model.predict_temp("steady:free_cooling", 0, features)
+        assert via_transition == via_steady
+
+    def test_unknown_regime_raises(self, model):
+        with pytest.raises(ModelNotTrainedError):
+            model.predict_temp("steady:ac_on", 0, [0.0] * 9)
+
+    def test_humidity_model_learned(self, model):
+        features = [0.008, 0.006, 0.4, 0.4 * 0.008, 0.4 * 0.006]
+        w = model.predict_humidity("steady:free_cooling", features)
+        assert 0.0 < w < 0.05
+
+    def test_power_constant_for_closed(self, model):
+        assert model.predict_power_w("steady:closed", 0.0) == pytest.approx(
+            0.0, abs=1.0
+        )
+
+    def test_too_little_data_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            CoolingLearner(num_sensors=2).learn(synthetic_log(n=2))
+
+    def test_missing_required_regime_raises(self):
+        # A log with only free cooling cannot produce a usable model.
+        log = [sample(i * 120.0, [25.0, 25.0]) for i in range(100)]
+        with pytest.raises(ModelNotTrainedError):
+            CoolingLearner(num_sensors=2).learn(log)
+
+
+class TestPowerModel:
+    def test_fc_power_is_speed_dependent(self, cooling_model):
+        low = cooling_model.predict_power_w("steady:free_cooling", 0.15)
+        high = cooling_model.predict_power_w("steady:free_cooling", 1.0)
+        assert high > low
+        assert high == pytest.approx(425.0, rel=0.2)
+
+    def test_ac_power_constant(self, cooling_model):
+        power = cooling_model.predict_power_w("steady:ac_on", 0.0)
+        assert power == pytest.approx(2200.0, rel=0.05)
+
+    def test_ac_fan_only_power(self, cooling_model):
+        power = cooling_model.predict_power_w("steady:ac_fan", 0.0)
+        assert power == pytest.approx(135.0, rel=0.1)
+
+
+class TestRecirculationRanking:
+    def test_ranks_hottest_response_first(self):
+        assert rank_pods_by_recirculation([1.0, 3.0, 2.0]) == [1, 2, 0]
+
+    def test_empty(self):
+        assert rank_pods_by_recirculation([]) == []

@@ -1,0 +1,97 @@
+"""Pod and datacenter layout tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.layout import DatacenterLayout, parasol_layout
+from repro.datacenter.pod import Pod
+from repro.datacenter.server import PowerState, Server
+from repro.errors import ConfigError, SensorError
+
+
+class TestPod:
+    def test_requires_servers(self):
+        with pytest.raises(ConfigError):
+            Pod(0, [], recirculation=0.1)
+
+    def test_rejects_foreign_servers(self):
+        server = Server(0, pod_id=1)
+        with pytest.raises(ConfigError):
+            Pod(0, [server], recirculation=0.1)
+
+    def test_rejects_bad_recirculation(self):
+        with pytest.raises(ConfigError):
+            Pod(0, [Server(0, 0)], recirculation=1.0)
+
+    def test_it_power_sums_servers(self):
+        servers = [Server(i, 0) for i in range(4)]
+        pod = Pod(0, servers, 0.2)
+        assert pod.it_power_w() == pytest.approx(4 * 22.0)
+        servers[0].sleep()
+        assert pod.it_power_w() == pytest.approx(3 * 22.0 + 2.0)
+
+    def test_active_and_awake_counts(self):
+        servers = [Server(i, 0) for i in range(4)]
+        pod = Pod(0, servers, 0.2)
+        servers[0].sleep()
+        servers[1].decommission()
+        assert pod.num_active() == 2
+        assert len(pod.awake_servers()) == 3
+
+
+class TestParasolLayout:
+    def test_default_shape(self, layout):
+        assert layout.num_pods == 4
+        assert layout.num_servers == 64
+        assert all(len(pod) == 16 for pod in layout.pods)
+
+    def test_uneven_division_rejected(self):
+        with pytest.raises(ConfigError):
+            parasol_layout(num_servers=63)
+
+    def test_server_lookup(self, layout):
+        server = layout.server_by_id(17)
+        assert server.server_id == 17
+        assert server.pod_id == 1
+        with pytest.raises(ConfigError):
+            layout.server_by_id(999)
+
+    def test_recirculation_ranking_orders(self, layout):
+        high_first = layout.recirculation_ranking(high_first=True)
+        assert [p.pod_id for p in high_first] == [3, 2, 1, 0]
+        low_first = layout.recirculation_ranking(high_first=False)
+        assert [p.pod_id for p in low_first] == [0, 1, 2, 3]
+
+    def test_utilization_counts_active_fraction(self, layout):
+        assert layout.utilization() == 1.0
+        for pod in layout.pods[2:]:
+            for server in pod.servers:
+                server.sleep()
+        assert layout.utilization() == pytest.approx(0.5)
+
+    def test_observe_and_read(self, layout):
+        readings = layout.observe(
+            pod_inlet_temp_c=[20.1, 21.2, 22.3, 23.4],
+            cold_aisle_rh_pct=55.0,
+            outside_temp_c=14.9,
+            outside_rh_pct=70.0,
+        )
+        # Quantized to 0.5C.
+        assert readings["inlet_pod0"] == pytest.approx(20.0)
+        assert layout.inlet_readings() == pytest.approx([20.0, 21.0, 22.5, 23.5])
+        assert layout.outside_temp.read() == pytest.approx(15.0)
+
+    def test_observe_requires_all_pods(self, layout):
+        with pytest.raises(ConfigError):
+            layout.observe([20.0], 50.0, 10.0, 60.0)
+
+    def test_sensors_error_before_first_reading(self, layout):
+        with pytest.raises(SensorError):
+            layout.outside_temp.read()
+
+    def test_pod_it_power_tracks_states(self, layout):
+        powers = layout.pod_it_power_w()
+        assert powers == pytest.approx([16 * 22.0] * 4)
+        for server in layout.pods[0].servers:
+            server.sleep()
+        assert layout.pod_it_power_w()[0] == pytest.approx(16 * 2.0)

@@ -1,0 +1,188 @@
+"""Cooling Predictor and Optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.core.band import TemperatureBand
+from repro.core.config import CoolAirConfig
+from repro.core.optimizer import (
+    CoolingOptimizer,
+    abrupt_candidates,
+    smooth_candidates,
+)
+from repro.core.predictor import CoolingPredictor, PredictorState
+from repro.core.utility import UtilityFunction
+from repro.core.versions import all_nd, variation_version
+from repro.errors import ConfigError
+
+
+def state(temps=(26.0, 26.5, 27.0, 27.5), mode=CoolingMode.FREE_COOLING,
+          fan=0.4, outside=15.0, w_in=0.008, w_out=0.006, util=0.5):
+    temps = list(temps)
+    return PredictorState(
+        mode=mode,
+        fan_speed=fan if mode is CoolingMode.FREE_COOLING else 0.0,
+        sensor_temps_c=temps,
+        prev_sensor_temps_c=[t + 0.1 for t in temps],
+        outside_temp_c=outside,
+        prev_outside_temp_c=outside,
+        prev_fan_speed=fan,
+        utilization=util,
+        inside_mixing_ratio=w_in,
+        outside_mixing_ratio=w_out,
+    )
+
+
+class TestPredictor:
+    def test_prediction_shape(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        result = predictor.predict(state(), CoolingCommand.free_cooling(0.5), 5)
+        assert result.sensor_temps_c.shape == (5, 4)
+        assert result.rh_pct.shape == (5,)
+
+    def test_free_cooling_cools_toward_outside(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        hot = state(temps=(32.0, 32.5, 33.0, 33.5), outside=10.0)
+        result = predictor.predict(hot, CoolingCommand.free_cooling(1.0), 5)
+        assert float(result.sensor_temps_c[-1].mean()) < 30.0
+
+    def test_closed_warms_cold_container(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        cold = state(temps=(15.0, 15.5, 16.0, 16.5), mode=CoolingMode.CLOSED,
+                     fan=0.0, outside=5.0)
+        result = predictor.predict(cold, CoolingCommand.closed(), 5)
+        assert float(result.sensor_temps_c[-1].mean()) > 15.5
+
+    def test_compressor_duty_interpolates(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        hot = state(temps=(32.0, 32.0, 32.0, 32.0), outside=33.0)
+        full = predictor.predict(hot, CoolingCommand.ac(1.0), 5)
+        half = predictor.predict(hot, CoolingCommand.ac(0.5), 5)
+        off = predictor.predict(hot, CoolingCommand.ac(0.0), 5)
+        t_full = float(full.sensor_temps_c[-1].mean())
+        t_half = float(half.sensor_temps_c[-1].mean())
+        t_off = float(off.sensor_temps_c[-1].mean())
+        assert t_full < t_half < t_off
+        # The paper interpolates the *one-step* models; check exact
+        # midpoint behaviour at a single step (iterated trajectories
+        # compose nonlinearly).
+        full1 = predictor.predict(hot, CoolingCommand.ac(1.0), 1)
+        half1 = predictor.predict(hot, CoolingCommand.ac(0.5), 1)
+        off1 = predictor.predict(hot, CoolingCommand.ac(0.0), 1)
+        midpoint = (full1.sensor_temps_c[0] + off1.sensor_temps_c[0]) / 2.0
+        assert half1.sensor_temps_c[0] == pytest.approx(midpoint, abs=1e-9)
+
+    def test_energy_prediction_orders_regimes(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        s = state()
+        closed = predictor.predict(s, CoolingCommand.closed(), 5)
+        fc = predictor.predict(s, CoolingCommand.free_cooling(1.0), 5)
+        ac = predictor.predict(s, CoolingCommand.ac(1.0), 5)
+        assert closed.cooling_energy_kwh == 0.0
+        assert 0.0 < fc.cooling_energy_kwh < ac.cooling_energy_kwh
+
+    def test_ac_full_speed_flag(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        full = predictor.predict(state(), CoolingCommand.ac(1.0), 5)
+        # Partial compressor duty with a partial fan is not "full speed"...
+        partial = predictor.predict(
+            state(), CoolingCommand.ac(0.5, fan_speed=0.8), 5
+        )
+        # ...but the fixed-speed fan running flat out is, even without the
+        # compressor (Section 3.2's penalty applies to the unit).
+        fan_full = predictor.predict(
+            state(), CoolingCommand.ac(0.0, fan_speed=1.0), 5
+        )
+        assert full.ac_at_full_speed
+        assert not partial.ac_at_full_speed
+        assert fan_full.ac_at_full_speed
+
+    def test_validation(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        with pytest.raises(ConfigError):
+            predictor.predict(state(), CoolingCommand.closed(), 0)
+        bad = state(temps=(26.0,))
+        with pytest.raises(ConfigError):
+            predictor.predict(bad, CoolingCommand.closed(), 5)
+
+
+class TestCandidateSets:
+    def test_abrupt_candidates_respect_hardware(self):
+        commands = abrupt_candidates()
+        fc_speeds = [c.fc_fan_speed for c in commands
+                     if c.mode is CoolingMode.FREE_COOLING]
+        assert min(fc_speeds) >= 0.15
+        duties = {c.ac_compressor_duty for c in commands
+                  if c.mode is CoolingMode.AC_ON}
+        assert duties == {1.0}  # on/off compressor only
+
+    def test_smooth_candidates_include_low_speeds_and_duties(self):
+        commands = smooth_candidates()
+        fc_speeds = [c.fc_fan_speed for c in commands
+                     if c.mode is CoolingMode.FREE_COOLING]
+        assert min(fc_speeds) <= 0.01 + 1e-9
+        duties = {c.ac_compressor_duty for c in commands
+                  if c.mode is CoolingMode.AC_ON}
+        assert 0.25 in duties and 0.5 in duties
+
+    def test_smooth_candidates_near_current_speed(self):
+        commands = smooth_candidates(current_fc_speed=0.4)
+        fc_speeds = [c.fc_fan_speed for c in commands
+                     if c.mode is CoolingMode.FREE_COOLING]
+        assert any(abs(s - 0.42) < 1e-9 or abs(s - 0.38) < 1e-9 for s in fc_speeds)
+
+
+class TestOptimizer:
+    def make(self, cooling_model, config=None, smooth=True):
+        config = config or all_nd()
+        predictor = CoolingPredictor(cooling_model)
+        return CoolingOptimizer(
+            config, predictor, UtilityFunction(config), smooth_hardware=smooth
+        )
+
+    def test_hot_container_gets_cooled(self, cooling_model):
+        optimizer = self.make(cooling_model)
+        hot = state(temps=(33.0, 33.5, 34.0, 34.5), outside=18.0)
+        command = optimizer.decide(hot, TemperatureBand(25.0, 30.0))
+        assert command.mode is CoolingMode.FREE_COOLING
+
+    def test_cold_container_gets_closed(self, cooling_model):
+        optimizer = self.make(cooling_model)
+        cold = state(temps=(18.0, 18.5, 19.0, 19.5), mode=CoolingMode.CLOSED,
+                     fan=0.0, outside=5.0)
+        command = optimizer.decide(cold, TemperatureBand(25.0, 30.0))
+        assert command.mode is CoolingMode.CLOSED
+
+    def test_in_band_prefers_cheap_regime(self, cooling_model):
+        optimizer = self.make(cooling_model)
+        ok = state(temps=(27.0, 27.2, 27.4, 27.6), outside=20.0)
+        command = optimizer.decide(ok, TemperatureBand(25.0, 30.0))
+        # Whatever it picks, it must not be the expensive full-blast AC.
+        assert not (
+            command.mode is CoolingMode.AC_ON and command.ac_compressor_duty == 1.0
+        )
+
+    def test_scores_recorded(self, cooling_model):
+        optimizer = self.make(cooling_model)
+        optimizer.decide(state(), TemperatureBand(25.0, 30.0))
+        assert len(optimizer.last_scores) >= 8
+        assert all(score >= 0 for _, score in optimizer.last_scores)
+
+    def test_active_sensor_restriction(self, cooling_model):
+        """Scoring only a subset of sensors must be accepted and respected."""
+        optimizer = self.make(cooling_model)
+        s = state(temps=(35.0, 27.0, 27.0, 27.0), outside=18.0)
+        # Only sensor 1..3 are active: the hot sensor 0 is ignored.
+        command = optimizer.decide(
+            s, TemperatureBand(25.0, 30.0), active_sensor_indices=[1, 2, 3]
+        )
+        assert command is not None
+
+    def test_hot_day_uses_ac_when_fc_cannot_help(self, cooling_model):
+        optimizer = self.make(cooling_model)
+        hot = state(temps=(33.0, 33.5, 34.0, 34.5), outside=38.0, w_out=0.012)
+        command = optimizer.decide(hot, TemperatureBand(25.0, 30.0))
+        assert command.mode in (CoolingMode.AC_ON, CoolingMode.FREE_COOLING)
+        if command.mode is CoolingMode.AC_ON:
+            assert command.ac_compressor_duty > 0.0

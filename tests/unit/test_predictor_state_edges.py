@@ -1,0 +1,111 @@
+"""Edge cases of the Cooling Predictor's state handling and smooth-hardware
+extrapolation/interpolation (Section 5.1 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.core.predictor import CoolingPredictor, PredictorState
+
+
+def state(**overrides):
+    base = dict(
+        mode=CoolingMode.FREE_COOLING,
+        fan_speed=0.4,
+        sensor_temps_c=[26.0, 26.5, 27.0, 27.5],
+        prev_sensor_temps_c=[26.1, 26.6, 27.1, 27.6],
+        outside_temp_c=15.0,
+        prev_outside_temp_c=15.5,
+        prev_fan_speed=0.35,
+        utilization=0.5,
+        inside_mixing_ratio=0.008,
+        outside_mixing_ratio=0.006,
+    )
+    base.update(overrides)
+    return PredictorState(**base)
+
+
+class TestLowSpeedExtrapolation:
+    """Smooth-Sim models FC below 15% "by extrapolating the earlier
+    models to lower speeds" — fan speed is a model input, so prediction at
+    1% must be continuous with the trained range."""
+
+    def test_low_speed_prediction_is_between_closed_and_min_speed(
+        self, cooling_model
+    ):
+        predictor = CoolingPredictor(cooling_model)
+        hot = state(sensor_temps_c=[32.0] * 4, prev_sensor_temps_c=[32.0] * 4,
+                    outside_temp_c=10.0)
+        closed = predictor.predict(hot, CoolingCommand.closed(), 5)
+        slow = predictor.predict(hot, CoolingCommand.free_cooling(0.05), 5)
+        fast = predictor.predict(hot, CoolingCommand.free_cooling(0.15), 5)
+        t_closed = float(closed.sensor_temps_c[-1].mean())
+        t_slow = float(slow.sensor_temps_c[-1].mean())
+        t_fast = float(fast.sensor_temps_c[-1].mean())
+        assert t_fast < t_slow < t_closed + 0.5
+
+    def test_fan_speed_monotone_cooling(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        hot = state(sensor_temps_c=[33.0] * 4, prev_sensor_temps_c=[33.0] * 4,
+                    outside_temp_c=8.0)
+        finals = []
+        for speed in (0.1, 0.3, 0.6, 1.0):
+            p = predictor.predict(hot, CoolingCommand.free_cooling(speed), 5)
+            finals.append(float(p.sensor_temps_c[-1].mean()))
+        assert finals == sorted(finals, reverse=True)
+
+
+class TestTransitionHandling:
+    def test_first_step_uses_transition_then_steady(self, cooling_model):
+        """A regime change must not predict identically to steady state
+        when a transition model exists for the pair."""
+        predictor = CoolingPredictor(cooling_model)
+        closed_state = state(mode=CoolingMode.CLOSED, fan_speed=0.0)
+        from_closed = predictor.predict(
+            closed_state, CoolingCommand.free_cooling(0.3), 1
+        )
+        fc_state = state(mode=CoolingMode.FREE_COOLING, fan_speed=0.3)
+        steady = predictor.predict(fc_state, CoolingCommand.free_cooling(0.3), 1)
+        # Both predict cooling, but via different learned models.
+        assert from_closed.sensor_temps_c.shape == steady.sensor_temps_c.shape
+
+    def test_longer_horizons_extend_trajectory(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        short = predictor.predict(state(), CoolingCommand.free_cooling(0.4), 2)
+        long = predictor.predict(state(), CoolingCommand.free_cooling(0.4), 10)
+        assert long.sensor_temps_c.shape[0] == 10
+        assert np.allclose(
+            short.sensor_temps_c, long.sensor_temps_c[:2], atol=1e-9
+        )
+
+
+class TestHumidityPrediction:
+    def test_rh_trajectory_bounded(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        humid = state(inside_mixing_ratio=0.016, outside_mixing_ratio=0.018)
+        p = predictor.predict(humid, CoolingCommand.free_cooling(0.8), 5)
+        assert np.all(p.rh_pct >= 0.0)
+        assert np.all(p.rh_pct <= 100.0)
+
+    def test_dry_outside_air_flushes_humidity(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        humid = state(inside_mixing_ratio=0.014, outside_mixing_ratio=0.004)
+        p = predictor.predict(humid, CoolingCommand.free_cooling(1.0), 5)
+        dry_trend = p.rh_pct[-1] <= p.rh_pct[0] + 1e-9
+        assert dry_trend
+
+
+class TestEnergyAccounting:
+    def test_energy_scales_with_horizon(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        e5 = predictor.predict(state(), CoolingCommand.free_cooling(0.5), 5)
+        e10 = predictor.predict(state(), CoolingCommand.free_cooling(0.5), 10)
+        assert e10.cooling_energy_kwh == pytest.approx(
+            2.0 * e5.cooling_energy_kwh
+        )
+
+    def test_closed_energy_zero(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        p = predictor.predict(state(mode=CoolingMode.CLOSED, fan_speed=0.0),
+                              CoolingCommand.closed(), 5)
+        assert p.cooling_energy_kwh == 0.0

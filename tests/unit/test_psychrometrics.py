@@ -1,0 +1,118 @@
+"""Psychrometric conversion tests, including round-trip properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import (
+    absolute_to_relative_humidity,
+    dew_point_c,
+    mixing_ratio_from_relative_humidity,
+    relative_to_absolute_humidity,
+    saturation_mixing_ratio,
+    saturation_pressure_pa,
+)
+
+
+class TestSaturationPressure:
+    def test_reference_point_20c(self):
+        # ~2339 Pa at 20C (standard tables).
+        assert saturation_pressure_pa(20.0) == pytest.approx(2339, rel=0.01)
+
+    def test_reference_point_0c(self):
+        # ~611 Pa at 0C.
+        assert saturation_pressure_pa(0.0) == pytest.approx(611, rel=0.01)
+
+    def test_monotonic_in_temperature(self):
+        temps = [-20.0, 0.0, 10.0, 25.0, 40.0, 55.0]
+        pressures = [saturation_pressure_pa(t) for t in temps]
+        assert pressures == sorted(pressures)
+
+    def test_rejects_extreme_cold(self):
+        with pytest.raises(ConfigError):
+            saturation_pressure_pa(-80.0)
+
+
+class TestConversions:
+    def test_50pct_at_25c_reference(self):
+        # 50% RH at 25C is about 9.9 g/kg.
+        w = relative_to_absolute_humidity(50.0, 25.0)
+        assert w == pytest.approx(0.0099, rel=0.03)
+
+    def test_zero_humidity(self):
+        assert relative_to_absolute_humidity(0.0, 20.0) == 0.0
+        assert absolute_to_relative_humidity(0.0, 20.0) == 0.0
+
+    def test_roundtrip_at_fixed_conditions(self):
+        w = relative_to_absolute_humidity(65.0, 18.0)
+        assert absolute_to_relative_humidity(w, 18.0) == pytest.approx(65.0, abs=1e-6)
+
+    @given(
+        rh=st.floats(min_value=1.0, max_value=99.0),
+        temp=st.floats(min_value=-30.0, max_value=50.0),
+    )
+    def test_roundtrip_property(self, rh, temp):
+        w = relative_to_absolute_humidity(rh, temp)
+        back = absolute_to_relative_humidity(w, temp)
+        assert back == pytest.approx(rh, rel=1e-6)
+
+    @given(
+        w=st.floats(min_value=1e-5, max_value=0.03),
+        t_low=st.floats(min_value=-10.0, max_value=20.0),
+        delta=st.floats(min_value=1.0, max_value=25.0),
+    )
+    def test_warming_air_lowers_relative_humidity(self, w, t_low, delta):
+        rh_cold = absolute_to_relative_humidity(w, t_low)
+        rh_warm = absolute_to_relative_humidity(w, t_low + delta)
+        assert rh_warm <= rh_cold
+
+    def test_supersaturation_clamps_to_100(self):
+        w = relative_to_absolute_humidity(95.0, 30.0)
+        assert absolute_to_relative_humidity(w, 10.0) == 100.0
+
+    def test_rejects_out_of_range_rh(self):
+        with pytest.raises(ConfigError):
+            relative_to_absolute_humidity(101.0, 20.0)
+        with pytest.raises(ConfigError):
+            relative_to_absolute_humidity(-1.0, 20.0)
+
+    def test_rejects_negative_mixing_ratio(self):
+        with pytest.raises(ConfigError):
+            absolute_to_relative_humidity(-0.001, 20.0)
+
+    def test_alias_matches(self):
+        assert mixing_ratio_from_relative_humidity(40.0, 22.0) == pytest.approx(
+            relative_to_absolute_humidity(40.0, 22.0)
+        )
+
+
+class TestDewPoint:
+    def test_saturated_air_dew_point_equals_temperature(self):
+        w = relative_to_absolute_humidity(100.0, 15.0)
+        assert dew_point_c(w) == pytest.approx(15.0, abs=0.05)
+
+    def test_dry_air_has_low_dew_point(self):
+        w = relative_to_absolute_humidity(20.0, 25.0)
+        assert dew_point_c(w) < 5.0
+
+    def test_zero_mixing_ratio(self):
+        assert dew_point_c(0.0) < -200.0
+
+    @given(
+        rh=st.floats(min_value=5.0, max_value=99.0),
+        temp=st.floats(min_value=-10.0, max_value=40.0),
+    )
+    def test_dew_point_below_air_temperature(self, rh, temp):
+        w = relative_to_absolute_humidity(rh, temp)
+        assert dew_point_c(w) <= temp + 1e-6
+
+
+class TestSaturationMixingRatio:
+    def test_monotonic(self):
+        assert saturation_mixing_ratio(30.0) > saturation_mixing_ratio(10.0)
+
+    def test_boiling_clamp(self):
+        # At 110C the saturation pressure exceeds ambient; clamps huge.
+        assert saturation_mixing_ratio(110.0) == 10.0

@@ -1,0 +1,161 @@
+"""Cooling regime/command validation and cooling unit behavior."""
+
+import pytest
+
+from repro import constants
+from repro.cooling.regimes import (
+    CoolingCommand,
+    CoolingMode,
+    all_regime_keys,
+    regime_key,
+)
+from repro.cooling.units import (
+    AbruptCoolingUnits,
+    SmoothCoolingUnits,
+    free_cooling_power_w,
+)
+from repro.errors import RegimeError
+
+
+class TestCoolingCommand:
+    def test_closed_rejects_actuators(self):
+        with pytest.raises(RegimeError):
+            CoolingCommand(mode=CoolingMode.CLOSED, fc_fan_speed=0.5)
+
+    def test_free_cooling_requires_fan(self):
+        with pytest.raises(RegimeError):
+            CoolingCommand(mode=CoolingMode.FREE_COOLING)
+
+    def test_free_cooling_excludes_ac(self):
+        with pytest.raises(RegimeError):
+            CoolingCommand(
+                mode=CoolingMode.FREE_COOLING, fc_fan_speed=0.5, ac_fan_speed=0.5
+            )
+
+    def test_ac_on_requires_fan_and_compressor(self):
+        with pytest.raises(RegimeError):
+            CoolingCommand(mode=CoolingMode.AC_ON, ac_fan_speed=1.0)
+
+    def test_constructors(self):
+        assert CoolingCommand.closed().mode is CoolingMode.CLOSED
+        assert CoolingCommand.free_cooling(0.3).fc_fan_speed == 0.3
+        assert CoolingCommand.ac(1.0).mode is CoolingMode.AC_ON
+        assert CoolingCommand.ac(0.0).mode is CoolingMode.AC_FAN
+
+    def test_range_validation(self):
+        with pytest.raises(RegimeError):
+            CoolingCommand.free_cooling(1.5)
+
+
+class TestRegimeKeys:
+    def test_steady_key(self):
+        key = regime_key(CoolingMode.CLOSED, CoolingMode.CLOSED)
+        assert key == "steady:closed"
+
+    def test_transition_key(self):
+        key = regime_key(CoolingMode.CLOSED, CoolingMode.FREE_COOLING)
+        assert key == "transition:closed->free_cooling"
+
+    def test_all_keys_cover_modes_and_transitions(self):
+        keys = all_regime_keys()
+        assert len(keys) == 4 + 4 * 3
+        assert len(set(keys)) == len(keys)
+
+
+class TestFreeCoolingPower:
+    def test_endpoints(self):
+        assert free_cooling_power_w(0.0) == 0.0
+        # Minimum operating speed draws near the minimum power.
+        assert free_cooling_power_w(1.0) == pytest.approx(constants.FC_MAX_POWER_W)
+
+    def test_cubic_shape(self):
+        # Half speed should cost far less than half of max power.
+        assert free_cooling_power_w(0.5) < 0.2 * constants.FC_MAX_POWER_W
+
+    def test_monotonic(self):
+        speeds = [0.15, 0.3, 0.5, 0.75, 1.0]
+        powers = [free_cooling_power_w(s) for s in speeds]
+        assert powers == sorted(powers)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RegimeError):
+            free_cooling_power_w(1.2)
+
+
+class TestAbruptUnits:
+    def test_fc_clamps_to_min_speed(self):
+        units = AbruptCoolingUnits()
+        units.apply(CoolingCommand.free_cooling(0.05))
+        assert units.fc_fan_speed == constants.FC_MIN_SPEED
+
+    def test_ac_compressor_is_on_off(self):
+        units = AbruptCoolingUnits()
+        units.apply(CoolingCommand.ac(compressor_duty=1.0))
+        assert units.ac_compressor_duty == 1.0
+        assert units.ac_fan_speed == 1.0
+        assert units.power_w() == constants.AC_COMPRESSOR_W
+
+    def test_ac_fan_only_power(self):
+        units = AbruptCoolingUnits()
+        units.apply(CoolingCommand.ac(compressor_duty=0.0))
+        assert units.power_w() == constants.AC_FAN_ONLY_W
+
+    def test_closed_draws_nothing(self):
+        units = AbruptCoolingUnits()
+        units.apply(CoolingCommand.closed())
+        assert units.power_w() == 0.0
+        assert units.mode is CoolingMode.CLOSED
+
+    def test_mode_property(self):
+        units = AbruptCoolingUnits()
+        units.apply(CoolingCommand.free_cooling(0.5))
+        assert units.mode is CoolingMode.FREE_COOLING
+        units.apply(CoolingCommand.ac(1.0))
+        assert units.mode is CoolingMode.AC_ON
+
+
+class TestSmoothUnits:
+    def test_fan_starts_at_1pct(self):
+        units = SmoothCoolingUnits(ramp_per_step=0.2)
+        units.apply(CoolingCommand.free_cooling(0.01))
+        assert units.fc_fan_speed == pytest.approx(0.01)
+
+    def test_ramp_up_is_limited(self):
+        units = SmoothCoolingUnits(ramp_per_step=0.2)
+        units.apply(CoolingCommand.free_cooling(1.0))
+        first = units.fc_fan_speed
+        assert first <= 0.21  # starts small, ramps
+        units.apply(CoolingCommand.free_cooling(1.0))
+        assert units.fc_fan_speed > first
+
+    def test_ramp_down_within_range_is_immediate(self):
+        units = SmoothCoolingUnits(ramp_per_step=0.2)
+        for _ in range(6):
+            units.apply(CoolingCommand.free_cooling(1.0))
+        units.apply(CoolingCommand.free_cooling(0.3))
+        assert units.fc_fan_speed == pytest.approx(0.3)
+
+    def test_shutdown_is_immediate(self):
+        units = SmoothCoolingUnits()
+        units.apply(CoolingCommand.free_cooling(0.15))
+        units.apply(CoolingCommand.closed())
+        assert units.fc_fan_speed == 0.0
+
+    def test_variable_compressor_duty(self):
+        units = SmoothCoolingUnits(ramp_per_step=1.0)
+        units.apply(CoolingCommand.ac(compressor_duty=0.5))
+        assert units.ac_compressor_duty == pytest.approx(0.5)
+
+    def test_smooth_ac_power_model(self):
+        units = SmoothCoolingUnits(ramp_per_step=1.0)
+        units.apply(CoolingCommand.ac(compressor_duty=1.0, fan_speed=1.0))
+        assert units.power_w() == pytest.approx(constants.AC_COMPRESSOR_W)
+        units.apply(CoolingCommand.ac(compressor_duty=0.5, fan_speed=1.0))
+        expected = constants.AC_COMPRESSOR_W / 4 + 0.5 * (
+            constants.AC_COMPRESSOR_W * 3 / 4
+        )
+        assert units.power_w() == pytest.approx(expected)
+
+    def test_rejects_bad_ramp(self):
+        with pytest.raises(RegimeError):
+            SmoothCoolingUnits(ramp_per_step=0.0)

@@ -1,0 +1,192 @@
+"""Disk-reliability model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.reliability.assessment import assess
+from repro.reliability.costs import TradeoffInputs, yearly_tradeoff
+from repro.reliability.models import (
+    ArrheniusModel,
+    DiskExposure,
+    ThresholdModel,
+    VariationModel,
+    exposure_from_day_traces,
+)
+
+
+def exposure(mean=38.0, peak=None, day_range=0.0, days=10):
+    peak = peak if peak is not None else mean + day_range / 2.0
+    return DiskExposure(
+        daily_mean_temp_c=[mean] * days,
+        daily_max_temp_c=[peak] * days,
+        daily_range_c=[day_range] * days,
+    )
+
+
+class TestDiskExposure:
+    def test_length_validation(self):
+        with pytest.raises(ConfigError):
+            DiskExposure([38.0], [40.0, 41.0], [5.0])
+
+    def test_requires_days(self):
+        with pytest.raises(ConfigError):
+            DiskExposure([], [], [])
+
+    def test_num_days(self):
+        assert exposure(days=7).num_days == 7
+
+
+class TestArrheniusModel:
+    def test_reference_scores_one(self):
+        model = ArrheniusModel(reference_temp_c=38.0)
+        assert model.afr_multiplier(exposure(mean=38.0)) == pytest.approx(1.0)
+
+    def test_hotter_is_worse(self):
+        model = ArrheniusModel()
+        assert model.afr_multiplier(exposure(mean=48.0)) > model.afr_multiplier(
+            exposure(mean=38.0)
+        )
+
+    def test_ten_degrees_roughly_relevant_factor(self):
+        # With Ea ~ 0.46 eV, +10C around 38C gives roughly 1.6x.
+        model = ArrheniusModel()
+        factor = model.afr_multiplier(exposure(mean=48.0))
+        assert 1.3 < factor < 2.2
+
+    def test_ignores_variation(self):
+        model = ArrheniusModel()
+        calm = exposure(mean=40.0, day_range=0.0)
+        wild = exposure(mean=40.0, day_range=20.0)
+        assert model.afr_multiplier(calm) == model.afr_multiplier(wild)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ArrheniusModel(ea_ev=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        t1=st.floats(min_value=20.0, max_value=55.0),
+        delta=st.floats(min_value=0.5, max_value=15.0),
+    )
+    def test_monotone_in_temperature(self, t1, delta):
+        model = ArrheniusModel()
+        assert model.afr_multiplier(exposure(mean=t1 + delta)) > model.afr_multiplier(
+            exposure(mean=t1)
+        )
+
+
+class TestThresholdModel:
+    def test_flat_below_knee(self):
+        model = ThresholdModel()
+        low = model.afr_multiplier(exposure(peak=40.0))
+        mid = model.afr_multiplier(exposure(peak=48.0))
+        assert abs(mid - low) < 0.1  # nearly flat below 50C
+
+    def test_steep_above_knee(self):
+        model = ThresholdModel()
+        below = model.afr_multiplier(exposure(peak=48.0))
+        above = model.afr_multiplier(exposure(peak=58.0))
+        assert above > below + 1.0
+
+
+class TestVariationModel:
+    def test_benign_range_scores_one(self):
+        model = VariationModel()
+        assert model.afr_multiplier(
+            exposure(mean=38.0, day_range=4.0)
+        ) == pytest.approx(1.0)
+
+    def test_wide_variation_is_worse(self):
+        model = VariationModel()
+        calm = model.afr_multiplier(exposure(mean=38.0, day_range=4.0))
+        wild = model.afr_multiplier(exposure(mean=38.0, day_range=20.0))
+        assert wild > calm + 1.0
+
+    def test_weak_absolute_dependence(self):
+        model = VariationModel()
+        cool = model.afr_multiplier(exposure(mean=35.0, day_range=4.0))
+        warm = model.afr_multiplier(exposure(mean=45.0, day_range=4.0))
+        assert 0.0 < warm - cool < 0.1
+
+
+class TestAssessment:
+    def test_worst_case_is_max(self):
+        result = assess(exposure(mean=45.0, peak=55.0, day_range=18.0))
+        assert result.worst_case == max(result.by_model.values())
+
+    def test_variation_hypothesis_flags_wide_swings(self):
+        """A cool but wildly varying exposure is only bad under the
+        variation hypothesis — the crux of the paper's motivation."""
+        swingy = assess(exposure(mean=30.0, peak=38.0, day_range=22.0))
+        assert swingy.variation > 1.5
+        assert swingy.arrhenius < 1.0  # cool disks look fine to Arrhenius
+
+    def test_hot_exposure_flags_under_arrhenius(self):
+        hot = assess(exposure(mean=50.0, peak=52.0, day_range=3.0))
+        assert hot.arrhenius > 1.5
+        assert hot.variation < 1.2
+
+    def test_expected_failures(self):
+        result = assess(exposure())
+        failures = result.expected_annual_failures(fleet_size=1000, base_afr=0.02)
+        assert failures["arrhenius"] == pytest.approx(20.0, rel=0.05)
+
+    def test_expected_failures_validation(self):
+        result = assess(exposure())
+        with pytest.raises(ConfigError):
+            result.expected_annual_failures(0)
+        with pytest.raises(ConfigError):
+            result.expected_annual_failures(10, base_afr=1.5)
+
+
+class TestTradeoff:
+    def test_energy_savings_vs_replacement(self):
+        calm = assess(exposure(mean=38.0, day_range=4.0))
+        swingy = assess(exposure(mean=38.0, day_range=20.0))
+        # System B saves 500 kWh but swings disks through 20C daily.
+        result = yearly_tradeoff(
+            cooling_kwh_a=1000.0, assessment_a=calm,
+            cooling_kwh_b=500.0, assessment_b=swingy,
+        )
+        assert result.cooling_cost_delta_usd < 0  # saves electricity
+        assert result.replacement_cost_delta_usd > 0  # kills disks
+        # With default prices, the disk cost dominates a 500 kWh saving.
+        assert result.net_delta_usd > 0
+
+    def test_inputs_validation(self):
+        with pytest.raises(ConfigError):
+            TradeoffInputs(fleet_size=0)
+        with pytest.raises(ConfigError):
+            TradeoffInputs(base_afr=0.0)
+
+
+class TestExposureFromTraces:
+    def test_from_simulated_day(self, cooling_model, facebook_trace):
+        from repro.core.coolair import CoolAir
+        from repro.core.versions import all_nd
+        from repro.sim.engine import (
+            CoolAirAdapter,
+            DayRunner,
+            ProfileWorkload,
+            make_smoothsim,
+        )
+        from repro.weather.locations import NEWARK
+
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(all_nd(), cooling_model, setup.layout, setup.forecast,
+                          smooth_hardware=True)
+        runner = DayRunner(
+            setup, ProfileWorkload(facebook_trace, setup.layout, 600.0),
+            CoolAirAdapter(coolair),
+        )
+        day = runner.run_day(182)
+        result = exposure_from_day_traces([day])
+        assert result.num_days == 1
+        assert 20.0 < result.daily_mean_temp_c[0] < 60.0
+        assert result.daily_range_c[0] >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            exposure_from_day_traces([])

@@ -1,0 +1,123 @@
+"""Sensors, energy accounting, and disk-fleet tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.disks import DiskFleet
+from repro.datacenter.power import EnergyAccountant
+from repro.datacenter.sensors import HumiditySensor, TemperatureSensor
+from repro.datacenter.server import Server
+from repro.errors import ConfigError, SensorError
+
+
+class TestTemperatureSensor:
+    def test_quantizes_to_half_degree(self):
+        sensor = TemperatureSensor("t")
+        assert sensor.observe(21.26) == pytest.approx(21.5)
+        assert sensor.observe(21.24) == pytest.approx(21.0)
+
+    def test_read_returns_last_observation(self):
+        sensor = TemperatureSensor("t")
+        sensor.observe(18.0)
+        sensor.observe(19.0)
+        assert sensor.read() == 19.0
+
+    def test_read_before_observe_raises(self):
+        with pytest.raises(SensorError):
+            TemperatureSensor("t").read()
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(SensorError):
+            TemperatureSensor("t", resolution_c=0.0)
+
+
+class TestHumiditySensor:
+    def test_clamps_to_0_100(self):
+        sensor = HumiditySensor("h")
+        assert sensor.observe(150.0) == 100.0
+        assert sensor.observe(-5.0) == 0.0
+
+    def test_quantizes_to_1pct(self):
+        sensor = HumiditySensor("h")
+        assert sensor.observe(54.4) == 54.0
+        assert sensor.observe(54.6) == 55.0
+
+    def test_has_reading_flag(self):
+        sensor = HumiditySensor("h")
+        assert not sensor.has_reading
+        sensor.observe(50.0)
+        assert sensor.has_reading
+
+
+class TestEnergyAccountant:
+    def test_pue_includes_delivery_overhead(self):
+        acc = EnergyAccountant()
+        acc.record(it_power_w=1000.0, cooling_power_w=100.0, dt_s=3600)
+        assert acc.pue() == pytest.approx(1.0 + 0.1 + 0.08)
+
+    def test_kwh_conversion(self):
+        acc = EnergyAccountant()
+        acc.record(1000.0, 500.0, 3600)
+        assert acc.it_energy_kwh == pytest.approx(1.0)
+        assert acc.cooling_energy_kwh == pytest.approx(0.5)
+
+    def test_pue_undefined_without_it_energy(self):
+        with pytest.raises(ConfigError):
+            EnergyAccountant().pue()
+
+    def test_rejects_invalid_records(self):
+        acc = EnergyAccountant()
+        with pytest.raises(ConfigError):
+            acc.record(-1.0, 0.0, 60)
+        with pytest.raises(ConfigError):
+            acc.record(1.0, 0.0, 0)
+
+    def test_merge_accumulates(self):
+        a = EnergyAccountant()
+        b = EnergyAccountant()
+        a.record(100.0, 10.0, 3600)
+        b.record(300.0, 30.0, 3600)
+        a.merge(b)
+        assert a.it_energy_kwh == pytest.approx(0.4)
+        assert a.elapsed_s == 7200
+
+
+class TestDiskFleet:
+    def test_power_cycle_rate_accounting(self):
+        servers = [Server(i, 0) for i in range(4)]
+        fleet = DiskFleet(servers, num_pods=1)
+        inlets = np.array([22.0])
+        # One hour with one server cycling twice.
+        for minute in range(30):
+            fleet.step(inlets, 0.5, 120)
+        servers[0].sleep()
+        servers[0].activate()
+        servers[0].sleep()
+        servers[0].activate()
+        for minute in range(30):
+            fleet.step(inlets, 0.5, 120)
+        # 2 cycles over 4 servers over 2 hours = 0.25 cycles/server/hour.
+        assert fleet.power_cycles_per_hour() == pytest.approx(0.25)
+        assert fleet.within_cycle_budget()
+
+    def test_budget_violation_detected(self):
+        servers = [Server(0, 0)]
+        fleet = DiskFleet(servers, num_pods=1)
+        fleet.step(np.array([22.0]), 0.5, 3600)
+        for _ in range(20):  # 20 cycles in one hour
+            servers[0].sleep()
+            servers[0].activate()
+        assert not fleet.within_cycle_budget()
+
+    def test_requires_servers(self):
+        with pytest.raises(ConfigError):
+            DiskFleet([], num_pods=1)
+
+    def test_disk_temps_track_inlets(self):
+        servers = [Server(i, 0) for i in range(2)]
+        fleet = DiskFleet(servers, num_pods=1)
+        for _ in range(100):
+            fleet.step(np.array([25.0]), 0.5, 120)
+        assert float(fleet.disk_temps_c[0]) == pytest.approx(
+            25.0 + 8.0 + 4.5, abs=0.5
+        )

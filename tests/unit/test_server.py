@@ -1,0 +1,102 @@
+"""Server power-state protocol tests (Section 4.2)."""
+
+import pytest
+
+from repro.datacenter.server import PowerState, Server
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def server():
+    return Server(server_id=0, pod_id=0)
+
+
+class TestPowerDraw:
+    def test_idle_power(self, server):
+        assert server.power_w() == 22.0
+
+    def test_peak_power(self, server):
+        server.set_utilization(1.0)
+        assert server.power_w() == 30.0
+
+    def test_power_linear_in_utilization(self, server):
+        server.set_utilization(0.5)
+        assert server.power_w() == pytest.approx(26.0)
+
+    def test_sleep_power(self, server):
+        server.sleep()
+        assert server.power_w() == 2.0
+
+    def test_decommissioned_still_draws_active_power(self, server):
+        server.set_utilization(0.25)
+        server.decommission()
+        assert server.power_w() == pytest.approx(24.0)
+
+    def test_rejects_invalid_peak(self):
+        with pytest.raises(ConfigError):
+            Server(0, 0, idle_power_w=30.0, peak_power_w=20.0)
+
+
+class TestTransitions:
+    def test_initial_state_active(self, server):
+        assert server.state is PowerState.ACTIVE
+        assert server.can_run_new_tasks
+
+    def test_decommissioned_cannot_run_new_tasks(self, server):
+        server.decommission()
+        assert not server.can_run_new_tasks
+        assert server.is_on
+
+    def test_sleep_clears_utilization(self, server):
+        server.set_utilization(0.8)
+        server.sleep()
+        assert server.utilization == 0.0
+        assert not server.is_on
+
+    def test_wake_counts_power_cycle(self, server):
+        assert server.power_cycles == 0
+        server.sleep()
+        server.activate()
+        assert server.power_cycles == 1
+
+    def test_recommission_is_not_a_power_cycle(self, server):
+        server.decommission()
+        server.activate()
+        assert server.power_cycles == 0
+
+    def test_repeated_sleep_is_idempotent(self, server):
+        server.sleep()
+        server.sleep()
+        server.activate()
+        assert server.power_cycles == 1
+
+    def test_cannot_decommission_sleeping_server(self, server):
+        server.sleep()
+        with pytest.raises(ConfigError):
+            server.decommission()
+
+
+class TestProtocolInvariants:
+    def test_covering_subset_refuses_sleep(self, server):
+        server.in_covering_subset = True
+        with pytest.raises(ConfigError):
+            server.sleep()
+
+    def test_server_with_job_data_refuses_sleep(self, server):
+        server.holds_job_data = True
+        with pytest.raises(ConfigError):
+            server.sleep()
+        # The required path: decommission first, then sleep once data clears.
+        server.decommission()
+        server.holds_job_data = False
+        server.sleep()
+        assert server.state is PowerState.SLEEP
+
+    def test_set_utilization_on_sleeping_server_stays_zero(self, server):
+        server.sleep()
+        server.set_utilization(0.9)
+        assert server.utilization == 0.0
+
+    def test_rejects_out_of_range_utilization(self, server):
+        with pytest.raises(ConfigError):
+            server.set_utilization(1.5)

@@ -1,0 +1,239 @@
+"""Thermal plant tests: the paper's calibration targets and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.physics.thermal import (
+    DiskThermalModel,
+    PlantInputs,
+    ThermalPlant,
+    ThermalPlantConfig,
+)
+
+
+def uniform_inputs(**kwargs):
+    defaults = dict(
+        pod_it_power_w=[400.0] * 4,
+        outside_temp_c=15.0,
+        outside_mixing_ratio=0.006,
+    )
+    defaults.update(kwargs)
+    return PlantInputs(**defaults)
+
+
+class TestConfigValidation:
+    def test_recirculation_count_must_match_pods(self):
+        with pytest.raises(ConfigError):
+            ThermalPlantConfig(num_pods=3)
+
+    def test_recirculation_range(self):
+        with pytest.raises(ConfigError):
+            ThermalPlantConfig(num_pods=1, recirculation=(1.0,))
+
+    def test_positive_heat_capacity(self):
+        with pytest.raises(ConfigError):
+            ThermalPlantConfig(pod_heat_capacity_j_k=0.0)
+
+    def test_input_validation(self):
+        plant = ThermalPlant()
+        with pytest.raises(ConfigError):
+            plant.step(uniform_inputs(fc_fan_speed=1.5), 120)
+        with pytest.raises(ConfigError):
+            plant.step(uniform_inputs(pod_it_power_w=[100.0]), 120)
+        with pytest.raises(ConfigError):
+            plant.step(uniform_inputs(), 0)
+
+
+class TestCalibrationTargets:
+    """The transient magnitudes reported in the paper (Section 5.1)."""
+
+    def test_fc_at_15pct_drops_about_9c_in_12_minutes(self):
+        plant = ThermalPlant()
+        plant.reset(28.0, 0.008)
+        plant.step(
+            uniform_inputs(fc_fan_speed=0.15, outside_temp_c=10.0), 720
+        )
+        drop = 28.0 - float(plant.state.pod_inlet_temp_c[0])
+        assert 7.0 <= drop <= 11.0
+
+    def test_ac_full_blast_drops_about_7c_in_10_minutes(self):
+        plant = ThermalPlant()
+        plant.reset(28.0, 0.010)
+        plant.step(
+            uniform_inputs(
+                ac_fan_speed=1.0, ac_compressor_duty=1.0, outside_temp_c=30.0
+            ),
+            600,
+        )
+        drop = 28.0 - float(plant.state.pod_inlet_temp_c[0])
+        assert 4.0 <= drop <= 9.0
+
+    def test_closed_container_warms_up(self):
+        plant = ThermalPlant()
+        plant.reset(20.0, 0.008)
+        plant.step(uniform_inputs(outside_temp_c=5.0), 3600)
+        assert float(plant.state.pod_inlet_temp_c.min()) > 20.0
+
+    def test_closed_equilibrium_bounded(self):
+        # A sealed 1.6kW container must not run away unboundedly.
+        plant = ThermalPlant()
+        plant.reset(25.0, 0.008)
+        for _ in range(240):  # 8 hours
+            plant.step(uniform_inputs(outside_temp_c=10.0), 120)
+        assert float(plant.state.pod_inlet_temp_c.max()) < 45.0
+
+    def test_fc_steady_state_tracks_outside_with_small_offset(self):
+        plant = ThermalPlant()
+        plant.reset(30.0, 0.008)
+        for _ in range(120):
+            plant.step(uniform_inputs(fc_fan_speed=0.5, outside_temp_c=15.0), 120)
+        offsets = plant.state.pod_inlet_temp_c - 15.0
+        assert 0.0 < float(offsets.min()) < 5.0
+        assert float(offsets.max()) < 8.0
+
+
+class TestRecirculationStructure:
+    def test_higher_recirculation_pods_run_warmer_under_fc(self):
+        plant = ThermalPlant()
+        plant.reset(25.0, 0.008)
+        for _ in range(60):
+            plant.step(uniform_inputs(fc_fan_speed=0.3, outside_temp_c=12.0), 120)
+        temps = plant.state.pod_inlet_temp_c
+        # Default config orders pods by increasing recirculation.
+        assert np.all(np.diff(temps) > 0)
+
+    def test_higher_recirculation_pods_swing_less(self):
+        """Low-recirculation pods are more exposed to the cooling
+        infrastructure — the physical basis of CoolAir's placement."""
+        plant = ThermalPlant()
+        plant.reset(30.0, 0.008)
+        before = plant.state.pod_inlet_temp_c.copy()
+        plant.step(uniform_inputs(fc_fan_speed=0.5, outside_temp_c=10.0), 600)
+        drops = before - plant.state.pod_inlet_temp_c
+        assert np.all(np.diff(drops) < 0)  # pod 0 (low recirc) drops most
+
+
+class TestHumidity:
+    def test_fc_pulls_inside_humidity_toward_outside(self):
+        plant = ThermalPlant()
+        plant.reset(22.0, 0.005)
+        plant.step(
+            uniform_inputs(fc_fan_speed=1.0, outside_mixing_ratio=0.015), 3600
+        )
+        assert plant.state.cold_aisle_mixing_ratio > 0.010
+
+    def test_ac_dehumidifies_humid_air(self):
+        plant = ThermalPlant()
+        plant.reset(28.0, 0.016)
+        plant.step(
+            uniform_inputs(
+                ac_fan_speed=1.0, ac_compressor_duty=1.0, outside_temp_c=32.0
+            ),
+            1800,
+        )
+        assert plant.state.cold_aisle_mixing_ratio < 0.016
+
+    def test_closed_humidity_drifts_slowly(self):
+        plant = ThermalPlant()
+        plant.reset(22.0, 0.005)
+        plant.step(uniform_inputs(outside_mixing_ratio=0.015), 600)
+        # Leak rate is tiny: 10 minutes moves humidity barely at all.
+        assert plant.state.cold_aisle_mixing_ratio < 0.006
+
+    def test_mixing_ratio_never_goes_negative(self):
+        plant = ThermalPlant()
+        plant.reset(30.0, 0.0001)
+        for _ in range(100):
+            plant.step(
+                uniform_inputs(
+                    ac_fan_speed=1.0, ac_compressor_duty=1.0, outside_temp_c=35.0
+                ),
+                120,
+            )
+        assert plant.state.cold_aisle_mixing_ratio > 0.0
+
+
+class TestDeterminismAndStability:
+    def test_deterministic_without_noise(self):
+        results = []
+        for _ in range(2):
+            plant = ThermalPlant()
+            plant.reset(24.0, 0.008)
+            for _ in range(30):
+                plant.step(uniform_inputs(fc_fan_speed=0.4), 120)
+            results.append(plant.state.pod_inlet_temp_c.copy())
+        assert np.array_equal(results[0], results[1])
+
+    def test_substepping_matches_fine_stepping(self):
+        coarse = ThermalPlant()
+        fine = ThermalPlant()
+        coarse.reset(28.0, 0.008)
+        fine.reset(28.0, 0.008)
+        inputs = uniform_inputs(fc_fan_speed=0.6, outside_temp_c=10.0)
+        coarse.step(inputs, 600)
+        for _ in range(20):
+            fine.step(inputs, 30)
+        assert coarse.state.pod_inlet_temp_c == pytest.approx(
+            fine.state.pod_inlet_temp_c, abs=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fan=st.floats(min_value=0.0, max_value=1.0),
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        outside=st.floats(min_value=-30.0, max_value=45.0),
+        power=st.floats(min_value=0.0, max_value=600.0),
+    )
+    def test_temperatures_stay_physical(self, fan, duty, outside, power):
+        """No actuator combination may produce runaway temperatures."""
+        plant = ThermalPlant()
+        plant.reset(25.0, 0.008)
+        inputs = PlantInputs(
+            fc_fan_speed=fan,
+            ac_fan_speed=1.0 if duty > 0 else 0.0,
+            ac_compressor_duty=duty,
+            pod_it_power_w=[power] * 4,
+            outside_temp_c=outside,
+            outside_mixing_ratio=0.006,
+        )
+        for _ in range(30):
+            plant.step(inputs, 120)
+        temps = plant.state.pod_inlet_temp_c
+        assert np.all(temps > -50.0)
+        assert np.all(temps < 70.0)
+
+    def test_state_copy_is_independent(self):
+        plant = ThermalPlant()
+        snapshot = plant.state.copy()
+        plant.step(uniform_inputs(fc_fan_speed=1.0, outside_temp_c=0.0), 600)
+        assert not np.array_equal(
+            snapshot.pod_inlet_temp_c, plant.state.pod_inlet_temp_c
+        )
+
+
+class TestDiskThermalModel:
+    def test_disk_tracks_inlet_plus_rise(self):
+        disks = DiskThermalModel(num_pods=4, initial_temp_c=30.0)
+        inlets = np.full(4, 25.0)
+        for _ in range(50):
+            disks.step(inlets, disk_utilization=0.5, dt_s=120)
+        expected = 25.0 + disks.base_rise_c + 0.5 * disks.utilization_rise_c
+        assert disks.temps_c == pytest.approx(np.full(4, expected), abs=0.2)
+
+    def test_disk_smooths_inlet_swings(self):
+        disks = DiskThermalModel(num_pods=1, initial_temp_c=40.0)
+        cold = np.array([15.0])
+        disks.step(cold, 0.5, 120)
+        # After 2 minutes the disk has moved only a fraction of the way.
+        assert float(disks.temps_c[0]) > 35.0
+
+    def test_rejects_bad_utilization(self):
+        disks = DiskThermalModel(num_pods=1)
+        with pytest.raises(ConfigError):
+            disks.step(np.array([20.0]), 1.5, 120)
+
+    def test_rejects_zero_pods(self):
+        with pytest.raises(ConfigError):
+            DiskThermalModel(num_pods=0)

@@ -1,0 +1,127 @@
+"""TKS controller and extended-baseline tests (Sections 4.1 and 5.1)."""
+
+import pytest
+
+from repro.cooling.baseline import BaselineController
+from repro.cooling.regimes import CoolingMode
+from repro.cooling.tks import TKSConfig, TKSController
+from repro.errors import ConfigError
+
+
+class TestTKSModes:
+    def test_lot_mode_below_setpoint(self):
+        tks = TKSController()
+        command = tks.decide(control_temp_c=23.0, outside_temp_c=15.0)
+        assert not tks.in_hot_mode
+        assert command.mode is CoolingMode.FREE_COOLING
+
+    def test_hot_mode_above_setpoint(self):
+        tks = TKSController()
+        command = tks.decide(control_temp_c=27.0, outside_temp_c=30.0)
+        assert tks.in_hot_mode
+        assert command.mode is CoolingMode.AC_ON
+
+    def test_hysteresis_prevents_flapping(self):
+        tks = TKSController()
+        tks.decide(27.0, 30.0)  # enter HOT
+        assert tks.in_hot_mode
+        # Outside drops to just below SP but within hysteresis: stay HOT.
+        tks.decide(27.0, 24.5)
+        assert tks.in_hot_mode
+        # Outside well below SP - hysteresis: back to LOT.
+        tks.decide(27.0, 23.0)
+        assert not tks.in_hot_mode
+
+    def test_closes_when_inside_cold(self):
+        tks = TKSController()
+        command = tks.decide(control_temp_c=18.0, outside_temp_c=10.0)
+        assert command.mode is CoolingMode.CLOSED
+
+
+class TestTKSFanSpeed:
+    def test_fan_faster_when_temps_close(self):
+        tks = TKSController()
+        near = tks.decide(24.0, 23.0)
+        tks2 = TKSController()
+        far = tks2.decide(24.0, 10.0)
+        assert near.fc_fan_speed > far.fc_fan_speed
+
+    def test_fan_never_below_minimum(self):
+        tks = TKSController()
+        command = tks.decide(24.0, -20.0)
+        assert command.fc_fan_speed >= 0.15
+
+    def test_outside_warmer_runs_full_speed(self):
+        tks = TKSController()
+        command = tks.decide(24.0, 24.5)
+        assert command.fc_fan_speed == 1.0
+
+
+class TestACCycling:
+    def test_compressor_cycles_between_sp_minus_2_and_sp(self):
+        tks = TKSController()
+        tks.decide(26.0, 30.0)  # HOT mode, above SP: compressor on
+        assert tks._compressor_on
+        command = tks.decide(22.5, 30.0)  # below SP - 2: compressor stops
+        assert command.mode is CoolingMode.AC_FAN
+        command = tks.decide(24.0, 30.0)  # between: stays off
+        assert command.mode is CoolingMode.AC_FAN
+        command = tks.decide(25.5, 30.0)  # above SP: restarts
+        assert command.mode is CoolingMode.AC_ON
+
+
+class TestTKSConfig:
+    def test_rejects_bad_band(self):
+        with pytest.raises(ConfigError):
+            TKSConfig(band_c=0.0)
+
+    def test_setpoint_setter(self):
+        tks = TKSController()
+        tks.set_setpoint(30.0)
+        assert tks.config.setpoint_c == 30.0
+
+
+class TestBaseline:
+    def test_default_setpoint_is_30(self):
+        assert BaselineController().setpoint_c == 30.0
+
+    def test_passes_through_when_humidity_ok(self):
+        baseline = BaselineController()
+        command = baseline.decide(
+            control_temp_c=28.0,
+            outside_temp_c=20.0,
+            cold_aisle_rh_pct=50.0,
+            outside_rh_pct=60.0,
+        )
+        assert command.mode is CoolingMode.FREE_COOLING
+
+    def test_humid_outside_air_closes_container(self):
+        baseline = BaselineController()
+        command = baseline.decide(
+            control_temp_c=28.0,
+            outside_temp_c=20.0,
+            cold_aisle_rh_pct=85.0,
+            outside_rh_pct=90.0,
+        )
+        assert command.mode is CoolingMode.CLOSED
+
+    def test_humid_and_hot_falls_back_to_ac(self):
+        baseline = BaselineController()
+        command = baseline.decide(
+            control_temp_c=30.5,
+            outside_temp_c=26.0,
+            cold_aisle_rh_pct=85.0,
+            outside_rh_pct=90.0,
+        )
+        assert command.mode is CoolingMode.AC_ON
+
+    def test_humid_inside_but_dry_outside_keeps_free_cooling(self):
+        """Dry outside air flushes the humidity out: keep free cooling."""
+        baseline = BaselineController()
+        command = baseline.decide(
+            control_temp_c=28.0,
+            outside_temp_c=20.0,
+            cold_aisle_rh_pct=85.0,
+            outside_rh_pct=40.0,
+        )
+        assert command.mode is CoolingMode.FREE_COOLING

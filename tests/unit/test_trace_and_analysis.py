@@ -1,0 +1,197 @@
+"""DayTrace metrics, validation harness, and analysis-module tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import energy_cost_per_degree, management_costs
+from repro.analysis.report import format_table
+from repro.analysis.worldmap import (
+    PUE_BINS,
+    RANGE_BINS,
+    bucket_counts,
+    summarize_world,
+)
+from repro.cooling.regimes import CoolingMode
+from repro.errors import SimulationError
+from repro.sim.trace import DayTrace, StepRecord
+from repro.sim.validation import TraceAgreement, fraction_within, trace_agreement
+from repro.sim.yearsim import YearResult
+
+
+def record(t, temps, outside=15.0, mode=CoolingMode.FREE_COOLING,
+           cooling_w=100.0, it_w=1500.0, rh=50.0):
+    return StepRecord(
+        time_s=t,
+        outside_temp_c=outside,
+        sensor_temps_c=tuple(temps),
+        mode=mode,
+        fc_fan_speed=0.5,
+        ac_compressor_duty=0.0,
+        cooling_power_w=cooling_w,
+        it_power_w=it_w,
+        inside_rh_pct=rh,
+        outside_rh_pct=60.0,
+        utilization=0.5,
+    )
+
+
+def make_trace(temp_series, **kwargs):
+    trace = DayTrace(day_of_year=0)
+    for i, temps in enumerate(temp_series):
+        trace.append(record(i * 120.0, temps, **kwargs))
+    return trace
+
+
+class TestDayTraceMetrics:
+    def test_worst_sensor_range(self):
+        trace = make_trace([(20.0, 25.0), (22.0, 31.0), (21.0, 27.0)])
+        # Sensor 1 spans 25..31 = 6, sensor 0 spans 2.
+        assert trace.worst_sensor_range_c() == pytest.approx(6.0)
+
+    def test_violations_average(self):
+        trace = make_trace([(29.0, 31.0), (30.0, 32.0)])
+        # Readings over 30: 31 (1 over), 32 (2 over); 4 readings total.
+        assert trace.avg_violation_c(30.0) == pytest.approx(3.0 / 4.0)
+
+    def test_max_rate(self):
+        trace = make_trace([(20.0, 20.0), (22.0, 20.0)])
+        # 2C in 2 minutes = 60C/h.
+        assert trace.max_rate_c_per_hour() == pytest.approx(60.0)
+
+    def test_energy_and_pue(self):
+        trace = make_trace([(25.0, 25.0)] * 30, cooling_w=150.0, it_w=1500.0)
+        assert trace.pue() == pytest.approx(1.0 + 0.1 + 0.08)
+
+    def test_time_in_mode(self):
+        trace = DayTrace(0)
+        trace.append(record(0.0, (25.0,), mode=CoolingMode.CLOSED))
+        trace.append(record(120.0, (25.0,), mode=CoolingMode.FREE_COOLING))
+        assert trace.time_in_mode(CoolingMode.CLOSED) == 0.5
+
+    def test_rh_violation_fraction(self):
+        trace = DayTrace(0)
+        trace.append(record(0.0, (25.0,), rh=85.0))
+        trace.append(record(120.0, (25.0,), rh=60.0))
+        assert trace.rh_violation_fraction(80.0) == 0.5
+
+    def test_records_must_advance(self):
+        trace = make_trace([(25.0, 25.0)])
+        with pytest.raises(SimulationError):
+            trace.append(record(0.0, (25.0, 25.0)))
+
+    def test_empty_trace_errors(self):
+        with pytest.raises(SimulationError):
+            DayTrace(0).worst_sensor_range_c()
+
+
+class TestTraceAgreement:
+    def test_identical_traces_agree_perfectly(self):
+        a = make_trace([(25.0, 26.0)] * 10)
+        b = make_trace([(25.0, 26.0)] * 10)
+        agreement = trace_agreement(a, b)
+        assert agreement.fraction_within_2c == 1.0
+        assert agreement.overall_rel_error == 0.0
+
+    def test_offset_traces_detected(self):
+        a = make_trace([(25.0, 25.0)] * 10)
+        b = make_trace([(28.5, 28.5)] * 10)
+        agreement = trace_agreement(a, b)
+        assert agreement.fraction_within_2c == 0.0
+
+    def test_fraction_within(self):
+        errors = np.array([0.2, 0.8, 1.5, 3.0])
+        assert fraction_within(errors, 1.0) == 0.5
+
+
+class TestCosts:
+    def result(self, label, cooling_kwh, max_range=10.0):
+        return YearResult(
+            label=label,
+            climate_name="X",
+            sampled_days=[0],
+            daily_worst_range_c=[max_range],
+            daily_outside_range_c=[12.0],
+            daily_avg_violation_c=[0.0],
+            daily_max_rate_c_per_hour=[5.0],
+            cooling_kwh=cooling_kwh,
+            it_kwh=1000.0,
+        )
+
+    def test_cost_per_degree(self):
+        cheap = self.result("Energy", 100.0)
+        costly = self.result("Temperature", 300.0)
+        assert energy_cost_per_degree(cheap, costly, 1.0) == 200.0
+
+    def test_cost_clamped_at_zero(self):
+        cheap = self.result("A", 300.0)
+        costly = self.result("B", 100.0)
+        assert energy_cost_per_degree(cheap, costly, 1.0) == 0.0
+
+    def test_invalid_degrees(self):
+        with pytest.raises(SimulationError):
+            energy_cost_per_degree(self.result("A", 1.0), self.result("B", 2.0), 0.0)
+
+    def test_management_costs_direction(self):
+        energy = self.result("Energy", 100.0, max_range=12.0)
+        temperature = self.result("Temperature", 400.0, max_range=12.0)
+        variation = self.result("Variation", 200.0, max_range=6.0)
+        costs = management_costs("X", energy, temperature, variation)
+        assert costs.temperature_kwh_per_c == pytest.approx(300.0)
+        assert costs.variation_kwh_per_c == pytest.approx(100.0 / 6.0)
+        assert costs.temperature_costs_more
+
+
+class TestWorldMap:
+    def result(self, label, max_range, cooling=100.0):
+        return YearResult(
+            label=label,
+            climate_name="loc",
+            sampled_days=[0],
+            daily_worst_range_c=[max_range],
+            daily_outside_range_c=[12.0],
+            daily_avg_violation_c=[0.0],
+            daily_max_rate_c_per_hour=[5.0],
+            cooling_kwh=cooling,
+            it_kwh=1000.0,
+        )
+
+    def test_summary_aggregates(self):
+        pairs = [
+            (self.result("Baseline", 18.0, 80.0), self.result("All-ND", 12.0, 90.0)),
+            (self.result("Baseline", 10.0, 50.0), self.result("All-ND", 8.0, 60.0)),
+        ]
+        summary = summarize_world(pairs, [(40.0, -74.0), (1.0, 100.0)])
+        assert summary.avg_baseline_max_range_c == pytest.approx(14.0)
+        assert summary.avg_coolair_max_range_c == pytest.approx(10.0)
+        assert summary.fraction_range_worsened == 0.0
+
+    def test_worsened_fraction(self):
+        pairs = [
+            (self.result("Baseline", 10.0), self.result("All-ND", 10.5)),
+        ]
+        summary = summarize_world(pairs, [(0.0, 0.0)])
+        assert summary.fraction_range_worsened == 1.0
+        assert summary.worst_range_increase_c == pytest.approx(0.5)
+
+    def test_bucket_counts(self):
+        counts = bucket_counts([1.0, 3.0, 5.0, 12.0, 20.0], RANGE_BINS)
+        assert counts["0..2"] == 1
+        assert counts["2..4"] == 1
+        assert counts["4..6"] == 1
+        assert counts["10..14"] == 1
+        assert counts[">=14"] == 1
+
+    def test_mismatched_coordinates_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize_world([], [])
+
+
+class TestReportTable:
+    def test_format_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22.25]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in table and "22.25" in table

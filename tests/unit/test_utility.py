@@ -1,0 +1,138 @@
+"""Utility (penalty) function tests (Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.band import TemperatureBand
+from repro.core.config import BandMode, CoolAirConfig
+from repro.core.utility import RegimePrediction, UtilityFunction, UtilityWeights
+from repro.errors import ConfigError
+
+BAND = TemperatureBand(25.0, 30.0)
+HORIZON = 600.0
+
+
+def prediction(temps, rh=50.0, energy=0.0, ac_full=False):
+    temps = np.asarray(temps, dtype=float)
+    return RegimePrediction(
+        sensor_temps_c=temps,
+        rh_pct=np.full(temps.shape[0], rh),
+        cooling_energy_kwh=energy,
+        ac_at_full_speed=ac_full,
+    )
+
+
+def flat(temp, steps=5, sensors=2):
+    return np.full((steps, sensors), float(temp))
+
+
+@pytest.fixture()
+def utility():
+    return UtilityFunction(CoolAirConfig())
+
+
+class TestPenaltyTerms:
+    def test_zero_penalty_inside_band(self, utility):
+        score = utility.score(prediction(flat(27.0)), BAND, [27.0, 27.0], HORIZON)
+        assert score == 0.0
+
+    def test_band_violation_scales_with_distance(self, utility):
+        near = utility.score(prediction(flat(31.0)), BAND, [31.0, 31.0], HORIZON)
+        far = utility.score(prediction(flat(33.0)), BAND, [33.0, 33.0], HORIZON)
+        assert far > near > 0.0
+
+    def test_below_band_also_penalized(self, utility):
+        score = utility.score(prediction(flat(20.0)), BAND, [20.0, 20.0], HORIZON)
+        assert score > 0.0
+
+    def test_rate_violation_penalized(self, utility):
+        # 3C per 2-minute step = 90C/hour, far over the 20C/h limit.
+        temps = np.array([[27.0, 27.0], [24.0, 24.0], [27.0, 27.0],
+                          [27.0, 27.0], [27.0, 27.0]])
+        fast = utility.score(prediction(temps), BAND, [27.0, 27.0], HORIZON)
+        slow = utility.score(prediction(flat(27.0)), BAND, [27.0, 27.0], HORIZON)
+        assert fast > slow
+
+    def test_humidity_violation(self, utility):
+        humid = utility.score(
+            prediction(flat(27.0), rh=90.0), BAND, [27.0, 27.0], HORIZON
+        )
+        dry = utility.score(
+            prediction(flat(27.0), rh=60.0), BAND, [27.0, 27.0], HORIZON
+        )
+        assert humid > dry == 0.0
+
+    def test_ac_full_speed_penalty(self, utility):
+        with_ac = utility.score(
+            prediction(flat(27.0), ac_full=True), BAND, [27.0, 27.0], HORIZON
+        )
+        without = utility.score(prediction(flat(27.0)), BAND, [27.0, 27.0], HORIZON)
+        assert with_ac > without
+
+    def test_energy_term_when_enabled(self):
+        config = CoolAirConfig(use_energy_term=True)
+        utility = UtilityFunction(config)
+        cheap = utility.score(prediction(flat(27.0), energy=0.01), BAND, [27.0] * 2, HORIZON)
+        costly = utility.score(prediction(flat(27.0), energy=0.35), BAND, [27.0] * 2, HORIZON)
+        assert costly > cheap
+
+    def test_energy_term_disabled_for_variation_version(self):
+        config = CoolAirConfig(use_energy_term=False)
+        utility = UtilityFunction(config)
+        a = utility.score(prediction(flat(27.0), energy=0.0), BAND, [27.0] * 2, HORIZON)
+        b = utility.score(prediction(flat(27.0), energy=1.0), BAND, [27.0] * 2, HORIZON)
+        assert a == b
+
+
+class TestModesAndValidation:
+    def test_max_only_ignores_band(self):
+        config = CoolAirConfig(
+            band_mode=BandMode.MAX_ONLY,
+            max_temp_setpoint_c=29.0,
+            use_band_term=False,
+            use_rate_term=False,
+        )
+        utility = UtilityFunction(config)
+        # 20C would violate an adaptive band but is fine for max-only.
+        score = utility.score(prediction(flat(20.0)), BAND, [20.0, 20.0], HORIZON)
+        assert score == 0.0
+        over = utility.score(prediction(flat(30.0)), BAND, [30.0, 30.0], HORIZON)
+        assert over > 0.0
+
+    def test_persistent_violation_costs_more_than_transient(self, utility):
+        transient = np.vstack([flat(31.0, steps=1), flat(27.0, steps=4)])
+        persistent = flat(31.0, steps=5)
+        t = utility.score(prediction(transient), BAND, [27.0, 27.0], HORIZON)
+        p = utility.score(prediction(persistent), BAND, [27.0, 27.0], HORIZON)
+        assert p > t
+
+    def test_sensor_count_mismatch(self, utility):
+        with pytest.raises(ConfigError):
+            utility.score(prediction(flat(27.0, sensors=3)), BAND, [27.0] * 2, HORIZON)
+
+    def test_bad_horizon(self, utility):
+        with pytest.raises(ConfigError):
+            utility.score(prediction(flat(27.0)), BAND, [27.0] * 2, 0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            UtilityWeights(ac_full_speed=-1.0)
+
+    def test_prediction_shape_validation(self):
+        with pytest.raises(ConfigError):
+            RegimePrediction(
+                sensor_temps_c=np.zeros(5),
+                rh_pct=np.zeros(5),
+                cooling_energy_kwh=0.0,
+                ac_at_full_speed=False,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(temp=st.floats(min_value=10.0, max_value=45.0))
+    def test_score_nonnegative(self, temp):
+        utility = UtilityFunction(CoolAirConfig())
+        score = utility.score(
+            prediction(flat(temp)), BAND, [temp, temp], HORIZON
+        )
+        assert score >= 0.0

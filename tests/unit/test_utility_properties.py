@@ -1,0 +1,113 @@
+"""Property-based tests on utility-function invariants.
+
+The Cooling Optimizer's correctness rests on a few monotonicity
+properties: worse trajectories must never score better.  These are the
+invariants hypothesis hammers here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.band import TemperatureBand
+from repro.core.config import CoolAirConfig
+from repro.core.utility import RegimePrediction, UtilityFunction
+
+BAND = TemperatureBand(25.0, 30.0)
+HORIZON = 600.0
+
+
+def prediction(temps, rh=50.0, energy=0.0, ac_full=False):
+    temps = np.asarray(temps, dtype=float)
+    return RegimePrediction(
+        sensor_temps_c=temps,
+        rh_pct=np.full(temps.shape[0], float(rh)),
+        cooling_energy_kwh=energy,
+        ac_at_full_speed=ac_full,
+    )
+
+
+@pytest.fixture(scope="module")
+def utility():
+    return UtilityFunction(CoolAirConfig())
+
+
+temps_inside = st.floats(min_value=25.0, max_value=30.0)
+temps_any = st.floats(min_value=5.0, max_value=45.0)
+
+
+class TestMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(base=temps_inside, excess=st.floats(min_value=0.1, max_value=15.0))
+    def test_further_above_band_scores_worse(self, utility, base, excess):
+        inside = prediction(np.full((5, 2), base))
+        above = prediction(np.full((5, 2), BAND.high_c + excess))
+        worse = prediction(np.full((5, 2), BAND.high_c + excess + 1.0))
+        s_in = utility.score(inside, BAND, [base] * 2, HORIZON)
+        s_above = utility.score(
+            above, BAND, [BAND.high_c + excess] * 2, HORIZON
+        )
+        s_worse = utility.score(
+            worse, BAND, [BAND.high_c + excess + 1.0] * 2, HORIZON
+        )
+        assert s_in <= s_above < s_worse
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        temp=temps_inside,
+        energy_a=st.floats(min_value=0.0, max_value=0.4),
+        extra=st.floats(min_value=0.001, max_value=0.4),
+    )
+    def test_more_energy_never_scores_better(self, utility, temp, energy_a, extra):
+        cheap = prediction(np.full((5, 2), temp), energy=energy_a)
+        costly = prediction(np.full((5, 2), temp), energy=energy_a + extra)
+        s_cheap = utility.score(cheap, BAND, [temp] * 2, HORIZON)
+        s_costly = utility.score(costly, BAND, [temp] * 2, HORIZON)
+        assert s_costly > s_cheap
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        temp=temps_inside,
+        rh_a=st.floats(min_value=0.0, max_value=95.0),
+        extra=st.floats(min_value=0.5, max_value=5.0),
+    )
+    def test_more_humidity_never_scores_better(self, utility, temp, rh_a, extra):
+        drier = prediction(np.full((5, 2), temp), rh=rh_a)
+        damper = prediction(np.full((5, 2), temp), rh=min(100.0, rh_a + extra))
+        s_dry = utility.score(drier, BAND, [temp] * 2, HORIZON)
+        s_damp = utility.score(damper, BAND, [temp] * 2, HORIZON)
+        assert s_damp >= s_dry
+
+    @settings(max_examples=40, deadline=None)
+    @given(temp=temps_any)
+    def test_ac_full_speed_never_helps(self, utility, temp):
+        quiet = prediction(np.full((5, 2), temp))
+        blasting = prediction(np.full((5, 2), temp), ac_full=True)
+        s_quiet = utility.score(quiet, BAND, [temp] * 2, HORIZON)
+        s_blast = utility.score(blasting, BAND, [temp] * 2, HORIZON)
+        assert s_blast > s_quiet
+
+
+class TestScaleInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(temp=temps_any)
+    def test_score_finite_and_nonnegative(self, utility, temp):
+        p = prediction(np.full((5, 2), temp))
+        score = utility.score(p, BAND, [temp] * 2, HORIZON)
+        assert np.isfinite(score)
+        assert score >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        temp=st.floats(min_value=31.0, max_value=40.0),
+        sensors=st.integers(min_value=1, max_value=6),
+    )
+    def test_penalty_scales_with_sensor_count(self, temp, sensors):
+        """More violating sensors -> proportionally more penalty (the
+        'sum over the sensors of all active pods' of Section 3.2)."""
+        utility = UtilityFunction(CoolAirConfig())
+        one = prediction(np.full((5, 1), temp))
+        many = prediction(np.full((5, sensors), temp))
+        s_one = utility.score(one, BAND, [temp], HORIZON)
+        s_many = utility.score(many, BAND, [temp] * sensors, HORIZON)
+        assert s_many == pytest.approx(sensors * s_one, rel=1e-9)

@@ -1,0 +1,181 @@
+"""Table 1 versions, Cooling Configurers, and the CoolAir manager."""
+
+import pytest
+
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.cooling.tks import TKSController
+from repro.cooling.units import AbruptCoolingUnits
+from repro.core.band import TemperatureBand
+from repro.core.config import BandMode, PlacementStrategy, TemporalPolicy
+from repro.core.configurer import DirectCoolingConfigurer, TKSTranslatingConfigurer
+from repro.core.coolair import CoolAir
+from repro.core.versions import (
+    ALL_VERSIONS,
+    all_def,
+    all_nd,
+    energy_def,
+    energy_version,
+    temperature_version,
+    var_high_recirc,
+    var_low_recirc,
+    variation_version,
+)
+from repro.errors import ConfigError
+from repro.sim.engine import make_smoothsim
+from repro.weather.locations import NEWARK
+
+
+class TestTable1:
+    """Each version's knobs must match Table 1 exactly."""
+
+    def test_temperature_version(self):
+        config = temperature_version()
+        assert config.band_mode is BandMode.MAX_ONLY
+        assert config.max_temp_setpoint_c == 29.0
+        assert config.use_energy_term
+        assert config.placement is PlacementStrategy.LOW_RECIRCULATION_FIRST
+        assert config.temporal is TemporalPolicy.NONE
+
+    def test_variation_version(self):
+        config = variation_version()
+        assert config.band_mode is BandMode.ADAPTIVE
+        assert not config.use_energy_term
+        assert config.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
+        assert config.temporal is TemporalPolicy.NONE
+
+    def test_energy_version(self):
+        config = energy_version()
+        assert config.band_mode is BandMode.MAX_ONLY
+        assert config.max_temp_setpoint_c == 30.0
+        assert config.use_energy_term
+        assert config.placement is PlacementStrategy.LOW_RECIRCULATION_FIRST
+
+    def test_all_nd(self):
+        config = all_nd()
+        assert config.band_mode is BandMode.ADAPTIVE
+        assert config.use_energy_term
+        assert config.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
+        assert config.temporal is TemporalPolicy.NONE
+
+    def test_all_def(self):
+        config = all_def()
+        assert config.temporal is TemporalPolicy.BAND_AWARE
+        assert config.placement is PlacementStrategy.LOW_RECIRCULATION_FIRST
+
+    def test_ablation_systems(self):
+        low = var_low_recirc()
+        high = var_high_recirc()
+        assert low.band_mode is BandMode.FIXED
+        assert (low.fixed_band_low_c, low.fixed_band_high_c) == (25.0, 30.0)
+        assert not low.use_weather_forecast
+        assert low.placement is PlacementStrategy.LOW_RECIRCULATION_FIRST
+        assert high.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
+
+    def test_energy_def(self):
+        config = energy_def()
+        assert config.temporal is TemporalPolicy.COLDEST_HOURS
+        assert config.use_energy_term
+
+    def test_registry_complete(self):
+        assert set(ALL_VERSIONS) == {
+            "Temperature", "Variation", "Energy", "All-ND", "All-DEF",
+            "Var-Low-Recirc", "Var-High-Recirc", "Energy-DEF",
+        }
+        for name, factory in ALL_VERSIONS.items():
+            assert factory().name == name
+
+
+class TestDirectConfigurer:
+    def test_applies_command(self):
+        units = AbruptCoolingUnits()
+        configurer = DirectCoolingConfigurer(units)
+        configurer.apply(CoolingCommand.free_cooling(0.5))
+        assert units.mode is CoolingMode.FREE_COOLING
+
+
+class TestTKSTranslatingConfigurer:
+    def test_band_installs_setpoint(self):
+        tks = TKSController()
+        configurer = TKSTranslatingConfigurer(tks, AbruptCoolingUnits())
+        configurer.install_band(TemperatureBand(24.0, 29.0))
+        assert tks.config.setpoint_c == 29.0
+        assert tks.config.band_c == 5.0
+
+    def test_force_closed(self):
+        tks = TKSController()
+        units = AbruptCoolingUnits()
+        configurer = TKSTranslatingConfigurer(tks, units)
+        produced = configurer.force_command(
+            CoolingCommand.closed(), control_temp_c=22.0, outside_temp_c=15.0
+        )
+        assert produced.mode is CoolingMode.CLOSED
+        assert units.mode is CoolingMode.CLOSED
+
+    def test_force_free_cooling(self):
+        tks = TKSController()
+        units = AbruptCoolingUnits()
+        configurer = TKSTranslatingConfigurer(tks, units)
+        produced = configurer.force_command(
+            CoolingCommand.free_cooling(0.5), control_temp_c=26.0, outside_temp_c=15.0
+        )
+        assert produced.mode is CoolingMode.FREE_COOLING
+
+    def test_force_ac(self):
+        tks = TKSController()
+        units = AbruptCoolingUnits()
+        configurer = TKSTranslatingConfigurer(tks, units)
+        produced = configurer.force_command(
+            CoolingCommand.ac(1.0), control_temp_c=31.0, outside_temp_c=33.0
+        )
+        assert produced.mode in (CoolingMode.AC_ON, CoolingMode.AC_FAN)
+
+
+class TestCoolAirManager:
+    def test_start_day_selects_band(self, cooling_model):
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        band = coolair.start_day(182)
+        assert band.high_c <= 30.0
+        assert band.width_c == 5.0
+
+    def test_decide_before_start_day_raises(self, cooling_model):
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        with pytest.raises(ConfigError):
+            coolair.decide_cooling(None)
+
+    def test_plan_compute_returns_active_pods(self, cooling_model):
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            all_nd(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        active_ids, active_pods = coolair.plan_compute(16)
+        assert len(active_ids) == 16
+        # Pod 3 fills first (high-recirculation placement) but pod 0 also
+        # shows up: it hosts the always-active Covering Subset.
+        assert active_pods == [0, 3]
+
+    def test_sensor_pod_mismatch_rejected(self, cooling_model):
+        from repro.datacenter.layout import parasol_layout
+
+        setup = make_smoothsim(NEWARK)
+        layout2 = parasol_layout(num_servers=64, num_pods=2,
+                                 recirculation=(0.1, 0.3))
+        with pytest.raises(ConfigError):
+            CoolAir(all_nd(), cooling_model, layout2, setup.forecast)
+
+    def test_no_forecast_variant_uses_fixed_band(self, cooling_model):
+        setup = make_smoothsim(NEWARK)
+        coolair = CoolAir(
+            var_high_recirc(), cooling_model, setup.layout, setup.forecast,
+            smooth_hardware=True,
+        )
+        band = coolair.start_day(182)
+        assert (band.low_c, band.high_c) == (25.0, 30.0)

@@ -1,0 +1,184 @@
+"""Weather substrate tests: climates, TMY generation, locations, forecasts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, WeatherError
+from repro.weather.climate import Climate
+from repro.weather.forecast import ForecastService
+from repro.weather.locations import (
+    CHAD,
+    ICELAND,
+    NEWARK,
+    SANTIAGO,
+    SINGAPORE,
+    NAMED_LOCATIONS,
+    climate_for_coordinates,
+    world_grid,
+)
+from repro.weather.tmy import HOURS_PER_YEAR, generate_tmy
+
+
+class TestClimate:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Climate("x", 95.0, 0.0, 10.0, 5.0, 5.0)
+        with pytest.raises(ConfigError):
+            Climate("x", 0.0, 0.0, 10.0, -1.0, 5.0)
+
+    def test_hemisphere_and_season_phase(self):
+        assert SANTIAGO.southern_hemisphere
+        assert not NEWARK.southern_hemisphere
+        assert SANTIAGO.warmest_day_of_year != NEWARK.warmest_day_of_year
+
+    def test_seed_deterministic_and_distinct(self):
+        assert NEWARK.seed() == NEWARK.seed()
+        assert NEWARK.seed() != SINGAPORE.seed()
+
+
+class TestTMYGeneration:
+    @pytest.fixture(scope="class")
+    def newark(self):
+        return generate_tmy(NEWARK)
+
+    def test_shape(self, newark):
+        assert newark.hourly_temps.shape == (HOURS_PER_YEAR,)
+
+    def test_deterministic(self):
+        a = generate_tmy(ICELAND)
+        b = generate_tmy(ICELAND)
+        assert np.array_equal(a.hourly_temps, b.hourly_temps)
+
+    def test_yearly_mean_close_to_climate(self, newark):
+        mean, _, _ = newark.yearly_stats()
+        assert mean == pytest.approx(NEWARK.mean_temp_c, abs=1.5)
+
+    def test_summer_warmer_than_winter(self, newark):
+        july = newark.daily_mean_temp_c(196)
+        january = newark.daily_mean_temp_c(15)
+        assert july - january > 12.0
+
+    def test_southern_hemisphere_flips_seasons(self):
+        santiago = generate_tmy(SANTIAGO)
+        january = santiago.daily_mean_temp_c(15)
+        july = santiago.daily_mean_temp_c(196)
+        assert january > july
+
+    def test_diurnal_cycle_peaks_afternoon(self, newark):
+        day = newark.hourly_temps_for_day(180)
+        assert 12 <= int(np.argmax(day)) <= 18
+
+    def test_interpolation_continuous(self, newark):
+        t1 = newark.temperature_c(1000_000.0)
+        t2 = newark.temperature_c(1000_060.0)
+        assert abs(t1 - t2) < 1.0
+
+    def test_relative_humidity_in_range(self, newark):
+        for t in np.linspace(0, 364 * 86400, 50):
+            rh = newark.relative_humidity_pct(float(t))
+            assert 0.0 <= rh <= 100.0
+
+    def test_singapore_is_humid_and_stable(self):
+        singapore = generate_tmy(SINGAPORE)
+        mean, low, high = singapore.yearly_stats()
+        assert high - low < 15.0  # tiny seasonal+diurnal span
+        rh = [singapore.relative_humidity_pct(d * 86400.0) for d in range(0, 360, 10)]
+        assert np.mean(rh) > 70.0
+
+    def test_daily_range_positive(self, newark):
+        assert newark.daily_range_c(100) > 0.0
+
+
+class TestNamedLocations:
+    def test_five_locations_present(self):
+        assert set(NAMED_LOCATIONS) == {
+            "Newark",
+            "Chad",
+            "Santiago",
+            "Iceland",
+            "Singapore",
+        }
+
+    def test_climate_ordering(self):
+        # Chad hot, Iceland cold, the rest in between.
+        assert CHAD.mean_temp_c > SINGAPORE.mean_temp_c - 2.0
+        assert ICELAND.mean_temp_c < NEWARK.mean_temp_c < CHAD.mean_temp_c
+
+
+class TestWorldGrid:
+    def test_default_count_is_1520(self):
+        assert len(world_grid()) == 1520
+
+    def test_subsample_count(self):
+        assert len(world_grid(24)) == 24
+
+    def test_unique_names(self):
+        grid = world_grid(100)
+        assert len({c.name for c in grid}) == 100
+
+    def test_latitude_gradient(self):
+        polar = climate_for_coordinates(65.0, 10.0)
+        tropical = climate_for_coordinates(2.0, 10.0)
+        assert tropical.mean_temp_c > polar.mean_temp_c + 10.0
+        assert polar.seasonal_amplitude_c > tropical.seasonal_amplitude_c
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lat=st.floats(min_value=-56.0, max_value=68.0),
+        lon=st.floats(min_value=-180.0, max_value=180.0),
+    )
+    def test_every_coordinate_yields_valid_climate(self, lat, lon):
+        climate = climate_for_coordinates(lat, lon)
+        assert -90 <= climate.latitude <= 90
+        assert 2.0 <= climate.mean_rh_pct <= 98.0
+        assert climate.seasonal_amplitude_c >= 0
+
+    def test_rejects_zero_locations(self):
+        with pytest.raises(ValueError):
+            world_grid(0)
+
+
+class TestForecastService:
+    @pytest.fixture(scope="class")
+    def service(self):
+        return ForecastService(generate_tmy(NEWARK))
+
+    def test_perfect_forecast_matches_tmy(self, service):
+        tmy = generate_tmy(NEWARK)
+        forecast = service.forecast_for_day(100)
+        assert forecast.hourly_temps_c == pytest.approx(
+            tmy.hourly_temps_for_day(100)
+        )
+
+    def test_bias_shifts_everything(self):
+        tmy = generate_tmy(NEWARK)
+        biased = ForecastService(tmy, bias_c=5.0)
+        plain = ForecastService(tmy)
+        assert biased.average_for_day(50) == pytest.approx(
+            plain.average_for_day(50) + 5.0
+        )
+
+    def test_noise_is_deterministic_per_day(self):
+        tmy = generate_tmy(NEWARK)
+        noisy = ForecastService(tmy, noise_std_c=2.0)
+        a = noisy.forecast_for_day(10)
+        b = noisy.forecast_for_day(10)
+        assert np.array_equal(a.hourly_temps_c, b.hourly_temps_c)
+        c = noisy.forecast_for_day(11)
+        assert not np.array_equal(a.hourly_temps_c[:5], c.hourly_temps_c[:5])
+
+    def test_partial_day_window(self, service):
+        forecast = service.forecast_for_day(10, issued_hour=12)
+        assert forecast.hourly_temps_c.shape == (12,)
+        assert forecast.temp_at_hour(12) == forecast.hourly_temps_c[0]
+        with pytest.raises(WeatherError):
+            forecast.temp_at_hour(11)
+
+    def test_rejects_bad_hour(self, service):
+        with pytest.raises(WeatherError):
+            service.forecast_for_day(10, issued_hour=24)
+
+    def test_min_max_consistent(self, service):
+        forecast = service.forecast_for_day(200)
+        assert forecast.min_temp_c <= forecast.average_temp_c <= forecast.max_temp_c

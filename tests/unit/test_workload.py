@@ -1,0 +1,227 @@
+"""Workload substrate tests: jobs, traces, demand profiles, covering subset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacenter.server import Server
+from repro.errors import WorkloadError
+from repro.workload.covering import covering_subset
+from repro.workload.job import Job
+from repro.workload.profile import build_demand_profile
+from repro.workload.traces import (
+    FacebookTraceGenerator,
+    NutchTraceGenerator,
+    SECONDS_PER_DAY,
+    Trace,
+)
+
+
+def simple_job(job_id=0, arrival=0.0, maps=4, map_s=100.0, reduces=1, red_s=50.0, **kw):
+    return Job(
+        job_id=job_id,
+        arrival_s=arrival,
+        num_maps=maps,
+        map_duration_s=map_s,
+        num_reduces=reduces,
+        reduce_duration_s=red_s,
+        **kw,
+    )
+
+
+class TestJob:
+    def test_work_accounting(self):
+        job = simple_job(maps=4, map_s=100.0, reduces=2, red_s=50.0)
+        assert job.map_work_s == 400.0
+        assert job.reduce_work_s == 100.0
+        assert job.total_work_s == 500.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            simple_job(maps=0)
+        with pytest.raises(WorkloadError):
+            simple_job(map_s=0.0)
+        with pytest.raises(WorkloadError):
+            simple_job(arrival=-1.0)
+        with pytest.raises(WorkloadError):
+            Job(0, 100.0, 1, 10.0, 0, 0.0, deadline_s=50.0)
+
+    def test_deferral_rules(self):
+        job = simple_job(arrival=1000.0, deadline_s=5000.0)
+        assert job.is_deferrable
+        job.defer_to(3000.0)
+        assert job.effective_start_s == 3000.0
+        with pytest.raises(WorkloadError):
+            job.defer_to(6000.0)  # beyond deadline
+        with pytest.raises(WorkloadError):
+            job.defer_to(500.0)  # before arrival
+
+    def test_non_deferrable_refuses_deferral(self):
+        job = simple_job()
+        assert not job.is_deferrable
+        with pytest.raises(WorkloadError):
+            job.defer_to(100.0)
+
+
+class TestFacebookTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return FacebookTraceGenerator(num_jobs=800, seed=1).generate()
+
+    def test_job_count(self, trace):
+        assert len(trace) == 800
+
+    def test_arrivals_sorted_within_day(self, trace):
+        arrivals = [j.arrival_s for j in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < SECONDS_PER_DAY for a in arrivals)
+
+    def test_paper_shape_ranges(self, trace):
+        maps = [j.num_maps for j in trace]
+        reduces = [j.num_reduces for j in trace]
+        assert min(maps) >= 2 and max(maps) <= 1190
+        assert min(reduces) >= 1 and max(reduces) <= 63
+        # Heavy tail: median far below max.
+        assert np.median(maps) < 0.15 * max(maps)
+
+    def test_rescaled_to_target_utilization(self, trace):
+        util = trace.average_utilization(num_servers=64)
+        assert util == pytest.approx(0.27, abs=0.03)
+
+    def test_deterministic(self):
+        a = FacebookTraceGenerator(num_jobs=50, seed=5).generate()
+        b = FacebookTraceGenerator(num_jobs=50, seed=5).generate()
+        assert [j.num_maps for j in a] == [j.num_maps for j in b]
+
+    def test_deferrable_variant_sets_deadlines(self):
+        trace = FacebookTraceGenerator(num_jobs=20).generate(deferrable=True)
+        assert all(j.deadline_s == j.arrival_s + 6 * 3600 for j in trace)
+
+    def test_deferrable_copy(self, trace):
+        deferred = trace.deferrable_copy()
+        assert all(j.is_deferrable for j in deferred)
+        assert not any(j.is_deferrable for j in trace)
+
+
+class TestNutchTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return NutchTraceGenerator(num_jobs=2000, seed=2).generate()
+
+    def test_fixed_shape(self, trace):
+        assert all(j.num_maps == 42 for j in trace)
+        assert all(j.num_reduces == 1 for j in trace)
+        # Durations are rescaled to the paper's reported 32% utilization,
+        # so the 15-40s map range stretches by the common scale factor.
+        durations = [j.map_duration_s for j in trace]
+        assert max(durations) / min(durations) == pytest.approx(40.0 / 15.0, rel=0.1)
+        reduces = {j.reduce_duration_s for j in trace}
+        assert len(reduces) == 1  # all reduces share one scaled duration
+
+    def test_poisson_interarrivals(self, trace):
+        arrivals = np.array([j.arrival_s for j in trace])
+        gaps = np.diff(arrivals)
+        gaps = gaps[gaps > 0]
+        assert np.mean(gaps) == pytest.approx(40.0, rel=0.15)
+
+    def test_utilization_higher_than_facebook(self, trace):
+        # Paper: Nutch ~32% vs Facebook ~27%.
+        assert trace.average_utilization(64) == pytest.approx(0.32, abs=0.02)
+        fb = FacebookTraceGenerator(num_jobs=400, seed=1).generate()
+        assert trace.average_utilization(64) > fb.average_utilization(64)
+
+
+class TestTraceValidation:
+    def test_rejects_unsorted_jobs(self):
+        jobs = [simple_job(0, arrival=100.0), simple_job(1, arrival=50.0)]
+        with pytest.raises(WorkloadError):
+            Trace("bad", jobs)
+
+
+class TestDemandProfile:
+    def test_conserves_work(self):
+        trace = FacebookTraceGenerator(num_jobs=200, seed=4).generate()
+        profile = build_demand_profile(trace)
+        executed = float(np.sum(profile.busy_slot_seconds))
+        # All work that fits in the day is executed (small spill past
+        # midnight is possible for late arrivals).
+        assert executed <= trace.total_work_s + 1e-6
+        assert executed >= 0.85 * trace.total_work_s
+
+    def test_demand_bounded_by_cluster(self):
+        trace = FacebookTraceGenerator(num_jobs=500, seed=5).generate()
+        profile = build_demand_profile(trace, num_servers=64)
+        assert profile.demanded_servers.max() <= 64
+        assert profile.utilization.max() <= 1.0
+
+    def test_no_demand_before_first_arrival(self):
+        job = simple_job(arrival=12 * 3600.0)
+        trace = Trace("one", [job])
+        profile = build_demand_profile(trace)
+        assert profile.busy_slot_seconds[:71].sum() == 0.0
+        assert profile.busy_slot_seconds.sum() > 0.0
+
+    def test_deferral_moves_demand(self):
+        job = simple_job(arrival=3600.0, maps=64, map_s=600.0,
+                         deadline_s=8 * 3600.0)
+        trace = Trace("one", [job])
+        before = build_demand_profile(trace)
+        job.defer_to(7 * 3600.0)
+        after = build_demand_profile(trace)
+        first_busy_before = int(np.argmax(before.busy_slot_seconds > 0))
+        first_busy_after = int(np.argmax(after.busy_slot_seconds > 0))
+        assert first_busy_after > first_busy_before
+
+    def test_parallelism_cap_limits_rate(self):
+        # One job with a single map task can use at most 1 slot.
+        job = simple_job(arrival=0.0, maps=1, map_s=3600.0, reduces=0, red_s=0.0)
+        profile = build_demand_profile(Trace("one", [job]), interval_s=600.0)
+        assert profile.busy_slot_seconds.max() <= 600.0 + 1e-6
+
+    def test_server_utilization_bounds(self):
+        trace = FacebookTraceGenerator(num_jobs=100, seed=6).generate()
+        profile = build_demand_profile(trace)
+        for i in range(profile.num_intervals):
+            assert 0.0 <= profile.server_utilization(i) <= 1.0
+
+    def test_rejects_bad_interval(self):
+        trace = Trace("empty", [])
+        with pytest.raises(WorkloadError):
+            build_demand_profile(trace, interval_s=0.0)
+
+
+class TestCoveringSubset:
+    def test_size_from_dataset(self):
+        servers = [Server(i, 0) for i in range(64)]
+        subset = covering_subset(servers, dataset_gb=1500.0, disk_capacity_gb=250.0)
+        # 1500 GB over 187.5 usable GB per disk = 8 servers.
+        assert len(subset) == 8
+        assert all(s.in_covering_subset for s in subset)
+        assert sum(s.in_covering_subset for s in servers) == 8
+
+    def test_lowest_ids_chosen(self):
+        servers = [Server(i, 0) for i in range(16)]
+        subset = covering_subset(servers, dataset_gb=400.0)
+        assert [s.server_id for s in subset] == [0, 1, 2]
+
+    def test_subset_members_woken_up(self):
+        servers = [Server(i, 0) for i in range(8)]
+        for s in servers:
+            s.sleep()
+        subset = covering_subset(servers, dataset_gb=200.0)
+        assert all(s.is_on for s in subset)
+
+    def test_capped_at_cluster_size(self):
+        servers = [Server(i, 0) for i in range(4)]
+        subset = covering_subset(servers, dataset_gb=1e6)
+        assert len(subset) == 4
+
+    def test_remarking_clears_old_flags(self):
+        servers = [Server(i, 0) for i in range(8)]
+        covering_subset(servers, dataset_gb=1000.0)
+        covering_subset(servers, dataset_gb=100.0)
+        assert sum(s.in_covering_subset for s in servers) == 1
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            covering_subset([], dataset_gb=100.0)

@@ -1,0 +1,77 @@
+"""World-map bin and summary edge cases (Figures 12/13 plumbing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.worldmap import (
+    LocationComparison,
+    PUE_BINS,
+    RANGE_BINS,
+    WorldSummary,
+    bucket_counts,
+)
+
+
+def comparison(base_range=15.0, cool_range=10.0, base_pue=1.10, cool_pue=1.11,
+               lat=40.0, lon=0.0):
+    return LocationComparison(
+        name="x",
+        latitude=lat,
+        longitude=lon,
+        baseline_max_range_c=base_range,
+        coolair_max_range_c=cool_range,
+        baseline_pue=base_pue,
+        coolair_pue=cool_pue,
+    )
+
+
+class TestLocationComparison:
+    def test_reductions(self):
+        c = comparison()
+        assert c.range_reduction_c == 5.0
+        assert c.pue_reduction == pytest.approx(-0.01)
+
+
+class TestBuckets:
+    def test_paper_bins_cover_reported_spectrum(self):
+        # Figure 12's legend runs -1..0 through >=14.
+        values = [-0.5, 1.0, 3.0, 5.0, 7.0, 9.0, 12.0, 20.0]
+        counts = bucket_counts(values, RANGE_BINS)
+        assert sum(counts.values()) == len(values)
+        assert counts[">=14"] == 1
+        assert counts["-1..0"] == 1
+
+    def test_out_of_legend_values_dropped(self):
+        counts = bucket_counts([-5.0], RANGE_BINS)
+        assert sum(counts.values()) == 0
+
+    def test_pue_bins(self):
+        counts = bucket_counts([-0.03, 0.005, 0.025], PUE_BINS)
+        assert counts["-0.04..-0.02"] == 1
+        assert counts["0..0.01"] == 1
+        assert counts["0.02..0.03"] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-0.99, max_value=13.99), min_size=1,
+                    max_size=30))
+    def test_in_legend_values_counted_exactly_once(self, values):
+        counts = bucket_counts(values, RANGE_BINS)
+        assert sum(counts.values()) == len(values)
+
+
+class TestWorldSummaryEdges:
+    def test_single_location(self):
+        summary = WorldSummary(comparisons=(comparison(),))
+        assert summary.avg_baseline_max_range_c == 15.0
+        assert summary.fraction_range_worsened == 0.0
+        assert summary.worst_range_increase_c == -5.0
+
+    def test_mixed_outcomes(self):
+        summary = WorldSummary(
+            comparisons=(
+                comparison(cool_range=10.0),
+                comparison(cool_range=15.5),  # worsened by 0.5
+            )
+        )
+        assert summary.fraction_range_worsened == 0.5
+        assert summary.worst_range_increase_c == pytest.approx(0.5)
