@@ -8,7 +8,9 @@ crossovers fall (see EXPERIMENTS.md).
 
 Year-scale results are cached under ``.cache/`` at the repo root; delete
 it to force fresh runs.  ``REPRO_SAMPLE_DAYS=7`` reproduces the paper's
-exact weekly sampling (default 14 for speed).
+exact weekly sampling (default 14 for speed) and ``REPRO_WORKERS``
+controls campaign fan-out — see ``docs/EXPERIMENTS.md`` for every knob
+and the cache contract.
 """
 
 from __future__ import annotations

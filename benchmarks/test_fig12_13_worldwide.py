@@ -10,53 +10,29 @@ of locations get worse, never by more than 1C.
 """
 
 from benchmarks.conftest import show
-from repro.analysis.experiments import (
-    DEFAULT_WORLD_LOCATIONS,
-    facebook_trace,
-    year_result,
-)
+from repro.analysis.experiments import world_sweep
 from repro.analysis.report import format_table
-from repro.analysis.worldmap import (
-    PUE_BINS,
-    RANGE_BINS,
-    bucket_counts,
-    summarize_world,
-)
-from repro.weather.locations import world_grid
 
 
 def run_world():
-    climates = world_grid(DEFAULT_WORLD_LOCATIONS)
-    pairs = []
-    coordinates = []
-    for climate in climates:
-        baseline = year_result("baseline", climate)
-        coolair = year_result("All-ND", climate)
-        pairs.append((baseline, coolair))
-        coordinates.append((climate.latitude, climate.longitude))
-    return summarize_world(pairs, coordinates)
+    # Uncached cells fan out over REPRO_WORKERS processes (default: CPUs).
+    return world_sweep()
 
 
 def test_fig12_13_worldwide_reductions(once):
     summary = once(run_world)
 
-    range_reductions = [c.range_reduction_c for c in summary.comparisons]
-    pue_reductions = [c.pue_reduction for c in summary.comparisons]
     show(format_table(
         ["bin C", "locations"],
-        list(bucket_counts(range_reductions, RANGE_BINS).items()),
+        list(summary.range_bucket_counts().items()),
         title=f"Figure 12 — max-range reduction ({len(summary.comparisons)} locations)",
     ))
     show(format_table(
         ["bin", "locations"],
-        list(bucket_counts(pue_reductions, PUE_BINS).items()),
+        list(summary.pue_bucket_counts().items()),
         title="Figure 13 — yearly PUE reduction",
     ))
-    show(
-        f"avg max range: baseline {summary.avg_baseline_max_range_c:.1f}C -> "
-        f"CoolAir {summary.avg_coolair_max_range_c:.1f}C;  "
-        f"avg PUE: {summary.avg_baseline_pue:.2f} -> {summary.avg_coolair_pue:.2f}"
-    )
+    show(summary.headline())
 
     # Headline shape: a large average reduction in maximum daily range...
     assert (

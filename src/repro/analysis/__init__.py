@@ -2,8 +2,13 @@
 
 from repro.analysis.ascii_plot import regime_ribbon, render_day, sparkline
 from repro.analysis.costs import energy_cost_per_degree, management_costs
-from repro.analysis.experiments import five_location_matrix, year_result
+from repro.analysis.experiments import (
+    five_location_matrix,
+    world_sweep,
+    year_result,
+)
 from repro.analysis.report import format_table
+from repro.analysis.runner import YearTask, resolve_workers, run_year_tasks
 from repro.analysis.worldmap import WorldSummary, bucket_counts, summarize_world
 
 __all__ = [
@@ -18,4 +23,8 @@ __all__ = [
     "render_day",
     "year_result",
     "five_location_matrix",
+    "world_sweep",
+    "YearTask",
+    "resolve_workers",
+    "run_year_tasks",
 ]

@@ -7,6 +7,18 @@ runs each (system, location, workload) combination once and caches the
 under ``.cache/`` at the repository root).  Delete the cache directory to
 force fresh runs.
 
+Cache contract (see ``docs/EXPERIMENTS.md`` for the full write-up):
+
+* Entries are keyed by a *versioned* cache key: the system's config
+  fingerprint (name + a hash of every :class:`CoolAirConfig` field), the
+  climate, the workload settings, and ``CACHE_SCHEMA_VERSION``.  Changing
+  a version's configuration or bumping the schema version silently starts
+  a fresh cache generation instead of serving stale results.
+* Writes are atomic (temp file + ``os.replace``) so concurrent workers —
+  see :mod:`repro.analysis.runner` — never expose half-written entries.
+* Corrupt or mismatched entries are treated as misses and recomputed,
+  never crashed on.
+
 Environment knobs (for CI-speed vs fidelity trade-offs):
 
 * ``REPRO_SAMPLE_DAYS`` — stride between simulated days (default 14; set
@@ -17,11 +29,14 @@ Environment knobs (for CI-speed vs fidelity trade-offs):
   traces are rescaled to the same average utilization).
 * ``REPRO_WORLD_LOCATIONS`` — world-grid size for Figures 12/13
   (default 24; the paper uses 1520 — set it for a full run).
+* ``REPRO_WORKERS`` — worker processes for the campaign runner
+  (default ``os.cpu_count()``; 1 forces serial execution).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import pathlib
@@ -32,10 +47,14 @@ from repro.core.versions import ALL_VERSIONS
 from repro.sim.campaign import trained_cooling_model
 from repro.sim.yearsim import YearResult, run_year
 from repro.weather.climate import Climate
-from repro.weather.locations import NAMED_LOCATIONS
+from repro.weather.locations import NAMED_LOCATIONS, world_grid
 from repro.workload.traces import FacebookTraceGenerator, NutchTraceGenerator, Trace
 
 CACHE_DIR = pathlib.Path(__file__).resolve().parents[3] / ".cache"
+
+# Bump whenever the simulator or the YearResult payload changes meaning:
+# entries written under a different schema version are recomputed.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_SAMPLE_DAYS = int(os.environ.get("REPRO_SAMPLE_DAYS", "14"))
 DEFAULT_TRACE_JOBS = int(os.environ.get("REPRO_TRACE_JOBS", "1200"))
@@ -63,6 +82,9 @@ def nutch_trace(deferrable: bool = False) -> Trace:
     return _trace_cache[key]
 
 
+# -- cache schema --------------------------------------------------------------
+
+
 def _result_to_json(result: YearResult) -> dict:
     return {
         "label": result.label,
@@ -82,6 +104,109 @@ def _result_from_json(payload: dict) -> YearResult:
     return YearResult(**payload)
 
 
+def config_fingerprint(system: Union[str, CoolAirConfig]) -> str:
+    """A cache-key component that changes whenever the config changes.
+
+    ``"baseline"`` fingerprints as itself; a :class:`CoolAirConfig` as its
+    name plus a hash over every field, so two configs that share a name
+    but differ in any setting never collide, and editing a version's
+    defaults invalidates its old cache entries.
+    """
+    if isinstance(system, str):
+        return system
+    blob = json.dumps(
+        dataclasses.asdict(system), sort_keys=True, default=str
+    )
+    digest = hashlib.sha1(blob.encode()).hexdigest()[:10]
+    return f"{system.name}-{digest}"
+
+
+def _resolve_system(
+    system: Union[str, CoolAirConfig]
+) -> Tuple[Union[str, CoolAirConfig], str]:
+    """Named Table 1 versions become configs; returns (system, label)."""
+    if isinstance(system, str) and system != "baseline":
+        system = ALL_VERSIONS[system]()
+    label = system if isinstance(system, str) else system.name
+    return system, label
+
+
+def cache_key(
+    system: Union[str, CoolAirConfig],
+    climate: Climate,
+    workload: str = "facebook",
+    deferrable: bool = False,
+    sample_every_days: Optional[int] = None,
+    forecast_bias_c: float = 0.0,
+) -> str:
+    """The versioned cache key for one (system, location, workload) run."""
+    system, _ = _resolve_system(system)
+    sample = sample_every_days or DEFAULT_SAMPLE_DAYS
+    return (
+        f"{config_fingerprint(system)}-{climate.name}-{workload}"
+        f"-def{deferrable}-s{sample}"
+        f"-b{forecast_bias_c:+.1f}-j{DEFAULT_TRACE_JOBS}"
+        f"-v{CACHE_SCHEMA_VERSION}"
+    )
+
+
+def cache_path(key: str) -> pathlib.Path:
+    return CACHE_DIR / f"{key}.json"
+
+
+def _load_disk_entry(key: str) -> Optional[YearResult]:
+    """Read one cache entry; any corruption or mismatch is a miss."""
+    path = cache_path(key)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None
+        return _result_from_json(payload["result"])
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+
+
+def _write_disk_entry(key: str, result: YearResult) -> None:
+    """Atomically persist one entry (safe under concurrent writers)."""
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "key": key,
+        "result": _result_to_json(result),
+    }
+    path = cache_path(key)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def load_cached(key: str, use_disk_cache: bool = True) -> Optional[YearResult]:
+    """Memory-then-disk lookup; returns None on a miss."""
+    if key in _memory_cache:
+        return _memory_cache[key]
+    if not use_disk_cache:
+        return None
+    result = _load_disk_entry(key)
+    if result is not None:
+        _memory_cache[key] = result
+    return result
+
+
+def store_result(
+    key: str, result: YearResult, use_disk_cache: bool = True
+) -> None:
+    _memory_cache[key] = result
+    if use_disk_cache:
+        _write_disk_entry(key, result)
+
+
+# -- the single-run entry point ------------------------------------------------
+
+
 def year_result(
     system: Union[str, CoolAirConfig],
     climate: Climate,
@@ -97,22 +222,13 @@ def year_result(
     ``"All-ND"``), or an explicit :class:`CoolAirConfig`.
     """
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
-    if isinstance(system, str) and system != "baseline":
-        system = ALL_VERSIONS[system]()
-    label = system if isinstance(system, str) else system.name
-    key = (
-        f"{label}-{climate.name}-{workload}-def{deferrable}-s{sample}"
-        f"-b{forecast_bias_c:+.1f}-j{DEFAULT_TRACE_JOBS}"
+    system, _ = _resolve_system(system)
+    key = cache_key(
+        system, climate, workload, deferrable, sample, forecast_bias_c
     )
-    if key in _memory_cache:
-        return _memory_cache[key]
-
-    cache_file = CACHE_DIR / f"{key}.json"
-    if use_disk_cache and cache_file.exists():
-        with open(cache_file) as handle:
-            result = _result_from_json(json.load(handle))
-        _memory_cache[key] = result
-        return result
+    cached = load_cached(key, use_disk_cache)
+    if cached is not None:
+        return cached
 
     trace = (
         facebook_trace(deferrable) if workload == "facebook" else nutch_trace(deferrable)
@@ -126,31 +242,85 @@ def year_result(
         sample_every_days=sample,
         forecast_bias_c=forecast_bias_c,
     )
-    _memory_cache[key] = result
-    if use_disk_cache:
-        CACHE_DIR.mkdir(exist_ok=True)
-        with open(cache_file, "w") as handle:
-            json.dump(_result_to_json(result), handle)
+    store_result(key, result, use_disk_cache)
     return result
 
 
+# -- campaign matrices ---------------------------------------------------------
+
+FIVE_LOCATION_SYSTEMS: Tuple[str, ...] = (
+    "baseline",
+    "Temperature",
+    "Energy",
+    "Variation",
+    "All-ND",
+)
+
+
 def five_location_matrix(
-    systems: Tuple[str, ...] = (
-        "baseline",
-        "Temperature",
-        "Energy",
-        "Variation",
-        "All-ND",
-    ),
+    systems: Tuple[str, ...] = FIVE_LOCATION_SYSTEMS,
     workload: str = "facebook",
+    sample_every_days: Optional[int] = None,
+    workers: Optional[int] = None,
+    progress=None,
 ) -> Dict[str, Dict[str, YearResult]]:
-    """The Figures 8-10 matrix: {system: {location: YearResult}}."""
-    matrix: Dict[str, Dict[str, YearResult]] = {}
+    """The Figures 8-10 matrix: {system: {location: YearResult}}.
+
+    ``workers`` fans uncached cells out over worker processes (see
+    :mod:`repro.analysis.runner`); ``None`` resolves ``REPRO_WORKERS`` /
+    CPU count, 1 forces the serial path.  Results are identical either
+    way.
+    """
+    from repro.analysis.runner import YearTask, run_year_tasks
+
+    tasks = []
+    cells = []
     for system in systems:
-        matrix[system] = {}
         for name, climate in NAMED_LOCATIONS.items():
             deferrable = system in ("All-DEF", "Energy-DEF")
-            matrix[system][name] = year_result(
-                system, climate, workload=workload, deferrable=deferrable
-            )
+            tasks.append(YearTask(
+                system=system,
+                climate=climate,
+                workload=workload,
+                deferrable=deferrable,
+                sample_every_days=sample_every_days,
+            ))
+            cells.append((system, name))
+    results = run_year_tasks(tasks, workers=workers, progress=progress)
+    matrix: Dict[str, Dict[str, YearResult]] = {}
+    for (system, name), result in zip(cells, results):
+        matrix.setdefault(system, {})[name] = result
     return matrix
+
+
+def world_sweep(
+    num_locations: Optional[int] = None,
+    coolair_system: str = "All-ND",
+    sample_every_days: Optional[int] = None,
+    workers: Optional[int] = None,
+    progress=None,
+):
+    """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
+
+    Runs ``baseline`` and ``coolair_system`` for every grid climate
+    (``num_locations`` defaults to ``REPRO_WORLD_LOCATIONS``), fanning
+    uncached cells out over ``workers`` processes.
+    """
+    from repro.analysis.runner import YearTask, run_year_tasks
+    from repro.analysis.worldmap import summarize_world
+
+    climates = world_grid(num_locations or DEFAULT_WORLD_LOCATIONS)
+    tasks = []
+    for climate in climates:
+        for system in ("baseline", coolair_system):
+            tasks.append(YearTask(
+                system=system,
+                climate=climate,
+                sample_every_days=sample_every_days,
+            ))
+    results = run_year_tasks(tasks, workers=workers, progress=progress)
+    pairs = [
+        (results[2 * i], results[2 * i + 1]) for i in range(len(climates))
+    ]
+    coordinates = [(c.latitude, c.longitude) for c in climates]
+    return summarize_world(pairs, coordinates)

@@ -1,0 +1,194 @@
+"""Parallel campaign runner for the experiment harness.
+
+The paper's evaluation is an embarrassingly-parallel sweep: a 5-locations
+x N-systems x 2-workloads year matrix (Figures 8-10, Section 5.2) and a
+1520-location worldwide grid (Figures 12/13).  Every cell is an
+independent deterministic year simulation, so this module fans them out
+over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* worker count comes from the ``workers`` argument, the ``REPRO_WORKERS``
+  environment variable, or ``os.cpu_count()``, in that order;
+* ``workers=1`` (or a single pending task) falls back to plain in-process
+  execution — no pool, no pickling;
+* results come back in task order regardless of completion order, and the
+  simulations are deterministic, so serial and parallel runs produce
+  identical results;
+* cells already present in the memory or disk cache are served in the
+  parent without spawning anything, and workers persist fresh results
+  through the same atomic, schema-versioned disk cache
+  (:mod:`repro.analysis.experiments`), so a re-run is free.
+
+Workers return the JSON cache payload rather than the live
+:class:`YearResult` so the parallel path goes through exactly the same
+serialization as a disk-cache hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.config import CoolAirConfig
+from repro.errors import ReproError
+from repro.sim.yearsim import YearResult
+from repro.weather.climate import Climate
+
+# Called after each finished cell with (done_count, total, task).
+ProgressCallback = Callable[[int, int, "YearTask"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class YearTask:
+    """One (system, location, workload) cell of a campaign.
+
+    Mirrors :func:`repro.analysis.experiments.year_result`'s signature and
+    must stay picklable (plain data only) so it can cross to workers.
+    """
+
+    system: Union[str, CoolAirConfig]
+    climate: Climate
+    workload: str = "facebook"
+    deferrable: bool = False
+    sample_every_days: Optional[int] = None
+    forecast_bias_c: float = 0.0
+
+    def label(self) -> str:
+        name = self.system if isinstance(self.system, str) else self.system.name
+        return f"{name} @ {self.climate.name} ({self.workload})"
+
+
+def resolve_workers(requested: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` > CPU count."""
+    if requested is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None:
+            try:
+                requested = int(env)
+            except ValueError:
+                raise ReproError(
+                    f"REPRO_WORKERS must be a positive integer, got {env!r}"
+                )
+        else:
+            requested = os.cpu_count() or 1
+    if requested < 1:
+        raise ReproError(f"worker count must be >= 1, got {requested}")
+    return requested
+
+
+def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
+    from repro.analysis import experiments
+
+    return experiments.year_result(
+        task.system,
+        task.climate,
+        workload=task.workload,
+        deferrable=task.deferrable,
+        sample_every_days=task.sample_every_days,
+        forecast_bias_c=task.forecast_bias_c,
+        use_disk_cache=use_disk_cache,
+    )
+
+
+def _execute_task_payload(task: YearTask, use_disk_cache: bool) -> dict:
+    """Worker entry point: run one cell, return its JSON payload."""
+    from repro.analysis import experiments
+
+    result = _run_task(task, use_disk_cache)
+    return experiments._result_to_json(result)
+
+
+def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
+    """Materialize traces and the cooling model before forking workers.
+
+    With the default ``fork`` start method every worker inherits these,
+    so the expensive learning campaign runs once instead of per worker
+    (``spawn`` platforms pay once per worker instead — still correct).
+    """
+    from repro.analysis import experiments
+    from repro.sim.campaign import trained_cooling_model
+
+    for task in tasks:
+        if task.workload == "facebook":
+            experiments.facebook_trace(task.deferrable)
+        else:
+            experiments.nutch_trace(task.deferrable)
+    if any(
+        not (isinstance(t.system, str) and t.system == "baseline")
+        for t in tasks
+    ):
+        trained_cooling_model()
+
+
+def run_year_tasks(
+    tasks: Sequence[YearTask],
+    workers: Optional[int] = None,
+    use_disk_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> List[YearResult]:
+    """Run a batch of campaign cells, in parallel where possible.
+
+    Returns one :class:`YearResult` per task, in task order.  Cached
+    cells never reach the pool; with ``workers=1`` everything runs
+    in-process.
+    """
+    from repro.analysis import experiments
+
+    workers = resolve_workers(workers)
+    results: List[Optional[YearResult]] = [None] * len(tasks)
+    done = 0
+
+    def tick(task: YearTask) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, len(tasks), task)
+
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        key = experiments.cache_key(
+            task.system,
+            task.climate,
+            task.workload,
+            task.deferrable,
+            task.sample_every_days,
+            task.forecast_bias_c,
+        )
+        cached = experiments.load_cached(key, use_disk_cache)
+        if cached is not None:
+            results[index] = cached
+            tick(task)
+        else:
+            pending.append(index)
+
+    if workers == 1 or len(pending) <= 1:
+        for index in pending:
+            results[index] = _run_task(tasks[index], use_disk_cache)
+            tick(tasks[index])
+        return results  # type: ignore[return-value]
+
+    _warm_shared_state([tasks[i] for i in pending])
+    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        futures = {
+            pool.submit(_execute_task_payload, tasks[i], use_disk_cache): i
+            for i in pending
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            task = tasks[index]
+            result = experiments._result_from_json(future.result())
+            # Workers already wrote the disk entry; seed this process's
+            # memory cache so later lookups hit.
+            key = experiments.cache_key(
+                task.system,
+                task.climate,
+                task.workload,
+                task.deferrable,
+                task.sample_every_days,
+                task.forecast_bias_c,
+            )
+            experiments.store_result(key, result, use_disk_cache=False)
+            results[index] = result
+            tick(task)
+    return results  # type: ignore[return-value]

@@ -96,6 +96,28 @@ class WorldSummary:
         increases = [-c.range_reduction_c for c in self.comparisons]
         return float(max(increases)) if increases else 0.0
 
+    # -- reporting helpers ---------------------------------------------------
+
+    def range_bucket_counts(self) -> Dict[str, int]:
+        """Figure 12's legend histogram of max-range reductions."""
+        return bucket_counts(
+            [c.range_reduction_c for c in self.comparisons], RANGE_BINS
+        )
+
+    def pue_bucket_counts(self) -> Dict[str, int]:
+        """Figure 13's legend histogram of PUE reductions."""
+        return bucket_counts(
+            [c.pue_reduction for c in self.comparisons], PUE_BINS
+        )
+
+    def headline(self) -> str:
+        """The paper's headline sentence for Figures 12/13."""
+        return (
+            f"avg max range: baseline {self.avg_baseline_max_range_c:.1f}C -> "
+            f"CoolAir {self.avg_coolair_max_range_c:.1f}C;  "
+            f"avg PUE: {self.avg_baseline_pue:.2f} -> {self.avg_coolair_pue:.2f}"
+        )
+
 
 def summarize_world(
     pairs: Sequence[Tuple[YearResult, YearResult]],

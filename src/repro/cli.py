@@ -6,8 +6,14 @@ Subcommands mirror the workflows a datacenter operator would run:
 * ``band``      — show the temperature band CoolAir would pick for a day.
 * ``campaign``  — run the model-learning campaign and report model quality.
 * ``day``       — simulate one day of a system at a location.
-* ``year``      — simulate a year and print the headline metrics.
+* ``year``      — simulate (and cache) a year and print the headline metrics.
+* ``matrix``    — the Figures 8-10 systems-by-locations year matrix.
+* ``world``     — the Figures 12/13 worldwide sweep.
 * ``locations`` — list the named evaluation locations.
+
+``matrix`` and ``world`` fan out over worker processes (``--workers`` /
+``REPRO_WORKERS``; see ``docs/EXPERIMENTS.md``) and reuse the on-disk
+result cache under ``.cache/``.
 """
 
 from __future__ import annotations
@@ -16,7 +22,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.experiments import (
+    DEFAULT_SAMPLE_DAYS,
+    DEFAULT_WORLD_LOCATIONS,
+    FIVE_LOCATION_SYSTEMS,
+    five_location_matrix,
+    world_sweep,
+    year_result,
+)
 from repro.analysis.report import format_table
+from repro.analysis.runner import resolve_workers
 from repro.core.band import select_band
 from repro.core.coolair import CoolAir
 from repro.core.versions import ALL_VERSIONS
@@ -31,7 +46,6 @@ from repro.sim.engine import (
     make_smoothsim,
 )
 from repro.sim.validation import fraction_within, prediction_errors
-from repro.sim.yearsim import run_year
 from repro.weather.forecast import ForecastService
 from repro.weather.locations import NAMED_LOCATIONS
 from repro.weather.tmy import generate_tmy
@@ -156,14 +170,73 @@ def cmd_day(args: argparse.Namespace) -> int:
 
 def cmd_year(args: argparse.Namespace) -> int:
     climate = _climate(args.location)
-    trace = _trace(args.workload, deferrable=args.system.endswith("DEF"))
-    system = "baseline" if args.system == "baseline" else ALL_VERSIONS[args.system]()
-    model = None if args.system == "baseline" else trained_cooling_model()
-    result = run_year(
-        system, climate, trace, model=model,
+    result = year_result(
+        args.system,
+        climate,
+        workload=args.workload,
+        deferrable=args.system.endswith("DEF"),
         sample_every_days=args.sample_days,
+        use_disk_cache=not args.no_cache,
     )
     print(result.summary_row())
+    return 0
+
+
+def _progress(done: int, total: int, task) -> None:
+    print(f"[{done}/{total}] {task.label()}", file=sys.stderr)
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    systems = tuple(args.systems.split(","))
+    for system in systems:
+        if system not in SYSTEM_CHOICES:
+            raise ReproError(
+                f"unknown system {system!r}; choices: {', '.join(SYSTEM_CHOICES)}"
+            )
+    workers = resolve_workers(args.workers)
+    matrix = five_location_matrix(
+        systems=systems,
+        workload=args.workload,
+        sample_every_days=args.sample_days,
+        workers=workers,
+        progress=None if args.quiet else _progress,
+    )
+    rows = []
+    for system, by_location in matrix.items():
+        for name, result in by_location.items():
+            rows.append([
+                system, name,
+                f"{result.avg_violation_c:.2f}",
+                f"{result.avg_range_c:.1f}",
+                f"{result.max_range_c:.1f}",
+                f"{result.pue:.2f}",
+            ])
+    print(format_table(
+        ["system", "location", "viol C", "avg range C", "max range C", "PUE"],
+        rows,
+        title=f"Figures 8-10 matrix ({args.workload}, {workers} workers)",
+    ))
+    return 0
+
+
+def cmd_world(args: argparse.Namespace) -> int:
+    workers = resolve_workers(args.workers)
+    summary = world_sweep(
+        num_locations=args.locations,
+        workers=workers,
+        progress=None if args.quiet else _progress,
+    )
+    print(format_table(
+        ["bin C", "locations"],
+        list(summary.range_bucket_counts().items()),
+        title=f"Figure 12 — max-range reduction ({len(summary.comparisons)} locations)",
+    ))
+    print(format_table(
+        ["bin", "locations"],
+        list(summary.pue_bucket_counts().items()),
+        title="Figure 13 — yearly PUE reduction",
+    ))
+    print(summary.headline())
     return 0
 
 
@@ -200,8 +273,31 @@ def build_parser() -> argparse.ArgumentParser:
     year.add_argument("--location", default="Newark")
     year.add_argument("--system", default="All-ND", choices=SYSTEM_CHOICES)
     year.add_argument("--workload", default="facebook")
-    year.add_argument("--sample-days", type=int, default=14,
+    year.add_argument("--sample-days", type=int, default=DEFAULT_SAMPLE_DAYS,
                       help="stride between simulated days (7 = paper)")
+    year.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk result cache")
+
+    matrix = sub.add_parser(
+        "matrix", help="the Figures 8-10 systems-by-locations year matrix")
+    matrix.add_argument("--systems", default=",".join(FIVE_LOCATION_SYSTEMS),
+                        help="comma-separated system names")
+    matrix.add_argument("--workload", default="facebook")
+    matrix.add_argument("--sample-days", type=int, default=None,
+                        help="stride between simulated days (7 = paper)")
+    matrix.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default REPRO_WORKERS or CPUs)")
+    matrix.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress on stderr")
+
+    world = sub.add_parser(
+        "world", help="the Figures 12/13 worldwide sweep")
+    world.add_argument("--locations", type=int, default=DEFAULT_WORLD_LOCATIONS,
+                       help="world-grid size (1520 = paper)")
+    world.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default REPRO_WORKERS or CPUs)")
+    world.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress on stderr")
     return parser
 
 
@@ -212,6 +308,8 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "day": cmd_day,
     "year": cmd_year,
+    "matrix": cmd_matrix,
+    "world": cmd_world,
 }
 
 

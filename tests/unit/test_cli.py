@@ -16,10 +16,28 @@ class TestParser:
         assert args.location == "Newark"
         assert args.system == "All-ND"
         assert args.sample_days == 14
+        assert args.no_cache is False
 
     def test_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["day", "--system", "bogus"])
+
+    def test_matrix_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.systems.split(",") == [
+            "baseline", "Temperature", "Energy", "Variation", "All-ND",
+        ]
+        assert args.workers is None
+        assert args.sample_days is None
+
+    def test_world_defaults(self):
+        args = build_parser().parse_args(["world"])
+        assert args.locations == 24
+        assert args.workers is None
+
+    def test_matrix_workers_flag(self):
+        args = build_parser().parse_args(["matrix", "--workers", "4"])
+        assert args.workers == 4
 
 
 class TestFastCommands:
@@ -46,6 +64,14 @@ class TestFastCommands:
         assert main(["band", "--location", "Atlantis"]) == 2
         err = capsys.readouterr().err
         assert "Atlantis" in err
+
+    def test_matrix_unknown_system_is_clean_error(self, capsys):
+        assert main(["matrix", "--systems", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_matrix_bad_worker_count_is_clean_error(self, capsys):
+        assert main(["matrix", "--workers", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
 
 
 class TestDayCommand:

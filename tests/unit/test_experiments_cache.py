@@ -96,6 +96,95 @@ class TestCaching:
         assert len(calls) == 3
 
 
+class TestCacheVersioning:
+    """Schema-versioned keys and corrupt-entry recovery."""
+
+    def _count_runs(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments,
+            "run_year",
+            lambda *a, **k: calls.append(1) or fake_result(),
+        )
+        monkeypatch.setattr(
+            experiments, "trained_cooling_model", lambda: object()
+        )
+        return calls
+
+    def test_key_embeds_schema_version(self):
+        from repro.weather.locations import NEWARK
+
+        key = experiments.cache_key("baseline", NEWARK)
+        assert key.endswith(f"-v{experiments.CACHE_SCHEMA_VERSION}")
+
+    def test_fingerprint_distinguishes_same_name_configs(self):
+        from repro.core.versions import ALL_VERSIONS
+
+        a = ALL_VERSIONS["All-ND"]()
+        b = ALL_VERSIONS["All-ND"]()
+        b.width_c = 10.0
+        assert experiments.config_fingerprint(a) != (
+            experiments.config_fingerprint(b)
+        )
+        assert experiments.config_fingerprint(a) == (
+            experiments.config_fingerprint(ALL_VERSIONS["All-ND"]())
+        )
+
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_cache, monkeypatch):
+        calls = self._count_runs(monkeypatch)
+        from repro.weather.locations import NEWARK
+
+        key = experiments.cache_key("All-ND", NEWARK)
+        experiments.cache_path(key).parent.mkdir(exist_ok=True)
+        experiments.cache_path(key).write_text("{not json")
+        result = experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 1
+        assert result.cooling_kwh == 42.0
+        # The recompute repaired the entry on disk.
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 1
+
+    def test_stale_schema_version_is_a_miss(self, tmp_cache, monkeypatch):
+        calls = self._count_runs(monkeypatch)
+        from repro.weather.locations import NEWARK
+
+        experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 1
+        key = experiments.cache_key("All-ND", NEWARK)
+        payload = json.loads(experiments.cache_path(key).read_text())
+        payload["schema_version"] = experiments.CACHE_SCHEMA_VERSION - 1
+        experiments.cache_path(key).write_text(json.dumps(payload))
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 2
+
+    def test_key_mismatch_is_a_miss(self, tmp_cache, monkeypatch):
+        calls = self._count_runs(monkeypatch)
+        from repro.weather.locations import NEWARK
+
+        experiments.year_result("All-ND", NEWARK)
+        key = experiments.cache_key("All-ND", NEWARK)
+        payload = json.loads(experiments.cache_path(key).read_text())
+        payload["key"] = "someone-else"
+        experiments.cache_path(key).write_text(json.dumps(payload))
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        experiments.year_result("All-ND", NEWARK)
+        assert len(calls) == 2
+
+    def test_writes_are_atomic_and_leave_no_temp_files(
+        self, tmp_cache, monkeypatch
+    ):
+        self._count_runs(monkeypatch)
+        from repro.weather.locations import NEWARK
+
+        experiments.year_result("All-ND", NEWARK)
+        leftovers = [
+            p for p in tmp_cache.iterdir() if not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+
 class TestTraceHelpers:
     def test_facebook_trace_cached(self):
         a = experiments.facebook_trace()

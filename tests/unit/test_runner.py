@@ -1,0 +1,188 @@
+"""Parallel campaign runner tests (repro.analysis.runner).
+
+The pool tests monkeypatch the simulation entry points and rely on the
+``fork`` start method to carry the patches into workers, so they skip on
+platforms that spawn.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.analysis import experiments, runner
+from repro.errors import ReproError
+from repro.sim.yearsim import YearResult
+from repro.weather.locations import ICELAND, NEWARK, SANTIAGO
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool tests need fork to inherit monkeypatched state",
+)
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path)
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    return tmp_path
+
+
+def fake_result(label="Baseline", climate="Newark"):
+    return YearResult(
+        label=label,
+        climate_name=climate,
+        sampled_days=[0, 183],
+        daily_worst_range_c=[5.0, 6.0],
+        daily_outside_range_c=[10.0, 11.0],
+        daily_avg_violation_c=[0.0, 0.1],
+        daily_max_rate_c_per_hour=[4.0, 5.0],
+        cooling_kwh=42.0,
+        it_kwh=500.0,
+    )
+
+
+def baseline_tasks(*climates):
+    return [runner.YearTask("baseline", c) for c in climates]
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert runner.resolve_workers(3) == 3
+
+    def test_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert runner.resolve_workers() == 5
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        import os
+
+        assert runner.resolve_workers() == (os.cpu_count() or 1)
+
+    def test_invalid_env_is_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ReproError, match="REPRO_WORKERS"):
+            runner.resolve_workers()
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ReproError, match=">= 1"):
+            runner.resolve_workers(bad)
+
+
+class TestSerialPath:
+    def test_workers_1_never_builds_a_pool(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("pool built on the serial path")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", boom)
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=1
+        )
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+
+    def test_single_pending_task_stays_in_process(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year", lambda *a, **k: fake_result()
+        )
+        monkeypatch.setattr(
+            runner, "ProcessPoolExecutor",
+            lambda *a, **k: pytest.fail("pool built for one task"),
+        )
+        (result,) = runner.run_year_tasks(baseline_tasks(NEWARK), workers=8)
+        assert result.cooling_kwh == 42.0
+
+    def test_progress_ticks_every_task(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year", lambda *a, **k: fake_result()
+        )
+        seen = []
+        runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO),
+            workers=1,
+            progress=lambda done, total, task: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_cached_cells_skip_simulation(self, tmp_cache, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda *a, **k: calls.append(1) or fake_result(),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO)
+        runner.run_year_tasks(tasks, workers=1)
+        assert len(calls) == 2
+        runner.run_year_tasks(tasks, workers=1)
+        assert len(calls) == 2
+
+
+@fork_only
+class TestPoolPath:
+    def test_results_come_back_in_task_order(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO, ICELAND)
+        results = runner.run_year_tasks(tasks, workers=2)
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+
+    def test_workers_persist_to_the_shared_disk_cache(
+        self, tmp_cache, monkeypatch
+    ):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO)
+        runner.run_year_tasks(tasks, workers=2)
+        assert len(list(tmp_cache.glob("*.json"))) == 2
+        # A cold process (fresh memory cache) is served from disk.
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda *a, **k: pytest.fail("disk cache missed"),
+        )
+        results = runner.run_year_tasks(tasks, workers=2)
+        assert results[1].climate_name == "Santiago"
+
+    def test_parallel_matches_serial(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO, ICELAND)
+        serial = runner.run_year_tasks(tasks, workers=1, use_disk_cache=False)
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        parallel = runner.run_year_tasks(tasks, workers=3, use_disk_cache=False)
+        import dataclasses
+
+        for a, b in zip(serial, parallel):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestYearTask:
+    def test_label(self):
+        task = runner.YearTask("baseline", NEWARK, workload="nutch")
+        assert task.label() == "baseline @ Newark (nutch)"
+
+    def test_is_picklable(self):
+        import pickle
+
+        from repro.core.versions import ALL_VERSIONS
+
+        task = runner.YearTask(ALL_VERSIONS["All-ND"](), NEWARK)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.system.name == "All-ND"
+        assert clone.climate.name == "Newark"
