@@ -1,0 +1,297 @@
+"""Microbenchmark harness for the simulation core (``python -m repro bench``).
+
+Times the three hot layers of a CoolAir simulation:
+
+* **plant step** — raw :class:`~repro.physics.thermal.ThermalPlant`
+  integration throughput (model steps per second);
+* **optimizer decision** — the 10-minute control decision: candidate
+  enumeration, predictor rollouts, and utility scoring;
+* **end to end** — one full simulated day, and a year-style sample of
+  seasonally spread days, under the All-ND CoolAir version on smooth
+  hardware at Newark (the configuration the paper's Figures 8-10 sweep
+  runs thousands of times).
+
+Medians over repeated runs land in ``BENCH_sim_core.json`` next to the
+recorded pre-PR baseline (``benchmarks/perf/baseline_sim_core.json``), so
+speedups and regressions are visible across PRs.  ``--profile`` wraps the
+day simulation in cProfile and prints the top functions by cumulative
+time — the map for finding the next hot spot.
+
+See ``docs/PERFORMANCE.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.core.coolair import CoolAir
+from repro.core.modeler import CoolingModel
+from repro.core.predictor import PredictorState
+from repro.core.versions import ALL_VERSIONS
+from repro.cooling.regimes import CoolingMode
+from repro.physics.thermal import PlantInputs, ThermalPlant
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.engine import CoolAirAdapter, DayRunner, ProfileWorkload, make_smoothsim
+from repro.weather.locations import NAMED_LOCATIONS
+from repro.workload.traces import FacebookTraceGenerator
+
+SCHEMA_VERSION = 1
+
+# Repo-root artifacts: the tracked benchmark trajectory and the recorded
+# pre-PR baseline it is compared against.
+DEFAULT_OUTPUT = "BENCH_sim_core.json"
+DEFAULT_BASELINE = Path("benchmarks") / "perf" / "baseline_sim_core.json"
+
+BENCH_LOCATION = "Newark"
+BENCH_SYSTEM = "All-ND"
+BENCH_DAY = 182
+YEAR_SAMPLE_DAYS = (30, 120, 210, 300)
+
+
+def _median_time(func: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``repeats`` calls to ``func``."""
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+# -- individual benchmarks ----------------------------------------------------
+
+
+def bench_plant_step(steps: int = 2000, repeats: int = 3) -> Dict[str, float]:
+    """Raw thermal-plant integration throughput."""
+    inputs = PlantInputs(
+        fc_fan_speed=0.5,
+        pod_it_power_w=(400.0, 400.0, 400.0, 400.0),
+        outside_temp_c=18.0,
+        outside_mixing_ratio=0.008,
+    )
+
+    def run() -> None:
+        plant = ThermalPlant()
+        for _ in range(steps):
+            plant.step(inputs, 120.0)
+
+    median_s = _median_time(run, repeats)
+    return {
+        "median_s": median_s,
+        "steps": steps,
+        "steps_per_s": steps / median_s,
+    }
+
+
+def _decision_states(model: CoolingModel, count: int) -> List[PredictorState]:
+    """A deterministic spread of control-period states to decide on."""
+    states = []
+    for i in range(count):
+        outside = 4.0 + 28.0 * (i / max(1, count - 1))
+        temps = [22.0 + 0.5 * s + 0.08 * i for s in range(model.num_sensors)]
+        states.append(
+            PredictorState(
+                mode=CoolingMode.FREE_COOLING if i % 3 else CoolingMode.CLOSED,
+                fan_speed=0.35 if i % 3 else 0.0,
+                sensor_temps_c=temps,
+                prev_sensor_temps_c=[t - 0.2 for t in temps],
+                outside_temp_c=outside,
+                prev_outside_temp_c=outside - 0.3,
+                prev_fan_speed=0.3 if i % 3 else 0.0,
+                utilization=0.25 + 0.5 * ((i % 7) / 6.0),
+                inside_mixing_ratio=0.0075,
+                outside_mixing_ratio=0.0085,
+            )
+        )
+    return states
+
+
+def bench_optimizer_decision(
+    model: CoolingModel, decisions: int = 60, repeats: int = 3
+) -> Dict[str, float]:
+    """Latency of the 10-minute cooling decision (smooth hardware)."""
+    setup = make_smoothsim(NAMED_LOCATIONS[BENCH_LOCATION])
+    config = ALL_VERSIONS[BENCH_SYSTEM]()
+    coolair = CoolAir(config, model, setup.layout, setup.forecast, smooth_hardware=True)
+    coolair.start_day(BENCH_DAY)
+    states = _decision_states(model, decisions)
+
+    def run() -> None:
+        for state in states:
+            coolair.optimizer.decide(state, coolair.band)
+
+    median_s = _median_time(run, repeats)
+    return {
+        "median_s": median_s,
+        "decisions": decisions,
+        "decision_latency_ms": 1000.0 * median_s / decisions,
+    }
+
+
+def _day_sim_factory(model: CoolingModel) -> Callable[[], object]:
+    trace = FacebookTraceGenerator(num_jobs=400, seed=42).generate()
+
+    def run() -> object:
+        setup = make_smoothsim(NAMED_LOCATIONS[BENCH_LOCATION])
+        config = ALL_VERSIONS[BENCH_SYSTEM]()
+        coolair = CoolAir(
+            config, model, setup.layout, setup.forecast, smooth_hardware=True
+        )
+        runner = DayRunner(
+            setup, ProfileWorkload(trace, setup.layout, 600.0), CoolAirAdapter(coolair)
+        )
+        return runner.run_day(BENCH_DAY)
+
+    return run
+
+
+def bench_day_sim(model: CoolingModel, repeats: int = 3) -> Dict[str, float]:
+    """One full simulated day, end to end."""
+    run = _day_sim_factory(model)
+    median_s = _median_time(run, repeats)
+    return {"median_s": median_s, "days_per_s": 1.0 / median_s}
+
+
+def bench_year_sample(model: CoolingModel, repeats: int = 2) -> Dict[str, float]:
+    """A year-style sample: seasonally spread days on one shared setup."""
+    trace = FacebookTraceGenerator(num_jobs=400, seed=42).generate()
+
+    def run() -> None:
+        setup = make_smoothsim(NAMED_LOCATIONS[BENCH_LOCATION])
+        config = ALL_VERSIONS[BENCH_SYSTEM]()
+        coolair = CoolAir(
+            config, model, setup.layout, setup.forecast, smooth_hardware=True
+        )
+        runner = DayRunner(
+            setup, ProfileWorkload(trace, setup.layout, 600.0), CoolAirAdapter(coolair)
+        )
+        for day in YEAR_SAMPLE_DAYS:
+            runner.run_day(day)
+
+    median_s = _median_time(run, repeats)
+    return {
+        "median_s": median_s,
+        "days": len(YEAR_SAMPLE_DAYS),
+        "s_per_day": median_s / len(YEAR_SAMPLE_DAYS),
+    }
+
+
+# -- the suite ----------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False, model: Optional[CoolingModel] = None
+) -> Dict[str, Dict[str, float]]:
+    """Run the suite; ``quick`` shrinks iteration counts for CI smoke runs."""
+    if model is None:
+        model = trained_cooling_model()
+    results: Dict[str, Dict[str, float]] = {}
+    if quick:
+        results["plant_step"] = bench_plant_step(steps=200, repeats=1)
+        results["optimizer_decision"] = bench_optimizer_decision(
+            model, decisions=10, repeats=1
+        )
+        results["day_sim"] = bench_day_sim(model, repeats=1)
+    else:
+        results["plant_step"] = bench_plant_step()
+        results["optimizer_decision"] = bench_optimizer_decision(model)
+        results["day_sim"] = bench_day_sim(model)
+        results["year_sample"] = bench_year_sample(model)
+    return results
+
+
+def profile_day_sim(model: Optional[CoolingModel] = None, top_n: int = 25) -> str:
+    """cProfile one day simulation; returns the top-N cumulative table."""
+    if model is None:
+        model = trained_cooling_model()
+    run = _day_sim_factory(model)
+    run()  # warm any lazy caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return out.getvalue()
+
+
+# -- persistence and comparison -----------------------------------------------
+
+
+def load_baseline(path: Path = DEFAULT_BASELINE) -> Optional[Dict]:
+    """The recorded pre-PR baseline, or None if none has been recorded."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if payload.get("schema") != SCHEMA_VERSION:
+        return None
+    return payload
+
+
+def speedups_vs_baseline(
+    results: Dict[str, Dict[str, float]], baseline: Optional[Dict]
+) -> Dict[str, float]:
+    """Per-benchmark baseline_median / current_median (higher is faster)."""
+    if not baseline:
+        return {}
+    speedups = {}
+    for name, current in results.items():
+        base = baseline.get("results", {}).get(name)
+        if base and base.get("median_s") and current.get("median_s"):
+            speedups[name] = base["median_s"] / current["median_s"]
+    return speedups
+
+
+def write_report(
+    results: Dict[str, Dict[str, float]],
+    path: Path,
+    quick: bool = False,
+    baseline_path: Path = DEFAULT_BASELINE,
+) -> Dict:
+    """Assemble and write the machine-readable benchmark report."""
+    baseline = load_baseline(baseline_path)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "sim_core",
+        "recorded_unix_s": int(time.time()),
+        "quick": quick,
+        "results": results,
+        "baseline": (baseline or {}).get("results", {}),
+        "baseline_label": (baseline or {}).get("label", ""),
+        "speedup_vs_baseline": speedups_vs_baseline(results, baseline),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def format_report(payload: Dict) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = ["sim-core benchmarks" + (" (quick)" if payload.get("quick") else "")]
+    speedups = payload.get("speedup_vs_baseline", {})
+    for name, result in sorted(payload.get("results", {}).items()):
+        extra = ""
+        if name in speedups:
+            extra = f"  ({speedups[name]:.2f}x vs baseline)"
+        detail = ", ".join(
+            f"{key}={value:.6g}"
+            for key, value in sorted(result.items())
+            if key != "median_s"
+        )
+        lines.append(
+            f"  {name:<20} median {result['median_s'] * 1000.0:9.1f} ms"
+            f"{extra}  [{detail}]"
+        )
+    if not speedups:
+        lines.append("  (no recorded baseline to compare against)")
+    return "\n".join(lines)

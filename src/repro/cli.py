@@ -10,6 +10,7 @@ Subcommands mirror the workflows a datacenter operator would run:
 * ``matrix``    — the Figures 8-10 systems-by-locations year matrix.
 * ``world``     — the Figures 12/13 worldwide sweep.
 * ``locations`` — list the named evaluation locations.
+* ``bench``     — time the simulation core and write ``BENCH_sim_core.json``.
 
 ``matrix`` and ``world`` fan out over worker processes (``--workers`` /
 ``REPRO_WORKERS``; see ``docs/EXPERIMENTS.md``) and reuse the on-disk
@@ -219,6 +220,24 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import profiling
+
+    model = trained_cooling_model()
+    results = profiling.run_bench(quick=args.quick, model=model)
+    payload = profiling.write_report(
+        results,
+        path=args.output,
+        quick=args.quick,
+        baseline_path=args.baseline or profiling.DEFAULT_BASELINE,
+    )
+    print(profiling.format_report(payload))
+    print(f"wrote {args.output}")
+    if args.profile:
+        print(profiling.profile_day_sim(model=model, top_n=args.profile_top))
+    return 0
+
+
 def cmd_world(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
     summary = world_sweep(
@@ -298,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default REPRO_WORKERS or CPUs)")
     world.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
+
+    bench = sub.add_parser(
+        "bench", help="time the simulation core (see docs/PERFORMANCE.md)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke mode: tiny iteration counts, no year sample")
+    bench.add_argument("--profile", action="store_true",
+                       help="also cProfile a day simulation and print the "
+                            "top functions by cumulative time")
+    bench.add_argument("--profile-top", type=int, default=25,
+                       help="rows of the cProfile table to print")
+    bench.add_argument("--output", default="BENCH_sim_core.json",
+                       help="where to write the machine-readable report")
+    bench.add_argument("--baseline", default=None,
+                       help="recorded baseline JSON to compare against "
+                            "(default benchmarks/perf/baseline_sim_core.json)")
     return parser
 
 
@@ -310,6 +344,7 @@ COMMANDS = {
     "year": cmd_year,
     "matrix": cmd_matrix,
     "world": cmd_world,
+    "bench": cmd_bench,
 }
 
 

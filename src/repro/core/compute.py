@@ -36,15 +36,24 @@ class ComputeOptimizer:
     def __init__(self, config: CoolAirConfig, layout: DatacenterLayout) -> None:
         self.config = config
         self.layout = layout
+        self._placement_order: Optional[List[Server]] = None
 
     def placement_order(self) -> List[Server]:
-        """Servers in workload-filling order per the placement strategy."""
-        high_first = self.config.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
-        ordered_pods = self.layout.recirculation_ranking(high_first=high_first)
-        servers: List[Server] = []
-        for pod in ordered_pods:
-            servers.extend(sorted(pod.servers, key=lambda s: s.server_id))
-        return servers
+        """Servers in workload-filling order per the placement strategy.
+
+        Pod recirculation rankings and server ids are fixed for a layout,
+        so the order is computed once; callers get a fresh list.
+        """
+        if self._placement_order is None:
+            high_first = (
+                self.config.placement is PlacementStrategy.HIGH_RECIRCULATION_FIRST
+            )
+            ordered_pods = self.layout.recirculation_ranking(high_first=high_first)
+            servers: List[Server] = []
+            for pod in ordered_pods:
+                servers.extend(sorted(pod.servers, key=lambda s: s.server_id))
+            self._placement_order = servers
+        return list(self._placement_order)
 
     def plan_active_set(self, demanded_servers: int) -> Set[int]:
         """Server ids that should be active for the coming period.

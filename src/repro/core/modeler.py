@@ -160,18 +160,54 @@ class CoolingModel:
         intercepts, coefs = self._vectorized(key)
         return intercepts + np.einsum("sf,sf->s", coefs, features)
 
+    def batched_vectorized(
+        self, keys: Tuple[RegimeKey, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(intercepts, coefficients) stacked across a tuple of regime keys.
+
+        Returns arrays of shape (rows, sensors) and (rows, sensors, n_feat)
+        so the Cooling Predictor can score every candidate regime of a
+        control decision in one einsum.  Cached per key tuple — an optimizer
+        decision uses only two tuples (the transition step and the steady
+        steps), so the stacking cost is paid once per regime set.
+        """
+        cache = getattr(self, "_batch_cache", None)
+        if cache is None:
+            cache = {}
+            self._batch_cache = cache
+        entry = cache.get(keys)
+        if entry is None:
+            pairs = [self._vectorized(key) for key in keys]
+            intercepts = np.stack([p[0] for p in pairs])
+            coefs = np.stack([p[1] for p in pairs])
+            entry = (intercepts, coefs)
+            cache[keys] = entry
+        return entry
+
     def has_transition_model(self, key: RegimeKey) -> bool:
         return any(k == key for k, _ in self.temp_models)
 
-    def predict_humidity(self, key: RegimeKey, features: Sequence[float]) -> float:
-        """Predicted inside mixing ratio one model step ahead."""
+    def resolved_humidity_model(self, key: RegimeKey):
+        """The humidity model serving ``key`` after transition fallback.
+
+        Lets hot paths resolve the regime lookup once and then call
+        ``predict_one`` directly per step (see
+        :meth:`~repro.core.predictor.CoolingPredictor.predict_batch`).
+        """
         model = self.humidity_models.get(key)
         if model is None and key.startswith("transition:"):
             target = key.split("->")[-1]
             model = self.humidity_models.get(f"steady:{target}")
         if model is None:
             raise ModelNotTrainedError(f"no humidity model for regime {key!r}")
-        return max(1e-6, model.predict_one(features))
+        # LMS wraps the regression it selected; predict_one just delegates,
+        # so hand hot paths the underlying model directly.
+        inner = getattr(model, "_best", None)
+        return inner if inner is not None else model
+
+    def predict_humidity(self, key: RegimeKey, features: Sequence[float]) -> float:
+        """Predicted inside mixing ratio one model step ahead."""
+        return max(1e-6, self.resolved_humidity_model(key).predict_one(features))
 
     def predict_power_w(self, key: RegimeKey, fan_speed: float) -> float:
         """Predicted cooling power draw in a regime."""

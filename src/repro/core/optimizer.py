@@ -9,6 +9,7 @@ regime, then toward staying put (regime changes are what cause variation).
 
 from __future__ import annotations
 
+import functools
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cooling.regimes import CoolingCommand, CoolingMode
@@ -17,15 +18,54 @@ from repro.core.config import CoolAirConfig
 from repro.core.predictor import CoolingPredictor, PredictorState
 from repro.core.utility import UtilityFunction
 
+# Fan speeds closer than this are operationally indistinguishable; offering
+# both wastes a predictor rollout (they arise from floating-point drift when
+# current_fc_speed carries rounding from earlier ramp arithmetic).
+SPEED_DEDUPE_TOLERANCE = 0.005
 
-def abrupt_candidates() -> List[CoolingCommand]:
-    """Regimes reachable with Parasol's real hardware."""
+
+def _dedupe_speeds(speeds: Sequence[float]) -> List[float]:
+    """Sorted speeds with near-duplicates collapsed to the lowest of each run."""
+    kept: List[float] = []
+    for speed in sorted(speeds):
+        if not kept or speed - kept[-1] >= SPEED_DEDUPE_TOLERANCE:
+            kept.append(speed)
+    return kept
+
+
+@functools.lru_cache(maxsize=None)
+def _abrupt_candidates_cached() -> Tuple[CoolingCommand, ...]:
     commands = [CoolingCommand.closed()]
     for speed in (0.15, 0.3, 0.5, 0.75, 1.0):
         commands.append(CoolingCommand.free_cooling(speed))
     commands.append(CoolingCommand.ac(compressor_duty=0.0))
     commands.append(CoolingCommand.ac(compressor_duty=1.0))
-    return commands
+    return tuple(commands)
+
+
+def abrupt_candidates() -> List[CoolingCommand]:
+    """Regimes reachable with Parasol's real hardware."""
+    return list(_abrupt_candidates_cached())
+
+
+@functools.lru_cache(maxsize=1024)
+def _smooth_candidates_cached(
+    current_fc_speed: float, ramp_per_step: float
+) -> Tuple[CoolingCommand, ...]:
+    commands = [CoolingCommand.closed()]
+    speeds = {0.01, 0.05, 0.10, 0.20, 0.35, 0.5, 0.75, 1.0}
+    if current_fc_speed > 0.0:
+        ceiling = min(1.0, current_fc_speed + ramp_per_step)
+        speeds.update(
+            min(ceiling, max(0.01, current_fc_speed + delta))
+            for delta in (-0.10, -0.05, -0.02, 0.02, 0.05, 0.10)
+        )
+    for speed in _dedupe_speeds(speeds):
+        commands.append(CoolingCommand.free_cooling(speed))
+    commands.append(CoolingCommand.ac(compressor_duty=0.0))
+    for duty in (0.25, 0.5, 0.75, 1.0):
+        commands.append(CoolingCommand.ac(compressor_duty=duty))
+    return tuple(commands)
 
 
 def smooth_candidates(
@@ -36,21 +76,10 @@ def smooth_candidates(
     Fan speeds near the current speed are included so the optimizer can
     make small moves; the ramp limit keeps the far choices honest (the
     units clamp anyway, but offering unreachable speeds wastes predictions).
+    The list is cached per (speed, ramp) — a simulation revisits the same
+    handful of fan speeds every 10 minutes — and callers get a fresh list.
     """
-    commands = [CoolingCommand.closed()]
-    speeds = {0.01, 0.05, 0.10, 0.20, 0.35, 0.5, 0.75, 1.0}
-    if current_fc_speed > 0.0:
-        ceiling = min(1.0, current_fc_speed + ramp_per_step)
-        speeds.update(
-            min(ceiling, max(0.01, current_fc_speed + delta))
-            for delta in (-0.10, -0.05, -0.02, 0.02, 0.05, 0.10)
-        )
-    for speed in sorted(speeds):
-        commands.append(CoolingCommand.free_cooling(speed))
-    commands.append(CoolingCommand.ac(compressor_duty=0.0))
-    for duty in (0.25, 0.5, 0.75, 1.0):
-        commands.append(CoolingCommand.ac(compressor_duty=duty))
-    return commands
+    return list(_smooth_candidates_cached(current_fc_speed, ramp_per_step))
 
 
 class CoolingOptimizer:
@@ -62,11 +91,16 @@ class CoolingOptimizer:
         predictor: CoolingPredictor,
         utility: UtilityFunction,
         smooth_hardware: bool = False,
+        use_batched: bool = True,
     ) -> None:
         self.config = config
         self.predictor = predictor
         self.utility = utility
         self.smooth_hardware = smooth_hardware
+        # Batched scoring is bit-identical to the sequential reference path
+        # (see CoolingPredictor.predict_batch); the flag exists so tests can
+        # assert that equivalence and so regressions can be bisected.
+        self.use_batched = use_batched
         self.last_scores: List[Tuple[CoolingCommand, float]] = []
 
     def _candidates(
@@ -110,20 +144,38 @@ class CoolingOptimizer:
         best_key: Optional[Tuple[float, float, int]] = None
         self.last_scores = []
 
-        for command in self._candidates(state, band):
-            prediction = self.predictor.predict(state, command, steps)
-            if active_sensor_indices is not None:
-                indices = list(active_sensor_indices)
-                prediction = type(prediction)(
+        candidates = self._candidates(state, band)
+        if self.use_batched:
+            predictions = self.predictor.predict_batch(state, candidates, steps)
+        else:
+            predictions = [
+                self.predictor.predict(state, command, steps)
+                for command in candidates
+            ]
+        if active_sensor_indices is not None:
+            indices = list(active_sensor_indices)
+            predictions = [
+                type(prediction)(
                     sensor_temps_c=prediction.sensor_temps_c[:, indices],
                     rh_pct=prediction.rh_pct,
                     cooling_energy_kwh=prediction.cooling_energy_kwh,
                     ac_at_full_speed=prediction.ac_at_full_speed,
                 )
-                current = [state.sensor_temps_c[i] for i in indices]
-            else:
-                current = list(state.sensor_temps_c)
-            score = self.utility.score(prediction, band, current, horizon_s)
+                for prediction in predictions
+            ]
+            current = [state.sensor_temps_c[i] for i in indices]
+        else:
+            current = list(state.sensor_temps_c)
+        if self.use_batched:
+            scores = self.utility.score_batch(
+                predictions, band, current, horizon_s
+            )
+        else:
+            scores = [
+                self.utility.score(prediction, band, current, horizon_s)
+                for prediction in predictions
+            ]
+        for command, prediction, score in zip(candidates, predictions, scores):
             self.last_scores.append((command, score))
             same_mode = 0 if command.mode is state.mode else 1
             key = (round(score, 6), prediction.cooling_energy_kwh, same_mode)

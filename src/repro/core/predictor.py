@@ -23,7 +23,10 @@ from repro.cooling.regimes import CoolingCommand, CoolingMode, regime_key
 from repro.core.modeler import CoolingModel
 from repro.core.utility import RegimePrediction
 from repro.errors import ConfigError
-from repro.physics.psychrometrics import absolute_to_relative_humidity
+from repro.physics.psychrometrics import (
+    absolute_to_relative_humidity,
+    absolute_to_relative_humidity_array,
+)
 
 
 @dataclasses.dataclass
@@ -50,6 +53,12 @@ class CoolingPredictor:
             raise ConfigError("model_step_s must be positive")
         self.model = model
         self.model_step_s = model_step_s
+        # Power depends only on the command (regime + duty + fan speed);
+        # memoized because the optimizer re-prices the same candidates
+        # every control period.  Batch plans likewise recur per
+        # (mode, candidate set).
+        self._power_cache: dict = {}
+        self._batch_plans: dict = {}
 
     def predict(
         self,
@@ -130,6 +139,201 @@ class CoolingPredictor:
             ac_at_full_speed=ac_full,
         )
 
+    def predict_batch(
+        self,
+        state: PredictorState,
+        commands: Sequence[CoolingCommand],
+        steps: int,
+    ) -> List[RegimePrediction]:
+        """Score every candidate regime in one vectorized rollout.
+
+        Returns exactly ``[self.predict(state, c, steps) for c in commands]``
+        — bit-identical, not merely close: the batched einsum contracts each
+        candidate row with the same per-element operation order as the
+        scalar path, AC duty blending happens at the prediction level with
+        the same arithmetic, and the (cheap) humidity/power/RH quantities
+        reuse the scalar code paths outright.
+        """
+        if steps < 1:
+            raise ConfigError("steps must be >= 1")
+        num_sensors = self.model.num_sensors
+        if len(state.sensor_temps_c) != num_sensors:
+            raise ConfigError(
+                f"state has {len(state.sensor_temps_c)} sensors, model expects "
+                f"{num_sensors}"
+            )
+        if not commands:
+            return []
+
+        num_cands = len(commands)
+        # The expansion below (row layout, regime keys, humidity model
+        # params) depends only on (current mode, candidate set) — both
+        # recur every control period, so build the plan once.
+        plan_key = (state.mode, tuple(commands))
+        plan = self._batch_plans.get(plan_key)
+        if plan is None:
+            duties = [c.ac_compressor_duty for c in commands]
+            fans = np.array([c.fc_fan_speed for c in commands])
+
+            # Variable-duty AC candidates evaluate both the compressor-on
+            # and compressor-off models each step; every other candidate is
+            # one row.
+            blended = [
+                c.mode is CoolingMode.AC_ON and 0.0 < duties[i] < 1.0
+                for i, c in enumerate(commands)
+            ]
+            row_cand: List[int] = []
+            row_target: List[CoolingMode] = []
+            for i, cmd in enumerate(commands):
+                if blended[i]:
+                    row_cand.extend((i, i))
+                    row_target.extend((CoolingMode.AC_ON, CoolingMode.AC_FAN))
+                else:
+                    row_cand.append(i)
+                    row_target.append(cmd.mode)
+            row_index = np.asarray(row_cand)
+            # Regime keys differ only between the first (transition) step
+            # and the steady remainder, so two stacked-coefficient lookups.
+            keys_first = tuple(regime_key(state.mode, t) for t in row_target)
+            keys_steady = tuple(
+                regime_key(commands[c].mode, t)
+                for c, t in zip(row_cand, row_target)
+            )
+            hum_first = [
+                (m.intercept, m.coefficients)
+                for m in (
+                    self.model.resolved_humidity_model(k) for k in keys_first
+                )
+            ]
+            hum_steady = [
+                (m.intercept, m.coefficients)
+                for m in (
+                    self.model.resolved_humidity_model(k) for k in keys_steady
+                )
+            ]
+            plan = (
+                duties,
+                fans,
+                blended,
+                row_index,
+                fans[row_index],
+                keys_first,
+                keys_steady,
+                hum_first,
+                hum_steady,
+            )
+            self._batch_plans[plan_key] = plan
+        (
+            duties,
+            fans,
+            blended,
+            row_index,
+            fans_rows,
+            keys_first,
+            keys_steady,
+            hum_first,
+            hum_steady,
+        ) = plan
+
+        temps = np.tile(np.array(state.sensor_temps_c, dtype=float), (num_cands, 1))
+        prev_temps = np.tile(
+            np.array(state.prev_sensor_temps_c, dtype=float), (num_cands, 1)
+        )
+        w_in = [state.inside_mixing_ratio] * num_cands
+
+        traj = np.empty((steps, num_cands, num_sensors))
+        rh_mat = np.empty((steps, num_cands))
+        hum_buf = np.empty(5)
+        # Feature tensor lives at row level; constant columns fill once.
+        feats = np.empty((fans_rows.shape[0], num_sensors, 9))
+        feats[:, :, 2] = state.outside_temp_c
+        feats[:, :, 4] = fans_rows[:, None]
+        feats[:, :, 6] = state.utilization
+        feats[:, :, 8] = (fans_rows * state.outside_temp_c)[:, None]
+        for step in range(steps):
+            first = step == 0
+            temps_rows = temps[row_index]
+            feats[:, :, 0] = temps_rows
+            feats[:, :, 1] = prev_temps[row_index]
+            feats[:, :, 3] = (
+                state.prev_outside_temp_c if first else state.outside_temp_c
+            )
+            feats[:, :, 5] = state.fan_speed if first else fans_rows[:, None]
+            feats[:, :, 7] = fans_rows[:, None] * temps_rows
+
+            intercepts, coefs = self.model.batched_vectorized(
+                keys_first if first else keys_steady
+            )
+            preds = intercepts + np.einsum("rsf,rsf->rs", coefs, feats)
+
+            next_temps = np.empty((num_cands, num_sensors))
+            row = 0
+            for i in range(num_cands):
+                if blended[i]:
+                    duty = duties[i]
+                    next_temps[i] = (
+                        duty * preds[row] + (1.0 - duty) * preds[row + 1]
+                    )
+                    row += 2
+                else:
+                    next_temps[i] = preds[row]
+                    row += 1
+
+            means = next_temps.mean(axis=1)
+            hum_models = hum_first if first else hum_steady
+            out_w = state.outside_mixing_ratio
+            hum_feats = hum_buf
+            hum_feats[1] = out_w
+            dot = np.dot
+            row = 0
+            for i, cmd in enumerate(commands):
+                cmd_fan = cmd.fc_fan_speed
+                w = w_in[i]
+                hum_feats[0] = w
+                hum_feats[2] = cmd_fan
+                hum_feats[3] = cmd_fan * w
+                hum_feats[4] = cmd_fan * out_w
+                # Inlined LinearRegression.predict_one, clamped like
+                # CoolingModel.predict_humidity.
+                b0, coef = hum_models[row]
+                if blended[i]:
+                    duty = duties[i]
+                    on = max(1e-6, b0 + float(dot(coef, hum_feats)))
+                    b1, coef1 = hum_models[row + 1]
+                    off = max(1e-6, b1 + float(dot(coef1, hum_feats)))
+                    w_in[i] = duty * on + (1.0 - duty) * off
+                    row += 2
+                else:
+                    w_in[i] = max(1e-6, b0 + float(dot(coef, hum_feats)))
+                    row += 1
+            rh_mat[step] = absolute_to_relative_humidity_array(
+                np.array(w_in, dtype=float), means
+            )
+            prev_temps = temps
+            temps = next_temps
+            traj[step] = next_temps
+
+        horizon_s = steps * self.model_step_s
+        predictions: List[RegimePrediction] = []
+        for i, cmd in enumerate(commands):
+            duty = duties[i]
+            power_w = self._predict_power(state.mode, cmd, duty)
+            ac_full = (
+                cmd.mode is CoolingMode.AC_ON and duty >= 1.0 - 1e-9
+            ) or (
+                cmd.mode in (CoolingMode.AC_ON, CoolingMode.AC_FAN)
+                and cmd.ac_fan_speed >= 1.0 - 1e-9
+            )
+            predictions.append(
+                RegimePrediction(
+                    sensor_temps_c=traj[:, i, :].copy(),
+                    rh_pct=rh_mat[:, i].copy(),
+                    cooling_energy_kwh=power_w * horizon_s / 3.6e6,
+                    ac_at_full_speed=ac_full,
+                )
+            )
+        return predictions
+
     # -- per-quantity dispatch ------------------------------------------------
 
     def _predict_temps_vec(
@@ -193,6 +397,16 @@ class CoolingPredictor:
 
     def _predict_power(
         self, prev_mode: CoolingMode, command: CoolingCommand, duty: float
+    ) -> float:
+        cached = self._power_cache.get(command)
+        if cached is not None:
+            return cached
+        power = self._predict_power_uncached(command, duty)
+        self._power_cache[command] = power
+        return power
+
+    def _predict_power_uncached(
+        self, command: CoolingCommand, duty: float
     ) -> float:
         mode = command.mode
         steady = f"steady:{mode.value}"

@@ -16,7 +16,7 @@ proportional to the predicted cooling energy.  Lower is better.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -139,3 +139,74 @@ class UtilityFunction:
             penalty += w.per_cooling_kwh * prediction.cooling_energy_kwh
 
         return penalty
+
+    def score_batch(
+        self,
+        predictions: Sequence[RegimePrediction],
+        band: TemperatureBand,
+        current_sensor_temps_c: Sequence[float],
+        horizon_s: float,
+    ) -> List[float]:
+        """Penalties for a whole candidate set in a few tensor operations.
+
+        Bit-identical to ``[self.score(p, ...) for p in predictions]``:
+        every term is elementwise arithmetic, and the axis reductions over a
+        candidate's contiguous block produce the same floats as that
+        candidate's standalone full-array reduction.
+        """
+        if horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
+        if not predictions:
+            return []
+        cfg = self.config
+        w = self.weights
+        temps = np.stack([p.sensor_temps_c for p in predictions])
+        current = np.asarray(current_sensor_temps_c, dtype=float)
+        if temps.shape[2] != current.shape[0]:
+            raise ConfigError(
+                f"prediction covers {temps.shape[2]} sensors, current state has "
+                f"{current.shape[0]}"
+            )
+        num_cands, steps, num_sensors = temps.shape
+
+        max_temp = (
+            cfg.max_temp_setpoint_c
+            if cfg.band_mode.value == "max_only"
+            else cfg.max_c
+        )
+        over = np.maximum(0.0, temps - max_temp)
+        penalty = w.per_half_degree_over_max * over.sum(axis=(1, 2)) / 0.5
+
+        if cfg.use_rate_term:
+            step_s = horizon_s / steps
+            trajectory = np.concatenate(
+                [np.broadcast_to(current, (num_cands, 1, num_sensors)), temps],
+                axis=1,
+            )
+            slopes = np.abs(np.diff(trajectory, axis=1)) / (step_s / 3600.0)
+            worst_rate = slopes.max(axis=1)
+            over_rate = np.maximum(0.0, worst_rate - cfg.max_rate_c_per_hour)
+            penalty += w.per_degree_rate_over_limit * over_rate.sum(axis=1)
+
+        if cfg.use_band_term:
+            below = np.maximum(0.0, band.low_c - temps)
+            above = np.maximum(0.0, temps - band.high_c)
+            outside = below + above
+            penalty += (
+                w.per_half_degree_outside_band * outside.sum(axis=(1, 2)) / 0.5
+            )
+
+        rh = np.stack([p.rh_pct for p in predictions])
+        rh_over = np.maximum(0.0, rh - cfg.max_rh_pct)
+        penalty += w.per_5pct_rh_outside_band * rh_over.sum(axis=1) / 5.0
+
+        ac_full = np.array([p.ac_at_full_speed for p in predictions])
+        penalty += np.where(ac_full, w.ac_full_speed * float(steps), 0.0)
+
+        if cfg.use_energy_term:
+            energies = np.array(
+                [p.cooling_energy_kwh for p in predictions]
+            )
+            penalty += w.per_cooling_kwh * energies
+
+        return [float(p) for p in penalty]

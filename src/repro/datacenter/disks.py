@@ -10,7 +10,7 @@ under 2.2 cycles/hour.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
@@ -29,20 +29,16 @@ class DiskFleet:
         self.servers = servers
         self.thermal = DiskThermalModel(num_pods)
         self._elapsed_s = 0.0
-        self._was_on: Dict[int, bool] = {s.server_id: s.is_on for s in servers}
 
     def step(
         self, pod_inlet_temp_c: np.ndarray, disk_utilization: float, dt_s: float
     ) -> np.ndarray:
-        """Advance disk temperatures and record any power-state cycling."""
+        """Advance disk temperatures one step.
+
+        Power-state cycling is counted by Server.activate() itself, so this
+        is purely the thermal update.
+        """
         self._elapsed_s += dt_s
-        for server in self.servers:
-            is_on = server.is_on
-            if is_on and not self._was_on[server.server_id]:
-                # Server.activate() already counted the cycle; keep our view
-                # in sync for rate accounting.
-                pass
-            self._was_on[server.server_id] = is_on
         return self.thermal.step(pod_inlet_temp_c, disk_utilization, dt_s)
 
     @property

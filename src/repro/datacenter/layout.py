@@ -80,7 +80,9 @@ class DatacenterLayout:
 
     def utilization(self) -> float:
         """Fraction of servers that are active (the paper's "utilization")."""
-        active = sum(pod.num_active() for pod in self.pods)
+        active = 0
+        for pod in self.pods:
+            active += pod.num_active()
         return active / self.num_servers
 
     def observe(

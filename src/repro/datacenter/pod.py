@@ -37,7 +37,16 @@ class Pod:
 
     def it_power_w(self) -> float:
         """Total IT power currently dissipated in the pod."""
-        return sum(server.power_w() for server in self.servers)
+        total = 0.0
+        for s in self.servers:
+            if s.state is PowerState.SLEEP:
+                total += s.sleep_power_w
+            else:
+                total += (
+                    s.idle_power_w
+                    + (s.peak_power_w - s.idle_power_w) * s.utilization
+                )
+        return total
 
     def active_servers(self) -> List[Server]:
         return [s for s in self.servers if s.state is PowerState.ACTIVE]
@@ -47,7 +56,11 @@ class Pod:
         return [s for s in self.servers if s.is_on]
 
     def num_active(self) -> int:
-        return len(self.active_servers())
+        count = 0
+        for s in self.servers:
+            if s.state is PowerState.ACTIVE:
+                count += 1
+        return count
 
     def utilization(self) -> float:
         """Mean CPU utilization across all servers in the pod."""

@@ -8,11 +8,21 @@ of a hPa over the -40..60C range a datacenter can see.
 
 Absolute humidity here means the mixing ratio w, in kilograms of water vapor
 per kilogram of dry air (kg/kg).
+
+The ``*_array`` variants convert whole series at once (the TMY generator
+feeds a year of hourly weather through them).  They vectorize every
+arithmetic step but keep ``math.exp`` applied element by element:
+``numpy.exp`` rounds differently in the last ulp on some inputs, and these
+functions guarantee bit-identical results to their scalar counterparts —
+the simulation-core refactors in this repo are only allowed to change
+speed, never trajectories.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.constants import ATMOSPHERIC_PRESSURE_PA
 from repro.errors import ConfigError
@@ -80,6 +90,52 @@ def absolute_to_relative_humidity(
     p_vapor = mixing_ratio * pressure_pa / (_EPSILON + mixing_ratio)
     p_sat = saturation_pressure_pa(temperature_c)
     return max(0.0, min(100.0, 100.0 * p_vapor / p_sat))
+
+
+def _exp_elementwise(values: np.ndarray) -> np.ndarray:
+    """``math.exp`` over an array (bit-identical to the scalar paths)."""
+    flat = values.ravel()
+    out = np.fromiter((math.exp(v) for v in flat), dtype=float, count=flat.size)
+    return out.reshape(values.shape)
+
+
+def saturation_pressure_pa_array(temperatures_c: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`saturation_pressure_pa`; bit-identical per element."""
+    temps = np.asarray(temperatures_c, dtype=float)
+    if np.any(temps < -60.0):
+        worst = float(temps.min())
+        raise ConfigError(f"temperature {worst}C below Magnus validity range")
+    return _MAGNUS_A * _exp_elementwise(_MAGNUS_B * temps / (_MAGNUS_C + temps))
+
+
+def relative_to_absolute_humidity_array(
+    relative_humidity_pct: np.ndarray,
+    temperatures_c: np.ndarray,
+    pressure_pa: float = ATMOSPHERIC_PRESSURE_PA,
+) -> np.ndarray:
+    """Vectorized :func:`relative_to_absolute_humidity`; bit-identical."""
+    rh = np.asarray(relative_humidity_pct, dtype=float)
+    if np.any(rh < 0.0) or np.any(rh > 100.0):
+        raise ConfigError("relative humidity out of [0, 100]")
+    p_sat = saturation_pressure_pa_array(temperatures_c)
+    p_vapor = rh / 100.0 * p_sat
+    if np.any(p_vapor >= pressure_pa):
+        raise ConfigError("vapor pressure exceeds total pressure")
+    return _EPSILON * p_vapor / (pressure_pa - p_vapor)
+
+
+def absolute_to_relative_humidity_array(
+    mixing_ratios: np.ndarray,
+    temperatures_c: np.ndarray,
+    pressure_pa: float = ATMOSPHERIC_PRESSURE_PA,
+) -> np.ndarray:
+    """Vectorized :func:`absolute_to_relative_humidity`; bit-identical."""
+    w = np.asarray(mixing_ratios, dtype=float)
+    if np.any(w < 0.0):
+        raise ConfigError("mixing ratios must be non-negative")
+    p_vapor = w * pressure_pa / (_EPSILON + w)
+    p_sat = saturation_pressure_pa_array(temperatures_c)
+    return np.minimum(100.0, np.maximum(0.0, 100.0 * p_vapor / p_sat))
 
 
 def mixing_ratio_from_relative_humidity(

@@ -26,8 +26,8 @@ from repro.core.coolair import CoolAir
 from repro.core.modeler import MonitoringSample
 from repro.core.predictor import PredictorState
 from repro.datacenter.layout import DatacenterLayout, parasol_layout
-from repro.datacenter.server import PowerState
-from repro.errors import ConfigError, SimulationError
+from repro.datacenter.server import PowerState, Server
+from repro.errors import ConfigError, SimulationError, WeatherError
 from repro.physics.psychrometrics import absolute_to_relative_humidity
 from repro.physics.thermal import PlantInputs, ThermalPlant
 from repro.sim.trace import DayTrace, StepRecord
@@ -113,6 +113,7 @@ class ProfileWorkload:
         self.profile: DemandProfile = build_demand_profile(
             trace, num_servers=layout.num_servers, interval_s=interval_s
         )
+        self._servers: Optional[List[Server]] = None
 
     @property
     def jobs(self) -> Sequence:
@@ -141,11 +142,18 @@ class ProfileWorkload:
         """Assign the interval's utilization to active servers."""
         idx = int(time_of_day_s // self.interval_s) % self.profile.num_intervals
         util = self.profile.server_utilization(idx)
-        for server in self.layout.all_servers():
-            if server.state is PowerState.ACTIVE:
-                server.set_utilization(util)
-            else:
-                server.set_utilization(0.0)
+        if not 0.0 <= util <= 1.0:
+            raise ConfigError(f"utilization {util} out of [0, 1]")
+        # Direct assignment: set_utilization's per-server validation and
+        # sleep check collapse to this (sleeping/decommissioned servers
+        # always land at 0.0), and the server list is fixed for a layout.
+        servers = self._servers
+        if servers is None:
+            servers = self._servers = self.layout.all_servers()
+        for server in servers:
+            server.utilization = (
+                util if server.state is PowerState.ACTIVE else 0.0
+            )
 
 
 class ClusterWorkload:
@@ -259,6 +267,12 @@ class DayRunner:
         self.interval_index = 0
         self._day = 0
         self._time_of_day_s = 0.0
+        # Weather presampled on the model-step grid: per-step queries become
+        # indexed reads (bit-identical to interpolation; see SampledWeather).
+        try:
+            self._weather = setup.tmy.sampled(float(setup.model_step_s))
+        except WeatherError:
+            self._weather = setup.tmy
         # History needed by the Cooling Predictor.
         self._prev_readings: Optional[np.ndarray] = None
         self._prev_outside_c = 0.0
@@ -284,7 +298,7 @@ class DayRunner:
             prev_fan_speed=self._prev_fan,
             utilization=layout.utilization(),
             inside_mixing_ratio=inside_w,
-            outside_mixing_ratio=self.setup.tmy.mixing_ratio(self._abs_time_s),
+            outside_mixing_ratio=self._weather.mixing_ratio(self._abs_time_s),
         )
 
     # -- execution --------------------------------------------------------------
@@ -309,11 +323,11 @@ class DayRunner:
         trace = DayTrace(day_of_year, label=self.adapter.name)
 
         start_t = day_of_year * SECONDS_PER_DAY
-        outside0 = setup.tmy.temperature_c(start_t)
+        outside0 = self._weather.temperature_c(start_t)
         if reset_plant:
             setup.plant.reset(
                 temp_c=outside0 + 6.0,
-                mixing_ratio=setup.tmy.mixing_ratio(start_t),
+                mixing_ratio=self._weather.mixing_ratio(start_t),
             )
         warmup_steps = int(warmup_hours * 3600 / dt) if reset_plant else 0
         self._time_of_day_s = -warmup_steps * dt
@@ -343,8 +357,8 @@ class DayRunner:
     def _seed_sensors(self, abs_t: float) -> None:
         setup = self.setup
         state = setup.plant.state
-        outside_c = setup.tmy.temperature_c(abs_t)
-        outside_rh = setup.tmy.relative_humidity_pct(abs_t)
+        outside_c = self._weather.temperature_c(abs_t)
+        outside_rh = self._weather.relative_humidity_pct(abs_t)
         inside_rh = absolute_to_relative_humidity(
             state.cold_aisle_mixing_ratio, float(np.mean(state.pod_inlet_temp_c))
         )
@@ -368,18 +382,21 @@ class DayRunner:
         self._prev_outside_c = layout.outside_temp.read()
         self._prev_fan = units.fc_fan_speed
 
-        outside_c = setup.tmy.temperature_c(abs_t)
-        outside_w = setup.tmy.mixing_ratio(abs_t)
-        outside_rh = setup.tmy.relative_humidity_pct(abs_t)
+        outside_c = self._weather.temperature_c(abs_t)
+        outside_w = self._weather.mixing_ratio(abs_t)
+        outside_rh = self._weather.relative_humidity_pct(abs_t)
 
+        pod_powers = layout.pod_it_power_w()
         inputs = units.plant_inputs()
-        inputs.pod_it_power_w = layout.pod_it_power_w()
+        inputs.pod_it_power_w = pod_powers
         inputs.outside_temp_c = outside_c
         inputs.outside_mixing_ratio = outside_w
         state = setup.plant.step(inputs, dt)
 
+        inlet = state.pod_inlet_temp_c
         inside_rh = absolute_to_relative_humidity(
-            state.cold_aisle_mixing_ratio, float(np.mean(state.pod_inlet_temp_c))
+            state.cold_aisle_mixing_ratio,
+            float(np.add.reduce(inlet) / inlet.shape[0]),
         )
         layout.observe(
             pod_inlet_temp_c=state.pod_inlet_temp_c,
@@ -392,7 +409,8 @@ class DayRunner:
         # the active disks run at their own duty, not the fleet average).
         active_utils = [
             s.utilization
-            for s in layout.all_servers()
+            for pod in layout.pods
+            for s in pod.servers
             if s.state is PowerState.ACTIVE
         ]
         per_active = float(np.mean(active_utils)) if active_utils else 0.0
@@ -400,7 +418,7 @@ class DayRunner:
         disk_temps = layout.disks.step(state.pod_inlet_temp_c, disk_util, dt)
 
         cooling_power = units.power_w()
-        it_power = layout.total_it_power_w()
+        it_power = sum(pod_powers)
         record = StepRecord(
             time_s=self._time_of_day_s,
             outside_temp_c=layout.outside_temp.read(),

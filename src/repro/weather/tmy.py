@@ -19,7 +19,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import WeatherError
-from repro.physics.psychrometrics import relative_to_absolute_humidity
+from repro.physics.psychrometrics import relative_to_absolute_humidity_array
 from repro.weather.climate import (
     Climate,
     DAYS_PER_YEAR,
@@ -48,6 +48,7 @@ class TMYSeries:
         self._temps_c = temps_c
         self._mixing_ratios = mixing_ratios
         self._rh_pct = rh_pct
+        self._sampled: dict = {}
 
     # -- point queries -------------------------------------------------------
 
@@ -69,6 +70,21 @@ class TMYSeries:
     def relative_humidity_pct(self, time_s: float) -> float:
         """Outside relative humidity (percent) at ``time_s``."""
         return self._interp(self._rh_pct, time_s)
+
+    def sampled(self, step_s: float) -> "SampledWeather":
+        """The year presampled on a fixed ``step_s`` grid (cached).
+
+        Point queries on the returned object are array reads for on-grid
+        times (the simulation engines' hot path) instead of per-step
+        interpolation, and fall back to interpolation off-grid.  Values are
+        bit-identical to :meth:`temperature_c` and friends.
+        """
+        key = float(step_s)
+        grid = self._sampled.get(key)
+        if grid is None:
+            grid = SampledWeather(self, key)
+            self._sampled[key] = grid
+        return grid
 
     # -- day-level queries ---------------------------------------------------
 
@@ -99,6 +115,70 @@ class TMYSeries:
             float(np.min(self._temps_c)),
             float(np.max(self._temps_c)),
         )
+
+
+class SampledWeather:
+    """One year of weather precomputed on a fixed model-step grid.
+
+    Sampling the hourly series once into contiguous arrays turns the
+    per-step weather queries of a simulation into plain indexed reads.
+    The grid is computed with exactly the interpolation arithmetic of
+    :meth:`TMYSeries._interp`, element for element, so on-grid queries are
+    bit-identical to the interpolated ones; off-grid times transparently
+    fall back to interpolation.
+    """
+
+    def __init__(self, series: TMYSeries, step_s: float) -> None:
+        if step_s <= 0:
+            raise WeatherError(f"step_s must be positive, got {step_s}")
+        year_s = DAYS_PER_YEAR * SECONDS_PER_DAY
+        steps = int(round(year_s / step_s))
+        if steps < 1 or steps * step_s != year_s:
+            raise WeatherError(
+                f"step_s {step_s} does not divide the {year_s}s year evenly"
+            )
+        self._series = series
+        self.step_s = step_s
+        self.num_steps = steps
+
+        times = np.arange(steps, dtype=float) * step_s
+        # Mirror _interp exactly: hour-of-year, truncated index, fraction.
+        hours = (times % year_s) / SECONDS_PER_HOUR
+        trunc = hours.astype(np.int64)
+        frac = hours - trunc
+        i0 = trunc % HOURS_PER_YEAR
+        i1 = (i0 + 1) % HOURS_PER_YEAR
+        weight0 = 1.0 - frac
+        self.temps_c = series._temps_c[i0] * weight0 + series._temps_c[i1] * frac
+        self.mixing_ratios = (
+            series._mixing_ratios[i0] * weight0 + series._mixing_ratios[i1] * frac
+        )
+        self.rh_pct = series._rh_pct[i0] * weight0 + series._rh_pct[i1] * frac
+
+    def _index(self, time_s: float) -> int:
+        """Grid index for an on-grid time, or -1 when off-grid."""
+        steps = time_s / self.step_s
+        if steps.is_integer():
+            return int(steps) % self.num_steps
+        return -1
+
+    def temperature_c(self, time_s: float) -> float:
+        idx = self._index(time_s)
+        if idx < 0:
+            return self._series.temperature_c(time_s)
+        return float(self.temps_c[idx])
+
+    def mixing_ratio(self, time_s: float) -> float:
+        idx = self._index(time_s)
+        if idx < 0:
+            return self._series.mixing_ratio(time_s)
+        return float(self.mixing_ratios[idx])
+
+    def relative_humidity_pct(self, time_s: float) -> float:
+        idx = self._index(time_s)
+        if idx < 0:
+            return self._series.relative_humidity_pct(time_s)
+        return float(self.rh_pct[idx])
 
 
 def generate_tmy(climate: Climate) -> TMYSeries:
@@ -139,10 +219,5 @@ def generate_tmy(climate: Climate) -> TMYSeries:
     )
     rh = np.clip(rh, 5.0, 98.0)
 
-    mixing = np.array(
-        [
-            relative_to_absolute_humidity(float(rh[i]), float(temps[i]))
-            for i in range(HOURS_PER_YEAR)
-        ]
-    )
+    mixing = relative_to_absolute_humidity_array(rh, temps)
     return TMYSeries(climate, temps, mixing, rh)

@@ -1,0 +1,55 @@
+"""Regenerate ``engine_golden_day.json``: the pre-refactor engine reference.
+
+Pins one full baseline-controller day (Real-Sim, Newark, Facebook-style
+profile workload, day 182) to the exact trajectory produced before the
+PR-2 fast-path refactor (index-sampled TMY grid, allocation-free plant
+stepping, single per-step IT-power computation).  The baseline controller
+takes no optimizer decisions, so the trace is independent of the candidate
+list — it isolates exactly the engine + weather + plant layers.
+
+Run from the repo root only when simulation *behavior* intentionally
+changes:
+
+    PYTHONPATH=src python tests/data/make_engine_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.engine import BaselineAdapter, DayRunner, ProfileWorkload, make_realsim
+from repro.weather.locations import NAMED_LOCATIONS
+from repro.workload.traces import FacebookTraceGenerator
+
+DAY = 182
+
+
+def generate() -> dict:
+    setup = make_realsim(NAMED_LOCATIONS["Newark"])
+    trace_gen = FacebookTraceGenerator(num_jobs=400, seed=42).generate()
+    runner = DayRunner(
+        setup, ProfileWorkload(trace_gen, setup.layout, 600.0), BaselineAdapter()
+    )
+    day = runner.run_day(DAY)
+    rows = []
+    for record in day.records:
+        rows.append({
+            "time_s": record.time_s,
+            "outside_temp_c": record.outside_temp_c,
+            "sensor_temps_c": list(record.sensor_temps_c),
+            "mode": record.mode.value,
+            "fc_fan_speed": record.fc_fan_speed,
+            "cooling_power_w": record.cooling_power_w,
+            "it_power_w": record.it_power_w,
+            "inside_rh_pct": record.inside_rh_pct,
+            "outside_rh_pct": record.outside_rh_pct,
+            "disk_temps_c": list(record.disk_temps_c),
+        })
+    return {"day": DAY, "trace": rows}
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "engine_golden_day.json"
+    out.write_text(json.dumps(generate()) + "\n")
+    print(f"wrote {out}")

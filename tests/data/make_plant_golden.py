@@ -1,0 +1,79 @@
+"""Regenerate ``plant_golden_day.json``: the pre-refactor plant reference.
+
+The fixture pins :class:`repro.physics.thermal.ThermalPlant` to the exact
+floating-point trajectory the scalar, pre-PR-2 implementation produced on a
+scripted day that visits every regime (closed, free cooling at several fan
+speeds, evaporative pre-cooling, AC with and without compressor).  The
+equality test in ``tests/unit/test_plant_golden.py`` replays the script and
+asserts bit-identical output, so any refactor of the stepping code that
+changes results — even at the last ulp — fails loudly.
+
+Run from the repo root only when the plant *model* (not its implementation)
+intentionally changes:
+
+    PYTHONPATH=src python tests/data/make_plant_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.physics.thermal import PlantInputs, ThermalPlant
+
+STEPS = 720
+DT_S = 120.0
+
+
+def scripted_inputs(step: int) -> PlantInputs:
+    """Deterministic actuator/boundary script covering every regime."""
+    t = step * DT_S
+    outside_c = 21.0 + 13.0 * math.cos(2.0 * math.pi * (t / 86400.0 - 15.0 / 24.0))
+    outside_w = 0.0075 + 0.0035 * math.sin(2.0 * math.pi * t / 86400.0 + 1.0)
+    power = tuple(
+        300.0 + 150.0 * math.sin(2.0 * math.pi * t / 86400.0 + 0.5 * pod)
+        for pod in range(4)
+    )
+    if step < 100:
+        return PlantInputs(pod_it_power_w=power, outside_temp_c=outside_c,
+                           outside_mixing_ratio=outside_w)
+    if step < 250:
+        speed = (0.15, 0.35, 0.75)[(step // 50) % 3]
+        return PlantInputs(fc_fan_speed=speed, pod_it_power_w=power,
+                           outside_temp_c=outside_c, outside_mixing_ratio=outside_w)
+    if step < 350:
+        return PlantInputs(fc_fan_speed=0.5, evaporative_effectiveness=0.6,
+                           pod_it_power_w=power, outside_temp_c=outside_c,
+                           outside_mixing_ratio=outside_w)
+    if step < 450:
+        return PlantInputs(ac_fan_speed=1.0, ac_compressor_duty=1.0,
+                           pod_it_power_w=power, outside_temp_c=outside_c,
+                           outside_mixing_ratio=outside_w)
+    if step < 520:
+        return PlantInputs(ac_fan_speed=1.0, pod_it_power_w=power,
+                           outside_temp_c=outside_c, outside_mixing_ratio=outside_w)
+    if step < 620:
+        return PlantInputs(fc_fan_speed=1.0, pod_it_power_w=power,
+                           outside_temp_c=outside_c, outside_mixing_ratio=outside_w)
+    return PlantInputs(pod_it_power_w=power, outside_temp_c=outside_c,
+                       outside_mixing_ratio=outside_w)
+
+
+def generate() -> dict:
+    plant = ThermalPlant()
+    rows = []
+    for step in range(STEPS):
+        state = plant.step(scripted_inputs(step), DT_S)
+        rows.append({
+            "pod_inlet_temp_c": [float(v) for v in state.pod_inlet_temp_c],
+            "hot_aisle_temp_c": float(state.hot_aisle_temp_c),
+            "cold_aisle_mixing_ratio": float(state.cold_aisle_mixing_ratio),
+        })
+    return {"steps": STEPS, "dt_s": DT_S, "trace": rows}
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "plant_golden_day.json"
+    out.write_text(json.dumps(generate()) + "\n")
+    print(f"wrote {out}")

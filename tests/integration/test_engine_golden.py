@@ -1,0 +1,41 @@
+"""Pin one full baseline-controller day to its pre-refactor trace.
+
+``tests/data/engine_golden_day.json`` records the exact Real-Sim day-182
+trajectory (Newark, Facebook-style profile workload, baseline controller)
+produced before the PR-2 fast-path refactor.  The baseline controller takes
+no optimizer decisions, so this isolates the engine + weather + plant
+layers from the (intentionally changed) candidate list.  JSON floats
+round-trip losslessly, so ``==`` compares the last ulp.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.unit.test_plant_golden import DATA_DIR, load_generator
+
+FIELDS = (
+    "time_s",
+    "outside_temp_c",
+    "sensor_temps_c",
+    "mode",
+    "fc_fan_speed",
+    "cooling_power_w",
+    "it_power_w",
+    "inside_rh_pct",
+    "outside_rh_pct",
+    "disk_temps_c",
+)
+
+
+class TestEngineGolden:
+    def test_baseline_day_is_bit_identical(self):
+        golden = json.loads((DATA_DIR / "engine_golden_day.json").read_text())
+        generator = load_generator("make_engine_golden")
+        replay = generator.generate()
+
+        assert replay["day"] == golden["day"]
+        assert len(replay["trace"]) == len(golden["trace"])
+        for i, (got, want) in enumerate(zip(replay["trace"], golden["trace"])):
+            for field in FIELDS:
+                assert got[field] == want[field], (i, field)

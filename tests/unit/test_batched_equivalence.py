@@ -1,0 +1,110 @@
+"""Batched prediction/scoring must equal the scalar reference, bit for bit.
+
+PR-2's fast control path (:meth:`CoolingPredictor.predict_batch`,
+:meth:`UtilityFunction.score_batch`, ``CoolingOptimizer(use_batched=True)``)
+is a pure performance refactor: every test here pins it to the sequential
+path with exact floating-point equality, across a deterministic spread of
+control-period states covering both hardware candidate sets, blended AC
+duties, and active-sensor restriction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.profiling import _decision_states
+from repro.core.band import TemperatureBand
+from repro.core.optimizer import (
+    CoolingOptimizer,
+    abrupt_candidates,
+    smooth_candidates,
+)
+from repro.core.predictor import CoolingPredictor
+from repro.core.utility import UtilityFunction
+from repro.core.versions import all_nd
+
+STEPS = 5
+BAND = TemperatureBand(25.0, 30.0)
+
+
+def assert_predictions_equal(batched, sequential):
+    assert len(batched) == len(sequential)
+    for got, want in zip(batched, sequential):
+        assert np.array_equal(got.sensor_temps_c, want.sensor_temps_c)
+        assert np.array_equal(got.rh_pct, want.rh_pct)
+        assert got.cooling_energy_kwh == want.cooling_energy_kwh
+        assert got.ac_at_full_speed == want.ac_at_full_speed
+
+
+class TestPredictBatch:
+    def test_matches_sequential_predict_both_candidate_sets(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        for state in _decision_states(cooling_model, 12):
+            for commands in (
+                abrupt_candidates(),
+                smooth_candidates(current_fc_speed=state.fan_speed),
+            ):
+                batched = predictor.predict_batch(state, commands, STEPS)
+                sequential = [
+                    predictor.predict(state, command, STEPS)
+                    for command in commands
+                ]
+                assert_predictions_equal(batched, sequential)
+
+    def test_batch_results_are_independent_copies(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        state = _decision_states(cooling_model, 1)[0]
+        commands = abrupt_candidates()
+        batched = predictor.predict_batch(state, commands, STEPS)
+        # Mutating one prediction must not alias another (the batch rollout
+        # slices a shared trajectory array; each result must own its data).
+        batched[0].sensor_temps_c[:] = -99.0
+        assert not np.any(batched[1].sensor_temps_c == -99.0)
+
+
+class TestScoreBatch:
+    def test_matches_sequential_score(self, cooling_model):
+        predictor = CoolingPredictor(cooling_model)
+        config = all_nd()
+        utility = UtilityFunction(config)
+        horizon_s = float(config.control_period_s)
+        for state in _decision_states(cooling_model, 8):
+            commands = smooth_candidates(current_fc_speed=state.fan_speed)
+            predictions = predictor.predict_batch(state, commands, STEPS)
+            current = list(state.sensor_temps_c)
+            batched = utility.score_batch(predictions, BAND, current, horizon_s)
+            sequential = [
+                utility.score(p, BAND, current, horizon_s) for p in predictions
+            ]
+            assert batched == sequential
+
+
+class TestOptimizerEquivalence:
+    def make(self, cooling_model, smooth, use_batched):
+        config = all_nd()
+        predictor = CoolingPredictor(cooling_model)
+        return CoolingOptimizer(
+            config,
+            predictor,
+            UtilityFunction(config),
+            smooth_hardware=smooth,
+            use_batched=use_batched,
+        )
+
+    def assert_same_decisions(self, cooling_model, smooth, active=None):
+        batched = self.make(cooling_model, smooth, use_batched=True)
+        reference = self.make(cooling_model, smooth, use_batched=False)
+        for state in _decision_states(cooling_model, 10):
+            got = batched.decide(state, BAND, active_sensor_indices=active)
+            want = reference.decide(state, BAND, active_sensor_indices=active)
+            assert got == want
+            assert batched.last_scores == reference.last_scores
+
+    def test_smooth_hardware(self, cooling_model):
+        self.assert_same_decisions(cooling_model, smooth=True)
+
+    def test_abrupt_hardware(self, cooling_model):
+        self.assert_same_decisions(cooling_model, smooth=False)
+
+    def test_active_sensor_restriction(self, cooling_model):
+        self.assert_same_decisions(cooling_model, smooth=True, active=[0, 2])

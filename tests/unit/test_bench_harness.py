@@ -1,0 +1,94 @@
+"""Benchmark harness tests (``python -m repro bench``).
+
+The quick suite is what CI's bench-smoke step runs; these tests pin the
+report schema, the baseline comparison arithmetic, and the CLI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import profiling
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestQuickSuite:
+    def test_run_bench_quick(self, cooling_model):
+        results = profiling.run_bench(quick=True, model=cooling_model)
+        assert set(results) == {"plant_step", "optimizer_decision", "day_sim"}
+        for result in results.values():
+            assert result["median_s"] > 0.0
+        assert results["plant_step"]["steps_per_s"] > 0.0
+        assert results["optimizer_decision"]["decision_latency_ms"] > 0.0
+
+    def test_write_report_and_reload(self, cooling_model, tmp_path):
+        results = {"day_sim": {"median_s": 0.25, "days_per_s": 4.0}}
+        out = tmp_path / "bench.json"
+        payload = profiling.write_report(
+            results,
+            path=out,
+            quick=True,
+            baseline_path=REPO_ROOT / "benchmarks" / "perf" / "baseline_sim_core.json",
+        )
+        assert payload["schema"] == profiling.SCHEMA_VERSION
+        assert json.loads(out.read_text())["results"] == results
+        # The repo ships a recorded pre-PR baseline; the report must carry
+        # the comparison.
+        assert payload["speedup_vs_baseline"]["day_sim"] > 0.0
+
+    def test_format_report_mentions_speedup(self):
+        payload = {
+            "quick": True,
+            "results": {"day_sim": {"median_s": 0.2, "days_per_s": 5.0}},
+            "speedup_vs_baseline": {"day_sim": 3.2},
+        }
+        text = profiling.format_report(payload)
+        assert "day_sim" in text and "3.20x" in text
+
+    def test_format_report_without_baseline(self):
+        payload = {"results": {"day_sim": {"median_s": 0.2}}}
+        assert "no recorded baseline" in profiling.format_report(payload)
+
+
+class TestBaseline:
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert profiling.load_baseline(tmp_path / "nope.json") is None
+
+    def test_wrong_schema_is_none(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": -1, "results": {}}))
+        assert profiling.load_baseline(path) is None
+
+    def test_recorded_baseline_loads(self):
+        baseline = profiling.load_baseline(
+            REPO_ROOT / "benchmarks" / "perf" / "baseline_sim_core.json"
+        )
+        assert baseline is not None
+        assert "day_sim" in baseline["results"]
+
+    def test_speedup_arithmetic(self):
+        results = {"day_sim": {"median_s": 0.25}, "extra": {"median_s": 1.0}}
+        baseline = {"results": {"day_sim": {"median_s": 1.0}}}
+        speedups = profiling.speedups_vs_baseline(results, baseline)
+        assert speedups == {"day_sim": 4.0}
+        assert profiling.speedups_vs_baseline(results, None) == {}
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick is True
+        assert args.output == "BENCH_sim_core.json"
+        assert args.profile is False
+
+    def test_bench_quick_end_to_end(self, cooling_model, tmp_path, capsys):
+        # cooling_model pre-populates the in-process campaign cache, so the
+        # CLI's trained_cooling_model() call is free.
+        out = tmp_path / "BENCH_sim_core.json"
+        assert main(["bench", "--quick", "--output", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "sim-core benchmarks (quick)" in captured

@@ -1,0 +1,75 @@
+"""Candidate-list dedupe and caching (Cooling Optimizer fast path)."""
+
+from __future__ import annotations
+
+from repro.cooling.regimes import CoolingMode
+from repro.core.optimizer import (
+    SPEED_DEDUPE_TOLERANCE,
+    _dedupe_speeds,
+    abrupt_candidates,
+    smooth_candidates,
+)
+
+
+class TestDedupeSpeeds:
+    def test_collapses_near_duplicates_to_lowest(self):
+        # 0.2001 and 0.2049 are within tolerance of 0.20; 0.35 is not.
+        assert _dedupe_speeds([0.35, 0.2049, 0.20, 0.2001]) == [0.20, 0.35]
+
+    def test_keeps_speeds_at_tolerance(self):
+        speeds = [0.20, 0.20 + SPEED_DEDUPE_TOLERANCE]
+        assert _dedupe_speeds(speeds) == speeds
+
+    def test_sorts_input(self):
+        assert _dedupe_speeds([1.0, 0.01, 0.5]) == [0.01, 0.5, 1.0]
+
+    def test_empty(self):
+        assert _dedupe_speeds([]) == []
+
+    def test_deterministic_representative(self):
+        # Whichever order near-duplicates arrive in, the survivor is the
+        # lowest of the run — candidate lists must not depend on float
+        # drift in the caller.
+        assert _dedupe_speeds([0.352, 0.35]) == _dedupe_speeds([0.35, 0.352])
+
+
+class TestSmoothCandidateDedupe:
+    def test_no_near_duplicate_fan_speeds(self):
+        # 0.2501 ramps to 0.2001 and 0.3501 — within tolerance of the grid
+        # points 0.20 and 0.35.  Without dedupe the list would offer both of
+        # each pair as separate regimes.
+        commands = smooth_candidates(current_fc_speed=0.2501)
+        speeds = sorted(
+            c.fc_fan_speed
+            for c in commands
+            if c.mode is CoolingMode.FREE_COOLING
+        )
+        gaps = [b - a for a, b in zip(speeds, speeds[1:])]
+        assert all(gap >= SPEED_DEDUPE_TOLERANCE for gap in gaps)
+
+    def test_exact_grid_speed_unaffected(self):
+        speeds = [
+            c.fc_fan_speed
+            for c in smooth_candidates(current_fc_speed=0.0)
+            if c.mode is CoolingMode.FREE_COOLING
+        ]
+        assert speeds == sorted({0.01, 0.05, 0.10, 0.20, 0.35, 0.5, 0.75, 1.0})
+
+
+class TestCandidateCaching:
+    def test_callers_get_fresh_lists(self):
+        first = smooth_candidates(current_fc_speed=0.35)
+        second = smooth_candidates(current_fc_speed=0.35)
+        assert first == second
+        assert first is not second
+        # Mutating a returned list (the optimizer filters candidates on
+        # cold days) must not corrupt the cache.
+        first.clear()
+        assert smooth_candidates(current_fc_speed=0.35) == second
+
+    def test_abrupt_fresh_lists(self):
+        first = abrupt_candidates()
+        second = abrupt_candidates()
+        assert first == second and first is not second
+        first.pop()
+        assert abrupt_candidates() == second

@@ -1,0 +1,41 @@
+"""Pin the thermal plant to its pre-refactor trajectory, bit for bit.
+
+``tests/data/plant_golden_day.json`` records the exact floating-point
+trajectory the scalar, pre-PR-2 :class:`~repro.physics.thermal.ThermalPlant`
+produced on a scripted day that visits every cooling regime.  The fast
+(allocation-free) stepping path must reproduce it exactly — JSON floats
+round-trip losslessly, so plain ``==`` is a last-ulp comparison.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+
+def load_generator(name: str):
+    """Import a ``tests/data/make_*.py`` fixture generator by file path."""
+    spec = importlib.util.spec_from_file_location(name, DATA_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPlantGolden:
+    def test_replay_is_bit_identical(self):
+        golden = json.loads((DATA_DIR / "plant_golden_day.json").read_text())
+        generator = load_generator("make_plant_golden")
+        replay = generator.generate()
+
+        assert replay["steps"] == golden["steps"]
+        assert replay["dt_s"] == golden["dt_s"]
+        assert len(replay["trace"]) == len(golden["trace"])
+        for step, (got, want) in enumerate(zip(replay["trace"], golden["trace"])):
+            assert got["pod_inlet_temp_c"] == want["pod_inlet_temp_c"], step
+            assert got["hot_aisle_temp_c"] == want["hot_aisle_temp_c"], step
+            assert (
+                got["cold_aisle_mixing_ratio"] == want["cold_aisle_mixing_ratio"]
+            ), step

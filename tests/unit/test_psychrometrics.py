@@ -2,17 +2,21 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import ConfigError
 from repro.physics.psychrometrics import (
     absolute_to_relative_humidity,
+    absolute_to_relative_humidity_array,
     dew_point_c,
     mixing_ratio_from_relative_humidity,
     relative_to_absolute_humidity,
+    relative_to_absolute_humidity_array,
     saturation_mixing_ratio,
     saturation_pressure_pa,
+    saturation_pressure_pa_array,
 )
 
 
@@ -116,3 +120,62 @@ class TestSaturationMixingRatio:
     def test_boiling_clamp(self):
         # At 110C the saturation pressure exceeds ambient; clamps huge.
         assert saturation_mixing_ratio(110.0) == 10.0
+
+
+class TestArrayVariants:
+    """The vectorized paths promise *bit-identical* results to the scalar
+    functions (the TMY grid and the batched predictor are built on them)."""
+
+    # A dense datacenter-relevant grid: -20..45C at varied humidities.
+    TEMPS = np.linspace(-20.0, 45.0, 131)
+    RH = np.linspace(1.0, 99.0, 131)
+
+    def test_saturation_pressure_bit_identical(self):
+        vector = saturation_pressure_pa_array(self.TEMPS)
+        scalar = [saturation_pressure_pa(t) for t in self.TEMPS]
+        assert vector.tolist() == scalar
+
+    def test_relative_to_absolute_bit_identical(self):
+        vector = relative_to_absolute_humidity_array(self.RH, self.TEMPS)
+        scalar = [
+            relative_to_absolute_humidity(rh, t)
+            for rh, t in zip(self.RH, self.TEMPS)
+        ]
+        assert vector.tolist() == scalar
+
+    def test_absolute_to_relative_bit_identical(self):
+        w = relative_to_absolute_humidity_array(self.RH, self.TEMPS)
+        vector = absolute_to_relative_humidity_array(w, self.TEMPS)
+        scalar = [
+            absolute_to_relative_humidity(wi, t) for wi, t in zip(w, self.TEMPS)
+        ]
+        assert vector.tolist() == scalar
+
+    @given(
+        rh=st.floats(min_value=1.0, max_value=99.0),
+        temp=st.floats(min_value=-20.0, max_value=45.0),
+    )
+    def test_roundtrip_property_matches_scalar(self, rh, temp):
+        w = relative_to_absolute_humidity_array(
+            np.array([rh]), np.array([temp])
+        )
+        back = absolute_to_relative_humidity_array(w, np.array([temp]))
+        assert float(w[0]) == relative_to_absolute_humidity(rh, temp)
+        assert float(back[0]) == absolute_to_relative_humidity(float(w[0]), temp)
+        assert float(back[0]) == pytest.approx(rh, rel=1e-6)
+
+    def test_preserves_shape(self):
+        temps = self.TEMPS.reshape(-1, 1)
+        assert saturation_pressure_pa_array(temps).shape == temps.shape
+
+    def test_validation_matches_scalar(self):
+        with pytest.raises(ConfigError):
+            saturation_pressure_pa_array(np.array([20.0, -70.0]))
+        with pytest.raises(ConfigError):
+            relative_to_absolute_humidity_array(
+                np.array([101.0]), np.array([20.0])
+            )
+        with pytest.raises(ConfigError):
+            absolute_to_relative_humidity_array(
+                np.array([-0.001]), np.array([20.0])
+            )
