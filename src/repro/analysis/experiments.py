@@ -60,6 +60,19 @@ DEFAULT_SAMPLE_DAYS = int(os.environ.get("REPRO_SAMPLE_DAYS", "14"))
 DEFAULT_TRACE_JOBS = int(os.environ.get("REPRO_TRACE_JOBS", "1200"))
 DEFAULT_WORLD_LOCATIONS = int(os.environ.get("REPRO_WORLD_LOCATIONS", "24"))
 
+# Which numeric path computes year runs: the lane-batched engine
+# (``repro.sim.lanes``, the default) or the scalar reference
+# (``repro.sim.yearsim``).  The two are maintained bit-identical (see
+# ``tests/test_lane_equivalence.py``), but the cache key still records the
+# engine so results can never be served across numeric paths whose
+# equivalence has not been proven for that configuration.
+DEFAULT_SIM_ENGINE = os.environ.get("REPRO_SIM_ENGINE", "lanes")
+SIM_ENGINES = ("lanes", "scalar")
+
+# How many scenarios each lane-batched chunk steps in lockstep (see
+# ``run_year_lanes``); composes with worker processes as workers x lanes.
+DEFAULT_LANES = int(os.environ.get("REPRO_LANES", "8"))
+
 _memory_cache: Dict[str, YearResult] = {}
 _trace_cache: Dict[str, Trace] = {}
 
@@ -121,6 +134,32 @@ def config_fingerprint(system: Union[str, CoolAirConfig]) -> str:
     return f"{system.name}-{digest}"
 
 
+def effective_engine(
+    system: Union[str, CoolAirConfig], engine: Optional[str] = None
+) -> str:
+    """The simulation engine a run of ``system`` would actually use.
+
+    The lane engine supports the standard 120 s / 600 s timing only; a
+    config with exotic timing falls back to the scalar reference path (and
+    is fingerprinted as such, so the cache stays honest about which
+    numeric path produced each entry).
+    """
+    requested = engine or DEFAULT_SIM_ENGINE
+    if requested not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {requested!r}; choices: {SIM_ENGINES}"
+        )
+    if requested == "lanes" and not isinstance(system, str):
+        from repro.sim.lanes import CONTROL_PERIOD_S, MODEL_STEP_S
+
+        if (
+            system.model_step_s != MODEL_STEP_S
+            or system.control_period_s != CONTROL_PERIOD_S
+        ):
+            return "scalar"
+    return requested
+
+
 def _resolve_system(
     system: Union[str, CoolAirConfig]
 ) -> Tuple[Union[str, CoolAirConfig], str]:
@@ -138,15 +177,24 @@ def cache_key(
     deferrable: bool = False,
     sample_every_days: Optional[int] = None,
     forecast_bias_c: float = 0.0,
+    engine: Optional[str] = None,
 ) -> str:
-    """The versioned cache key for one (system, location, workload) run."""
+    """The versioned cache key for one (system, location, workload) run.
+
+    Besides the config fingerprint, the key pins every numeric-path switch
+    that could change bits: the simulation engine (lane-batched vs the
+    scalar reference) joins the schema version here, so flipping
+    ``REPRO_SIM_ENGINE`` starts a separate cache generation instead of
+    serving results computed by a different code path.
+    """
     system, _ = _resolve_system(system)
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
+    engine = effective_engine(system, engine)
     return (
         f"{config_fingerprint(system)}-{climate.name}-{workload}"
         f"-def{deferrable}-s{sample}"
         f"-b{forecast_bias_c:+.1f}-j{DEFAULT_TRACE_JOBS}"
-        f"-v{CACHE_SCHEMA_VERSION}"
+        f"-e{engine}-v{CACHE_SCHEMA_VERSION}"
     )
 
 
@@ -215,16 +263,21 @@ def year_result(
     sample_every_days: Optional[int] = None,
     forecast_bias_c: float = 0.0,
     use_disk_cache: bool = True,
+    engine: Optional[str] = None,
 ) -> YearResult:
     """One cached year run.
 
     ``system`` is ``"baseline"``, a version name from Table 1 (e.g.
-    ``"All-ND"``), or an explicit :class:`CoolAirConfig`.
+    ``"All-ND"``), or an explicit :class:`CoolAirConfig`.  ``engine``
+    selects the numeric path (default ``REPRO_SIM_ENGINE``); a single
+    task runs as a one-lane batch under the lane engine, bit-identical to
+    the scalar reference.
     """
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
     system, _ = _resolve_system(system)
+    engine = effective_engine(system, engine)
     key = cache_key(
-        system, climate, workload, deferrable, sample, forecast_bias_c
+        system, climate, workload, deferrable, sample, forecast_bias_c, engine
     )
     cached = load_cached(key, use_disk_cache)
     if cached is not None:
@@ -234,14 +287,30 @@ def year_result(
         facebook_trace(deferrable) if workload == "facebook" else nutch_trace(deferrable)
     )
     model = None if isinstance(system, str) else trained_cooling_model()
-    result = run_year(
-        system,
-        climate,
-        trace,
-        model=model,
-        sample_every_days=sample,
-        forecast_bias_c=forecast_bias_c,
-    )
+    if engine == "lanes":
+        from repro.sim.lanes import LaneScenario, run_year_lanes
+
+        (result,) = run_year_lanes(
+            [
+                LaneScenario(
+                    system=system,
+                    climate=climate,
+                    trace=trace,
+                    forecast_bias_c=forecast_bias_c,
+                )
+            ],
+            model=model,
+            sample_every_days=sample,
+        )
+    else:
+        result = run_year(
+            system,
+            climate,
+            trace,
+            model=model,
+            sample_every_days=sample,
+            forecast_bias_c=forecast_bias_c,
+        )
     store_result(key, result, use_disk_cache)
     return result
 
@@ -262,14 +331,16 @@ def five_location_matrix(
     workload: str = "facebook",
     sample_every_days: Optional[int] = None,
     workers: Optional[int] = None,
+    lanes: Optional[int] = None,
     progress=None,
 ) -> Dict[str, Dict[str, YearResult]]:
     """The Figures 8-10 matrix: {system: {location: YearResult}}.
 
     ``workers`` fans uncached cells out over worker processes (see
-    :mod:`repro.analysis.runner`); ``None`` resolves ``REPRO_WORKERS`` /
-    CPU count, 1 forces the serial path.  Results are identical either
-    way.
+    :mod:`repro.analysis.runner`) and ``lanes`` batches cells into
+    lockstep lane groups within each worker (workers x lanes cells in
+    flight); ``None`` resolves ``REPRO_WORKERS`` / CPU count and
+    ``REPRO_LANES``.  Results are identical any way the work is split.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
 
@@ -286,7 +357,9 @@ def five_location_matrix(
                 sample_every_days=sample_every_days,
             ))
             cells.append((system, name))
-    results = run_year_tasks(tasks, workers=workers, progress=progress)
+    results = run_year_tasks(
+        tasks, workers=workers, lanes=lanes, progress=progress
+    )
     matrix: Dict[str, Dict[str, YearResult]] = {}
     for (system, name), result in zip(cells, results):
         matrix.setdefault(system, {})[name] = result
@@ -298,13 +371,15 @@ def world_sweep(
     coolair_system: str = "All-ND",
     sample_every_days: Optional[int] = None,
     workers: Optional[int] = None,
+    lanes: Optional[int] = None,
     progress=None,
 ):
     """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
 
     Runs ``baseline`` and ``coolair_system`` for every grid climate
     (``num_locations`` defaults to ``REPRO_WORLD_LOCATIONS``), fanning
-    uncached cells out over ``workers`` processes.
+    uncached cells out over ``workers`` processes with ``lanes`` cells
+    stepped in lockstep per worker.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
     from repro.analysis.worldmap import summarize_world
@@ -318,9 +393,21 @@ def world_sweep(
                 climate=climate,
                 sample_every_days=sample_every_days,
             ))
-    results = run_year_tasks(tasks, workers=workers, progress=progress)
+    results = run_year_tasks(
+        tasks, workers=workers, lanes=lanes, progress=progress
+    )
+    # Pair each climate's (baseline, coolair) results by task identity —
+    # positional 2*i indexing silently mispairs if the task layout above
+    # ever changes (and did not survive reordering or filtering).
+    by_task: Dict[Tuple[str, str], YearResult] = {}
+    for task, result in zip(tasks, results):
+        name = (
+            task.system if isinstance(task.system, str) else task.system.name
+        )
+        by_task[(task.climate.name, name)] = result
     pairs = [
-        (results[2 * i], results[2 * i + 1]) for i in range(len(climates))
+        (by_task[(c.name, "baseline")], by_task[(c.name, coolair_system)])
+        for c in climates
     ]
     coordinates = [(c.latitude, c.longitude) for c in climates]
     return summarize_world(pairs, coordinates)

@@ -9,13 +9,18 @@ Times the three hot layers of a CoolAir simulation:
 * **end to end** — one full simulated day, and a year-style sample of
   seasonally spread days, under the All-ND CoolAir version on smooth
   hardware at Newark (the configuration the paper's Figures 8-10 sweep
-  runs thousands of times).
+  runs thousands of times);
+* **lane batches** — ``world_chunk`` and ``matrix``: worker-sized groups
+  of (climate, system) year runs stepped in lockstep by the lane engine
+  (:mod:`repro.sim.lanes`), measured against a recorded baseline that ran
+  the identical scenarios through the scalar path one at a time.
 
 Medians over repeated runs land in ``BENCH_sim_core.json`` next to the
 recorded pre-PR baseline (``benchmarks/perf/baseline_sim_core.json``), so
-speedups and regressions are visible across PRs.  ``--profile`` wraps the
-day simulation in cProfile and prints the top functions by cumulative
-time — the map for finding the next hot spot.
+speedups and regressions are visible across PRs; every run also appends a
+line (git revision, label, medians) to ``benchmarks/perf/history.jsonl``.
+``--profile`` wraps the day simulation in cProfile and prints the top
+functions by cumulative time — the map for finding the next hot spot.
 
 See ``docs/PERFORMANCE.md`` for the workflow.
 """
@@ -27,6 +32,7 @@ import io
 import json
 import pstats
 import statistics
+import subprocess
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -39,7 +45,7 @@ from repro.cooling.regimes import CoolingMode
 from repro.physics.thermal import PlantInputs, ThermalPlant
 from repro.sim.campaign import trained_cooling_model
 from repro.sim.engine import CoolAirAdapter, DayRunner, ProfileWorkload, make_smoothsim
-from repro.weather.locations import NAMED_LOCATIONS
+from repro.weather.locations import NAMED_LOCATIONS, world_grid
 from repro.workload.traces import FacebookTraceGenerator
 
 SCHEMA_VERSION = 1
@@ -48,11 +54,26 @@ SCHEMA_VERSION = 1
 # pre-PR baseline it is compared against.
 DEFAULT_OUTPUT = "BENCH_sim_core.json"
 DEFAULT_BASELINE = Path("benchmarks") / "perf" / "baseline_sim_core.json"
+DEFAULT_HISTORY = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "perf"
+    / "history.jsonl"
+)
 
 BENCH_LOCATION = "Newark"
 BENCH_SYSTEM = "All-ND"
 BENCH_DAY = 182
 YEAR_SAMPLE_DAYS = (30, 120, 210, 300)
+
+# Lane-engine benchmark scenarios (see bench_world_chunk / bench_matrix):
+# sampled seasonally spread days of mixed (system, climate) year runs, the
+# unit of work the campaign runner hands each worker.
+CHUNK_SAMPLE_EVERY_DAYS = 180
+CHUNK_TRACE_JOBS = 400
+CHUNK_WORLD_GRID = 24
+CHUNK_WORLD_STRIDE = 6
+MATRIX_LOCATIONS = ("Newark", "Chad")
 
 
 def _median_time(func: Callable[[], object], repeats: int) -> float:
@@ -183,6 +204,76 @@ def bench_year_sample(model: CoolingModel, repeats: int = 2) -> Dict[str, float]
     }
 
 
+def _lane_chunk_factory(
+    model: CoolingModel, climates, sample_every_days: int
+) -> Callable[[], object]:
+    """A runnable (climates x {baseline, All-ND}) lane batch."""
+    from repro.sim.lanes import LaneScenario, run_year_lanes
+
+    trace = FacebookTraceGenerator(num_jobs=CHUNK_TRACE_JOBS, seed=42).generate()
+    scenarios = []
+    for climate in climates:
+        scenarios.append(
+            LaneScenario(system="baseline", climate=climate, trace=trace)
+        )
+        scenarios.append(
+            LaneScenario(
+                system=ALL_VERSIONS[BENCH_SYSTEM](),
+                climate=climate,
+                trace=trace,
+            )
+        )
+
+    def run() -> object:
+        return run_year_lanes(
+            scenarios, model=model, sample_every_days=sample_every_days
+        )
+
+    return run
+
+
+def bench_world_chunk(
+    model: CoolingModel, repeats: int = 3, quick: bool = False
+) -> Dict[str, float]:
+    """A worker-sized chunk of the Figures 12/13 world sweep, lane-batched.
+
+    Eight (climate, system) year runs — a 6-stride sample of the 24-point
+    world grid, baseline and All-ND each — stepped in lockstep over three
+    seasonally spread days.  This is the headline lane-engine benchmark:
+    the recorded baseline ran the same scenarios through the scalar
+    reference path one at a time.
+    """
+    climates = world_grid(CHUNK_WORLD_GRID)[::CHUNK_WORLD_STRIDE]
+    if quick:
+        climates = climates[:1]
+    run = _lane_chunk_factory(model, climates, CHUNK_SAMPLE_EVERY_DAYS)
+    run()  # warm TMY/forecast caches so repeats time the simulation
+    median_s = _median_time(run, repeats)
+    lanes = 2 * len(climates)
+    return {
+        "median_s": median_s,
+        "lanes": lanes,
+        "s_per_lane": median_s / lanes,
+    }
+
+
+def bench_matrix(
+    model: CoolingModel, repeats: int = 3, quick: bool = False
+) -> Dict[str, float]:
+    """A matrix-style chunk: two named locations x {baseline, All-ND}."""
+    locations = MATRIX_LOCATIONS[:1] if quick else MATRIX_LOCATIONS
+    climates = [NAMED_LOCATIONS[name] for name in locations]
+    run = _lane_chunk_factory(model, climates, CHUNK_SAMPLE_EVERY_DAYS)
+    run()
+    median_s = _median_time(run, repeats)
+    lanes = 2 * len(climates)
+    return {
+        "median_s": median_s,
+        "lanes": lanes,
+        "s_per_lane": median_s / lanes,
+    }
+
+
 # -- the suite ----------------------------------------------------------------
 
 
@@ -199,11 +290,14 @@ def run_bench(
             model, decisions=10, repeats=1
         )
         results["day_sim"] = bench_day_sim(model, repeats=1)
+        results["world_chunk"] = bench_world_chunk(model, repeats=1, quick=True)
     else:
         results["plant_step"] = bench_plant_step()
         results["optimizer_decision"] = bench_optimizer_decision(model)
         results["day_sim"] = bench_day_sim(model)
         results["year_sample"] = bench_year_sample(model)
+        results["world_chunk"] = bench_world_chunk(model)
+        results["matrix"] = bench_matrix(model)
     return results
 
 
@@ -273,6 +367,50 @@ def write_report(
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
+
+
+def git_revision() -> str:
+    """The current short git revision, or ``"unknown"`` outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parents[3],
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def append_history(
+    payload: Dict, label: str = "", path: Path = DEFAULT_HISTORY
+) -> Dict:
+    """Append one benchmark run to the perf history (JSON Lines).
+
+    Each ``python -m repro bench`` invocation lands here with the git
+    revision it ran at, so the benchmark trajectory across PRs is a
+    greppable, append-only log rather than a single overwritten file.
+    """
+    entry = {
+        "recorded_unix_s": payload.get("recorded_unix_s"),
+        "git_rev": git_revision(),
+        "label": label,
+        "quick": bool(payload.get("quick")),
+        "medians_s": {
+            name: result.get("median_s")
+            for name, result in payload.get("results", {}).items()
+        },
+        "speedup_vs_baseline": payload.get("speedup_vs_baseline", {}),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
 
 
 def format_report(payload: Dict) -> str:

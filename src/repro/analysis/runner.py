@@ -77,6 +77,17 @@ def resolve_workers(requested: Optional[int] = None) -> int:
     return requested
 
 
+def resolve_lanes(requested: Optional[int] = None) -> int:
+    """Lanes per lockstep batch: explicit argument > ``REPRO_LANES``."""
+    from repro.analysis import experiments
+
+    if requested is None:
+        requested = experiments.DEFAULT_LANES
+    if requested < 1:
+        raise ReproError(f"lane count must be >= 1, got {requested}")
+    return requested
+
+
 def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
     from repro.analysis import experiments
 
@@ -97,6 +108,69 @@ def _execute_task_payload(task: YearTask, use_disk_cache: bool) -> dict:
 
     result = _run_task(task, use_disk_cache)
     return experiments._result_to_json(result)
+
+
+def _run_lane_chunk(
+    chunk: Sequence[YearTask], use_disk_cache: bool
+) -> List[YearResult]:
+    """Run a chunk of cells as one lockstep lane batch.
+
+    All tasks in a chunk must share (and do, by construction in
+    :func:`run_year_tasks`) the same day-sampling stride; systems,
+    climates, workloads, and forecast biases mix freely across lanes.
+    Each lane's result is bit-identical to its scalar run and is stored
+    under its own cache key.
+    """
+    from repro.analysis import experiments
+    from repro.sim.campaign import trained_cooling_model
+    from repro.sim.lanes import LaneScenario, run_year_lanes
+
+    sample = chunk[0].sample_every_days or experiments.DEFAULT_SAMPLE_DAYS
+    scenarios = []
+    needs_model = False
+    for task in chunk:
+        system, _ = experiments._resolve_system(task.system)
+        if not isinstance(system, str):
+            needs_model = True
+        trace = (
+            experiments.facebook_trace(task.deferrable)
+            if task.workload == "facebook"
+            else experiments.nutch_trace(task.deferrable)
+        )
+        scenarios.append(
+            LaneScenario(
+                system=system,
+                climate=task.climate,
+                trace=trace,
+                forecast_bias_c=task.forecast_bias_c,
+            )
+        )
+    model = trained_cooling_model() if needs_model else None
+    results = run_year_lanes(scenarios, model=model, sample_every_days=sample)
+    for task, result in zip(chunk, results):
+        key = experiments.cache_key(
+            task.system,
+            task.climate,
+            task.workload,
+            task.deferrable,
+            task.sample_every_days,
+            task.forecast_bias_c,
+            "lanes",
+        )
+        experiments.store_result(key, result, use_disk_cache)
+    return results
+
+
+def _execute_lane_chunk_payload(
+    chunk: Sequence[YearTask], use_disk_cache: bool
+) -> List[dict]:
+    """Worker entry point: run a lane chunk, return JSON payloads."""
+    from repro.analysis import experiments
+
+    return [
+        experiments._result_to_json(result)
+        for result in _run_lane_chunk(chunk, use_disk_cache)
+    ]
 
 
 def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
@@ -126,16 +200,22 @@ def run_year_tasks(
     workers: Optional[int] = None,
     use_disk_cache: bool = True,
     progress: Optional[ProgressCallback] = None,
+    lanes: Optional[int] = None,
 ) -> List[YearResult]:
     """Run a batch of campaign cells, in parallel where possible.
 
     Returns one :class:`YearResult` per task, in task order.  Cached
     cells never reach the pool; with ``workers=1`` everything runs
-    in-process.
+    in-process.  ``lanes`` (default ``REPRO_LANES``) batches uncached
+    cells into lockstep lane groups for the lane-batched engine —
+    composing with the process pool as workers x lanes — and ``lanes=1``
+    (or ``REPRO_SIM_ENGINE=scalar``) restores strictly per-cell runs.
+    Results are bit-identical however the work is split.
     """
     from repro.analysis import experiments
 
     workers = resolve_workers(workers)
+    lanes = resolve_lanes(lanes)
     results: List[Optional[YearResult]] = [None] * len(tasks)
     done = 0
 
@@ -162,33 +242,85 @@ def run_year_tasks(
         else:
             pending.append(index)
 
-    if workers == 1 or len(pending) <= 1:
+    # Partition the uncached cells: lane-engine-compatible cells group by
+    # sampling stride (a lane batch steps all lanes over the same days);
+    # everything else — exotic-timing configs, the scalar engine, lanes=1
+    # — runs one cell at a time.
+    singles: List[int] = []
+    lane_groups: dict = {}
+    if lanes > 1:
         for index in pending:
+            system, _ = experiments._resolve_system(tasks[index].system)
+            if experiments.effective_engine(system) == "lanes":
+                sample = (
+                    tasks[index].sample_every_days
+                    or experiments.DEFAULT_SAMPLE_DAYS
+                )
+                lane_groups.setdefault(sample, []).append(index)
+            else:
+                singles.append(index)
+    else:
+        singles = list(pending)
+
+    chunks: List[List[int]] = []
+    for indices in lane_groups.values():
+        # Spread each group across the workers before filling lanes, so a
+        # single over-full batch never starves process parallelism.
+        size = max(1, min(lanes, -(-len(indices) // workers)))
+        for i in range(0, len(indices), size):
+            chunks.append(indices[i : i + size])
+
+    if workers == 1 or (len(singles) + len(chunks)) <= 1:
+        for chunk in chunks:
+            chunk_results = _run_lane_chunk(
+                [tasks[i] for i in chunk], use_disk_cache
+            )
+            for index, result in zip(chunk, chunk_results):
+                results[index] = result
+                tick(tasks[index])
+        for index in singles:
             results[index] = _run_task(tasks[index], use_disk_cache)
             tick(tasks[index])
         return results  # type: ignore[return-value]
 
     _warm_shared_state([tasks[i] for i in pending])
-    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-        futures = {
-            pool.submit(_execute_task_payload, tasks[i], use_disk_cache): i
-            for i in pending
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            task = tasks[index]
-            result = experiments._result_from_json(future.result())
-            # Workers already wrote the disk entry; seed this process's
-            # memory cache so later lookups hit.
-            key = experiments.cache_key(
-                task.system,
-                task.climate,
-                task.workload,
-                task.deferrable,
-                task.sample_every_days,
-                task.forecast_bias_c,
+    max_workers = min(workers, len(singles) + len(chunks))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures: dict = {}
+        for chunk in chunks:
+            future = pool.submit(
+                _execute_lane_chunk_payload,
+                [tasks[i] for i in chunk],
+                use_disk_cache,
             )
-            experiments.store_result(key, result, use_disk_cache=False)
-            results[index] = result
-            tick(task)
+            futures[future] = chunk
+        for index in singles:
+            future = pool.submit(
+                _execute_task_payload, tasks[index], use_disk_cache
+            )
+            futures[future] = index
+        for future in as_completed(futures):
+            target = futures[future]
+            indices = target if isinstance(target, list) else [target]
+            payloads = (
+                future.result()
+                if isinstance(target, list)
+                else [future.result()]
+            )
+            for index, payload in zip(indices, payloads):
+                task = tasks[index]
+                result = experiments._result_from_json(payload)
+                # Workers already wrote the disk entry; seed this
+                # process's memory cache so later lookups hit.
+                key = experiments.cache_key(
+                    task.system,
+                    task.climate,
+                    task.workload,
+                    task.deferrable,
+                    task.sample_every_days,
+                    task.forecast_bias_c,
+                )
+                experiments.store_result(key, result, use_disk_cache=False)
+                results[index] = result
+                tick(task)
     return results  # type: ignore[return-value]

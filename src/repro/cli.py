@@ -13,8 +13,10 @@ Subcommands mirror the workflows a datacenter operator would run:
 * ``bench``     — time the simulation core and write ``BENCH_sim_core.json``.
 
 ``matrix`` and ``world`` fan out over worker processes (``--workers`` /
-``REPRO_WORKERS``; see ``docs/EXPERIMENTS.md``) and reuse the on-disk
-result cache under ``.cache/``.
+``REPRO_WORKERS``) with ``--lanes`` / ``REPRO_LANES`` scenarios stepped in
+lockstep per worker by the lane-batched engine (see
+``docs/EXPERIMENTS.md``), and reuse the on-disk result cache under
+``.cache/``.
 """
 
 from __future__ import annotations
@@ -200,6 +202,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         workload=args.workload,
         sample_every_days=args.sample_days,
         workers=workers,
+        lanes=args.lanes,
         progress=None if args.quiet else _progress,
     )
     rows = []
@@ -233,6 +236,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     print(profiling.format_report(payload))
     print(f"wrote {args.output}")
+    if not args.no_history:
+        entry = profiling.append_history(payload, label=args.label)
+        print(
+            f"appended run @ {entry['git_rev']} to "
+            f"{profiling.DEFAULT_HISTORY}"
+        )
     if args.profile:
         print(profiling.profile_day_sim(model=model, top_n=args.profile_top))
     return 0
@@ -243,6 +252,7 @@ def cmd_world(args: argparse.Namespace) -> int:
     summary = world_sweep(
         num_locations=args.locations,
         workers=workers,
+        lanes=args.lanes,
         progress=None if args.quiet else _progress,
     )
     print(format_table(
@@ -306,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stride between simulated days (7 = paper)")
     matrix.add_argument("--workers", type=int, default=None,
                         help="worker processes (default REPRO_WORKERS or CPUs)")
+    matrix.add_argument("--lanes", type=int, default=None,
+                        help="scenarios stepped in lockstep per worker "
+                             "(default REPRO_LANES; 1 = per-cell runs)")
     matrix.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress on stderr")
 
@@ -315,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="world-grid size (1520 = paper)")
     world.add_argument("--workers", type=int, default=None,
                        help="worker processes (default REPRO_WORKERS or CPUs)")
+    world.add_argument("--lanes", type=int, default=None,
+                       help="scenarios stepped in lockstep per worker "
+                            "(default REPRO_LANES; 1 = per-cell runs)")
     world.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
 
@@ -332,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", default=None,
                        help="recorded baseline JSON to compare against "
                             "(default benchmarks/perf/baseline_sim_core.json)")
+    bench.add_argument("--label", default="",
+                       help="free-form label recorded with this run in "
+                            "benchmarks/perf/history.jsonl")
+    bench.add_argument("--no-history", action="store_true",
+                       help="skip appending this run to the perf history")
     return parser
 
 

@@ -14,9 +14,18 @@ dehumidifies) when it is too warm to close.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import constants
 from repro.cooling.regimes import CoolingCommand, CoolingMode
-from repro.cooling.tks import TKSConfig, TKSController
+from repro.cooling.tks import (
+    LANE_CMD_AC_ON,
+    LANE_CMD_CLOSED,
+    LANE_CMD_FREE_COOLING,
+    LaneTKSController,
+    TKSConfig,
+    TKSController,
+)
 
 
 class BaselineController:
@@ -58,3 +67,48 @@ class BaselineController:
                 return CoolingCommand.closed()
             return CoolingCommand.ac(compressor_duty=1.0)
         return command
+
+
+class LaneBaselineController:
+    """Vectorized :class:`BaselineController` over a batch of lanes.
+
+    The TKS decision and the humidity override are both computed with
+    boolean masks; per lane the result is bit-identical to a scalar
+    :class:`BaselineController` fed that lane's sensor readings.
+    """
+
+    def __init__(
+        self,
+        num_lanes: int,
+        setpoint_c: float = constants.DEFAULT_MAX_C,
+        max_rh_pct: float = constants.DEFAULT_MAX_RH_PCT,
+        tks_config: TKSConfig = None,
+    ) -> None:
+        config = tks_config or TKSConfig()
+        config.setpoint_c = setpoint_c
+        self.tks = LaneTKSController(num_lanes, config)
+        self.max_rh_pct = max_rh_pct
+
+    def decide(
+        self,
+        control_temp_c: np.ndarray,
+        outside_temp_c: np.ndarray,
+        cold_aisle_rh_pct: np.ndarray,
+        outside_rh_pct: np.ndarray,
+    ):
+        """Per-lane ``(command codes, fc fan speeds)`` with RH override."""
+        codes, speeds = self.tks.decide(control_temp_c, outside_temp_c)
+        override = (
+            (codes == LANE_CMD_FREE_COOLING)
+            & (cold_aisle_rh_pct > self.max_rh_pct)
+            & (outside_rh_pct > self.max_rh_pct)
+        )
+        if np.any(override):
+            sp = self.tks.config.setpoint_c
+            codes = np.where(
+                override,
+                np.where(control_temp_c < sp, LANE_CMD_CLOSED, LANE_CMD_AC_ON),
+                codes,
+            )
+            speeds = np.where(override, 0.0, speeds)
+        return codes, speeds

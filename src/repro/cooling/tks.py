@@ -18,9 +18,18 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro import constants
 from repro.cooling.regimes import CoolingCommand, CoolingMode
 from repro.errors import ConfigError
+
+# Integer command codes for the lane-batched controller: a CoolingCommand
+# collapsed to what the baseline can emit (FC speed travels separately).
+LANE_CMD_CLOSED = 0
+LANE_CMD_FREE_COOLING = 1
+LANE_CMD_AC_FAN = 2  # CoolingCommand.ac(compressor_duty=0.0)
+LANE_CMD_AC_ON = 3  # CoolingCommand.ac(compressor_duty=1.0)
 
 
 @dataclasses.dataclass
@@ -102,3 +111,85 @@ class TKSController:
             return CoolingCommand.closed()
         speed = self._fan_speed(control_temp_c, outside_temp_c)
         return CoolingCommand.free_cooling(speed)
+
+
+class LaneTKSController:
+    """Vectorized :class:`TKSController`: one decision array per epoch.
+
+    All lanes share one :class:`TKSConfig`; the HOT/LOT and compressor
+    latches are boolean arrays so lanes flip modes independently.  Each
+    mask update reproduces the scalar controller's ``if``/``elif``
+    semantics exactly (a lane leaving HOT mode cannot re-enter it within
+    the same decision), and the fan-speed law is the elementwise mirror of
+    :meth:`TKSController._fan_speed` — decisions are bit-identical per
+    lane to a scalar controller fed that lane's readings.
+    """
+
+    def __init__(self, num_lanes: int, config: TKSConfig = None) -> None:
+        if num_lanes < 1:
+            raise ConfigError("num_lanes must be >= 1")
+        self.config = config or TKSConfig()
+        self.num_lanes = num_lanes
+        self._hot_mode = np.zeros(num_lanes, dtype=bool)
+        self._compressor_on = np.zeros(num_lanes, dtype=bool)
+
+    @property
+    def in_hot_mode(self) -> np.ndarray:
+        return self._hot_mode.copy()
+
+    def _update_mode(self, outside_temp_c: np.ndarray) -> None:
+        sp = self.config.setpoint_c
+        h = self.config.hysteresis_c
+        # if hot and cold-enough: leave HOT; elif not hot and warm-enough:
+        # enter HOT.  The two masks are disjoint by construction (one needs
+        # the latch set, the other clear), preserving the elif.
+        turn_off = self._hot_mode & (outside_temp_c < sp - h)
+        turn_on = ~self._hot_mode & (outside_temp_c > sp + h)
+        self._hot_mode[turn_off] = False
+        self._hot_mode[turn_on] = True
+
+    def _fan_speed(
+        self, control_temp_c: np.ndarray, outside_temp_c: np.ndarray
+    ) -> np.ndarray:
+        gap = control_temp_c - outside_temp_c
+        fraction = np.minimum(1.0, gap / (2.0 * self.config.band_c))
+        speed = 1.0 - (1.0 - self.config.min_fan_speed) * fraction
+        speed = np.maximum(
+            self.config.min_fan_speed, np.minimum(1.0, speed)
+        )
+        # Outside warmer than inside: free cooling only helps flat out.
+        return np.where(gap <= 0.0, 1.0, speed)
+
+    def decide(
+        self, control_temp_c: np.ndarray, outside_temp_c: np.ndarray
+    ):
+        """Per-lane decisions: ``(command codes, fc fan speeds)``."""
+        self._update_mode(outside_temp_c)
+        sp = self.config.setpoint_c
+        hot = self._hot_mode
+
+        # HOT lanes: compressor cycling (disjoint latch updates again).
+        comp_off = hot & self._compressor_on & (
+            control_temp_c < sp - self.config.ac_cycle_low_offset_c
+        )
+        comp_on = hot & ~self._compressor_on & (control_temp_c > sp)
+        self._compressor_on[comp_off] = False
+        self._compressor_on[comp_on] = True
+        # LOT lanes clear the compressor latch.
+        self._compressor_on[~hot] = False
+
+        codes = np.where(
+            hot,
+            np.where(self._compressor_on, LANE_CMD_AC_ON, LANE_CMD_AC_FAN),
+            np.where(
+                control_temp_c < sp - self.config.band_c,
+                LANE_CMD_CLOSED,
+                LANE_CMD_FREE_COOLING,
+            ),
+        )
+        speeds = np.where(
+            codes == LANE_CMD_FREE_COOLING,
+            self._fan_speed(control_temp_c, outside_temp_c),
+            0.0,
+        )
+        return codes, speeds

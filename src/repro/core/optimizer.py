@@ -12,6 +12,8 @@ from __future__ import annotations
 import functools
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cooling.regimes import CoolingCommand, CoolingMode
 from repro.core.band import TemperatureBand
 from repro.core.config import CoolAirConfig
@@ -139,11 +141,6 @@ class CoolingOptimizer:
         of all active pods" (Section 3.2); None scores every sensor.
         """
         steps = self.config.steps_per_control_period
-        horizon_s = float(self.config.control_period_s)
-        best_command: Optional[CoolingCommand] = None
-        best_key: Optional[Tuple[float, float, int]] = None
-        self.last_scores = []
-
         candidates = self._candidates(state, band)
         if self.use_batched:
             predictions = self.predictor.predict_batch(state, candidates, steps)
@@ -152,6 +149,29 @@ class CoolingOptimizer:
                 self.predictor.predict(state, command, steps)
                 for command in candidates
             ]
+        return self.decide_from_predictions(
+            state, band, candidates, predictions, active_sensor_indices
+        )
+
+    def decide_from_predictions(
+        self,
+        state: PredictorState,
+        band: TemperatureBand,
+        candidates: Sequence[CoolingCommand],
+        predictions: Sequence,
+        active_sensor_indices: Optional[Sequence[int]] = None,
+    ) -> CoolingCommand:
+        """Score precomputed candidate predictions and select the winner.
+
+        Split out of :meth:`decide` so the lane-batched engine, which runs
+        the predictor rollouts for many lanes at once, funnels each lane's
+        predictions through exactly this scoring and tie-break code.
+        """
+        horizon_s = float(self.config.control_period_s)
+        best_command: Optional[CoolingCommand] = None
+        best_key: Optional[Tuple[float, float, int]] = None
+        self.last_scores = []
+
         if active_sensor_indices is not None:
             indices = list(active_sensor_indices)
             predictions = [
@@ -179,6 +199,59 @@ class CoolingOptimizer:
             self.last_scores.append((command, score))
             same_mode = 0 if command.mode is state.mode else 1
             key = (round(score, 6), prediction.cooling_energy_kwh, same_mode)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_command = command
+
+        assert best_command is not None
+        return best_command
+
+    def decide_from_stacked(
+        self,
+        state: PredictorState,
+        band: TemperatureBand,
+        candidates: Sequence[CoolingCommand],
+        temps: "np.ndarray",
+        rh: "np.ndarray",
+        energies: Sequence[float],
+        ac_full: Sequence[bool],
+        active_sensor_indices: Optional[Sequence[int]] = None,
+    ) -> CoolingCommand:
+        """:meth:`decide_from_predictions` on pre-stacked prediction arrays.
+
+        ``temps`` is (candidates, steps, sensors) and ``rh`` (candidates,
+        steps) — the lane engine's :meth:`CoolingPredictor
+        .predict_lanes_stacked` output.  The active-sensor restriction is a
+        single gather here (``temps[:, :, indices]`` holds exactly the
+        values the per-candidate rebuild produces), and scoring goes
+        through :meth:`UtilityFunction.score_arrays`, the same tensor code
+        ``score_batch`` uses after stacking.  Selection and tie-breaking
+        are the same key comparison as the reference path.
+        """
+        horizon_s = float(self.config.control_period_s)
+        best_command: Optional[CoolingCommand] = None
+        best_key: Optional[Tuple[float, float, int]] = None
+        self.last_scores = []
+
+        if active_sensor_indices is not None:
+            indices = list(active_sensor_indices)
+            temps = temps[:, :, indices]
+            current = [state.sensor_temps_c[i] for i in indices]
+        else:
+            current = list(state.sensor_temps_c)
+        scores = self.utility.score_arrays(
+            temps,
+            rh,
+            np.asarray(energies),
+            np.asarray(ac_full),
+            band,
+            current,
+            horizon_s,
+        )
+        for command, energy, score in zip(candidates, energies, scores):
+            self.last_scores.append((command, score))
+            same_mode = 0 if command.mode is state.mode else 1
+            key = (round(score, 6), energy, same_mode)
             if best_key is None or key < best_key:
                 best_key = key
                 best_command = command

@@ -15,7 +15,7 @@ compressor-on and compressor-off models, weighted by compressor duty.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -166,63 +166,7 @@ class CoolingPredictor:
             return []
 
         num_cands = len(commands)
-        # The expansion below (row layout, regime keys, humidity model
-        # params) depends only on (current mode, candidate set) — both
-        # recur every control period, so build the plan once.
-        plan_key = (state.mode, tuple(commands))
-        plan = self._batch_plans.get(plan_key)
-        if plan is None:
-            duties = [c.ac_compressor_duty for c in commands]
-            fans = np.array([c.fc_fan_speed for c in commands])
-
-            # Variable-duty AC candidates evaluate both the compressor-on
-            # and compressor-off models each step; every other candidate is
-            # one row.
-            blended = [
-                c.mode is CoolingMode.AC_ON and 0.0 < duties[i] < 1.0
-                for i, c in enumerate(commands)
-            ]
-            row_cand: List[int] = []
-            row_target: List[CoolingMode] = []
-            for i, cmd in enumerate(commands):
-                if blended[i]:
-                    row_cand.extend((i, i))
-                    row_target.extend((CoolingMode.AC_ON, CoolingMode.AC_FAN))
-                else:
-                    row_cand.append(i)
-                    row_target.append(cmd.mode)
-            row_index = np.asarray(row_cand)
-            # Regime keys differ only between the first (transition) step
-            # and the steady remainder, so two stacked-coefficient lookups.
-            keys_first = tuple(regime_key(state.mode, t) for t in row_target)
-            keys_steady = tuple(
-                regime_key(commands[c].mode, t)
-                for c, t in zip(row_cand, row_target)
-            )
-            hum_first = [
-                (m.intercept, m.coefficients)
-                for m in (
-                    self.model.resolved_humidity_model(k) for k in keys_first
-                )
-            ]
-            hum_steady = [
-                (m.intercept, m.coefficients)
-                for m in (
-                    self.model.resolved_humidity_model(k) for k in keys_steady
-                )
-            ]
-            plan = (
-                duties,
-                fans,
-                blended,
-                row_index,
-                fans[row_index],
-                keys_first,
-                keys_steady,
-                hum_first,
-                hum_steady,
-            )
-            self._batch_plans[plan_key] = plan
+        plan = self._get_plan(state.mode, tuple(commands))
         (
             duties,
             fans,
@@ -233,7 +177,7 @@ class CoolingPredictor:
             keys_steady,
             hum_first,
             hum_steady,
-        ) = plan
+        ) = plan[:9]
 
         temps = np.tile(np.array(state.sensor_temps_c, dtype=float), (num_cands, 1))
         prev_temps = np.tile(
@@ -333,6 +277,408 @@ class CoolingPredictor:
                 )
             )
         return predictions
+
+    def _get_plan(self, mode: CoolingMode, commands: Tuple[CoolingCommand, ...]):
+        """Row layout / regime keys / humidity params for one candidate set.
+
+        The expansion depends only on (current mode, candidate set) — both
+        recur every control period, so the plan is built once and cached.
+        """
+        plan_key = (mode, commands)
+        plan = self._batch_plans.get(plan_key)
+        if plan is not None:
+            return plan
+        duties = [c.ac_compressor_duty for c in commands]
+        fans = np.array([c.fc_fan_speed for c in commands])
+
+        # Variable-duty AC candidates evaluate both the compressor-on
+        # and compressor-off models each step; every other candidate is
+        # one row.
+        blended = [
+            c.mode is CoolingMode.AC_ON and 0.0 < duties[i] < 1.0
+            for i, c in enumerate(commands)
+        ]
+        row_cand: List[int] = []
+        row_target: List[CoolingMode] = []
+        for i, cmd in enumerate(commands):
+            if blended[i]:
+                row_cand.extend((i, i))
+                row_target.extend((CoolingMode.AC_ON, CoolingMode.AC_FAN))
+            else:
+                row_cand.append(i)
+                row_target.append(cmd.mode)
+        row_index = np.asarray(row_cand)
+        # Regime keys differ only between the first (transition) step
+        # and the steady remainder, so two stacked-coefficient lookups.
+        keys_first = tuple(regime_key(mode, t) for t in row_target)
+        keys_steady = tuple(
+            regime_key(commands[c].mode, t)
+            for c, t in zip(row_cand, row_target)
+        )
+        hum_first = [
+            (m.intercept, m.coefficients)
+            for m in (
+                self.model.resolved_humidity_model(k) for k in keys_first
+            )
+        ]
+        hum_steady = [
+            (m.intercept, m.coefficients)
+            for m in (
+                self.model.resolved_humidity_model(k) for k in keys_steady
+            )
+        ]
+        # Stacked forms of the humidity models and the duty-blend weights
+        # for the lane path: weights are duty / (1 - duty) on a blended
+        # pair's rows and 1.0 elsewhere (1.0 * x passes through exactly),
+        # and `starts` marks each candidate's first row for reduceat.
+        hum_b0_first = np.array([b0 for b0, _ in hum_first])
+        hum_coef_first = np.stack([c for _, c in hum_first])
+        hum_b0_steady = np.array([b0 for b0, _ in hum_steady])
+        hum_coef_steady = np.stack([c for _, c in hum_steady])
+        weights = np.ones(len(row_cand))
+        starts = np.empty(len(commands), dtype=np.intp)
+        row = 0
+        for i in range(len(commands)):
+            starts[i] = row
+            if blended[i]:
+                weights[row] = duties[i]
+                weights[row + 1] = 1.0 - duties[i]
+                row += 2
+            else:
+                row += 1
+        plan = (
+            duties,
+            fans,
+            blended,
+            row_index,
+            fans[row_index],
+            keys_first,
+            keys_steady,
+            hum_first,
+            hum_steady,
+            hum_b0_first,
+            hum_coef_first,
+            hum_b0_steady,
+            hum_coef_steady,
+            weights,
+            starts,
+        )
+        self._batch_plans[plan_key] = plan
+        return plan
+
+    def predict_lanes(
+        self,
+        states: Sequence[PredictorState],
+        commands_per_lane: Sequence[Sequence[CoolingCommand]],
+        steps: int,
+    ) -> List[List[RegimePrediction]]:
+        """Candidate rollouts for many lanes as RegimePrediction objects.
+
+        Returns exactly ``[self.predict_batch(s, c, steps) for s, c in
+        zip(states, commands_per_lane)]`` — bit-identical per lane.  Thin
+        assembly over :meth:`predict_lanes_stacked`; the lane engine calls
+        the stacked form directly and skips the per-candidate objects.
+        """
+        stacked = self.predict_lanes_stacked(states, commands_per_lane, steps)
+        results: List[List[RegimePrediction]] = []
+        for (temps, rh, energies, ac_full), commands in zip(
+            stacked, commands_per_lane
+        ):
+            results.append(
+                [
+                    RegimePrediction(
+                        sensor_temps_c=temps[i].copy(),
+                        rh_pct=rh[i].copy(),
+                        cooling_energy_kwh=energies[i],
+                        ac_at_full_speed=ac_full[i],
+                    )
+                    for i in range(len(commands))
+                ]
+            )
+        return results
+
+    def predict_lanes_stacked(
+        self,
+        states: Sequence[PredictorState],
+        commands_per_lane: Sequence[Sequence[CoolingCommand]],
+        steps: int,
+    ):
+        """Candidate rollouts for many independent lanes in one pass.
+
+        Per lane, returns ``(temps, rh, energies, ac_full)`` with ``temps``
+        shaped (candidates, steps, sensors) and ``rh`` (candidates, steps)
+        — exactly the arrays ``score_batch`` would stack from that lane's
+        :meth:`predict_batch` output, bit-identical element for element.
+        Every lane's candidate rows are concatenated into one feature
+        tensor so each rollout step costs a single einsum for the whole
+        batch; the ``'rsf,rsf->rs'`` contraction is row-independent, so
+        concatenating rows across lanes cannot perturb any lane's values.
+        Duty blending and the humidity rollout are cross-lane vectorized
+        with verified bit-stable kernels (weighted ``reduceat`` segments,
+        batched matmul row-dots).
+        """
+        if steps < 1:
+            raise ConfigError("steps must be >= 1")
+        num_lanes = len(states)
+        if num_lanes != len(commands_per_lane):
+            raise ConfigError("one candidate list per lane required")
+        num_sensors = self.model.num_sensors
+        for state in states:
+            if len(state.sensor_temps_c) != num_sensors:
+                raise ConfigError(
+                    f"state has {len(state.sensor_temps_c)} sensors, model "
+                    f"expects {num_sensors}"
+                )
+
+        plans = [
+            self._get_plan(state.mode, tuple(commands))
+            for state, commands in zip(states, commands_per_lane)
+        ]
+
+        # Global (cross-lane) candidate and row bookkeeping.  Everything
+        # below is either a gather of exact values or an elementwise /
+        # row-wise operation, so stacking lanes never mixes their numerics.
+        # It all derives from the per-lane plans alone (plan objects are
+        # cached for the predictor's lifetime, so their ids are stable
+        # keys), and lane batches revisit the same handful of plan combos
+        # every control period — cache the assembled bookkeeping per combo.
+        cache = getattr(self, "_lane_combo_cache", None)
+        if cache is None:
+            cache = {}
+            self._lane_combo_cache = cache
+        combo_key = (steps, *map(id, plans))
+        entry = cache.get(combo_key)
+        if entry is None:
+            cand_counts = np.array([len(c) for c in commands_per_lane])
+            cand_offsets = np.concatenate(([0], np.cumsum(cand_counts)))
+            total_cands = int(cand_offsets[-1])
+            row_counts = np.array([plan[4].shape[0] for plan in plans])
+            row_offsets = np.concatenate(([0], np.cumsum(row_counts)))
+            total_rows = int(row_offsets[-1])
+            cand_slices = [
+                slice(int(cand_offsets[i]), int(cand_offsets[i + 1]))
+                for i in range(num_lanes)
+            ]
+
+            # Row -> global candidate index, per-row fan speeds, and the
+            # duty blend weights (duty / 1-duty on a blended pair, 1.0
+            # elsewhere; 1.0 * x is exact, so unblended rows pass through
+            # untouched).
+            global_row_index = np.concatenate(
+                [
+                    plans[lane][3] + int(cand_offsets[lane])
+                    for lane in range(num_lanes)
+                ]
+            )
+            fans_rows_all = np.concatenate([plan[4] for plan in plans])
+            weights = np.concatenate([plan[13] for plan in plans])
+            starts = np.concatenate(
+                [
+                    plans[lane][14] + int(row_offsets[lane])
+                    for lane in range(num_lanes)
+                ]
+            )
+
+            # Stacked humidity models (per row), per-candidate fan speeds,
+            # and the transition/steady temperature model tensors for the
+            # whole batch (each lane's stack is itself cached by key tuple).
+            hum_b0_first = np.concatenate([plan[9] for plan in plans])
+            hum_coef_first = np.concatenate([plan[10] for plan in plans])
+            hum_b0_steady = np.concatenate([plan[11] for plan in plans])
+            hum_coef_steady = np.concatenate([plan[12] for plan in plans])
+            fan_cands = np.concatenate([plan[1] for plan in plans])
+            model_first = [
+                self.model.batched_vectorized(plan[5]) for plan in plans
+            ]
+            model_steady = [
+                self.model.batched_vectorized(plan[6]) for plan in plans
+            ]
+            intercepts_first = np.concatenate([m[0] for m in model_first])
+            coefs_first = np.concatenate([m[1] for m in model_first])
+            intercepts_steady = np.concatenate([m[0] for m in model_steady])
+            coefs_steady = np.concatenate([m[1] for m in model_steady])
+
+            # Candidate energies and AC-at-full-speed flags depend only on
+            # (mode, command, duty, horizon) — all pinned by the combo key.
+            horizon_s = steps * self.model_step_s
+            energies_per_lane: List[List[float]] = []
+            ac_full_per_lane: List[List[bool]] = []
+            for lane, state in enumerate(states):
+                duties = plans[lane][0]
+                energies: List[float] = []
+                ac_full_flags: List[bool] = []
+                for i, cmd in enumerate(commands_per_lane[lane]):
+                    duty = duties[i]
+                    power_w = self._predict_power(state.mode, cmd, duty)
+                    ac_full = (
+                        cmd.mode is CoolingMode.AC_ON and duty >= 1.0 - 1e-9
+                    ) or (
+                        cmd.mode in (CoolingMode.AC_ON, CoolingMode.AC_FAN)
+                        and cmd.ac_fan_speed >= 1.0 - 1e-9
+                    )
+                    energies.append(power_w * horizon_s / 3.6e6)
+                    ac_full_flags.append(ac_full)
+                energies_per_lane.append(energies)
+                ac_full_per_lane.append(ac_full_flags)
+
+            entry = (
+                plans,  # pins the plan objects so their ids stay valid
+                cand_counts,
+                total_cands,
+                row_counts,
+                total_rows,
+                cand_slices,
+                global_row_index,
+                fans_rows_all,
+                weights,
+                weights[:, None],
+                starts,
+                hum_b0_first,
+                hum_coef_first,
+                hum_b0_steady,
+                hum_coef_steady,
+                fan_cands,
+                intercepts_first,
+                coefs_first,
+                intercepts_steady,
+                coefs_steady,
+                energies_per_lane,
+                ac_full_per_lane,
+            )
+            cache[combo_key] = entry
+        (
+            _,
+            cand_counts,
+            total_cands,
+            row_counts,
+            total_rows,
+            cand_slices,
+            global_row_index,
+            fans_rows_all,
+            weights,
+            weights_col,
+            starts,
+            hum_b0_first,
+            hum_coef_first,
+            hum_b0_steady,
+            hum_coef_steady,
+            fan_cands,
+            intercepts_first,
+            coefs_first,
+            intercepts_steady,
+            coefs_steady,
+            energies_per_lane,
+            ac_full_per_lane,
+        ) = entry
+        out_w_cands = np.repeat(
+            np.array([s.outside_mixing_ratio for s in states]), cand_counts
+        )
+
+        # Per-row broadcasts of per-lane scalars.
+        def _per_row(values: List[float]) -> np.ndarray:
+            return np.repeat(np.asarray(values, dtype=float), row_counts)
+
+        outside_rows = _per_row([s.outside_temp_c for s in states])
+        prev_outside_rows = _per_row([s.prev_outside_temp_c for s in states])
+        fan_speed_rows = _per_row([s.fan_speed for s in states])
+        util_rows = _per_row([s.utilization for s in states])
+
+        # Lane-stacked evolving state: (total candidates, sensors).
+        temps = np.concatenate(
+            [
+                np.tile(
+                    np.array(state.sensor_temps_c, dtype=float),
+                    (cand_counts[lane], 1),
+                )
+                for lane, state in enumerate(states)
+            ]
+        )
+        prev_temps = np.concatenate(
+            [
+                np.tile(
+                    np.array(state.prev_sensor_temps_c, dtype=float),
+                    (cand_counts[lane], 1),
+                )
+                for lane, state in enumerate(states)
+            ]
+        )
+        w_arr = np.repeat(
+            np.array([s.inside_mixing_ratio for s in states]), cand_counts
+        )
+
+        traj = np.empty((steps, total_cands, num_sensors))
+        rh_mat = np.empty((steps, total_cands))
+        hum_f = np.empty((total_cands, 5))
+        hum_f[:, 1] = out_w_cands
+        hum_f[:, 2] = fan_cands
+        hum_f[:, 4] = fan_cands * out_w_cands
+
+        feats = np.empty((total_rows, num_sensors, 9))
+        feats[:, :, 2] = outside_rows[:, None]
+        feats[:, :, 4] = fans_rows_all[:, None]
+        feats[:, :, 6] = util_rows[:, None]
+        feats[:, :, 8] = (fans_rows_all * outside_rows)[:, None]
+
+        for step in range(steps):
+            first = step == 0
+            temps_rows = temps[global_row_index]
+            feats[:, :, 0] = temps_rows
+            feats[:, :, 1] = prev_temps[global_row_index]
+            feats[:, :, 3] = (
+                prev_outside_rows if first else outside_rows
+            )[:, None]
+            feats[:, :, 5] = (
+                fan_speed_rows[:, None] if first else fans_rows_all[:, None]
+            )
+            feats[:, :, 7] = fans_rows_all[:, None] * temps_rows
+
+            intercepts = intercepts_first if first else intercepts_steady
+            coefs = coefs_first if first else coefs_steady
+            preds_all = intercepts + np.einsum("rsf,rsf->rs", coefs, feats)
+
+            # Duty blending for every lane at once: a weighted segment sum
+            # over each candidate's rows reproduces duty*on + (1-duty)*off
+            # in the scalar evaluation order (on-row first).
+            next_temps = np.add.reduceat(
+                preds_all * weights_col, starts, axis=0
+            )
+            means = next_temps.mean(axis=1)
+
+            # Humidity rollout, vectorized across all candidates: a batched
+            # matmul of (rows, 1, 5) @ (rows, 5, 1) is bit-identical to the
+            # scalar per-row np.dot, np.maximum mirrors the scalar max, and
+            # the same weighted reduceat reproduces duty blending.
+            hum_f[:, 0] = w_arr
+            hum_f[:, 3] = fan_cands * w_arr
+            hum_b0 = hum_b0_first if first else hum_b0_steady
+            hum_coef = hum_coef_first if first else hum_coef_steady
+            hum_rows = hum_f[global_row_index]
+            dots = np.matmul(
+                hum_coef[:, None, :], hum_rows[:, :, None]
+            )[:, 0, 0]
+            maxed = np.maximum(1e-6, hum_b0 + dots)
+            w_arr = np.add.reduceat(maxed * weights, starts)
+            rh_mat[step] = absolute_to_relative_humidity_array(w_arr, means)
+            prev_temps = temps
+            temps = next_temps
+            traj[step] = next_temps
+
+        results = []
+        for lane in range(num_lanes):
+            sl = cand_slices[lane]
+            # Candidate-major contiguous copies: identical values (and the
+            # same buffer layout) as np.stack over per-candidate arrays.
+            temps_stack = np.ascontiguousarray(traj[:, sl, :].transpose(1, 0, 2))
+            rh_stack = np.ascontiguousarray(rh_mat[:, sl].T)
+            results.append(
+                (
+                    temps_stack,
+                    rh_stack,
+                    energies_per_lane[lane],
+                    ac_full_per_lane[lane],
+                )
+            )
+        return results
 
     # -- per-quantity dispatch ------------------------------------------------
 

@@ -154,13 +154,38 @@ class UtilityFunction:
         candidate's contiguous block produce the same floats as that
         candidate's standalone full-array reduction.
         """
-        if horizon_s <= 0:
-            raise ConfigError("horizon_s must be positive")
         if not predictions:
             return []
+        return self.score_arrays(
+            np.stack([p.sensor_temps_c for p in predictions]),
+            np.stack([p.rh_pct for p in predictions]),
+            np.array([p.cooling_energy_kwh for p in predictions]),
+            np.array([p.ac_at_full_speed for p in predictions]),
+            band,
+            current_sensor_temps_c,
+            horizon_s,
+        )
+
+    def score_arrays(
+        self,
+        temps: np.ndarray,
+        rh: np.ndarray,
+        energies: np.ndarray,
+        ac_full: np.ndarray,
+        band: TemperatureBand,
+        current_sensor_temps_c: Sequence[float],
+        horizon_s: float,
+    ) -> List[float]:
+        """:meth:`score_batch` on pre-stacked arrays.
+
+        ``temps`` is (candidates, steps, sensors), ``rh`` is (candidates,
+        steps); callers that already hold stacked trajectories (the lane
+        engine) skip the per-candidate restacking.
+        """
+        if horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
         cfg = self.config
         w = self.weights
-        temps = np.stack([p.sensor_temps_c for p in predictions])
         current = np.asarray(current_sensor_temps_c, dtype=float)
         if temps.shape[2] != current.shape[0]:
             raise ConfigError(
@@ -196,17 +221,12 @@ class UtilityFunction:
                 w.per_half_degree_outside_band * outside.sum(axis=(1, 2)) / 0.5
             )
 
-        rh = np.stack([p.rh_pct for p in predictions])
         rh_over = np.maximum(0.0, rh - cfg.max_rh_pct)
         penalty += w.per_5pct_rh_outside_band * rh_over.sum(axis=1) / 5.0
 
-        ac_full = np.array([p.ac_at_full_speed for p in predictions])
         penalty += np.where(ac_full, w.ac_full_speed * float(steps), 0.0)
 
         if cfg.use_energy_term:
-            energies = np.array(
-                [p.cooling_energy_kwh for p in predictions]
-            )
             penalty += w.per_cooling_kwh * energies
 
         return [float(p) for p in penalty]

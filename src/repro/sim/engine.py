@@ -106,12 +106,26 @@ def make_smoothsim(
 class ProfileWorkload:
     """Replays a precomputed demand profile (year-scale runs)."""
 
-    def __init__(self, trace: Trace, layout: DatacenterLayout, interval_s: float) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        layout: DatacenterLayout,
+        interval_s: float,
+        profile: Optional[DemandProfile] = None,
+    ) -> None:
         self.trace = trace
         self.layout = layout
         self.interval_s = interval_s
-        self.profile: DemandProfile = build_demand_profile(
-            trace, num_servers=layout.num_servers, interval_s=interval_s
+        # ``profile`` lets callers that run many workloads over copies of
+        # one trace (the lane engine) share the initial fluid-model build;
+        # it must equal ``build_demand_profile`` of the same arguments.
+        # ``rebuild`` always recomputes from this instance's own trace.
+        self.profile: DemandProfile = (
+            profile
+            if profile is not None
+            else build_demand_profile(
+                trace, num_servers=layout.num_servers, interval_s=interval_s
+            )
         )
         self._servers: Optional[List[Server]] = None
 

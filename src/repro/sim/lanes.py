@@ -1,0 +1,714 @@
+"""Lane-batched year simulation: many (system, climate) runs in lockstep.
+
+A :class:`LaneRunner` advances N independent year scenarios — each the
+exact (climate, management system, workload) combination a scalar
+:class:`~repro.sim.engine.DayRunner` would simulate — as *lanes* of
+structure-of-arrays state.  One vectorized call per model step advances
+every lane's thermal plant, weather lookup, sensor quantization, and disk
+model; per-lane branching (TKS mode latches, regime changes, band
+differences) is handled with boolean masks and per-lane decision objects.
+
+Bit-identity contract: ``run_year_lanes(scenarios)[i]`` equals
+``run_year(scenarios[i]...)`` field for field.  The design splits work by
+rate to keep that guarantee cheap to audit:
+
+* **Per model step (720/day, vectorized):** :class:`LaneThermalPlant`
+  stepping, :class:`LaneWeather` grid reads, sensor quantization
+  (``np.rint`` is the elementwise mirror of the scalar sensors'
+  banker's-rounding ``round``), cold-aisle RH, :class:`LaneDiskModel`,
+  and metric recording.
+* **Per control period (144/day, per-lane scalars):** everything the
+  scalar engine computes from quantities that the :class:`ProfileWorkload`
+  holds constant between control epochs — pod IT powers, unit actuator
+  state and power draw, disk utilization — plus the management decisions
+  themselves.  Baseline lanes decide through the vectorized
+  :class:`LaneBaselineController`; CoolAir lanes share one cross-lane
+  :meth:`CoolingPredictor.predict_lanes` rollout and then reuse the
+  scalar :meth:`CoolingOptimizer.decide_from_predictions` selection code.
+
+Restrictions (asserted): no process noise, the standard 120 s model step /
+600 s control period, and the profile (not task-level Hadoop) workload.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import constants
+from repro.cooling.baseline import LaneBaselineController
+from repro.cooling.regimes import CoolingCommand
+from repro.cooling.tks import (
+    LANE_CMD_AC_FAN,
+    LANE_CMD_AC_ON,
+    LANE_CMD_CLOSED,
+    LANE_CMD_FREE_COOLING,
+)
+from repro.cooling.units import AbruptCoolingUnits, SmoothCoolingUnits
+from repro.core.coolair import CoolAir
+from repro.core.config import CoolAirConfig
+from repro.core.modeler import CoolingModel
+from repro.core.predictor import CoolingPredictor, PredictorState
+from repro.datacenter.layout import DatacenterLayout, parasol_layout
+from repro.datacenter.server import PowerState
+from repro.errors import ConfigError, SimulationError
+from repro.physics.psychrometrics import absolute_to_relative_humidity_array
+from repro.physics.thermal import LaneDiskModel, LaneThermalPlant
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.engine import ProfileWorkload
+from repro.workload.profile import DemandProfile
+from repro.sim.trace import (
+    DayTrace,
+    StepRecord,
+    avg_violation_from,
+    energy_kwh_from,
+    max_rate_from,
+    outside_range_from,
+    worst_sensor_range_from,
+)
+from repro.sim.yearsim import YearResult, sampled_days
+from repro.weather.climate import Climate, SECONDS_PER_DAY
+from repro.weather.forecast import ForecastService
+from repro.weather.tmy import LaneWeather, TMYSeries, generate_tmy
+from repro.workload.covering import covering_subset
+from repro.workload.traces import Trace
+
+# The scalar engine's grid (SimSetup defaults); the lane engine supports
+# exactly this timing and asserts any CoolAir config agrees.
+MODEL_STEP_S = 120
+CONTROL_PERIOD_S = 600
+
+_TEMP_RES = constants.SENSOR_ACCURACY_C
+_RH_RES = 1.0
+
+
+def _quantize_temp(true_c: np.ndarray) -> np.ndarray:
+    """Elementwise mirror of ``TemperatureSensor.observe``.
+
+    ``np.rint`` rounds half to even exactly like Python's ``round``, so
+    each element matches the scalar sensor bit for bit.
+    """
+    return np.rint(true_c / _TEMP_RES) * _TEMP_RES
+
+
+def _quantize_rh(true_pct: np.ndarray) -> np.ndarray:
+    """Elementwise mirror of ``HumiditySensor.observe``."""
+    clamped = np.maximum(0.0, np.minimum(100.0, true_pct))
+    return np.rint(clamped / _RH_RES) * _RH_RES
+
+
+def _copy_trace(trace: Trace) -> Trace:
+    """A private per-lane copy of a trace, cheaper than ``copy.deepcopy``.
+
+    Job fields are immutable scalars, so shallow job copies give each lane
+    an independent trace (the temporal scheduler mutates
+    ``scheduled_start_s`` per lane).
+    """
+    clone = copy.copy(trace)
+    clone.jobs = [copy.copy(job) for job in trace.jobs]
+    return clone
+
+
+def _command_for_code(code: int, fc_speed: float) -> CoolingCommand:
+    """A lane controller's integer decision as a scalar CoolingCommand."""
+    if code == LANE_CMD_CLOSED:
+        return CoolingCommand.closed()
+    if code == LANE_CMD_FREE_COOLING:
+        return CoolingCommand.free_cooling(fc_speed)
+    if code == LANE_CMD_AC_FAN:
+        return CoolingCommand.ac(compressor_duty=0.0)
+    if code == LANE_CMD_AC_ON:
+        return CoolingCommand.ac(compressor_duty=1.0)
+    raise SimulationError(f"unknown lane command code {code}")
+
+
+@dataclasses.dataclass
+class LaneScenario:
+    """One lane: a (system, climate, workload trace) year combination."""
+
+    system: Union[str, CoolAirConfig]
+    climate: Climate
+    trace: Trace
+    forecast_bias_c: float = 0.0
+
+
+class _Lane:
+    """Per-lane scalar objects: everything that is cheap per control period."""
+
+    __slots__ = (
+        "label",
+        "layout",
+        "units",
+        "workload",
+        "coolair",
+        "climate_name",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        layout: DatacenterLayout,
+        units,
+        workload: ProfileWorkload,
+        coolair: Optional[CoolAir],
+        climate_name: str,
+    ) -> None:
+        self.label = label
+        self.layout = layout
+        self.units = units
+        self.workload = workload
+        self.coolair = coolair
+        self.climate_name = climate_name
+
+
+class LaneRunner:
+    """Steps a batch of independent year scenarios in lockstep."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[LaneScenario],
+        model: Optional[CoolingModel] = None,
+        smooth_hardware: bool = True,
+    ) -> None:
+        if not scenarios:
+            raise ConfigError("LaneRunner needs at least one scenario")
+        self.num_lanes = len(scenarios)
+        self.model_step_s = MODEL_STEP_S
+        self.control_period_s = CONTROL_PERIOD_S
+        self._steps_per_control = CONTROL_PERIOD_S // MODEL_STEP_S
+
+        if model is None and any(
+            not isinstance(s.system, str) for s in scenarios
+        ):
+            model = trained_cooling_model()
+        self.model = model
+
+        series_by_climate: Dict[Climate, TMYSeries] = {}
+        shared_profiles: Dict[tuple, DemandProfile] = {}
+        series_list: List[TMYSeries] = []
+        self.lanes: List[_Lane] = []
+        baseline_indices: List[int] = []
+        coolair_indices: List[int] = []
+
+        for index, scenario in enumerate(scenarios):
+            system = scenario.system
+            is_baseline = isinstance(system, str)
+            if is_baseline and system != "baseline":
+                raise SimulationError(f"unknown system {system!r}")
+            tmy = series_by_climate.get(scenario.climate)
+            if tmy is None:
+                tmy = generate_tmy(scenario.climate)
+                series_by_climate[scenario.climate] = tmy
+            series_list.append(tmy)
+
+            layout = parasol_layout()
+            covering_subset(layout.all_servers())
+            trace = _copy_trace(scenario.trace)
+            # Lanes sharing a source trace get equal initial profiles (the
+            # fluid model is deterministic in the job values, which the
+            # copy preserves) — build once per distinct trace.  Each lane
+            # keeps its own workload/trace; a per-lane ``rebuild()`` after
+            # temporal scheduling replaces only that lane's profile.
+            profile_key = (id(scenario.trace), layout.num_servers)
+            profile = shared_profiles.get(profile_key)
+            workload = ProfileWorkload(
+                trace, layout, float(CONTROL_PERIOD_S), profile=profile
+            )
+            if profile is None:
+                shared_profiles[profile_key] = workload.profile
+
+            if is_baseline:
+                units = AbruptCoolingUnits()
+                coolair = None
+                label = "Baseline"
+                baseline_indices.append(index)
+            else:
+                if (
+                    system.model_step_s != MODEL_STEP_S
+                    or system.control_period_s != CONTROL_PERIOD_S
+                ):
+                    raise ConfigError(
+                        "lane engine requires the standard "
+                        f"{MODEL_STEP_S}s/{CONTROL_PERIOD_S}s timing, got "
+                        f"{system.model_step_s}s/{system.control_period_s}s"
+                    )
+                units = (
+                    SmoothCoolingUnits() if smooth_hardware
+                    else AbruptCoolingUnits()
+                )
+                forecast = ForecastService(
+                    tmy, bias_c=scenario.forecast_bias_c
+                )
+                coolair = CoolAir(
+                    config=system,
+                    model=self.model,
+                    layout=layout,
+                    forecast_service=forecast,
+                    smooth_hardware=isinstance(units, SmoothCoolingUnits),
+                )
+                label = system.name
+                coolair_indices.append(index)
+            self.lanes.append(
+                _Lane(label, layout, units, workload, coolair,
+                      scenario.climate.name)
+            )
+
+        num = self.num_lanes
+        pods = self.lanes[0].layout.num_pods
+        self.num_pods = pods
+        self._weather = LaneWeather(series_list, float(MODEL_STEP_S))
+        self._plant = LaneThermalPlant(num)
+        self._disks = LaneDiskModel(num, pods)
+
+        self._baseline_idx = np.asarray(baseline_indices, dtype=int)
+        self._coolair_idx = coolair_indices
+        if baseline_indices:
+            self._baseline_ctrl = LaneBaselineController(len(baseline_indices))
+            # The TKS control sensor: the warmest (highest-recirculation)
+            # pod inlet, per lane (BaselineAdapter.control).
+            self._baseline_pods = np.asarray(
+                [
+                    max(
+                        self.lanes[i].layout.pods,
+                        key=lambda pod: pod.recirculation,
+                    ).pod_id
+                    for i in baseline_indices
+                ],
+                dtype=int,
+            )
+        else:
+            self._baseline_ctrl = None
+            self._baseline_pods = None
+        self._predictor = (
+            CoolingPredictor(self.model, MODEL_STEP_S)
+            if coolair_indices
+            else None
+        )
+
+        # Sensor + history arrays (the scalar engine's sensors and
+        # _prev_* attributes as lanes-first arrays).
+        self._readings = np.zeros((num, pods))
+        self._prev_readings = np.zeros((num, pods))
+        self._outside_read = np.zeros(num)
+        self._prev_outside = np.zeros(num)
+        self._cold_rh = np.zeros(num)
+        self._outside_rh_read = np.zeros(num)
+        self._prev_fan = np.zeros(num)
+        # Per-control-period caches (constant between control epochs).
+        self._fc = np.zeros(num)
+        self._ac_fan = np.zeros(num)
+        self._duty = np.zeros(num)
+        self._pod_powers = np.zeros((num, pods))
+        self._it_power = np.zeros(num)
+        self._cooling_power = np.zeros(num)
+        self._fan = np.zeros(num)
+        self._util = np.zeros(num)
+        self._disk_util = np.zeros(num)
+        self._modes: List = [None] * num
+        # Active-server count / utilization, recomputed only when the
+        # active set can change: every coolair plan_compute, and day start
+        # for baseline lanes (whose set then stays all-active).
+        self._active_count = [0] * num
+        self._util_cache = [0.0] * num
+        self._per_active_cache: Dict = {}
+        # Per-day demand caches: DemandProfile.demanded_servers is a
+        # property that recomputes its whole array on every access, and
+        # the profile only changes at day start (temporal rescheduling).
+        self._demanded_arr: List = [None] * num
+        self._server_util_cache: List[Dict[int, float]] = [
+            {} for _ in range(num)
+        ]
+
+    # -- per-epoch pieces ----------------------------------------------------
+
+    def _control(self, step: int, grid_col: int, mix_grid: np.ndarray) -> None:
+        """One control epoch: per-lane decisions, masked actuation."""
+        interval = max(0, step) // self._steps_per_control
+
+        if self._baseline_ctrl is not None:
+            bi = self._baseline_idx
+            codes, speeds = self._baseline_ctrl.decide(
+                self._readings[bi, self._baseline_pods],
+                self._outside_read[bi],
+                self._cold_rh[bi],
+                self._outside_rh_read[bi],
+            )
+            for slot, lane_index in enumerate(bi):
+                self.lanes[lane_index].units.apply(
+                    _command_for_code(int(codes[slot]), float(speeds[slot]))
+                )
+
+        if self._coolair_idx:
+            inside_w = self._plant.state.cold_aisle_mixing_ratio
+            states: List[PredictorState] = []
+            cands: List[list] = []
+            picked: List[tuple] = []
+            for lane_index in self._coolair_idx:
+                lane = self.lanes[lane_index]
+                demanded_arr = self._demanded_arr[lane_index]
+                demanded = int(
+                    demanded_arr[interval % demanded_arr.shape[0]]
+                )
+                _active_ids, active_pods = lane.coolair.plan_compute(demanded)
+                # layout.utilization() unrolled so the active count is
+                # also available to _refresh_period_caches (same int sum,
+                # same division — bit-identical).
+                count = 0
+                for pod in lane.layout.pods:
+                    count += pod.num_active()
+                self._active_count[lane_index] = count
+                util = count / lane.layout.num_servers
+                self._util_cache[lane_index] = util
+                state = PredictorState(
+                    mode=lane.units.mode,
+                    fan_speed=lane.units.fc_fan_speed,
+                    sensor_temps_c=self._readings[lane_index].tolist(),
+                    prev_sensor_temps_c=self._prev_readings[lane_index].tolist(),
+                    outside_temp_c=float(self._outside_read[lane_index]),
+                    prev_outside_temp_c=float(self._prev_outside[lane_index]),
+                    prev_fan_speed=float(self._prev_fan[lane_index]),
+                    utilization=util,
+                    inside_mixing_ratio=float(inside_w[lane_index]),
+                    outside_mixing_ratio=float(mix_grid[lane_index, grid_col]),
+                )
+                band = lane.coolair.band
+                if band is None:
+                    raise ConfigError("call start_day before control")
+                states.append(state)
+                cands.append(lane.coolair.optimizer._candidates(state, band))
+                picked.append((lane, band, active_pods))
+            stacked = self._predictor.predict_lanes_stacked(
+                states, cands, self._steps_per_control
+            )
+            for (lane, band, active_pods), state, candidates, (
+                temps, rh, energies, ac_full
+            ) in zip(picked, states, cands, stacked):
+                command = lane.coolair.optimizer.decide_from_stacked(
+                    state, band, candidates, temps, rh, energies, ac_full,
+                    active_pods,
+                )
+                lane.units.apply(command)
+
+    def _refresh_period_caches(self, step: int, dt: float) -> None:
+        """Workload utilization + everything constant within the period.
+
+        The scalar engine recomputes these every model step; with the
+        profile workload they only change at control epochs (the demand
+        interval equals the control period), so computing them here once
+        per period is exactly equivalent.
+        """
+        tod = step * dt
+        for lane_index, lane in enumerate(self.lanes):
+            if step >= 0:
+                lane.workload.step(dt, tod, None)
+            else:
+                lane.workload.warmup_step(dt, None)
+            pod_powers = lane.layout.pod_it_power_w()
+            self._pod_powers[lane_index, :] = pod_powers
+            self._it_power[lane_index] = sum(pod_powers)
+            inputs = lane.units.plant_inputs()
+            self._fc[lane_index] = inputs.fc_fan_speed
+            self._ac_fan[lane_index] = inputs.ac_fan_speed
+            self._duty[lane_index] = inputs.ac_compressor_duty
+            self._cooling_power[lane_index] = lane.units.power_w()
+            self._fan[lane_index] = lane.units.fc_fan_speed
+            self._util[lane_index] = self._util_cache[lane_index]
+            self._modes[lane_index] = lane.units.mode
+            # The scalar engine averages the utilizations of the active
+            # servers; ProfileWorkload gives every active server the same
+            # value, so the mean is a pure function of (value, count) —
+            # cache it instead of walking 64 servers per lane per epoch.
+            count = self._active_count[lane_index]
+            if count:
+                workload = lane.workload
+                idx = (
+                    int((tod if step >= 0 else 0.0) // workload.interval_s)
+                    % workload.profile.num_intervals
+                )
+                util_cache = self._server_util_cache[lane_index]
+                util_value = util_cache.get(idx)
+                if util_value is None:
+                    # DemandProfile.server_utilization recomputes the
+                    # demanded-servers array on every call; the day-start
+                    # snapshot holds exactly those values, so evaluate the
+                    # same formula against it.
+                    profile = workload.profile
+                    demanded = int(self._demanded_arr[lane_index][idx])
+                    if demanded == 0:
+                        util_value = 0.0
+                    else:
+                        busy_slots = (
+                            profile.busy_slot_seconds[idx] / profile.interval_s
+                        )
+                        util_value = float(
+                            min(
+                                1.0,
+                                busy_slots
+                                / (demanded * profile.slots_per_server),
+                            )
+                        )
+                    util_cache[idx] = util_value
+                cache_key = (util_value, count)
+                per_active = self._per_active_cache.get(cache_key)
+                if per_active is None:
+                    per_active = float(np.mean(np.full(count, util_value)))
+                    self._per_active_cache[cache_key] = per_active
+            else:
+                per_active = 0.0
+            self._disk_util[lane_index] = min(1.0, 0.15 + 0.7 * per_active)
+        # Actuators and pod powers only change here; precompute the plant's
+        # per-period invariants once (validates the actuator ranges too).
+        self._plant.set_inputs(
+            self._fc, self._ac_fan, self._duty, self._pod_powers
+        )
+
+    # -- day/year execution --------------------------------------------------
+
+    def run_day(
+        self,
+        day_of_year: int,
+        warmup_hours: float = 2.0,
+        keep_traces: bool = False,
+    ):
+        """Simulate one day for every lane; returns per-lane day metrics.
+
+        Returns ``(metrics, traces)`` where ``metrics`` is a list of dicts
+        (one per lane) with the five YearResult day quantities, and
+        ``traces`` is a list of :class:`DayTrace` (or None without
+        ``keep_traces``).
+        """
+        num = self.num_lanes
+        dt = float(self.model_step_s)
+        steps = int(SECONDS_PER_DAY // self.model_step_s)
+        warmup_steps = int(warmup_hours * 3600 / dt)
+        temps_grid, mix_grid, rh_grid = self._weather.day_grid(
+            day_of_year, -warmup_steps, warmup_steps + steps
+        )
+
+        self._plant.reset(
+            temps_grid[:, warmup_steps] + 6.0, mix_grid[:, warmup_steps]
+        )
+
+        # Seed sensors at the warmup start (DayRunner._seed_sensors).
+        state = self._plant.state
+        inlets = state.pod_inlet_temp_c
+        inside_rh = absolute_to_relative_humidity_array(
+            state.cold_aisle_mixing_ratio, inlets.mean(axis=1)
+        )
+        self._readings[:] = _quantize_temp(inlets)
+        self._cold_rh[:] = _quantize_rh(inside_rh)
+        self._outside_read[:] = _quantize_temp(temps_grid[:, 0])
+        self._outside_rh_read[:] = _quantize_rh(rh_grid[:, 0])
+        self._prev_readings[:] = self._readings
+        self._prev_outside[:] = self._outside_read
+        for lane_index, lane in enumerate(self.lanes):
+            self._prev_fan[lane_index] = lane.units.fc_fan_speed
+
+        # Adapter start-of-day work.
+        for lane_index, lane in enumerate(self.lanes):
+            if lane.coolair is None:
+                for server in lane.layout.all_servers():
+                    if server.state is not PowerState.ACTIVE:
+                        server.activate()
+                # All-active until the next day start (the baseline never
+                # sleeps servers); mirror layout.utilization()'s int sum.
+                count = 0
+                for pod in lane.layout.pods:
+                    count += pod.num_active()
+                self._active_count[lane_index] = count
+                self._util_cache[lane_index] = count / lane.layout.num_servers
+            else:
+                lane.workload.begin_day()
+                lane.coolair.start_day(day_of_year, lane.workload.jobs)
+                if any(
+                    job.scheduled_start_s is not None
+                    for job in lane.workload.jobs
+                ):
+                    lane.workload.rebuild()
+            # The demand profile is now fixed until the next day start;
+            # snapshot the demanded-servers array and reset the per-interval
+            # server-utilization cache.
+            self._demanded_arr[lane_index] = (
+                lane.workload.profile.demanded_servers
+            )
+            self._server_util_cache[lane_index].clear()
+
+        rec_temps = np.empty((steps, num, self.num_pods))
+        rec_outside = np.empty((steps, num))
+        rec_cooling = np.empty((steps, num))
+        rec_it = np.empty((steps, num))
+        if keep_traces:
+            rec_rh = np.empty((steps, num))
+            rec_orh = np.empty((steps, num))
+            rec_fan = np.empty((steps, num))
+            rec_duty = np.empty((steps, num))
+            rec_util = np.empty((steps, num))
+            rec_disks = np.empty((steps, num, self.num_pods))
+            rec_modes: List[list] = [[] for _ in range(num)]
+
+        spc = self._steps_per_control
+        for step in range(-warmup_steps, steps):
+            grid_col = step + warmup_steps
+            if step % spc == 0:
+                self._control(step, grid_col, mix_grid)
+                self._refresh_period_caches(step, dt)
+
+            # Rotate predictor history (DayRunner._advance_plant prologue).
+            self._prev_readings, self._readings = (
+                self._readings,
+                self._prev_readings,
+            )
+            self._prev_outside[:] = self._outside_read
+            self._prev_fan[:] = self._fan
+
+            plant_state = self._plant.step_outside(
+                temps_grid[:, grid_col], mix_grid[:, grid_col], dt
+            )
+            inlets = plant_state.pod_inlet_temp_c
+            means = np.add.reduce(inlets, axis=1) / inlets.shape[1]
+            inside_rh = absolute_to_relative_humidity_array(
+                plant_state.cold_aisle_mixing_ratio, means
+            )
+            self._readings[:] = _quantize_temp(inlets)
+            self._cold_rh[:] = _quantize_rh(inside_rh)
+            self._outside_read[:] = _quantize_temp(temps_grid[:, grid_col])
+            self._outside_rh_read[:] = _quantize_rh(rh_grid[:, grid_col])
+            disk_temps = self._disks.step(inlets, self._disk_util, dt)
+
+            if step >= 0:
+                rec_temps[step] = self._readings
+                rec_outside[step] = self._outside_read
+                rec_cooling[step] = self._cooling_power
+                rec_it[step] = self._it_power
+                if keep_traces:
+                    rec_rh[step] = self._cold_rh
+                    rec_orh[step] = self._outside_rh_read
+                    rec_fan[step] = self._fan
+                    rec_duty[step] = self._duty
+                    rec_util[step] = self._util
+                    rec_disks[step] = disk_temps
+                    for lane_index in range(num):
+                        rec_modes[lane_index].append(self._modes[lane_index])
+
+        times = np.arange(steps, dtype=float) * dt
+        metrics = []
+        traces: List[Optional[DayTrace]] = []
+        for lane_index, lane in enumerate(self.lanes):
+            temps = np.ascontiguousarray(rec_temps[:, lane_index, :])
+            outside = np.ascontiguousarray(rec_outside[:, lane_index])
+            cooling = np.ascontiguousarray(rec_cooling[:, lane_index])
+            it = np.ascontiguousarray(rec_it[:, lane_index])
+            metrics.append(
+                {
+                    "worst_range_c": worst_sensor_range_from(temps),
+                    "outside_range_c": outside_range_from(outside),
+                    "temps": temps,
+                    "times": times,
+                    "cooling_kwh": energy_kwh_from(cooling, times),
+                    "it_kwh": energy_kwh_from(it, times),
+                    "max_rate_c_per_hour": max_rate_from(temps, times),
+                }
+            )
+            if keep_traces:
+                trace = DayTrace(day_of_year, label=lane.label)
+                for row in range(steps):
+                    trace.append(
+                        StepRecord(
+                            time_s=float(times[row]),
+                            outside_temp_c=float(outside[row]),
+                            sensor_temps_c=tuple(temps[row].tolist()),
+                            mode=rec_modes[lane_index][row],
+                            fc_fan_speed=float(rec_fan[row, lane_index]),
+                            ac_compressor_duty=float(
+                                rec_duty[row, lane_index]
+                            ),
+                            cooling_power_w=float(cooling[row]),
+                            it_power_w=float(it[row]),
+                            inside_rh_pct=float(rec_rh[row, lane_index]),
+                            outside_rh_pct=float(rec_orh[row, lane_index]),
+                            utilization=float(rec_util[row, lane_index]),
+                            disk_temps_c=tuple(
+                                float(t)
+                                for t in rec_disks[row, lane_index]
+                            ),
+                        )
+                    )
+                traces.append(trace)
+            else:
+                traces.append(None)
+        return metrics, traces
+
+    def run_year(
+        self,
+        sample_every_days: int = 7,
+        violation_threshold_c: float = 30.0,
+        keep_traces: bool = False,
+    ) -> List[YearResult]:
+        """Year runs for every lane; one YearResult per lane, in order."""
+        days = sampled_days(sample_every_days)
+        results = [
+            YearResult(
+                label=lane.label,
+                climate_name=lane.climate_name,
+                sampled_days=days,
+                daily_worst_range_c=[],
+                daily_outside_range_c=[],
+                daily_avg_violation_c=[],
+                daily_max_rate_c_per_hour=[],
+                cooling_kwh=0.0,
+                it_kwh=0.0,
+            )
+            for lane in self.lanes
+        ]
+        all_traces: List[List[DayTrace]] = [[] for _ in self.lanes]
+        for day in days:
+            metrics, traces = self.run_day(day, keep_traces=keep_traces)
+            for lane_index, day_metrics in enumerate(metrics):
+                result = results[lane_index]
+                result.daily_worst_range_c.append(
+                    day_metrics["worst_range_c"]
+                )
+                result.daily_outside_range_c.append(
+                    day_metrics["outside_range_c"]
+                )
+                result.daily_avg_violation_c.append(
+                    avg_violation_from(
+                        day_metrics["temps"], violation_threshold_c
+                    )
+                )
+                result.daily_max_rate_c_per_hour.append(
+                    day_metrics["max_rate_c_per_hour"]
+                )
+                result.cooling_kwh += day_metrics["cooling_kwh"]
+                result.it_kwh += day_metrics["it_kwh"]
+                if keep_traces:
+                    all_traces[lane_index].append(traces[lane_index])
+        if keep_traces:
+            for result, lane_traces in zip(results, all_traces):
+                result.traces = lane_traces  # type: ignore[attr-defined]
+        return results
+
+
+def run_year_lanes(
+    scenarios: Sequence[LaneScenario],
+    model: Optional[CoolingModel] = None,
+    smooth_hardware: bool = True,
+    sample_every_days: int = 7,
+    violation_threshold_c: float = 30.0,
+    keep_traces: bool = False,
+) -> List[YearResult]:
+    """Lane-batched equivalent of ``[run_year(s...) for s in scenarios]``.
+
+    Results are bit-identical per scenario to the scalar
+    :func:`~repro.sim.yearsim.run_year` path (the pinned reference); see
+    ``tests/test_lane_equivalence.py`` and ``docs/PERFORMANCE.md``.
+    """
+    runner = LaneRunner(scenarios, model=model, smooth_hardware=smooth_hardware)
+    return runner.run_year(
+        sample_every_days=sample_every_days,
+        violation_threshold_c=violation_threshold_c,
+        keep_traces=keep_traces,
+    )

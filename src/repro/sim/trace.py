@@ -11,6 +11,44 @@ from repro.cooling.regimes import CoolingMode
 from repro.errors import SimulationError
 
 
+# -- day-metric formulas -------------------------------------------------------
+#
+# Module-level array functions so the per-record DayTrace path and the
+# lane-batched engine compute every day metric with the *same* expressions
+# on the same-shaped arrays (bit-identical results by construction).
+
+
+def worst_sensor_range_from(temps: np.ndarray) -> float:
+    """Worst per-sensor (max - min) over a (steps, sensors) day matrix."""
+    if temps.size == 0:
+        raise SimulationError("empty trace")
+    ranges = temps.max(axis=0) - temps.min(axis=0)
+    return float(ranges.max())
+
+
+def outside_range_from(outside: np.ndarray) -> float:
+    return float(outside.max() - outside.min())
+
+
+def avg_violation_from(temps: np.ndarray, threshold_c: float) -> float:
+    return float(np.mean(np.maximum(0.0, temps - threshold_c)))
+
+
+def max_rate_from(temps: np.ndarray, times_s: np.ndarray) -> float:
+    if len(times_s) < 2:
+        return 0.0
+    dt_h = np.diff(times_s)[:, None] / 3600.0
+    slopes = np.abs(np.diff(temps, axis=0)) / dt_h
+    return float(slopes.max())
+
+
+def energy_kwh_from(powers_w: np.ndarray, times_s: np.ndarray) -> float:
+    if len(times_s) < 2:
+        return 0.0
+    dt = float(np.median(np.diff(times_s)))
+    return float(np.sum(powers_w)) * dt / 3.6e6
+
+
 @dataclasses.dataclass(frozen=True)
 class StepRecord:
     """State at the end of one model step."""
@@ -74,47 +112,27 @@ class DayTrace:
     def worst_sensor_range_c(self) -> float:
         """The paper's daily variation metric: per-sensor (max - min),
         worst sensor of the day (Figure 9)."""
-        temps = self.sensor_temps()
-        if temps.size == 0:
-            raise SimulationError("empty trace")
-        ranges = temps.max(axis=0) - temps.min(axis=0)
-        return float(ranges.max())
+        return worst_sensor_range_from(self.sensor_temps())
 
     def outside_range_c(self) -> float:
-        outside = self.outside_temps()
-        return float(outside.max() - outside.min())
+        return outside_range_from(self.outside_temps())
 
     def max_sensor_temp_c(self) -> float:
         return float(self.sensor_temps().max())
 
     def avg_violation_c(self, threshold_c: float = 30.0) -> float:
         """Mean over all sensor readings of max(0, reading - threshold)."""
-        temps = self.sensor_temps()
-        return float(np.mean(np.maximum(0.0, temps - threshold_c)))
+        return avg_violation_from(self.sensor_temps(), threshold_c)
 
     def max_rate_c_per_hour(self) -> float:
         """Steepest sensor temperature slope of the day."""
-        temps = self.sensor_temps()
-        times = self.times_s()
-        if len(times) < 2:
-            return 0.0
-        dt_h = np.diff(times)[:, None] / 3600.0
-        slopes = np.abs(np.diff(temps, axis=0)) / dt_h
-        return float(slopes.max())
+        return max_rate_from(self.sensor_temps(), self.times_s())
 
     def cooling_energy_kwh(self) -> float:
-        times = self.times_s()
-        if len(times) < 2:
-            return 0.0
-        dt = float(np.median(np.diff(times)))
-        return float(np.sum(self.cooling_powers_w())) * dt / 3.6e6
+        return energy_kwh_from(self.cooling_powers_w(), self.times_s())
 
     def it_energy_kwh(self) -> float:
-        times = self.times_s()
-        if len(times) < 2:
-            return 0.0
-        dt = float(np.median(np.diff(times)))
-        return float(np.sum(self.it_powers_w())) * dt / 3.6e6
+        return energy_kwh_from(self.it_powers_w(), self.times_s())
 
     def pue(self, delivery_overhead: float = 0.08) -> float:
         it = self.it_energy_kwh()

@@ -14,7 +14,7 @@ and converted to a mixing ratio at the concurrent temperature.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -179,6 +179,65 @@ class SampledWeather:
         if idx < 0:
             return self._series.relative_humidity_pct(time_s)
         return float(self.rh_pct[idx])
+
+
+class LaneWeather:
+    """Per-climate TMY tables stacked into ``(lanes, hours)`` arrays.
+
+    The lane-batched simulation engine advances every lane on the same
+    absolute-time step grid, so one fancy-indexed gather per day yields the
+    whole batch's boundary conditions.  Values are computed with exactly
+    the :class:`SampledWeather` grid arithmetic (itself the mirror of
+    :meth:`TMYSeries._interp`), element for element, so each lane's series
+    is bit-identical to what a scalar :class:`DayRunner` reads for that
+    climate.  Lanes may repeat a climate (several systems share weather).
+    """
+
+    def __init__(self, series_list: Sequence[TMYSeries], step_s: float) -> None:
+        if not series_list:
+            raise WeatherError("LaneWeather needs at least one lane")
+        if step_s <= 0:
+            raise WeatherError(f"step_s must be positive, got {step_s}")
+        year_s = DAYS_PER_YEAR * SECONDS_PER_DAY
+        steps = int(round(year_s / step_s))
+        if steps < 1 or steps * step_s != year_s:
+            raise WeatherError(
+                f"step_s {step_s} does not divide the {year_s}s year evenly"
+            )
+        self.step_s = step_s
+        self.num_steps = steps
+        self.num_lanes = len(series_list)
+        self._temps = np.stack([s._temps_c for s in series_list])
+        self._mixing = np.stack([s._mixing_ratios for s in series_list])
+        self._rh = np.stack([s._rh_pct for s in series_list])
+
+    def day_grid(
+        self, day_of_year: int, first_step: int, num_steps: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(temps, mixing ratios, RH) as ``(lanes, num_steps)`` arrays.
+
+        Covers model steps ``first_step .. first_step + num_steps - 1`` of
+        the given day (negative steps reach into warmup, wrapping around
+        the year exactly like the scalar weather queries do).
+        """
+        year_s = DAYS_PER_YEAR * SECONDS_PER_DAY
+        steps_per_day = int(round(SECONDS_PER_DAY / self.step_s))
+        idx = (
+            day_of_year * steps_per_day + first_step + np.arange(num_steps)
+        ) % self.num_steps
+        # Mirror SampledWeather's grid construction on just these indices:
+        # times, hour-of-year, truncated index, fraction.
+        times = idx.astype(float) * self.step_s
+        hours = (times % year_s) / SECONDS_PER_HOUR
+        trunc = hours.astype(np.int64)
+        frac = hours - trunc
+        i0 = trunc % HOURS_PER_YEAR
+        i1 = (i0 + 1) % HOURS_PER_YEAR
+        weight0 = 1.0 - frac
+        temps = self._temps[:, i0] * weight0 + self._temps[:, i1] * frac
+        mixing = self._mixing[:, i0] * weight0 + self._mixing[:, i1] * frac
+        rh = self._rh[:, i0] * weight0 + self._rh[:, i1] * frac
+        return temps, mixing, rh
 
 
 def generate_tmy(climate: Climate) -> TMYSeries:

@@ -1,0 +1,206 @@
+"""Lane-engine vs scalar-reference equivalence (repro.sim.lanes).
+
+The scalar path (:func:`repro.sim.yearsim.run_year`) is the pinned
+bit-identical reference for the lane-batched engine: every float a lane
+produces — sensor temperatures, regimes, humidities, energies — must equal
+the value an independent scalar run of that scenario produces, because the
+optimizer's selection key ``(round(score, 6), energy, same_mode)`` makes
+whole trajectories diverge on any least-significant-bit difference.
+
+The fast test here runs in the default (non-slow) selection so every CI
+run proves the equivalence on a small batch; the mixed-batch test widens
+it to 2 climates x 2 systems over seasonally spread days and compares the
+full step-by-step traces element-wise.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.versions import ALL_VERSIONS
+from repro.sim.lanes import LaneScenario, run_year_lanes
+from repro.sim.yearsim import run_year
+from repro.weather.locations import CHAD, NEWARK
+
+RESULT_FIELDS = (
+    "label",
+    "climate_name",
+    "sampled_days",
+    "daily_worst_range_c",
+    "daily_outside_range_c",
+    "daily_avg_violation_c",
+    "daily_max_rate_c_per_hour",
+    "cooling_kwh",
+    "it_kwh",
+)
+
+
+def assert_results_identical(lane_result, scalar_result):
+    for field in RESULT_FIELDS:
+        assert getattr(lane_result, field) == getattr(scalar_result, field), (
+            f"{field} diverged for {scalar_result.label} @ "
+            f"{scalar_result.climate_name}"
+        )
+
+
+def test_fast_two_lane_batch_matches_scalar(cooling_model, facebook_trace):
+    """Default-selection equivalence check: one sampled day, two lanes."""
+    combos = [("baseline", NEWARK), (ALL_VERSIONS["All-ND"](), NEWARK)]
+    scenarios = [
+        LaneScenario(system=system, climate=climate, trace=facebook_trace)
+        for system, climate in combos
+    ]
+    lane_results = run_year_lanes(
+        scenarios, model=cooling_model, sample_every_days=366
+    )
+    for (system, climate), lane_result in zip(combos, lane_results):
+        scalar_result = run_year(
+            system,
+            climate,
+            facebook_trace,
+            model=cooling_model,
+            sample_every_days=366,
+        )
+        assert_results_identical(lane_result, scalar_result)
+
+
+@pytest.mark.slow
+def test_mixed_four_lane_batch_matches_scalar_elementwise(
+    cooling_model, facebook_trace
+):
+    """2 climates x {baseline, All-ND} in one batch == 4 scalar runs.
+
+    Newark and Chad sit in different temperature regimes, so the CoolAir
+    lanes run different bands and the batch mixes free-cooling, closed,
+    and AC decisions across lanes on the same epochs.  Every step record
+    — inlet temperatures, regime (mode), fan speed, compressor duty,
+    energies, humidities — must match its scalar run exactly.
+    """
+    combos = [
+        ("baseline", NEWARK),
+        (ALL_VERSIONS["All-ND"](), NEWARK),
+        ("baseline", CHAD),
+        (ALL_VERSIONS["All-ND"](), CHAD),
+    ]
+    scenarios = [
+        LaneScenario(system=system, climate=climate, trace=facebook_trace)
+        for system, climate in combos
+    ]
+    lane_results = run_year_lanes(
+        scenarios,
+        model=cooling_model,
+        sample_every_days=180,
+        keep_traces=True,
+    )
+    for (system, climate), lane_result in zip(combos, lane_results):
+        scalar_result = run_year(
+            system,
+            climate,
+            facebook_trace,
+            model=cooling_model,
+            sample_every_days=180,
+            keep_traces=True,
+        )
+        assert_results_identical(lane_result, scalar_result)
+        lane_traces = lane_result.traces
+        scalar_traces = scalar_result.traces
+        assert len(lane_traces) == len(scalar_traces)
+        for lane_day, scalar_day in zip(lane_traces, scalar_traces):
+            assert len(lane_day.records) == len(scalar_day.records)
+            for lane_rec, scalar_rec in zip(
+                lane_day.records, scalar_day.records
+            ):
+                assert lane_rec == scalar_rec, (
+                    f"step record diverged at t={scalar_rec.time_s} on day "
+                    f"{scalar_day.day_of_year} for {scalar_result.label} @ "
+                    f"{scalar_result.climate_name}"
+                )
+
+
+def test_lane_results_independent_of_batch_grouping(
+    cooling_model, facebook_trace
+):
+    """A lane's results don't depend on which other lanes share its batch.
+
+    This is what lets the campaign runner regroup cells into arbitrary
+    worker x lane chunks without changing any result.
+    """
+    solo = run_year_lanes(
+        [LaneScenario(system="baseline", climate=CHAD, trace=facebook_trace)],
+        model=cooling_model,
+        sample_every_days=366,
+    )[0]
+    batched = run_year_lanes(
+        [
+            LaneScenario(
+                system=ALL_VERSIONS["All-ND"](),
+                climate=NEWARK,
+                trace=facebook_trace,
+            ),
+            LaneScenario(
+                system="baseline", climate=CHAD, trace=facebook_trace
+            ),
+        ],
+        model=cooling_model,
+        sample_every_days=366,
+    )[1]
+    assert dataclasses.asdict(solo) == dataclasses.asdict(batched)
+
+
+class TestLaneTKSMaskSwitching:
+    """Lanes flipping TKS mode on different epochs (mask handling)."""
+
+    def test_lanes_latch_hot_mode_independently(self):
+        from repro.cooling.tks import (
+            LANE_CMD_AC_FAN,
+            LANE_CMD_AC_ON,
+            LANE_CMD_FREE_COOLING,
+            LaneTKSController,
+            TKSController,
+        )
+
+        lanes = LaneTKSController(num_lanes=3)
+        scalars = [TKSController() for _ in range(3)]
+        # Three lanes see diverging outside temperatures: lane 0 stays
+        # cool (never enters HOT), lane 1 crosses the setpoint early,
+        # lane 2 crosses it one epoch later — so the HOT latch flips on
+        # different epochs for different lanes.
+        control = [24.0, 27.5, 27.5]
+        outside_by_epoch = [
+            [15.0, 20.0, 22.0],
+            [15.0, 31.0, 24.0],
+            [15.0, 28.0, 31.0],
+            [15.0, 20.0, 20.0],
+        ]
+        for outside in outside_by_epoch:
+            codes, speeds = lanes.decide(
+                np.array(control), np.array(outside)
+            )
+            for lane in range(3):
+                command = scalars[lane].decide(control[lane], outside[lane])
+                expected_hot = scalars[lane].in_hot_mode
+                assert bool(lanes.in_hot_mode[lane]) == expected_hot
+                if expected_hot:
+                    expected_code = (
+                        LANE_CMD_AC_ON
+                        if command.ac_compressor_duty >= 1.0
+                        else LANE_CMD_AC_FAN
+                    )
+                    assert codes[lane] == expected_code
+                else:
+                    assert codes[lane] == LANE_CMD_FREE_COOLING
+                    assert speeds[lane] == command.fc_fan_speed
+
+    def test_hysteresis_masks_are_disjoint_per_epoch(self):
+        from repro.cooling.tks import LaneTKSController
+
+        lanes = LaneTKSController(num_lanes=2)
+        # Both lanes sit exactly at the re-entry edge after leaving HOT
+        # mode: a lane that just left HOT must not re-enter on the same
+        # decision (the scalar controller's elif).
+        lanes.decide(np.array([27.0, 27.0]), np.array([31.0, 31.0]))
+        assert lanes.in_hot_mode.tolist() == [True, True]
+        # Lane 0 drops below SP-h (leaves HOT), lane 1 stays hot.
+        lanes.decide(np.array([27.0, 27.0]), np.array([20.0, 31.0]))
+        assert lanes.in_hot_mode.tolist() == [False, True]

@@ -9,6 +9,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import profiling
 from repro.cli import build_parser, main
 
@@ -18,11 +20,16 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 class TestQuickSuite:
     def test_run_bench_quick(self, cooling_model):
         results = profiling.run_bench(quick=True, model=cooling_model)
-        assert set(results) == {"plant_step", "optimizer_decision", "day_sim"}
+        assert set(results) == {
+            "plant_step", "optimizer_decision", "day_sim", "world_chunk",
+        }
         for result in results.values():
             assert result["median_s"] > 0.0
         assert results["plant_step"]["steps_per_s"] > 0.0
         assert results["optimizer_decision"]["decision_latency_ms"] > 0.0
+        # The quick world chunk is one climate x {baseline, All-ND}.
+        assert results["world_chunk"]["lanes"] == 2
+        assert results["world_chunk"]["s_per_lane"] > 0.0
 
     def test_write_report_and_reload(self, cooling_model, tmp_path):
         results = {"day_sim": {"median_s": 0.25, "days_per_s": 4.0}}
@@ -88,7 +95,82 @@ class TestCli:
         # cooling_model pre-populates the in-process campaign cache, so the
         # CLI's trained_cooling_model() call is free.
         out = tmp_path / "BENCH_sim_core.json"
-        assert main(["bench", "--quick", "--output", str(out)]) == 0
+        assert main(
+            ["bench", "--quick", "--no-history", "--output", str(out)]
+        ) == 0
         assert out.exists()
         captured = capsys.readouterr().out
         assert "sim-core benchmarks (quick)" in captured
+
+
+class TestHistory:
+    """The append-only perf log behind ``python -m repro bench``."""
+
+    PAYLOAD = {
+        "recorded_unix_s": 1700000000,
+        "quick": False,
+        "results": {
+            "day_sim": {"median_s": 0.25, "days_per_s": 4.0},
+            "world_chunk": {"median_s": 1.2, "lanes": 8},
+        },
+        "speedup_vs_baseline": {"day_sim": 3.4},
+    }
+
+    def test_append_writes_one_json_line_per_run(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = profiling.append_history(
+            self.PAYLOAD, label="first", path=path
+        )
+        profiling.append_history(self.PAYLOAD, label="second", path=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == entry
+        assert first["label"] == "first"
+        assert first["medians_s"] == {"day_sim": 0.25, "world_chunk": 1.2}
+        assert first["speedup_vs_baseline"] == {"day_sim": 3.4}
+        assert json.loads(lines[1])["label"] == "second"
+
+    def test_entries_carry_the_git_revision(self, tmp_path):
+        entry = profiling.append_history(
+            self.PAYLOAD, path=tmp_path / "h.jsonl"
+        )
+        rev = entry["git_rev"]
+        assert rev == "unknown" or all(
+            c in "0123456789abcdef" for c in rev
+        )
+
+    def test_cli_passes_label_through(
+        self, cooling_model, tmp_path, monkeypatch, capsys
+    ):
+        seen = {}
+        real_append = profiling.append_history
+
+        def fake_append(payload, label=""):
+            seen["label"] = label
+            return real_append(
+                payload, label=label, path=tmp_path / "h.jsonl"
+            )
+
+        monkeypatch.setattr(profiling, "append_history", fake_append)
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--quick", "--output", str(out), "--label", "pr3"]
+        ) == 0
+        assert seen["label"] == "pr3"
+        assert (tmp_path / "h.jsonl").exists()
+        assert "appended run @" in capsys.readouterr().out
+
+    def test_no_history_skips_the_log(
+        self, cooling_model, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            profiling,
+            "append_history",
+            lambda *a, **k: pytest.fail("history written with --no-history"),
+        )
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--quick", "--no-history", "--output", str(out)]
+        ) == 0
+        assert "appended run" not in capsys.readouterr().out

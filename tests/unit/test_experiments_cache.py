@@ -12,6 +12,9 @@ from repro.sim.yearsim import YearResult
 def tmp_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path)
     monkeypatch.setattr(experiments, "_memory_cache", {})
+    # These tests patch the scalar entry point (experiments.run_year), so
+    # pin the scalar engine; lane-engine caching has its own tests.
+    monkeypatch.setattr(experiments, "DEFAULT_SIM_ENGINE", "scalar")
     return tmp_path
 
 
@@ -116,6 +119,30 @@ class TestCacheVersioning:
 
         key = experiments.cache_key("baseline", NEWARK)
         assert key.endswith(f"-v{experiments.CACHE_SCHEMA_VERSION}")
+
+    def test_key_embeds_engine_token(self):
+        """Lane-engine and scalar results live in separate cache lineages."""
+        from repro.weather.locations import NEWARK
+
+        lanes_key = experiments.cache_key("baseline", NEWARK, engine="lanes")
+        scalar_key = experiments.cache_key("baseline", NEWARK, engine="scalar")
+        assert lanes_key != scalar_key
+        assert "-elanes-" in lanes_key
+        assert "-escalar-" in scalar_key
+
+    def test_unknown_engine_rejected(self):
+        from repro.weather.locations import NEWARK
+
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            experiments.cache_key("baseline", NEWARK, engine="gpu")
+
+    def test_exotic_timing_config_falls_back_to_scalar(self):
+        from repro.core.versions import ALL_VERSIONS
+
+        config = ALL_VERSIONS["All-ND"]()
+        assert experiments.effective_engine(config, "lanes") == "lanes"
+        config.model_step_s = 60.0
+        assert experiments.effective_engine(config, "lanes") == "scalar"
 
     def test_fingerprint_distinguishes_same_name_configs(self):
         from repro.core.versions import ALL_VERSIONS

@@ -24,6 +24,9 @@ fork_only = pytest.mark.skipif(
 def tmp_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path)
     monkeypatch.setattr(experiments, "_memory_cache", {})
+    # These tests patch the scalar entry point (experiments.run_year), so
+    # pin the scalar engine; the lane-chunked path has its own tests.
+    monkeypatch.setattr(experiments, "DEFAULT_SIM_ENGINE", "scalar")
     return tmp_path
 
 
@@ -170,6 +173,144 @@ class TestPoolPath:
 
         for a, b in zip(serial, parallel):
             assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+@pytest.fixture()
+def lane_cache(tmp_path, monkeypatch):
+    """Like ``tmp_cache`` but with the lane engine left on."""
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path)
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    monkeypatch.setattr(experiments, "DEFAULT_SIM_ENGINE", "lanes")
+    return tmp_path
+
+
+class TestResolveLanes:
+    def test_explicit_wins_over_default(self, monkeypatch):
+        monkeypatch.setattr(experiments, "DEFAULT_LANES", 4)
+        assert runner.resolve_lanes(2) == 2
+
+    def test_defaults_to_repro_lanes(self, monkeypatch):
+        monkeypatch.setattr(experiments, "DEFAULT_LANES", 6)
+        assert runner.resolve_lanes() == 6
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ReproError, match=">= 1"):
+            runner.resolve_lanes(bad)
+
+
+class TestLaneChunking:
+    """Uncached lane-compatible cells batch into lockstep chunks."""
+
+    def _record_chunks(self, monkeypatch):
+        chunks = []
+
+        def fake_chunk(chunk, use_disk_cache):
+            chunks.append(list(chunk))
+            results = [
+                fake_result(climate=task.climate.name) for task in chunk
+            ]
+            # Mirror the real chunk runner's cache writes.
+            for task, result in zip(chunk, results):
+                key = experiments.cache_key(
+                    task.system,
+                    task.climate,
+                    task.workload,
+                    task.deferrable,
+                    task.sample_every_days,
+                    task.forecast_bias_c,
+                    "lanes",
+                )
+                experiments.store_result(key, result, use_disk_cache)
+            return results
+
+        monkeypatch.setattr(runner, "_run_lane_chunk", fake_chunk)
+        monkeypatch.setattr(
+            runner,
+            "_run_task",
+            lambda *a, **k: pytest.fail("cell bypassed the lane engine"),
+        )
+        return chunks
+
+    def test_group_splits_into_lane_sized_chunks(
+        self, lane_cache, monkeypatch
+    ):
+        chunks = self._record_chunks(monkeypatch)
+        tasks = baseline_tasks(NEWARK, SANTIAGO, ICELAND)
+        results = runner.run_year_tasks(tasks, workers=1, lanes=2)
+        assert [len(c) for c in chunks] == [2, 1]
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+
+    def test_chunks_grouped_by_sampling_stride(self, lane_cache, monkeypatch):
+        chunks = self._record_chunks(monkeypatch)
+        tasks = [
+            runner.YearTask("baseline", NEWARK, sample_every_days=7),
+            runner.YearTask("baseline", SANTIAGO, sample_every_days=30),
+            runner.YearTask("baseline", ICELAND, sample_every_days=7),
+        ]
+        runner.run_year_tasks(tasks, workers=1, lanes=8)
+        strides = sorted(
+            tuple(t.sample_every_days for t in chunk) for chunk in chunks
+        )
+        assert strides == [(7, 7), (30,)]
+
+    def test_lanes_1_restores_per_cell_runs(self, lane_cache, monkeypatch):
+        monkeypatch.setattr(
+            runner,
+            "_run_lane_chunk",
+            lambda *a, **k: pytest.fail("lane chunk built with lanes=1"),
+        )
+        monkeypatch.setattr(
+            experiments,
+            "run_year",
+            lambda system, climate, *a, **k: fake_result(
+                climate=climate.name
+            ),
+        )
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO), workers=1, lanes=1
+        )
+        assert [r.climate_name for r in results] == ["Newark", "Santiago"]
+
+    def test_scalar_engine_skips_lane_batching(self, lane_cache, monkeypatch):
+        monkeypatch.setattr(experiments, "DEFAULT_SIM_ENGINE", "scalar")
+        monkeypatch.setattr(
+            runner,
+            "_run_lane_chunk",
+            lambda *a, **k: pytest.fail("lane chunk built on scalar engine"),
+        )
+        monkeypatch.setattr(
+            experiments, "run_year", lambda *a, **k: fake_result()
+        )
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO), workers=1, lanes=4
+        )
+        assert len(results) == 2
+
+    def test_cached_cells_never_reach_a_chunk(self, lane_cache, monkeypatch):
+        chunks = self._record_chunks(monkeypatch)
+        tasks = baseline_tasks(NEWARK, SANTIAGO)
+        runner.run_year_tasks(tasks, workers=1, lanes=4)
+        assert [len(c) for c in chunks] == [2]
+        # Second run: everything is served from the cache.
+        runner.run_year_tasks(tasks, workers=1, lanes=4)
+        assert [len(c) for c in chunks] == [2]
+
+    @fork_only
+    def test_pool_chunks_spread_across_workers(self, lane_cache, monkeypatch):
+        chunks = self._record_chunks(monkeypatch)
+        tasks = baseline_tasks(NEWARK, SANTIAGO, ICELAND)
+        # 3 lane-compatible cells, 2 workers, 8 lanes: ceil(3/2)=2 per
+        # chunk, so both workers get work instead of one 3-lane batch.
+        results = runner.run_year_tasks(tasks, workers=2, lanes=8)
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+        # The fakes ran in forked workers; the parent's recorder stays
+        # empty, which itself proves the pool path was taken.
+        assert chunks == []
 
 
 class TestYearTask:
