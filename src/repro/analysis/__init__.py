@@ -8,7 +8,12 @@ from repro.analysis.experiments import (
     year_result,
 )
 from repro.analysis.report import format_table
-from repro.analysis.runner import YearTask, resolve_workers, run_year_tasks
+from repro.analysis.runner import (
+    TaskFailure,
+    YearTask,
+    resolve_workers,
+    run_year_tasks,
+)
 from repro.analysis.worldmap import WorldSummary, bucket_counts, summarize_world
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "year_result",
     "five_location_matrix",
     "world_sweep",
+    "TaskFailure",
     "YearTask",
     "resolve_workers",
     "run_year_tasks",

@@ -54,7 +54,8 @@ CACHE_DIR = pathlib.Path(__file__).resolve().parents[3] / ".cache"
 
 # Bump whenever the simulator or the YearResult payload changes meaning:
 # entries written under a different schema version are recomputed.
-CACHE_SCHEMA_VERSION = 2
+# v3: half-up sensor quantization + daily_degraded_fraction payload field.
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_SAMPLE_DAYS = int(os.environ.get("REPRO_SAMPLE_DAYS", "14"))
 DEFAULT_TRACE_JOBS = int(os.environ.get("REPRO_TRACE_JOBS", "1200"))
@@ -110,6 +111,7 @@ def _result_to_json(result: YearResult) -> dict:
         "cooling_kwh": result.cooling_kwh,
         "it_kwh": result.it_kwh,
         "delivery_overhead": result.delivery_overhead,
+        "daily_degraded_fraction": result.daily_degraded_fraction,
     }
 
 
@@ -139,10 +141,11 @@ def effective_engine(
 ) -> str:
     """The simulation engine a run of ``system`` would actually use.
 
-    The lane engine supports the standard 120 s / 600 s timing only; a
-    config with exotic timing falls back to the scalar reference path (and
-    is fingerprinted as such, so the cache stays honest about which
-    numeric path produced each entry).
+    The lane engine supports the standard 120 s / 600 s timing only, and
+    no fault injection; a config with exotic timing or a non-empty
+    :class:`~repro.faults.FaultSchedule` falls back to the scalar
+    reference path (and is fingerprinted as such, so the cache stays
+    honest about which numeric path produced each entry).
     """
     requested = engine or DEFAULT_SIM_ENGINE
     if requested not in SIM_ENGINES:
@@ -156,6 +159,8 @@ def effective_engine(
             system.model_step_s != MODEL_STEP_S
             or system.control_period_s != CONTROL_PERIOD_S
         ):
+            return "scalar"
+        if getattr(system, "faults", None):
             return "scalar"
     return requested
 
@@ -286,7 +291,11 @@ def year_result(
     trace = (
         facebook_trace(deferrable) if workload == "facebook" else nutch_trace(deferrable)
     )
-    model = None if isinstance(system, str) else trained_cooling_model()
+    if isinstance(system, str):
+        model = None
+    else:
+        gaps = system.faults.log_gaps if system.faults is not None else ()
+        model = trained_cooling_model(log_gaps=gaps)
     if engine == "lanes":
         from repro.sim.lanes import LaneScenario, run_year_lanes
 
@@ -333,6 +342,9 @@ def five_location_matrix(
     workers: Optional[int] = None,
     lanes: Optional[int] = None,
     progress=None,
+    task_retries: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    failures: Optional[list] = None,
 ) -> Dict[str, Dict[str, YearResult]]:
     """The Figures 8-10 matrix: {system: {location: YearResult}}.
 
@@ -341,6 +353,11 @@ def five_location_matrix(
     lockstep lane groups within each worker (workers x lanes cells in
     flight); ``None`` resolves ``REPRO_WORKERS`` / CPU count and
     ``REPRO_LANES``.  Results are identical any way the work is split.
+
+    ``task_retries`` / ``task_timeout_s`` tune the runner's failure
+    handling, and passing a ``failures`` list collects failed cells
+    (as :class:`~repro.analysis.runner.TaskFailure`) instead of raising
+    on the first one; failed cells are omitted from the matrix.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
 
@@ -358,11 +375,18 @@ def five_location_matrix(
             ))
             cells.append((system, name))
     results = run_year_tasks(
-        tasks, workers=workers, lanes=lanes, progress=progress
+        tasks,
+        workers=workers,
+        lanes=lanes,
+        progress=progress,
+        task_retries=task_retries,
+        task_timeout_s=task_timeout_s,
+        failures=failures,
     )
     matrix: Dict[str, Dict[str, YearResult]] = {}
     for (system, name), result in zip(cells, results):
-        matrix.setdefault(system, {})[name] = result
+        if result is not None:
+            matrix.setdefault(system, {})[name] = result
     return matrix
 
 
@@ -373,13 +397,18 @@ def world_sweep(
     workers: Optional[int] = None,
     lanes: Optional[int] = None,
     progress=None,
+    task_retries: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    failures: Optional[list] = None,
 ):
     """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
 
     Runs ``baseline`` and ``coolair_system`` for every grid climate
     (``num_locations`` defaults to ``REPRO_WORLD_LOCATIONS``), fanning
     uncached cells out over ``workers`` processes with ``lanes`` cells
-    stepped in lockstep per worker.
+    stepped in lockstep per worker.  With a ``failures`` list, failed
+    cells are collected instead of raising; a climate missing either of
+    its (baseline, coolair) results is dropped from the summary.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
     from repro.analysis.worldmap import summarize_world
@@ -394,20 +423,32 @@ def world_sweep(
                 sample_every_days=sample_every_days,
             ))
     results = run_year_tasks(
-        tasks, workers=workers, lanes=lanes, progress=progress
+        tasks,
+        workers=workers,
+        lanes=lanes,
+        progress=progress,
+        task_retries=task_retries,
+        task_timeout_s=task_timeout_s,
+        failures=failures,
     )
     # Pair each climate's (baseline, coolair) results by task identity —
     # positional 2*i indexing silently mispairs if the task layout above
     # ever changes (and did not survive reordering or filtering).
     by_task: Dict[Tuple[str, str], YearResult] = {}
     for task, result in zip(tasks, results):
+        if result is None:
+            continue
         name = (
             task.system if isinstance(task.system, str) else task.system.name
         )
         by_task[(task.climate.name, name)] = result
-    pairs = [
-        (by_task[(c.name, "baseline")], by_task[(c.name, coolair_system)])
-        for c in climates
-    ]
-    coordinates = [(c.latitude, c.longitude) for c in climates]
+    pairs = []
+    coordinates = []
+    for c in climates:
+        baseline = by_task.get((c.name, "baseline"))
+        coolair = by_task.get((c.name, coolair_system))
+        if baseline is None or coolair is None:
+            continue
+        pairs.append((baseline, coolair))
+        coordinates.append((c.latitude, c.longitude))
     return summarize_world(pairs, coordinates)

@@ -18,6 +18,24 @@ over a :class:`concurrent.futures.ProcessPoolExecutor`:
   through the same atomic, schema-versioned disk cache
   (:mod:`repro.analysis.experiments`), so a re-run is free.
 
+Failure handling (docs/ROBUSTNESS.md):
+
+* every worker exception is wrapped in
+  :class:`~repro.errors.TaskExecutionError`, which carries the failing
+  (system, climate, workload, bias) cell's label across the process
+  boundary;
+* failed cells are retried with exponential backoff — ``task_retries``
+  / ``REPRO_TASK_RETRIES`` attempts (default 1 retry) — and a failed
+  lane chunk is re-run cell by cell so one bad lane cannot poison its
+  chunk-mates;
+* a crashed worker (``BrokenProcessPool``) or a pool that makes no
+  progress for ``task_timeout_s`` / ``REPRO_TASK_TIMEOUT_S`` seconds
+  abandons the pool and re-runs only the unfinished cells serially in
+  the parent, checking the cache first so a cell the dead worker already
+  persisted is never recomputed or re-written;
+* with a ``failures`` list the run completes and reports failed cells
+  (:class:`TaskFailure`) instead of dying on the first one.
+
 Workers return the JSON cache payload rather than the live
 :class:`YearResult` so the parallel path goes through exactly the same
 serialization as a disk-cache hit.
@@ -26,17 +44,25 @@ serialization as a disk-cache hit.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, List, Optional, Sequence, Union
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CoolAirConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, TaskExecutionError
 from repro.sim.yearsim import YearResult
 from repro.weather.climate import Climate
 
+logger = logging.getLogger("repro.analysis.runner")
+
 # Called after each finished cell with (done_count, total, task).
 ProgressCallback = Callable[[int, int, "YearTask"], None]
+
+# First-retry backoff; doubles per subsequent retry of the same cell.
+RETRY_BACKOFF_S = 0.5
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,7 +82,23 @@ class YearTask:
 
     def label(self) -> str:
         name = self.system if isinstance(self.system, str) else self.system.name
-        return f"{name} @ {self.climate.name} ({self.workload})"
+        return (
+            f"{name} @ {self.climate.name} ({self.workload}"
+            f"{', deferrable' if self.deferrable else ''}"
+            f"{f', bias {self.forecast_bias_c:+.1f}C' if self.forecast_bias_c else ''})"
+        )
+
+
+@dataclasses.dataclass
+class TaskFailure:
+    """One cell that exhausted its retries; collected via ``failures``."""
+
+    task: YearTask
+    error: str
+    attempts: int
+
+    def label(self) -> str:
+        return self.task.label()
 
 
 def resolve_workers(requested: Optional[int] = None) -> int:
@@ -88,6 +130,51 @@ def resolve_lanes(requested: Optional[int] = None) -> int:
     return requested
 
 
+def resolve_task_retries(requested: Optional[int] = None) -> int:
+    """Retries per failing cell: argument > ``REPRO_TASK_RETRIES`` > 1."""
+    if requested is None:
+        env = os.environ.get("REPRO_TASK_RETRIES")
+        if env is not None:
+            try:
+                requested = int(env)
+            except ValueError:
+                raise ReproError(
+                    f"REPRO_TASK_RETRIES must be an integer, got {env!r}"
+                )
+        else:
+            requested = 1
+    if requested < 0:
+        raise ReproError(f"task retries must be >= 0, got {requested}")
+    return requested
+
+
+def resolve_task_timeout(requested: Optional[float] = None) -> Optional[float]:
+    """Progress timeout in seconds: argument > ``REPRO_TASK_TIMEOUT_S``.
+
+    ``None`` (the default) or a non-positive value disables the timeout.
+    The timeout bounds the wait for *any* cell to complete, so a hung
+    worker cannot stall a campaign forever.
+    """
+    if requested is None:
+        env = os.environ.get("REPRO_TASK_TIMEOUT_S")
+        if env is not None:
+            try:
+                requested = float(env)
+            except ValueError:
+                raise ReproError(
+                    f"REPRO_TASK_TIMEOUT_S must be a number, got {env!r}"
+                )
+    if requested is not None and requested <= 0:
+        return None
+    return requested
+
+
+def _wrap_error(label: str, err: BaseException) -> TaskExecutionError:
+    if isinstance(err, TaskExecutionError):
+        return err
+    return TaskExecutionError(label, f"{type(err).__name__}: {err}")
+
+
 def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
     from repro.analysis import experiments
 
@@ -103,10 +190,17 @@ def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
 
 
 def _execute_task_payload(task: YearTask, use_disk_cache: bool) -> dict:
-    """Worker entry point: run one cell, return its JSON payload."""
+    """Worker entry point: run one cell, return its JSON payload.
+
+    Any exception is re-raised as a :class:`TaskExecutionError` carrying
+    the cell's identity, so the parent never sees an anonymous traceback.
+    """
     from repro.analysis import experiments
 
-    result = _run_task(task, use_disk_cache)
+    try:
+        result = _run_task(task, use_disk_cache)
+    except Exception as err:
+        raise _wrap_error(task.label(), err) from err
     return experiments._result_to_json(result)
 
 
@@ -167,10 +261,12 @@ def _execute_lane_chunk_payload(
     """Worker entry point: run a lane chunk, return JSON payloads."""
     from repro.analysis import experiments
 
-    return [
-        experiments._result_to_json(result)
-        for result in _run_lane_chunk(chunk, use_disk_cache)
-    ]
+    try:
+        results = _run_lane_chunk(chunk, use_disk_cache)
+    except Exception as err:
+        labels = "; ".join(task.label() for task in chunk)
+        raise _wrap_error(f"lane chunk [{labels}]", err) from err
+    return [experiments._result_to_json(result) for result in results]
 
 
 def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
@@ -195,13 +291,50 @@ def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
         trained_cooling_model()
 
 
+def _note_retry(
+    retried: Optional[List[str]], task: YearTask, attempt: int, err: BaseException
+) -> None:
+    logger.warning(
+        "retrying %s (attempt %d) after: %s", task.label(), attempt + 1, err
+    )
+    if retried is not None:
+        retried.append(task.label())
+
+
+def _run_task_with_retries(
+    task: YearTask,
+    use_disk_cache: bool,
+    retries: int,
+    backoff_s: float,
+    retried: Optional[List[str]],
+    attempts_used: int = 0,
+) -> YearResult:
+    """In-process execution with retry/backoff; raises TaskExecutionError."""
+    attempt = attempts_used
+    while True:
+        try:
+            return _run_task(task, use_disk_cache)
+        except Exception as err:  # noqa: BLE001 - converted to typed error
+            attempt += 1
+            if attempt > retries:
+                raise _wrap_error(task.label(), err) from err
+            _note_retry(retried, task, attempt, err)
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** (attempt - 1)))
+
+
 def run_year_tasks(
     tasks: Sequence[YearTask],
     workers: Optional[int] = None,
     use_disk_cache: bool = True,
     progress: Optional[ProgressCallback] = None,
     lanes: Optional[int] = None,
-) -> List[YearResult]:
+    task_retries: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    backoff_s: float = RETRY_BACKOFF_S,
+    failures: Optional[List[TaskFailure]] = None,
+    retried: Optional[List[str]] = None,
+) -> List[Optional[YearResult]]:
     """Run a batch of campaign cells, in parallel where possible.
 
     Returns one :class:`YearResult` per task, in task order.  Cached
@@ -211,11 +344,22 @@ def run_year_tasks(
     composing with the process pool as workers x lanes — and ``lanes=1``
     (or ``REPRO_SIM_ENGINE=scalar``) restores strictly per-cell runs.
     Results are bit-identical however the work is split.
+
+    ``task_retries`` retries each failing cell (with exponential
+    ``backoff_s`` doubling), ``task_timeout_s`` bounds the wait for any
+    cell to complete before the pool is declared stuck, and a crashed
+    worker triggers serial in-parent recovery of only the unfinished
+    cells (cache-checked first, so nothing is recomputed or re-written).
+    Without a ``failures`` list the first exhausted cell raises
+    :class:`~repro.errors.TaskExecutionError`; with one, failed cells are
+    appended as :class:`TaskFailure` and their slots stay ``None``.
     """
     from repro.analysis import experiments
 
     workers = resolve_workers(workers)
     lanes = resolve_lanes(lanes)
+    retries = resolve_task_retries(task_retries)
+    timeout_s = resolve_task_timeout(task_timeout_s)
     results: List[Optional[YearResult]] = [None] * len(tasks)
     done = 0
 
@@ -225,9 +369,19 @@ def run_year_tasks(
         if progress is not None:
             progress(done, len(tasks), task)
 
-    pending: List[int] = []
-    for index, task in enumerate(tasks):
-        key = experiments.cache_key(
+    def fail(index: int, err: BaseException, attempts: int) -> None:
+        error = _wrap_error(tasks[index].label(), err)
+        if failures is None:
+            raise error
+        logger.error("cell failed permanently: %s", error)
+        failures.append(
+            TaskFailure(task=tasks[index], error=str(error), attempts=attempts)
+        )
+        tick(tasks[index])
+
+    def task_key(index: int) -> str:
+        task = tasks[index]
+        return experiments.cache_key(
             task.system,
             task.climate,
             task.workload,
@@ -235,17 +389,35 @@ def run_year_tasks(
             task.sample_every_days,
             task.forecast_bias_c,
         )
-        cached = experiments.load_cached(key, use_disk_cache)
+
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        cached = experiments.load_cached(task_key(index), use_disk_cache)
         if cached is not None:
             results[index] = cached
             tick(task)
         else:
             pending.append(index)
 
+    def run_serial_cell(index: int, attempts_used: int = 0) -> None:
+        """One cell in-process, with retries; records result or failure."""
+        try:
+            results[index] = _run_task_with_retries(
+                tasks[index],
+                use_disk_cache,
+                retries,
+                backoff_s,
+                retried,
+                attempts_used=attempts_used,
+            )
+            tick(tasks[index])
+        except TaskExecutionError as err:
+            fail(index, err, attempts=retries + 1)
+
     # Partition the uncached cells: lane-engine-compatible cells group by
     # sampling stride (a lane batch steps all lanes over the same days);
-    # everything else — exotic-timing configs, the scalar engine, lanes=1
-    # — runs one cell at a time.
+    # everything else — exotic-timing or faulted configs, the scalar
+    # engine, lanes=1 — runs one cell at a time.
     singles: List[int] = []
     lane_groups: dict = {}
     if lanes > 1:
@@ -272,55 +444,157 @@ def run_year_tasks(
 
     if workers == 1 or (len(singles) + len(chunks)) <= 1:
         for chunk in chunks:
-            chunk_results = _run_lane_chunk(
-                [tasks[i] for i in chunk], use_disk_cache
-            )
+            try:
+                chunk_results = _run_lane_chunk(
+                    [tasks[i] for i in chunk], use_disk_cache
+                )
+            except Exception as err:  # noqa: BLE001 - isolate per cell
+                # One bad lane poisons its whole chunk; re-run the
+                # chunk's cells one at a time so the rest still finish.
+                logger.warning(
+                    "lane chunk failed (%s); re-running its %d cells "
+                    "individually",
+                    err,
+                    len(chunk),
+                )
+                for index in chunk:
+                    run_serial_cell(index, attempts_used=1)
+                continue
             for index, result in zip(chunk, chunk_results):
                 results[index] = result
                 tick(tasks[index])
         for index in singles:
-            results[index] = _run_task(tasks[index], use_disk_cache)
-            tick(tasks[index])
-        return results  # type: ignore[return-value]
+            run_serial_cell(index)
+        return results
 
     _warm_shared_state([tasks[i] for i in pending])
     max_workers = min(workers, len(singles) + len(chunks))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures: dict = {}
-        for chunk in chunks:
+
+    # index targets are ints (single cells) or lists of ints (lane chunks).
+    futures: dict = {}
+    attempts: Dict[Tuple[int, ...], int] = {}
+    lost: List[int] = []
+    broken = False
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    not_done: set = set()
+
+    def submit_chunk(chunk: List[int]) -> None:
+        try:
             future = pool.submit(
                 _execute_lane_chunk_payload,
                 [tasks[i] for i in chunk],
                 use_disk_cache,
             )
-            futures[future] = chunk
-        for index in singles:
+        except (BrokenProcessPool, RuntimeError):
+            lost.extend(chunk)
+            return
+        futures[future] = chunk
+        not_done.add(future)
+
+    def submit_single(index: int) -> None:
+        try:
             future = pool.submit(
                 _execute_task_payload, tasks[index], use_disk_cache
             )
-            futures[future] = index
-        for future in as_completed(futures):
-            target = futures[future]
-            indices = target if isinstance(target, list) else [target]
-            payloads = (
-                future.result()
-                if isinstance(target, list)
-                else [future.result()]
+        except (BrokenProcessPool, RuntimeError):
+            lost.append(index)
+            return
+        futures[future] = index
+        not_done.add(future)
+
+    try:
+        for chunk in chunks:
+            submit_chunk(chunk)
+        for index in singles:
+            submit_single(index)
+        while not_done and not broken:
+            finished, _ = wait(
+                not_done, timeout=timeout_s, return_when=FIRST_COMPLETED
             )
-            for index, payload in zip(indices, payloads):
-                task = tasks[index]
-                result = experiments._result_from_json(payload)
-                # Workers already wrote the disk entry; seed this
-                # process's memory cache so later lookups hit.
-                key = experiments.cache_key(
-                    task.system,
-                    task.climate,
-                    task.workload,
-                    task.deferrable,
-                    task.sample_every_days,
-                    task.forecast_bias_c,
+            not_done.difference_update(finished)
+            if not finished:
+                logger.warning(
+                    "no cell completed within %.0fs; abandoning the pool "
+                    "and recovering outstanding cells serially",
+                    timeout_s,
                 )
-                experiments.store_result(key, result, use_disk_cache=False)
-                results[index] = result
-                tick(task)
-    return results  # type: ignore[return-value]
+                broken = True
+                break
+            for future in finished:
+                target = futures.pop(future)
+                indices = target if isinstance(target, list) else [target]
+                try:
+                    payloads = future.result()
+                    if not isinstance(target, list):
+                        payloads = [payloads]
+                except BrokenProcessPool:
+                    broken = True
+                    lost.extend(
+                        i for i in indices if results[i] is None
+                    )
+                    continue
+                except Exception as err:  # noqa: BLE001 - typed + retried
+                    key = tuple(indices)
+                    attempts[key] = attempts.get(key, 0) + 1
+                    used = attempts[key]
+                    if used > retries:
+                        for index in indices:
+                            fail(index, err, attempts=used)
+                        continue
+                    for index in indices:
+                        _note_retry(retried, tasks[index], used, err)
+                    if backoff_s > 0:
+                        time.sleep(backoff_s * (2 ** (used - 1)))
+                    # Resubmit — chunk failures come back as singles,
+                    # inheriting the attempt count, so one bad lane
+                    # cannot keep poisoning its chunk-mates.
+                    for index in indices:
+                        attempts[(index,)] = max(
+                            attempts.get((index,), 0), used
+                        )
+                        submit_single(index)
+                    continue
+                for index, payload in zip(indices, payloads):
+                    task = tasks[index]
+                    result = experiments._result_from_json(payload)
+                    # Workers already wrote the disk entry; seed this
+                    # process's memory cache so later lookups hit.
+                    experiments.store_result(
+                        task_key(index), result, use_disk_cache=False
+                    )
+                    results[index] = result
+                    tick(task)
+    finally:
+        if broken:
+            # Dead or hung workers: do not wait for them.  (A hung worker
+            # survives as an orphan until it finishes or is killed.)
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            # Normal exit has nothing queued; on an error exit (first
+            # failure raising) this stops queued cells from running.
+            pool.shutdown(cancel_futures=True)
+
+    if broken or lost:
+        for future, target in list(futures.items()):
+            future.cancel()
+            indices = target if isinstance(target, list) else [target]
+            lost.extend(i for i in indices if results[i] is None)
+        recover = sorted(set(i for i in lost if results[i] is None))
+        if recover:
+            logger.warning(
+                "recovering %d unfinished cell(s) serially in the parent",
+                len(recover),
+            )
+        for index in recover:
+            # The dead worker may have persisted this cell before dying;
+            # a cache hit here avoids recomputing (and re-writing) it.
+            cached = experiments.load_cached(task_key(index), use_disk_cache)
+            if cached is not None:
+                results[index] = cached
+                tick(tasks[index])
+                continue
+            run_serial_cell(
+                index, attempts_used=attempts.get((index,), 0)
+            )
+    return results

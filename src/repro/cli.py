@@ -10,6 +10,7 @@ Subcommands mirror the workflows a datacenter operator would run:
 * ``matrix``    — the Figures 8-10 systems-by-locations year matrix.
 * ``world``     — the Figures 12/13 worldwide sweep.
 * ``locations`` — list the named evaluation locations.
+* ``faults``    — list the built-in fault-injection scenarios.
 * ``bench``     — time the simulation core and write ``BENCH_sim_core.json``.
 
 ``matrix`` and ``world`` fan out over worker processes (``--workers`` /
@@ -22,6 +23,7 @@ lockstep per worker by the lane-batched engine (see
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -34,11 +36,12 @@ from repro.analysis.experiments import (
     year_result,
 )
 from repro.analysis.report import format_table
-from repro.analysis.runner import resolve_workers
+from repro.analysis.runner import TaskFailure, resolve_workers
 from repro.core.band import select_band
 from repro.core.coolair import CoolAir
 from repro.core.versions import ALL_VERSIONS
 from repro.errors import ReproError
+from repro.faults import BUILTIN_SCENARIOS, builtin_scenario
 from repro.sim.campaign import run_learning_campaign, trained_cooling_model
 from repro.sim.engine import (
     BaselineAdapter,
@@ -108,6 +111,24 @@ def cmd_locations(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    rows = []
+    for name, schedule in sorted(BUILTIN_SCENARIOS.items()):
+        channels = []
+        for fault in schedule.sensor_faults:
+            channels.append(f"{fault.sensor}:{fault.kind}")
+        for fault in schedule.actuator_faults:
+            channels.append(fault.kind)
+        for gap in schedule.log_gaps:
+            channels.append(f"log-gap:{gap.drop_mode or 'positional'}")
+        rows.append([name, ", ".join(channels)])
+    print(format_table(
+        ["scenario", "fault channels"],
+        rows, title="Built-in fault scenarios (coolair day --faults NAME)",
+    ))
+    return 0
+
+
 def cmd_band(args: argparse.Namespace) -> int:
     climate = _climate(args.location)
     forecast = ForecastService(generate_tmy(climate)).forecast_for_day(args.day)
@@ -149,14 +170,26 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_day(args: argparse.Namespace) -> int:
     climate = _climate(args.location)
     trace = _trace(args.workload, deferrable=args.system.endswith("DEF"))
+    faults = builtin_scenario(args.faults) if args.faults else None
     if args.system == "baseline":
+        if faults is not None:
+            raise ReproError(
+                "--faults requires a CoolAir system (the baseline has no "
+                "graceful-degradation path); pick a version"
+            )
         setup = make_realsim(climate)
         adapter = BaselineAdapter()
     else:
         config = ALL_VERSIONS[args.system]()
-        setup = make_realsim(climate) if args.abrupt else make_smoothsim(climate)
+        if faults is not None:
+            config = dataclasses.replace(config, faults=faults)
+        maker = make_realsim if args.abrupt else make_smoothsim
+        setup = maker(climate, faults=faults)
+        model = trained_cooling_model(
+            log_gaps=faults.log_gaps if faults is not None else ()
+        )
         coolair = CoolAir(
-            config, trained_cooling_model(), setup.layout, setup.forecast,
+            config, model, setup.layout, setup.forecast,
             smooth_hardware=setup.smooth_hardware,
         )
         adapter = CoolAirAdapter(coolair)
@@ -168,6 +201,14 @@ def cmd_day(args: argparse.Namespace) -> int:
         f"range {day.worst_sensor_range_c():.1f}C, "
         f"PUE {day.pue():.2f}, cooling {day.cooling_energy_kwh():.1f} kWh"
     )
+    if faults is not None:
+        intervals = day.degradation_intervals()
+        spans = ", ".join(f"{a/3600:.1f}h-{b/3600:.1f}h" for a, b in intervals)
+        print(
+            f"faults ({args.faults}): safe-mode control "
+            f"{day.degraded_fraction()*100:.0f}% of the day"
+            + (f" over {len(intervals)} interval(s): {spans}" if intervals else "")
+        )
     return 0
 
 
@@ -189,6 +230,19 @@ def _progress(done: int, total: int, task) -> None:
     print(f"[{done}/{total}] {task.label()}", file=sys.stderr)
 
 
+def _report_failures(failures: List[TaskFailure]) -> None:
+    """Print the cells that exhausted their retries (docs/ROBUSTNESS.md)."""
+    if not failures:
+        return
+    print(f"\n{len(failures)} cell(s) failed and were skipped:", file=sys.stderr)
+    for failure in failures:
+        print(
+            f"  {failure.label()} after {failure.attempts} attempt(s): "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+
+
 def cmd_matrix(args: argparse.Namespace) -> int:
     systems = tuple(args.systems.split(","))
     for system in systems:
@@ -197,6 +251,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
                 f"unknown system {system!r}; choices: {', '.join(SYSTEM_CHOICES)}"
             )
     workers = resolve_workers(args.workers)
+    failures: List[TaskFailure] = []
     matrix = five_location_matrix(
         systems=systems,
         workload=args.workload,
@@ -204,6 +259,9 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         workers=workers,
         lanes=args.lanes,
         progress=None if args.quiet else _progress,
+        task_retries=args.task_retries,
+        task_timeout_s=args.task_timeout,
+        failures=failures,
     )
     rows = []
     for system, by_location in matrix.items():
@@ -220,7 +278,8 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         rows,
         title=f"Figures 8-10 matrix ({args.workload}, {workers} workers)",
     ))
-    return 0
+    _report_failures(failures)
+    return 1 if failures else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -249,11 +308,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_world(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
+    failures: List[TaskFailure] = []
     summary = world_sweep(
         num_locations=args.locations,
         workers=workers,
         lanes=args.lanes,
         progress=None if args.quiet else _progress,
+        task_retries=args.task_retries,
+        task_timeout_s=args.task_timeout,
+        failures=failures,
     )
     print(format_table(
         ["bin C", "locations"],
@@ -266,7 +329,8 @@ def cmd_world(args: argparse.Namespace) -> int:
         title="Figure 13 — yearly PUE reduction",
     ))
     print(summary.headline())
-    return 0
+    _report_failures(failures)
+    return 1 if failures else 0
 
 
 # -- entry point ----------------------------------------------------------------
@@ -281,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("versions", help="print the system matrix")
     sub.add_parser("locations", help="list named locations")
+    sub.add_parser("faults", help="list built-in fault scenarios")
 
     band = sub.add_parser("band", help="show a day's temperature band")
     band.add_argument("--location", default="Newark")
@@ -297,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
     day.add_argument("--workload", default="facebook")
     day.add_argument("--abrupt", action="store_true",
                      help="use Parasol's abrupt hardware for CoolAir")
+    day.add_argument("--faults", default=None,
+                     choices=sorted(BUILTIN_SCENARIOS),
+                     help="inject a built-in fault scenario "
+                          "(see `coolair faults` and docs/ROBUSTNESS.md)")
 
     year = sub.add_parser("year", help="simulate a year")
     year.add_argument("--location", default="Newark")
@@ -321,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default REPRO_LANES; 1 = per-cell runs)")
     matrix.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress on stderr")
+    matrix.add_argument("--task-retries", type=int, default=None,
+                        help="retries per failing cell "
+                             "(default REPRO_TASK_RETRIES or 1)")
+    matrix.add_argument("--task-timeout", type=float, default=None,
+                        help="seconds to wait for any cell to finish before "
+                             "recovering serially (default REPRO_TASK_TIMEOUT_S; "
+                             "unset = no timeout)")
 
     world = sub.add_parser(
         "world", help="the Figures 12/13 worldwide sweep")
@@ -333,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default REPRO_LANES; 1 = per-cell runs)")
     world.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
+    world.add_argument("--task-retries", type=int, default=None,
+                       help="retries per failing cell "
+                            "(default REPRO_TASK_RETRIES or 1)")
+    world.add_argument("--task-timeout", type=float, default=None,
+                       help="seconds to wait for any cell to finish before "
+                            "recovering serially (default REPRO_TASK_TIMEOUT_S; "
+                            "unset = no timeout)")
 
     bench = sub.add_parser(
         "bench", help="time the simulation core (see docs/PERFORMANCE.md)")
@@ -359,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
 COMMANDS = {
     "versions": cmd_versions,
     "locations": cmd_locations,
+    "faults": cmd_faults,
     "band": cmd_band,
     "campaign": cmd_campaign,
     "day": cmd_day,

@@ -43,12 +43,23 @@ class CoolingUnits:
     Subclasses enforce the hardware's reachable actuator settings.  Units
     are stateful because smooth ramp-up constrains the next step's speed to
     the neighborhood of the current one.
+
+    Actuator faults (:mod:`repro.faults`) are enforced here, after the
+    subclass has clamped the command to the hardware envelope: a jammed
+    damper forces the FC fan off, a stuck fan runs at its stuck speed
+    whenever it is on at all, and a locked-out compressor cannot engage.
+    Mode and power draw then derive from the faulted actuator state, so
+    the plant and the trace see what the hardware actually did, not what
+    the controller asked for.
     """
 
     def __init__(self) -> None:
         self.fc_fan_speed = 0.0
         self.ac_fan_speed = 0.0
         self.ac_compressor_duty = 0.0
+        self._fan_stuck_speed: float = 0.0
+        self._compressor_locked = False
+        self._damper_jammed = False
 
     @property
     def mode(self) -> CoolingMode:
@@ -60,8 +71,29 @@ class CoolingUnits:
             return CoolingMode.AC_FAN
         return CoolingMode.CLOSED
 
+    def set_faults(
+        self,
+        fan_stuck_speed: "float | None" = None,
+        compressor_locked: bool = False,
+        damper_jammed: bool = False,
+    ) -> None:
+        """Install (or clear, with the defaults) the actuator faults."""
+        self._fan_stuck_speed = fan_stuck_speed or 0.0
+        self._compressor_locked = compressor_locked
+        self._damper_jammed = damper_jammed
+
     def apply(self, command: CoolingCommand) -> None:
-        """Apply a command, clamped to what the hardware can do."""
+        """Apply a command, clamped to hardware limits and faults."""
+        self._apply_command(command)
+        if self._damper_jammed:
+            self.fc_fan_speed = 0.0
+        elif self._fan_stuck_speed > 0.0 and self.fc_fan_speed > 0.0:
+            self.fc_fan_speed = self._fan_stuck_speed
+        if self._compressor_locked:
+            self.ac_compressor_duty = 0.0
+
+    def _apply_command(self, command: CoolingCommand) -> None:
+        """Subclass hook: clamp the command to the hardware envelope."""
         raise NotImplementedError
 
     def plant_inputs(self) -> PlantInputs:
@@ -79,7 +111,7 @@ class CoolingUnits:
 class AbruptCoolingUnits(CoolingUnits):
     """Parasol's real hardware: 15%-minimum fan, on/off compressor."""
 
-    def apply(self, command: CoolingCommand) -> None:
+    def _apply_command(self, command: CoolingCommand) -> None:
         if command.mode is CoolingMode.FREE_COOLING:
             # The unit cannot run below 15%: opening at a lower request
             # still slams in at the minimum speed.
@@ -144,7 +176,7 @@ class SmoothCoolingUnits(CoolingUnits):
             return self._ramp_up(current, target, min_speed)
         return target  # ramping down within the operating range is free
 
-    def apply(self, command: CoolingCommand) -> None:
+    def _apply_command(self, command: CoolingCommand) -> None:
         min_speed = constants.SMOOTH_FC_MIN_SPEED
         if command.mode is CoolingMode.FREE_COOLING:
             self.fc_fan_speed = self._apply_axis(

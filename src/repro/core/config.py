@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro import constants
 from repro.errors import ConfigError
+from repro.faults import FaultSchedule
 
 
 class PlacementStrategy(enum.Enum):
@@ -77,6 +78,10 @@ class CoolAirConfig:
     # Control cadence.
     control_period_s: int = constants.CONTROL_PERIOD_S
     model_step_s: int = constants.MODEL_STEP_S
+    # Fault injection (docs/ROBUSTNESS.md).  None or an empty schedule
+    # leaves every simulation path bit-identical to the fault-free build;
+    # a non-empty schedule forces the scalar engine (effective_engine).
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.width_c <= 0:

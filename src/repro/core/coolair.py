@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.cooling.baseline import BaselineController
 from repro.cooling.regimes import CoolingCommand
 from repro.core.band import TemperatureBand, select_band
 from repro.core.compute import ComputeConfigurer, ComputeOptimizer, TemporalScheduler
@@ -26,7 +27,7 @@ from repro.core.optimizer import CoolingOptimizer
 from repro.core.predictor import CoolingPredictor, PredictorState
 from repro.core.utility import UtilityFunction, UtilityWeights
 from repro.datacenter.layout import DatacenterLayout
-from repro.errors import ConfigError, WeatherError
+from repro.errors import ConfigError, ModelNotTrainedError, WeatherError
 from repro.weather.forecast import DailyForecast, ForecastService
 from repro.workload.job import Job
 
@@ -62,6 +63,16 @@ class CoolAir:
         self.temporal_scheduler = TemporalScheduler(config)
         self.band: Optional[TemperatureBand] = None
         self.forecast: Optional[DailyForecast] = None
+        # Safe mode (docs/ROBUSTNESS.md): when required sensors are dead
+        # or the learned model has lost a regime, fall back to the same
+        # TKS-style feedback law the baseline runs, with the setpoint at
+        # the config's Max (plus its humidity override) — conservative
+        # and model-free, so it works with no learned state at all.
+        self._safe_controller = BaselineController(
+            setpoint_c=config.max_c, max_rh_pct=config.max_rh_pct
+        )
+        self.last_decision_degraded = False
+        self.last_degradation_reason: Optional[str] = None
 
     # -- daily --------------------------------------------------------------
 
@@ -110,10 +121,79 @@ class CoolAir:
     def decide_cooling(
         self, state: PredictorState, active_pods: Optional[Sequence[int]] = None
     ) -> CoolingCommand:
-        """Select the best cooling regime for the next period."""
+        """Select the best cooling regime for the next period.
+
+        Degrades gracefully instead of raising: if a required sensor is
+        dead (an inlet or the outside temperature) or the learned model
+        cannot predict a candidate regime, the decision drops to the
+        documented TKS-like safe mode and ``last_decision_degraded`` /
+        ``last_degradation_reason`` record it for the trace.
+        """
         if self.band is None:
             raise ConfigError("call start_day before decide_cooling")
-        return self.optimizer.decide(state, self.band, active_pods)
+        reason = self._dead_sensor_reason()
+        if reason is None:
+            try:
+                command = self.optimizer.decide(state, self.band, active_pods)
+                self.last_decision_degraded = False
+                self.last_degradation_reason = None
+                return command
+            except ModelNotTrainedError as err:
+                reason = f"model lost a regime: {err}"
+        self.last_decision_degraded = True
+        self.last_degradation_reason = reason
+        return self._safe_mode_command()
+
+    # -- graceful degradation -------------------------------------------------
+
+    def _dead_sensor_reason(self) -> Optional[str]:
+        """Why the optimizer cannot be trusted, or None if sensors are fine.
+
+        The optimizer needs every pod inlet sensor (its state vector) and
+        the outside temperature (every rollout's boundary condition); the
+        humidity inputs come from the plant model, not sensors, so dead
+        humidity sensors do not force a fallback.
+        """
+        dead = [
+            sensor.name
+            for sensor in self.layout.inlet_sensors
+            if not sensor.healthy
+        ]
+        if not self.layout.outside_temp.healthy:
+            dead.append(self.layout.outside_temp.name)
+        if dead:
+            return "dead sensors: " + ", ".join(dead)
+        return None
+
+    # Nominal inlet rise over outside air, used only when every inlet
+    # sensor is dead and safe mode must estimate a control temperature.
+    SAFE_MODE_INLET_RISE_C = 6.0
+
+    def _safe_mode_command(self) -> CoolingCommand:
+        """The TKS-like fallback decision (docs/ROBUSTNESS.md).
+
+        Controls on the warmest *healthy* inlet reading; with every inlet
+        dead it assumes a nominal rise over the outside reading.  Dead
+        sensors hold their last value, so ``read()`` stays available.
+        """
+        layout = self.layout
+        healthy = [
+            sensor.read()
+            for sensor in layout.inlet_sensors
+            if sensor.healthy and sensor.has_reading
+        ]
+        if healthy:
+            control_temp = max(healthy)
+        else:
+            control_temp = (
+                layout.outside_temp.read() + self.SAFE_MODE_INLET_RISE_C
+            )
+        return self._safe_controller.decide(
+            control_temp_c=control_temp,
+            outside_temp_c=layout.outside_temp.read(),
+            cold_aisle_rh_pct=layout.cold_aisle_humidity.read(),
+            outside_rh_pct=layout.outside_humidity.read(),
+        )
 
     def placement_order(self):
         """Spatial placement order for the workload scheduler."""

@@ -5,14 +5,38 @@ are quantized to that resolution so the learned models see realistic data.
 CoolAir requires at least one outside temperature + humidity sensor, one
 inlet temperature sensor per pod, and one cold-aisle humidity sensor
 (Section 3).
+
+Quantization rounds halves *up* (``floor(x/res + 0.5) * res``): a 25.25C
+reading at 0.5C resolution becomes 25.5C and 25.75C becomes 26.0C.
+Python's ``round`` would round half to even, quantizing those two the
+inconsistent way (25.0 and 26.0); the lane engine's vectorized
+quantization mirrors the same half-up rule elementwise.
+
+Sensors also expose the fault-injection seam (``docs/ROBUSTNESS.md``):
+``inject`` is an optional hook installed by
+:class:`~repro.faults.FaultInjector` that may corrupt a reading or
+declare the sensor dead, and ``healthy`` reports whether the last
+observation came from a working sensor.  A dead sensor holds its last
+reading (consumers never crash mid-control-loop) but reports unhealthy
+so the manager can degrade gracefully.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Callable, Optional, Tuple
 
 from repro import constants
 from repro.errors import SensorError
+
+# The fault-injection hook: reading -> (faulted reading or None if the
+# sensor is dead, healthy flag).
+InjectHook = Callable[[float], Tuple[Optional[float], bool]]
+
+
+def quantize_half_up(value: float, resolution: float) -> float:
+    """Quantize with halves rounding up (toward +infinity)."""
+    return math.floor(value / resolution + 0.5) * resolution
 
 
 class TemperatureSensor:
@@ -25,11 +49,23 @@ class TemperatureSensor:
             raise SensorError(f"sensor {name}: resolution must be positive")
         self.name = name
         self.resolution_c = resolution_c
+        self.inject: Optional[InjectHook] = None
         self._reading: Optional[float] = None
+        self._healthy = True
 
     def observe(self, true_temp_c: float) -> float:
         """Record a new reading, quantized to the sensor resolution."""
-        quantized = round(true_temp_c / self.resolution_c) * self.resolution_c
+        quantized = quantize_half_up(true_temp_c, self.resolution_c)
+        if self.inject is not None:
+            faulted, healthy = self.inject(quantized)
+            self._healthy = healthy
+            if faulted is None:
+                if self._reading is None:
+                    self._reading = quantized
+                return self._reading
+            quantized = float(faulted)
+        else:
+            self._healthy = True
         self._reading = quantized
         return quantized
 
@@ -43,6 +79,11 @@ class TemperatureSensor:
     def has_reading(self) -> bool:
         return self._reading is not None
 
+    @property
+    def healthy(self) -> bool:
+        """Whether the last observation came from a working sensor."""
+        return self._healthy
+
 
 class HumiditySensor:
     """A relative humidity sensor, quantized to 1%."""
@@ -52,11 +93,23 @@ class HumiditySensor:
             raise SensorError(f"sensor {name}: resolution must be positive")
         self.name = name
         self.resolution_pct = resolution_pct
+        self.inject: Optional[InjectHook] = None
         self._reading: Optional[float] = None
+        self._healthy = True
 
     def observe(self, true_rh_pct: float) -> float:
         clamped = max(0.0, min(100.0, true_rh_pct))
-        quantized = round(clamped / self.resolution_pct) * self.resolution_pct
+        quantized = quantize_half_up(clamped, self.resolution_pct)
+        if self.inject is not None:
+            faulted, healthy = self.inject(quantized)
+            self._healthy = healthy
+            if faulted is None:
+                if self._reading is None:
+                    self._reading = quantized
+                return self._reading
+            quantized = float(faulted)
+        else:
+            self._healthy = True
         self._reading = quantized
         return quantized
 
@@ -68,3 +121,8 @@ class HumiditySensor:
     @property
     def has_reading(self) -> bool:
         return self._reading is not None
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the last observation came from a working sensor."""
+        return self._healthy

@@ -42,3 +42,22 @@ class SimulationError(ReproError):
 
 class WeatherError(ReproError):
     """Weather data was requested outside the available range."""
+
+
+class TaskExecutionError(ReproError):
+    """A campaign task failed; carries the failing cell's identity.
+
+    ``label`` is the task's (system, climate, workload) label and
+    ``cause`` a string rendering of the underlying error, so the parent
+    of a worker pool can report *which* cell died rather than a bare
+    traceback.  ``__reduce__`` keeps instances picklable across process
+    boundaries despite the multi-argument constructor.
+    """
+
+    def __init__(self, label: str, cause: str) -> None:
+        self.label = label
+        self.cause = cause
+        super().__init__(f"task {label} failed: {cause}")
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.cause))

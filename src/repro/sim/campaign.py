@@ -123,25 +123,36 @@ def run_learning_campaign(
     return runner.monitoring_log
 
 
-_MODEL_CACHE: Dict[Tuple[str, Tuple[int, ...]], CoolingModel] = {}
+_MODEL_CACHE: Dict[tuple, CoolingModel] = {}
 
 
 def trained_cooling_model(
     climate: Climate = NEWARK,
     days: Sequence[int] = DEFAULT_CAMPAIGN_DAYS,
     use_cache: bool = True,
+    log_gaps: Sequence = (),
 ) -> CoolingModel:
-    """The learned Cooling Model, cached per (climate, campaign days).
+    """The learned Cooling Model, cached per (climate, days, log gaps).
 
     The paper learns one model from Parasol (sited near Newark) and uses
     the fan-speed/outside-temperature inputs to generalize; callers
-    normally take the default.
+    normally take the default.  ``log_gaps`` (a sequence of
+    :class:`~repro.faults.LogGapFault`) punches holes in the monitoring
+    log before learning — a gapped log may starve whole regimes below
+    ``min_samples``, so core-regime enforcement is relaxed and the
+    degraded model relies on CoolAir's safe-mode fallback at decide time.
     """
-    key = (climate.name, tuple(days))
+    gaps = tuple(log_gaps)
+    key = (climate.name, tuple(days), gaps)
     if use_cache and key in _MODEL_CACHE:
         return _MODEL_CACHE[key]
     log = run_learning_campaign(climate, days)
-    model = CoolingLearner(num_sensors=4).learn(log)
+    if gaps:
+        from repro.faults import apply_log_gaps
+
+        log = apply_log_gaps(log, gaps)
+    learner = CoolingLearner(num_sensors=4, require_core_regimes=not gaps)
+    model = learner.learn(log)
     if use_cache:
         _MODEL_CACHE[key] = model
     return model

@@ -28,6 +28,7 @@ from repro.core.predictor import PredictorState
 from repro.datacenter.layout import DatacenterLayout, parasol_layout
 from repro.datacenter.server import PowerState, Server
 from repro.errors import ConfigError, SimulationError, WeatherError
+from repro.faults import FaultInjector, FaultSchedule
 from repro.physics.psychrometrics import absolute_to_relative_humidity
 from repro.physics.thermal import PlantInputs, ThermalPlant
 from repro.sim.trace import DayTrace, StepRecord
@@ -52,6 +53,8 @@ class SimSetup:
     forecast: ForecastService
     model_step_s: int = 120
     control_period_s: int = 600
+    # Optional fault injection (docs/ROBUSTNESS.md); None = fault-free.
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         if self.control_period_s % self.model_step_s != 0:
@@ -68,6 +71,7 @@ def make_realsim(
     climate: Climate,
     forecast_bias_c: float = 0.0,
     process_noise_c: float = 0.0,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimSetup:
     """Real-Sim: Parasol's abrupt cooling hardware."""
     from repro.physics.thermal import ThermalPlantConfig
@@ -85,6 +89,7 @@ def make_realsim(
         plant=plant,
         units=AbruptCoolingUnits(),
         forecast=ForecastService(tmy, bias_c=forecast_bias_c),
+        faults=FaultInjector(faults) if faults else None,
     )
 
 
@@ -92,9 +97,10 @@ def make_smoothsim(
     climate: Climate,
     forecast_bias_c: float = 0.0,
     process_noise_c: float = 0.0,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimSetup:
     """Smooth-Sim: fine-grained fan ramp and variable-speed compressor."""
-    setup = make_realsim(climate, forecast_bias_c, process_noise_c)
+    setup = make_realsim(climate, forecast_bias_c, process_noise_c, faults)
     return dataclasses.replace(setup, units=SmoothCoolingUnits())
 
 
@@ -260,6 +266,7 @@ class CoolAirAdapter:
         self._active_pods = active_pods
         state = runner.predictor_state()
         command = self.coolair.decide_cooling(state, active_pods)
+        runner.degraded_control = self.coolair.last_decision_degraded
         runner.setup.units.apply(command)
 
     def placement_order(self, runner: "DayRunner"):
@@ -281,6 +288,12 @@ class DayRunner:
         self.interval_index = 0
         self._day = 0
         self._time_of_day_s = 0.0
+        # Whether the most recent control decision ran degraded (safe
+        # mode); stamped onto every StepRecord until the next decision.
+        self.degraded_control = False
+        self._injector = setup.faults
+        if self._injector is not None:
+            self._injector.attach(setup.layout, setup.units)
         # Weather presampled on the model-step grid: per-step queries become
         # indexed reads (bit-identical to interpolation; see SampledWeather).
         try:
@@ -334,6 +347,9 @@ class DayRunner:
         steps = int(SECONDS_PER_DAY // setup.model_step_s)
         steps_per_control = setup.control_period_s // setup.model_step_s
         self._day = day_of_year
+        self.degraded_control = False
+        if self._injector is not None:
+            self._injector.begin_day(day_of_year)
         trace = DayTrace(day_of_year, label=self.adapter.name)
 
         start_t = day_of_year * SECONDS_PER_DAY
@@ -370,6 +386,8 @@ class DayRunner:
 
     def _seed_sensors(self, abs_t: float) -> None:
         setup = self.setup
+        if self._injector is not None:
+            self._injector.set_time(abs_t)
         state = setup.plant.state
         outside_c = self._weather.temperature_c(abs_t)
         outside_rh = self._weather.relative_humidity_pct(abs_t)
@@ -390,6 +408,8 @@ class DayRunner:
         setup = self.setup
         layout = setup.layout
         units = setup.units
+        if self._injector is not None:
+            self._injector.set_time(abs_t)
 
         # Remember "last" values before the step for the Predictor.
         self._prev_readings = layout.inlet_readings()
@@ -446,6 +466,7 @@ class DayRunner:
             outside_rh_pct=layout.outside_humidity.read(),
             utilization=layout.utilization(),
             disk_temps_c=tuple(float(t) for t in disk_temps),
+            degraded=self.degraded_control,
         )
         if self.collect_monitoring:
             self.monitoring_log.append(

@@ -14,9 +14,9 @@ rate to keep that guarantee cheap to audit:
 
 * **Per model step (720/day, vectorized):** :class:`LaneThermalPlant`
   stepping, :class:`LaneWeather` grid reads, sensor quantization
-  (``np.rint`` is the elementwise mirror of the scalar sensors'
-  banker's-rounding ``round``), cold-aisle RH, :class:`LaneDiskModel`,
-  and metric recording.
+  (``np.floor(x/res + 0.5)`` is the elementwise mirror of the scalar
+  sensors' half-up quantization), cold-aisle RH,
+  :class:`LaneDiskModel`, and metric recording.
 * **Per control period (144/day, per-lane scalars):** everything the
   scalar engine computes from quantities that the :class:`ProfileWorkload`
   holds constant between control epochs — pod IT powers, unit actuator
@@ -88,16 +88,19 @@ _RH_RES = 1.0
 def _quantize_temp(true_c: np.ndarray) -> np.ndarray:
     """Elementwise mirror of ``TemperatureSensor.observe``.
 
-    ``np.rint`` rounds half to even exactly like Python's ``round``, so
-    each element matches the scalar sensor bit for bit.
+    ``np.floor(x/res + 0.5) * res`` is the same half-up rule (and the
+    same float64 operations) as the scalar sensor's
+    :func:`~repro.datacenter.sensors.quantize_half_up`, so each element
+    matches the scalar sensor bit for bit — including ties like 25.25C,
+    which round up to 25.5C on both paths.
     """
-    return np.rint(true_c / _TEMP_RES) * _TEMP_RES
+    return np.floor(true_c / _TEMP_RES + 0.5) * _TEMP_RES
 
 
 def _quantize_rh(true_pct: np.ndarray) -> np.ndarray:
-    """Elementwise mirror of ``HumiditySensor.observe``."""
+    """Elementwise mirror of ``HumiditySensor.observe`` (half-up)."""
     clamped = np.maximum(0.0, np.minimum(100.0, true_pct))
-    return np.rint(clamped / _RH_RES) * _RH_RES
+    return np.floor(clamped / _RH_RES + 0.5) * _RH_RES
 
 
 def _copy_trace(trace: Trace) -> Trace:
@@ -234,6 +237,12 @@ class LaneRunner:
                         "lane engine requires the standard "
                         f"{MODEL_STEP_S}s/{CONTROL_PERIOD_S}s timing, got "
                         f"{system.model_step_s}s/{system.control_period_s}s"
+                    )
+                if getattr(system, "faults", None):
+                    raise ConfigError(
+                        "lane engine does not support fault injection; "
+                        "faulted cells must run on the scalar path (see "
+                        "effective_engine)"
                     )
                 units = (
                     SmoothCoolingUnits() if smooth_hardware
@@ -660,6 +669,7 @@ class LaneRunner:
                 daily_max_rate_c_per_hour=[],
                 cooling_kwh=0.0,
                 it_kwh=0.0,
+                daily_degraded_fraction=[],
             )
             for lane in self.lanes
         ]
@@ -682,6 +692,9 @@ class LaneRunner:
                 result.daily_max_rate_c_per_hour.append(
                     day_metrics["max_rate_c_per_hour"]
                 )
+                # Lanes never run faulted scenarios, so no step degrades;
+                # 0.0 matches the scalar path's mean-of-no-flags exactly.
+                result.daily_degraded_fraction.append(0.0)
                 result.cooling_kwh += day_metrics["cooling_kwh"]
                 result.it_kwh += day_metrics["it_kwh"]
                 if keep_traces:

@@ -65,6 +65,9 @@ class StepRecord:
     outside_rh_pct: float
     utilization: float  # fraction of active servers
     disk_temps_c: Tuple[float, ...] = ()
+    # Whether the step ran under a degraded (safe-mode) control decision;
+    # always False for the baseline and for fault-free runs.
+    degraded: bool = False
 
 
 class DayTrace:
@@ -153,3 +156,31 @@ class DayTrace:
         if rh.size == 0:
             return 0.0
         return float(np.mean(rh > limit_pct))
+
+    # -- degradation (docs/ROBUSTNESS.md) -------------------------------------
+
+    def degraded_fraction(self) -> float:
+        """Fraction of the day spent under safe-mode (degraded) control."""
+        if not self.records:
+            return 0.0
+        flags = np.array([r.degraded for r in self.records], dtype=float)
+        return float(np.mean(flags))
+
+    def degradation_intervals(self) -> List[Tuple[float, float]]:
+        """Maximal [start, end] time spans of contiguous degraded steps."""
+        intervals: List[Tuple[float, float]] = []
+        start: float = 0.0
+        last: float = 0.0
+        open_interval = False
+        for record in self.records:
+            if record.degraded:
+                if not open_interval:
+                    start = record.time_s
+                    open_interval = True
+                last = record.time_s
+            elif open_interval:
+                intervals.append((start, last))
+                open_interval = False
+        if open_interval:
+            intervals.append((start, last))
+        return intervals

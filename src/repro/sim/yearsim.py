@@ -49,6 +49,12 @@ class YearResult:
     cooling_kwh: float
     it_kwh: float
     delivery_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD
+    # Per sampled day: fraction of steps under safe-mode (degraded)
+    # control — all zeros unless the run injected faults
+    # (docs/ROBUSTNESS.md).
+    daily_degraded_fraction: List[float] = dataclasses.field(
+        default_factory=list
+    )
 
     # -- Figure 9 metrics ---------------------------------------------------
 
@@ -82,6 +88,13 @@ class YearResult:
         return float(np.mean(self.daily_avg_violation_c))
 
     # -- Figure 10 metric ----------------------------------------------------
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Year-average fraction of time under safe-mode control."""
+        if not self.daily_degraded_fraction:
+            return 0.0
+        return float(np.mean(self.daily_degraded_fraction))
 
     @property
     def pue(self) -> float:
@@ -132,10 +145,12 @@ def run_year(
         adapter = BaselineAdapter()
         label = "Baseline"
     else:
+        faults = system.faults if system.faults else None
         maker = make_smoothsim if smooth_hardware else make_realsim
-        setup = maker(climate, forecast_bias_c=forecast_bias_c)
+        setup = maker(climate, forecast_bias_c=forecast_bias_c, faults=faults)
         if model is None:
-            model = trained_cooling_model()
+            gaps = faults.log_gaps if faults is not None else ()
+            model = trained_cooling_model(log_gaps=gaps)
         coolair = CoolAir(
             config=system,
             model=model,
@@ -160,6 +175,7 @@ def run_year(
         daily_max_rate_c_per_hour=[],
         cooling_kwh=0.0,
         it_kwh=0.0,
+        daily_degraded_fraction=[],
     )
     traces: List[DayTrace] = []
     for day in days:
@@ -170,6 +186,7 @@ def run_year(
             day_trace.avg_violation_c(violation_threshold_c)
         )
         result.daily_max_rate_c_per_hour.append(day_trace.max_rate_c_per_hour())
+        result.daily_degraded_fraction.append(day_trace.degraded_fraction())
         result.cooling_kwh += day_trace.cooling_energy_kwh()
         result.it_kwh += day_trace.it_energy_kwh()
         if keep_traces:

@@ -75,7 +75,18 @@ class ForecastService:
         self._seed = seed
 
     def forecast_for_day(self, day_of_year: int, issued_hour: int = 0) -> DailyForecast:
-        """Forecast for the remaining hours of ``day_of_year``."""
+        """Forecast for the remaining hours of ``day_of_year``.
+
+        ``day_of_year`` values of 365 and beyond wrap into the following
+        (typical) year on purpose: year simulations index days past a
+        year boundary and the TMY series repeats.  Negative days have no
+        such meaning and are rejected — silently wrapping -1 to day 364
+        would hand a December forecast to a caller with an off-by-one.
+        """
+        if day_of_year < 0:
+            raise WeatherError(
+                f"day_of_year must be non-negative, got {day_of_year}"
+            )
         if not 0 <= issued_hour <= 23:
             raise WeatherError(f"issued_hour {issued_hour} out of [0, 23]")
         day = day_of_year % DAYS_PER_YEAR

@@ -1,0 +1,126 @@
+"""End-to-end fault injection and graceful degradation.
+
+The acceptance contract (docs/ROBUSTNESS.md): every built-in scenario
+runs a full day under CoolAir without an unhandled exception and spends
+at least one interval under safe-mode control; same-seed runs are
+bit-identical; and an *empty* fault schedule leaves the simulation
+bit-identical to a fault-free run, so the golden-fixture tests keep
+pinning the unfaulted trajectory.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.coolair import CoolAir
+from repro.core.versions import all_nd
+from repro.faults import BUILTIN_SCENARIOS, FaultSchedule, builtin_scenario
+from repro.sim.campaign import trained_cooling_model
+from repro.sim.engine import (
+    CoolAirAdapter,
+    DayRunner,
+    ProfileWorkload,
+    make_smoothsim,
+)
+from repro.weather.locations import NEWARK
+from repro.workload.traces import FacebookTraceGenerator
+
+DAY = 182
+
+
+def run_faulted_day(schedule, trace, day=DAY):
+    """One smooth-hardware CoolAir day under a fault schedule."""
+    config = dataclasses.replace(all_nd(), faults=schedule)
+    setup = make_smoothsim(NEWARK, faults=schedule)
+    model = trained_cooling_model(
+        log_gaps=schedule.log_gaps if schedule is not None else ()
+    )
+    coolair = CoolAir(
+        config, model, setup.layout, setup.forecast,
+        smooth_hardware=setup.smooth_hardware,
+    )
+    runner = DayRunner(
+        setup, ProfileWorkload(trace, setup.layout, 600.0),
+        CoolAirAdapter(coolair),
+    )
+    return runner.run_day(day)
+
+
+class TestSafeModeSmoke:
+    """The CI fault-suite smoke: a faulted day ends in safe mode."""
+
+    def test_inlet_dropout_falls_back_to_safe_mode(self, facebook_trace):
+        day = run_faulted_day(
+            builtin_scenario("inlet-dropout"), facebook_trace
+        )
+        assert len(day) == 720  # the full day completed
+        assert day.degraded_fraction() > 0.0
+        assert len(day.degradation_intervals()) >= 1
+        # Safe mode still controls temperature: TKS plus the humidity
+        # override keep the container out of thermal runaway.
+        assert day.max_sensor_temp_c() < 36.0
+
+
+class TestEveryScenario:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SCENARIOS))
+    def test_scenario_completes_a_day_and_degrades(
+        self, name, facebook_trace
+    ):
+        day = run_faulted_day(builtin_scenario(name), facebook_trace)
+        assert len(day) == 720
+        assert len(day.degradation_intervals()) >= 1, (
+            f"scenario {name} never entered safe mode"
+        )
+
+    def test_same_seed_runs_are_bit_identical(self, facebook_trace):
+        # sensor-spike draws from the channel RNG every reading, so it is
+        # the scenario most exposed to nondeterminism.
+        a = run_faulted_day(builtin_scenario("sensor-spike"), facebook_trace)
+        b = run_faulted_day(builtin_scenario("sensor-spike"), facebook_trace)
+        assert len(a) == len(b)
+        for got, want in zip(a.records, b.records):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+    def test_different_seed_changes_a_spiky_run(self, facebook_trace):
+        base = builtin_scenario("sensor-spike")
+        a = run_faulted_day(base, facebook_trace)
+        b = run_faulted_day(
+            dataclasses.replace(base, seed=base.seed + 1), facebook_trace
+        )
+        assert any(
+            dataclasses.asdict(x) != dataclasses.asdict(y)
+            for x, y in zip(a.records, b.records)
+        )
+
+
+class TestEmptyScheduleEquivalence:
+    """An empty FaultSchedule must not perturb the simulation at all.
+
+    The golden-fixture tests (test_engine_golden / test_plant_golden) pin
+    the absolute trajectory; this pins the *relative* contract that
+    attaching an empty schedule is a no-op, step for step.
+    """
+
+    def test_empty_schedule_day_is_bit_identical(self):
+        # A short trace keeps this fast; bit-identity is per-step anyway.
+        trace = FacebookTraceGenerator(num_jobs=120, seed=7).generate()
+        plain = run_faulted_day(None, trace)
+        empty = run_faulted_day(FaultSchedule(), trace)
+        assert len(plain) == len(empty) == 720
+        for got, want in zip(empty.records, plain.records):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+    def test_empty_schedule_year_matches_fault_free_year(self, cooling_model):
+        from repro.sim.yearsim import run_year
+        from repro.workload.traces import NutchTraceGenerator
+
+        trace = NutchTraceGenerator(num_jobs=200, seed=5).generate()
+        plain = run_year(
+            all_nd(), NEWARK, trace, model=cooling_model,
+            sample_every_days=180,
+        )
+        faulted = run_year(
+            dataclasses.replace(all_nd(), faults=FaultSchedule()),
+            NEWARK, trace, model=cooling_model, sample_every_days=180,
+        )
+        assert dataclasses.asdict(plain) == dataclasses.asdict(faulted)

@@ -56,7 +56,7 @@ class TestCaching:
 
         monkeypatch.setattr(experiments, "run_year", fake_run_year)
         monkeypatch.setattr(
-            experiments, "trained_cooling_model", lambda: object()
+            experiments, "trained_cooling_model", lambda **kw: object()
         )
         from repro.weather.locations import NEWARK
 
@@ -73,7 +73,7 @@ class TestCaching:
             experiments, "run_year", lambda *a, **k: fake_result()
         )
         monkeypatch.setattr(
-            experiments, "trained_cooling_model", lambda: object()
+            experiments, "trained_cooling_model", lambda **kw: object()
         )
         from repro.weather.locations import NEWARK
 
@@ -89,7 +89,7 @@ class TestCaching:
             lambda *a, **k: calls.append(1) or fake_result(),
         )
         monkeypatch.setattr(
-            experiments, "trained_cooling_model", lambda: object()
+            experiments, "trained_cooling_model", lambda **kw: object()
         )
         from repro.weather.locations import NEWARK
 
@@ -110,7 +110,7 @@ class TestCacheVersioning:
             lambda *a, **k: calls.append(1) or fake_result(),
         )
         monkeypatch.setattr(
-            experiments, "trained_cooling_model", lambda: object()
+            experiments, "trained_cooling_model", lambda **kw: object()
         )
         return calls
 

@@ -313,6 +313,216 @@ class TestLaneChunking:
         assert chunks == []
 
 
+class TestFailureKnobResolvers:
+    def test_retries_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "5")
+        assert runner.resolve_task_retries(0) == 0
+
+    def test_retries_env_parsed_and_defaulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "3")
+        assert runner.resolve_task_retries() == 3
+        monkeypatch.delenv("REPRO_TASK_RETRIES")
+        assert runner.resolve_task_retries() == 1
+
+    def test_retries_invalid_env_is_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "many")
+        with pytest.raises(ReproError, match="REPRO_TASK_RETRIES"):
+            runner.resolve_task_retries()
+
+    def test_retries_rejects_negative(self):
+        with pytest.raises(ReproError, match=">= 0"):
+            runner.resolve_task_retries(-1)
+
+    def test_timeout_env_and_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT_S", "2.5")
+        assert runner.resolve_task_timeout() == 2.5
+        assert runner.resolve_task_timeout(0) is None  # non-positive disables
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT_S")
+        assert runner.resolve_task_timeout() is None
+
+
+class TestSerialFailureHandling:
+    def test_retry_then_success(self, tmp_cache, monkeypatch):
+        calls = []
+
+        def flaky(system, climate, *a, **k):
+            calls.append(climate.name)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", flaky)
+        retried = []
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK), workers=1, task_retries=1,
+            backoff_s=0.0, retried=retried,
+        )
+        assert results[0].climate_name == "Newark"
+        assert len(calls) == 2
+        assert retried == ["baseline @ Newark (facebook)"]
+
+    def test_exhausted_retries_raise_with_task_identity(
+        self, tmp_cache, monkeypatch
+    ):
+        def always_fails(*a, **k):
+            raise RuntimeError("bad cell")
+
+        monkeypatch.setattr(experiments, "run_year", always_fails)
+        from repro.errors import TaskExecutionError
+
+        with pytest.raises(TaskExecutionError, match="baseline @ Newark"):
+            runner.run_year_tasks(
+                baseline_tasks(NEWARK), workers=1, task_retries=1,
+                backoff_s=0.0,
+            )
+
+    def test_failures_list_collects_instead_of_raising(
+        self, tmp_cache, monkeypatch
+    ):
+        def santiago_fails(system, climate, *a, **k):
+            if climate.name == "Santiago":
+                raise RuntimeError("bad cell")
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", santiago_fails)
+        failures = []
+        seen = []
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=1,
+            task_retries=0, backoff_s=0.0, failures=failures,
+            progress=lambda done, total, task: seen.append((done, total)),
+        )
+        assert [r.climate_name if r else None for r in results] == [
+            "Newark", None, "Iceland",
+        ]
+        (failure,) = failures
+        assert "Santiago" in failure.label()
+        assert "bad cell" in failure.error
+        # Progress still reaches total: failed cells tick too.
+        assert seen[-1] == (3, 3)
+
+
+@fork_only
+class TestPoolFailureHandling:
+    def test_pool_failure_carries_identity_and_is_collected(
+        self, tmp_cache, monkeypatch
+    ):
+        def santiago_fails(system, climate, *a, **k):
+            if climate.name == "Santiago":
+                raise RuntimeError("bad cell")
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", santiago_fails)
+        failures = []
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=2,
+            task_retries=0, backoff_s=0.0, failures=failures,
+        )
+        assert [r.climate_name if r else None for r in results] == [
+            "Newark", None, "Iceland",
+        ]
+        (failure,) = failures
+        assert "Santiago" in failure.label()
+
+    def test_pool_retry_recovers_transient_failure(
+        self, tmp_cache, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "failed-once"
+
+        def flaky(system, climate, *a, **k):
+            if climate.name == "Santiago" and not flag.exists():
+                flag.write_text("x")
+                raise RuntimeError("transient")
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", flaky)
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=2,
+            task_retries=1, backoff_s=0.0,
+        )
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+
+    def test_worker_crash_recovers_unfinished_cells_serially(
+        self, tmp_cache, tmp_path, monkeypatch
+    ):
+        import os
+
+        flag = tmp_path / "crashed-once"
+
+        def crashing(system, climate, *a, **k):
+            if climate.name == "Santiago" and not flag.exists():
+                flag.write_text("x")
+                os._exit(1)  # hard crash: BrokenProcessPool in the parent
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", crashing)
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=2,
+            task_retries=1, backoff_s=0.0,
+        )
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+
+    def test_stalled_pool_times_out_and_recovers_serially(
+        self, tmp_cache, monkeypatch
+    ):
+        import os
+        import time
+
+        parent_pid = os.getpid()
+
+        def hangs_in_workers(system, climate, *a, **k):
+            if os.getpid() != parent_pid:
+                time.sleep(3.0)  # longer than the timeout below
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", hangs_in_workers)
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO), workers=2,
+            task_timeout_s=0.3, backoff_s=0.0,
+        )
+        assert [r.climate_name for r in results] == ["Newark", "Santiago"]
+
+    def test_crash_recovery_prefers_cells_the_worker_persisted(
+        self, tmp_cache, tmp_path, monkeypatch
+    ):
+        """A cell persisted by a dying worker is never recomputed."""
+        import os
+
+        flag = tmp_path / "crashed-once"
+        parent_pid = os.getpid()
+        parent_calls = []
+
+        def persist_then_crash(system, climate, *a, **k):
+            result = fake_result(climate=climate.name)
+            if climate.name == "Santiago":
+                if os.getpid() == parent_pid:
+                    parent_calls.append(climate.name)
+                elif not flag.exists():
+                    flag.write_text("x")
+                    # Simulate a worker that wrote its cache entry and
+                    # then died before reporting the result back.
+                    key = experiments.cache_key(
+                        system, climate, "facebook", False, None, 0.0
+                    )
+                    experiments._write_disk_entry(key, result)
+                    os._exit(1)
+            return result
+
+        monkeypatch.setattr(experiments, "run_year", persist_then_crash)
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=2,
+            task_retries=1, backoff_s=0.0,
+        )
+        assert [r.climate_name for r in results] == [
+            "Newark", "Santiago", "Iceland",
+        ]
+        assert parent_calls == []  # served from the persisted cache entry
+
+
 class TestYearTask:
     def test_label(self):
         task = runner.YearTask("baseline", NEWARK, workload="nutch")

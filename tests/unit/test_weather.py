@@ -179,6 +179,21 @@ class TestForecastService:
         with pytest.raises(WeatherError):
             service.forecast_for_day(10, issued_hour=24)
 
+    def test_rejects_negative_day(self, service):
+        # -1 must not silently wrap to day 364 (a December forecast
+        # handed to a caller with an off-by-one).
+        with pytest.raises(WeatherError, match="non-negative"):
+            service.forecast_for_day(-1)
+
+    def test_days_past_year_end_wrap_on_purpose(self, service):
+        # Year simulations index days past the boundary; the TMY series
+        # repeats, so day 365 is day 0 of the following typical year.
+        wrapped = service.forecast_for_day(365)
+        assert wrapped.day_of_year == 0
+        assert np.array_equal(
+            wrapped.hourly_temps_c, service.forecast_for_day(0).hourly_temps_c
+        )
+
     def test_min_max_consistent(self, service):
         forecast = service.forecast_for_day(200)
         assert forecast.min_temp_c <= forecast.average_temp_c <= forecast.max_temp_c
