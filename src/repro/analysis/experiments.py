@@ -42,6 +42,7 @@ import os
 import pathlib
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import artifacts
 from repro.core.config import CoolAirConfig
 from repro.core.versions import ALL_VERSIONS
 from repro.sim.campaign import trained_cooling_model
@@ -50,7 +51,13 @@ from repro.weather.climate import Climate
 from repro.weather.locations import NAMED_LOCATIONS, world_grid
 from repro.workload.traces import FacebookTraceGenerator, NutchTraceGenerator, Trace
 
-CACHE_DIR = pathlib.Path(__file__).resolve().parents[3] / ".cache"
+# ``REPRO_CACHE_DIR`` relocates the result cache (spawned workers and
+# subprocess benchmarks inherit it through the environment, unlike a
+# monkeypatched module attribute).
+CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_CACHE_DIR")
+    or pathlib.Path(__file__).resolve().parents[3] / ".cache"
+)
 
 # Bump whenever the simulator or the YearResult payload changes meaning:
 # entries written under a different schema version are recomputed.
@@ -79,12 +86,27 @@ _trace_cache: Dict[str, Trace] = {}
 
 
 def facebook_trace(deferrable: bool = False) -> Trace:
-    """The (cached) day-long Facebook workload trace."""
+    """The (cached) day-long Facebook workload trace.
+
+    Served from the artifact store when enabled — generated once per
+    (params, deferrable) key on a machine, materialized from the columnar
+    entry everywhere else — and memoized per process either way.
+    """
     key = f"facebook-{deferrable}-{DEFAULT_TRACE_JOBS}"
     if key not in _trace_cache:
-        _trace_cache[key] = FacebookTraceGenerator(
-            num_jobs=DEFAULT_TRACE_JOBS
-        ).generate(deferrable=deferrable)
+        generator = FacebookTraceGenerator(num_jobs=DEFAULT_TRACE_JOBS)
+        _trace_cache[key] = artifacts.materialize_trace(
+            "facebook",
+            {
+                "num_jobs": generator.num_jobs,
+                "seed": generator.seed,
+                "target_utilization": generator.target_utilization,
+                "num_servers": generator.num_servers,
+                "slots_per_server": generator.slots_per_server,
+                "deferrable": deferrable,
+            },
+            lambda: generator.generate(deferrable=deferrable),
+        )
     return _trace_cache[key]
 
 
@@ -92,7 +114,20 @@ def nutch_trace(deferrable: bool = False) -> Trace:
     """The (cached) day-long Nutch workload trace."""
     key = f"nutch-{deferrable}"
     if key not in _trace_cache:
-        _trace_cache[key] = NutchTraceGenerator().generate(deferrable=deferrable)
+        generator = NutchTraceGenerator()
+        _trace_cache[key] = artifacts.materialize_trace(
+            "nutch",
+            {
+                "num_jobs": generator.num_jobs,
+                "mean_interarrival_s": generator.mean_interarrival_s,
+                "seed": generator.seed,
+                "target_utilization": generator.target_utilization,
+                "num_servers": generator.num_servers,
+                "slots_per_server": generator.slots_per_server,
+                "deferrable": deferrable,
+            },
+            lambda: generator.generate(deferrable=deferrable),
+        )
     return _trace_cache[key]
 
 
@@ -237,14 +272,21 @@ def _write_disk_entry(key: str, result: YearResult) -> None:
     os.replace(tmp, path)
 
 
-def load_cached(key: str, use_disk_cache: bool = True) -> Optional[YearResult]:
-    """Memory-then-disk lookup; returns None on a miss."""
+def load_cached(
+    key: str, use_disk_cache: bool = True, cache_memory: bool = True
+) -> Optional[YearResult]:
+    """Memory-then-disk lookup; returns None on a miss.
+
+    ``cache_memory=False`` skips seeding the in-process memory cache on a
+    disk hit — the streaming world sweep folds each result into compact
+    summary columns instead of pinning the whole matrix in the parent.
+    """
     if key in _memory_cache:
         return _memory_cache[key]
     if not use_disk_cache:
         return None
     result = _load_disk_entry(key)
-    if result is not None:
+    if result is not None and cache_memory:
         _memory_cache[key] = result
     return result
 
@@ -390,6 +432,14 @@ def five_location_matrix(
     return matrix
 
 
+def resolve_stream(stream: Optional[bool] = None) -> bool:
+    """Whether the world sweep streams (``REPRO_STREAM_WORLD``, on by
+    default); an explicit argument always wins."""
+    if stream is not None:
+        return stream
+    return os.environ.get("REPRO_STREAM_WORLD", "1") != "0"
+
+
 def world_sweep(
     num_locations: Optional[int] = None,
     coolair_system: str = "All-ND",
@@ -400,6 +450,7 @@ def world_sweep(
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
     failures: Optional[list] = None,
+    stream: Optional[bool] = None,
 ):
     """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
 
@@ -409,6 +460,12 @@ def world_sweep(
     stepped in lockstep per worker.  With a ``failures`` list, failed
     cells are collected instead of raising; a climate missing either of
     its (baseline, coolair) results is dropped from the summary.
+
+    ``stream`` (default ``REPRO_STREAM_WORLD``, on) folds each completed
+    cell into compact summary columns as it lands instead of holding the
+    full result list in the parent — bit-identical output, parent memory
+    bounded by the grid size (see
+    :class:`~repro.analysis.worldmap.StreamingWorldAccumulator`).
     """
     from repro.analysis.runner import YearTask, run_year_tasks
     from repro.analysis.worldmap import summarize_world
@@ -422,6 +479,22 @@ def world_sweep(
                 climate=climate,
                 sample_every_days=sample_every_days,
             ))
+    if resolve_stream(stream):
+        from repro.analysis.worldmap import StreamingWorldAccumulator
+
+        accumulator = StreamingWorldAccumulator(climates, coolair_system)
+        run_year_tasks(
+            tasks,
+            workers=workers,
+            lanes=lanes,
+            progress=progress,
+            task_retries=task_retries,
+            task_timeout_s=task_timeout_s,
+            failures=failures,
+            consume=accumulator.consume,
+            keep_results=False,
+        )
+        return accumulator.summary()
     results = run_year_tasks(
         tasks,
         workers=workers,

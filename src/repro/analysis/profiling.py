@@ -30,12 +30,15 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import os
 import pstats
 import statistics
 import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.coolair import CoolAir
 from repro.core.modeler import CoolingModel
@@ -74,6 +77,14 @@ CHUNK_TRACE_JOBS = 400
 CHUNK_WORLD_GRID = 24
 CHUNK_WORLD_STRIDE = 6
 MATRIX_LOCATIONS = ("Newark", "Chad")
+
+# world_sweep_stream: a cold-session world sweep through the campaign
+# data plane (see bench_world_sweep_stream).
+SWEEP_LOCATIONS = 24
+SWEEP_STRIDE_DAYS = 365
+SWEEP_WORKERS = 4
+SWEEP_LANES = 8
+SWEEP_TRACE_JOBS = 400
 
 
 def _median_time(func: Callable[[], object], repeats: int) -> float:
@@ -274,6 +285,183 @@ def bench_matrix(
     }
 
 
+# Leg scripts for bench_world_sweep_stream: each runs in a fresh
+# interpreter so import, trace, model, and weather costs are paid the way
+# a real cold session pays them, and reports its own wall clock, parent
+# peak RSS, and the full per-location summary for the equivalence check.
+_SWEEP_LEG_CODE = """
+import json, os, resource, sys, time
+
+
+def peak_rss_mb():
+    # VmHWM, not ru_maxrss: on Linux ru_maxrss survives exec (the
+    # fork-time copy of a fat launching process becomes the child's
+    # floor), while VmHWM lives in the mm struct and resets on exec,
+    # so it reports this leg's own peak.
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+start = time.perf_counter()
+from repro.analysis import experiments
+summary = experiments.world_sweep(
+    num_locations=int(os.environ["BENCH_LOCATIONS"]),
+    sample_every_days=int(os.environ["BENCH_STRIDE"]),
+    workers=int(os.environ["BENCH_WORKERS"]),
+    lanes=int(os.environ["BENCH_LANES"]),
+)
+total_s = time.perf_counter() - start
+comparisons = [
+    {
+        "name": c.name,
+        "latitude": c.latitude,
+        "longitude": c.longitude,
+        "baseline_max_range_c": c.baseline_max_range_c,
+        "coolair_max_range_c": c.coolair_max_range_c,
+        "baseline_pue": c.baseline_pue,
+        "coolair_pue": c.coolair_pue,
+    }
+    for c in summary.comparisons
+]
+print(json.dumps({
+    "total_s": total_s,
+    "parent_peak_rss_mb": peak_rss_mb(),
+    "comparisons": comparisons,
+}))
+"""
+
+# What one spawned worker pays before it can run its first cell: import
+# the harness, materialize the trace, and obtain the cooling model.
+_SWEEP_SETUP_CODE = """
+import json, time
+start = time.perf_counter()
+from repro.analysis import experiments
+from repro.sim.campaign import trained_cooling_model
+experiments.facebook_trace(False)
+trained_cooling_model()
+print(json.dumps({"setup_s": time.perf_counter() - start}))
+"""
+
+# One-time store build: materialize every weather grid the sweep reads
+# plus the trace and model artifacts.
+_SWEEP_BUILD_CODE = """
+import json, os, time
+start = time.perf_counter()
+from repro import artifacts
+from repro.analysis import experiments
+from repro.sim.campaign import trained_cooling_model
+from repro.weather.locations import world_grid
+for climate in world_grid(int(os.environ["BENCH_LOCATIONS"])):
+    artifacts.tmy_series(climate)
+experiments.facebook_trace(False)
+trained_cooling_model()
+print(json.dumps({"build_s": time.perf_counter() - start}))
+"""
+
+
+def _run_bench_subprocess(code: str, env: Dict[str, str]) -> Dict:
+    """Run a leg script in a fresh interpreter; parse its JSON stdout."""
+    src_root = Path(__file__).resolve().parents[2]
+    merged = dict(os.environ)
+    merged.update(env)
+    merged["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([merged["PYTHONPATH"]] if merged.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=merged,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"benchmark leg failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_world_sweep_stream() -> Dict[str, float]:
+    """A cold 24-location world sweep through the campaign data plane.
+
+    Two legs, each a fresh interpreter fanning 48 uncached cells
+    (24 grid climates x {baseline, All-ND}, one sampled day each) over
+    ``spawn`` pool workers with a cold result cache:
+
+    * **legacy** — the pre-data-plane path: artifact store disabled,
+      in-memory aggregation.  The parent trains the cooling model and
+      every spawned worker retrains it and regenerates traces/weather
+      from scratch.
+    * **plane** (the recorded ``median_s``) — artifact store prewarmed
+      (the one-time build is timed separately as ``store_build_s``),
+      streaming aggregation.  Workers load the pickled model and mmap
+      the weather grids instead of recomputing them.
+
+    Both legs use ``spawn`` so per-worker setup cost is actually paid and
+    measured rather than hidden by fork's copy-on-write inheritance —
+    this is the session-cold cost the store exists to kill, and the
+    regime portable to platforms where fork is unavailable.  The legs'
+    per-location summaries must match exactly (bit-identical floats
+    through JSON round-trip) or this benchmark raises.
+    """
+    common = {
+        "BENCH_LOCATIONS": str(SWEEP_LOCATIONS),
+        "BENCH_STRIDE": str(SWEEP_STRIDE_DAYS),
+        "BENCH_WORKERS": str(SWEEP_WORKERS),
+        "BENCH_LANES": str(SWEEP_LANES),
+        "REPRO_TRACE_JOBS": str(SWEEP_TRACE_JOBS),
+        "REPRO_MP_CONTEXT": "spawn",
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        tmp_path = Path(tmp)
+        store_dir = str(tmp_path / "artifacts")
+        legacy_env = dict(
+            common,
+            REPRO_ARTIFACTS="0",
+            REPRO_STREAM_WORLD="0",
+            REPRO_CACHE_DIR=str(tmp_path / "cache-legacy"),
+        )
+        plane_env = dict(
+            common,
+            REPRO_ARTIFACTS_DIR=store_dir,
+            REPRO_STREAM_WORLD="1",
+            REPRO_CACHE_DIR=str(tmp_path / "cache-plane"),
+        )
+        legacy_setup = _run_bench_subprocess(_SWEEP_SETUP_CODE, legacy_env)
+        build = _run_bench_subprocess(_SWEEP_BUILD_CODE, plane_env)
+        warm_setup = _run_bench_subprocess(_SWEEP_SETUP_CODE, plane_env)
+        legacy = _run_bench_subprocess(_SWEEP_LEG_CODE, legacy_env)
+        plane = _run_bench_subprocess(_SWEEP_LEG_CODE, plane_env)
+    if legacy["comparisons"] != plane["comparisons"]:
+        raise RuntimeError(
+            "world_sweep_stream legs disagree: streaming data-plane sweep "
+            "is not bit-identical to the legacy in-memory sweep"
+        )
+    if not plane["comparisons"]:
+        raise RuntimeError("world_sweep_stream produced an empty summary")
+    return {
+        "median_s": plane["total_s"],
+        "legacy_s": legacy["total_s"],
+        "speedup_vs_legacy": legacy["total_s"] / plane["total_s"],
+        "store_build_s": build["build_s"],
+        "worker_setup_s": warm_setup["setup_s"],
+        "legacy_worker_setup_s": legacy_setup["setup_s"],
+        "parent_peak_rss_mb": plane["parent_peak_rss_mb"],
+        "legacy_parent_peak_rss_mb": legacy["parent_peak_rss_mb"],
+        "locations": SWEEP_LOCATIONS,
+        "cells": 2 * SWEEP_LOCATIONS,
+        "workers": SWEEP_WORKERS,
+        "sample_every_days": SWEEP_STRIDE_DAYS,
+        "trace_jobs": SWEEP_TRACE_JOBS,
+    }
+
+
 # -- the suite ----------------------------------------------------------------
 
 
@@ -298,6 +486,7 @@ def run_bench(
         results["year_sample"] = bench_year_sample(model)
         results["world_chunk"] = bench_world_chunk(model)
         results["matrix"] = bench_matrix(model)
+        results["world_sweep_stream"] = bench_world_sweep_stream()
     return results
 
 
@@ -408,9 +597,109 @@ def append_history(
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    # Atomic append: rebuild the file beside itself and os.replace() it,
+    # so a crashed or concurrent bench run can never leave a torn line
+    # in the history (the same discipline as the result cache).
+    try:
+        existing = path.read_text()
+    except OSError:
+        existing = ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(existing + json.dumps(entry, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return entry
+
+
+# -- regression gate (``python -m repro bench --check``) -----------------------
+
+# One tracked metric per benchmark: the value ``--check`` compares against
+# the recorded baseline, which direction is better, and which result keys
+# describe the workload *shape*.  A shape mismatch between the current run
+# and the baseline (e.g. a ``--quick`` run's 2-lane chunk vs the recorded
+# 8-lane baseline) makes the pair incomparable, so that benchmark is
+# skipped with a note instead of producing a bogus verdict.
+TRACKED_METRICS: Dict[str, Dict] = {
+    "plant_step": {
+        "metric": "steps_per_s", "better": "higher", "shape": ("steps",),
+    },
+    "optimizer_decision": {
+        "metric": "decision_latency_ms", "better": "lower", "shape": (),
+    },
+    "day_sim": {"metric": "median_s", "better": "lower", "shape": ()},
+    "year_sample": {
+        "metric": "s_per_day", "better": "lower", "shape": ("days",),
+    },
+    "world_chunk": {
+        "metric": "s_per_lane", "better": "lower", "shape": ("lanes",),
+    },
+    "matrix": {
+        "metric": "s_per_lane", "better": "lower", "shape": ("lanes",),
+    },
+    "world_sweep_stream": {
+        "metric": "median_s",
+        "better": "lower",
+        "shape": (
+            "locations", "workers", "sample_every_days", "trace_jobs",
+        ),
+    },
+}
+
+
+def check_regressions(
+    results: Dict[str, Dict[str, float]],
+    baseline: Optional[Dict],
+    threshold: float = 0.25,
+) -> Tuple[List[str], List[str]]:
+    """Compare tracked metrics against the recorded baseline.
+
+    Returns ``(regressions, notes)``: one line per tracked benchmark that
+    regressed by more than ``threshold`` (fractional — 0.25 means 25%
+    worse), and one informational note per benchmark that could not be
+    compared (absent from either side, or a workload-shape mismatch).
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_results = (baseline or {}).get("results", {})
+    if not base_results:
+        notes.append("no recorded baseline; nothing to check")
+        return regressions, notes
+    for name, spec in TRACKED_METRICS.items():
+        current = results.get(name)
+        base = base_results.get(name)
+        if current is None or base is None:
+            if current is not None:
+                notes.append(f"{name}: not in baseline; skipped")
+            continue
+        mismatched = [
+            key
+            for key in spec["shape"]
+            if current.get(key) != base.get(key)
+        ]
+        if mismatched:
+            notes.append(
+                f"{name}: workload shape differs from baseline "
+                f"({', '.join(mismatched)}); skipped"
+            )
+            continue
+        metric = spec["metric"]
+        cur_value = current.get(metric)
+        base_value = base.get(metric)
+        if not cur_value or not base_value:
+            notes.append(f"{name}: metric {metric} missing; skipped")
+            continue
+        if spec["better"] == "higher":
+            worse_by = base_value / cur_value - 1.0
+        else:
+            worse_by = cur_value / base_value - 1.0
+        if worse_by > threshold:
+            regressions.append(
+                f"{name}: {metric} {cur_value:.6g} vs baseline "
+                f"{base_value:.6g} ({worse_by:+.0%} worse; "
+                f"limit {threshold:.0%})"
+            )
+    return regressions, notes
 
 
 def format_report(payload: Dict) -> str:

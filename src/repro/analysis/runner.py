@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -60,6 +61,10 @@ logger = logging.getLogger("repro.analysis.runner")
 
 # Called after each finished cell with (done_count, total, task).
 ProgressCallback = Callable[[int, int, "YearTask"], None]
+
+# Streaming consumer: called with (task_index, task, result) as each cell
+# completes, before (and regardless of whether) the result is retained.
+ConsumeCallback = Callable[[int, "YearTask", "YearResult"], None]
 
 # First-retry backoff; doubles per subsequent retry of the same cell.
 RETRY_BACKOFF_S = 0.5
@@ -127,6 +132,27 @@ def resolve_lanes(requested: Optional[int] = None) -> int:
         requested = experiments.DEFAULT_LANES
     if requested < 1:
         raise ReproError(f"lane count must be >= 1, got {requested}")
+    return requested
+
+
+def resolve_mp_context(requested: Optional[str] = None) -> Optional[str]:
+    """Pool start method: argument > ``REPRO_MP_CONTEXT`` > platform default.
+
+    ``fork`` workers inherit the parent's warmed traces/models as shared
+    pages; ``spawn`` workers start from fresh interpreters and rebuild
+    their state from the artifact store (:mod:`repro.artifacts`) instead
+    — which is exactly what the data-plane benchmark measures.  ``None``
+    keeps the platform default.
+    """
+    if requested is None:
+        requested = os.environ.get("REPRO_MP_CONTEXT") or None
+    if requested is None:
+        return None
+    valid = multiprocessing.get_all_start_methods()
+    if requested not in valid:
+        raise ReproError(
+            f"mp context must be one of {valid}, got {requested!r}"
+        )
     return requested
 
 
@@ -270,25 +296,41 @@ def _execute_lane_chunk_payload(
 
 
 def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
-    """Materialize traces and the cooling model before forking workers.
+    """Materialize traces and every needed cooling model before the pool.
 
-    With the default ``fork`` start method every worker inherits these,
-    so the expensive learning campaign runs once instead of per worker
-    (``spawn`` platforms pay once per worker instead — still correct).
+    With the default ``fork`` start method workers inherit these as
+    shared pages, so each expensive learning campaign runs once in the
+    parent instead of once per worker.  Every *distinct* model
+    requirement across the task list is warmed: a config whose fault
+    schedule punches log gaps trains a different (degraded) model than
+    the default, and such cells used to silently retrain it inside every
+    worker that drew one.  Under ``spawn`` the warm pass still pays off —
+    it persists each model to the artifact store, which freshly spawned
+    workers load instead of retraining.
     """
     from repro.analysis import experiments
     from repro.sim.campaign import trained_cooling_model
 
+    gap_keys = set()
+    model_needs = []
     for task in tasks:
         if task.workload == "facebook":
             experiments.facebook_trace(task.deferrable)
         else:
             experiments.nutch_trace(task.deferrable)
-    if any(
-        not (isinstance(t.system, str) and t.system == "baseline")
-        for t in tasks
-    ):
-        trained_cooling_model()
+        system, _ = experiments._resolve_system(task.system)
+        if isinstance(system, str):
+            continue
+        # Mirrors how ``experiments.year_result`` derives each cell's
+        # model, so exactly the keys the workers will ask for get warmed.
+        gaps = (
+            tuple(system.faults.log_gaps) if system.faults is not None else ()
+        )
+        if gaps not in gap_keys:
+            gap_keys.add(gaps)
+            model_needs.append(gaps)
+    for gaps in model_needs:
+        trained_cooling_model(log_gaps=gaps)
 
 
 def _note_retry(
@@ -334,6 +376,9 @@ def run_year_tasks(
     backoff_s: float = RETRY_BACKOFF_S,
     failures: Optional[List[TaskFailure]] = None,
     retried: Optional[List[str]] = None,
+    consume: Optional[ConsumeCallback] = None,
+    keep_results: bool = True,
+    mp_context: Optional[str] = None,
 ) -> List[Optional[YearResult]]:
     """Run a batch of campaign cells, in parallel where possible.
 
@@ -344,6 +389,17 @@ def run_year_tasks(
     composing with the process pool as workers x lanes — and ``lanes=1``
     (or ``REPRO_SIM_ENGINE=scalar``) restores strictly per-cell runs.
     Results are bit-identical however the work is split.
+
+    Streaming: ``consume`` is called with ``(index, task, result)`` as
+    each cell completes (cache hits included), in completion order, and
+    ``keep_results=False`` then drops the full result instead of
+    retaining it — the returned list holds ``None`` in every slot and
+    the parent's memory cache is not seeded, so memory stays bounded for
+    arbitrarily large sweeps.  Failed cells never reach ``consume``.
+
+    ``mp_context`` (default ``REPRO_MP_CONTEXT``) picks the pool start
+    method — ``fork`` shares the parent's warmed state by inheritance,
+    ``spawn`` rebuilds workers from the artifact store.
 
     ``task_retries`` retries each failing cell (with exponential
     ``backoff_s`` doubling), ``task_timeout_s`` bounds the wait for any
@@ -360,7 +416,12 @@ def run_year_tasks(
     lanes = resolve_lanes(lanes)
     retries = resolve_task_retries(task_retries)
     timeout_s = resolve_task_timeout(task_timeout_s)
+    ctx_name = resolve_mp_context(mp_context)
     results: List[Optional[YearResult]] = [None] * len(tasks)
+    # Completion is tracked separately from ``results`` slots: with
+    # ``keep_results=False`` a finished cell's slot stays ``None``, so
+    # recovery logic keys off these flags, never off the slots.
+    completed = [False] * len(tasks)
     done = 0
 
     def tick(task: YearTask) -> None:
@@ -368,6 +429,15 @@ def run_year_tasks(
         done += 1
         if progress is not None:
             progress(done, len(tasks), task)
+
+    def record(index: int, result: YearResult) -> None:
+        """One cell finished: stream it, retain it if asked, tick."""
+        completed[index] = True
+        if keep_results:
+            results[index] = result
+        if consume is not None:
+            consume(index, tasks[index], result)
+        tick(tasks[index])
 
     def fail(index: int, err: BaseException, attempts: int) -> None:
         error = _wrap_error(tasks[index].label(), err)
@@ -392,17 +462,18 @@ def run_year_tasks(
 
     pending: List[int] = []
     for index, task in enumerate(tasks):
-        cached = experiments.load_cached(task_key(index), use_disk_cache)
+        cached = experiments.load_cached(
+            task_key(index), use_disk_cache, cache_memory=keep_results
+        )
         if cached is not None:
-            results[index] = cached
-            tick(task)
+            record(index, cached)
         else:
             pending.append(index)
 
     def run_serial_cell(index: int, attempts_used: int = 0) -> None:
         """One cell in-process, with retries; records result or failure."""
         try:
-            results[index] = _run_task_with_retries(
+            result = _run_task_with_retries(
                 tasks[index],
                 use_disk_cache,
                 retries,
@@ -410,7 +481,7 @@ def run_year_tasks(
                 retried,
                 attempts_used=attempts_used,
             )
-            tick(tasks[index])
+            record(index, result)
         except TaskExecutionError as err:
             fail(index, err, attempts=retries + 1)
 
@@ -461,8 +532,7 @@ def run_year_tasks(
                     run_serial_cell(index, attempts_used=1)
                 continue
             for index, result in zip(chunk, chunk_results):
-                results[index] = result
-                tick(tasks[index])
+                record(index, result)
         for index in singles:
             run_serial_cell(index)
         return results
@@ -475,7 +545,12 @@ def run_year_tasks(
     attempts: Dict[Tuple[int, ...], int] = {}
     lost: List[int] = []
     broken = False
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=(
+            multiprocessing.get_context(ctx_name) if ctx_name else None
+        ),
+    )
 
     not_done: set = set()
 
@@ -531,7 +606,7 @@ def run_year_tasks(
                 except BrokenProcessPool:
                     broken = True
                     lost.extend(
-                        i for i in indices if results[i] is None
+                        i for i in indices if not completed[i]
                     )
                     continue
                 except Exception as err:  # noqa: BLE001 - typed + retried
@@ -556,15 +631,14 @@ def run_year_tasks(
                         submit_single(index)
                     continue
                 for index, payload in zip(indices, payloads):
-                    task = tasks[index]
                     result = experiments._result_from_json(payload)
-                    # Workers already wrote the disk entry; seed this
-                    # process's memory cache so later lookups hit.
-                    experiments.store_result(
-                        task_key(index), result, use_disk_cache=False
-                    )
-                    results[index] = result
-                    tick(task)
+                    if keep_results:
+                        # Workers already wrote the disk entry; seed this
+                        # process's memory cache so later lookups hit.
+                        experiments.store_result(
+                            task_key(index), result, use_disk_cache=False
+                        )
+                    record(index, result)
     finally:
         if broken:
             # Dead or hung workers: do not wait for them.  (A hung worker
@@ -579,8 +653,8 @@ def run_year_tasks(
         for future, target in list(futures.items()):
             future.cancel()
             indices = target if isinstance(target, list) else [target]
-            lost.extend(i for i in indices if results[i] is None)
-        recover = sorted(set(i for i in lost if results[i] is None))
+            lost.extend(i for i in indices if not completed[i])
+        recover = sorted(set(i for i in lost if not completed[i]))
         if recover:
             logger.warning(
                 "recovering %d unfinished cell(s) serially in the parent",
@@ -589,10 +663,11 @@ def run_year_tasks(
         for index in recover:
             # The dead worker may have persisted this cell before dying;
             # a cache hit here avoids recomputing (and re-writing) it.
-            cached = experiments.load_cached(task_key(index), use_disk_cache)
+            cached = experiments.load_cached(
+                task_key(index), use_disk_cache, cache_memory=keep_results
+            )
             if cached is not None:
-                results[index] = cached
-                tick(tasks[index])
+                record(index, cached)
                 continue
             run_serial_cell(
                 index, attempts_used=attempts.get((index,), 0)

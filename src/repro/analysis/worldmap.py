@@ -144,6 +144,72 @@ def summarize_world(
     return WorldSummary(comparisons=tuple(comparisons))
 
 
+class StreamingWorldAccumulator:
+    """Folds world-sweep cells into compact per-location columns.
+
+    The in-memory sweep keeps every :class:`YearResult` — daily series
+    included — alive in the parent until the last cell lands.  This
+    accumulator is the streaming alternative: the runner's ``consume``
+    hook folds each completed cell into a ``(4, n)`` metrics array (the
+    four floats Figures 12/13 actually plot) and the full result is
+    dropped, so parent memory is bounded by the grid size, not by
+    grid x sampled-days.  ``summary()`` yields the same
+    :class:`WorldSummary` as the in-memory path, bit-identical and in
+    grid order; a climate missing either of its (baseline, coolair)
+    results is dropped, matching the in-memory pairing rules.
+    """
+
+    # Metric rows: baseline/coolair max range, baseline/coolair PUE.
+    _ROWS = 4
+
+    def __init__(self, climates: Sequence, coolair_system: str) -> None:
+        self._climates = tuple(climates)
+        self._coolair = coolair_system
+        self._slots = {c.name: i for i, c in enumerate(self._climates)}
+        n = len(self._climates)
+        self._metrics = np.full((self._ROWS, n), np.nan)
+        self._seen = np.zeros((2, n), dtype=bool)
+
+    def consume(self, index: int, task, result) -> None:
+        """Runner ``consume`` hook: fold one completed cell."""
+        if result is None:
+            return
+        slot = self._slots.get(task.climate.name)
+        if slot is None:
+            return
+        name = (
+            task.system if isinstance(task.system, str) else task.system.name
+        )
+        if name == "baseline":
+            self._metrics[0, slot] = result.max_range_c
+            self._metrics[2, slot] = result.pue
+            self._seen[0, slot] = True
+        elif name == self._coolair:
+            self._metrics[1, slot] = result.max_range_c
+            self._metrics[3, slot] = result.pue
+            self._seen[1, slot] = True
+
+    def summary(self) -> WorldSummary:
+        comparisons: List[LocationComparison] = []
+        for i, climate in enumerate(self._climates):
+            if not (self._seen[0, i] and self._seen[1, i]):
+                continue
+            comparisons.append(
+                LocationComparison(
+                    name=climate.name,
+                    latitude=climate.latitude,
+                    longitude=climate.longitude,
+                    baseline_max_range_c=float(self._metrics[0, i]),
+                    coolair_max_range_c=float(self._metrics[1, i]),
+                    baseline_pue=float(self._metrics[2, i]),
+                    coolair_pue=float(self._metrics[3, i]),
+                )
+            )
+        if not comparisons:
+            raise SimulationError("no locations to summarize")
+        return WorldSummary(comparisons=tuple(comparisons))
+
+
 def bucket_counts(
     values: Sequence[float], bins: Sequence[Tuple[float, float]]
 ) -> Dict[str, int]:

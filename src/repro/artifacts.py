@@ -1,0 +1,368 @@
+"""Versioned on-disk artifact store: the campaign data plane.
+
+Campaign inputs — TMY weather grids, workload traces, and learned cooling
+models — are deterministic functions of small parameter sets, yet before
+this store every worker process re-synthesized them from scratch.  This
+module materializes each artifact once under ``.cache/artifacts/`` and
+serves it to every process from disk:
+
+* **weather** — one ``(3, 8760)`` float64 ``.npy`` per climate (rows:
+  hourly temperatures, mixing ratios, relative humidities), loaded with
+  ``np.load(mmap_mode="r")`` so all workers on a machine share one
+  page-cache copy instead of regenerating (and duplicating) the arrays;
+* **traces** — one ``(num_jobs, 9)`` float64 ``.npy`` per generator
+  parameter set, rebuilt into :class:`~repro.workload.job.Job` lists on
+  read (``NaN`` in the deadline column encodes "not deferrable");
+* **models** — the learned :class:`~repro.core.modeler.CoolingModel`
+  pickled per (climate, training days, log gaps, code fingerprint), so
+  the 10-day learning campaign runs once ever per key instead of once
+  per worker process per session.
+
+Discipline matches the result cache (:mod:`repro.analysis.experiments`):
+
+* every filename embeds its parameter fingerprints and
+  ``STORE_SCHEMA_VERSION`` — changing the generator inputs or bumping the
+  schema version starts a fresh store generation;
+* writes are atomic (temp file + ``os.replace``), safe under concurrent
+  writers;
+* corrupt or truncated entries are evicted and regenerated, never
+  crashed on; entries from older schema versions are swept opportunistically
+  on the next write.
+
+All store reads reproduce the generated values bit-for-bit (float64
+round-trips exactly through ``.npy``), so the data plane changes wall
+clock and memory, never results.
+
+Knobs: ``REPRO_ARTIFACTS=0`` disables the store (every consumer falls
+back to in-process generation, the pre-store behavior);
+``REPRO_ARTIFACTS_DIR`` relocates it (default
+``$REPRO_CACHE_DIR/artifacts`` or ``<repo>/.cache/artifacts``).  Both are
+read per call, so spawned worker processes and subprocess benchmarks see
+the parent's environment without any fork-inherited state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import re
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.weather.climate import Climate
+from repro.weather.tmy import HOURS_PER_YEAR, TMYSeries, generate_tmy
+from repro.workload.job import Job
+from repro.workload.traces import Trace
+
+# Bump whenever an artifact payload changes meaning (array layout, model
+# pickle contents, key semantics): older entries are evicted on the next
+# write and never served.
+STORE_SCHEMA_VERSION = 1
+
+TRACE_COLUMNS = 9  # job_id, arrival, maps, map_s, reduces, reduce_s, in, out, deadline
+
+_VERSION_TOKEN_RE = re.compile(r"-v(\d+)\.(npy|pkl)$")
+
+# Per-process caches.  The TMY cache is keyed by (store dir, climate
+# fingerprint) so tests and benchmarks pointing REPRO_ARTIFACTS_DIR at
+# different directories never share entries.
+_tmy_cache: Dict[Tuple[str, str], TMYSeries] = {}
+_code_fingerprint: Optional[str] = None
+_swept_dirs: set = set()
+
+
+def store_enabled() -> bool:
+    """Whether the artifact store is on (``REPRO_ARTIFACTS=0`` disables)."""
+    return os.environ.get("REPRO_ARTIFACTS", "1") != "0"
+
+
+def store_dir() -> pathlib.Path:
+    """Where artifacts live; resolved from the environment per call."""
+    env = os.environ.get("REPRO_ARTIFACTS_DIR")
+    if env:
+        return pathlib.Path(env)
+    cache_root = os.environ.get("REPRO_CACHE_DIR")
+    if cache_root:
+        return pathlib.Path(cache_root) / "artifacts"
+    return pathlib.Path(__file__).resolve().parents[2] / ".cache" / "artifacts"
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+def _slug(name: str) -> str:
+    """A filename-safe rendering of a climate/trace name."""
+    return re.sub(r"[^A-Za-z0-9_.+-]", "-", name)
+
+
+def params_fingerprint(params: dict) -> str:
+    """Short stable hash of a JSON-serializable parameter mapping."""
+    blob = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def climate_fingerprint(climate: Climate) -> str:
+    """Hash of every :class:`Climate` field: edit a climate, move its key."""
+    return params_fingerprint(dataclasses.asdict(climate))
+
+
+def code_fingerprint() -> str:
+    """Hash of the simulation source tree (cached per process).
+
+    Covers every module that can influence a learned model's numbers —
+    ``src/repro`` minus the analysis/CLI layers and this store — so a
+    persisted model can never outlive the code that trained it.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        root = pathlib.Path(__file__).resolve().parent
+        digest = hashlib.sha1()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("analysis/") or rel in (
+                "cli.py",
+                "__main__.py",
+                "artifacts.py",
+            ):
+                continue
+            digest.update(rel.encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()[:12]
+    return _code_fingerprint
+
+
+# -- low-level atomic IO -------------------------------------------------------
+
+
+def _evict_stale_versions(directory: pathlib.Path) -> None:
+    """Sweep entries written under other schema versions (once per dir)."""
+    key = str(directory)
+    if key in _swept_dirs:
+        return
+    _swept_dirs.add(key)
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return
+    for path in entries:
+        match = _VERSION_TOKEN_RE.search(path.name)
+        if match and int(match.group(1)) != STORE_SCHEMA_VERSION:
+            _evict(path)
+
+
+def _evict(path: pathlib.Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _atomic_save_array(path: pathlib.Path, array: np.ndarray) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _evict_stale_versions(path.parent)
+    # Keep the .npy suffix on the temp name so np.save doesn't append one.
+    tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}.npy")
+    np.save(tmp, array)
+    os.replace(tmp, path)
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _evict_stale_versions(path.parent)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+
+
+def _load_array(
+    path: pathlib.Path, rows: Optional[int] = None, columns: Optional[int] = None
+) -> Optional[np.ndarray]:
+    """mmap one ``.npy`` entry; corruption or shape mismatch evicts it.
+
+    The returned array is a read-only :class:`numpy.memmap` — the OS page
+    cache backs every process reading the same entry with one physical
+    copy, and nothing is deserialized up front.
+    """
+    try:
+        array = np.load(path, mmap_mode="r", allow_pickle=False)
+        if array.dtype != np.float64 or array.ndim != 2:
+            raise ValueError(f"unexpected payload {array.dtype}/{array.ndim}d")
+        if rows is not None and array.shape[0] != rows:
+            raise ValueError(f"unexpected shape {array.shape}")
+        if columns is not None and array.shape[1] != columns:
+            raise ValueError(f"unexpected shape {array.shape}")
+        return array
+    except FileNotFoundError:
+        return None
+    except Exception:  # noqa: BLE001 - any corruption is a miss
+        _evict(path)
+        return None
+
+
+# -- weather -------------------------------------------------------------------
+
+
+def weather_path(climate: Climate) -> pathlib.Path:
+    name = (
+        f"tmy-{_slug(climate.name)}-{climate_fingerprint(climate)}"
+        f"-v{STORE_SCHEMA_VERSION}.npy"
+    )
+    return store_dir() / name
+
+
+def tmy_series(climate: Climate) -> TMYSeries:
+    """The climate's TMY series, served zero-copy from the store.
+
+    First call per (machine, climate) generates and persists the grid;
+    every later call — in any process — wraps a read-only mmap of the
+    stored arrays, bit-identical to :func:`generate_tmy`.  Within a
+    process the wrapped series is cached, so its presampled step grids
+    (:meth:`TMYSeries.sampled`) are shared across simulations too.  With
+    the store disabled this is exactly ``generate_tmy(climate)``.
+    """
+    if not store_enabled():
+        return generate_tmy(climate)
+    key = (str(store_dir()), climate_fingerprint(climate))
+    series = _tmy_cache.get(key)
+    if series is not None:
+        return series
+    path = weather_path(climate)
+    stacked = _load_array(path, rows=3, columns=HOURS_PER_YEAR)
+    if stacked is None:
+        generated = generate_tmy(climate)
+        _atomic_save_array(
+            path,
+            np.stack(
+                [generated._temps_c, generated._mixing_ratios, generated._rh_pct]
+            ),
+        )
+        stacked = _load_array(path, rows=3, columns=HOURS_PER_YEAR)
+        if stacked is None:  # pragma: no cover - unwritable store dir
+            _tmy_cache[key] = generated
+            return generated
+    series = TMYSeries(climate, stacked[0], stacked[1], stacked[2])
+    _tmy_cache[key] = series
+    return series
+
+
+# -- workload traces -----------------------------------------------------------
+
+
+def trace_path(kind: str, params: dict) -> pathlib.Path:
+    name = (
+        f"trace-{_slug(kind)}-{params_fingerprint(params)}"
+        f"-v{STORE_SCHEMA_VERSION}.npy"
+    )
+    return store_dir() / name
+
+
+def trace_to_array(trace: Trace) -> np.ndarray:
+    """Columnar ``(num_jobs, 9)`` float64 encoding of a generated trace."""
+    rows = np.empty((len(trace.jobs), TRACE_COLUMNS), dtype=np.float64)
+    for i, job in enumerate(trace.jobs):
+        rows[i] = (
+            float(job.job_id),
+            job.arrival_s,
+            float(job.num_maps),
+            job.map_duration_s,
+            float(job.num_reduces),
+            job.reduce_duration_s,
+            job.input_mb,
+            job.output_mb,
+            float("nan") if job.deadline_s is None else job.deadline_s,
+        )
+    return rows
+
+
+def trace_from_array(name: str, array: np.ndarray) -> Trace:
+    """Rebuild the :class:`Trace` a columnar entry encodes, bit-identical."""
+    jobs = []
+    for row in array.tolist():
+        jobs.append(
+            Job(
+                job_id=int(row[0]),
+                arrival_s=row[1],
+                num_maps=int(row[2]),
+                map_duration_s=row[3],
+                num_reduces=int(row[4]),
+                reduce_duration_s=row[5],
+                input_mb=row[6],
+                output_mb=row[7],
+                deadline_s=None if np.isnan(row[8]) else row[8],
+            )
+        )
+    return Trace(name=name, jobs=jobs)
+
+
+def materialize_trace(
+    kind: str, params: dict, build: Callable[[], Trace]
+) -> Trace:
+    """Serve a trace from the store, generating and persisting on a miss.
+
+    ``params`` must pin every generator input (job count, seed,
+    utilization target, deferrable flag, ...): it keys the entry.  The
+    rebuilt job list equals ``build()``'s output field for field.
+    """
+    if not store_enabled():
+        return build()
+    path = trace_path(kind, params)
+    array = _load_array(path, columns=TRACE_COLUMNS)
+    if array is None:
+        trace = build()
+        _atomic_save_array(path, trace_to_array(trace))
+        return trace
+    return trace_from_array(kind, array)
+
+
+# -- learned models ------------------------------------------------------------
+
+
+def model_path(climate: Climate, days: Sequence[int], gaps: tuple) -> pathlib.Path:
+    params = {
+        "days": [int(d) for d in days],
+        "gaps": [dataclasses.asdict(g) for g in gaps],
+    }
+    name = (
+        f"model-{_slug(climate.name)}-{climate_fingerprint(climate)}"
+        f"-{params_fingerprint(params)}-c{code_fingerprint()}"
+        f"-v{STORE_SCHEMA_VERSION}.pkl"
+    )
+    return store_dir() / name
+
+
+def load_model(climate: Climate, days: Sequence[int], gaps: tuple):
+    """A persisted CoolingModel, or None.  Corrupt entries are evicted.
+
+    The key's code fingerprint covers every module that feeds the
+    learning campaign, so a model trained by older simulation code can
+    never be served — there is no staleness to detect at load time.
+    (Entries are this repo's own pickles under its own cache directory.)
+    """
+    if not store_enabled():
+        return None
+    path = model_path(climate, days, gaps)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:  # noqa: BLE001 - any corruption is a miss
+        _evict(path)
+        return None
+
+
+def save_model(climate: Climate, days: Sequence[int], gaps: tuple, model) -> None:
+    """Atomically persist one learned model."""
+    if not store_enabled():
+        return
+    _atomic_write_bytes(
+        model_path(climate, days, gaps), pickle.dumps(model, protocol=4)
+    )

@@ -287,11 +287,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     model = trained_cooling_model()
     results = profiling.run_bench(quick=args.quick, model=model)
+    baseline_path = args.baseline or profiling.DEFAULT_BASELINE
     payload = profiling.write_report(
         results,
         path=args.output,
         quick=args.quick,
-        baseline_path=args.baseline or profiling.DEFAULT_BASELINE,
+        baseline_path=baseline_path,
     )
     print(profiling.format_report(payload))
     print(f"wrote {args.output}")
@@ -303,12 +304,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     if args.profile:
         print(profiling.profile_day_sim(model=model, top_n=args.profile_top))
+    if args.check:
+        regressions, notes = profiling.check_regressions(
+            results,
+            profiling.load_baseline(baseline_path),
+            threshold=args.check_threshold,
+        )
+        for note in notes:
+            print(f"check: {note}")
+        if regressions:
+            print(
+                f"{len(regressions)} tracked metric(s) regressed more than "
+                f"{args.check_threshold:.0%} vs the recorded baseline:",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 3
+        print("check: no tracked metric regressed beyond the threshold")
     return 0
 
 
 def cmd_world(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
     failures: List[TaskFailure] = []
+    stream = None
+    if args.stream:
+        stream = True
+    elif args.no_stream:
+        stream = False
     summary = world_sweep(
         num_locations=args.locations,
         workers=workers,
@@ -317,6 +341,7 @@ def cmd_world(args: argparse.Namespace) -> int:
         task_retries=args.task_retries,
         task_timeout_s=args.task_timeout,
         failures=failures,
+        stream=stream,
     )
     print(format_table(
         ["bin C", "locations"],
@@ -416,6 +441,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for any cell to finish before "
                             "recovering serially (default REPRO_TASK_TIMEOUT_S; "
                             "unset = no timeout)")
+    world.add_argument("--stream", action="store_true",
+                       help="fold results into compact summary columns as "
+                            "cells complete (default REPRO_STREAM_WORLD, on); "
+                            "bit-identical, bounded parent memory")
+    world.add_argument("--no-stream", action="store_true",
+                       help="hold every full YearResult in the parent until "
+                            "the sweep ends (the pre-streaming path)")
 
     bench = sub.add_parser(
         "bench", help="time the simulation core (see docs/PERFORMANCE.md)")
@@ -436,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "benchmarks/perf/history.jsonl")
     bench.add_argument("--no-history", action="store_true",
                        help="skip appending this run to the perf history")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 3 if any tracked metric regressed more "
+                            "than --check-threshold vs the recorded baseline")
+    bench.add_argument("--check-threshold", type=float, default=0.25,
+                       help="fractional regression allowed before --check "
+                            "fails (0.25 = 25%%)")
     return parser
 
 

@@ -141,18 +141,30 @@ def trained_cooling_model(
     log before learning — a gapped log may starve whole regimes below
     ``min_samples``, so core-regime enforcement is relaxed and the
     degraded model relies on CoolAir's safe-mode fallback at decide time.
+
+    Beyond the per-process memory cache, models persist to the artifact
+    store (:mod:`repro.artifacts`) keyed by (climate, days, gaps, code
+    fingerprint): the learning campaign runs once ever per key on a
+    machine, not once per worker process per session.  ``use_cache=False``
+    bypasses both layers and always retrains.
     """
+    from repro import artifacts
+
     gaps = tuple(log_gaps)
     key = (climate.name, tuple(days), gaps)
     if use_cache and key in _MODEL_CACHE:
         return _MODEL_CACHE[key]
-    log = run_learning_campaign(climate, days)
-    if gaps:
-        from repro.faults import apply_log_gaps
+    model = artifacts.load_model(climate, days, gaps) if use_cache else None
+    if model is None:
+        log = run_learning_campaign(climate, days)
+        if gaps:
+            from repro.faults import apply_log_gaps
 
-        log = apply_log_gaps(log, gaps)
-    learner = CoolingLearner(num_sensors=4, require_core_regimes=not gaps)
-    model = learner.learn(log)
+            log = apply_log_gaps(log, gaps)
+        learner = CoolingLearner(num_sensors=4, require_core_regimes=not gaps)
+        model = learner.learn(log)
+        if use_cache:
+            artifacts.save_model(climate, days, gaps, model)
     if use_cache:
         _MODEL_CACHE[key] = model
     return model

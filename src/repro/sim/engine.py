@@ -31,10 +31,11 @@ from repro.errors import ConfigError, SimulationError, WeatherError
 from repro.faults import FaultInjector, FaultSchedule
 from repro.physics.psychrometrics import absolute_to_relative_humidity
 from repro.physics.thermal import PlantInputs, ThermalPlant
+from repro.artifacts import tmy_series
 from repro.sim.trace import DayTrace, StepRecord
 from repro.weather.climate import Climate, SECONDS_PER_DAY
 from repro.weather.forecast import ForecastService
-from repro.weather.tmy import TMYSeries, generate_tmy
+from repro.weather.tmy import TMYSeries
 from repro.workload.covering import covering_subset
 from repro.workload.hadoop import HadoopCluster
 from repro.workload.profile import DemandProfile, build_demand_profile
@@ -76,7 +77,9 @@ def make_realsim(
     """Real-Sim: Parasol's abrupt cooling hardware."""
     from repro.physics.thermal import ThermalPlantConfig
 
-    tmy = generate_tmy(climate)
+    # Served from the artifact store (docs/PERFORMANCE.md): generated once
+    # per machine, then mmapped read-only — bit-identical to generate_tmy.
+    tmy = tmy_series(climate)
     layout = parasol_layout()
     # The Hadoop deployment stores a full dataset copy on a covering subset
     # of servers, which must stay active at all times (Section 4.2).

@@ -72,7 +72,8 @@ from repro.sim.trace import (
 from repro.sim.yearsim import YearResult, sampled_days
 from repro.weather.climate import Climate, SECONDS_PER_DAY
 from repro.weather.forecast import ForecastService
-from repro.weather.tmy import LaneWeather, TMYSeries, generate_tmy
+from repro.artifacts import tmy_series
+from repro.weather.tmy import LaneWeather, TMYSeries
 from repro.workload.covering import covering_subset
 from repro.workload.traces import Trace
 
@@ -203,7 +204,10 @@ class LaneRunner:
                 raise SimulationError(f"unknown system {system!r}")
             tmy = series_by_climate.get(scenario.climate)
             if tmy is None:
-                tmy = generate_tmy(scenario.climate)
+                # Store-backed (and cached per process): successive chunks
+                # in one worker share the series and its presampled grids
+                # instead of regenerating per chunk.
+                tmy = tmy_series(scenario.climate)
                 series_by_climate[scenario.climate] = tmy
             series_list.append(tmy)
 

@@ -1,0 +1,194 @@
+"""Artifact-store tests (repro.artifacts): round-trips, mmap serving,
+corruption recovery, schema-version eviction, and the disabled fallback."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import artifacts
+from repro.faults import LogGapFault
+from repro.weather.locations import NAMED_LOCATIONS
+from repro.weather.tmy import HOURS_PER_YEAR, generate_tmy
+from repro.workload.traces import FacebookTraceGenerator
+
+NEWARK = NAMED_LOCATIONS["Newark"]
+
+
+@pytest.fixture()
+def store(tmp_path, monkeypatch):
+    """A fresh store directory with clean per-process caches."""
+    store_dir = tmp_path / "artifacts"
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(store_dir))
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    monkeypatch.setattr(artifacts, "_tmy_cache", {})
+    monkeypatch.setattr(artifacts, "_swept_dirs", set())
+    return store_dir
+
+
+def assert_series_equal(served, generated):
+    assert np.array_equal(np.asarray(served._temps_c), generated._temps_c)
+    assert np.array_equal(
+        np.asarray(served._mixing_ratios), generated._mixing_ratios
+    )
+    assert np.array_equal(np.asarray(served._rh_pct), generated._rh_pct)
+
+
+class TestWeather:
+    def test_roundtrip_bit_identical(self, store):
+        served = artifacts.tmy_series(NEWARK)
+        assert_series_equal(served, generate_tmy(NEWARK))
+        assert artifacts.weather_path(NEWARK).exists()
+
+    def test_served_from_mmap(self, store):
+        served = artifacts.tmy_series(NEWARK)
+        # Row views of the mmapped (3, 8760) stack, not in-heap copies.
+        assert isinstance(served._temps_c.base, np.memmap)
+        assert served._temps_c.shape == (HOURS_PER_YEAR,)
+
+    def test_process_cache_returns_same_object(self, store):
+        assert artifacts.tmy_series(NEWARK) is artifacts.tmy_series(NEWARK)
+
+    def test_second_load_never_regenerates(self, store, monkeypatch):
+        artifacts.tmy_series(NEWARK)
+        generated = generate_tmy(NEWARK)
+        artifacts._tmy_cache.clear()
+        monkeypatch.setattr(
+            artifacts,
+            "generate_tmy",
+            lambda climate: pytest.fail("store hit must not regenerate"),
+        )
+        assert_series_equal(artifacts.tmy_series(NEWARK), generated)
+
+    def test_corrupt_entry_recovered(self, store):
+        path = artifacts.weather_path(NEWARK)
+        artifacts.tmy_series(NEWARK)
+        path.write_bytes(b"not a numpy file at all")
+        artifacts._tmy_cache.clear()
+        assert_series_equal(artifacts.tmy_series(NEWARK), generate_tmy(NEWARK))
+        # The corrupt entry was evicted and rewritten with valid contents.
+        reloaded = np.load(path, mmap_mode="r", allow_pickle=False)
+        assert reloaded.shape == (3, HOURS_PER_YEAR)
+
+    def test_truncated_entry_recovered(self, store):
+        path = artifacts.weather_path(NEWARK)
+        artifacts.tmy_series(NEWARK)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        artifacts._tmy_cache.clear()
+        assert_series_equal(artifacts.tmy_series(NEWARK), generate_tmy(NEWARK))
+
+    def test_wrong_shape_entry_recovered(self, store):
+        path = artifacts.weather_path(NEWARK)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.save(path, np.zeros((2, 5)))
+        assert_series_equal(artifacts.tmy_series(NEWARK), generate_tmy(NEWARK))
+
+    def test_disabled_store_writes_nothing(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", "0")
+        served = artifacts.tmy_series(NEWARK)
+        assert_series_equal(served, generate_tmy(NEWARK))
+        assert not store.exists()
+
+
+class TestSchemaVersion:
+    def test_stale_versions_evicted_on_write(self, store):
+        store.mkdir(parents=True)
+        stale = store / "tmy-Old-abc123-v0.npy"
+        stale.write_bytes(b"stale generation")
+        current_looking = store / f"model-Keep-x-y-cz-v{artifacts.STORE_SCHEMA_VERSION}.pkl"
+        current_looking.write_bytes(b"current generation")
+        unrelated = store / "README.txt"
+        unrelated.write_text("not an artifact")
+        artifacts.tmy_series(NEWARK)
+        assert not stale.exists()
+        assert current_looking.exists()
+        assert unrelated.exists()
+
+    def test_mismatched_version_never_served(self, store, monkeypatch):
+        artifacts.tmy_series(NEWARK)
+        artifacts._tmy_cache.clear()
+        monkeypatch.setattr(artifacts, "STORE_SCHEMA_VERSION", 99)
+        # The v1 entry is invisible under schema 99: a fresh entry is
+        # generated and written under the new version token.
+        served = artifacts.tmy_series(NEWARK)
+        assert_series_equal(served, generate_tmy(NEWARK))
+        assert artifacts.weather_path(NEWARK).name.endswith("-v99.npy")
+        assert artifacts.weather_path(NEWARK).exists()
+
+
+class TestTraces:
+    @pytest.mark.parametrize("deferrable", [False, True])
+    def test_roundtrip_field_for_field(self, store, deferrable):
+        params = {"num_jobs": 50, "seed": 42, "deferrable": deferrable}
+        build = lambda: FacebookTraceGenerator(num_jobs=50).generate(
+            deferrable=deferrable
+        )
+        first = artifacts.materialize_trace("facebook", params, build)
+        second = artifacts.materialize_trace(
+            "facebook",
+            params,
+            lambda: pytest.fail("store hit must not rebuild"),
+        )
+        assert second.name == first.name == "facebook"
+        assert second.jobs == build().jobs
+        if deferrable:
+            assert any(job.deadline_s is not None for job in second.jobs)
+        else:
+            assert all(job.deadline_s is None for job in second.jobs)
+
+    def test_corrupt_trace_recovered(self, store):
+        params = {"num_jobs": 20, "seed": 42}
+        build = lambda: FacebookTraceGenerator(num_jobs=20).generate()
+        artifacts.materialize_trace("facebook", params, build)
+        artifacts.trace_path("facebook", params).write_bytes(b"garbage")
+        recovered = artifacts.materialize_trace("facebook", params, build)
+        assert recovered.jobs == build().jobs
+
+    def test_different_params_different_entries(self, store):
+        a = artifacts.trace_path("facebook", {"num_jobs": 10})
+        b = artifacts.trace_path("facebook", {"num_jobs": 20})
+        assert a != b
+
+
+class TestModels:
+    def test_roundtrip(self, store):
+        gaps = (LogGapFault(drop_mode="free_cooling"),)
+        payload = {"weights": [1.0, 2.0], "gapped": True}
+        artifacts.save_model(NEWARK, (5, 40), gaps, payload)
+        assert artifacts.load_model(NEWARK, (5, 40), gaps) == payload
+        # Distinct gap keys never collide.
+        assert artifacts.load_model(NEWARK, (5, 40), ()) is None
+
+    def test_corrupt_pickle_evicted(self, store):
+        artifacts.save_model(NEWARK, (5,), (), {"ok": 1})
+        path = artifacts.model_path(NEWARK, (5,), ())
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+        assert artifacts.load_model(NEWARK, (5,), ()) is None
+        assert not path.exists()
+
+    def test_code_fingerprint_in_key(self, store, monkeypatch):
+        artifacts.save_model(NEWARK, (5,), (), {"ok": 1})
+        monkeypatch.setattr(artifacts, "_code_fingerprint", "0" * 12)
+        # A different simulation-source hash addresses a different file.
+        assert artifacts.load_model(NEWARK, (5,), ()) is None
+
+    def test_disabled_store(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", "0")
+        artifacts.save_model(NEWARK, (5,), (), {"ok": 1})
+        assert artifacts.load_model(NEWARK, (5,), ()) is None
+        assert not store.exists()
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, store):
+        artifacts.tmy_series(NEWARK)
+        artifacts.materialize_trace(
+            "facebook",
+            {"num_jobs": 10},
+            lambda: FacebookTraceGenerator(num_jobs=10).generate(),
+        )
+        artifacts.save_model(NEWARK, (5,), (), {"ok": 1})
+        leftovers = [p.name for p in store.iterdir() if ".tmp" in p.name]
+        assert leftovers == []

@@ -174,3 +174,137 @@ class TestHistory:
             ["bench", "--quick", "--no-history", "--output", str(out)]
         ) == 0
         assert "appended run" not in capsys.readouterr().out
+
+    def test_append_is_atomic_no_temp_leftovers(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        profiling.append_history(self.PAYLOAD, path=path)
+        profiling.append_history(self.PAYLOAD, path=path)
+        assert [p.name for p in tmp_path.iterdir()] == ["history.jsonl"]
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"torn": true}')  # no trailing newline
+        profiling.append_history(self.PAYLOAD, path=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"torn": True}
+        assert json.loads(lines[1])["quick"] is False
+
+
+class TestCheckRegressions:
+    """The ``bench --check`` gate against the recorded baseline."""
+
+    def current(self, **overrides):
+        results = {
+            "day_sim": {"median_s": 0.25, "days_per_s": 4.0},
+            "world_chunk": {"median_s": 1.0, "lanes": 8, "s_per_lane": 0.125},
+        }
+        results.update(overrides)
+        return results
+
+    def baseline(self):
+        return {
+            "results": {
+                "day_sim": {"median_s": 0.25},
+                "world_chunk": {
+                    "median_s": 1.0, "lanes": 8, "s_per_lane": 0.125,
+                },
+            }
+        }
+
+    def test_clean_run_has_no_regressions(self):
+        regressions, notes = profiling.check_regressions(
+            self.current(), self.baseline()
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_slow_metric_flagged_over_threshold(self):
+        results = self.current(
+            day_sim={"median_s": 0.40, "days_per_s": 2.5}  # 60% slower
+        )
+        regressions, _ = profiling.check_regressions(
+            results, self.baseline(), threshold=0.25
+        )
+        assert len(regressions) == 1
+        assert "day_sim" in regressions[0]
+        # A looser threshold lets the same run through.
+        regressions, _ = profiling.check_regressions(
+            results, self.baseline(), threshold=1.0
+        )
+        assert regressions == []
+
+    def test_higher_is_better_direction(self):
+        results = {"plant_step": {"median_s": 0.3, "steps": 2000,
+                                  "steps_per_s": 5000.0}}
+        baseline = {"results": {"plant_step": {
+            "median_s": 0.2, "steps": 2000, "steps_per_s": 10000.0,
+        }}}
+        regressions, _ = profiling.check_regressions(results, baseline)
+        assert len(regressions) == 1 and "steps_per_s" in regressions[0]
+
+    def test_shape_mismatch_skipped_with_note(self):
+        results = self.current(
+            world_chunk={"median_s": 9.0, "lanes": 2, "s_per_lane": 4.5}
+        )
+        regressions, notes = profiling.check_regressions(
+            results, self.baseline()
+        )
+        assert regressions == []
+        assert any("world_chunk" in n and "shape" in n for n in notes)
+
+    def test_missing_baseline_is_a_note_not_a_failure(self):
+        regressions, notes = profiling.check_regressions(self.current(), None)
+        assert regressions == []
+        assert notes == ["no recorded baseline; nothing to check"]
+
+    def test_bench_absent_from_baseline_noted(self):
+        results = self.current(
+            world_sweep_stream={
+                "median_s": 5.0, "locations": 24, "workers": 4,
+                "sample_every_days": 365, "trace_jobs": 400,
+            }
+        )
+        regressions, notes = profiling.check_regressions(
+            results, self.baseline()
+        )
+        assert regressions == []
+        assert any("world_sweep_stream" in n for n in notes)
+
+    def test_every_tracked_bench_names_a_real_metric(self):
+        # The tracked table must agree with what the benches emit.
+        for name, spec in profiling.TRACKED_METRICS.items():
+            assert spec["better"] in ("higher", "lower")
+            assert isinstance(spec["shape"], tuple)
+            assert spec["metric"]
+
+    def test_cli_check_exit_code(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            profiling, "run_bench",
+            lambda quick, model: {"day_sim": {"median_s": 9.9}},
+        )
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "trained_cooling_model", lambda *a, **k: object()
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": profiling.SCHEMA_VERSION,
+            "results": {"day_sim": {"median_s": 0.25}},
+        }))
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--no-history", "--check",
+            "--output", str(out), "--baseline", str(baseline),
+        ])
+        assert code == 3
+        assert "regressed" in capsys.readouterr().err
+        # Same run, catastrophic-only threshold: passes.
+        code = main([
+            "bench", "--quick", "--no-history", "--check",
+            "--check-threshold", "50.0",
+            "--output", str(out), "--baseline", str(baseline),
+        ])
+        assert code == 0

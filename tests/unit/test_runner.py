@@ -523,6 +523,201 @@ class TestPoolFailureHandling:
         assert parent_calls == []  # served from the persisted cache entry
 
 
+class TestResolveMpContext:
+    def test_env_and_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CONTEXT", "spawn")
+        assert runner.resolve_mp_context() == "spawn"
+        available = multiprocessing.get_all_start_methods()[0]
+        assert runner.resolve_mp_context(available) == available
+        monkeypatch.delenv("REPRO_MP_CONTEXT")
+        assert runner.resolve_mp_context() is None
+
+    def test_invalid_is_clean_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_CONTEXT", raising=False)
+        with pytest.raises(ReproError, match="mp context"):
+            runner.resolve_mp_context("threads")
+
+
+class TestWarmSharedState:
+    """The pre-pool warm pass trains every distinct model the tasks need."""
+
+    def _record_models(self, monkeypatch):
+        import repro.sim.campaign as campaign
+
+        calls = []
+        monkeypatch.setattr(
+            campaign,
+            "trained_cooling_model",
+            lambda *a, **k: calls.append(tuple(k.get("log_gaps", ())))
+            or object(),
+        )
+        monkeypatch.setattr(
+            experiments, "facebook_trace", lambda deferrable=False: None
+        )
+        monkeypatch.setattr(
+            experiments, "nutch_trace", lambda deferrable=False: None
+        )
+        return calls
+
+    def _gapped_config(self):
+        import dataclasses
+
+        from repro.core.versions import ALL_VERSIONS
+        from repro.faults import FaultSchedule, LogGapFault
+
+        gap = LogGapFault(drop_mode="free_cooling")
+        config = dataclasses.replace(
+            ALL_VERSIONS["All-ND"](), faults=FaultSchedule(log_gaps=(gap,))
+        )
+        return config, gap
+
+    def test_baseline_only_trains_nothing(self, monkeypatch):
+        calls = self._record_models(monkeypatch)
+        runner._warm_shared_state(baseline_tasks(NEWARK, SANTIAGO))
+        assert calls == []
+
+    def test_warms_every_distinct_model_key_once(self, monkeypatch):
+        calls = self._record_models(monkeypatch)
+        gapped, gap = self._gapped_config()
+        runner._warm_shared_state([
+            runner.YearTask("baseline", NEWARK),
+            runner.YearTask("All-ND", NEWARK),
+            runner.YearTask(gapped, SANTIAGO),
+            runner.YearTask(gapped, NEWARK),  # same gap key: warmed once
+            runner.YearTask("Energy", ICELAND),  # same default key
+        ])
+        assert sorted(calls, key=len) == [(), (gap,)]
+
+    def test_gapped_only_tasks_skip_the_default_model(self, monkeypatch):
+        """Before the fix, only the default model was ever warmed — and
+        gapped cells retrained their degraded model in every worker."""
+        calls = self._record_models(monkeypatch)
+        gapped, gap = self._gapped_config()
+        runner._warm_shared_state([runner.YearTask(gapped, NEWARK)])
+        assert calls == [(gap,)]
+
+
+class TestStreaming:
+    def test_keep_results_false_streams_and_drops(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        seen = []
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND),
+            workers=1,
+            keep_results=False,
+            consume=lambda i, task, result: seen.append(
+                (i, result.climate_name)
+            ),
+        )
+        assert results == [None, None, None]
+        assert sorted(seen) == [
+            (0, "Newark"), (1, "Santiago"), (2, "Iceland"),
+        ]
+
+    def test_consume_includes_cache_hits(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO)
+        runner.run_year_tasks(tasks, workers=1)
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda *a, **k: pytest.fail("cache hit recomputed"),
+        )
+        seen = []
+        runner.run_year_tasks(
+            tasks,
+            workers=1,
+            keep_results=False,
+            consume=lambda i, task, result: seen.append(result.climate_name),
+        )
+        assert sorted(seen) == ["Newark", "Santiago"]
+
+    def test_keep_results_false_skips_memory_seeding(
+        self, tmp_cache, monkeypatch
+    ):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        tasks = baseline_tasks(NEWARK, SANTIAGO)
+        runner.run_year_tasks(tasks, workers=1)
+        # Disk entries exist; a fresh memory cache must stay empty when
+        # the cells are served in streaming mode.
+        monkeypatch.setattr(experiments, "_memory_cache", {})
+        runner.run_year_tasks(
+            tasks, workers=1, keep_results=False, consume=lambda *a: None
+        )
+        assert experiments._memory_cache == {}
+
+    def test_failed_cells_never_reach_consume(self, tmp_cache, monkeypatch):
+        def santiago_fails(system, climate, *a, **k):
+            if climate.name == "Santiago":
+                raise RuntimeError("bad cell")
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", santiago_fails)
+        failures = []
+        seen = []
+        runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND),
+            workers=1, task_retries=0, backoff_s=0.0, failures=failures,
+            keep_results=False,
+            consume=lambda i, task, result: seen.append(result.climate_name),
+        )
+        assert sorted(seen) == ["Iceland", "Newark"]
+        assert len(failures) == 1
+
+    @fork_only
+    def test_pool_streaming_consumes_every_cell(self, tmp_cache, monkeypatch):
+        monkeypatch.setattr(
+            experiments, "run_year",
+            lambda system, climate, *a, **k: fake_result(climate=climate.name),
+        )
+        seen = []
+        results = runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND),
+            workers=2,
+            keep_results=False,
+            consume=lambda i, task, result: seen.append(
+                (i, result.climate_name)
+            ),
+        )
+        assert results == [None, None, None]
+        assert sorted(seen) == [
+            (0, "Newark"), (1, "Santiago"), (2, "Iceland"),
+        ]
+        # No memory seeding happened in streaming mode.
+        assert experiments._memory_cache == {}
+
+    @fork_only
+    def test_crash_recovery_still_streams_each_cell_once(
+        self, tmp_cache, tmp_path, monkeypatch
+    ):
+        import os
+
+        flag = tmp_path / "crashed-once"
+
+        def crashing(system, climate, *a, **k):
+            if climate.name == "Santiago" and not flag.exists():
+                flag.write_text("x")
+                os._exit(1)
+            return fake_result(climate=climate.name)
+
+        monkeypatch.setattr(experiments, "run_year", crashing)
+        seen = []
+        runner.run_year_tasks(
+            baseline_tasks(NEWARK, SANTIAGO, ICELAND), workers=2,
+            task_retries=1, backoff_s=0.0, keep_results=False,
+            consume=lambda i, task, result: seen.append(result.climate_name),
+        )
+        assert sorted(seen) == ["Iceland", "Newark", "Santiago"]
+
+
 class TestYearTask:
     def test_label(self):
         task = runner.YearTask("baseline", NEWARK, workload="nutch")
