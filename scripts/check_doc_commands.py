@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Verify every documented CLI invocation parses against the real parser.
+
+Scans the README and ``docs/*.md`` for ``python -m repro ...`` command
+lines, strips shell decorations, and runs each through
+``repro.cli.build_parser()``.  A renamed flag, removed subcommand, or
+stale example fails CI instead of silently rotting in the docs.  Also
+checks that the dispatch table, the ``--help`` epilog catalogue, and the
+README command table agree on the set of subcommands.
+"""
+
+import contextlib
+import io
+import pathlib
+import re
+import shlex
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import COMMAND_SUMMARIES, COMMANDS, build_parser  # noqa: E402
+
+COMMAND_RE = re.compile(r"python -m repro\s+([^\n`]+)")
+SHELL_OPERATORS = {"|", "||", "&&", "&", ";", ">", ">>", "<"}
+
+
+def doc_files():
+    yield ROOT / "README.md"
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+PLACEHOLDER_RE = re.compile(r"^(<.*>|[A-Z][A-Z_-]*)$")
+
+
+def extract_commands(text):
+    for match in COMMAND_RE.finditer(text):
+        tokens = shlex.split(match.group(1))
+        if "..." in tokens:
+            continue  # elided example, nothing concrete to parse
+        clean = []
+        for token in tokens:
+            if token in SHELL_OPERATORS or token.startswith("#"):
+                break
+            if PLACEHOLDER_RE.match(token):
+                # `--faults NAME`-style placeholder: drop the pair; the
+                # remaining tokens still prove the subcommand and flags.
+                if clean and clean[-1].startswith("--"):
+                    clean.pop()
+                continue
+            clean.append(token)
+        if clean:
+            yield clean
+
+
+def parses(tokens):
+    parser = build_parser()
+    try:
+        with contextlib.redirect_stderr(io.StringIO()):
+            parser.parse_args(tokens)
+    except SystemExit as exit_:
+        return exit_.code == 0  # --help exits 0 and still proves the flags
+    return True
+
+
+def main():
+    errors = []
+    total = 0
+    for path in doc_files():
+        rel = path.relative_to(ROOT)
+        for tokens in extract_commands(path.read_text()):
+            total += 1
+            if tokens[0] not in COMMANDS:
+                errors.append(
+                    f"{rel}: unknown subcommand in `python -m repro "
+                    f"{' '.join(tokens)}`"
+                )
+            elif not parses(tokens):
+                errors.append(
+                    f"{rel}: does not parse: `python -m repro "
+                    f"{' '.join(tokens)}`"
+                )
+    if total == 0:
+        errors.append("no documented `python -m repro` commands found at all")
+
+    if set(COMMAND_SUMMARIES) != set(COMMANDS):
+        errors.append(
+            "COMMAND_SUMMARIES and COMMANDS disagree: "
+            f"{set(COMMAND_SUMMARIES) ^ set(COMMANDS)}"
+        )
+    readme = (ROOT / "README.md").read_text()
+    for name in COMMANDS:
+        if not re.search(rf"`(?:python -m repro |coolair )?{name}[` ]", readme):
+            errors.append(f"README.md: command table is missing `{name}`")
+
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"doc commands OK: {total} documented invocations parse")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

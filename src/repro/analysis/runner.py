@@ -39,6 +39,34 @@ Failure handling (docs/ROBUSTNESS.md):
 Workers return the JSON cache payload rather than the live
 :class:`YearResult` so the parallel path goes through exactly the same
 serialization as a disk-cache hit.
+
+Public contract (the campaign service, :mod:`repro.service`, builds on
+exactly these guarantees — keep them):
+
+* **Pool-safe worker entry points.**  :func:`_execute_task_payload` and
+  :func:`_execute_lane_chunk_payload` are the only functions shipped to
+  worker processes.  They take plain picklable data (:class:`YearTask`),
+  return plain JSON payloads, read every ``REPRO_*`` artifact/cache knob
+  from the environment per call, and persist results through the atomic
+  disk cache — so any number of pools, in any number of parent
+  processes, may run them concurrently against the same cache directory.
+* **Pool lifetime is the caller's.**  :class:`WorkerPool` owns a
+  persistent ``ProcessPoolExecutor`` that survives across
+  :func:`run_year_tasks` calls (pass it as ``pool=``); without one the
+  function creates and tears down a private pool per call, as before.
+  A broken shared pool is reset (old processes discarded, a fresh
+  executor created lazily), never left poisoned.
+* **Env knobs read per call** (safe to change between calls in one
+  process): ``REPRO_WORKERS``, ``REPRO_TASK_RETRIES``,
+  ``REPRO_TASK_TIMEOUT_S``, ``REPRO_MP_CONTEXT``, and — inside workers —
+  the artifact-store knobs (``REPRO_ARTIFACTS``, ``REPRO_ARTIFACTS_DIR``,
+  ``REPRO_CACHE_DIR``).  ``REPRO_LANES`` / ``REPRO_SIM_ENGINE`` /
+  ``REPRO_SAMPLE_DAYS`` are read at import of
+  :mod:`repro.analysis.experiments` and are fixed per process.
+* **Warm state is optional.**  :func:`_warm_shared_state` only moves
+  work earlier (train/generate once, persist to the artifact store);
+  skipping it costs time in the first worker to need each artifact,
+  never correctness.
 """
 
 from __future__ import annotations
@@ -47,6 +75,7 @@ import dataclasses
 import logging
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -193,6 +222,86 @@ def resolve_task_timeout(requested: Optional[float] = None) -> Optional[float]:
     if requested is not None and requested <= 0:
         return None
     return requested
+
+
+class WorkerPool:
+    """A process pool whose lifetime outlives a single campaign call.
+
+    ``run_year_tasks`` historically created and destroyed one
+    ``ProcessPoolExecutor`` per invocation — fine for a one-shot CLI
+    command, wasteful for a long-running service that runs many
+    campaigns against the same workers.  A ``WorkerPool`` decouples the
+    two: create it once, pass it to any number of ``run_year_tasks``
+    calls (``pool=``) or submit the module's worker entry points to it
+    directly (the campaign service does), and shut it down when the
+    owning process exits.
+
+    The underlying executor is created lazily on first use and recreated
+    lazily after :meth:`reset`, so a crashed or hung worker generation
+    never poisons the pool object itself.  Thread-safety: creation and
+    reset are lock-guarded; ``submit`` may be called from any thread
+    (``ProcessPoolExecutor.submit`` is itself thread-safe).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self._ctx_name = resolve_mp_context(mp_context)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every :meth:`reset`; lets callers detect restarts."""
+        return self._generation
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, created on demand."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=(
+                        multiprocessing.get_context(self._ctx_name)
+                        if self._ctx_name
+                        else None
+                    ),
+                )
+            return self._executor
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Submit work; raises ``BrokenProcessPool`` if the pool just died."""
+        return self.executor().submit(fn, *args, **kwargs)
+
+    def reset(self) -> None:
+        """Discard a broken/hung worker generation without waiting on it.
+
+        Outstanding futures are cancelled where possible; already-running
+        cells in dead workers surface ``BrokenProcessPool`` to their
+        waiters, who re-check the cache and resubmit.  The next
+        :meth:`submit` starts a fresh executor.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._generation += 1
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
 
 def _wrap_error(label: str, err: BaseException) -> TaskExecutionError:
@@ -379,6 +488,7 @@ def run_year_tasks(
     consume: Optional[ConsumeCallback] = None,
     keep_results: bool = True,
     mp_context: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Optional[YearResult]]:
     """Run a batch of campaign cells, in parallel where possible.
 
@@ -401,6 +511,13 @@ def run_year_tasks(
     method — ``fork`` shares the parent's warmed state by inheritance,
     ``spawn`` rebuilds workers from the artifact store.
 
+    ``pool`` runs the fan-out on a caller-owned persistent
+    :class:`WorkerPool` instead of a private per-call executor: worker
+    processes survive across calls (the caller shuts the pool down), its
+    ``workers`` count wins when ``workers`` is not given, and a broken
+    pool is :meth:`WorkerPool.reset` rather than abandoned so the next
+    call starts clean.
+
     ``task_retries`` retries each failing cell (with exponential
     ``backoff_s`` doubling), ``task_timeout_s`` bounds the wait for any
     cell to complete before the pool is declared stuck, and a crashed
@@ -412,6 +529,8 @@ def run_year_tasks(
     """
     from repro.analysis import experiments
 
+    if pool is not None and workers is None:
+        workers = pool.workers
     workers = resolve_workers(workers)
     lanes = resolve_lanes(lanes)
     retries = resolve_task_retries(task_retries)
@@ -538,41 +657,54 @@ def run_year_tasks(
         return results
 
     _warm_shared_state([tasks[i] for i in pending])
-    max_workers = min(workers, len(singles) + len(chunks))
 
     # index targets are ints (single cells) or lists of ints (lane chunks).
     futures: dict = {}
     attempts: Dict[Tuple[int, ...], int] = {}
     lost: List[int] = []
     broken = False
-    pool = ProcessPoolExecutor(
-        max_workers=max_workers,
-        mp_context=(
-            multiprocessing.get_context(ctx_name) if ctx_name else None
-        ),
-    )
+    owned = pool is None
+    if owned:
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(singles) + len(chunks)),
+            mp_context=(
+                multiprocessing.get_context(ctx_name) if ctx_name else None
+            ),
+        )
+    else:
+        executor = pool.executor()
 
     not_done: set = set()
 
     def submit_chunk(chunk: List[int]) -> None:
+        nonlocal broken
         try:
-            future = pool.submit(
+            future = executor.submit(
                 _execute_lane_chunk_payload,
                 [tasks[i] for i in chunk],
                 use_disk_cache,
             )
-        except (BrokenProcessPool, RuntimeError):
+        except BrokenProcessPool:
+            broken = True
+            lost.extend(chunk)
+            return
+        except RuntimeError:
             lost.extend(chunk)
             return
         futures[future] = chunk
         not_done.add(future)
 
     def submit_single(index: int) -> None:
+        nonlocal broken
         try:
-            future = pool.submit(
+            future = executor.submit(
                 _execute_task_payload, tasks[index], use_disk_cache
             )
-        except (BrokenProcessPool, RuntimeError):
+        except BrokenProcessPool:
+            broken = True
+            lost.append(index)
+            return
+        except RuntimeError:
             lost.append(index)
             return
         futures[future] = index
@@ -640,14 +772,24 @@ def run_year_tasks(
                         )
                     record(index, result)
     finally:
-        if broken:
-            # Dead or hung workers: do not wait for them.  (A hung worker
-            # survives as an orphan until it finishes or is killed.)
-            pool.shutdown(wait=False, cancel_futures=True)
+        if owned:
+            if broken:
+                # Dead or hung workers: do not wait for them.  (A hung
+                # worker survives as an orphan until it finishes or is
+                # killed.)
+                executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                # Normal exit has nothing queued; on an error exit (first
+                # failure raising) this stops queued cells from running.
+                executor.shutdown(cancel_futures=True)
         else:
-            # Normal exit has nothing queued; on an error exit (first
-            # failure raising) this stops queued cells from running.
-            pool.shutdown(cancel_futures=True)
+            # A shared pool outlives this call: cancel whatever this call
+            # still has queued, and swap in a fresh worker generation if
+            # this one died so the next call starts clean.
+            for future in list(futures):
+                future.cancel()
+            if broken:
+                pool.reset()
 
     if broken or lost:
         for future, target in list(futures.items()):

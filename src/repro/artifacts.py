@@ -33,12 +33,26 @@ All store reads reproduce the generated values bit-for-bit (float64
 round-trips exactly through ``.npy``), so the data plane changes wall
 clock and memory, never results.
 
+Public contract (what the runner and the campaign service rely on):
+
+* ``tmy_series`` / ``materialize_trace`` are read-or-regenerate: they
+  return the artifact whether or not it is on disk yet (``load_model``
+  returns ``None`` on a miss and pairs with ``save_model``), so callers
+  never need to warm the store first — warming
+  (``runner._warm_shared_state``) is purely an optimization that stops
+  N workers from regenerating the same artifact N times;
+* every function is safe under concurrent calls from many processes
+  (atomic writes, corrupt-entry eviction) — the long-lived service pool
+  and any number of one-shot CLI runs can share one store;
+* no module-level state depends on the environment at import time:
+  ``REPRO_ARTIFACTS`` and ``REPRO_ARTIFACTS_DIR`` are read per call, so
+  spawned workers, forked workers, and subprocess benchmarks all see the
+  parent's environment without fork-inherited globals.
+
 Knobs: ``REPRO_ARTIFACTS=0`` disables the store (every consumer falls
 back to in-process generation, the pre-store behavior);
 ``REPRO_ARTIFACTS_DIR`` relocates it (default
-``$REPRO_CACHE_DIR/artifacts`` or ``<repo>/.cache/artifacts``).  Both are
-read per call, so spawned worker processes and subprocess benchmarks see
-the parent's environment without any fork-inherited state.
+``$REPRO_CACHE_DIR/artifacts`` or ``<repo>/.cache/artifacts``).
 """
 
 from __future__ import annotations

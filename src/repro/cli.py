@@ -1,6 +1,11 @@
 """Command-line interface: ``python -m repro`` or the ``coolair`` script.
 
-Subcommands mirror the workflows a datacenter operator would run:
+Subcommands mirror the workflows a datacenter operator would run.  The
+catalogue below is ``COMMAND_SUMMARIES``, which also generates the
+``--help`` epilog — add new subcommands there so the docs, the help
+text, and the dispatch table cannot drift apart
+(``scripts/check_doc_commands.py`` verifies the documented invocations
+in CI):
 
 * ``versions``  — print the Table 1 system matrix.
 * ``band``      — show the temperature band CoolAir would pick for a day.
@@ -12,12 +17,19 @@ Subcommands mirror the workflows a datacenter operator would run:
 * ``locations`` — list the named evaluation locations.
 * ``faults``    — list the built-in fault-injection scenarios.
 * ``bench``     — time the simulation core and write ``BENCH_sim_core.json``.
+* ``serve``     — run the campaign control-plane service (docs/SERVICE.md).
+* ``submit``    — submit a campaign to the service and stream its progress.
+* ``status``    — list service jobs, or show one job (``--result`` fetches it).
+* ``cancel``    — cancel a submitted job.
 
 ``matrix`` and ``world`` fan out over worker processes (``--workers`` /
 ``REPRO_WORKERS``) with ``--lanes`` / ``REPRO_LANES`` scenarios stepped in
 lockstep per worker by the lane-batched engine (see
 ``docs/EXPERIMENTS.md``), and reuse the on-disk result cache under
-``.cache/``.
+``.cache/``.  ``serve``/``submit``/``status``/``cancel`` are the service
+mode: one persistent worker pool serving many concurrent campaign
+requests with priorities, cancellation, and cross-request dedupe
+(see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -58,6 +70,34 @@ from repro.weather.tmy import generate_tmy
 from repro.workload.traces import FacebookTraceGenerator, NutchTraceGenerator
 
 SYSTEM_CHOICES = ["baseline"] + list(ALL_VERSIONS)
+
+# One line per subcommand; renders the --help epilog and anchors the
+# README command table (scripts/check_doc_commands.py keeps them honest).
+COMMAND_SUMMARIES = {
+    "versions": "print the Table 1 system matrix",
+    "band": "show the temperature band CoolAir picks for a day",
+    "campaign": "run the model-learning campaign and report model quality",
+    "day": "simulate one day of a system at a location",
+    "year": "simulate (and cache) a year; print the headline metrics",
+    "matrix": "the Figures 8-10 systems-by-locations year matrix",
+    "world": "the Figures 12/13 worldwide sweep",
+    "locations": "list the named evaluation locations",
+    "faults": "list the built-in fault-injection scenarios",
+    "bench": "time the simulation core (docs/PERFORMANCE.md)",
+    "serve": "run the campaign control-plane service (docs/SERVICE.md)",
+    "submit": "submit a campaign to the service and stream its progress",
+    "status": "list service jobs, or show one job's progress",
+    "cancel": "cancel a submitted service job",
+}
+
+
+def command_table() -> str:
+    """The subcommand catalogue, one aligned line per command."""
+    width = max(len(name) for name in COMMAND_SUMMARIES)
+    return "\n".join(
+        f"  {name:<{width}}  {summary}"
+        for name, summary in COMMAND_SUMMARIES.items()
+    )
 
 
 def _climate(name: str):
@@ -358,13 +398,161 @@ def cmd_world(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# -- service mode --------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_jobs=args.max_jobs,
+        task_retries=args.task_retries,
+        task_timeout_s=args.task_timeout,
+    )
+
+
+def _submit_spec(args: argparse.Namespace):
+    """A CampaignSpec from the ``submit`` flags, by sweep kind."""
+    from repro.service.spec import CampaignSpec
+
+    if args.kind == "matrix":
+        return CampaignSpec(
+            kind="matrix",
+            systems=tuple(args.systems.split(",")),
+            workload=args.workload,
+            sample_every_days=args.sample_days,
+        )
+    if args.kind == "world":
+        return CampaignSpec(
+            kind="world",
+            locations=args.locations,
+            coolair_system=args.coolair_system,
+            sample_every_days=args.sample_days,
+        )
+    return CampaignSpec(
+        kind="faults",
+        system=args.system,
+        location=args.location,
+        scenarios=tuple(args.scenarios.split(",")) if args.scenarios else (),
+        workload=args.workload,
+        sample_every_days=args.sample_days,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import (
+        ServiceClient,
+        job_result_json,
+        render_result,
+    )
+
+    spec = _submit_spec(args)
+    with ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    ) as client:
+        if args.no_wait:
+            reply = client.submit(spec, priority=args.priority, stream=False)
+            print(reply["job_id"])
+            return 0
+        reply = client.submit(spec, priority=args.priority, stream=True)
+        job_id = reply["job_id"]
+        if not args.quiet:
+            print(
+                f"submitted {job_id}: {reply['job']['spec']} "
+                f"({reply['job']['total']} cells)",
+                file=sys.stderr,
+            )
+        final = None
+        for event in client.events():
+            kind = event.get("event")
+            if kind == "cell" and not args.quiet:
+                if event.get("ok", False):
+                    status = event.get("source", "executed")
+                else:
+                    status = f"FAILED: {event.get('error')}"
+                print(
+                    f"[{event['done']}/{event['total']}] {event['label']} "
+                    f"({status})",
+                    file=sys.stderr,
+                )
+            elif kind in ("done", "cancelled"):
+                final = event
+        if final is None or final.get("event") == "cancelled":
+            print(f"job {job_id} was cancelled", file=sys.stderr)
+            return 1
+        result = client.result(job_id)
+        print(job_result_json(result) if args.json else render_result(result))
+        return 1 if final.get("failed") else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import (
+        ServiceClient,
+        format_jobs_table,
+        job_result_json,
+        render_result,
+    )
+
+    with ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    ) as client:
+        if args.job_id is None:
+            reply = client.list_jobs()
+            print(format_jobs_table(reply["jobs"], reply["service"]))
+            return 0
+        reply = client.status(args.job_id)
+        print(format_jobs_table([reply["job"]], reply["service"]))
+        if args.result:
+            result = client.result(args.job_id)
+            print(
+                job_result_json(result) if args.json else render_result(result)
+            )
+        return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    ) as client:
+        reply = client.cancel(args.job_id)
+        state = reply["job"]["state"]
+        if reply["cancelled"]:
+            print(f"cancelled {args.job_id}")
+            return 0
+        print(f"{args.job_id} already {state}; nothing to cancel")
+        return 1
+
+
 # -- entry point ----------------------------------------------------------------
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Where the service lives (client side); mirrors the serve flags."""
+    parser.add_argument("--socket", default=None,
+                        help="service unix-socket path "
+                             "(default REPRO_SERVICE_SOCKET or .cache/service.sock)")
+    parser.add_argument("--host", default=None,
+                        help="service TCP host (default REPRO_SERVICE_HOST)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="service TCP port (default REPRO_SERVICE_PORT)")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="coolair",
         description="CoolAir free-cooled datacenter management (ASPLOS'15 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=f"commands:\n{command_table()}\n\n"
+               "one-shot campaigns: `matrix`, `world` (docs/EXPERIMENTS.md); "
+               "service mode: `serve` + `submit`/`status`/`cancel` "
+               "(docs/SERVICE.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -474,6 +662,87 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check-threshold", type=float, default=0.25,
                        help="fractional regression allowed before --check "
                             "fails (0.25 = 25%%)")
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign control-plane service "
+                      "(see docs/SERVICE.md)")
+    serve.add_argument("--socket", default=None,
+                       help="unix-socket path to listen on "
+                            "(default REPRO_SERVICE_SOCKET or .cache/service.sock)")
+    serve.add_argument("--host", default=None,
+                       help="listen on TCP at this host instead of the "
+                            "unix socket (default REPRO_SERVICE_HOST)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default REPRO_SERVICE_PORT; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default REPRO_WORKERS or CPUs)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="cells occupying pool slots at once "
+                            "(default REPRO_SERVICE_MAX_INFLIGHT or the "
+                            "worker count)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="queued+running jobs before submissions are "
+                            "refused (default REPRO_SERVICE_MAX_JOBS or 64)")
+    serve.add_argument("--task-retries", type=int, default=None,
+                       help="retries per failing cell "
+                            "(default REPRO_TASK_RETRIES or 1)")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       help="seconds to wait for any cell before the pool "
+                            "is recycled (default REPRO_TASK_TIMEOUT_S; "
+                            "unset = no timeout)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to the service")
+    submit.add_argument("kind", choices=["matrix", "world", "faults"],
+                        help="sweep shape: the matrix/world one-shot "
+                             "campaigns, or a fault-scenario sweep")
+    submit.add_argument("--systems", default=",".join(FIVE_LOCATION_SYSTEMS),
+                        help="matrix: comma-separated system names")
+    submit.add_argument("--workload", default="facebook",
+                        help="matrix/faults: facebook or nutch")
+    submit.add_argument("--sample-days", type=int, default=None,
+                        help="stride between simulated days (7 = paper)")
+    submit.add_argument("--locations", type=int,
+                        default=DEFAULT_WORLD_LOCATIONS,
+                        help="world: grid size (1520 = paper)")
+    submit.add_argument("--coolair-system", default="All-ND",
+                        choices=[s for s in SYSTEM_CHOICES if s != "baseline"],
+                        help="world: the CoolAir system compared to the "
+                             "baseline at every location")
+    submit.add_argument("--system", default="All-ND",
+                        choices=SYSTEM_CHOICES,
+                        help="faults: the system to run under each scenario")
+    submit.add_argument("--location", default="Newark",
+                        help="faults: where to run the scenarios")
+    submit.add_argument("--scenarios", default=None,
+                        help="faults: comma-separated scenario names "
+                             "(default: all built-ins; see `coolair faults`)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority; higher runs first "
+                             "(default 0)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return instead of "
+                             "streaming progress (poll with `status`)")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress on stderr")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw result payload instead of tables")
+    _add_endpoint_args(submit)
+
+    status = sub.add_parser(
+        "status", help="list service jobs, or show one job")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="a job id from `submit`; omit to list all jobs")
+    status.add_argument("--result", action="store_true",
+                        help="also fetch and render the job's result "
+                             "(completed jobs only)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw result payload instead of tables")
+    _add_endpoint_args(status)
+
+    cancel = sub.add_parser("cancel", help="cancel a submitted job")
+    cancel.add_argument("job_id", help="a job id from `submit`")
+    _add_endpoint_args(cancel)
     return parser
 
 
@@ -488,6 +757,10 @@ COMMANDS = {
     "matrix": cmd_matrix,
     "world": cmd_world,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "cancel": cmd_cancel,
 }
 
 

@@ -1,0 +1,46 @@
+"""The campaign control-plane service (docs/SERVICE.md).
+
+Promotes the one-shot campaign runner into a long-running, multi-tenant
+system: an asyncio server (:mod:`~repro.service.server`) accepts
+declarative :class:`CampaignSpec` requests over a line-delimited JSON
+protocol, a priority scheduler (:mod:`~repro.service.scheduler`) shards
+their cells across one persistent
+:class:`~repro.analysis.runner.WorkerPool`, identical cells are deduped
+across concurrent requests via the result-cache keys, and per-cell
+progress streams back to clients while the PR 4 retry/timeout/reset
+machinery keeps worker crashes from taking the service down.
+
+Layers, top to bottom::
+
+    protocol  (framing)  ->  server  (asyncio endpoint, admission)
+        -> jobs  (registry, per-job state + streams)
+        -> scheduler  (priority heap, dedupe, reliability)
+        -> runner.WorkerPool  (persistent process pool)
+        -> artifact store + result cache  (shared data plane)
+
+Use :class:`~repro.service.client.ServiceClient` (or the
+``python -m repro serve / submit / status / cancel`` subcommands) to
+talk to it.
+"""
+
+from repro.service.client import ServiceClient, render_result
+from repro.service.jobs import AdmissionError, Job, JobRegistry
+from repro.service.scheduler import Scheduler, ServiceMetrics
+from repro.service.server import CampaignService, ThreadedService, serve
+from repro.service.spec import CampaignSpec, CellSpec, SpecError
+
+__all__ = [
+    "AdmissionError",
+    "CampaignService",
+    "CampaignSpec",
+    "CellSpec",
+    "Job",
+    "JobRegistry",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceMetrics",
+    "SpecError",
+    "ThreadedService",
+    "render_result",
+    "serve",
+]

@@ -1,0 +1,342 @@
+"""Synchronous client for the campaign service.
+
+Backs the ``python -m repro submit/status/cancel`` subcommands and the
+integration tests.  One :class:`ServiceClient` owns one connection;
+``submit(stream=True)`` turns that connection into an event stream until
+the job finishes (open another client for concurrent status queries —
+the server multiplexes connections, not messages within one).
+
+Also home to the result renderers: a service job's result payload is
+rendered through the same table shapes as the one-shot ``matrix`` /
+``world`` commands, which is what lets the CI smoke job diff the two
+outputs line for line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.service.protocol import ProtocolError, decode, encode
+from repro.service.spec import CampaignSpec
+
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+
+def resolve_connect_timeout(requested: Optional[float] = None) -> float:
+    """Connect/ready timeout: argument > env > 10 s."""
+    if requested is None:
+        env = os.environ.get("REPRO_SERVICE_CONNECT_TIMEOUT_S")
+        if env is not None:
+            try:
+                requested = float(env)
+            except ValueError:
+                raise ReproError(
+                    "REPRO_SERVICE_CONNECT_TIMEOUT_S must be a number, "
+                    f"got {env!r}"
+                )
+        else:
+            requested = DEFAULT_CONNECT_TIMEOUT_S
+    if requested <= 0:
+        raise ReproError(f"connect timeout must be > 0, got {requested}")
+    return requested
+
+
+def resolve_endpoint(
+    socket_path: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> Union[str, Tuple[str, int]]:
+    """Where the service lives: explicit args > env > default socket.
+
+    Returns a unix-socket path (str) or a ``(host, port)`` TCP pair.
+    """
+    host = host or os.environ.get("REPRO_SERVICE_HOST")
+    if port is None:
+        env_port = os.environ.get("REPRO_SERVICE_PORT")
+        port = int(env_port) if env_port else None
+    if host or port is not None:
+        if port is None:
+            raise ReproError("a TCP endpoint needs a port")
+        return (host or "127.0.0.1", port)
+    from repro.service.server import resolve_socket_path
+
+    return str(resolve_socket_path(socket_path))
+
+
+class ServiceClient:
+    """One connection to the campaign service."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        self.endpoint = resolve_endpoint(socket_path, host, port)
+        self.timeout_s = resolve_connect_timeout(timeout_s)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    @classmethod
+    def from_endpoint(
+        cls,
+        endpoint: Union[str, Tuple[str, int]],
+        timeout_s: Optional[float] = None,
+    ) -> "ServiceClient":
+        """A client for an already-resolved endpoint (no env lookups)."""
+        client = cls.__new__(cls)
+        client.endpoint = endpoint
+        client.timeout_s = resolve_connect_timeout(timeout_s)
+        client._sock = None
+        client._file = None
+        return client
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        try:
+            if isinstance(self.endpoint, str):
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.endpoint)
+            else:
+                sock = socket.create_connection(
+                    self.endpoint, timeout=self.timeout_s
+                )
+        except OSError as err:
+            raise ReproError(
+                f"cannot reach the campaign service at {self.endpoint}: "
+                f"{err} (is `python -m repro serve` running?)"
+            )
+        # Streamed jobs produce no bytes while cells simulate; reads
+        # must wait for the campaign, not the connect timeout.
+        sock.settimeout(None)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw protocol --------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        self.connect()
+        self._sock.sendall(encode(message))
+
+    def read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ReproError("the campaign service closed the connection")
+        return decode(line)
+
+    def request(self, message: dict) -> dict:
+        """Send one request and return its (checked) reply."""
+        self.send(message)
+        reply = self.read()
+        if not reply.get("ok", False):
+            raise ReproError(
+                reply.get("error", "service returned an unknown error")
+            )
+        return reply
+
+    # -- the status API ------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def wait_until_ready(self, timeout_s: Optional[float] = None) -> None:
+        """Poll until the service answers a ping (startup races)."""
+        deadline = time.monotonic() + (timeout_s or self.timeout_s)
+        while True:
+            probe = ServiceClient.from_endpoint(self.endpoint)
+            try:
+                probe.connect()
+                probe.ping()
+                return
+            except (ReproError, ProtocolError):
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"service at {self.endpoint} not ready after "
+                        f"{timeout_s or self.timeout_s:.0f}s"
+                    )
+                time.sleep(0.1)
+            finally:
+                probe.close()
+
+    def submit(
+        self,
+        spec: CampaignSpec,
+        priority: int = 0,
+        stream: bool = False,
+    ) -> dict:
+        """Submit a campaign; returns the acceptance reply.
+
+        With ``stream=True`` the connection then carries per-cell
+        events — consume them with :meth:`events`.
+        """
+        return self.request(
+            {
+                "op": "submit",
+                "spec": spec.to_json(),
+                "priority": priority,
+                "stream": stream,
+            }
+        )
+
+    def events(self) -> Iterator[dict]:
+        """Streamed job events, ending after ``done``/``cancelled``."""
+        while True:
+            event = self.read()
+            yield event
+            if event.get("event") in ("done", "cancelled"):
+                return
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def list_jobs(self) -> dict:
+        return self.request({"op": "list"})
+
+    def result(self, job_id: str) -> dict:
+        return self.request({"op": "result", "job_id": job_id})["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def wait_for_job(
+        self, job_id: str, poll_s: float = 0.5, timeout_s: float = 3600.0
+    ) -> dict:
+        """Poll the status API until the job finishes; returns its snapshot."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.status(job_id)["job"]
+            if job["state"] in ("completed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {job['state']} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+
+# -- result rendering ----------------------------------------------------------
+
+
+def render_result(result: dict) -> str:
+    """A job result payload as the one-shot CLI would print it."""
+    if result.get("kind") == "world":
+        return _render_world(result)
+    return _render_cells(result)
+
+
+def _render_cells(result: dict) -> str:
+    from repro.analysis.experiments import _result_from_json
+    from repro.analysis.report import format_table
+
+    rows: List[List[str]] = []
+    for cell in result.get("cells", []):
+        if cell.get("result") is None:
+            rows.append([cell["system"], cell["location"], "-", "-", "-", "-"])
+            continue
+        year = _result_from_json(cell["result"])
+        rows.append(
+            [
+                cell["system"],
+                cell["location"],
+                f"{year.avg_violation_c:.2f}",
+                f"{year.avg_range_c:.1f}",
+                f"{year.max_range_c:.1f}",
+                f"{year.pue:.2f}",
+            ]
+        )
+    return format_table(
+        ["system", "location", "viol C", "avg range C", "max range C", "PUE"],
+        rows,
+        title=f"campaign result ({result.get('kind')})",
+    )
+
+
+def _render_world(result: dict) -> str:
+    from repro.analysis.report import format_table
+
+    summary = result["summary"]
+    parts = [
+        format_table(
+            ["bin C", "locations"],
+            list(summary["range_buckets"].items()),
+            title=(
+                "Figure 12 — max-range reduction "
+                f"({summary['locations']} locations)"
+            ),
+        ),
+        format_table(
+            ["bin", "locations"],
+            list(summary["pue_buckets"].items()),
+            title="Figure 13 — yearly PUE reduction",
+        ),
+        summary["headline"],
+    ]
+    return "\n".join(parts)
+
+
+def format_jobs_table(jobs: List[dict], service: dict) -> str:
+    """The ``status``/``list`` rendering: jobs plus service counters."""
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            job["job_id"],
+            job["spec"],
+            job["state"],
+            f"{job['done']}/{job['total']}",
+            job["failed"],
+            job["deduped"],
+            job["cached"],
+            job["priority"],
+        ]
+        for job in jobs
+    ]
+    table = format_table(
+        ["job", "spec", "state", "done", "failed", "deduped", "cached", "prio"],
+        rows,
+        title="campaign service jobs",
+    )
+    counters = (
+        f"cells: {service['cells_executed']} executed, "
+        f"{service['cells_cached']} cached, "
+        f"{service['cells_deduped']} deduped, "
+        f"{service['cells_skipped']} skipped, "
+        f"{service['cells_failed']} failed; "
+        f"inflight {service['inflight']}/{service['max_inflight']} "
+        f"on {service['workers']} workers; "
+        f"pool resets {service['pool_resets']}"
+    )
+    return f"{table}\n{counters}"
+
+
+def job_result_json(result: dict) -> str:
+    """The raw result payload, pretty-printed (``--json`` output)."""
+    return json.dumps(result, indent=2, sort_keys=True)

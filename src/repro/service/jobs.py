@@ -1,0 +1,305 @@
+"""Job records and the admission-controlled job registry.
+
+A :class:`Job` is one submitted campaign: its expanded cells, per-cell
+completion state, the aggregate it is building (full per-cell payloads
+for ``matrix``/``faults``/``cells`` specs, a bounded
+:class:`~repro.analysis.worldmap.StreamingWorldAccumulator` for
+``world`` specs — the PR 5 streaming data plane, multiplexed per
+tenant), and the event queues of any clients streaming its progress.
+
+The :class:`JobRegistry` owns job ids and admission control: a service
+refuses new campaigns once ``max_jobs`` are queued or running
+(``REPRO_SERVICE_MAX_JOBS``), so a flood of submissions degrades into
+clean rejections instead of unbounded queue growth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.runner import YearTask
+from repro.errors import ReproError
+from repro.service.spec import CampaignSpec
+
+JOB_STATES = ("queued", "running", "completed", "cancelled")
+
+
+class AdmissionError(ReproError):
+    """The service is at capacity; the submission was refused."""
+
+
+def task_cache_key(task: YearTask) -> str:
+    """The cell's result-cache key — the service's dedupe identity.
+
+    Exactly the key ``experiments.year_result`` would compute for the
+    same cell, including the effective-engine token, so service-run and
+    CLI-run campaigns share one cache namespace.
+    """
+    from repro.analysis import experiments
+
+    return experiments.cache_key(
+        task.system,
+        task.climate,
+        task.workload,
+        task.deferrable,
+        task.sample_every_days,
+        task.forecast_bias_c,
+    )
+
+
+def task_descriptor(task: YearTask) -> dict:
+    """The wire rendering of one cell's identity."""
+    if isinstance(task.system, str):
+        system, faults = task.system, None
+    else:
+        system = task.system.name
+        faults = bool(getattr(task.system, "faults", None))
+    return {
+        "system": system,
+        "faulted": faults,
+        "location": task.climate.name,
+        "workload": task.workload,
+        "deferrable": task.deferrable,
+        "sample_every_days": task.sample_every_days,
+        "forecast_bias_c": task.forecast_bias_c,
+        "label": task.label(),
+    }
+
+
+class Job:
+    """One submitted campaign and everything the status API reports."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: CampaignSpec,
+        priority: int,
+        seq: int,
+        tasks: List[YearTask],
+        keys: List[str],
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.priority = priority
+        self.seq = seq
+        self.tasks = tasks
+        self.keys = keys
+        self.state = "queued"
+        self.total = len(tasks)
+        self.done = 0
+        self.failed = 0
+        # How this job's cells were satisfied: pool execution, a disk/
+        # memory cache hit at submission, or attachment to another
+        # request's in-flight cell (the cross-request dedupe counter).
+        self.deduped = 0
+        self.cached = 0
+        self.failures: List[dict] = []
+        self.created_s = time.time()
+        self.finished_s: Optional[float] = None
+        self._subscribers: List[asyncio.Queue] = []
+        if spec.kind == "world":
+            from repro.analysis.worldmap import StreamingWorldAccumulator
+
+            self._accumulator = StreamingWorldAccumulator(
+                spec.world_climates(), spec.coolair_system
+            )
+            self._payloads: Optional[List[Optional[dict]]] = None
+        else:
+            self._accumulator = None
+            self._payloads = [None] * self.total
+
+    # -- streaming -----------------------------------------------------------
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    def _publish(self, event: dict) -> None:
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    # -- cell completion -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("completed", "cancelled")
+
+    def cell_done(self, index: int, payload: dict, source: str) -> None:
+        """One cell finished: fold or retain it, count it, publish it."""
+        if self.finished:
+            return
+        if source == "cached":
+            self.cached += 1
+        elif source == "deduped":
+            self.deduped += 1
+        if self._accumulator is not None:
+            from repro.analysis.experiments import _result_from_json
+
+            self._accumulator.consume(
+                index, self.tasks[index], _result_from_json(payload)
+            )
+        else:
+            self._payloads[index] = payload
+        self.done += 1
+        self._publish(
+            {
+                "event": "cell",
+                "job_id": self.id,
+                "index": index,
+                "label": self.tasks[index].label(),
+                "ok": True,
+                "source": source,
+                "done": self.done + self.failed,
+                "total": self.total,
+            }
+        )
+        self._maybe_finish()
+
+    def cell_failed(self, index: int, error: str, attempts: int) -> None:
+        if self.finished:
+            return
+        self.failed += 1
+        self.failures.append(
+            {
+                "label": self.tasks[index].label(),
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+        self._publish(
+            {
+                "event": "cell",
+                "job_id": self.id,
+                "index": index,
+                "label": self.tasks[index].label(),
+                "ok": False,
+                "error": error,
+                "done": self.done + self.failed,
+                "total": self.total,
+            }
+        )
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.done + self.failed >= self.total:
+            self.state = "completed"
+            self.finished_s = time.time()
+            self._publish(self._final_event())
+
+    def cancel(self) -> bool:
+        """Mark the job cancelled; running shared cells keep running."""
+        if self.finished:
+            return False
+        self.state = "cancelled"
+        self.finished_s = time.time()
+        self._publish(self._final_event())
+        return True
+
+    def _final_event(self) -> dict:
+        return {
+            "event": "done" if self.state == "completed" else "cancelled",
+            "job_id": self.id,
+            "state": self.state,
+            "done": self.done,
+            "failed": self.failed,
+            "total": self.total,
+        }
+
+    # -- the status / result API --------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "job_id": self.id,
+            "spec": self.spec.describe(),
+            "kind": self.spec.kind,
+            "priority": self.priority,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "deduped": self.deduped,
+            "cached": self.cached,
+            "created_s": self.created_s,
+            "finished_s": self.finished_s,
+        }
+
+    def result_payload(self) -> dict:
+        """The final result, shaped by the spec kind.
+
+        ``world`` jobs return the streamed summary (never the per-cell
+        results — parent memory stays bounded exactly as in the one-shot
+        sweep); every other kind returns one entry per cell with the
+        same JSON payload a cache entry holds.
+        """
+        if self.state != "completed":
+            raise ReproError(
+                f"job {self.id} has no result (state: {self.state})"
+            )
+        if self._accumulator is not None:
+            summary = self._accumulator.summary()
+            return {
+                "kind": self.spec.kind,
+                "summary": {
+                    "locations": len(summary.comparisons),
+                    "range_buckets": summary.range_bucket_counts(),
+                    "pue_buckets": summary.pue_bucket_counts(),
+                    "headline": summary.headline(),
+                    "avg_baseline_max_range_c": summary.avg_baseline_max_range_c,
+                    "avg_coolair_max_range_c": summary.avg_coolair_max_range_c,
+                    "avg_baseline_pue": summary.avg_baseline_pue,
+                    "avg_coolair_pue": summary.avg_coolair_pue,
+                },
+                "failed": self.failed,
+            }
+        cells = []
+        for index, task in enumerate(self.tasks):
+            entry = task_descriptor(task)
+            entry["result"] = self._payloads[index]
+            cells.append(entry)
+        return {"kind": self.spec.kind, "cells": cells, "failed": self.failed}
+
+
+class JobRegistry:
+    """Allocates job ids and enforces queue admission control."""
+
+    def __init__(self, max_jobs: int) -> None:
+        if max_jobs < 1:
+            raise ReproError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.max_jobs = max_jobs
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+
+    def active_count(self) -> int:
+        return sum(1 for job in self.jobs.values() if not job.finished)
+
+    def create(self, spec: CampaignSpec, priority: int) -> Job:
+        if self.active_count() >= self.max_jobs:
+            raise AdmissionError(
+                f"service at capacity ({self.max_jobs} active jobs); "
+                "retry after one completes"
+            )
+        tasks = spec.expand()
+        self._seq += 1
+        job = Job(
+            job_id=f"job-{self._seq:04d}",
+            spec=spec,
+            priority=priority,
+            seq=self._seq,
+            tasks=tasks,
+            keys=[task_cache_key(task) for task in tasks],
+        )
+        self.jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ReproError(f"unknown job id {job_id!r}")

@@ -1,0 +1,84 @@
+"""The line-delimited JSON wire protocol.
+
+Every message — request, reply, or streamed event — is one JSON object
+per ``\\n``-terminated line, UTF-8 encoded.  Requests carry an ``op``;
+replies carry ``ok`` (with ``error`` when false); streamed progress
+carries ``event``.  The full message catalogue is documented in
+``docs/SERVICE.md``; this module only owns framing and validation, so
+the server and the client cannot drift apart on either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.errors import ReproError
+
+# Submit replies and result payloads for large matrix jobs can run to
+# megabytes; the asyncio stream limit must cover one full line.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+OPS = ("submit", "list", "status", "result", "cancel", "ping", "shutdown")
+
+
+class ProtocolError(ReproError):
+    """A malformed message crossed the wire."""
+
+
+def encode(message: dict) -> bytes:
+    """One message, framed: compact JSON plus the line terminator."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    try:
+        message = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"malformed message: {err}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: dict) -> str:
+    """Check a client request's shape; returns its op."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; choices: {', '.join(OPS)}"
+        )
+    if op in ("status", "result", "cancel") and not isinstance(
+        message.get("job_id"), str
+    ):
+        raise ProtocolError(f"op {op!r} requires a string job_id")
+    if op == "submit" and not isinstance(message.get("spec"), dict):
+        raise ProtocolError("op 'submit' requires a spec object")
+    priority = message.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError("priority must be an integer")
+    return op
+
+
+def ok_reply(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_reply(message: str) -> dict:
+    return {"ok": False, "error": message}
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[dict]:
+    """The next message from a stream, or None on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(
+            f"message exceeds the {MAX_LINE_BYTES}-byte line limit"
+        )
+    if not line:
+        return None
+    return decode(line)

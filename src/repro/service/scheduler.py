@@ -1,0 +1,296 @@
+"""The cell scheduler: priority queue -> persistent worker pool.
+
+One scheduler instance multiplexes every submitted job over a single
+:class:`~repro.analysis.runner.WorkerPool`:
+
+* **admission control** — at most ``max_inflight`` cells occupy pool
+  slots at once; everything else waits in a priority heap ordered by
+  (job priority desc, submission order, cell order), so a later
+  high-priority request overtakes a large low-priority sweep without
+  preempting cells already running;
+* **cross-request dedupe** — cells are identified by their result-cache
+  key (:func:`~repro.service.jobs.task_cache_key`).  A cell already
+  in flight for one job is never re-submitted for another: the second
+  job *subscribes* to the same :class:`CellRecord` and both receive the
+  one result.  A cell already in the result cache is served immediately
+  without touching the pool.  Each distinct key therefore simulates at
+  most once per cache lifetime, no matter how many tenants ask for it;
+* **cancellation** — cancelling a job detaches it from its cells.
+  Pending cells with no subscribers left are dropped when they reach the
+  front of the queue; a *running* cell keeps running (its result still
+  lands in the shared cache, and any other subscriber still gets it);
+* **reliability** — the PR 4 semantics, rebuilt on asyncio: per-cell
+  retries with exponential backoff, a per-cell progress timeout, and
+  ``BrokenProcessPool`` recovery that resets the shared pool
+  (:meth:`WorkerPool.reset`) and resubmits the lost cells after a cache
+  re-check, so a worker crash costs one worker generation, not the
+  service.
+
+The scheduler runs entirely on the event loop; only
+:func:`~repro.analysis.runner._execute_task_payload` crosses into the
+worker processes, exactly as in the one-shot runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import logging
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.runner import (
+    RETRY_BACKOFF_S,
+    WorkerPool,
+    YearTask,
+    _execute_task_payload,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
+from repro.service.jobs import Job
+
+logger = logging.getLogger("repro.service.scheduler")
+
+
+class ServiceMetrics:
+    """Service-lifetime counters exposed by the status API."""
+
+    def __init__(self) -> None:
+        self.cells_executed = 0  # submitted to the pool and completed
+        self.cells_cached = 0  # served from the result cache at submit
+        self.cells_deduped = 0  # attached to another request's cell
+        self.cells_skipped = 0  # dropped: every subscriber cancelled
+        self.cells_failed = 0
+        self.pool_resets = 0
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_cancelled = 0
+
+    def snapshot(self) -> dict:
+        return dict(vars(self))
+
+
+class CellRecord:
+    """One distinct in-flight cell and the jobs subscribed to it."""
+
+    __slots__ = ("key", "task", "subscribers", "attempts", "running")
+
+    def __init__(self, key: str, task: YearTask) -> None:
+        self.key = key
+        self.task = task
+        # (job, index-within-job); one result fans out to all of them.
+        self.subscribers: List[Tuple[Job, int]] = []
+        self.attempts = 0
+        self.running = False
+
+    def live_subscribers(self) -> List[Tuple[Job, int]]:
+        return [(job, i) for job, i in self.subscribers if not job.finished]
+
+
+class Scheduler:
+    """Shards cells from the job queue across the persistent pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        max_inflight: Optional[int] = None,
+        task_retries: Optional[int] = None,
+        task_timeout_s: Optional[float] = None,
+        backoff_s: float = RETRY_BACKOFF_S,
+    ) -> None:
+        self.pool = pool
+        self.max_inflight = max_inflight or pool.workers
+        self.retries = resolve_task_retries(task_retries)
+        self.timeout_s = resolve_task_timeout(task_timeout_s)
+        self.backoff_s = backoff_s
+        self.metrics = ServiceMetrics()
+        self._cells: Dict[str, CellRecord] = {}
+        # Heap entries: (-priority, job seq, cell index, record) — later
+        # entries for the same record are impossible (dedupe), so the
+        # tuple never compares records.
+        self._heap: List[Tuple[int, int, int, CellRecord]] = []
+        self._inflight = 0
+        self._tasks: set = set()
+
+    # -- job intake ----------------------------------------------------------
+
+    def submit_job(self, job: Job) -> None:
+        """Enqueue every cell of ``job``, deduping as it goes.
+
+        Must run on the event loop.  Cache hits are delivered before
+        this returns, so a fully-cached job can complete synchronously.
+        """
+        from repro.analysis import experiments
+
+        self.metrics.jobs_submitted += 1
+        job.state = "running"
+        for index, (task, key) in enumerate(zip(job.tasks, job.keys)):
+            record = self._cells.get(key)
+            if record is not None:
+                # Another request already owns this cell in flight —
+                # subscribe rather than resubmit.  This is the dedupe
+                # counter the acceptance criteria talk about.
+                record.subscribers.append((job, index))
+                self.metrics.cells_deduped += 1
+                continue
+            # cache_memory=False: the service parent folds or forwards
+            # payloads, it never needs the full YearResult pinned in the
+            # in-process memory cache (bounded parent, as in PR 5).
+            cached = experiments.load_cached(
+                key, use_disk_cache=True, cache_memory=False
+            )
+            if cached is not None:
+                self.metrics.cells_cached += 1
+                job.cell_done(
+                    index, experiments._result_to_json(cached), "cached"
+                )
+                continue
+            record = CellRecord(key, task)
+            record.subscribers.append((job, index))
+            self._cells[key] = record
+            heapq.heappush(
+                self._heap, (-job.priority, job.seq, index, record)
+            )
+        if job.state == "completed":
+            self.metrics.jobs_completed += 1
+        self._pump()
+
+    def cancel_job(self, job: Job) -> bool:
+        """Detach ``job`` from its cells; shared cells are unaffected."""
+        if not job.cancel():
+            return False
+        self.metrics.jobs_cancelled += 1
+        # Pending sole-subscriber cells are dropped lazily in _pump when
+        # they surface with no live subscribers; nothing to do here.
+        return True
+
+    # -- the pump ------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fill free pool slots from the head of the priority heap."""
+        while self._inflight < self.max_inflight and self._heap:
+            _, _, _, record = heapq.heappop(self._heap)
+            if record.running or record.key not in self._cells:
+                continue
+            if not record.live_subscribers():
+                # Every requester cancelled before the cell started.
+                del self._cells[record.key]
+                self.metrics.cells_skipped += 1
+                continue
+            record.running = True
+            self._inflight += 1
+            task = asyncio.get_running_loop().create_task(
+                self._run_cell(record)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_cell(self, record: CellRecord) -> None:
+        try:
+            await self._run_cell_inner(record)
+        finally:
+            self._inflight -= 1
+            self._cells.pop(record.key, None)
+            self._pump()
+
+    async def _run_cell_inner(self, record: CellRecord) -> None:
+        from repro.analysis import experiments
+
+        loop = asyncio.get_running_loop()
+        while True:
+            generation = self.pool.generation
+            try:
+                future = self.pool.submit(
+                    _execute_task_payload, record.task, True
+                )
+                payload = await asyncio.wait_for(
+                    asyncio.wrap_future(future, loop=loop),
+                    timeout=self.timeout_s,
+                )
+            except (BrokenProcessPool, asyncio.TimeoutError) as err:
+                # A dead or hung worker generation: reset the shared
+                # pool once per generation (concurrent cells racing here
+                # reset it only once), re-check the cache — the dying
+                # worker may have persisted the result — then retry.
+                if self.pool.generation == generation:
+                    logger.warning(
+                        "worker pool %s; resetting and resubmitting %s",
+                        type(err).__name__,
+                        record.task.label(),
+                    )
+                    self.pool.reset()
+                    self.metrics.pool_resets += 1
+                cached = experiments.load_cached(
+                    record.key, use_disk_cache=True, cache_memory=False
+                )
+                if cached is not None:
+                    self._deliver(
+                        record, experiments._result_to_json(cached)
+                    )
+                    return
+                record.attempts += 1
+                if record.attempts > self.retries:
+                    self._fail(record, f"{type(err).__name__}: {err}")
+                    return
+                await asyncio.sleep(
+                    self.backoff_s * (2 ** (record.attempts - 1))
+                )
+                continue
+            except Exception as err:  # noqa: BLE001 - typed + retried
+                record.attempts += 1
+                if record.attempts > self.retries:
+                    self._fail(record, str(err))
+                    return
+                logger.warning(
+                    "retrying %s (attempt %d) after: %s",
+                    record.task.label(),
+                    record.attempts,
+                    err,
+                )
+                await asyncio.sleep(
+                    self.backoff_s * (2 ** (record.attempts - 1))
+                )
+                continue
+            self.metrics.cells_executed += 1
+            self._deliver(record, payload)
+            return
+
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver(self, record: CellRecord, payload: dict) -> None:
+        for position, (job, index) in enumerate(record.subscribers):
+            if job.finished:
+                continue
+            source = "executed" if position == 0 else "deduped"
+            job.cell_done(index, payload, source)
+            if job.state == "completed":
+                self.metrics.jobs_completed += 1
+
+    def _fail(self, record: CellRecord, error: str) -> None:
+        self.metrics.cells_failed += 1
+        logger.error(
+            "cell failed permanently: %s: %s", record.task.label(), error
+        )
+        for job, index in record.subscribers:
+            if job.finished:
+                continue
+            job.cell_failed(index, error, attempts=record.attempts)
+            if job.state == "completed":
+                self.metrics.jobs_completed += 1
+
+    # -- status --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": self._inflight,
+            "queued_cells": len(self._heap),
+            "distinct_cells": len(self._cells),
+            "max_inflight": self.max_inflight,
+            "workers": self.pool.workers,
+            **self.metrics.snapshot(),
+        }
+
+    async def drain(self) -> None:
+        """Wait for every in-flight cell (used at shutdown and in tests)."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

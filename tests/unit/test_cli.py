@@ -39,6 +39,65 @@ class TestParser:
         args = build_parser().parse_args(["matrix", "--workers", "4"])
         assert args.workers == 4
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket is None and args.host is None and args.port is None
+        assert args.workers is None and args.max_inflight is None
+        assert args.max_jobs is None
+
+    def test_submit_matrix_defaults(self):
+        args = build_parser().parse_args(["submit", "matrix"])
+        assert args.kind == "matrix"
+        assert args.priority == 0
+        assert args.no_wait is False and args.json is False
+        assert "baseline" in args.systems.split(",")
+
+    def test_submit_world_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "world", "--locations", "6", "--priority", "3",
+             "--socket", "/tmp/x.sock"]
+        )
+        assert args.locations == 6 and args.priority == 3
+        assert args.socket == "/tmp/x.sock"
+
+    def test_submit_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "bogus"])
+
+    def test_status_job_id_is_optional(self):
+        assert build_parser().parse_args(["status"]).job_id is None
+        args = build_parser().parse_args(["status", "job-0001", "--result"])
+        assert args.job_id == "job-0001" and args.result is True
+
+    def test_cancel_requires_job_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cancel"])
+        assert build_parser().parse_args(["cancel", "job-0001"]).job_id == (
+            "job-0001"
+        )
+
+
+class TestCommandCatalogue:
+    """The docstring/epilog/dispatch table cannot drift apart."""
+
+    def test_summaries_cover_exactly_the_dispatch_table(self):
+        from repro.cli import COMMANDS, COMMAND_SUMMARIES
+
+        assert set(COMMAND_SUMMARIES) == set(COMMANDS)
+
+    def test_epilog_lists_every_command(self):
+        from repro.cli import COMMAND_SUMMARIES
+
+        epilog = build_parser().epilog
+        for name in COMMAND_SUMMARIES:
+            assert name in epilog
+
+    def test_module_docstring_lists_every_command(self):
+        import repro.cli as cli
+
+        for name in cli.COMMAND_SUMMARIES:
+            assert f"``{name}``" in cli.__doc__
+
 
 class TestFastCommands:
     def test_versions(self, capsys):

@@ -1,0 +1,90 @@
+"""Wire-protocol framing and request validation."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode,
+    encode,
+    error_reply,
+    ok_reply,
+    read_message,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_terminated_line(self):
+        line = encode({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line) == {"op": "ping"}
+
+    def test_roundtrip(self):
+        message = {"op": "submit", "spec": {"kind": "world"}, "priority": 3}
+        assert decode(encode(message)) == message
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode(b"[1, 2]\n")
+
+
+class TestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "explode"})
+
+    @pytest.mark.parametrize("op", ["status", "result", "cancel"])
+    def test_job_ops_need_job_id(self, op):
+        with pytest.raises(ProtocolError, match="job_id"):
+            validate_request({"op": op})
+        assert validate_request({"op": op, "job_id": "job-0001"}) == op
+
+    def test_submit_needs_spec_object(self):
+        with pytest.raises(ProtocolError, match="spec object"):
+            validate_request({"op": "submit"})
+        with pytest.raises(ProtocolError, match="spec object"):
+            validate_request({"op": "submit", "spec": "matrix"})
+
+    def test_priority_must_be_integer(self):
+        ok = {"op": "submit", "spec": {"kind": "world"}}
+        assert validate_request({**ok, "priority": -2}) == "submit"
+        with pytest.raises(ProtocolError, match="priority"):
+            validate_request({**ok, "priority": 1.5})
+        with pytest.raises(ProtocolError, match="priority"):
+            validate_request({**ok, "priority": True})
+
+    def test_reply_helpers(self):
+        assert ok_reply(job_id="j")["ok"] is True
+        reply = error_reply("nope")
+        assert reply == {"ok": False, "error": "nope"}
+
+
+class TestReadMessage:
+    def _read(self, payload: bytes, limit: int = MAX_LINE_BYTES):
+        async def run():
+            reader = asyncio.StreamReader(limit=limit)
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return await read_message(reader)
+
+        return asyncio.run(run())
+
+    def test_reads_one_message(self):
+        assert self._read(encode({"op": "ping"})) == {"op": "ping"}
+
+    def test_clean_eof_is_none(self):
+        assert self._read(b"") is None
+
+    def test_oversize_line_is_protocol_error(self):
+        big = encode({"blob": "x" * 4096})
+        with pytest.raises(ProtocolError, match="line limit"):
+            self._read(big, limit=64)

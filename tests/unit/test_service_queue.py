@@ -1,0 +1,270 @@
+"""Scheduler semantics against a fake pool (no real simulations).
+
+These pin down the control-plane contracts deterministically: priority
+ordering, cross-request dedupe, cancellation that never kills a shared
+cell, admission control, and the retry/reset reliability path.  The
+integration suite re-checks the headline behaviors with real worker
+processes; here the pool is a stub so every interleaving is forced.
+"""
+
+import asyncio
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.analysis import experiments
+from repro.service.jobs import AdmissionError, JobRegistry
+from repro.service.scheduler import Scheduler
+from repro.service.spec import CampaignSpec, CellSpec
+
+
+@pytest.fixture()
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path / "cache")
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    return monkeypatch
+
+
+class GatedPool:
+    """A WorkerPool stand-in whose futures the test resolves by hand."""
+
+    def __init__(self, workers=2):
+        self.workers = workers
+        self.generation = 0
+        self.calls = []  # (task, future) in submission order
+        self.resets = 0
+
+    def submit(self, fn, task, use_disk_cache):
+        future = Future()
+        self.calls.append((task, future))
+        return future
+
+    def reset(self):
+        self.resets += 1
+        self.generation += 1
+
+    def labels(self):
+        return [task.label() for task, _ in self.calls]
+
+    def resolve(self, index):
+        task, future = self.calls[index]
+        future.set_result({"label": task.label()})
+
+
+class FailingPool(GatedPool):
+    """Raises on the first ``fail_times`` submissions, then behaves."""
+
+    def __init__(self, error, fail_times=1, **kwargs):
+        super().__init__(**kwargs)
+        self.error = error
+        self.fail_times = fail_times
+
+    def submit(self, fn, task, use_disk_cache):
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise self.error
+        future = super().submit(fn, task, use_disk_cache)
+        future.set_result({"label": task.label()})
+        return future
+
+
+def cells_spec(*locations, system="baseline"):
+    return CampaignSpec(
+        kind="cells",
+        cells=tuple(
+            CellSpec(system=system, location=name) for name in locations
+        ),
+    )
+
+
+async def settle(condition, timeout_s=5.0):
+    """Spin the loop until ``condition()`` holds."""
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not condition():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never held")
+        await asyncio.sleep(0.005)
+
+
+class TestPriorityOrdering:
+    def test_high_priority_overtakes_queued_cells(self, fresh_caches):
+        async def run():
+            pool = GatedPool()
+            scheduler = Scheduler(pool, max_inflight=1, task_retries=0)
+            registry = JobRegistry(max_jobs=8)
+            low = registry.create(cells_spec("Newark", "Chad"), priority=0)
+            high = registry.create(cells_spec("Santiago"), priority=5)
+            scheduler.submit_job(low)
+            await settle(lambda: len(pool.calls) == 1)
+            scheduler.submit_job(high)  # Chad is still queued
+            pool.resolve(0)
+            await settle(lambda: len(pool.calls) == 2)
+            pool.resolve(1)
+            await settle(lambda: len(pool.calls) == 3)
+            pool.resolve(2)
+            await scheduler.drain()
+            assert low.state == high.state == "completed"
+            return pool.labels()
+
+        labels = asyncio.run(run())
+        assert labels == [
+            "baseline @ Newark (facebook)",
+            "baseline @ Santiago (facebook)",  # overtook Chad
+            "baseline @ Chad (facebook)",
+        ]
+
+
+class TestDedupe:
+    def test_shared_cell_simulates_once(self, fresh_caches):
+        async def run():
+            pool = GatedPool()
+            scheduler = Scheduler(pool, max_inflight=4, task_retries=0)
+            registry = JobRegistry(max_jobs=8)
+            first = registry.create(cells_spec("Newark", "Chad"), priority=0)
+            second = registry.create(cells_spec("Newark"), priority=0)
+            events = second.subscribe()
+            scheduler.submit_job(first)
+            scheduler.submit_job(second)
+            await settle(lambda: len(pool.calls) == 2)
+            pool.resolve(0)
+            pool.resolve(1)
+            await scheduler.drain()
+            return pool, scheduler, first, second, events
+
+        pool, scheduler, first, second, events = asyncio.run(run())
+        # Newark went to the pool exactly once despite two requesters.
+        assert pool.labels().count("baseline @ Newark (facebook)") == 1
+        assert scheduler.metrics.cells_deduped == 1
+        assert scheduler.metrics.cells_executed == 2
+        assert first.state == second.state == "completed"
+        assert second.deduped == 1 and second.done == 1
+        streamed = []
+        while not events.empty():
+            streamed.append(events.get_nowait())
+        assert [e["event"] for e in streamed] == ["cell", "done"]
+        assert streamed[0]["source"] == "deduped"
+
+    def test_cached_cell_never_touches_the_pool(self, fresh_caches, monkeypatch):
+        sentinel = object()
+        monkeypatch.setattr(
+            experiments, "load_cached", lambda key, **kw: sentinel
+        )
+        monkeypatch.setattr(
+            experiments, "_result_to_json", lambda result: {"cached": True}
+        )
+
+        async def run():
+            pool = GatedPool()
+            scheduler = Scheduler(pool, task_retries=0)
+            registry = JobRegistry(max_jobs=8)
+            job = registry.create(cells_spec("Newark"), priority=0)
+            scheduler.submit_job(job)
+            await scheduler.drain()
+            return pool, scheduler, job
+
+        pool, scheduler, job = asyncio.run(run())
+        assert pool.calls == []
+        assert scheduler.metrics.cells_cached == 1
+        assert job.state == "completed" and job.cached == 1
+        assert job.result_payload()["cells"][0]["result"] == {"cached": True}
+
+
+class TestCancellation:
+    def test_cancel_keeps_shared_cell_alive(self, fresh_caches):
+        async def run():
+            pool = GatedPool()
+            scheduler = Scheduler(pool, max_inflight=1, task_retries=0)
+            registry = JobRegistry(max_jobs=8)
+            big = registry.create(cells_spec("Newark", "Chad"), priority=0)
+            small = registry.create(cells_spec("Newark"), priority=0)
+            scheduler.submit_job(big)
+            await settle(lambda: len(pool.calls) == 1)  # Newark running
+            scheduler.submit_job(small)  # dedupes onto running Newark
+            assert scheduler.cancel_job(big) is True
+            assert scheduler.cancel_job(big) is False  # idempotent
+            pool.resolve(0)
+            await scheduler.drain()
+            return pool, scheduler, big, small
+
+        pool, scheduler, big, small = asyncio.run(run())
+        # The running shared cell still delivered to the survivor...
+        assert small.state == "completed" and small.done == 1
+        assert big.state == "cancelled"
+        # ...and big's exclusive pending cell was dropped, not run.
+        assert pool.labels() == ["baseline @ Newark (facebook)"]
+        assert scheduler.metrics.cells_skipped == 1
+        assert scheduler.metrics.jobs_cancelled == 1
+
+
+class TestAdmission:
+    def test_registry_refuses_beyond_max_jobs(self, fresh_caches):
+        registry = JobRegistry(max_jobs=1)
+        job = registry.create(cells_spec("Newark"), priority=0)
+        with pytest.raises(AdmissionError, match="capacity"):
+            registry.create(cells_spec("Chad"), priority=0)
+        job.cancel()  # finished jobs free their slot
+        registry.create(cells_spec("Chad"), priority=0)
+
+    def test_unknown_job_id(self, fresh_caches):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown job id"):
+            JobRegistry(max_jobs=1).get("job-9999")
+
+
+class TestReliability:
+    def test_broken_pool_resets_once_and_retries(self, fresh_caches):
+        async def run():
+            pool = FailingPool(BrokenProcessPool("worker died"), fail_times=1)
+            scheduler = Scheduler(
+                pool, task_retries=1, backoff_s=0.001
+            )
+            registry = JobRegistry(max_jobs=8)
+            job = registry.create(cells_spec("Newark"), priority=0)
+            scheduler.submit_job(job)
+            await scheduler.drain()
+            return pool, scheduler, job
+
+        pool, scheduler, job = asyncio.run(run())
+        assert pool.resets == 1
+        assert scheduler.metrics.pool_resets == 1
+        assert job.state == "completed" and job.failed == 0
+        assert scheduler.metrics.cells_executed == 1
+
+    def test_exhausted_retries_fail_the_cell_not_the_job(self, fresh_caches):
+        async def run():
+            pool = FailingPool(ValueError("bad cell"), fail_times=99)
+            scheduler = Scheduler(pool, task_retries=1, backoff_s=0.001)
+            registry = JobRegistry(max_jobs=8)
+            job = registry.create(cells_spec("Newark", "Chad"), priority=0)
+            scheduler.submit_job(job)
+            await scheduler.drain()
+            return scheduler, job
+
+        scheduler, job = asyncio.run(run())
+        assert job.state == "completed"
+        assert job.failed == 2 and job.done == 0
+        assert scheduler.metrics.cells_failed == 2
+        assert all(f["attempts"] == 2 for f in job.failures)
+        assert job.result_payload()["failed"] == 2
+
+    def test_timeout_resets_the_pool(self, fresh_caches):
+        async def run():
+            pool = GatedPool()
+            scheduler = Scheduler(
+                pool, task_retries=1, task_timeout_s=0.05, backoff_s=0.001
+            )
+            registry = JobRegistry(max_jobs=8)
+            job = registry.create(cells_spec("Newark"), priority=0)
+            scheduler.submit_job(job)
+            # Never resolve the first future: the cell must time out,
+            # reset the pool, and resubmit.
+            await settle(lambda: len(pool.calls) == 2)
+            pool.resolve(1)
+            await scheduler.drain()
+            return pool, scheduler, job
+
+        pool, scheduler, job = asyncio.run(run())
+        assert pool.resets == 1
+        assert job.state == "completed" and job.done == 1
