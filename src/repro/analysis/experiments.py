@@ -451,6 +451,9 @@ def world_sweep(
     task_timeout_s: Optional[float] = None,
     failures: Optional[list] = None,
     stream: Optional[bool] = None,
+    screen: Optional[str] = None,
+    screen_policy=None,
+    screen_stats: Optional[dict] = None,
 ):
     """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
 
@@ -466,11 +469,36 @@ def world_sweep(
     full result list in the parent — bit-identical output, parent memory
     bounded by the grid size (see
     :class:`~repro.analysis.worldmap.StreamingWorldAccumulator`).
+
+    ``screen`` (default ``REPRO_SCREEN``, off) selects the screening
+    pipeline for planetary-scale grids: ``"on"`` fully simulates only
+    climate-cluster representatives plus surrogate-uncertain cells and
+    serves the rest with bounded corrections and provenance tags (see
+    :mod:`repro.analysis.screening`; ``screen_policy`` tunes it).
+    ``"off"`` is the exhaustive path, bit-identical to previous
+    releases.  Passing a ``screen_stats`` dict collects the run's
+    provenance counters, cluster stats, and cost-model snapshot.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
+    from repro.analysis.screening import resolve_screen
     from repro.analysis.worldmap import summarize_world
 
+    mode = resolve_screen(screen)
     climates = world_grid(num_locations or DEFAULT_WORLD_LOCATIONS)
+    if mode == "on":
+        return _screened_world_sweep(
+            climates,
+            coolair_system,
+            sample_every_days=sample_every_days,
+            workers=workers,
+            lanes=lanes,
+            progress=progress,
+            task_retries=task_retries,
+            task_timeout_s=task_timeout_s,
+            failures=failures,
+            policy=screen_policy,
+            screen_stats=screen_stats,
+        )
     tasks = []
     for climate in climates:
         for system in ("baseline", coolair_system):
@@ -525,3 +553,68 @@ def world_sweep(
         pairs.append((baseline, coolair))
         coordinates.append((c.latitude, c.longitude))
     return summarize_world(pairs, coordinates)
+
+
+def _screened_world_sweep(
+    climates,
+    coolair_system: str,
+    sample_every_days: Optional[int] = None,
+    workers: Optional[int] = None,
+    lanes: Optional[int] = None,
+    progress=None,
+    task_retries: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    failures: Optional[list] = None,
+    policy=None,
+    screen_stats: Optional[dict] = None,
+):
+    """The screened world sweep: simulate representatives + uncertain
+    cells, serve the rest (see :mod:`repro.analysis.screening`).
+
+    Always streams (the whole point is grids too large to hold results
+    for).  Phase 1 simulates one representative per climate cluster,
+    phase 2 promotes the cells the surrogate is uncertain about, phase 3
+    prices everything else from cluster representatives or the surrogate
+    and tags provenance.  The cost model observes both simulation phases
+    and sizes phase 2's lane batches when ``lanes`` is not forced.
+    """
+    from repro.analysis.runner import run_year_tasks
+    from repro.analysis.screening import ScreeningSession
+    from repro.analysis.worldmap import StreamingWorldAccumulator
+
+    session = ScreeningSession(
+        climates,
+        coolair_system=coolair_system,
+        policy=policy,
+        sample_every_days=sample_every_days,
+    )
+    accumulator = StreamingWorldAccumulator(climates, coolair_system)
+    common = dict(
+        workers=workers,
+        progress=progress,
+        task_retries=task_retries,
+        task_timeout_s=task_timeout_s,
+        failures=failures,
+        consume=accumulator.consume,
+        keep_results=False,
+        cost_model=session.cost_model,
+    )
+    run_year_tasks(session.representative_tasks(), lanes=lanes, **common)
+    uncertain = session.uncertain_tasks(accumulator)
+    if uncertain:
+        run_year_tasks(uncertain, lanes=lanes, **common)
+    counters = session.serve(accumulator)
+    if screen_stats is not None:
+        screen_stats.update(
+            {
+                "counters": counters.to_json(),
+                "grid_points": len(session.climates),
+                "clusters": len(session.clusters),
+                "cluster_tol": session.effective_tol,
+                "simulated_locations": session.simulated_locations,
+                "promoted_locations": session.promoted_locations,
+                "cells_simulated": 2 * session.simulated_locations,
+                "cost_model": session.cost_model.snapshot(),
+            }
+        )
+    return accumulator.summary(partial=True)

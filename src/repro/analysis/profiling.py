@@ -13,7 +13,14 @@ Times the three hot layers of a CoolAir simulation:
 * **lane batches** — ``world_chunk`` and ``matrix``: worker-sized groups
   of (climate, system) year runs stepped in lockstep by the lane engine
   (:mod:`repro.sim.lanes`), measured against a recorded baseline that ran
-  the identical scenarios through the scalar path one at a time.
+  the identical scenarios through the scalar path one at a time;
+* **world_100k** — the screened planetary sweep
+  (:mod:`repro.analysis.screening`): climate-cluster dedupe, surrogate
+  screening, and cluster/surrogate serving over a dense ``world_grid``.
+  The recorded baseline ran the *exhaustive* path over the identical
+  quick grid, so ``speedup_vs_baseline`` reads as the screening win;
+  full (non-quick) runs scale the same pipeline to a 100 000-point grid
+  with the simulate budget pinned by policy.
 
 Medians over repeated runs land in ``BENCH_sim_core.json`` next to the
 recorded pre-PR baseline (``benchmarks/perf/baseline_sim_core.json``), so
@@ -85,6 +92,24 @@ SWEEP_STRIDE_DAYS = 365
 SWEEP_WORKERS = 4
 SWEEP_LANES = 8
 SWEEP_TRACE_JOBS = 400
+
+# world_100k: the screened planetary sweep (see bench_world_100k).  The
+# quick grid is small enough for the CI smoke leg; the explicit policies
+# pin the simulate budget so the benchmark's cost is a function of the
+# screening pipeline, not of whatever the default fraction works out to
+# at each grid size.
+SCREEN_QUICK_GRID = 240
+SCREEN_FULL_GRID = 100_000
+SCREEN_STRIDE_DAYS = 365
+SCREEN_TRACE_JOBS = 400
+SCREEN_QUICK_POLICY = {
+    "max_simulated_fraction": 0.05,
+    "min_simulated_locations": 6,
+}
+SCREEN_FULL_POLICY = {
+    "max_simulated_fraction": 0.0003,
+    "min_simulated_locations": 24,
+}
 
 
 def _median_time(func: Callable[[], object], repeats: int) -> float:
@@ -365,7 +390,9 @@ print(json.dumps({"build_s": time.perf_counter() - start}))
 """
 
 
-def _run_bench_subprocess(code: str, env: Dict[str, str]) -> Dict:
+def _run_bench_subprocess(
+    code: str, env: Dict[str, str], timeout_s: float = 600.0
+) -> Dict:
     """Run a leg script in a fresh interpreter; parse its JSON stdout."""
     src_root = Path(__file__).resolve().parents[2]
     merged = dict(os.environ)
@@ -377,7 +404,7 @@ def _run_bench_subprocess(code: str, env: Dict[str, str]) -> Dict:
         [sys.executable, "-c", code],
         capture_output=True,
         text=True,
-        timeout=600,
+        timeout=timeout_s,
         env=merged,
     )
     if proc.returncode != 0:
@@ -385,6 +412,92 @@ def _run_bench_subprocess(code: str, env: Dict[str, str]) -> Dict:
             f"benchmark leg failed (exit {proc.returncode}):\n{proc.stderr}"
         )
     return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+# Leg script for bench_world_100k: one cold-session screened (or, for
+# baseline recording, exhaustive) world sweep.  A fresh interpreter pays
+# trace/model/import costs the way a real session does; the cache dir is
+# a throwaway so every promoted cell actually simulates.
+_SCREEN_LEG_CODE = """
+import json, os, time
+
+start = time.perf_counter()
+from repro.analysis import experiments
+from repro.analysis.screening import ScreeningPolicy
+
+policy = None
+raw = os.environ.get("BENCH_SCREEN_POLICY")
+if raw:
+    policy = ScreeningPolicy.from_json(json.loads(raw))
+stats = {}
+summary = experiments.world_sweep(
+    num_locations=int(os.environ["BENCH_GRID_POINTS"]),
+    sample_every_days=int(os.environ["BENCH_STRIDE"]),
+    screen=os.environ["BENCH_SCREEN"],
+    screen_policy=policy,
+    screen_stats=stats,
+)
+total_s = time.perf_counter() - start
+print(json.dumps({
+    "total_s": total_s,
+    "locations": len(summary.comparisons),
+    "stats": stats,
+}))
+"""
+
+
+def bench_world_100k(quick: bool = False, screen: str = "on") -> Dict[str, float]:
+    """The screened planetary world sweep, cold session, cold cache.
+
+    Runs the full screening pipeline — climate-cluster dedupe, cluster
+    representatives simulated, surrogate-uncertain cells promoted, the
+    rest served with provenance tags — over ``SCREEN_QUICK_GRID`` points
+    (quick) or ``SCREEN_FULL_GRID`` (full).  The provenance counters
+    must sum to the grid size or this benchmark raises — that invariant
+    check is what the CI smoke leg leans on.
+
+    ``screen="off"`` runs the exhaustive path on the same grid instead
+    (used once to record the pre-screening baseline entry).
+    """
+    grid = SCREEN_QUICK_GRID if quick else SCREEN_FULL_GRID
+    policy = SCREEN_QUICK_POLICY if quick else SCREEN_FULL_POLICY
+    env = {
+        "BENCH_GRID_POINTS": str(grid),
+        "BENCH_STRIDE": str(SCREEN_STRIDE_DAYS),
+        "BENCH_SCREEN": screen,
+        "BENCH_SCREEN_POLICY": json.dumps(policy),
+        "REPRO_TRACE_JOBS": str(SCREEN_TRACE_JOBS),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
+        leg = _run_bench_subprocess(
+            _SCREEN_LEG_CODE, env, timeout_s=600.0 if quick else 3600.0
+        )
+    result = {
+        "median_s": leg["total_s"],
+        "grid_points": grid,
+        "locations": leg["locations"],
+        "s_per_grid_point": leg["total_s"] / grid,
+        "sample_every_days": SCREEN_STRIDE_DAYS,
+        "trace_jobs": SCREEN_TRACE_JOBS,
+    }
+    if screen == "off":
+        return result
+    stats = leg["stats"]
+    counters = stats["counters"]
+    if sum(counters.values()) != grid:
+        raise RuntimeError(
+            f"world_100k screening counters {counters} do not sum to the "
+            f"grid size {grid}"
+        )
+    result.update(
+        simulated=counters["simulated"],
+        served_from_cluster=counters["served_from_cluster"],
+        surrogate_only=counters["surrogate_only"],
+        clusters=stats["clusters"],
+        cells_simulated=stats["cells_simulated"],
+    )
+    return result
 
 
 def bench_world_sweep_stream() -> Dict[str, float]:
@@ -479,6 +592,7 @@ def run_bench(
         )
         results["day_sim"] = bench_day_sim(model, repeats=1)
         results["world_chunk"] = bench_world_chunk(model, repeats=1, quick=True)
+        results["world_100k"] = bench_world_100k(quick=True)
     else:
         results["plant_step"] = bench_plant_step()
         results["optimizer_decision"] = bench_optimizer_decision(model)
@@ -487,6 +601,7 @@ def run_bench(
         results["world_chunk"] = bench_world_chunk(model)
         results["matrix"] = bench_matrix(model)
         results["world_sweep_stream"] = bench_world_sweep_stream()
+        results["world_100k"] = bench_world_100k()
     return results
 
 
@@ -524,14 +639,24 @@ def load_baseline(path: Path = DEFAULT_BASELINE) -> Optional[Dict]:
 def speedups_vs_baseline(
     results: Dict[str, Dict[str, float]], baseline: Optional[Dict]
 ) -> Dict[str, float]:
-    """Per-benchmark baseline_median / current_median (higher is faster)."""
+    """Per-benchmark baseline_median / current_median (higher is faster).
+
+    Benchmarks whose tracked workload shape differs from the recorded
+    baseline (e.g. a full 100k ``world_100k`` run against the quick-shape
+    baseline) are left out rather than reported as a meaningless ratio;
+    ``bench --check`` skips them for the same reason.
+    """
     if not baseline:
         return {}
     speedups = {}
     for name, current in results.items():
         base = baseline.get("results", {}).get(name)
-        if base and base.get("median_s") and current.get("median_s"):
-            speedups[name] = base["median_s"] / current["median_s"]
+        if not (base and base.get("median_s") and current.get("median_s")):
+            continue
+        shape = TRACKED_METRICS.get(name, {}).get("shape", ())
+        if any(current.get(key) != base.get(key) for key in shape):
+            continue
+        speedups[name] = base["median_s"] / current["median_s"]
     return speedups
 
 
@@ -643,6 +768,14 @@ TRACKED_METRICS: Dict[str, Dict] = {
         "shape": (
             "locations", "workers", "sample_every_days", "trace_jobs",
         ),
+    },
+    # The recorded baseline is the exhaustive sweep on the quick grid, so
+    # quick runs compare screened-vs-exhaustive at the same shape; full
+    # (100k-point) runs differ in grid_points and are skipped with a note.
+    "world_100k": {
+        "metric": "median_s",
+        "better": "lower",
+        "shape": ("grid_points", "sample_every_days", "trace_jobs"),
     },
 }
 

@@ -489,6 +489,7 @@ def run_year_tasks(
     keep_results: bool = True,
     mp_context: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
+    cost_model=None,
 ) -> List[Optional[YearResult]]:
     """Run a batch of campaign cells, in parallel where possible.
 
@@ -526,12 +527,25 @@ def run_year_tasks(
     Without a ``failures`` list the first exhausted cell raises
     :class:`~repro.errors.TaskExecutionError`; with one, failed cells are
     appended as :class:`TaskFailure` and their slots stay ``None``.
+
+    ``cost_model`` (a :class:`repro.analysis.screening.CostModel`) closes
+    the calibration loop: when ``lanes`` is not given explicitly and the
+    model has already observed real cells, its suggested lane width is
+    used, and after the run the model observes (executed cells, elapsed
+    seconds) for this batch — cache hits excluded, so the estimate always
+    reflects actual simulation cost.
     """
     from repro.analysis import experiments
 
     if pool is not None and workers is None:
         workers = pool.workers
     workers = resolve_workers(workers)
+    if (
+        lanes is None
+        and cost_model is not None
+        and getattr(cost_model, "calibrated", False)
+    ):
+        lanes = cost_model.suggested_lanes()
     lanes = resolve_lanes(lanes)
     retries = resolve_task_retries(task_retries)
     timeout_s = resolve_task_timeout(task_timeout_s)
@@ -588,6 +602,16 @@ def run_year_tasks(
             record(index, cached)
         else:
             pending.append(index)
+
+    exec_start = time.perf_counter()
+
+    def observe_cost() -> None:
+        """Feed (executed cells, elapsed s) to the calibrated cost model."""
+        if cost_model is None:
+            return
+        executed = sum(1 for index in pending if completed[index])
+        if executed:
+            cost_model.observe(executed, time.perf_counter() - exec_start)
 
     def run_serial_cell(index: int, attempts_used: int = 0) -> None:
         """One cell in-process, with retries; records result or failure."""
@@ -654,6 +678,7 @@ def run_year_tasks(
                 record(index, result)
         for index in singles:
             run_serial_cell(index)
+        observe_cost()
         return results
 
     _warm_shared_state([tasks[i] for i in pending])
@@ -814,4 +839,5 @@ def run_year_tasks(
             run_serial_cell(
                 index, attempts_used=attempts.get((index,), 0)
             )
+    observe_cost()
     return results

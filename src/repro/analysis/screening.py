@@ -1,0 +1,756 @@
+"""Three-stage screening pipeline for planetary-scale world sweeps.
+
+The paper's world study stops at 1520 TMY locations; the ROADMAP
+north-star is a 100k+ point grid, and at ~0.5 s per lane-year the
+bottleneck is raw per-cell simulation cost.  This module gets ~10-30x
+effective throughput by simulating only the cells that matter and
+pricing the rest:
+
+1. **Climate-cluster dedupe** — every grid cell's :class:`Climate`
+   parameters embed into a normalized feature vector
+   (:func:`climate_features`); near-identical climates cluster under a
+   deterministic, seeded leader pass (:func:`cluster_climates`), one
+   *representative* per cluster is fully simulated, and the members are
+   served from the representative's metrics with a distance-based
+   correction clipped to the documented :data:`CORRECTION_BOUNDS`.
+2. **Surrogate screening** — the existing :mod:`repro.ml` model classes
+   (OLS / LMS via :func:`repro.ml.selection.fit_best_linear`) fit the
+   four :class:`~repro.analysis.worldmap.WorldSummary` metrics from the
+   climate features of every *simulated* cell.  Cells whose
+   prediction-interval width exceeds the policy threshold are routed to
+   full simulation (most-uncertain first, within budget); confident
+   cells far from any cluster representative are priced by the
+   surrogate alone.
+3. **Calibrated cost model** — :class:`CostModel` measures observed
+   seconds per cell online (the runner feeds it), sizes lane batches to
+   a target chunk duration, and converts a wall-clock budget into the
+   simulate-vs-serve split.
+
+Every location ends up tagged with a provenance (``simulated``,
+``served_from_cluster``, or ``surrogate_only``); the tags travel through
+the :class:`~repro.analysis.worldmap.StreamingWorldAccumulator`, the
+service status API, and the CLI tables, and always sum to the grid size
+— coverage is never silently truncated.  ``--screen=off`` (the default)
+bypasses this module entirely and reproduces the exhaustive path
+bit-identically.
+
+Knobs: ``--screen`` / ``REPRO_SCREEN`` select the mode; the
+:class:`ScreeningPolicy` fields are the tuning surface
+(docs/PERFORMANCE.md has the full table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.weather.climate import Climate
+
+SCREEN_MODES = ("off", "on")
+
+#: Feature scales: one unit of normalized distance corresponds to this
+#: much raw difference per climate parameter.  Chosen so that a distance
+#: of ~0.1 separates climates whose year metrics differ by well under
+#: the correction bounds below.
+FEATURE_SCALES: Tuple[Tuple[str, float], ...] = (
+    ("mean_temp_c", 10.0),
+    ("seasonal_amplitude_c", 8.0),
+    ("diurnal_amplitude_c", 5.0),
+    ("synoptic_std_c", 4.0),
+    ("mean_rh_pct", 40.0),
+    ("diurnal_rh_amplitude_pct", 15.0),
+)
+
+#: The metric rows of the world accumulator, in row order: baseline /
+#: CoolAir max daily range, baseline / CoolAir PUE.
+METRIC_NAMES: Tuple[str, ...] = (
+    "baseline_max_range_c",
+    "coolair_max_range_c",
+    "baseline_pue",
+    "coolair_pue",
+)
+
+#: Documented correction bounds: a cluster-served metric never moves
+#: more than this from its representative's *simulated* value.  The
+#: property tests in ``tests/unit/test_screening.py`` pin this contract.
+CORRECTION_BOUNDS: Dict[str, float] = {
+    "baseline_max_range_c": 2.0,
+    "coolair_max_range_c": 2.0,
+    "baseline_pue": 0.02,
+    "coolair_pue": 0.02,
+}
+
+#: Assumed metric change per unit of normalized feature distance; used
+#: to widen surrogate prediction intervals away from training data.
+METRIC_LIPSCHITZ: Dict[str, float] = {
+    "baseline_max_range_c": 8.0,
+    "coolair_max_range_c": 8.0,
+    "baseline_pue": 0.08,
+    "coolair_pue": 0.08,
+}
+
+PROVENANCE_SIMULATED = "simulated"
+PROVENANCE_CLUSTER = "served_from_cluster"
+PROVENANCE_SURROGATE = "surrogate_only"
+PROVENANCES = (
+    PROVENANCE_SIMULATED,
+    PROVENANCE_CLUSTER,
+    PROVENANCE_SURROGATE,
+)
+
+
+def resolve_screen(requested: Optional[str] = None) -> str:
+    """Screening mode: explicit argument > ``REPRO_SCREEN`` > ``off``."""
+    if requested is None:
+        requested = os.environ.get("REPRO_SCREEN") or "off"
+    if requested not in SCREEN_MODES:
+        raise ReproError(
+            f"unknown screen mode {requested!r}; choices: {SCREEN_MODES}"
+        )
+    return requested
+
+
+# -- climate feature embedding -------------------------------------------------
+
+
+def climate_features(climate: Climate) -> np.ndarray:
+    """The normalized feature vector of one climate.
+
+    Parameters scale by :data:`FEATURE_SCALES`; the hemisphere enters as
+    a 0/1 feature with unit weight so northern and southern climates —
+    whose seasonal phase is opposite — never land in one cluster at any
+    reasonable tolerance.
+    """
+    row = [
+        getattr(climate, name) / scale for name, scale in FEATURE_SCALES
+    ]
+    row.append(1.0 if climate.southern_hemisphere else 0.0)
+    return np.asarray(row, dtype=float)
+
+
+def feature_matrix(climates: Sequence[Climate]) -> np.ndarray:
+    """The (n, n_features) embedding of a climate grid."""
+    return np.asarray([climate_features(c) for c in climates], dtype=float)
+
+
+# -- climate-cluster dedupe ----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ClimateCluster:
+    """One cluster: the representative index and its member indices.
+
+    ``members`` excludes the representative; ``distances`` aligns with
+    ``members`` and holds each member's normalized feature distance to
+    the representative.
+    """
+
+    representative: int
+    members: Tuple[int, ...]
+    distances: Tuple[float, ...]
+
+
+def cluster_climates(
+    features: np.ndarray, tol: float, seed: int = 0
+) -> List[ClimateCluster]:
+    """Deterministic seeded leader clustering of a feature matrix.
+
+    Points are visited in a seed-derived permutation (``seed=0`` keeps
+    grid order); a point within ``tol`` of an existing representative
+    joins that cluster (nearest representative wins), otherwise it
+    becomes a new representative.  Same features + same seed -> same
+    clusters, always.
+    """
+    if tol <= 0:
+        raise ReproError(f"cluster tolerance must be > 0, got {tol}")
+    n = features.shape[0]
+    if seed:
+        order = np.random.default_rng(seed).permutation(n)
+    else:
+        order = np.arange(n)
+    rep_indices: List[int] = []
+    rep_rows: List[np.ndarray] = []
+    members: List[List[int]] = []
+    distances: List[List[float]] = []
+    for index in order:
+        point = features[index]
+        if rep_rows:
+            deltas = np.asarray(rep_rows) - point
+            dists = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            best = int(np.argmin(dists))
+            if dists[best] <= tol:
+                members[best].append(int(index))
+                distances[best].append(float(dists[best]))
+                continue
+        rep_indices.append(int(index))
+        rep_rows.append(point)
+        members.append([])
+        distances.append([])
+    clusters = [
+        ClimateCluster(
+            representative=rep,
+            members=tuple(mem),
+            distances=tuple(dist),
+        )
+        for rep, mem, dist in zip(rep_indices, members, distances)
+    ]
+    # Report clusters in representative order so downstream iteration is
+    # stable regardless of the seed permutation.
+    clusters.sort(key=lambda c: c.representative)
+    return clusters
+
+
+def cluster_to_budget(
+    features: np.ndarray,
+    tol: float,
+    max_representatives: int,
+    seed: int = 0,
+) -> Tuple[List[ClimateCluster], float]:
+    """Leader clustering, coarsening the tolerance to fit a rep budget.
+
+    Doubles ``tol`` (by 1.5x steps) until the cluster count fits
+    ``max_representatives``, so the simulate budget — not the grid
+    density — bounds how many cells run.  Returns the clusters and the
+    tolerance actually used.
+    """
+    if max_representatives < 1:
+        raise ReproError(
+            f"max_representatives must be >= 1, got {max_representatives}"
+        )
+    clusters = cluster_climates(features, tol, seed=seed)
+    while len(clusters) > max_representatives:
+        tol *= 1.5
+        clusters = cluster_climates(features, tol, seed=seed)
+    return clusters, tol
+
+
+# -- surrogate screening -------------------------------------------------------
+
+
+class WorldSurrogate:
+    """Per-metric linear surrogates over climate features.
+
+    One :func:`~repro.ml.selection.fit_best_linear` model per world
+    metric, fit on the cells simulated so far.  Prediction intervals
+    widen with the distance to the nearest training point: the width of
+    metric ``m`` at features ``x`` is ``2 * (rmse_m + lipschitz_m *
+    d_nn(x))``, which is honest about extrapolation — a cell far from
+    every simulated climate is uncertain no matter how clean the fit.
+    """
+
+    def __init__(self) -> None:
+        self._models: Dict[str, object] = {}
+        self._rmse: Dict[str, float] = {}
+        self._train: Optional[np.ndarray] = None
+
+    @property
+    def is_fit(self) -> bool:
+        return bool(self._models)
+
+    def fit(self, features: np.ndarray, metrics: np.ndarray) -> "WorldSurrogate":
+        """Fit on (n, n_features) features and (4, n) metric rows.
+
+        Needs at least ``n_features + 2`` samples to say anything; with
+        fewer the surrogate stays unfit and every cell reads as
+        maximally uncertain.
+        """
+        from repro.ml.dataset import Dataset
+        from repro.ml.selection import fit_best_linear
+
+        n = features.shape[0]
+        if n < features.shape[1] + 2:
+            return self
+        names = tuple(f"f{i}" for i in range(features.shape[1]))
+        for row, metric in enumerate(METRIC_NAMES):
+            data = Dataset(names)
+            for i in range(n):
+                data.add(features[i].tolist(), float(metrics[row, i]))
+            model = fit_best_linear(data)
+            self._models[metric] = model
+            self._rmse[metric] = float(model.rmse(data))
+        self._train = np.array(features, dtype=float)
+        return self
+
+    def _nearest_distance(self, features: np.ndarray) -> np.ndarray:
+        deltas = self._train[None, :, :] - features[:, None, :]
+        dists = np.sqrt(np.einsum("nkf,nkf->nk", deltas, deltas))
+        return dists.min(axis=1)
+
+    def predict(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Metric predictions for an (n, n_features) matrix."""
+        if not self.is_fit:
+            raise ReproError("surrogate not fit; simulate more cells first")
+        out: Dict[str, np.ndarray] = {}
+        for metric, model in self._models.items():
+            values = np.array(
+                [model.predict_one(row) for row in features], dtype=float
+            )
+            out[metric] = values
+        return out
+
+    def interval_widths(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Prediction-interval widths per metric, distance-inflated."""
+        if not self.is_fit:
+            # Unfit surrogate: infinitely uncertain everywhere.
+            n = features.shape[0]
+            return {m: np.full(n, np.inf) for m in METRIC_NAMES}
+        d_nn = self._nearest_distance(np.asarray(features, dtype=float))
+        return {
+            metric: 2.0 * (self._rmse[metric] + METRIC_LIPSCHITZ[metric] * d_nn)
+            for metric in METRIC_NAMES
+        }
+
+
+# -- calibrated cost model -----------------------------------------------------
+
+
+class CostModel:
+    """Online estimate of observed seconds per simulated cell.
+
+    The runner reports ``(cells, seconds)`` after every batch
+    (:func:`repro.analysis.runner.run_year_tasks` with ``cost_model=``);
+    an exponential moving average smooths the estimate.  The model then
+    sizes lane batches to a target chunk duration and converts a
+    wall-clock budget into a cell budget for the simulate-vs-serve
+    split.
+    """
+
+    def __init__(
+        self,
+        target_chunk_s: float = 4.0,
+        alpha: float = 0.5,
+        prior_s_per_cell: float = 0.5,
+    ) -> None:
+        if target_chunk_s <= 0:
+            raise ReproError("target_chunk_s must be > 0")
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError("alpha must be in (0, 1]")
+        self.target_chunk_s = target_chunk_s
+        self.alpha = alpha
+        self.prior_s_per_cell = prior_s_per_cell
+        self._estimate: Optional[float] = None
+        self.observed_cells = 0
+        self.observed_seconds = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return self._estimate is not None
+
+    def observe(self, cells: int, seconds: float) -> None:
+        """Fold one measured batch into the estimate."""
+        if cells < 1 or seconds < 0:
+            return
+        self.observed_cells += cells
+        self.observed_seconds += seconds
+        sample = seconds / cells
+        if self._estimate is None:
+            self._estimate = sample
+        else:
+            self._estimate = (
+                self.alpha * sample + (1.0 - self.alpha) * self._estimate
+            )
+
+    @property
+    def seconds_per_cell(self) -> float:
+        return self._estimate if self._estimate is not None else self.prior_s_per_cell
+
+    def suggested_lanes(self, min_lanes: int = 1, max_lanes: int = 32) -> int:
+        """Lanes per lockstep chunk so a chunk takes ~``target_chunk_s``."""
+        per_cell = max(self.seconds_per_cell, 1e-6)
+        lanes = int(round(self.target_chunk_s / per_cell))
+        return max(min_lanes, min(max_lanes, lanes))
+
+    def affordable_cells(self, budget_s: Optional[float]) -> Optional[int]:
+        """How many cells a wall-clock budget buys (None = unbounded)."""
+        if budget_s is None:
+            return None
+        return max(0, int(budget_s / max(self.seconds_per_cell, 1e-6)))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "seconds_per_cell": self.seconds_per_cell,
+            "observed_cells": self.observed_cells,
+            "observed_seconds": self.observed_seconds,
+            "suggested_lanes": self.suggested_lanes(),
+        }
+
+
+# -- policy --------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScreeningPolicy:
+    """Tuning surface of the screening pipeline (docs/PERFORMANCE.md).
+
+    ``cluster_tol`` is the leader-clustering radius in normalized
+    feature space; members within ``serve_radius`` of their
+    representative are served from it (with the clipped correction),
+    members beyond it fall to the surrogate when confident.
+    ``range_uncertainty_c`` / ``pue_uncertainty`` are the
+    prediction-interval widths above which a cell is routed to full
+    simulation; ``max_simulated_fraction`` (with the
+    ``min_simulated_locations`` floor and optional
+    ``simulate_budget_s`` wall-clock cap via the cost model) bounds how
+    many locations simulate in total.
+    """
+
+    cluster_tol: float = 0.12
+    serve_radius: float = 0.12
+    range_uncertainty_c: float = 1.5
+    pue_uncertainty: float = 0.015
+    max_simulated_fraction: float = 0.08
+    min_simulated_locations: int = 8
+    simulate_budget_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cluster_tol <= 0:
+            raise ReproError("cluster_tol must be > 0")
+        if self.serve_radius <= 0:
+            raise ReproError("serve_radius must be > 0")
+        if not 0.0 < self.max_simulated_fraction <= 1.0:
+            raise ReproError("max_simulated_fraction must be in (0, 1]")
+        if self.min_simulated_locations < 2:
+            raise ReproError("min_simulated_locations must be >= 2")
+
+    def simulate_budget(self, grid_size: int) -> int:
+        """How many locations may fully simulate for a given grid."""
+        budget = max(
+            self.min_simulated_locations,
+            int(math.ceil(self.max_simulated_fraction * grid_size)),
+        )
+        return min(grid_size, budget)
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Optional[dict]) -> "ScreeningPolicy":
+        if not payload:
+            return cls()
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise ReproError(
+                f"unknown screening policy field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**payload)
+
+
+# -- the screening session -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScreeningCounters:
+    """Location-level provenance counts; always sum to the grid size."""
+
+    simulated: int = 0
+    served_from_cluster: int = 0
+    surrogate_only: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.simulated + self.served_from_cluster + self.surrogate_only
+
+    def to_json(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ScreeningSession:
+    """The three-stage plan for one screened world sweep.
+
+    Owned by :func:`repro.analysis.experiments.world_sweep` (the
+    one-shot path) and by screened ``world`` service jobs
+    (:mod:`repro.service.jobs`); both drive the same phases:
+
+    1. :meth:`representative_tasks` — the cells to fully simulate first
+       (one representative per climate cluster, baseline + CoolAir).
+    2. :meth:`uncertain_tasks` — after the representatives land in the
+       accumulator, fit the surrogate and return the cells whose
+       prediction interval is too wide, most-uncertain first, within
+       the remaining simulate budget.
+    3. :meth:`serve` — price every remaining location from its cluster
+       representative (distance <= ``serve_radius``, correction clipped
+       to :data:`CORRECTION_BOUNDS`) or from the surrogate alone, and
+       tag provenance in the accumulator.
+
+    The session never mutates simulation results — only locations that
+    were *not* simulated are filled in, so ``--screen=off`` and the
+    representative cells of a screened run are bit-identical to the
+    exhaustive path.
+    """
+
+    def __init__(
+        self,
+        climates: Sequence[Climate],
+        coolair_system: str = "All-ND",
+        policy: Optional[ScreeningPolicy] = None,
+        sample_every_days: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if not climates:
+            raise ReproError("cannot screen an empty climate grid")
+        self.climates = tuple(climates)
+        self.coolair_system = coolair_system
+        self.policy = policy or ScreeningPolicy()
+        self.sample_every_days = sample_every_days
+        self.cost_model = cost_model or CostModel()
+        self.features = feature_matrix(self.climates)
+        budget = self.policy.simulate_budget(len(self.climates))
+        # Representatives may use at most ~3/4 of the simulate budget so
+        # uncertain members still have room to promote.
+        rep_budget = max(2, int(math.ceil(0.75 * budget)))
+        self.clusters, self.effective_tol = cluster_to_budget(
+            self.features,
+            self.policy.cluster_tol,
+            rep_budget,
+            seed=self.policy.seed,
+        )
+        self._budget = budget
+        self._rep_of: Dict[int, int] = {}
+        self._distance_to_rep: Dict[int, float] = {}
+        for cluster in self.clusters:
+            for member, dist in zip(cluster.members, cluster.distances):
+                self._rep_of[member] = cluster.representative
+                self._distance_to_rep[member] = dist
+        self._simulated: set = {c.representative for c in self.clusters}
+        self._promoted: set = set()
+        self._phase = 1
+
+    # -- phases --------------------------------------------------------------
+
+    @property
+    def phase(self) -> int:
+        """1 = representatives pending, 2 = uncertain pending, 3 = served."""
+        return self._phase
+
+    def _tasks_for(self, indices: Sequence[int]) -> List["YearTask"]:
+        from repro.analysis.runner import YearTask
+
+        tasks = []
+        for index in indices:
+            for system in ("baseline", self.coolair_system):
+                tasks.append(
+                    YearTask(
+                        system=system,
+                        climate=self.climates[index],
+                        sample_every_days=self.sample_every_days,
+                    )
+                )
+        return tasks
+
+    def representative_tasks(self) -> List["YearTask"]:
+        """Phase 1: the cluster representatives, in grid order."""
+        reps = sorted(c.representative for c in self.clusters)
+        return self._tasks_for(reps)
+
+    def uncertain_tasks(self, accumulator) -> List["YearTask"]:
+        """Phase 2: cells too uncertain for the surrogate, within budget.
+
+        ``accumulator`` is the :class:`StreamingWorldAccumulator` the
+        representative results were folded into.  Fits the surrogate,
+        scores every unsimulated location, and promotes the widest
+        intervals until the simulate budget (count-based, optionally
+        tightened by the cost model's wall-clock budget) is spent.
+        """
+        if self._phase != 1:
+            raise ReproError(f"uncertain_tasks called in phase {self._phase}")
+        self._phase = 2
+        self._fit_surrogate(accumulator)
+        remaining = sorted(
+            i for i in range(len(self.climates)) if i not in self._simulated
+        )
+        if not remaining:
+            return []
+        headroom = self._budget - len(self._simulated)
+        affordable = self.cost_model.affordable_cells(
+            self.policy.simulate_budget_s
+        )
+        if affordable is not None:
+            # Two cells (baseline + CoolAir) per promoted location.
+            headroom = min(headroom, affordable // 2)
+        if headroom <= 0:
+            return []
+        if not self.surrogate.is_fit:
+            # Too few representatives to fit a surrogate: spend the
+            # budget on space-filling coverage (greedy farthest-point),
+            # which both diversifies the training set for the phase-3
+            # fit and shrinks every member's distance to a simulated
+            # neighbor.
+            promoted = self._farthest_points(remaining, headroom)
+            self._promoted = set(promoted)
+            self._simulated.update(promoted)
+            return self._tasks_for(sorted(promoted))
+        widths = self.surrogate.interval_widths(self.features[remaining])
+        # A location is uncertain if any metric's interval is too wide;
+        # its promotion score is the worst normalized width.
+        range_w = np.maximum(
+            widths["baseline_max_range_c"], widths["coolair_max_range_c"]
+        )
+        pue_w = np.maximum(widths["baseline_pue"], widths["coolair_pue"])
+        scores = np.maximum(
+            range_w / self.policy.range_uncertainty_c,
+            pue_w / self.policy.pue_uncertainty,
+        )
+        uncertain = [
+            (float(scores[pos]), index)
+            for pos, index in enumerate(remaining)
+            if scores[pos] > 1.0
+        ]
+        uncertain.sort(key=lambda pair: (-pair[0], pair[1]))
+        promoted = [index for _, index in uncertain[:headroom]]
+        self._promoted = set(promoted)
+        self._simulated.update(promoted)
+        return self._tasks_for(sorted(promoted))
+
+    def _farthest_points(self, remaining: List[int], count: int) -> List[int]:
+        """Greedy max-min selection of ``count`` indices from ``remaining``.
+
+        Each pick is the point farthest from every simulated-or-picked
+        point; stops early once everything left is within the serve
+        radius of some simulated point (more simulation buys nothing).
+        """
+        simulated = self.features[sorted(self._simulated)]
+        points = self.features[remaining]
+        deltas = points[:, None, :] - simulated[None, :, :]
+        nearest = np.sqrt(np.einsum("nkf,nkf->nk", deltas, deltas)).min(axis=1)
+        chosen: List[int] = []
+        for _ in range(min(count, len(remaining))):
+            pos = int(np.argmax(nearest))
+            if nearest[pos] <= self.policy.serve_radius:
+                break
+            chosen.append(remaining[pos])
+            step = np.sqrt(
+                np.einsum("nf,nf->n", points - points[pos], points - points[pos])
+            )
+            nearest = np.minimum(nearest, step)
+            nearest[pos] = -1.0
+        return chosen
+
+    def _fit_surrogate(self, accumulator) -> None:
+        self.surrogate = WorldSurrogate()
+        rows = []
+        indices = []
+        for index in sorted(self._simulated):
+            metrics = accumulator.location_metrics(
+                self.climates[index].name
+            )
+            if metrics is None:
+                continue
+            indices.append(index)
+            rows.append(metrics)
+        if rows:
+            self.surrogate.fit(
+                self.features[indices], np.asarray(rows, dtype=float).T
+            )
+
+    def serve(self, accumulator) -> ScreeningCounters:
+        """Phase 3: price every unsimulated location and tag provenance.
+
+        Refits the surrogate on everything simulated so far (phase 2
+        results included), then folds served metrics into the
+        accumulator.  Locations whose representative never produced a
+        result (failed cells) are left unserved — they drop from the
+        summary exactly as failed cells do on the exhaustive path.
+        """
+        if self._phase == 1:
+            # Serving without an uncertainty pass is legal (service
+            # cancellations, zero-budget policies): fit on what exists.
+            self._phase = 2
+            self._fit_surrogate(accumulator)
+        if self._phase != 2:
+            raise ReproError(f"serve called in phase {self._phase}")
+        self._phase = 3
+        self._fit_surrogate(accumulator)
+        surrogate = self.surrogate
+        for index in range(len(self.climates)):
+            name = self.climates[index].name
+            if index in self._simulated:
+                continue
+            rep = self._rep_of.get(index)
+            rep_metrics = (
+                accumulator.location_metrics(self.climates[rep].name)
+                if rep is not None
+                else None
+            )
+            distance = self._distance_to_rep.get(index, float("inf"))
+            features = self.features[index : index + 1]
+            predictions = (
+                {
+                    metric: float(values[0])
+                    for metric, values in surrogate.predict(features).items()
+                }
+                if surrogate.is_fit
+                else None
+            )
+            if rep_metrics is not None and distance <= self.policy.serve_radius:
+                served = self._corrected(rep_metrics, rep, index, predictions)
+                accumulator.serve(name, served, PROVENANCE_CLUSTER)
+            elif predictions is not None:
+                served = [
+                    self._clamp(metric, predictions[metric])
+                    for metric in METRIC_NAMES
+                ]
+                accumulator.serve(name, served, PROVENANCE_SURROGATE)
+            elif rep_metrics is not None:
+                # No surrogate (degenerate tiny grids): zero-correction
+                # cluster serving still honors the correction bound.
+                accumulator.serve(name, list(rep_metrics), PROVENANCE_CLUSTER)
+            # else: the representative failed and no surrogate exists —
+            # the location stays missing, like a failed exhaustive cell.
+        return self.counters(accumulator)
+
+    def _corrected(
+        self,
+        rep_metrics: Sequence[float],
+        rep: int,
+        index: int,
+        predictions: Optional[Dict[str, float]],
+    ) -> List[float]:
+        """Representative metrics plus the clipped surrogate correction."""
+        served = []
+        for row, metric in enumerate(METRIC_NAMES):
+            value = float(rep_metrics[row])
+            if predictions is not None and self.surrogate.is_fit:
+                rep_pred = float(
+                    self.surrogate.predict(self.features[rep : rep + 1])[
+                        metric
+                    ][0]
+                )
+                correction = predictions[metric] - rep_pred
+                bound = CORRECTION_BOUNDS[metric]
+                correction = max(-bound, min(bound, correction))
+                value += correction
+            served.append(self._clamp(metric, value))
+        return served
+
+    @staticmethod
+    def _clamp(metric: str, value: float) -> float:
+        """Physical floors: ranges are non-negative, PUE >= 1."""
+        if metric.endswith("_pue"):
+            return max(1.0, value)
+        return max(0.0, value)
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self, accumulator) -> ScreeningCounters:
+        """Provenance counts as recorded in the accumulator."""
+        counts = accumulator.provenance_counts()
+        return ScreeningCounters(
+            simulated=counts.get(PROVENANCE_SIMULATED, 0),
+            served_from_cluster=counts.get(PROVENANCE_CLUSTER, 0),
+            surrogate_only=counts.get(PROVENANCE_SURROGATE, 0),
+        )
+
+    @property
+    def simulated_locations(self) -> int:
+        return len(self._simulated)
+
+    @property
+    def promoted_locations(self) -> int:
+        return len(self._promoted)

@@ -42,7 +42,15 @@ PUE_BINS: Tuple[Tuple[float, float], ...] = (
 
 @dataclasses.dataclass(frozen=True)
 class LocationComparison:
-    """Baseline-vs-CoolAir deltas at one location."""
+    """Baseline-vs-CoolAir deltas at one location.
+
+    ``provenance`` records how the metrics were produced: ``simulated``
+    (full year runs), ``served_from_cluster`` (copied from a climate
+    cluster representative with a bounded correction), or
+    ``surrogate_only`` (priced by the screening surrogate) — see
+    :mod:`repro.analysis.screening`.  Exhaustive sweeps are always
+    ``simulated``.
+    """
 
     name: str
     latitude: float
@@ -51,6 +59,7 @@ class LocationComparison:
     coolair_max_range_c: float
     baseline_pue: float
     coolair_pue: float
+    provenance: str = "simulated"
 
     @property
     def range_reduction_c(self) -> float:
@@ -63,30 +72,42 @@ class LocationComparison:
 
 @dataclasses.dataclass(frozen=True)
 class WorldSummary:
-    """Aggregates over all compared locations."""
+    """Aggregates over all compared locations.
+
+    Safe on an empty comparison set (partial summaries mid-stream):
+    averages are NaN, fractions and bucket counts are zero, and
+    :meth:`headline` says so instead of raising.
+    """
 
     comparisons: Tuple[LocationComparison, ...]
 
+    @staticmethod
+    def _mean(values) -> float:
+        values = list(values)
+        return float(np.mean(values)) if values else float("nan")
+
     @property
     def avg_baseline_max_range_c(self) -> float:
-        return float(np.mean([c.baseline_max_range_c for c in self.comparisons]))
+        return self._mean(c.baseline_max_range_c for c in self.comparisons)
 
     @property
     def avg_coolair_max_range_c(self) -> float:
-        return float(np.mean([c.coolair_max_range_c for c in self.comparisons]))
+        return self._mean(c.coolair_max_range_c for c in self.comparisons)
 
     @property
     def avg_baseline_pue(self) -> float:
-        return float(np.mean([c.baseline_pue for c in self.comparisons]))
+        return self._mean(c.baseline_pue for c in self.comparisons)
 
     @property
     def avg_coolair_pue(self) -> float:
-        return float(np.mean([c.coolair_pue for c in self.comparisons]))
+        return self._mean(c.coolair_pue for c in self.comparisons)
 
     @property
     def fraction_range_worsened(self) -> float:
         """Locations where CoolAir *increased* the max range (paper: <2%,
         always by less than 1C)."""
+        if not self.comparisons:
+            return 0.0
         return float(
             np.mean([c.range_reduction_c < 0 for c in self.comparisons])
         )
@@ -110,8 +131,17 @@ class WorldSummary:
             [c.pue_reduction for c in self.comparisons], PUE_BINS
         )
 
+    def provenance_counts(self) -> Dict[str, int]:
+        """How each compared location's metrics were produced."""
+        counts: Dict[str, int] = {}
+        for c in self.comparisons:
+            counts[c.provenance] = counts.get(c.provenance, 0) + 1
+        return counts
+
     def headline(self) -> str:
         """The paper's headline sentence for Figures 12/13."""
+        if not self.comparisons:
+            return "no locations compared yet"
         return (
             f"avg max range: baseline {self.avg_baseline_max_range_c:.1f}C -> "
             f"CoolAir {self.avg_coolair_max_range_c:.1f}C;  "
@@ -169,6 +199,11 @@ class StreamingWorldAccumulator:
         n = len(self._climates)
         self._metrics = np.full((self._ROWS, n), np.nan)
         self._seen = np.zeros((2, n), dtype=bool)
+        self._provenance: List[str] = ["simulated"] * n
+
+    @property
+    def grid_size(self) -> int:
+        return len(self._climates)
 
     def consume(self, index: int, task, result) -> None:
         """Runner ``consume`` hook: fold one completed cell."""
@@ -188,8 +223,60 @@ class StreamingWorldAccumulator:
             self._metrics[1, slot] = result.max_range_c
             self._metrics[3, slot] = result.pue
             self._seen[1, slot] = True
+        self._provenance[slot] = "simulated"
 
-    def summary(self) -> WorldSummary:
+    def serve(
+        self, name: str, metrics: Sequence[float], provenance: str
+    ) -> None:
+        """Fill one *unsimulated* location from the screening pipeline.
+
+        ``metrics`` is the full metric-row vector (baseline/coolair max
+        range, baseline/coolair PUE); ``provenance`` tags how it was
+        produced (``served_from_cluster`` or ``surrogate_only``).  A slot
+        that already holds simulated results is never overwritten —
+        screening only fills gaps, it cannot change simulation output.
+        """
+        slot = self._slots.get(name)
+        if slot is None:
+            raise SimulationError(f"unknown world location {name!r}")
+        if self._seen[0, slot] or self._seen[1, slot]:
+            return
+        if len(metrics) != self._ROWS:
+            raise SimulationError(
+                f"served metrics need {self._ROWS} values, got {len(metrics)}"
+            )
+        self._metrics[:, slot] = [float(v) for v in metrics]
+        self._seen[:, slot] = True
+        self._provenance[slot] = provenance
+
+    def location_metrics(self, name: str):
+        """The four metric rows of one fully-resolved location, or None."""
+        slot = self._slots.get(name)
+        if slot is None or not (self._seen[0, slot] and self._seen[1, slot]):
+            return None
+        return [float(self._metrics[row, slot]) for row in range(self._ROWS)]
+
+    def resolved_locations(self) -> int:
+        """How many locations have both their metric columns filled."""
+        return int(np.count_nonzero(self._seen[0] & self._seen[1]))
+
+    def provenance_counts(self) -> Dict[str, int]:
+        """Provenance histogram over fully-resolved locations."""
+        counts: Dict[str, int] = {}
+        both = self._seen[0] & self._seen[1]
+        for slot in np.flatnonzero(both):
+            tag = self._provenance[slot]
+            counts[tag] = counts.get(tag, 0) + 1
+        return counts
+
+    def summary(self, partial: bool = False) -> WorldSummary:
+        """The :class:`WorldSummary` over resolved locations.
+
+        With ``partial=True`` the summary may cover any subset of the
+        grid — including none of it — for mid-stream progress reporting;
+        the default still raises :class:`SimulationError` when nothing
+        resolved, matching the in-memory pairing path.
+        """
         comparisons: List[LocationComparison] = []
         for i, climate in enumerate(self._climates):
             if not (self._seen[0, i] and self._seen[1, i]):
@@ -203,9 +290,10 @@ class StreamingWorldAccumulator:
                     coolair_max_range_c=float(self._metrics[1, i]),
                     baseline_pue=float(self._metrics[2, i]),
                     coolair_pue=float(self._metrics[3, i]),
+                    provenance=self._provenance[i],
                 )
             )
-        if not comparisons:
+        if not comparisons and not partial:
             raise SimulationError("no locations to summarize")
         return WorldSummary(comparisons=tuple(comparisons))
 
@@ -219,3 +307,85 @@ def bucket_counts(
         label = f"{lo:g}..{hi:g}" if hi != float("inf") else f">={lo:g}"
         counts[label] = sum(1 for v in values if lo <= v < hi)
     return counts
+
+
+# -- ASCII world map -----------------------------------------------------------
+
+# Glyph ramp for the map raster, low to high metric value.
+MAP_GLYPHS = " .:-=+*#%@"
+
+# The latitude band world_grid spans (68N..56S) and the full longitude
+# range; locations outside are clamped to the border rows/columns.
+_MAP_LAT_MAX = 68.0
+_MAP_LAT_MIN = -56.0
+
+
+def render_world_map(
+    summary: WorldSummary,
+    metric: str = "range",
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """The summary as a fixed-size ASCII world map.
+
+    Each character cell covers a latitude/longitude tile; locations
+    landing in the same tile are averaged, so the output stays exactly
+    ``width x height`` characters whether the sweep covered 24 points or
+    100k+ — dense grids simply downsample harder.  ``metric`` picks what
+    the glyph ramp encodes: ``"range"`` (max-range reduction in C, the
+    Figure 12 view) or ``"pue"`` (PUE reduction, Figure 13).  Empty tiles
+    (ocean, unresolved cells) render as spaces.
+    """
+    if metric not in ("range", "pue"):
+        raise SimulationError(
+            f"unknown map metric {metric!r}; choices: range, pue"
+        )
+    if width < 8 or height < 4:
+        raise SimulationError("map raster must be at least 8x4")
+    sums = np.zeros((height, width))
+    counts = np.zeros((height, width), dtype=int)
+    for c in summary.comparisons:
+        row = int(
+            (_MAP_LAT_MAX - c.latitude)
+            / (_MAP_LAT_MAX - _MAP_LAT_MIN)
+            * (height - 1)
+        )
+        col = int((c.longitude + 180.0) / 360.0 * (width - 1))
+        row = min(max(row, 0), height - 1)
+        col = min(max(col, 0), width - 1)
+        value = c.range_reduction_c if metric == "range" else c.pue_reduction
+        sums[row, col] += value
+        counts[row, col] += 1
+    # Scale the glyph ramp over the observed value range so small and
+    # large sweeps both use the full ramp.
+    filled = counts > 0
+    lines = []
+    if filled.any():
+        averages = np.where(filled, sums / np.maximum(counts, 1), 0.0)
+        lo = float(averages[filled].min())
+        hi = float(averages[filled].max())
+        span = (hi - lo) or 1.0
+        for row in range(height):
+            chars = []
+            for col in range(width):
+                if not filled[row, col]:
+                    chars.append(" ")
+                    continue
+                level = (averages[row, col] - lo) / span
+                index = int(level * (len(MAP_GLYPHS) - 1))
+                # Occupied tiles never render as the empty glyph.
+                chars.append(MAP_GLYPHS[max(1, index)])
+            lines.append("".join(chars))
+        unit = "C" if metric == "range" else ""
+        legend = (
+            f"{MAP_GLYPHS[1]} = {lo:.2f}{unit} .. "
+            f"{MAP_GLYPHS[-1]} = {hi:.2f}{unit} "
+            f"({'max-range' if metric == 'range' else 'PUE'} reduction, "
+            f"{len(summary.comparisons)} locations)"
+        )
+    else:
+        lines = [" " * width for _ in range(height)]
+        legend = "no locations to map"
+    border = "+" + "-" * width + "+"
+    body = "\n".join(f"|{line}|" for line in lines)
+    return f"{border}\n{body}\n{border}\n{legend}"

@@ -373,8 +373,9 @@ def cmd_world(args: argparse.Namespace) -> int:
         stream = True
     elif args.no_stream:
         stream = False
+    screen_stats: dict = {}
     summary = world_sweep(
-        num_locations=args.locations,
+        num_locations=args.grid_points or args.locations,
         workers=workers,
         lanes=args.lanes,
         progress=None if args.quiet else _progress,
@@ -382,6 +383,8 @@ def cmd_world(args: argparse.Namespace) -> int:
         task_timeout_s=args.task_timeout,
         failures=failures,
         stream=stream,
+        screen=args.screen,
+        screen_stats=screen_stats,
     )
     print(format_table(
         ["bin C", "locations"],
@@ -394,6 +397,23 @@ def cmd_world(args: argparse.Namespace) -> int:
         title="Figure 13 — yearly PUE reduction",
     ))
     print(summary.headline())
+    if screen_stats:
+        counters = screen_stats["counters"]
+        cost = screen_stats["cost_model"]
+        print(
+            "screening: "
+            f"{counters['simulated']} simulated, "
+            f"{counters['served_from_cluster']} served from cluster, "
+            f"{counters['surrogate_only']} surrogate-only "
+            f"of {screen_stats['grid_points']} grid points "
+            f"({screen_stats['clusters']} clusters, "
+            f"{screen_stats['cells_simulated']} cells simulated, "
+            f"{cost['seconds_per_cell']:.2f}s/cell observed)"
+        )
+    if args.map:
+        from repro.analysis.worldmap import render_world_map
+
+        print(render_world_map(summary, metric=args.map_metric))
     _report_failures(failures)
     return 1 if failures else 0
 
@@ -431,8 +451,10 @@ def _submit_spec(args: argparse.Namespace):
         return CampaignSpec(
             kind="world",
             locations=args.locations,
+            grid_points=args.grid_points,
             coolair_system=args.coolair_system,
             sample_every_days=args.sample_days,
+            screen=args.screen or "off",
         )
     return CampaignSpec(
         kind="faults",
@@ -615,6 +637,22 @@ def build_parser() -> argparse.ArgumentParser:
         "world", help="the Figures 12/13 worldwide sweep")
     world.add_argument("--locations", type=int, default=DEFAULT_WORLD_LOCATIONS,
                        help="world-grid size (1520 = paper)")
+    world.add_argument("--grid-points", type=int, default=None,
+                       help="world-grid size for planetary-scale sweeps "
+                            "(preferred spelling; overrides --locations, "
+                            "100000+ supported with --screen=on)")
+    world.add_argument("--screen", default=None, choices=["off", "on"],
+                       help="screening pipeline: simulate only climate-"
+                            "cluster representatives and surrogate-uncertain "
+                            "cells, serve the rest with provenance tags "
+                            "(default REPRO_SCREEN or off; "
+                            "docs/PERFORMANCE.md)")
+    world.add_argument("--map", action="store_true",
+                       help="also print a terminal-sized ASCII world map "
+                            "(dense grids downsample to the raster)")
+    world.add_argument("--map-metric", default="range",
+                       choices=["range", "pue"],
+                       help="what the map glyphs encode (default range)")
     world.add_argument("--workers", type=int, default=None,
                        help="worker processes (default REPRO_WORKERS or CPUs)")
     world.add_argument("--lanes", type=int, default=None,
@@ -705,6 +743,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--locations", type=int,
                         default=DEFAULT_WORLD_LOCATIONS,
                         help="world: grid size (1520 = paper)")
+    submit.add_argument("--grid-points", type=int, default=None,
+                        help="world: grid size (preferred spelling; "
+                             "overrides --locations)")
+    submit.add_argument("--screen", default=None, choices=["off", "on"],
+                        help="world: run the screening pipeline instead of "
+                             "the exhaustive sweep (docs/PERFORMANCE.md)")
     submit.add_argument("--coolair-system", default="All-ND",
                         choices=[s for s in SYSTEM_CHOICES if s != "baseline"],
                         help="world: the CoolAir system compared to the "

@@ -299,6 +299,17 @@ def _render_world(result: dict) -> str:
         ),
         summary["headline"],
     ]
+    screen = result.get("screen")
+    if screen:
+        counters = screen.get("counters") or {}
+        parts.append(
+            "screening: "
+            f"{counters.get('simulated', 0)} simulated, "
+            f"{counters.get('served_from_cluster', 0)} served from cluster, "
+            f"{counters.get('surrogate_only', 0)} surrogate-only "
+            f"of {screen.get('grid_points')} grid points "
+            f"({screen.get('clusters')} clusters)"
+        )
     return "\n".join(parts)
 
 

@@ -79,6 +79,7 @@ class Job:
         seq: int,
         tasks: List[YearTask],
         keys: List[str],
+        screening=None,
     ) -> None:
         self.id = job_id
         self.spec = spec
@@ -99,6 +100,14 @@ class Job:
         self.created_s = time.time()
         self.finished_s: Optional[float] = None
         self._subscribers: List[asyncio.Queue] = []
+        # Screened world jobs run in phases: the initial cells are the
+        # climate-cluster representatives; when they all land, the
+        # session promotes surrogate-uncertain cells (``on_extend`` asks
+        # the scheduler to enqueue them), and once those land too the
+        # remaining grid is served in-process with provenance tags.
+        self.screening = screening
+        self.screen_counters: Optional[dict] = None
+        self.on_extend = None
         if spec.kind == "world":
             from repro.analysis.worldmap import StreamingWorldAccumulator
 
@@ -188,10 +197,35 @@ class Job:
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        if self.done + self.failed >= self.total:
-            self.state = "completed"
-            self.finished_s = time.time()
-            self._publish(self._final_event())
+        if self.done + self.failed < self.total:
+            return
+        if self.screening is not None and self.screening.phase == 1:
+            # Every representative landed: promote the cells the
+            # surrogate is uncertain about, if the budget allows.
+            uncertain = self.screening.uncertain_tasks(self._accumulator)
+            if uncertain:
+                start = self.total
+                self.tasks.extend(uncertain)
+                self.keys.extend(task_cache_key(t) for t in uncertain)
+                self.total += len(uncertain)
+                self._publish(
+                    {
+                        "event": "phase",
+                        "job_id": self.id,
+                        "phase": "uncertain",
+                        "added": len(uncertain),
+                        "total": self.total,
+                    }
+                )
+                if self.on_extend is not None:
+                    self.on_extend(self, start)
+                return
+        if self.screening is not None and self.screening.phase < 3:
+            counters = self.screening.serve(self._accumulator)
+            self.screen_counters = counters.to_json()
+        self.state = "completed"
+        self.finished_s = time.time()
+        self._publish(self._final_event())
 
     def cancel(self) -> bool:
         """Mark the job cancelled; running shared cells keep running."""
@@ -215,7 +249,7 @@ class Job:
     # -- the status / result API --------------------------------------------
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "job_id": self.id,
             "spec": self.spec.describe(),
             "kind": self.spec.kind,
@@ -229,6 +263,17 @@ class Job:
             "created_s": self.created_s,
             "finished_s": self.finished_s,
         }
+        if self.screening is not None:
+            counters = self.screen_counters
+            if counters is None and self._accumulator is not None:
+                # Mid-stream: report provenance over what resolved so far.
+                counters = self.screening.counters(self._accumulator).to_json()
+            snap["screen"] = {
+                "phase": self.screening.phase,
+                "grid_points": self._accumulator.grid_size,
+                "counters": counters,
+            }
+        return snap
 
     def result_payload(self) -> dict:
         """The final result, shaped by the spec kind.
@@ -243,8 +288,10 @@ class Job:
                 f"job {self.id} has no result (state: {self.state})"
             )
         if self._accumulator is not None:
-            summary = self._accumulator.summary()
-            return {
+            summary = self._accumulator.summary(
+                partial=self.screening is not None
+            )
+            payload = {
                 "kind": self.spec.kind,
                 "summary": {
                     "locations": len(summary.comparisons),
@@ -258,6 +305,14 @@ class Job:
                 },
                 "failed": self.failed,
             }
+            if self.screen_counters is not None:
+                payload["screen"] = {
+                    "grid_points": self._accumulator.grid_size,
+                    "counters": self.screen_counters,
+                    "clusters": len(self.screening.clusters),
+                    "simulated_locations": self.screening.simulated_locations,
+                }
+            return payload
         cells = []
         for index, task in enumerate(self.tasks):
             entry = task_descriptor(task)
@@ -285,7 +340,21 @@ class JobRegistry:
                 f"service at capacity ({self.max_jobs} active jobs); "
                 "retry after one completes"
             )
-        tasks = spec.expand()
+        screening = None
+        if spec.kind == "world" and spec.screen == "on":
+            from repro.analysis.screening import ScreeningSession
+
+            # A screened world job starts with only the cluster
+            # representatives; the uncertain cells join via on_extend
+            # once the representatives land.
+            screening = ScreeningSession(
+                spec.world_climates(),
+                coolair_system=spec.coolair_system,
+                sample_every_days=spec.sample_every_days,
+            )
+            tasks = screening.representative_tasks()
+        else:
+            tasks = spec.expand()
         self._seq += 1
         job = Job(
             job_id=f"job-{self._seq:04d}",
@@ -294,6 +363,7 @@ class JobRegistry:
             seq=self._seq,
             tasks=tasks,
             keys=[task_cache_key(task) for task in tasks],
+            screening=screening,
         )
         self.jobs[job.id] = job
         return job

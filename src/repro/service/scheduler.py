@@ -124,7 +124,29 @@ class Scheduler:
 
         self.metrics.jobs_submitted += 1
         job.state = "running"
-        for index, (task, key) in enumerate(zip(job.tasks, job.keys)):
+        job.on_extend = self.extend_job
+        self._enqueue_cells(job, 0)
+        if job.state == "completed":
+            self.metrics.jobs_completed += 1
+        self._pump()
+
+    def extend_job(self, job: Job, start_index: int) -> None:
+        """Enqueue cells a running job grew mid-flight.
+
+        Screened world jobs call this (via ``Job.on_extend``) when their
+        representatives have landed and the surrogate promoted uncertain
+        cells to full simulation: the new cells join the same priority
+        heap, dedupe against in-flight cells, and serve from cache —
+        exactly as at submission.
+        """
+        self._enqueue_cells(job, start_index)
+        self._pump()
+
+    def _enqueue_cells(self, job: Job, start_index: int) -> None:
+        from repro.analysis import experiments
+
+        for index in range(start_index, len(job.tasks)):
+            task, key = job.tasks[index], job.keys[index]
             record = self._cells.get(key)
             if record is not None:
                 # Another request already owns this cell in flight —
@@ -151,9 +173,6 @@ class Scheduler:
             heapq.heappush(
                 self._heap, (-job.priority, job.seq, index, record)
             )
-        if job.state == "completed":
-            self.metrics.jobs_completed += 1
-        self._pump()
 
     def cancel_job(self, job: Job) -> bool:
         """Detach ``job`` from its cells; shared cells are unaffected."""

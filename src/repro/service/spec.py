@@ -115,6 +115,15 @@ class CampaignSpec:
     * ``faults`` — ``system`` at ``location`` under each named built-in
       fault ``scenarios`` entry (docs/ROBUSTNESS.md);
     * ``cells`` — an explicit :class:`CellSpec` list.
+
+    ``world`` specs take the grid size as ``grid_points`` (preferred; the
+    older ``locations`` alias still works) and a ``screen`` mode:
+    ``"on"`` runs the three-stage screening pipeline
+    (:mod:`repro.analysis.screening`) — only climate-cluster
+    representatives and surrogate-uncertain cells are simulated, the rest
+    are served with provenance tags, and the job's status/result carry
+    the simulated/served/surrogate counters.  Grid-cell names encode
+    their coordinates, so every grid size produces its own cache keys.
     """
 
     kind: str
@@ -122,11 +131,13 @@ class CampaignSpec:
     workload: str = "facebook"
     sample_every_days: Optional[int] = None
     locations: Optional[int] = None
+    grid_points: Optional[int] = None
     coolair_system: str = "All-ND"
     system: str = "All-ND"
     location: str = "Newark"
     scenarios: Tuple[str, ...] = ()
     cells: Tuple[CellSpec, ...] = ()
+    screen: str = "off"
 
     # -- validation / wire form ---------------------------------------------
 
@@ -148,6 +159,14 @@ class CampaignSpec:
         if self.locations is not None and self.locations < 1:
             raise SpecError(
                 f"world-grid size must be >= 1, got {self.locations}"
+            )
+        if self.grid_points is not None and self.grid_points < 1:
+            raise SpecError(
+                f"world-grid size must be >= 1, got {self.grid_points}"
+            )
+        if self.screen not in ("off", "on"):
+            raise SpecError(
+                f"unknown screen mode {self.screen!r}; choices: off, on"
             )
         if (
             self.sample_every_days is not None
@@ -188,7 +207,9 @@ class CampaignSpec:
             payload["workload"] = self.workload
         elif self.kind == "world":
             payload["locations"] = self.locations
+            payload["grid_points"] = self.grid_points
             payload["coolair_system"] = self.coolair_system
+            payload["screen"] = self.screen
         elif self.kind == "faults":
             payload["system"] = self.system
             payload["location"] = self.location
@@ -227,7 +248,7 @@ class CampaignSpec:
                     )
         elif self.kind == "world":
             _known_system(self.coolair_system)
-            for climate in world_grid(self.locations or _default_world()):
+            for climate in world_grid(self.world_grid_points()):
                 for system in ("baseline", self.coolair_system):
                     tasks.append(
                         YearTask(
@@ -254,15 +275,20 @@ class CampaignSpec:
             tasks = [cell.to_task() for cell in self.cells]
         return tasks
 
+    def world_grid_points(self) -> int:
+        """The world-grid size: ``grid_points`` > ``locations`` > default."""
+        return self.grid_points or self.locations or _default_world()
+
     def world_climates(self):
         """The grid the world accumulator aggregates over (world kind only)."""
-        return world_grid(self.locations or _default_world())
+        return world_grid(self.world_grid_points())
 
     def describe(self) -> str:
         if self.kind == "matrix":
             return f"matrix[{','.join(self.systems)}] ({self.workload})"
         if self.kind == "world":
-            return f"world[{self.locations or _default_world()}]"
+            suffix = ", screened" if self.screen == "on" else ""
+            return f"world[{self.world_grid_points()}{suffix}]"
         if self.kind == "faults":
             n = len(self.scenarios or BUILTIN_SCENARIOS)
             return f"faults[{self.system}@{self.location} x{n}]"

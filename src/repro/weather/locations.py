@@ -119,24 +119,27 @@ def climate_for_coordinates(latitude: float, longitude: float) -> Climate:
     )
 
 
-def world_grid(num_locations: int = 1520) -> List[Climate]:
+def world_grid(n_points: int = 1520) -> List[Climate]:
     """A deterministic world-wide grid of climates.
 
     The default reproduces the paper's 1520 locations as a 40 (longitude) by
-    38 (latitude) grid spanning the inhabited latitudes.  Smaller counts
-    subsample the same grid pattern so results remain comparable.
+    38 (latitude) grid spanning the inhabited latitudes.  Other counts —
+    down to a handful, up to 100k+ for planetary-scale screened sweeps —
+    lay out the same grid pattern at a different density, so results
+    remain comparable across sizes.  Grid-cell names encode the
+    coordinates, so every density produces its own cache keys.
     """
-    if num_locations < 1:
-        raise ValueError("num_locations must be >= 1")
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
     # Choose a near-square grid with cols ~ 40/38 aspect.
-    cols = max(1, int(round(math.sqrt(num_locations * 40.0 / 38.0))))
-    rows = max(1, math.ceil(num_locations / cols))
+    cols = max(1, int(round(math.sqrt(n_points * 40.0 / 38.0))))
+    rows = max(1, math.ceil(n_points / cols))
     climates: List[Climate] = []
     for row in range(rows):
         # Latitudes from 68N down to 56S — the band where datacenters live.
         latitude = 68.0 - (124.0 * row / max(1, rows - 1) if rows > 1 else 0.0)
         for col in range(cols):
-            if len(climates) >= num_locations:
+            if len(climates) >= n_points:
                 break
             longitude = -180.0 + 360.0 * (col + 0.5) / cols
             climates.append(climate_for_coordinates(latitude, longitude))

@@ -1,0 +1,130 @@
+"""Screened world sweeps against the exhaustive path (real simulations).
+
+The two load-bearing guarantees of the screening pipeline:
+
+* ``screen="off"`` is the exhaustive path — same comparisons, bit-equal
+  floats, no screening state anywhere in the output;
+* with screening on, the representative cells that *are* simulated use
+  the same cache keys as the exhaustive sweep (one shared cache
+  namespace), far fewer cells run than the grid holds, and the
+  provenance counters account for every grid point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.screening import ScreeningPolicy
+from repro.weather.locations import world_grid
+
+FAST_STRIDE = 365
+
+
+@pytest.fixture()
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path / "cache")
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    return monkeypatch
+
+
+def test_screen_off_is_bit_identical_to_default(fresh_caches):
+    baseline = experiments.world_sweep(
+        num_locations=2,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+    )
+    fresh_caches.setattr(experiments, "_memory_cache", {})
+    explicit_off = experiments.world_sweep(
+        num_locations=2,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        screen="off",
+    )
+    assert explicit_off == baseline
+    for a, b in zip(explicit_off.comparisons, baseline.comparisons):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+        assert a.provenance == "simulated"
+
+
+def test_screen_off_ignores_screen_stats(fresh_caches):
+    stats = {}
+    experiments.world_sweep(
+        num_locations=2,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        screen="off",
+        screen_stats=stats,
+    )
+    assert stats == {}
+
+
+def test_screened_sweep_counters_and_cell_savings(fresh_caches):
+    grid_points = 60
+    policy = ScreeningPolicy(
+        max_simulated_fraction=0.05, min_simulated_locations=2
+    )
+    stats = {}
+    summary = experiments.world_sweep(
+        num_locations=grid_points,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        screen="on",
+        screen_policy=policy,
+        screen_stats=stats,
+    )
+    counters = stats["counters"]
+    # Every grid point is accounted for by exactly one provenance.
+    assert sum(counters.values()) == grid_points
+    assert stats["grid_points"] == grid_points
+    assert len(summary.comparisons) == grid_points
+    # The acceptance bar: at least 5x fewer fully simulated cells than
+    # the exhaustive sweep's 2 * grid_points.
+    assert stats["cells_simulated"] * 5 <= 2 * grid_points
+    assert counters["simulated"] == stats["simulated_locations"]
+    assert stats["cost_model"]["observed_cells"] > 0
+
+
+def test_screened_representatives_match_exhaustive_cells(fresh_caches):
+    # Screened first (cold cache), exhaustive second: the representative
+    # cells' cache keys must be the exhaustive sweep's keys, so the
+    # second sweep reuses them and the simulated metrics agree bit for
+    # bit.
+    grid_points = 6
+    policy = ScreeningPolicy(
+        max_simulated_fraction=0.5, min_simulated_locations=2
+    )
+    stats = {}
+    screened = experiments.world_sweep(
+        num_locations=grid_points,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        screen="on",
+        screen_policy=policy,
+        screen_stats=stats,
+    )
+    fresh_caches.setattr(experiments, "_memory_cache", {})
+    exhaustive = experiments.world_sweep(
+        num_locations=grid_points,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+    )
+    assert len(exhaustive.comparisons) == grid_points
+    by_name = {c.name: c for c in exhaustive.comparisons}
+    simulated = [
+        c for c in screened.comparisons if c.provenance == "simulated"
+    ]
+    assert simulated
+    for comparison in simulated:
+        truth = by_name[comparison.name]
+        assert comparison.baseline_max_range_c == truth.baseline_max_range_c
+        assert comparison.coolair_max_range_c == truth.coolair_max_range_c
+        assert comparison.baseline_pue == truth.baseline_pue
+        assert comparison.coolair_pue == truth.coolair_pue
+
+
+def test_grid_points_parameter_scales_the_grid(fresh_caches):
+    assert len(world_grid(120)) == 120
+    assert len(world_grid(24)) == 24
+    # Dense grids stay dense: the generator must not silently cap.
+    assert len(world_grid(5000)) == 5000

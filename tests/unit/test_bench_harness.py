@@ -22,6 +22,7 @@ class TestQuickSuite:
         results = profiling.run_bench(quick=True, model=cooling_model)
         assert set(results) == {
             "plant_step", "optimizer_decision", "day_sim", "world_chunk",
+            "world_100k",
         }
         for result in results.values():
             assert result["median_s"] > 0.0
@@ -30,6 +31,13 @@ class TestQuickSuite:
         # The quick world chunk is one climate x {baseline, All-ND}.
         assert results["world_chunk"]["lanes"] == 2
         assert results["world_chunk"]["s_per_lane"] > 0.0
+        # The screened sweep accounts for every grid point.
+        screened = results["world_100k"]
+        assert (
+            screened["simulated"]
+            + screened["served_from_cluster"]
+            + screened["surrogate_only"]
+        ) == screened["grid_points"]
 
     def test_write_report_and_reload(self, cooling_model, tmp_path):
         results = {"day_sim": {"median_s": 0.25, "days_per_s": 4.0}}
@@ -82,6 +90,23 @@ class TestBaseline:
         speedups = profiling.speedups_vs_baseline(results, baseline)
         assert speedups == {"day_sim": 4.0}
         assert profiling.speedups_vs_baseline(results, None) == {}
+
+    def test_speedup_skips_shape_mismatches(self):
+        # A full 100k world_100k run against the quick-shape baseline is
+        # not a speedup or a regression — it is a different workload.
+        results = {"world_100k": {
+            "median_s": 134.0, "grid_points": 100_000,
+            "sample_every_days": 365, "trace_jobs": 400,
+        }}
+        baseline = {"results": {"world_100k": {
+            "median_s": 26.0, "grid_points": 240,
+            "sample_every_days": 365, "trace_jobs": 400,
+        }}}
+        assert profiling.speedups_vs_baseline(results, baseline) == {}
+        # Same shape: compared as usual.
+        baseline["results"]["world_100k"]["grid_points"] = 100_000
+        speedups = profiling.speedups_vs_baseline(results, baseline)
+        assert speedups["world_100k"] == pytest.approx(26.0 / 134.0)
 
 
 class TestCli:

@@ -39,6 +39,31 @@ class TestParser:
         args = build_parser().parse_args(["matrix", "--workers", "4"])
         assert args.workers == 4
 
+    def test_world_screening_flags(self):
+        args = build_parser().parse_args(
+            ["world", "--grid-points", "5000", "--screen", "on", "--map",
+             "--map-metric", "pue"]
+        )
+        assert args.grid_points == 5000
+        assert args.screen == "on"
+        assert args.map is True and args.map_metric == "pue"
+
+    def test_world_screen_defaults_to_env_resolution(self):
+        args = build_parser().parse_args(["world"])
+        # None lets resolve_screen apply REPRO_SCREEN, then "off".
+        assert args.screen is None
+        assert args.grid_points is None and args.map is False
+
+    def test_world_rejects_unknown_screen_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["world", "--screen", "auto"])
+
+    def test_submit_world_screening_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "world", "--grid-points", "120", "--screen", "on"]
+        )
+        assert args.grid_points == 120 and args.screen == "on"
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.socket is None and args.host is None and args.port is None

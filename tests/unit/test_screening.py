@@ -1,0 +1,545 @@
+"""Screening pipeline tests: clustering, surrogate, cost model, serving.
+
+The contract under test (see :mod:`repro.analysis.screening`):
+
+* clustering is deterministic and partitions the grid;
+* the cost model's estimate and budgets follow its documented EMA;
+* the policy validates and round-trips through JSON;
+* cluster-served metrics never move more than the documented
+  :data:`CORRECTION_BOUNDS` from their representative's simulated value
+  (property-tested over random grids);
+* provenance counters always sum to the grid size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.screening import (
+    CORRECTION_BOUNDS,
+    METRIC_NAMES,
+    PROVENANCE_CLUSTER,
+    PROVENANCE_SIMULATED,
+    PROVENANCE_SURROGATE,
+    ClimateCluster,
+    CostModel,
+    ScreeningCounters,
+    ScreeningPolicy,
+    ScreeningSession,
+    WorldSurrogate,
+    climate_features,
+    cluster_climates,
+    cluster_to_budget,
+    feature_matrix,
+    resolve_screen,
+)
+from repro.analysis.worldmap import StreamingWorldAccumulator
+from repro.errors import ReproError
+from repro.weather.climate import Climate
+
+
+def climate(
+    name,
+    mean=18.0,
+    seasonal=8.0,
+    diurnal=6.0,
+    synoptic=3.0,
+    rh=60.0,
+    rh_diurnal=12.0,
+    lat=40.0,
+    lon=0.0,
+):
+    return Climate(
+        name=name,
+        latitude=lat,
+        longitude=lon,
+        mean_temp_c=mean,
+        seasonal_amplitude_c=seasonal,
+        diurnal_amplitude_c=diurnal,
+        synoptic_std_c=synoptic,
+        mean_rh_pct=rh,
+        diurnal_rh_amplitude_pct=rh_diurnal,
+    )
+
+
+def spread_grid(n, step=2.5):
+    """n climates spread far enough apart to resist clustering."""
+    return [
+        climate(f"c{i}", mean=5.0 + step * i, lon=-150.0 + 3.0 * i)
+        for i in range(n)
+    ]
+
+
+class TestResolveScreen:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCREEN", raising=False)
+        assert resolve_screen() == "off"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCREEN", "on")
+        assert resolve_screen() == "on"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCREEN", "on")
+        assert resolve_screen("off") == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_screen("auto")
+
+
+class TestClimateFeatures:
+    def test_feature_vector_shape(self):
+        vec = climate_features(climate("x"))
+        # Six scaled parameters plus the hemisphere indicator.
+        assert vec.shape == (7,)
+
+    def test_hemisphere_indicator(self):
+        north = climate_features(climate("n", lat=40.0))
+        south = climate_features(climate("s", lat=-40.0))
+        assert north[-1] == 0.0
+        assert south[-1] == 1.0
+
+    def test_scaling(self):
+        vec = climate_features(climate("x", mean=20.0))
+        assert vec[0] == pytest.approx(2.0)  # mean_temp_c / 10
+
+    def test_matrix_stacks_rows(self):
+        grid = spread_grid(5)
+        mat = feature_matrix(grid)
+        assert mat.shape == (5, 7)
+        assert np.array_equal(mat[2], climate_features(grid[2]))
+
+
+class TestClusterClimates:
+    def test_bad_tolerance(self):
+        with pytest.raises(ReproError):
+            cluster_climates(np.zeros((3, 2)), tol=0.0)
+
+    def test_identical_points_one_cluster(self):
+        features = np.zeros((6, 3))
+        clusters = cluster_climates(features, tol=0.1)
+        assert len(clusters) == 1
+        assert clusters[0].representative == 0
+        assert set(clusters[0].members) == {1, 2, 3, 4, 5}
+
+    def test_partition_covers_every_index(self):
+        rng = np.random.default_rng(7)
+        features = rng.normal(size=(40, 4))
+        clusters = cluster_climates(features, tol=1.0, seed=3)
+        seen = []
+        for c in clusters:
+            seen.append(c.representative)
+            seen.extend(c.members)
+        assert sorted(seen) == list(range(40))
+
+    def test_deterministic_for_same_seed(self):
+        rng = np.random.default_rng(11)
+        features = rng.normal(size=(30, 3))
+        first = cluster_climates(features, tol=0.8, seed=5)
+        second = cluster_climates(features, tol=0.8, seed=5)
+        assert first == second
+
+    def test_seed_zero_visits_in_grid_order(self):
+        # Two tight groups: with grid order, index 0 and the first point
+        # of the second group become the representatives.
+        features = np.array(
+            [[0.0, 0.0], [0.01, 0.0], [5.0, 0.0], [5.01, 0.0]]
+        )
+        clusters = cluster_climates(features, tol=0.1, seed=0)
+        assert [c.representative for c in clusters] == [0, 2]
+
+    def test_member_distances_align(self):
+        features = np.array([[0.0, 0.0], [0.06, 0.08]])
+        (cluster,) = cluster_climates(features, tol=0.2)
+        assert cluster.members == (1,)
+        assert cluster.distances[0] == pytest.approx(0.1)
+
+    def test_clusters_sorted_by_representative(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(25, 3))
+        clusters = cluster_climates(features, tol=0.5, seed=9)
+        reps = [c.representative for c in clusters]
+        assert reps == sorted(reps)
+
+
+class TestClusterToBudget:
+    def test_coarsens_until_budget_fits(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(50, 3))
+        clusters, tol = cluster_to_budget(features, 0.05, 5)
+        assert len(clusters) <= 5
+        assert tol > 0.05
+
+    def test_keeps_tol_when_already_under_budget(self):
+        features = np.zeros((10, 2))
+        clusters, tol = cluster_to_budget(features, 0.3, 4)
+        assert len(clusters) == 1
+        assert tol == 0.3
+
+    def test_bad_budget(self):
+        with pytest.raises(ReproError):
+            cluster_to_budget(np.zeros((3, 2)), 0.1, 0)
+
+
+class TestWorldSurrogate:
+    def linear_metrics(self, features):
+        base_range = 6.0 + 3.0 * features[:, 0] + features[:, 1]
+        return np.vstack(
+            [
+                base_range,
+                base_range - 4.0,
+                1.05 + 0.01 * features[:, 0],
+                1.06 + 0.005 * features[:, 0],
+            ]
+        )
+
+    def test_stays_unfit_below_minimum_samples(self):
+        features = np.random.default_rng(0).normal(size=(5, 7))
+        surrogate = WorldSurrogate().fit(features, np.ones((4, 5)))
+        assert not surrogate.is_fit
+        widths = surrogate.interval_widths(features)
+        assert all(np.isinf(w).all() for w in widths.values())
+
+    def test_unfit_predict_raises(self):
+        with pytest.raises(ReproError):
+            WorldSurrogate().predict(np.zeros((1, 7)))
+
+    def test_recovers_linear_metrics(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-1.0, 1.0, size=(30, 2))
+        surrogate = WorldSurrogate().fit(features, self.linear_metrics(features))
+        assert surrogate.is_fit
+        probe = np.array([[0.25, -0.5]])
+        predicted = surrogate.predict(probe)
+        truth = self.linear_metrics(probe)
+        for row, metric in enumerate(METRIC_NAMES):
+            assert predicted[metric][0] == pytest.approx(
+                truth[row, 0], abs=1e-6
+            )
+
+    def test_intervals_widen_with_distance(self):
+        rng = np.random.default_rng(4)
+        features = rng.uniform(-1.0, 1.0, size=(30, 2))
+        surrogate = WorldSurrogate().fit(features, self.linear_metrics(features))
+        near = surrogate.interval_widths(features[:1])
+        far = surrogate.interval_widths(np.array([[8.0, 8.0]]))
+        for metric in METRIC_NAMES:
+            assert far[metric][0] > near[metric][0]
+
+
+class TestCostModel:
+    def test_prior_before_observations(self):
+        model = CostModel(prior_s_per_cell=0.7)
+        assert not model.calibrated
+        assert model.seconds_per_cell == 0.7
+
+    def test_ema_update(self):
+        model = CostModel(alpha=0.5)
+        model.observe(1, 1.0)
+        assert model.calibrated
+        assert model.seconds_per_cell == pytest.approx(1.0)
+        model.observe(1, 3.0)
+        assert model.seconds_per_cell == pytest.approx(2.0)
+
+    def test_ignores_empty_or_negative_batches(self):
+        model = CostModel()
+        model.observe(0, 10.0)
+        model.observe(4, -1.0)
+        assert not model.calibrated
+
+    def test_suggested_lanes_targets_chunk_duration(self):
+        model = CostModel(target_chunk_s=4.0)
+        model.observe(10, 5.0)  # 0.5 s/cell
+        assert model.suggested_lanes() == 8
+
+    def test_suggested_lanes_clamped(self):
+        fast = CostModel(target_chunk_s=4.0)
+        fast.observe(1000, 0.1)
+        assert fast.suggested_lanes() == 32
+        slow = CostModel(target_chunk_s=4.0)
+        slow.observe(1, 100.0)
+        assert slow.suggested_lanes() == 1
+
+    def test_affordable_cells(self):
+        model = CostModel()
+        model.observe(10, 5.0)
+        assert model.affordable_cells(None) is None
+        assert model.affordable_cells(10.0) == 20
+        assert model.affordable_cells(0.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CostModel(target_chunk_s=0.0)
+        with pytest.raises(ReproError):
+            CostModel(alpha=0.0)
+
+    def test_snapshot_keys(self):
+        snap = CostModel().snapshot()
+        assert set(snap) == {
+            "seconds_per_cell",
+            "observed_cells",
+            "observed_seconds",
+            "suggested_lanes",
+        }
+
+
+class TestScreeningPolicy:
+    def test_budget_floor_and_fraction(self):
+        policy = ScreeningPolicy(
+            max_simulated_fraction=0.1, min_simulated_locations=8
+        )
+        assert policy.simulate_budget(50) == 8  # floor wins
+        assert policy.simulate_budget(200) == 20  # ceil(0.1 * 200)
+        assert policy.simulate_budget(4) == 4  # capped at the grid
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ScreeningPolicy(cluster_tol=0.0)
+        with pytest.raises(ReproError):
+            ScreeningPolicy(serve_radius=-1.0)
+        with pytest.raises(ReproError):
+            ScreeningPolicy(max_simulated_fraction=0.0)
+        with pytest.raises(ReproError):
+            ScreeningPolicy(min_simulated_locations=1)
+
+    def test_json_roundtrip(self):
+        policy = ScreeningPolicy(cluster_tol=0.2, min_simulated_locations=4)
+        assert ScreeningPolicy.from_json(policy.to_json()) == policy
+
+    def test_from_json_defaults_and_partial(self):
+        assert ScreeningPolicy.from_json(None) == ScreeningPolicy()
+        partial = ScreeningPolicy.from_json({"serve_radius": 0.3})
+        assert partial.serve_radius == 0.3
+        assert partial.cluster_tol == ScreeningPolicy().cluster_tol
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ReproError):
+            ScreeningPolicy.from_json({"clusterTol": 0.1})
+
+
+class TestScreeningCounters:
+    def test_total_and_json(self):
+        counters = ScreeningCounters(3, 2, 5)
+        assert counters.total == 10
+        assert counters.to_json() == {
+            "simulated": 3,
+            "served_from_cluster": 2,
+            "surrogate_only": 5,
+        }
+
+
+# -- the session against a real accumulator -----------------------------------
+
+
+class FakeResult:
+    def __init__(self, max_range_c, pue):
+        self.max_range_c = max_range_c
+        self.pue = pue
+
+
+def ground_truth(features):
+    """Linear world metrics a surrogate can learn exactly."""
+    base_range = 8.0 + 3.0 * features[0] + 1.5 * features[1]
+    return {
+        "baseline_max_range_c": base_range,
+        "coolair_max_range_c": max(0.0, base_range - 4.0),
+        "baseline_pue": 1.06 + 0.01 * features[0],
+        "coolair_pue": 1.07 + 0.005 * features[0],
+    }
+
+
+def simulate_tasks(session, accumulator, tasks):
+    """Feed fake-but-consistent results for the given tasks."""
+    for task in tasks:
+        truth = ground_truth(climate_features(task.climate))
+        if task.system == "baseline":
+            result = FakeResult(
+                truth["baseline_max_range_c"], truth["baseline_pue"]
+            )
+        else:
+            result = FakeResult(
+                truth["coolair_max_range_c"], truth["coolair_pue"]
+            )
+        accumulator.consume(0, task, result)
+
+
+def run_session(grid, policy):
+    session = ScreeningSession(grid, policy=policy)
+    accumulator = StreamingWorldAccumulator(grid, "All-ND")
+    simulate_tasks(session, accumulator, session.representative_tasks())
+    simulate_tasks(
+        session, accumulator, session.uncertain_tasks(accumulator)
+    )
+    counters = session.serve(accumulator)
+    return session, accumulator, counters
+
+
+class TestScreeningSession:
+    POLICY = ScreeningPolicy(
+        max_simulated_fraction=0.3, min_simulated_locations=4
+    )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError):
+            ScreeningSession([])
+
+    def test_phase_discipline(self):
+        grid = spread_grid(10)
+        session = ScreeningSession(grid, policy=self.POLICY)
+        accumulator = StreamingWorldAccumulator(grid, "All-ND")
+        assert session.phase == 1
+        simulate_tasks(session, accumulator, session.representative_tasks())
+        session.uncertain_tasks(accumulator)
+        assert session.phase == 2
+        with pytest.raises(ReproError):
+            session.uncertain_tasks(accumulator)
+        session.serve(accumulator)
+        assert session.phase == 3
+        with pytest.raises(ReproError):
+            session.serve(accumulator)
+
+    def test_counters_sum_to_grid_size(self):
+        grid = spread_grid(20)
+        _, _, counters = run_session(grid, self.POLICY)
+        assert counters.total == len(grid)
+
+    def test_budget_bounds_simulated_locations(self):
+        grid = spread_grid(20)
+        session, _, counters = run_session(grid, self.POLICY)
+        assert counters.simulated == session.simulated_locations
+        assert session.simulated_locations <= self.POLICY.simulate_budget(
+            len(grid)
+        )
+
+    def test_representative_tasks_pair_systems(self):
+        grid = spread_grid(10)
+        session = ScreeningSession(grid, policy=self.POLICY)
+        tasks = session.representative_tasks()
+        assert len(tasks) == 2 * len(session.clusters)
+        assert [t.system for t in tasks[:2]] == ["baseline", "All-ND"]
+
+    def test_serve_never_overwrites_simulated(self):
+        grid = spread_grid(12)
+        session, accumulator, _ = run_session(grid, self.POLICY)
+        rep = session.clusters[0].representative
+        name = grid[rep].name
+        truth = ground_truth(climate_features(grid[rep]))
+        metrics = accumulator.location_metrics(name)
+        for row, metric in enumerate(METRIC_NAMES):
+            assert metrics[row] == pytest.approx(truth[metric])
+
+    def test_every_location_resolves_with_healthy_reps(self):
+        grid = spread_grid(20)
+        _, accumulator, _ = run_session(grid, self.POLICY)
+        assert accumulator.resolved_locations() == len(grid)
+
+    def test_serve_from_phase_one_is_legal(self):
+        grid = spread_grid(10)
+        session = ScreeningSession(grid, policy=self.POLICY)
+        accumulator = StreamingWorldAccumulator(grid, "All-ND")
+        simulate_tasks(session, accumulator, session.representative_tasks())
+        counters = session.serve(accumulator)
+        assert counters.total == len(grid)
+
+    def test_failed_representative_leaves_location_missing(self):
+        # Two far-apart tight pairs; one representative never lands and
+        # the surrogate cannot fit on a single point, so its member
+        # stays unresolved — like a failed cell on the exhaustive path.
+        grid = [
+            climate("a0", mean=5.0),
+            climate("a1", mean=5.01),
+            climate("b0", mean=35.0),
+            climate("b1", mean=35.01),
+        ]
+        policy = ScreeningPolicy(
+            cluster_tol=0.05,
+            serve_radius=0.05,
+            max_simulated_fraction=0.5,
+            min_simulated_locations=2,
+        )
+        session = ScreeningSession(grid, policy=policy)
+        accumulator = StreamingWorldAccumulator(grid, "All-ND")
+        tasks = session.representative_tasks()
+        # Only the first cluster's representative lands.
+        simulate_tasks(
+            session, accumulator, [t for t in tasks if t.climate.name == "a0"]
+        )
+        session.uncertain_tasks(accumulator)
+        counters = session.serve(accumulator)
+        assert counters.total < len(grid)
+        assert accumulator.location_metrics("b1") is None
+
+    def test_cost_model_budget_tightens_promotions(self):
+        grid = spread_grid(20)
+        policy = ScreeningPolicy(
+            max_simulated_fraction=0.5,
+            min_simulated_locations=4,
+            simulate_budget_s=0.0,
+        )
+        session = ScreeningSession(grid, policy=policy)
+        accumulator = StreamingWorldAccumulator(grid, "All-ND")
+        simulate_tasks(session, accumulator, session.representative_tasks())
+        # Zero wall-clock budget: nothing can be promoted.
+        assert session.uncertain_tasks(accumulator) == []
+
+
+class TestCorrectionBoundProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        means=st.lists(
+            st.floats(min_value=-10.0, max_value=35.0),
+            min_size=6,
+            max_size=24,
+        ),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_cluster_served_within_documented_bounds(self, means, seed):
+        grid = [
+            climate(f"h{i}", mean=m, seasonal=4.0 + (i % 3))
+            for i, m in enumerate(means)
+        ]
+        policy = ScreeningPolicy(
+            cluster_tol=0.5,
+            serve_radius=0.5,
+            max_simulated_fraction=0.5,
+            min_simulated_locations=2,
+            seed=seed,
+        )
+        session, accumulator, _ = run_session(grid, policy)
+        summary = accumulator.summary(partial=True)
+        by_name = {c.name: c for c in summary.comparisons}
+        for index, climate_obj in enumerate(grid):
+            comparison = by_name.get(climate_obj.name)
+            if comparison is None:
+                continue
+            if comparison.provenance != PROVENANCE_CLUSTER:
+                continue
+            rep = session._rep_of[index]
+            rep_metrics = accumulator.location_metrics(grid[rep].name)
+            served = accumulator.location_metrics(climate_obj.name)
+            for row, metric in enumerate(METRIC_NAMES):
+                bound = CORRECTION_BOUNDS[metric]
+                assert abs(served[row] - rep_metrics[row]) <= bound + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_provenance_partition(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = [
+            climate(f"p{i}", mean=float(rng.uniform(-5, 30)))
+            for i in range(12)
+        ]
+        policy = ScreeningPolicy(
+            max_simulated_fraction=0.4, min_simulated_locations=2
+        )
+        _, accumulator, counters = run_session(grid, policy)
+        assert counters.total == len(grid)
+        counts = accumulator.provenance_counts()
+        assert counts.get(PROVENANCE_SIMULATED, 0) == counters.simulated
+        assert (
+            counts.get(PROVENANCE_CLUSTER, 0) == counters.served_from_cluster
+        )
+        assert (
+            counts.get(PROVENANCE_SURROGATE, 0) == counters.surrogate_only
+        )

@@ -180,3 +180,55 @@ class TestWireForm:
         )
         assert plain["faulted"] is None
         assert plain["label"]
+
+
+class TestScreeningFields:
+    def test_grid_points_overrides_locations(self):
+        spec = CampaignSpec(kind="world", locations=24, grid_points=120)
+        assert spec.world_grid_points() == 120
+
+    def test_locations_fallback(self):
+        spec = CampaignSpec(kind="world", locations=24)
+        assert spec.world_grid_points() == 24
+
+    def test_default_world_size(self):
+        spec = CampaignSpec(kind="world")
+        assert spec.world_grid_points() == DEFAULT_WORLD_LOCATIONS
+
+    def test_bad_grid_points(self):
+        with pytest.raises(SpecError, match=">= 1"):
+            CampaignSpec(kind="world", grid_points=0)
+
+    def test_bad_screen_mode(self):
+        with pytest.raises(SpecError, match="unknown screen mode"):
+            CampaignSpec(kind="world", screen="auto")
+
+    def test_world_json_roundtrip_carries_screen(self):
+        spec = CampaignSpec(kind="world", grid_points=120, screen="on")
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone.grid_points == 120
+        assert clone.screen == "on"
+        assert clone == spec
+
+    def test_describe_marks_screened_sweeps(self):
+        screened = CampaignSpec(kind="world", grid_points=120, screen="on")
+        plain = CampaignSpec(kind="world", grid_points=120)
+        assert "screened" in screened.describe()
+        assert "screened" not in plain.describe()
+
+    def test_grid_points_change_cache_keys(self):
+        # Cache keys follow the coordinate-encoded climate names: two
+        # densities share keys exactly where their lattices coincide,
+        # and nowhere else — same physical cell, one cache entry.
+        from repro.weather.locations import world_grid
+
+        coarse = CampaignSpec(kind="world", grid_points=24, sample_every_days=365)
+        dense = CampaignSpec(kind="world", grid_points=120, sample_every_days=365)
+        coarse_keys = {task_cache_key(t) for t in coarse.expand()}
+        dense_keys = {task_cache_key(t) for t in dense.expand()}
+        shared_names = {c.name for c in world_grid(24)} & {
+            c.name for c in world_grid(120)
+        }
+        # Two cells (baseline + CoolAir) per shared coordinate.
+        assert len(coarse_keys & dense_keys) == 2 * len(shared_names)
+        assert coarse_keys != dense_keys

@@ -75,3 +75,158 @@ class TestWorldSummaryEdges:
         )
         assert summary.fraction_range_worsened == 0.5
         assert summary.worst_range_increase_c == pytest.approx(0.5)
+
+
+class TestEmptySummary:
+    def test_empty_summary_is_safe(self):
+        import math
+
+        summary = WorldSummary(comparisons=())
+        assert math.isnan(summary.avg_baseline_max_range_c)
+        assert math.isnan(summary.avg_coolair_pue)
+        assert summary.fraction_range_worsened == 0.0
+        assert summary.worst_range_increase_c == 0.0
+        assert summary.headline() == "no locations compared yet"
+        assert summary.provenance_counts() == {}
+        assert sum(summary.range_bucket_counts().values()) == 0
+
+    def test_provenance_counts(self):
+        summary = WorldSummary(
+            comparisons=(
+                comparison(),
+                comparison(),
+            )
+        )
+        assert summary.provenance_counts() == {"simulated": 2}
+
+
+class TestAccumulatorServing:
+    def grid(self, n=3):
+        from repro.weather.climate import Climate
+
+        return [
+            Climate(
+                name=f"g{i}",
+                latitude=10.0 * i,
+                longitude=5.0 * i,
+                mean_temp_c=15.0 + i,
+                seasonal_amplitude_c=8.0,
+                diurnal_amplitude_c=6.0,
+            )
+            for i in range(n)
+        ]
+
+    def make(self, n=3):
+        from repro.analysis.worldmap import StreamingWorldAccumulator
+
+        return StreamingWorldAccumulator(self.grid(n), "All-ND")
+
+    def test_serve_fills_location(self):
+        acc = self.make()
+        acc.serve("g1", [12.0, 8.0, 1.08, 1.09], "surrogate_only")
+        assert acc.location_metrics("g1") == [12.0, 8.0, 1.08, 1.09]
+        assert acc.provenance_counts() == {"surrogate_only": 1}
+
+    def test_serve_unknown_location(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            self.make().serve("nowhere", [1.0, 1.0, 1.0, 1.0], "surrogate_only")
+
+    def test_serve_wrong_width(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            self.make().serve("g0", [1.0], "surrogate_only")
+
+    def test_serve_never_overwrites_simulated(self):
+        class Task:
+            def __init__(self, system, climate):
+                self.system = system
+                self.climate = climate
+
+        class Result:
+            def __init__(self, max_range_c, pue):
+                self.max_range_c = max_range_c
+                self.pue = pue
+
+        acc = self.make()
+        target = self.grid()[0]
+        acc.consume(0, Task("baseline", target), Result(14.0, 1.10))
+        acc.serve("g0", [1.0, 1.0, 1.0, 1.0], "surrogate_only")
+        acc.consume(0, Task("All-ND", target), Result(9.0, 1.11))
+        assert acc.location_metrics("g0") == [14.0, 9.0, 1.10, 1.11]
+        assert acc.provenance_counts() == {"simulated": 1}
+
+    def test_partial_summary_mid_stream(self):
+        from repro.errors import SimulationError
+
+        acc = self.make()
+        with pytest.raises(SimulationError):
+            acc.summary()
+        assert acc.summary(partial=True).comparisons == ()
+        acc.serve("g2", [12.0, 8.0, 1.08, 1.09], "served_from_cluster")
+        partial = acc.summary(partial=True)
+        assert len(partial.comparisons) == 1
+        assert partial.comparisons[0].provenance == "served_from_cluster"
+
+
+class TestWorldMapRendering:
+    def summary_at(self, points):
+        return WorldSummary(
+            comparisons=tuple(
+                comparison(base_range=15.0 + v, lat=lat, lon=lon)
+                for lat, lon, v in points
+            )
+        )
+
+    def test_fixed_raster_size(self):
+        from repro.analysis.worldmap import render_world_map
+
+        summary = self.summary_at([(40.0, -70.0, 0.0), (-30.0, 150.0, 5.0)])
+        text = render_world_map(summary, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10 + 3  # borders + legend
+        assert all(len(line) == 42 for line in lines[:-1])
+
+    def test_dense_grid_downsamples_to_same_raster(self):
+        from repro.analysis.worldmap import render_world_map
+
+        points = [
+            (60.0 - 0.2 * i, -180.0 + 0.35 * i, (i % 7) * 1.0)
+            for i in range(1000)
+        ]
+        text = render_world_map(self.summary_at(points), width=40, height=10)
+        assert len(text.splitlines()) == 13
+
+    def test_occupied_tiles_never_blank(self):
+        from repro.analysis.worldmap import render_world_map
+
+        # Two locations with identical values: span collapses, both
+        # must still render a visible glyph.
+        summary = self.summary_at([(40.0, -70.0, 0.0), (-30.0, 150.0, 0.0)])
+        body = render_world_map(summary, width=40, height=10).splitlines()[1:-2]
+        glyphs = "".join(body).replace("|", "").replace(" ", "")
+        assert len(glyphs) == 2
+
+    def test_empty_summary_renders_blank_map(self):
+        from repro.analysis.worldmap import render_world_map
+
+        text = render_world_map(WorldSummary(comparisons=()))
+        assert "no locations to map" in text
+
+    def test_bad_metric_and_raster(self):
+        from repro.analysis.worldmap import render_world_map
+        from repro.errors import SimulationError
+
+        summary = self.summary_at([(40.0, 0.0, 1.0)])
+        with pytest.raises(SimulationError):
+            render_world_map(summary, metric="violations")
+        with pytest.raises(SimulationError):
+            render_world_map(summary, width=4, height=2)
+
+    def test_pue_metric_legend(self):
+        from repro.analysis.worldmap import render_world_map
+
+        summary = self.summary_at([(40.0, 0.0, 1.0), (10.0, 30.0, 3.0)])
+        assert "PUE reduction" in render_world_map(summary, metric="pue")
