@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro import artifacts
 from repro.core.config import CoolAirConfig
+from repro.errors import ConfigError
 from repro.core.versions import ALL_VERSIONS
 from repro.sim.campaign import trained_cooling_model
 from repro.sim.yearsim import YearResult, run_year
@@ -62,7 +63,9 @@ CACHE_DIR = pathlib.Path(
 # Bump whenever the simulator or the YearResult payload changes meaning:
 # entries written under a different schema version are recomputed.
 # v3: half-up sensor quantization + daily_degraded_fraction payload field.
-CACHE_SCHEMA_VERSION = 3
+# v4: day boundaries reset actuator/latch/disk state, making sampled days
+#     independent (the invariant behind day-unfolded lane scheduling).
+CACHE_SCHEMA_VERSION = 4
 
 DEFAULT_SAMPLE_DAYS = int(os.environ.get("REPRO_SAMPLE_DAYS", "14"))
 DEFAULT_TRACE_JOBS = int(os.environ.get("REPRO_TRACE_JOBS", "1200"))
@@ -80,6 +83,37 @@ SIM_ENGINES = ("lanes", "scalar")
 # How many scenarios each lane-batched chunk steps in lockstep (see
 # ``run_year_lanes``); composes with worker processes as workers x lanes.
 DEFAULT_LANES = int(os.environ.get("REPRO_LANES", "8"))
+
+
+def resolve_day_lanes(
+    day_lanes: Optional[int] = None, lanes: Optional[int] = None
+) -> int:
+    """The day-unfold width a run should use (1 = stay day-sequential).
+
+    An explicit ``day_lanes`` argument always wins.  Otherwise
+    ``REPRO_DAY_UNFOLD`` decides: unset/``0`` keeps the day-sequential
+    path, ``1`` unfolds to the run's lane width (``lanes`` if given, else
+    ``REPRO_LANES``), and any other integer is an explicit width.  Read
+    per call so spawned workers inherit it through the environment.
+    """
+    if day_lanes is not None:
+        if day_lanes < 1:
+            raise ConfigError(f"day_lanes must be >= 1, got {day_lanes}")
+        return int(day_lanes)
+    raw = os.environ.get("REPRO_DAY_UNFOLD", "0").strip()
+    if raw in ("", "0"):
+        return 1
+    if raw == "1":
+        return lanes if lanes is not None else DEFAULT_LANES
+    try:
+        width = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_DAY_UNFOLD must be a non-negative integer, got {raw!r}"
+        )
+    if width < 1:
+        raise ConfigError(f"REPRO_DAY_UNFOLD must be >= 0, got {raw!r}")
+    return width
 
 _memory_cache: Dict[str, YearResult] = {}
 _trace_cache: Dict[str, Trace] = {}
@@ -210,6 +244,38 @@ def _resolve_system(
     return system, label
 
 
+def day_unfold_eligible(
+    system: Union[str, CoolAirConfig],
+    deferrable: bool = False,
+    engine: Optional[str] = None,
+) -> bool:
+    """Whether a cell's sampled days may be unfolded into lanes.
+
+    Day-unfolding simulates a year's sampled days side by side, which is
+    only valid when every day is provably independent of the days before
+    it.  Three things break that today and route to the day-sequential
+    path instead:
+
+    * the scalar engine (faulted cells and exotic timing already fall
+      back there via :func:`effective_engine` — fault schedules are
+      day-granular state the unfold cannot replay);
+    * deferrable workloads (their traces exist to be temporally
+      rescheduled); and
+    * any temporal-scheduling policy other than ``NONE`` (the scheduler
+      mutates job start times across days — All-DEF and Energy-DEF).
+    """
+    system, _ = _resolve_system(system)
+    if effective_engine(system, engine) != "lanes":
+        return False
+    if deferrable:
+        return False
+    if isinstance(system, str):
+        return True
+    from repro.core.config import TemporalPolicy
+
+    return system.temporal is TemporalPolicy.NONE
+
+
 def cache_key(
     system: Union[str, CoolAirConfig],
     climate: Climate,
@@ -311,6 +377,7 @@ def year_result(
     forecast_bias_c: float = 0.0,
     use_disk_cache: bool = True,
     engine: Optional[str] = None,
+    day_lanes: Optional[int] = None,
 ) -> YearResult:
     """One cached year run.
 
@@ -318,7 +385,10 @@ def year_result(
     ``"All-ND"``), or an explicit :class:`CoolAirConfig`.  ``engine``
     selects the numeric path (default ``REPRO_SIM_ENGINE``); a single
     task runs as a one-lane batch under the lane engine, bit-identical to
-    the scalar reference.
+    the scalar reference.  ``day_lanes`` > 1 (default
+    ``REPRO_DAY_UNFOLD``) unfolds an eligible cell's sampled days into
+    that many lanes stepped in lockstep — bit-identical again, so the
+    cache key does not record it.
     """
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
     system, _ = _resolve_system(system)
@@ -339,20 +409,27 @@ def year_result(
         gaps = system.faults.log_gaps if system.faults is not None else ()
         model = trained_cooling_model(log_gaps=gaps)
     if engine == "lanes":
-        from repro.sim.lanes import LaneScenario, run_year_lanes
-
-        (result,) = run_year_lanes(
-            [
-                LaneScenario(
-                    system=system,
-                    climate=climate,
-                    trace=trace,
-                    forecast_bias_c=forecast_bias_c,
-                )
-            ],
-            model=model,
-            sample_every_days=sample,
+        from repro.sim.lanes import (
+            LaneScenario,
+            run_year_lanes,
+            run_year_unfolded,
         )
+
+        scenario = LaneScenario(
+            system=system,
+            climate=climate,
+            trace=trace,
+            forecast_bias_c=forecast_bias_c,
+        )
+        width = resolve_day_lanes(day_lanes)
+        if width > 1 and day_unfold_eligible(system, deferrable, engine):
+            result = run_year_unfolded(
+                scenario, width, model=model, sample_every_days=sample
+            )
+        else:
+            (result,) = run_year_lanes(
+                [scenario], model=model, sample_every_days=sample
+            )
     else:
         result = run_year(
             system,
@@ -383,6 +460,7 @@ def five_location_matrix(
     sample_every_days: Optional[int] = None,
     workers: Optional[int] = None,
     lanes: Optional[int] = None,
+    day_lanes: Optional[int] = None,
     progress=None,
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
@@ -420,6 +498,7 @@ def five_location_matrix(
         tasks,
         workers=workers,
         lanes=lanes,
+        day_lanes=day_lanes,
         progress=progress,
         task_retries=task_retries,
         task_timeout_s=task_timeout_s,
@@ -446,6 +525,7 @@ def world_sweep(
     sample_every_days: Optional[int] = None,
     workers: Optional[int] = None,
     lanes: Optional[int] = None,
+    day_lanes: Optional[int] = None,
     progress=None,
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
@@ -492,6 +572,7 @@ def world_sweep(
             sample_every_days=sample_every_days,
             workers=workers,
             lanes=lanes,
+            day_lanes=day_lanes,
             progress=progress,
             task_retries=task_retries,
             task_timeout_s=task_timeout_s,
@@ -515,6 +596,7 @@ def world_sweep(
             tasks,
             workers=workers,
             lanes=lanes,
+            day_lanes=day_lanes,
             progress=progress,
             task_retries=task_retries,
             task_timeout_s=task_timeout_s,
@@ -527,6 +609,7 @@ def world_sweep(
         tasks,
         workers=workers,
         lanes=lanes,
+        day_lanes=day_lanes,
         progress=progress,
         task_retries=task_retries,
         task_timeout_s=task_timeout_s,
@@ -561,6 +644,7 @@ def _screened_world_sweep(
     sample_every_days: Optional[int] = None,
     workers: Optional[int] = None,
     lanes: Optional[int] = None,
+    day_lanes: Optional[int] = None,
     progress=None,
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
@@ -591,6 +675,7 @@ def _screened_world_sweep(
     accumulator = StreamingWorldAccumulator(climates, coolair_system)
     common = dict(
         workers=workers,
+        day_lanes=day_lanes,
         progress=progress,
         task_retries=task_retries,
         task_timeout_s=task_timeout_s,

@@ -85,6 +85,13 @@ CHUNK_WORLD_GRID = 24
 CHUNK_WORLD_STRIDE = 6
 MATRIX_LOCATIONS = ("Newark", "Chad")
 
+# year_unfold: one All-ND year at Newark with its sampled days unfolded
+# into lockstep lanes (see bench_year_unfold).  Stride 46 samples 8 days,
+# filling the 8 lanes in a single batch.
+UNFOLD_STRIDE_DAYS = 46
+UNFOLD_DAY_LANES = 8
+UNFOLD_TRACE_JOBS = 400
+
 # world_sweep_stream: a cold-session world sweep through the campaign
 # data plane (see bench_world_sweep_stream).
 SWEEP_LOCATIONS = 24
@@ -266,6 +273,58 @@ def _lane_chunk_factory(
         )
 
     return run
+
+
+def bench_year_unfold(
+    model: CoolingModel, repeats: int = 2, unfold: bool = True
+) -> Dict[str, float]:
+    """One cell's year with its sampled days unfolded into lanes.
+
+    Runs All-ND at Newark over the 8 days a 46-day stride samples, all
+    stepped as one 8-lane lockstep batch (:func:`run_year_unfolded`) —
+    the day-unfolded scheduling ``--day-lanes`` / ``REPRO_DAY_UNFOLD``
+    turns on for single cells and remainder chunks.  The recorded
+    baseline ran the identical cell through the day-sequential lane path
+    (``unfold=False``, also used once to record that entry), so
+    ``speedup_vs_baseline`` reads as the unfold win at this shape.
+    """
+    from repro.sim.lanes import LaneScenario, run_year_lanes, run_year_unfolded
+    from repro.sim.yearsim import sampled_days
+
+    trace = FacebookTraceGenerator(
+        num_jobs=UNFOLD_TRACE_JOBS, seed=42
+    ).generate()
+    scenario = LaneScenario(
+        system=ALL_VERSIONS[BENCH_SYSTEM](),
+        climate=NAMED_LOCATIONS[BENCH_LOCATION],
+        trace=trace,
+    )
+
+    def run() -> object:
+        if unfold:
+            return run_year_unfolded(
+                scenario,
+                UNFOLD_DAY_LANES,
+                model=model,
+                sample_every_days=UNFOLD_STRIDE_DAYS,
+            )
+        (result,) = run_year_lanes(
+            [scenario], model=model, sample_every_days=UNFOLD_STRIDE_DAYS
+        )
+        return result
+
+    run()  # warm TMY/forecast caches so repeats time the simulation
+    median_s = _median_time(run, repeats)
+    days = len(sampled_days(UNFOLD_STRIDE_DAYS))
+    return {
+        "median_s": median_s,
+        "days": days,
+        "day_lanes": UNFOLD_DAY_LANES if unfold else 1,
+        "sample_every_days": UNFOLD_STRIDE_DAYS,
+        "trace_jobs": UNFOLD_TRACE_JOBS,
+        "s_per_day": median_s / days,
+        "days_per_s": days / median_s,
+    }
 
 
 def bench_world_chunk(
@@ -591,6 +650,7 @@ def run_bench(
             model, decisions=10, repeats=1
         )
         results["day_sim"] = bench_day_sim(model, repeats=1)
+        results["year_unfold"] = bench_year_unfold(model, repeats=1)
         results["world_chunk"] = bench_world_chunk(model, repeats=1, quick=True)
         results["world_100k"] = bench_world_100k(quick=True)
     else:
@@ -598,6 +658,7 @@ def run_bench(
         results["optimizer_decision"] = bench_optimizer_decision(model)
         results["day_sim"] = bench_day_sim(model)
         results["year_sample"] = bench_year_sample(model)
+        results["year_unfold"] = bench_year_unfold(model)
         results["world_chunk"] = bench_world_chunk(model)
         results["matrix"] = bench_matrix(model)
         results["world_sweep_stream"] = bench_world_sweep_stream()
@@ -755,6 +816,14 @@ TRACKED_METRICS: Dict[str, Dict] = {
     "day_sim": {"metric": "median_s", "better": "lower", "shape": ()},
     "year_sample": {
         "metric": "s_per_day", "better": "lower", "shape": ("days",),
+    },
+    # The recorded baseline ran the identical cell day-sequentially, so
+    # the shape deliberately excludes day_lanes: the comparison *is*
+    # unfolded-vs-sequential at the same workload shape.
+    "year_unfold": {
+        "metric": "s_per_day",
+        "better": "lower",
+        "shape": ("days", "sample_every_days", "trace_jobs"),
     },
     "world_chunk": {
         "metric": "s_per_lane", "better": "lower", "shape": ("lanes",),

@@ -43,13 +43,17 @@ serialization as a disk-cache hit.
 Public contract (the campaign service, :mod:`repro.service`, builds on
 exactly these guarantees — keep them):
 
-* **Pool-safe worker entry points.**  :func:`_execute_task_payload` and
-  :func:`_execute_lane_chunk_payload` are the only functions shipped to
+* **Pool-safe worker entry points.**  :func:`_execute_task_payload`,
+  :func:`_execute_lane_chunk_payload`, and
+  :func:`_execute_day_chunk_payload` are the only functions shipped to
   worker processes.  They take plain picklable data (:class:`YearTask`),
   return plain JSON payloads, read every ``REPRO_*`` artifact/cache knob
   from the environment per call, and persist results through the atomic
   disk cache — so any number of pools, in any number of parent
   processes, may run them concurrently against the same cache directory.
+  (Day chunks are the one exception to worker-side persistence: they
+  return per-day fragments, and the parent folding them into a whole
+  cell is the writer.)
 * **Pool lifetime is the caller's.**  :class:`WorkerPool` owns a
   persistent ``ProcessPoolExecutor`` that survives across
   :func:`run_year_tasks` calls (pass it as ``pool=``); without one the
@@ -83,7 +87,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CoolAirConfig
 from repro.errors import ReproError, TaskExecutionError
-from repro.sim.yearsim import YearResult
+from repro.sim.yearsim import YearResult, sampled_days
 from repro.weather.climate import Climate
 
 logger = logging.getLogger("repro.analysis.runner")
@@ -113,6 +117,12 @@ class YearTask:
     deferrable: bool = False
     sample_every_days: Optional[int] = None
     forecast_bias_c: float = 0.0
+    # Day-unfold width for in-worker execution (see
+    # ``experiments.year_result``): > 1 steps an eligible cell's sampled
+    # days as lockstep lanes inside the worker.  Bit-identical to the
+    # day-sequential run, so cache keys ignore it (and cross-request
+    # dedupe in the service is unaffected).
+    day_lanes: Optional[int] = None
 
     def label(self) -> str:
         name = self.system if isinstance(self.system, str) else self.system.name
@@ -321,6 +331,7 @@ def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
         sample_every_days=task.sample_every_days,
         forecast_bias_c=task.forecast_bias_c,
         use_disk_cache=use_disk_cache,
+        day_lanes=task.day_lanes,
     )
 
 
@@ -404,6 +415,83 @@ def _execute_lane_chunk_payload(
     return [experiments._result_to_json(result) for result in results]
 
 
+# The scalar reference's violation threshold (``run_year``'s default);
+# day-chunk workers compute per-day violations at it so temperature
+# arrays never cross the process boundary.
+_VIOLATION_THRESHOLD_C = 30.0
+
+
+def _run_day_chunk(
+    items: Sequence[Tuple[YearTask, int]], use_disk_cache: bool
+) -> List[dict]:
+    """Run a chunk of ``(cell, day)`` work items as one lockstep batch.
+
+    Each item occupies one lane: its cell's scenario replicated at that
+    item's sampled day.  Items may mix cells (and strides) freely — every
+    lane carries its own day — and sibling items of one cell share the
+    cell's trace and trained model, so the lane-combo plan cache hits
+    across them.  Returns one compact per-day metrics dict per item; the
+    parent folds them back into :class:`YearResult`s in day order
+    (``use_disk_cache`` is unused here — only whole cells are cached, by
+    the parent, after the fold).
+    """
+    from repro.analysis import experiments
+    from repro.sim.campaign import trained_cooling_model
+    from repro.sim.lanes import LaneRunner, LaneScenario
+    from repro.sim.trace import avg_violation_from
+
+    scenarios = []
+    days = []
+    needs_model = False
+    for task, day in items:
+        system, _ = experiments._resolve_system(task.system)
+        if not isinstance(system, str):
+            needs_model = True
+        trace = (
+            experiments.facebook_trace(task.deferrable)
+            if task.workload == "facebook"
+            else experiments.nutch_trace(task.deferrable)
+        )
+        scenarios.append(
+            LaneScenario(
+                system=system,
+                climate=task.climate,
+                trace=trace,
+                forecast_bias_c=task.forecast_bias_c,
+            )
+        )
+        days.append(int(day))
+    model = trained_cooling_model() if needs_model else None
+    runner = LaneRunner(scenarios, model=model)
+    metrics, _ = runner.run_day(days)
+    return [
+        {
+            "worst_range_c": day_metrics["worst_range_c"],
+            "outside_range_c": day_metrics["outside_range_c"],
+            "avg_violation_c": avg_violation_from(
+                day_metrics["temps"], _VIOLATION_THRESHOLD_C
+            ),
+            "max_rate_c_per_hour": day_metrics["max_rate_c_per_hour"],
+            "cooling_kwh": day_metrics["cooling_kwh"],
+            "it_kwh": day_metrics["it_kwh"],
+        }
+        for day_metrics in metrics
+    ]
+
+
+def _execute_day_chunk_payload(
+    items: Sequence[Tuple[YearTask, int]], use_disk_cache: bool
+) -> List[dict]:
+    """Worker entry point: run a ``(cell, day)`` chunk, return day dicts."""
+    try:
+        return _run_day_chunk(items, use_disk_cache)
+    except Exception as err:
+        labels = "; ".join(
+            f"{task.label()} day {day}" for task, day in items
+        )
+        raise _wrap_error(f"day chunk [{labels}]", err) from err
+
+
 def _warm_shared_state(tasks: Sequence[YearTask]) -> None:
     """Materialize traces and every needed cooling model before the pool.
 
@@ -480,6 +568,7 @@ def run_year_tasks(
     use_disk_cache: bool = True,
     progress: Optional[ProgressCallback] = None,
     lanes: Optional[int] = None,
+    day_lanes: Optional[int] = None,
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
     backoff_s: float = RETRY_BACKOFF_S,
@@ -500,6 +589,18 @@ def run_year_tasks(
     composing with the process pool as workers x lanes — and ``lanes=1``
     (or ``REPRO_SIM_ENGINE=scalar``) restores strictly per-cell runs.
     Results are bit-identical however the work is split.
+
+    ``day_lanes`` (default ``REPRO_DAY_UNFOLD``) unfolds each eligible
+    cell's sampled days into ``(cell, day)`` work items: consecutive runs
+    of up to ``day_lanes`` items — sibling days of one cell, or a mix of
+    cells — become one lockstep lane batch per chunk, and the per-day
+    metrics are folded back into each cell's :class:`YearResult` in day
+    order, bit-identical to the day-sequential run.  Cells whose days are
+    not provably independent (faulted, deferrable, temporal scheduling —
+    see :func:`repro.analysis.experiments.day_unfold_eligible`) keep the
+    day-sequential path, and serial/fallback execution of an unfolded
+    cell uses the in-worker unfold (``experiments.year_result`` with
+    ``day_lanes``) so every path computes the same bits.
 
     Streaming: ``consume`` is called with ``(index, task, result)`` as
     each cell completes (cache hits included), in completion order, and
@@ -547,6 +648,7 @@ def run_year_tasks(
     ):
         lanes = cost_model.suggested_lanes()
     lanes = resolve_lanes(lanes)
+    day_width = experiments.resolve_day_lanes(day_lanes, lanes)
     retries = resolve_task_retries(task_retries)
     timeout_s = resolve_task_timeout(task_timeout_s)
     ctx_name = resolve_mp_context(mp_context)
@@ -555,6 +657,11 @@ def run_year_tasks(
     # ``keep_results=False`` a finished cell's slot stays ``None``, so
     # recovery logic keys off these flags, never off the slots.
     completed = [False] * len(tasks)
+    # Cells that exhausted retries (reported via ``failures``): recovery
+    # must not resurrect them — unlike singles/lane chunks, a day-unfolded
+    # cell's days span several futures, so a failed cell can still appear
+    # in an outstanding future when the pool breaks.
+    failed_perm: set = set()
     done = 0
 
     def tick(task: YearTask) -> None:
@@ -573,6 +680,7 @@ def run_year_tasks(
         tick(tasks[index])
 
     def fail(index: int, err: BaseException, attempts: int) -> None:
+        failed_perm.add(index)
         error = _wrap_error(tasks[index].label(), err)
         if failures is None:
             raise error
@@ -603,6 +711,28 @@ def run_year_tasks(
         else:
             pending.append(index)
 
+    # Day-unfolding: ``etasks`` are the *execution* tasks — an eligible
+    # cell gets its unfold width stamped on, so every execution path that
+    # runs a whole cell (serial, single resubmit, broken-pool recovery)
+    # still unfolds in-worker via ``experiments.year_result``.  Reporting
+    # (record/fail/consume/progress/cache keys) always uses the original
+    # ``tasks``; the two differ only in ``day_lanes``, which cache keys
+    # and labels ignore.
+    etasks: List[YearTask] = list(tasks)
+    day_cells: List[int] = []
+    if day_width > 1:
+        for index in pending:
+            task = tasks[index]
+            if experiments.day_unfold_eligible(task.system, task.deferrable):
+                width = (
+                    task.day_lanes if task.day_lanes is not None else day_width
+                )
+                if width > 1:
+                    etasks[index] = dataclasses.replace(
+                        task, day_lanes=width
+                    )
+                    day_cells.append(index)
+
     exec_start = time.perf_counter()
 
     def observe_cost() -> None:
@@ -617,7 +747,7 @@ def run_year_tasks(
         """One cell in-process, with retries; records result or failure."""
         try:
             result = _run_task_with_retries(
-                tasks[index],
+                etasks[index],
                 use_disk_cache,
                 retries,
                 backoff_s,
@@ -628,14 +758,18 @@ def run_year_tasks(
         except TaskExecutionError as err:
             fail(index, err, attempts=retries + 1)
 
-    # Partition the uncached cells: lane-engine-compatible cells group by
+    # Partition the uncached cells: day-unfolded cells expand into
+    # (cell, day) work items; other lane-engine-compatible cells group by
     # sampling stride (a lane batch steps all lanes over the same days);
     # everything else — exotic-timing or faulted configs, the scalar
     # engine, lanes=1 — runs one cell at a time.
+    unfolded = set(day_cells)
     singles: List[int] = []
     lane_groups: dict = {}
     if lanes > 1:
         for index in pending:
+            if index in unfolded:
+                continue
             system, _ = experiments._resolve_system(tasks[index].system)
             if experiments.effective_engine(system) == "lanes":
                 sample = (
@@ -646,7 +780,7 @@ def run_year_tasks(
             else:
                 singles.append(index)
     else:
-        singles = list(pending)
+        singles = [i for i in pending if i not in unfolded]
 
     chunks: List[List[int]] = []
     for indices in lane_groups.values():
@@ -656,7 +790,34 @@ def run_year_tasks(
         for i in range(0, len(indices), size):
             chunks.append(indices[i : i + size])
 
-    if workers == 1 or (len(singles) + len(chunks)) <= 1:
+    # (cell index, day position, day) work items for the unfolded cells,
+    # in cell-then-day order, sliced into lockstep chunks of up to
+    # ``day_width`` lanes.  Chunks may straddle cells — every lane carries
+    # its own day — and the per-cell ``day_state`` fold reassembles each
+    # cell's payloads in day position regardless of completion order.
+    day_items: List[Tuple[int, int, int]] = []
+    day_state: Dict[int, dict] = {}
+    for index in day_cells:
+        days = sampled_days(
+            tasks[index].sample_every_days or experiments.DEFAULT_SAMPLE_DAYS
+        )
+        day_state[index] = {
+            "days": days,
+            "payloads": [None] * len(days),
+            "filled": 0,
+            "failed": False,
+        }
+        for pos, day in enumerate(days):
+            day_items.append((index, pos, day))
+
+    day_chunks: List[List[Tuple[int, int, int]]] = []
+    if day_items:
+        # Spread across workers before filling lanes, like lane chunks.
+        size = max(1, min(day_width, -(-len(day_items) // workers)))
+        for i in range(0, len(day_items), size):
+            day_chunks.append(day_items[i : i + size])
+
+    if workers == 1 or (len(singles) + len(chunks) + len(day_cells)) <= 1:
         for chunk in chunks:
             try:
                 chunk_results = _run_lane_chunk(
@@ -676,6 +837,11 @@ def run_year_tasks(
                 continue
             for index, result in zip(chunk, chunk_results):
                 record(index, result)
+        # Unfolded cells run whole-cell in-process: the stamped etask
+        # routes ``year_result`` through ``run_year_unfolded``, which
+        # computes the same lockstep batches a pooled run would.
+        for index in day_cells:
+            run_serial_cell(index)
         for index in singles:
             run_serial_cell(index)
         observe_cost()
@@ -683,7 +849,8 @@ def run_year_tasks(
 
     _warm_shared_state([tasks[i] for i in pending])
 
-    # index targets are ints (single cells) or lists of ints (lane chunks).
+    # index targets are ints (single cells), lists of ints (lane chunks),
+    # or ("days", items) tuples (day-unfolded chunks).
     futures: dict = {}
     attempts: Dict[Tuple[int, ...], int] = {}
     lost: List[int] = []
@@ -691,7 +858,9 @@ def run_year_tasks(
     owned = pool is None
     if owned:
         executor = ProcessPoolExecutor(
-            max_workers=min(workers, len(singles) + len(chunks)),
+            max_workers=min(
+                workers, len(singles) + len(chunks) + len(day_chunks)
+            ),
             mp_context=(
                 multiprocessing.get_context(ctx_name) if ctx_name else None
             ),
@@ -723,7 +892,7 @@ def run_year_tasks(
         nonlocal broken
         try:
             future = executor.submit(
-                _execute_task_payload, tasks[index], use_disk_cache
+                _execute_task_payload, etasks[index], use_disk_cache
             )
         except BrokenProcessPool:
             broken = True
@@ -735,7 +904,90 @@ def run_year_tasks(
         futures[future] = index
         not_done.add(future)
 
+    def submit_day_chunk(items: List[Tuple[int, int, int]]) -> None:
+        nonlocal broken
+        cells = sorted({i for i, _, _ in items})
+        try:
+            future = executor.submit(
+                _execute_day_chunk_payload,
+                [(tasks[i], day) for i, _, day in items],
+                use_disk_cache,
+            )
+        except BrokenProcessPool:
+            broken = True
+            lost.extend(cells)
+            return
+        except RuntimeError:
+            lost.extend(cells)
+            return
+        futures[future] = ("days", items)
+        not_done.add(future)
+
+    def fold_day_cell(index: int) -> None:
+        """All of a cell's day payloads arrived: fold them in day order.
+
+        Appends and energy accumulation visit the days in sampled order —
+        the same float additions in the same order as the scalar
+        ``run_year`` — so the folded result is bit-identical to the
+        day-sequential cell.  The parent is the cache writer for day
+        chunks (workers only ever see fragments of the cell).
+        """
+        task = tasks[index]
+        state = day_state.pop(index)
+        payloads = state["payloads"]
+        system, _ = experiments._resolve_system(task.system)
+        result = YearResult(
+            label="Baseline" if isinstance(system, str) else system.name,
+            climate_name=task.climate.name,
+            sampled_days=state["days"],
+            daily_worst_range_c=[p["worst_range_c"] for p in payloads],
+            daily_outside_range_c=[p["outside_range_c"] for p in payloads],
+            daily_avg_violation_c=[p["avg_violation_c"] for p in payloads],
+            daily_max_rate_c_per_hour=[
+                p["max_rate_c_per_hour"] for p in payloads
+            ],
+            cooling_kwh=0.0,
+            it_kwh=0.0,
+            # Unfold-eligible cells never run faulted, so no step
+            # degrades; 0.0 matches the scalar mean-of-no-flags exactly.
+            daily_degraded_fraction=[0.0] * len(payloads),
+        )
+        for payload in payloads:
+            result.cooling_kwh += payload["cooling_kwh"]
+            result.it_kwh += payload["it_kwh"]
+        key = task_key(index)
+        if use_disk_cache:
+            experiments._write_disk_entry(key, result)
+        if keep_results:
+            experiments.store_result(key, result, use_disk_cache=False)
+        record(index, result)
+
+    def day_cell_failed(index: int, err: BaseException) -> None:
+        """A chunk carrying one of this cell's days failed.
+
+        The whole cell falls back to a single-cell resubmission (which
+        still unfolds in-worker via its stamped etask), inheriting the
+        attempt count; sibling day payloads still in flight are ignored
+        once the cell is marked failed.
+        """
+        state = day_state.get(index)
+        if state is None or state["failed"]:
+            return
+        state["failed"] = True
+        key = (index,)
+        attempts[key] = attempts.get(key, 0) + 1
+        used = attempts[key]
+        if used > retries:
+            fail(index, err, attempts=used)
+            return
+        _note_retry(retried, tasks[index], used, err)
+        if backoff_s > 0:
+            time.sleep(backoff_s * (2 ** (used - 1)))
+        submit_single(index)
+
     try:
+        for items in day_chunks:
+            submit_day_chunk(items)
         for chunk in chunks:
             submit_chunk(chunk)
         for index in singles:
@@ -755,6 +1007,30 @@ def run_year_tasks(
                 break
             for future in finished:
                 target = futures.pop(future)
+                if isinstance(target, tuple):
+                    items = target[1]
+                    cells = sorted({i for i, _, _ in items})
+                    try:
+                        day_payloads = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        lost.extend(i for i in cells if not completed[i])
+                        continue
+                    except Exception as err:  # noqa: BLE001 - typed + retried
+                        for index in cells:
+                            day_cell_failed(index, err)
+                        continue
+                    for (index, pos, _day), payload in zip(
+                        items, day_payloads
+                    ):
+                        state = day_state.get(index)
+                        if state is None or state["failed"]:
+                            continue
+                        state["payloads"][pos] = payload
+                        state["filled"] += 1
+                        if state["filled"] == len(state["payloads"]):
+                            fold_day_cell(index)
+                    continue
                 indices = target if isinstance(target, list) else [target]
                 try:
                     payloads = future.result()
@@ -819,9 +1095,14 @@ def run_year_tasks(
     if broken or lost:
         for future, target in list(futures.items()):
             future.cancel()
-            indices = target if isinstance(target, list) else [target]
+            if isinstance(target, tuple):
+                indices = sorted({i for i, _, _ in target[1]})
+            else:
+                indices = target if isinstance(target, list) else [target]
             lost.extend(i for i in indices if not completed[i])
-        recover = sorted(set(i for i in lost if not completed[i]))
+        recover = sorted(
+            set(i for i in lost if not completed[i] and i not in failed_perm)
+        )
         if recover:
             logger.warning(
                 "recovering %d unfinished cell(s) serially in the parent",

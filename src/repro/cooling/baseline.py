@@ -46,6 +46,10 @@ class BaselineController:
     def setpoint_c(self) -> float:
         return self.tks.config.setpoint_c
 
+    def reset(self) -> None:
+        """Clear the TKS latches (day-boundary state)."""
+        self.tks.reset()
+
     def decide(
         self,
         control_temp_c: float,
@@ -88,6 +92,10 @@ class LaneBaselineController:
         config.setpoint_c = setpoint_c
         self.tks = LaneTKSController(num_lanes, config)
         self.max_rh_pct = max_rh_pct
+
+    def reset(self) -> None:
+        """Clear every lane's TKS latches (day-boundary state)."""
+        self.tks.reset()
 
     def decide(
         self,

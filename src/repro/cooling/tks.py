@@ -61,6 +61,11 @@ class TKSController:
     def in_hot_mode(self) -> bool:
         return self._hot_mode
 
+    def reset(self) -> None:
+        """Clear the HOT/LOT and compressor latches (day-boundary state)."""
+        self._hot_mode = False
+        self._compressor_on = False
+
     def set_setpoint(self, setpoint_c: float) -> None:
         """Change SP — the knob CoolAir's Configurer drives (Section 4.2)."""
         self.config.setpoint_c = setpoint_c
@@ -136,6 +141,11 @@ class LaneTKSController:
     @property
     def in_hot_mode(self) -> np.ndarray:
         return self._hot_mode.copy()
+
+    def reset(self) -> None:
+        """Clear every lane's HOT/LOT and compressor latches."""
+        self._hot_mode[:] = False
+        self._compressor_on[:] = False
 
     def _update_mode(self, outside_temp_c: np.ndarray) -> None:
         sp = self.config.setpoint_c

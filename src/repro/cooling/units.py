@@ -61,6 +61,18 @@ class CoolingUnits:
         self._compressor_locked = False
         self._damper_jammed = False
 
+    def reset(self) -> None:
+        """Return the actuators to the powered-off state.
+
+        Day boundaries call this so each simulated day starts from the same
+        actuator state regardless of which day ran before it (installed
+        faults are day-granular and re-applied by the injector, so they are
+        deliberately left alone here).
+        """
+        self.fc_fan_speed = 0.0
+        self.ac_fan_speed = 0.0
+        self.ac_compressor_duty = 0.0
+
     @property
     def mode(self) -> CoolingMode:
         if self.fc_fan_speed > 0.0:

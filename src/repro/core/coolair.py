@@ -76,6 +76,17 @@ class CoolAir:
 
     # -- daily --------------------------------------------------------------
 
+    def reset_day_state(self) -> None:
+        """Clear carry-over control state at a day boundary.
+
+        The safe controller's TKS latches are the only CoolAir-side state
+        that would otherwise leak between days; clearing them (together
+        with the actuator/disk resets the day runners perform) makes every
+        simulated day independent of which day ran before it — the
+        invariant the day-unfolded lane scheduler relies on.
+        """
+        self._safe_controller.reset()
+
     def start_day(
         self, day_of_year: int, jobs: Sequence[Job] = ()
     ) -> TemperatureBand:

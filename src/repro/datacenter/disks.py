@@ -41,6 +41,14 @@ class DiskFleet:
         self._elapsed_s += dt_s
         return self.thermal.step(pod_inlet_temp_c, disk_utilization, dt_s)
 
+    def reset_thermal(self) -> None:
+        """Re-initialize the thermal model (day-boundary state).
+
+        Cycle budgets are deliberately preserved: they are lifetime
+        accounting, not per-day simulation state.
+        """
+        self.thermal.reset()
+
     @property
     def disk_temps_c(self) -> np.ndarray:
         """Current per-pod representative disk temperatures."""

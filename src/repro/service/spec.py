@@ -138,6 +138,13 @@ class CampaignSpec:
     scenarios: Tuple[str, ...] = ()
     cells: Tuple[CellSpec, ...] = ()
     screen: str = "off"
+    # Day-unfold width stamped on every expanded cell: eligible cells
+    # step their sampled year-days as lockstep lanes inside the worker
+    # (``experiments.year_result`` gates eligibility per cell and falls
+    # back to the day-sequential path otherwise).  Results are
+    # bit-identical either way and cache keys ignore the width, so
+    # cross-request dedupe is unaffected.
+    day_lanes: Optional[int] = None
 
     # -- validation / wire form ---------------------------------------------
 
@@ -175,6 +182,10 @@ class CampaignSpec:
             raise SpecError(
                 "sample_every_days must be >= 1, got "
                 f"{self.sample_every_days}"
+            )
+        if self.day_lanes is not None and self.day_lanes < 1:
+            raise SpecError(
+                f"day_lanes must be >= 1, got {self.day_lanes}"
             )
 
     @classmethod
@@ -219,6 +230,8 @@ class CampaignSpec:
             payload["cells"] = [cell.to_json() for cell in self.cells]
         if self.sample_every_days is not None:
             payload["sample_every_days"] = self.sample_every_days
+        if self.day_lanes is not None:
+            payload["day_lanes"] = self.day_lanes
         return payload
 
     # -- expansion -----------------------------------------------------------
@@ -273,6 +286,11 @@ class CampaignSpec:
                 )
         else:
             tasks = [cell.to_task() for cell in self.cells]
+        if self.day_lanes is not None and self.day_lanes > 1:
+            tasks = [
+                dataclasses.replace(task, day_lanes=self.day_lanes)
+                for task in tasks
+            ]
         return tasks
 
     def world_grid_points(self) -> int:

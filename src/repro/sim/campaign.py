@@ -89,6 +89,9 @@ class _CampaignAdapter:
     def __init__(self) -> None:
         self.tks = TKSController()
 
+    def reset_day_state(self) -> None:
+        self.tks.reset()
+
     def start_day(self, runner: DayRunner, day_of_year: int) -> None:
         pass
 

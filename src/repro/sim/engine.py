@@ -227,6 +227,10 @@ class BaselineAdapter:
     def __init__(self, controller: Optional[BaselineController] = None) -> None:
         self.controller = controller or BaselineController()
 
+    def reset_day_state(self) -> None:
+        """Clear the controller's TKS latches at a day boundary."""
+        self.controller.reset()
+
     def start_day(self, runner: "DayRunner", day_of_year: int) -> None:
         for server in runner.setup.layout.all_servers():
             if server.state is not PowerState.ACTIVE:
@@ -254,6 +258,10 @@ class CoolAirAdapter:
         self.coolair = coolair
         self.name = coolair.config.name
         self._active_pods: Optional[List[int]] = None
+
+    def reset_day_state(self) -> None:
+        """Clear CoolAir's day-boundary control state (safe-mode latches)."""
+        self.coolair.reset_day_state()
 
     def start_day(self, runner: "DayRunner", day_of_year: int) -> None:
         workload = runner.workload
@@ -362,6 +370,14 @@ class DayRunner:
                 temp_c=outside0 + 6.0,
                 mixing_ratio=self._weather.mixing_ratio(start_t),
             )
+            # Day entry is a clean slate: actuators off, controller latches
+            # cleared, disks at their initial temperature.  This makes every
+            # sampled day independent of which day ran before it — the
+            # invariant the day-unfolded lane scheduler relies on (installed
+            # actuator faults survive; the injector re-applies them above).
+            setup.units.reset()
+            setup.layout.disks.reset_thermal()
+            self.adapter.reset_day_state()
         warmup_steps = int(warmup_hours * 3600 / dt) if reset_plant else 0
         self._time_of_day_s = -warmup_steps * dt
         self._seed_sensors(start_t + self._time_of_day_s)

@@ -482,11 +482,15 @@ class LaneRunner:
 
     def run_day(
         self,
-        day_of_year: int,
+        day_of_year,
         warmup_hours: float = 2.0,
         keep_traces: bool = False,
     ):
         """Simulate one day for every lane; returns per-lane day metrics.
+
+        ``day_of_year`` is a single day every lane simulates, or a per-lane
+        sequence of days (the day-unfolded mode: sibling lanes replicate
+        one scenario across different sampled days of its year).
 
         Returns ``(metrics, traces)`` where ``metrics`` is a list of dicts
         (one per lane) with the five YearResult day quantities, and
@@ -497,9 +501,33 @@ class LaneRunner:
         dt = float(self.model_step_s)
         steps = int(SECONDS_PER_DAY // self.model_step_s)
         warmup_steps = int(warmup_hours * 3600 / dt)
+        if np.ndim(day_of_year) == 0:
+            lane_days = [int(day_of_year)] * num
+            grid_days = int(day_of_year)
+        else:
+            lane_days = [int(d) for d in day_of_year]
+            if len(lane_days) != num:
+                raise ConfigError(
+                    f"need one day per lane ({num}), got {len(lane_days)}"
+                )
+            grid_days = np.asarray(lane_days, dtype=np.int64)
         temps_grid, mix_grid, rh_grid = self._weather.day_grid(
-            day_of_year, -warmup_steps, warmup_steps + steps
+            grid_days, -warmup_steps, warmup_steps + steps
         )
+
+        # Day entry is a clean slate (mirrors DayRunner.run_day): actuators
+        # off, controller latches cleared, disks at their initial
+        # temperature.  This keeps every simulated day independent of
+        # which day the runner stepped before it, which is what lets one
+        # runner be reused across day batches (and days be reordered into
+        # lanes) while staying bit-identical to the scalar reference.
+        self._disks.reset()
+        if self._baseline_ctrl is not None:
+            self._baseline_ctrl.reset()
+        for lane in self.lanes:
+            lane.units.reset()
+            if lane.coolair is not None:
+                lane.coolair.reset_day_state()
 
         self._plant.reset(
             temps_grid[:, warmup_steps] + 6.0, mix_grid[:, warmup_steps]
@@ -535,7 +563,9 @@ class LaneRunner:
                 self._util_cache[lane_index] = count / lane.layout.num_servers
             else:
                 lane.workload.begin_day()
-                lane.coolair.start_day(day_of_year, lane.workload.jobs)
+                lane.coolair.start_day(
+                    lane_days[lane_index], lane.workload.jobs
+                )
                 if any(
                     job.scheduled_start_s is not None
                     for job in lane.workload.jobs
@@ -626,7 +656,7 @@ class LaneRunner:
                 }
             )
             if keep_traces:
-                trace = DayTrace(day_of_year, label=lane.label)
+                trace = DayTrace(lane_days[lane_index], label=lane.label)
                 for row in range(steps):
                     trace.append(
                         StepRecord(
@@ -705,7 +735,7 @@ class LaneRunner:
                     all_traces[lane_index].append(traces[lane_index])
         if keep_traces:
             for result, lane_traces in zip(results, all_traces):
-                result.traces = lane_traces  # type: ignore[attr-defined]
+                result.traces = lane_traces
         return results
 
 
@@ -729,3 +759,90 @@ def run_year_lanes(
         violation_threshold_c=violation_threshold_c,
         keep_traces=keep_traces,
     )
+
+
+def run_year_unfolded(
+    scenario: LaneScenario,
+    day_lanes: int,
+    model: Optional[CoolingModel] = None,
+    smooth_hardware: bool = True,
+    sample_every_days: int = 7,
+    violation_threshold_c: float = 30.0,
+    keep_traces: bool = False,
+) -> YearResult:
+    """One scenario's year with its sampled days unfolded into lanes.
+
+    Replicates the scenario across ``day_lanes`` sibling lanes (each with a
+    per-lane controller sharing the scenario's trained model, so the
+    lane-combo plan cache hits across sibling days) and steps consecutive
+    batches of sampled days in SoA lockstep.  Per-day metrics are folded
+    back in day order, so energy accumulation visits the same additions in
+    the same order as the scalar :func:`~repro.sim.yearsim.run_year` — the
+    result is bit-identical to it field for field (pinned by
+    ``tests/integration/test_day_unfold.py``).
+
+    Only valid for scenarios whose days are independent: no faults (the
+    lane engine rejects them anyway) and no temporal scheduling (the
+    scheduler mutates the trace across days).  Callers gate on
+    :func:`repro.analysis.experiments.day_unfold_eligible`.
+    """
+    if day_lanes < 1:
+        raise ConfigError(f"day_lanes must be >= 1, got {day_lanes}")
+    days = sampled_days(sample_every_days)
+    width = min(int(day_lanes), len(days))
+
+    def make_runner(lanes: int) -> LaneRunner:
+        return LaneRunner(
+            [scenario] * lanes, model=model, smooth_hardware=smooth_hardware
+        )
+
+    runner = make_runner(width)
+    # Reusing one trained model across batch runners keeps the remainder
+    # batch's predictor caches coherent with the full batches'.
+    model = runner.model
+
+    result = YearResult(
+        label=runner.lanes[0].label,
+        climate_name=scenario.climate.name,
+        sampled_days=days,
+        daily_worst_range_c=[],
+        daily_outside_range_c=[],
+        daily_avg_violation_c=[],
+        daily_max_rate_c_per_hour=[],
+        cooling_kwh=0.0,
+        it_kwh=0.0,
+        daily_degraded_fraction=[],
+    )
+    all_traces: List[DayTrace] = []
+    for start in range(0, len(days), width):
+        batch = days[start:start + width]
+        if len(batch) != runner.num_lanes:
+            # Remainder batch: a narrower runner, no padded lanes to
+            # discard (per-lane results are independent of batch grouping,
+            # so the narrower batch changes nothing — pinned by the lane
+            # grouping-independence test).
+            runner = make_runner(len(batch))
+        metrics, traces = runner.run_day(batch, keep_traces=keep_traces)
+        for day_metrics, trace in zip(metrics, traces):
+            result.daily_worst_range_c.append(day_metrics["worst_range_c"])
+            result.daily_outside_range_c.append(
+                day_metrics["outside_range_c"]
+            )
+            result.daily_avg_violation_c.append(
+                avg_violation_from(
+                    day_metrics["temps"], violation_threshold_c
+                )
+            )
+            result.daily_max_rate_c_per_hour.append(
+                day_metrics["max_rate_c_per_hour"]
+            )
+            # Unfold-eligible scenarios never run faulted, so no step
+            # degrades; 0.0 matches the scalar mean-of-no-flags exactly.
+            result.daily_degraded_fraction.append(0.0)
+            result.cooling_kwh += day_metrics["cooling_kwh"]
+            result.it_kwh += day_metrics["it_kwh"]
+            if keep_traces:
+                all_traces.append(trace)
+    if keep_traces:
+        result.traces = all_traces
+    return result

@@ -20,7 +20,7 @@ from repro import constants
 from repro.core.coolair import CoolAir
 from repro.core.config import CoolAirConfig
 from repro.core.modeler import CoolingModel
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.campaign import trained_cooling_model
 from repro.sim.engine import (
     BaselineAdapter,
@@ -55,6 +55,9 @@ class YearResult:
     daily_degraded_fraction: List[float] = dataclasses.field(
         default_factory=list
     )
+    # Per-day traces, populated only when the run asked for
+    # ``keep_traces=True``; excluded from the result cache's JSON codec.
+    traces: Optional[List[DayTrace]] = None
 
     # -- Figure 9 metrics ---------------------------------------------------
 
@@ -113,6 +116,10 @@ class YearResult:
 
 def sampled_days(sample_every_days: int = 7) -> List[int]:
     """First day of each week (or each N-day stride) of the year."""
+    if sample_every_days < 1:
+        raise ConfigError(
+            f"sample_every_days must be >= 1, got {sample_every_days}"
+        )
     return list(range(0, DAYS_PER_YEAR, sample_every_days))
 
 
@@ -192,5 +199,5 @@ def run_year(
         if keep_traces:
             traces.append(day_trace)
     if keep_traces:
-        result.traces = traces  # type: ignore[attr-defined]
+        result.traces = traces
     return result

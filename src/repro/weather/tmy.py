@@ -212,19 +212,38 @@ class LaneWeather:
         self._rh = np.stack([s._rh_pct for s in series_list])
 
     def day_grid(
-        self, day_of_year: int, first_step: int, num_steps: int
+        self, day_of_year, first_step: int, num_steps: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(temps, mixing ratios, RH) as ``(lanes, num_steps)`` arrays.
 
         Covers model steps ``first_step .. first_step + num_steps - 1`` of
         the given day (negative steps reach into warmup, wrapping around
         the year exactly like the scalar weather queries do).
+
+        ``day_of_year`` is a single day shared by all lanes, or a per-lane
+        sequence of ``num_lanes`` days (the day-unfolded mode, where each
+        lane simulates a different day of the same year).  The per-lane
+        path runs the identical elementwise grid arithmetic on a 2-D index
+        grid, so each lane's row is bit-identical to the shared-day call
+        for that lane's day.
         """
         year_s = DAYS_PER_YEAR * SECONDS_PER_DAY
         steps_per_day = int(round(SECONDS_PER_DAY / self.step_s))
-        idx = (
-            day_of_year * steps_per_day + first_step + np.arange(num_steps)
-        ) % self.num_steps
+        offsets = first_step + np.arange(num_steps)
+        if np.ndim(day_of_year) == 0:
+            idx = (int(day_of_year) * steps_per_day + offsets) % self.num_steps
+            rows = slice(None)
+        else:
+            days = np.asarray(day_of_year, dtype=np.int64)
+            if days.shape != (self.num_lanes,):
+                raise WeatherError(
+                    f"need one day per lane ({self.num_lanes}), got "
+                    f"shape {days.shape}"
+                )
+            idx = (
+                days[:, None] * steps_per_day + offsets[None, :]
+            ) % self.num_steps
+            rows = np.arange(self.num_lanes)[:, None]
         # Mirror SampledWeather's grid construction on just these indices:
         # times, hour-of-year, truncated index, fraction.
         times = idx.astype(float) * self.step_s
@@ -234,9 +253,9 @@ class LaneWeather:
         i0 = trunc % HOURS_PER_YEAR
         i1 = (i0 + 1) % HOURS_PER_YEAR
         weight0 = 1.0 - frac
-        temps = self._temps[:, i0] * weight0 + self._temps[:, i1] * frac
-        mixing = self._mixing[:, i0] * weight0 + self._mixing[:, i1] * frac
-        rh = self._rh[:, i0] * weight0 + self._rh[:, i1] * frac
+        temps = self._temps[rows, i0] * weight0 + self._temps[rows, i1] * frac
+        mixing = self._mixing[rows, i0] * weight0 + self._mixing[rows, i1] * frac
+        rh = self._rh[rows, i0] * weight0 + self._rh[rows, i1] * frac
         return temps, mixing, rh
 
 

@@ -16,11 +16,25 @@ class TestKeepTraces:
         assert len(result.traces) == len(result.sampled_days)
         assert all(len(t) == 720 for t in result.traces)
 
-    def test_traces_absent_by_default(self, facebook_trace):
+    def test_traces_none_by_default(self, facebook_trace):
         result = run_year(
             "baseline", NEWARK, facebook_trace, sample_every_days=182
         )
-        assert not hasattr(result, "traces")
+        assert result.traces is None
+
+
+class TestSampledDays:
+    def test_rejects_non_positive_stride(self):
+        from repro.errors import ConfigError
+
+        for bad in (0, -7):
+            with pytest.raises(ConfigError):
+                sampled_days(bad)
+
+    def test_weekly_stride_starts_at_day_zero(self):
+        days = sampled_days(7)
+        assert days[0] == 0
+        assert all(b - a == 7 for a, b in zip(days, days[1:]))
 
 
 class TestPerDaySeries:

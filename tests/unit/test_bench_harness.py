@@ -22,7 +22,7 @@ class TestQuickSuite:
         results = profiling.run_bench(quick=True, model=cooling_model)
         assert set(results) == {
             "plant_step", "optimizer_decision", "day_sim", "world_chunk",
-            "world_100k",
+            "year_unfold", "world_100k",
         }
         for result in results.values():
             assert result["median_s"] > 0.0
@@ -31,6 +31,12 @@ class TestQuickSuite:
         # The quick world chunk is one climate x {baseline, All-ND}.
         assert results["world_chunk"]["lanes"] == 2
         assert results["world_chunk"]["s_per_lane"] > 0.0
+        # The unfolded year runs at the same shape the baseline recorded,
+        # so --check gates it even in quick mode.
+        unfold = results["year_unfold"]
+        assert unfold["day_lanes"] == profiling.UNFOLD_DAY_LANES
+        assert unfold["sample_every_days"] == profiling.UNFOLD_STRIDE_DAYS
+        assert unfold["s_per_day"] > 0.0
         # The screened sweep accounts for every grid point.
         screened = results["world_100k"]
         assert (

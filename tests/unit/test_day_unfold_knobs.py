@@ -1,0 +1,47 @@
+"""resolve_day_lanes: the --day-lanes / REPRO_DAY_UNFOLD precedence."""
+
+import pytest
+
+from repro.analysis.experiments import DEFAULT_LANES, resolve_day_lanes
+from repro.errors import ConfigError
+
+
+def test_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "4")
+    assert resolve_day_lanes(2) == 2
+
+
+def test_unset_env_stays_sequential(monkeypatch):
+    monkeypatch.delenv("REPRO_DAY_UNFOLD", raising=False)
+    assert resolve_day_lanes() == 1
+
+
+def test_env_zero_stays_sequential(monkeypatch):
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "0")
+    assert resolve_day_lanes() == 1
+
+
+def test_env_one_unfolds_to_lane_width(monkeypatch):
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "1")
+    assert resolve_day_lanes(lanes=6) == 6
+    assert resolve_day_lanes() == DEFAULT_LANES
+
+
+def test_env_explicit_width(monkeypatch):
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "4")
+    assert resolve_day_lanes(lanes=16) == 4
+
+
+def test_rejects_non_positive(monkeypatch):
+    """ConfigError, so the CLI reports it as a clean ``error:`` exit."""
+    with pytest.raises(ConfigError):
+        resolve_day_lanes(0)
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "-3")
+    with pytest.raises(ConfigError):
+        resolve_day_lanes()
+
+
+def test_rejects_garbage_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DAY_UNFOLD", "many")
+    with pytest.raises(ConfigError):
+        resolve_day_lanes()
