@@ -180,6 +180,7 @@ def _result_to_json(result: YearResult) -> dict:
         "cooling_kwh": result.cooling_kwh,
         "it_kwh": result.it_kwh,
         "delivery_overhead": result.delivery_overhead,
+        "water_l": result.water_l,
         "daily_degraded_fraction": result.daily_degraded_fraction,
     }
 
@@ -206,21 +207,27 @@ def config_fingerprint(system: Union[str, CoolAirConfig]) -> str:
 
 
 def effective_engine(
-    system: Union[str, CoolAirConfig], engine: Optional[str] = None
+    system: Union[str, CoolAirConfig],
+    engine: Optional[str] = None,
+    plant: str = "parasol",
 ) -> str:
     """The simulation engine a run of ``system`` would actually use.
 
-    The lane engine supports the standard 120 s / 600 s timing only, and
-    no fault injection; a config with exotic timing or a non-empty
-    :class:`~repro.faults.FaultSchedule` falls back to the scalar
-    reference path (and is fingerprinted as such, so the cache stays
-    honest about which numeric path produced each entry).
+    The lane engine supports the standard 120 s / 600 s timing only, no
+    fault injection, and only the parasol cooling plant (its vectorized
+    power laws are Parasol's); a config with exotic timing, a non-empty
+    :class:`~repro.faults.FaultSchedule`, or an alternative ``plant``
+    falls back to the scalar reference path (and is fingerprinted as
+    such, so the cache stays honest about which numeric path produced
+    each entry).
     """
     requested = engine or DEFAULT_SIM_ENGINE
     if requested not in SIM_ENGINES:
         raise ValueError(
             f"unknown sim engine {requested!r}; choices: {SIM_ENGINES}"
         )
+    if requested == "lanes" and plant != "parasol":
+        return "scalar"
     if requested == "lanes" and not isinstance(system, str):
         from repro.sim.lanes import CONTROL_PERIOD_S, MODEL_STEP_S
 
@@ -248,6 +255,7 @@ def day_unfold_eligible(
     system: Union[str, CoolAirConfig],
     deferrable: bool = False,
     engine: Optional[str] = None,
+    plant: str = "parasol",
 ) -> bool:
     """Whether a cell's sampled days may be unfolded into lanes.
 
@@ -265,7 +273,7 @@ def day_unfold_eligible(
       mutates job start times across days — All-DEF and Energy-DEF).
     """
     system, _ = _resolve_system(system)
-    if effective_engine(system, engine) != "lanes":
+    if effective_engine(system, engine, plant) != "lanes":
         return False
     if deferrable:
         return False
@@ -284,6 +292,7 @@ def cache_key(
     sample_every_days: Optional[int] = None,
     forecast_bias_c: float = 0.0,
     engine: Optional[str] = None,
+    plant: str = "parasol",
 ) -> str:
     """The versioned cache key for one (system, location, workload) run.
 
@@ -291,16 +300,19 @@ def cache_key(
     that could change bits: the simulation engine (lane-batched vs the
     scalar reference) joins the schema version here, so flipping
     ``REPRO_SIM_ENGINE`` starts a separate cache generation instead of
-    serving results computed by a different code path.
+    serving results computed by a different code path.  The cooling plant
+    adds a ``-p{plant}`` token only when it is not the default
+    ``parasol``, keeping every pre-backend key byte-identical.
     """
     system, _ = _resolve_system(system)
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
-    engine = effective_engine(system, engine)
+    engine = effective_engine(system, engine, plant)
+    plant_token = "" if plant == "parasol" else f"-p{plant}"
     return (
         f"{config_fingerprint(system)}-{climate.name}-{workload}"
         f"-def{deferrable}-s{sample}"
         f"-b{forecast_bias_c:+.1f}-j{DEFAULT_TRACE_JOBS}"
-        f"-e{engine}-v{CACHE_SCHEMA_VERSION}"
+        f"-e{engine}{plant_token}-v{CACHE_SCHEMA_VERSION}"
     )
 
 
@@ -378,6 +390,7 @@ def year_result(
     use_disk_cache: bool = True,
     engine: Optional[str] = None,
     day_lanes: Optional[int] = None,
+    plant: Optional[str] = None,
 ) -> YearResult:
     """One cached year run.
 
@@ -388,13 +401,25 @@ def year_result(
     the scalar reference.  ``day_lanes`` > 1 (default
     ``REPRO_DAY_UNFOLD``) unfolds an eligible cell's sampled days into
     that many lanes stepped in lockstep — bit-identical again, so the
-    cache key does not record it.
+    cache key does not record it.  ``plant`` selects the cooling backend
+    (default ``REPRO_PLANT`` or ``parasol``); non-parasol plants run on
+    the scalar engine.
     """
+    from repro.cooling.backends import resolve_plant
+
+    plant = resolve_plant(plant)
     sample = sample_every_days or DEFAULT_SAMPLE_DAYS
     system, _ = _resolve_system(system)
-    engine = effective_engine(system, engine)
+    engine = effective_engine(system, engine, plant)
     key = cache_key(
-        system, climate, workload, deferrable, sample, forecast_bias_c, engine
+        system,
+        climate,
+        workload,
+        deferrable,
+        sample,
+        forecast_bias_c,
+        engine,
+        plant,
     )
     cached = load_cached(key, use_disk_cache)
     if cached is not None:
@@ -438,6 +463,7 @@ def year_result(
             model=model,
             sample_every_days=sample,
             forecast_bias_c=forecast_bias_c,
+            plant=plant,
         )
     store_result(key, result, use_disk_cache)
     return result
@@ -465,6 +491,7 @@ def five_location_matrix(
     task_retries: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
     failures: Optional[list] = None,
+    plant: Optional[str] = None,
 ) -> Dict[str, Dict[str, YearResult]]:
     """The Figures 8-10 matrix: {system: {location: YearResult}}.
 
@@ -480,7 +507,9 @@ def five_location_matrix(
     on the first one; failed cells are omitted from the matrix.
     """
     from repro.analysis.runner import YearTask, run_year_tasks
+    from repro.cooling.backends import resolve_plant
 
+    plant = resolve_plant(plant)
     tasks = []
     cells = []
     for system in systems:
@@ -492,6 +521,7 @@ def five_location_matrix(
                 workload=workload,
                 deferrable=deferrable,
                 sample_every_days=sample_every_days,
+                plant=plant,
             ))
             cells.append((system, name))
     results = run_year_tasks(
@@ -534,6 +564,7 @@ def world_sweep(
     screen: Optional[str] = None,
     screen_policy=None,
     screen_stats: Optional[dict] = None,
+    plant: Optional[str] = None,
 ):
     """The Figures 12/13 worldwide study as a :class:`WorldSummary`.
 
@@ -562,7 +593,9 @@ def world_sweep(
     from repro.analysis.runner import YearTask, run_year_tasks
     from repro.analysis.screening import resolve_screen
     from repro.analysis.worldmap import summarize_world
+    from repro.cooling.backends import resolve_plant
 
+    plant = resolve_plant(plant)
     mode = resolve_screen(screen)
     climates = world_grid(num_locations or DEFAULT_WORLD_LOCATIONS)
     if mode == "on":
@@ -579,6 +612,7 @@ def world_sweep(
             failures=failures,
             policy=screen_policy,
             screen_stats=screen_stats,
+            plant=plant,
         )
     tasks = []
     for climate in climates:
@@ -587,6 +621,7 @@ def world_sweep(
                 system=system,
                 climate=climate,
                 sample_every_days=sample_every_days,
+                plant=plant,
             ))
     if resolve_stream(stream):
         from repro.analysis.worldmap import StreamingWorldAccumulator
@@ -651,6 +686,7 @@ def _screened_world_sweep(
     failures: Optional[list] = None,
     policy=None,
     screen_stats: Optional[dict] = None,
+    plant: str = "parasol",
 ):
     """The screened world sweep: simulate representatives + uncertain
     cells, serve the rest (see :mod:`repro.analysis.screening`).
@@ -671,6 +707,7 @@ def _screened_world_sweep(
         coolair_system=coolair_system,
         policy=policy,
         sample_every_days=sample_every_days,
+        plant=plant,
     )
     accumulator = StreamingWorldAccumulator(climates, coolair_system)
     common = dict(

@@ -123,13 +123,17 @@ class YearTask:
     # day-sequential run, so cache keys ignore it (and cross-request
     # dedupe in the service is unaffected).
     day_lanes: Optional[int] = None
+    # Cooling plant backend (see repro.cooling.backends); non-parasol
+    # plants run on the scalar engine and carry their own cache keys.
+    plant: str = "parasol"
 
     def label(self) -> str:
         name = self.system if isinstance(self.system, str) else self.system.name
         return (
             f"{name} @ {self.climate.name} ({self.workload}"
             f"{', deferrable' if self.deferrable else ''}"
-            f"{f', bias {self.forecast_bias_c:+.1f}C' if self.forecast_bias_c else ''})"
+            f"{f', bias {self.forecast_bias_c:+.1f}C' if self.forecast_bias_c else ''}"
+            f"{f', plant {self.plant}' if self.plant != 'parasol' else ''})"
         )
 
 
@@ -332,6 +336,7 @@ def _run_task(task: YearTask, use_disk_cache: bool = True) -> YearResult:
         forecast_bias_c=task.forecast_bias_c,
         use_disk_cache=use_disk_cache,
         day_lanes=task.day_lanes,
+        plant=task.plant,
     )
 
 
@@ -396,6 +401,7 @@ def _run_lane_chunk(
             task.sample_every_days,
             task.forecast_bias_c,
             "lanes",
+            plant=task.plant,
         )
         experiments.store_result(key, result, use_disk_cache)
     return results
@@ -474,6 +480,8 @@ def _run_day_chunk(
             "max_rate_c_per_hour": day_metrics["max_rate_c_per_hour"],
             "cooling_kwh": day_metrics["cooling_kwh"],
             "it_kwh": day_metrics["it_kwh"],
+            # The lane engine is parasol-only; water is identically zero.
+            "water_l": 0.0,
         }
         for day_metrics in metrics
     ]
@@ -699,6 +707,7 @@ def run_year_tasks(
             task.deferrable,
             task.sample_every_days,
             task.forecast_bias_c,
+            plant=task.plant,
         )
 
     pending: List[int] = []
@@ -723,7 +732,9 @@ def run_year_tasks(
     if day_width > 1:
         for index in pending:
             task = tasks[index]
-            if experiments.day_unfold_eligible(task.system, task.deferrable):
+            if experiments.day_unfold_eligible(
+                task.system, task.deferrable, plant=task.plant
+            ):
                 width = (
                     task.day_lanes if task.day_lanes is not None else day_width
                 )
@@ -771,7 +782,10 @@ def run_year_tasks(
             if index in unfolded:
                 continue
             system, _ = experiments._resolve_system(tasks[index].system)
-            if experiments.effective_engine(system) == "lanes":
+            if (
+                experiments.effective_engine(system, plant=tasks[index].plant)
+                == "lanes"
+            ):
                 sample = (
                     tasks[index].sample_every_days
                     or experiments.DEFAULT_SAMPLE_DAYS
@@ -955,6 +969,7 @@ def run_year_tasks(
         for payload in payloads:
             result.cooling_kwh += payload["cooling_kwh"]
             result.it_kwh += payload["it_kwh"]
+            result.water_l += payload.get("water_l", 0.0)
         key = task_key(index)
         if use_disk_cache:
             experiments._write_disk_entry(key, result)

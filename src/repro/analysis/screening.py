@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.weather.climate import Climate
 
 SCREEN_MODES = ("off", "on")
@@ -67,12 +67,15 @@ FEATURE_SCALES: Tuple[Tuple[str, float], ...] = (
 )
 
 #: The metric rows of the world accumulator, in row order: baseline /
-#: CoolAir max daily range, baseline / CoolAir PUE.
+#: CoolAir max daily range, baseline / CoolAir PUE, baseline / CoolAir
+#: WUE (L/kWh; zero for air-cooled plants).
 METRIC_NAMES: Tuple[str, ...] = (
     "baseline_max_range_c",
     "coolair_max_range_c",
     "baseline_pue",
     "coolair_pue",
+    "baseline_wue",
+    "coolair_wue",
 )
 
 #: Documented correction bounds: a cluster-served metric never moves
@@ -83,6 +86,8 @@ CORRECTION_BOUNDS: Dict[str, float] = {
     "coolair_max_range_c": 2.0,
     "baseline_pue": 0.02,
     "coolair_pue": 0.02,
+    "baseline_wue": 0.05,
+    "coolair_wue": 0.05,
 }
 
 #: Assumed metric change per unit of normalized feature distance; used
@@ -92,6 +97,8 @@ METRIC_LIPSCHITZ: Dict[str, float] = {
     "coolair_max_range_c": 8.0,
     "baseline_pue": 0.08,
     "coolair_pue": 0.08,
+    "baseline_wue": 0.2,
+    "coolair_wue": 0.2,
 }
 
 PROVENANCE_SIMULATED = "simulated"
@@ -253,7 +260,7 @@ class WorldSurrogate:
         return bool(self._models)
 
     def fit(self, features: np.ndarray, metrics: np.ndarray) -> "WorldSurrogate":
-        """Fit on (n, n_features) features and (4, n) metric rows.
+        """Fit on (n, n_features) features and (len(METRIC_NAMES), n) rows.
 
         Needs at least ``n_features + 2`` samples to say anything; with
         fewer the surrogate stays unfit and every cell reads as
@@ -262,6 +269,11 @@ class WorldSurrogate:
         from repro.ml.dataset import Dataset
         from repro.ml.selection import fit_best_linear
 
+        if metrics.shape[0] != len(METRIC_NAMES):
+            raise ConfigError(
+                f"surrogate fit expects {len(METRIC_NAMES)} metric rows "
+                f"({', '.join(METRIC_NAMES)}); got {metrics.shape[0]}"
+            )
         n = features.shape[0]
         if n < features.shape[1] + 2:
             return self
@@ -403,6 +415,7 @@ class ScreeningPolicy:
     serve_radius: float = 0.12
     range_uncertainty_c: float = 1.5
     pue_uncertainty: float = 0.015
+    wue_uncertainty: float = 0.1
     max_simulated_fraction: float = 0.08
     min_simulated_locations: int = 8
     simulate_budget_s: Optional[float] = None
@@ -492,6 +505,7 @@ class ScreeningSession:
         policy: Optional[ScreeningPolicy] = None,
         sample_every_days: Optional[int] = None,
         cost_model: Optional[CostModel] = None,
+        plant: str = "parasol",
     ) -> None:
         if not climates:
             raise ReproError("cannot screen an empty climate grid")
@@ -499,6 +513,7 @@ class ScreeningSession:
         self.coolair_system = coolair_system
         self.policy = policy or ScreeningPolicy()
         self.sample_every_days = sample_every_days
+        self.plant = plant
         self.cost_model = cost_model or CostModel()
         self.features = feature_matrix(self.climates)
         budget = self.policy.simulate_budget(len(self.climates))
@@ -540,6 +555,7 @@ class ScreeningSession:
                         system=system,
                         climate=self.climates[index],
                         sample_every_days=self.sample_every_days,
+                        plant=self.plant,
                     )
                 )
         return tasks
@@ -593,9 +609,13 @@ class ScreeningSession:
             widths["baseline_max_range_c"], widths["coolair_max_range_c"]
         )
         pue_w = np.maximum(widths["baseline_pue"], widths["coolair_pue"])
+        wue_w = np.maximum(widths["baseline_wue"], widths["coolair_wue"])
         scores = np.maximum(
-            range_w / self.policy.range_uncertainty_c,
-            pue_w / self.policy.pue_uncertainty,
+            np.maximum(
+                range_w / self.policy.range_uncertainty_c,
+                pue_w / self.policy.pue_uncertainty,
+            ),
+            wue_w / self.policy.wue_uncertainty,
         )
         uncertain = [
             (float(scores[pos]), index)
@@ -731,7 +751,12 @@ class ScreeningSession:
 
     @staticmethod
     def _clamp(metric: str, value: float) -> float:
-        """Physical floors: ranges are non-negative, PUE >= 1."""
+        """Physical floors: ranges and WUE are non-negative, PUE >= 1."""
+        if metric not in CORRECTION_BOUNDS:
+            raise ConfigError(
+                f"unknown screening metric {metric!r}; "
+                f"choices: {', '.join(METRIC_NAMES)}"
+            )
         if metric.endswith("_pue"):
             return max(1.0, value)
         return max(0.0, value)

@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.yearsim import YearResult
 
 # Figure 12 legend bins for max-range reduction, in degrees C.
@@ -59,6 +59,9 @@ class LocationComparison:
     coolair_max_range_c: float
     baseline_pue: float
     coolair_pue: float
+    # WUE (L/kWh): zero for air-cooled plants and pre-water results.
+    baseline_wue: float = 0.0
+    coolair_wue: float = 0.0
     provenance: str = "simulated"
 
     @property
@@ -68,6 +71,10 @@ class LocationComparison:
     @property
     def pue_reduction(self) -> float:
         return self.baseline_pue - self.coolair_pue
+
+    @property
+    def wue_reduction(self) -> float:
+        return self.baseline_wue - self.coolair_wue
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +108,14 @@ class WorldSummary:
     @property
     def avg_coolair_pue(self) -> float:
         return self._mean(c.coolair_pue for c in self.comparisons)
+
+    @property
+    def avg_baseline_wue(self) -> float:
+        return self._mean(c.baseline_wue for c in self.comparisons)
+
+    @property
+    def avg_coolair_wue(self) -> float:
+        return self._mean(c.coolair_wue for c in self.comparisons)
 
     @property
     def fraction_range_worsened(self) -> float:
@@ -142,10 +157,19 @@ class WorldSummary:
         """The paper's headline sentence for Figures 12/13."""
         if not self.comparisons:
             return "no locations compared yet"
+        # WUE only shows for water-drawing plants, keeping the default
+        # (air-cooled) headline byte-identical to previous releases.
+        wue = ""
+        if any(c.baseline_wue or c.coolair_wue for c in self.comparisons):
+            wue = (
+                f";  avg WUE: {self.avg_baseline_wue:.2f} -> "
+                f"{self.avg_coolair_wue:.2f} L/kWh"
+            )
         return (
             f"avg max range: baseline {self.avg_baseline_max_range_c:.1f}C -> "
             f"CoolAir {self.avg_coolair_max_range_c:.1f}C;  "
             f"avg PUE: {self.avg_baseline_pue:.2f} -> {self.avg_coolair_pue:.2f}"
+            f"{wue}"
         )
 
 
@@ -169,6 +193,8 @@ def summarize_world(
                 coolair_max_range_c=coolair.max_range_c,
                 baseline_pue=baseline.pue,
                 coolair_pue=coolair.pue,
+                baseline_wue=baseline.wue,
+                coolair_wue=coolair.wue,
             )
         )
     return WorldSummary(comparisons=tuple(comparisons))
@@ -180,8 +206,8 @@ class StreamingWorldAccumulator:
     The in-memory sweep keeps every :class:`YearResult` — daily series
     included — alive in the parent until the last cell lands.  This
     accumulator is the streaming alternative: the runner's ``consume``
-    hook folds each completed cell into a ``(4, n)`` metrics array (the
-    four floats Figures 12/13 actually plot) and the full result is
+    hook folds each completed cell into a ``(6, n)`` metrics array (the
+    floats Figures 12/13 plot, plus the WUE pair) and the full result is
     dropped, so parent memory is bounded by the grid size, not by
     grid x sampled-days.  ``summary()`` yields the same
     :class:`WorldSummary` as the in-memory path, bit-identical and in
@@ -189,8 +215,9 @@ class StreamingWorldAccumulator:
     results is dropped, matching the in-memory pairing rules.
     """
 
-    # Metric rows: baseline/coolair max range, baseline/coolair PUE.
-    _ROWS = 4
+    # Metric rows: baseline/coolair max range, baseline/coolair PUE,
+    # baseline/coolair WUE (order pinned by screening.METRIC_NAMES).
+    _ROWS = 6
 
     def __init__(self, climates: Sequence, coolair_system: str) -> None:
         self._climates = tuple(climates)
@@ -218,10 +245,12 @@ class StreamingWorldAccumulator:
         if name == "baseline":
             self._metrics[0, slot] = result.max_range_c
             self._metrics[2, slot] = result.pue
+            self._metrics[4, slot] = result.wue
             self._seen[0, slot] = True
         elif name == self._coolair:
             self._metrics[1, slot] = result.max_range_c
             self._metrics[3, slot] = result.pue
+            self._metrics[5, slot] = result.wue
             self._seen[1, slot] = True
         self._provenance[slot] = "simulated"
 
@@ -231,7 +260,7 @@ class StreamingWorldAccumulator:
         """Fill one *unsimulated* location from the screening pipeline.
 
         ``metrics`` is the full metric-row vector (baseline/coolair max
-        range, baseline/coolair PUE); ``provenance`` tags how it was
+        range, PUE, and WUE); ``provenance`` tags how it was
         produced (``served_from_cluster`` or ``surrogate_only``).  A slot
         that already holds simulated results is never overwritten —
         screening only fills gaps, it cannot change simulation output.
@@ -250,7 +279,7 @@ class StreamingWorldAccumulator:
         self._provenance[slot] = provenance
 
     def location_metrics(self, name: str):
-        """The four metric rows of one fully-resolved location, or None."""
+        """The metric rows of one fully-resolved location, or None."""
         slot = self._slots.get(name)
         if slot is None or not (self._seen[0, slot] and self._seen[1, slot]):
             return None
@@ -290,6 +319,8 @@ class StreamingWorldAccumulator:
                     coolair_max_range_c=float(self._metrics[1, i]),
                     baseline_pue=float(self._metrics[2, i]),
                     coolair_pue=float(self._metrics[3, i]),
+                    baseline_wue=float(self._metrics[4, i]),
+                    coolair_wue=float(self._metrics[5, i]),
                     provenance=self._provenance[i],
                 )
             )
@@ -333,12 +364,13 @@ def render_world_map(
     ``width x height`` characters whether the sweep covered 24 points or
     100k+ — dense grids simply downsample harder.  ``metric`` picks what
     the glyph ramp encodes: ``"range"`` (max-range reduction in C, the
-    Figure 12 view) or ``"pue"`` (PUE reduction, Figure 13).  Empty tiles
-    (ocean, unresolved cells) render as spaces.
+    Figure 12 view), ``"pue"`` (PUE reduction, Figure 13), or ``"wue"``
+    (water-usage-effectiveness reduction in L/kWh).  Empty tiles (ocean,
+    unresolved cells) render as spaces.
     """
-    if metric not in ("range", "pue"):
-        raise SimulationError(
-            f"unknown map metric {metric!r}; choices: range, pue"
+    if metric not in ("range", "pue", "wue"):
+        raise ConfigError(
+            f"unknown map metric {metric!r}; choices: range, pue, wue"
         )
     if width < 8 or height < 4:
         raise SimulationError("map raster must be at least 8x4")
@@ -353,7 +385,12 @@ def render_world_map(
         col = int((c.longitude + 180.0) / 360.0 * (width - 1))
         row = min(max(row, 0), height - 1)
         col = min(max(col, 0), width - 1)
-        value = c.range_reduction_c if metric == "range" else c.pue_reduction
+        if metric == "range":
+            value = c.range_reduction_c
+        elif metric == "pue":
+            value = c.pue_reduction
+        else:
+            value = c.wue_reduction
         sums[row, col] += value
         counts[row, col] += 1
     # Scale the glyph ramp over the observed value range so small and
@@ -376,11 +413,12 @@ def render_world_map(
                 # Occupied tiles never render as the empty glyph.
                 chars.append(MAP_GLYPHS[max(1, index)])
             lines.append("".join(chars))
-        unit = "C" if metric == "range" else ""
+        unit = {"range": "C", "pue": "", "wue": "L/kWh"}[metric]
+        label = {"range": "max-range", "pue": "PUE", "wue": "WUE"}[metric]
         legend = (
             f"{MAP_GLYPHS[1]} = {lo:.2f}{unit} .. "
             f"{MAP_GLYPHS[-1]} = {hi:.2f}{unit} "
-            f"({'max-range' if metric == 'range' else 'PUE'} reduction, "
+            f"({label} reduction, "
             f"{len(summary.comparisons)} locations)"
         )
     else:

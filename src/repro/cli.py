@@ -50,6 +50,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_table
 from repro.analysis.runner import TaskFailure, resolve_workers
+from repro.cooling.backends import PLANTS, resolve_plant
 from repro.core.band import select_band
 from repro.core.coolair import CoolAir
 from repro.core.versions import ALL_VERSIONS
@@ -210,6 +211,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def cmd_day(args: argparse.Namespace) -> int:
     climate = _climate(args.location)
+    plant = resolve_plant(args.plant)
     trace = _trace(args.workload, deferrable=args.system.endswith("DEF"))
     faults = builtin_scenario(args.faults) if args.faults else None
     if args.system == "baseline":
@@ -218,14 +220,14 @@ def cmd_day(args: argparse.Namespace) -> int:
                 "--faults requires a CoolAir system (the baseline has no "
                 "graceful-degradation path); pick a version"
             )
-        setup = make_realsim(climate)
+        setup = make_realsim(climate, plant=plant)
         adapter = BaselineAdapter()
     else:
         config = ALL_VERSIONS[args.system]()
         if faults is not None:
             config = dataclasses.replace(config, faults=faults)
         maker = make_realsim if args.abrupt else make_smoothsim
-        setup = maker(climate, faults=faults)
+        setup = maker(climate, faults=faults, plant=plant)
         model = trained_cooling_model(
             log_gaps=faults.log_gaps if faults is not None else ()
         )
@@ -242,6 +244,11 @@ def cmd_day(args: argparse.Namespace) -> int:
         f"range {day.worst_sensor_range_c():.1f}C, "
         f"PUE {day.pue():.2f}, cooling {day.cooling_energy_kwh():.1f} kWh"
     )
+    if day.water_liters() > 0:
+        print(
+            f"water ({plant}): {day.water_liters():.0f} L, "
+            f"WUE {day.wue():.2f} L/kWh"
+        )
     if faults is not None:
         intervals = day.degradation_intervals()
         spans = ", ".join(f"{a/3600:.1f}h-{b/3600:.1f}h" for a, b in intervals)
@@ -263,6 +270,7 @@ def cmd_year(args: argparse.Namespace) -> int:
         sample_every_days=args.sample_days,
         use_disk_cache=not args.no_cache,
         day_lanes=args.day_lanes,
+        plant=args.plant,
     )
     print(result.summary_row())
     return 0
@@ -305,19 +313,31 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         task_retries=args.task_retries,
         task_timeout_s=args.task_timeout,
         failures=failures,
+        plant=args.plant,
+    )
+    wet = any(
+        result.water_l > 0.0
+        for by_location in matrix.values()
+        for result in by_location.values()
     )
     rows = []
     for system, by_location in matrix.items():
         for name, result in by_location.items():
-            rows.append([
+            row = [
                 system, name,
                 f"{result.avg_violation_c:.2f}",
                 f"{result.avg_range_c:.1f}",
                 f"{result.max_range_c:.1f}",
                 f"{result.pue:.2f}",
-            ])
+            ]
+            if wet:
+                row.append(f"{result.wue:.2f}")
+            rows.append(row)
+    headers = ["system", "location", "viol C", "avg range C", "max range C", "PUE"]
+    if wet:
+        headers.append("WUE")
     print(format_table(
-        ["system", "location", "viol C", "avg range C", "max range C", "PUE"],
+        headers,
         rows,
         title=f"Figures 8-10 matrix ({args.workload}, {workers} workers)",
     ))
@@ -389,6 +409,7 @@ def cmd_world(args: argparse.Namespace) -> int:
         stream=stream,
         screen=args.screen,
         screen_stats=screen_stats,
+        plant=args.plant,
     )
     print(format_table(
         ["bin C", "locations"],
@@ -444,6 +465,7 @@ def _submit_spec(args: argparse.Namespace):
     """A CampaignSpec from the ``submit`` flags, by sweep kind."""
     from repro.service.spec import CampaignSpec
 
+    plant = resolve_plant(args.plant)
     if args.kind == "matrix":
         return CampaignSpec(
             kind="matrix",
@@ -451,6 +473,7 @@ def _submit_spec(args: argparse.Namespace):
             workload=args.workload,
             sample_every_days=args.sample_days,
             day_lanes=args.day_lanes,
+            plant=plant,
         )
     if args.kind == "world":
         return CampaignSpec(
@@ -461,6 +484,7 @@ def _submit_spec(args: argparse.Namespace):
             sample_every_days=args.sample_days,
             screen=args.screen or "off",
             day_lanes=args.day_lanes,
+            plant=plant,
         )
     return CampaignSpec(
         kind="faults",
@@ -470,6 +494,7 @@ def _submit_spec(args: argparse.Namespace):
         workload=args.workload,
         sample_every_days=args.sample_days,
         day_lanes=args.day_lanes,
+        plant=plant,
     )
 
 
@@ -562,6 +587,13 @@ def cmd_cancel(args: argparse.Namespace) -> int:
 # -- entry point ----------------------------------------------------------------
 
 
+def _add_plant_arg(parser: argparse.ArgumentParser) -> None:
+    """The cooling-plant backend selector shared by the sim commands."""
+    parser.add_argument("--plant", default=None, choices=list(PLANTS),
+                        help="cooling plant backend (default REPRO_PLANT or "
+                             "parasol; docs/EXPERIMENTS.md)")
+
+
 def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
     """Where the service lives (client side); mirrors the serve flags."""
     parser.add_argument("--socket", default=None,
@@ -608,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(BUILTIN_SCENARIOS),
                      help="inject a built-in fault scenario "
                           "(see `coolair faults` and docs/ROBUSTNESS.md)")
+    _add_plant_arg(day)
 
     year = sub.add_parser("year", help="simulate a year")
     year.add_argument("--location", default="Newark")
@@ -621,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "REPRO_DAY_UNFOLD; 1 = day-sequential)")
     year.add_argument("--no-cache", action="store_true",
                       help="bypass the on-disk result cache")
+    _add_plant_arg(year)
 
     matrix = sub.add_parser(
         "matrix", help="the Figures 8-10 systems-by-locations year matrix")
@@ -647,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds to wait for any cell to finish before "
                              "recovering serially (default REPRO_TASK_TIMEOUT_S; "
                              "unset = no timeout)")
+    _add_plant_arg(matrix)
 
     world = sub.add_parser(
         "world", help="the Figures 12/13 worldwide sweep")
@@ -666,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print a terminal-sized ASCII world map "
                             "(dense grids downsample to the raster)")
     world.add_argument("--map-metric", default="range",
-                       choices=["range", "pue"],
+                       choices=["range", "pue", "wue"],
                        help="what the map glyphs encode (default range)")
     world.add_argument("--workers", type=int, default=None,
                        help="worker processes (default REPRO_WORKERS or CPUs)")
@@ -693,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     world.add_argument("--no-stream", action="store_true",
                        help="hold every full YearResult in the parent until "
                             "the sweep ends (the pre-streaming path)")
+    _add_plant_arg(world)
 
     bench = sub.add_parser(
         "bench", help="time the simulation core (see docs/PERFORMANCE.md)")
@@ -794,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suppress per-cell progress on stderr")
     submit.add_argument("--json", action="store_true",
                         help="print the raw result payload instead of tables")
+    _add_plant_arg(submit)
     _add_endpoint_args(submit)
 
     status = sub.add_parser(

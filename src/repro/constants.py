@@ -98,6 +98,51 @@ CONTROL_PERIOD_S = 600
 MODEL_STEP_S = 120
 """The short-term step of the learned Cooling Model (2 minutes)."""
 
+# --- alternative cooling plants (ROADMAP item 1) --------------------------
+#
+# The chiller and cooling-tower figures below are not from the CoolAir
+# paper (Parasol has neither); they are round ASHRAE-style numbers sized
+# to Parasol's ~2kW IT load so backend sweeps stay comparable.
+
+CHILLER_REFERENCE_LIFT_K = 25.0
+"""Condenser-to-evaporator temperature lift at the chiller's rating point."""
+
+CHILLER_COP_AT_REFERENCE = 5.0
+"""Chiller coefficient of performance at the reference lift."""
+
+CHILLER_MAX_COP = 9.0
+"""COP ceiling at very low lift (compressor/motor losses dominate)."""
+
+CHILLER_MIN_LIFT_K = 2.0
+"""Smallest lift the COP curve is evaluated at (avoids a 1/lift blowup)."""
+
+CHILLED_WATER_SUPPLY_C = 10.0
+"""Chilled-water supply temperature setpoint (evaporator side)."""
+
+CONDENSER_APPROACH_K = 5.0
+"""Condenser temperature rise above the outside heat-rejection medium."""
+
+MECH_COOLING_CAPACITY_W = 5500.0
+"""Rated heat-removal capacity of the mechanical cooling coil."""
+
+TOWER_APPROACH_K = 4.0
+"""Cooling-tower supply approach above the outside wet-bulb temperature."""
+
+TOWER_CUTOFF_WB_C = 24.0
+"""Wet-bulb temperature above which the tower loop delivers no cooling."""
+
+TOWER_CAPACITY_BAND_K = 8.0
+"""Wet-bulb band below the cutoff over which tower capacity ramps 0 -> 1."""
+
+TOWER_PUMP_FULL_W = 120.0
+"""Condenser-water pump power at full loop duty."""
+
+TOWER_FAN_FULL_W = 300.0
+"""Tower fan power at full speed (cubic fan law, like the FC unit)."""
+
+TOWER_CYCLES_OF_CONCENTRATION = 4.0
+"""Condenser-water concentration cycles; sets blowdown as evap/(COC-1)."""
+
 # --- disk reliability (Section 4.2) ---------------------------------------
 
 DISK_LOAD_UNLOAD_CYCLES = 300_000

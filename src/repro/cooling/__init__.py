@@ -14,6 +14,15 @@ from repro.cooling.units import (
     CoolingUnits,
     SmoothCoolingUnits,
 )
+from repro.cooling.backends import (
+    PLANTS,
+    ChillerUnits,
+    CoolingBackend,
+    CoolingTowerUnits,
+    HybridUnits,
+    get_backend,
+    resolve_plant,
+)
 from repro.cooling.tks import TKSConfig, TKSController
 from repro.cooling.baseline import BaselineController
 
@@ -25,6 +34,13 @@ __all__ = [
     "CoolingUnits",
     "AbruptCoolingUnits",
     "SmoothCoolingUnits",
+    "PLANTS",
+    "CoolingBackend",
+    "ChillerUnits",
+    "CoolingTowerUnits",
+    "HybridUnits",
+    "get_backend",
+    "resolve_plant",
     "TKSConfig",
     "TKSController",
     "BaselineController",

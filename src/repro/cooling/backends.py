@@ -1,0 +1,326 @@
+"""Declarative cooling-plant backends (ROADMAP item 1).
+
+Every simulation selects a *plant*: the cooling technology the container
+rejects heat with.  The default, ``parasol``, is the paper's hardware —
+the Dantherm free-cooling unit plus the DX AC — and is bit-identical to
+the pre-backend code paths (same units classes, same cache keys).  Three
+alternatives model the technologies CoolAir's plant-agnostic learned
+model could drive instead:
+
+* ``chiller`` — water chiller with an ASHRAE-style COP-vs-lift
+  performance curve and an air-cooled condenser: energy-hungry when the
+  lift is high, but draws no water.
+* ``cooling_tower`` — a wet cooling tower serving a chilled-water coil
+  directly (water-side economizer).  Cheap fan + pump power, but its
+  capacity collapses as the outside wet bulb approaches the loop supply
+  temperature, and every kWh it rejects evaporates water (plus blowdown).
+* ``hybrid`` — air-side free cooling exactly like ``parasol``, with the
+  mechanical path routed to the tower when the wet bulb permits and to
+  the chiller otherwise.  This exposes free-cooling/tower/chiller as
+  selectable regimes to the same controller/predictor stack.
+
+All backends present the :class:`~repro.cooling.units.CoolingUnits`
+interface, so the engine, controllers, and the learned model are
+unchanged; the controller's FREE_COOLING commands are mapped onto the
+mechanical path for plants without an air economizer.
+
+The chiller/tower units subclass :class:`SmoothCoolingUnits` — modern
+plants have variable-speed drives — so ``SimSetup.smooth_hardware``
+stays true and CoolAir's fine-grained control applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Optional, Tuple, Type
+
+from repro import constants
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.cooling.units import (
+    AbruptCoolingUnits,
+    CoolingUnits,
+    SmoothCoolingUnits,
+    free_cooling_power_w,
+)
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import evaporation_l_per_kwh, wet_bulb_c
+from repro.physics.thermal import PlantInputs
+
+PLANTS = ("parasol", "chiller", "cooling_tower", "hybrid")
+
+PLANT_ENV_VAR = "REPRO_PLANT"
+
+DEFAULT_PLANT = "parasol"
+
+
+def resolve_plant(requested: Optional[str] = None) -> str:
+    """The plant to simulate: explicit argument > ``REPRO_PLANT`` > default."""
+    if requested is None:
+        requested = os.environ.get(PLANT_ENV_VAR) or DEFAULT_PLANT
+    if requested not in PLANTS:
+        raise ConfigError(
+            f"unknown cooling plant {requested!r}; choices: {', '.join(PLANTS)}"
+        )
+    return requested
+
+
+# --- performance curves (pure functions, unit-testable) -------------------
+
+
+def chiller_lift_k(outside_temp_c: float) -> float:
+    """Condenser-to-evaporator lift for an air-cooled condenser."""
+    lift = (
+        outside_temp_c
+        + constants.CONDENSER_APPROACH_K
+        - constants.CHILLED_WATER_SUPPLY_C
+    )
+    return max(constants.CHILLER_MIN_LIFT_K, lift)
+
+
+def chiller_cop(lift_k: float) -> float:
+    """COP-vs-lift curve, inverse in lift and clamped at both ends.
+
+    Documented endpoints: COP equals ``CHILLER_COP_AT_REFERENCE`` (5.0)
+    at the reference lift (25 K), halves to 2.5 at double the reference
+    lift, and saturates at ``CHILLER_MAX_COP`` for very low lifts.
+    """
+    lift = max(constants.CHILLER_MIN_LIFT_K, lift_k)
+    cop = constants.CHILLER_COP_AT_REFERENCE * constants.CHILLER_REFERENCE_LIFT_K / lift
+    return min(constants.CHILLER_MAX_COP, cop)
+
+
+def chiller_power_w(duty: float, outside_temp_c: float) -> float:
+    """Compressor electrical draw to deliver ``duty`` of rated capacity."""
+    if duty <= 0.0:
+        return 0.0
+    heat_w = duty * constants.MECH_COOLING_CAPACITY_W
+    return heat_w / chiller_cop(chiller_lift_k(outside_temp_c))
+
+
+def tower_capacity_factor(wet_bulb_temp_c: float) -> float:
+    """Fraction of rated coil capacity the tower loop can deliver.
+
+    Full capacity when the wet bulb sits below the control band, ramping
+    linearly to zero at ``TOWER_CUTOFF_WB_C`` (supply approach + coil
+    delta-T leave no useful lift above it).
+    """
+    margin = constants.TOWER_CUTOFF_WB_C - wet_bulb_temp_c
+    return max(0.0, min(1.0, margin / constants.TOWER_CAPACITY_BAND_K))
+
+
+def tower_power_w(duty: float) -> float:
+    """Tower-loop electrical draw: pump linear in duty, fan cubic."""
+    if duty <= 0.0:
+        return 0.0
+    return (
+        constants.TOWER_PUMP_FULL_W * duty
+        + constants.TOWER_FAN_FULL_W * duty**3
+    )
+
+
+def tower_water_l(heat_rejected_w: float, dt_s: float) -> float:
+    """Evaporation plus blowdown for heat rejected over one step."""
+    if heat_rejected_w <= 0.0:
+        return 0.0
+    heat_kwh = heat_rejected_w * dt_s / 3.6e6
+    evaporated = heat_kwh * evaporation_l_per_kwh()
+    blowdown = evaporated / (constants.TOWER_CYCLES_OF_CONCENTRATION - 1.0)
+    return evaporated + blowdown
+
+
+def _mechanical_command(command: CoolingCommand) -> CoolingCommand:
+    """Map a command onto a plant whose only path is mechanical cooling.
+
+    FREE_COOLING requests become partial mechanical cooling at the
+    requested intensity, so the unchanged controllers (TKS proportional
+    band, CoolAir's regime search) still modulate the plant.
+    """
+    if command.mode is CoolingMode.FREE_COOLING:
+        return CoolingCommand(
+            mode=CoolingMode.AC_ON,
+            ac_fan_speed=1.0,
+            ac_compressor_duty=command.fc_fan_speed,
+        )
+    return command
+
+
+class ChillerUnits(SmoothCoolingUnits):
+    """Water chiller, air-cooled condenser: no economizer, no water."""
+
+    def _apply_command(self, command: CoolingCommand) -> None:
+        super()._apply_command(_mechanical_command(command))
+
+    def power_w(self) -> float:
+        power = self.AC_FAN_FULL_W * self.ac_fan_speed
+        power += chiller_power_w(self.ac_compressor_duty, self.outside_temp_c)
+        return power
+
+
+class CoolingTowerUnits(SmoothCoolingUnits):
+    """Wet tower + chilled-water coil: water-side economizer only."""
+
+    def _apply_command(self, command: CoolingCommand) -> None:
+        super()._apply_command(_mechanical_command(command))
+
+    def capacity_factor(self) -> float:
+        return tower_capacity_factor(
+            wet_bulb_c(self.outside_temp_c, self.outside_rh_pct)
+        )
+
+    def plant_inputs(self) -> PlantInputs:
+        # The thermal plant sees only the cooling the tower can deliver
+        # at the current wet bulb; fan/pump still run at commanded duty.
+        inputs = super().plant_inputs()
+        inputs.ac_compressor_duty *= self.capacity_factor()
+        return inputs
+
+    def power_w(self) -> float:
+        power = self.AC_FAN_FULL_W * self.ac_fan_speed
+        power += tower_power_w(self.ac_compressor_duty)
+        return power
+
+    def step_resources(self, it_power_w: float, dt_s: float) -> Tuple[float, float]:
+        delivered = self.ac_compressor_duty * self.capacity_factor()
+        heat_rejected_w = delivered * constants.MECH_COOLING_CAPACITY_W
+        return self.power_w(), tower_water_l(heat_rejected_w, dt_s)
+
+
+class HybridUnits(SmoothCoolingUnits):
+    """Air economizer + tower + chiller behind one set of actuators.
+
+    FREE_COOLING commands drive the air economizer exactly like the
+    smooth Parasol unit.  Mechanical commands pick a regime by outside
+    wet bulb: the tower when it can deliver at least
+    ``TOWER_MIN_USEFUL_CAPACITY`` of rated capacity, the chiller
+    otherwise.  ``active_regime`` exposes the selection to traces/tests.
+    """
+
+    TOWER_MIN_USEFUL_CAPACITY = 0.5
+
+    def __init__(self, ramp_per_step: float = 0.20) -> None:
+        super().__init__(ramp_per_step)
+        self._mech_regime: Optional[str] = None
+
+    def _tower_viable(self) -> bool:
+        return (
+            tower_capacity_factor(
+                wet_bulb_c(self.outside_temp_c, self.outside_rh_pct)
+            )
+            >= self.TOWER_MIN_USEFUL_CAPACITY
+        )
+
+    def _apply_command(self, command: CoolingCommand) -> None:
+        super()._apply_command(command)
+        if self.ac_compressor_duty > 0.0 or self.ac_fan_speed > 0.0:
+            self._mech_regime = "tower" if self._tower_viable() else "chiller"
+        else:
+            self._mech_regime = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._mech_regime = None
+
+    @property
+    def active_regime(self) -> str:
+        if self.fc_fan_speed > 0.0:
+            return "free_cooling"
+        if self._mech_regime is not None:
+            return self._mech_regime
+        return "off"
+
+    def plant_inputs(self) -> PlantInputs:
+        inputs = super().plant_inputs()
+        if self._mech_regime == "tower":
+            inputs.ac_compressor_duty *= tower_capacity_factor(
+                wet_bulb_c(self.outside_temp_c, self.outside_rh_pct)
+            )
+        return inputs
+
+    def power_w(self) -> float:
+        power = 0.0
+        if self.fc_fan_speed > 0.0:
+            power += free_cooling_power_w(self.fc_fan_speed)
+        power += self.AC_FAN_FULL_W * self.ac_fan_speed
+        if self._mech_regime == "tower":
+            power += tower_power_w(self.ac_compressor_duty)
+        else:
+            power += chiller_power_w(self.ac_compressor_duty, self.outside_temp_c)
+        return power
+
+    def step_resources(self, it_power_w: float, dt_s: float) -> Tuple[float, float]:
+        water = 0.0
+        if self._mech_regime == "tower":
+            delivered = self.ac_compressor_duty * tower_capacity_factor(
+                wet_bulb_c(self.outside_temp_c, self.outside_rh_pct)
+            )
+            water = tower_water_l(
+                delivered * constants.MECH_COOLING_CAPACITY_W, dt_s
+            )
+        return self.power_w(), water
+
+
+# --- the registry ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CoolingBackend:
+    """One cooling plant: metadata plus its units factory."""
+
+    name: str
+    description: str
+    has_economizer: bool
+    uses_water: bool
+    abrupt_cls: Type[CoolingUnits]
+    smooth_cls: Type[CoolingUnits]
+
+    def make_units(self, smooth: bool = True) -> CoolingUnits:
+        """Instantiate the plant's cooling units.
+
+        Only ``parasol`` distinguishes abrupt (real Parasol hardware)
+        from smooth (Smooth-Sim) units; the alternative plants model
+        modern variable-speed equipment on both settings.
+        """
+        cls = self.smooth_cls if smooth else self.abrupt_cls
+        return cls()
+
+
+_REGISTRY: Dict[str, CoolingBackend] = {
+    "parasol": CoolingBackend(
+        name="parasol",
+        description="Parasol free-cooling unit + DX AC (the paper's plant)",
+        has_economizer=True,
+        uses_water=False,
+        abrupt_cls=AbruptCoolingUnits,
+        smooth_cls=SmoothCoolingUnits,
+    ),
+    "chiller": CoolingBackend(
+        name="chiller",
+        description="air-cooled water chiller, COP-vs-lift curve, no water",
+        has_economizer=False,
+        uses_water=False,
+        abrupt_cls=ChillerUnits,
+        smooth_cls=ChillerUnits,
+    ),
+    "cooling_tower": CoolingBackend(
+        name="cooling_tower",
+        description="wet tower + CHW coil: cheap power, evaporates water",
+        has_economizer=False,
+        uses_water=True,
+        abrupt_cls=CoolingTowerUnits,
+        smooth_cls=CoolingTowerUnits,
+    ),
+    "hybrid": CoolingBackend(
+        name="hybrid",
+        description="air economizer with tower/chiller mechanical regimes",
+        has_economizer=True,
+        uses_water=True,
+        abrupt_cls=HybridUnits,
+        smooth_cls=HybridUnits,
+    ),
+}
+
+
+def get_backend(name: str) -> CoolingBackend:
+    """Look up a backend by plant name (:class:`ConfigError` if unknown)."""
+    return _REGISTRY[resolve_plant(name)]

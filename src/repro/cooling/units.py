@@ -60,6 +60,8 @@ class CoolingUnits:
         self._fan_stuck_speed: float = 0.0
         self._compressor_locked = False
         self._damper_jammed = False
+        self.outside_temp_c = 20.0
+        self.outside_rh_pct = 50.0
 
     def reset(self) -> None:
         """Return the actuators to the powered-off state.
@@ -115,6 +117,26 @@ class CoolingUnits:
             ac_fan_speed=self.ac_fan_speed,
             ac_compressor_duty=self.ac_compressor_duty,
         )
+
+    def observe_boundary(self, outside_temp_c: float, outside_rh_pct: float) -> None:
+        """Record the outdoor conditions the units are rejecting heat into.
+
+        The Parasol units ignore these (their power depends only on
+        actuator state), but weather-coupled backends — the chiller's COP
+        lift, the tower's wet-bulb capacity and evaporation — read them in
+        :meth:`plant_inputs` and :meth:`step_resources`.
+        """
+        self.outside_temp_c = outside_temp_c
+        self.outside_rh_pct = outside_rh_pct
+
+    def step_resources(self, it_power_w: float, dt_s: float) -> "tuple[float, float]":
+        """Electrical draw (W) and water use (liters) over one model step.
+
+        The base implementation is the air-cooled Parasol plant: the
+        actuator power law and zero water.  Backends that consume water
+        (evaporative towers) override this.
+        """
+        return self.power_w(), 0.0
 
     def power_w(self) -> float:
         raise NotImplementedError

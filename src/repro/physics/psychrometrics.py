@@ -171,6 +171,16 @@ def wet_bulb_c(temperature_c: float, relative_humidity_pct: float) -> float:
 LATENT_HEAT_VAPORIZATION_J_KG = 2.45e6
 
 
+def evaporation_l_per_kwh() -> float:
+    """Liters of water evaporated per kWh of heat rejected evaporatively.
+
+    1 kWh = 3.6e6 J; dividing by the latent heat of vaporization (J/kg,
+    ~= L for water) gives ~1.47 L/kWh — the thermodynamic floor for a
+    cooling tower, before blowdown and drift losses.
+    """
+    return 3.6e6 / LATENT_HEAT_VAPORIZATION_J_KG
+
+
 def dew_point_c(mixing_ratio: float, pressure_pa: float = ATMOSPHERIC_PRESSURE_PA) -> float:
     """Dew point temperature (C) of air with the given mixing ratio.
 

@@ -256,24 +256,37 @@ def _render_cells(result: dict) -> str:
     from repro.analysis.experiments import _result_from_json
     from repro.analysis.report import format_table
 
+    cells = result.get("cells", [])
+    years = {
+        i: _result_from_json(cell["result"])
+        for i, cell in enumerate(cells)
+        if cell.get("result") is not None
+    }
+    wet = any(year.water_l > 0.0 for year in years.values())
     rows: List[List[str]] = []
-    for cell in result.get("cells", []):
-        if cell.get("result") is None:
-            rows.append([cell["system"], cell["location"], "-", "-", "-", "-"])
+    for i, cell in enumerate(cells):
+        year = years.get(i)
+        if year is None:
+            rows.append(
+                [cell["system"], cell["location"]] + ["-"] * (5 if wet else 4)
+            )
             continue
-        year = _result_from_json(cell["result"])
-        rows.append(
-            [
-                cell["system"],
-                cell["location"],
-                f"{year.avg_violation_c:.2f}",
-                f"{year.avg_range_c:.1f}",
-                f"{year.max_range_c:.1f}",
-                f"{year.pue:.2f}",
-            ]
-        )
+        row = [
+            cell["system"],
+            cell["location"],
+            f"{year.avg_violation_c:.2f}",
+            f"{year.avg_range_c:.1f}",
+            f"{year.max_range_c:.1f}",
+            f"{year.pue:.2f}",
+        ]
+        if wet:
+            row.append(f"{year.wue:.2f}")
+        rows.append(row)
+    headers = ["system", "location", "viol C", "avg range C", "max range C", "PUE"]
+    if wet:
+        headers.append("WUE")
     return format_table(
-        ["system", "location", "viol C", "avg range C", "max range C", "PUE"],
+        headers,
         rows,
         title=f"campaign result ({result.get('kind')})",
     )

@@ -46,6 +46,7 @@ def task_cache_key(task: YearTask) -> str:
         task.deferrable,
         task.sample_every_days,
         task.forecast_bias_c,
+        plant=task.plant,
     )
 
 
@@ -64,6 +65,7 @@ def task_descriptor(task: YearTask) -> dict:
         "deferrable": task.deferrable,
         "sample_every_days": task.sample_every_days,
         "forecast_bias_c": task.forecast_bias_c,
+        "plant": task.plant,
         "label": task.label(),
     }
 
@@ -351,6 +353,7 @@ class JobRegistry:
                 spec.world_climates(),
                 coolair_system=spec.coolair_system,
                 sample_every_days=spec.sample_every_days,
+                plant=spec.plant,
             )
             tasks = screening.representative_tasks()
         else:

@@ -145,6 +145,10 @@ class CampaignSpec:
     # bit-identical either way and cache keys ignore the width, so
     # cross-request dedupe is unaffected.
     day_lanes: Optional[int] = None
+    # Cooling-plant backend stamped on every expanded cell.  Non-parasol
+    # plants carry their own cache-key token, so a chiller campaign never
+    # dedupes against a parasol one.
+    plant: str = "parasol"
 
     # -- validation / wire form ---------------------------------------------
 
@@ -186,6 +190,13 @@ class CampaignSpec:
         if self.day_lanes is not None and self.day_lanes < 1:
             raise SpecError(
                 f"day_lanes must be >= 1, got {self.day_lanes}"
+            )
+        from repro.cooling.backends import PLANTS
+
+        if self.plant not in PLANTS:
+            raise SpecError(
+                f"unknown cooling plant {self.plant!r}; "
+                f"choices: {', '.join(PLANTS)}"
             )
 
     @classmethod
@@ -232,6 +243,8 @@ class CampaignSpec:
             payload["sample_every_days"] = self.sample_every_days
         if self.day_lanes is not None:
             payload["day_lanes"] = self.day_lanes
+        if self.plant != "parasol":
+            payload["plant"] = self.plant
         return payload
 
     # -- expansion -----------------------------------------------------------
@@ -291,6 +304,11 @@ class CampaignSpec:
                 dataclasses.replace(task, day_lanes=self.day_lanes)
                 for task in tasks
             ]
+        if self.plant != "parasol":
+            tasks = [
+                dataclasses.replace(task, plant=self.plant)
+                for task in tasks
+            ]
         return tasks
 
     def world_grid_points(self) -> int:
@@ -302,15 +320,16 @@ class CampaignSpec:
         return world_grid(self.world_grid_points())
 
     def describe(self) -> str:
+        plant = f" ({self.plant})" if self.plant != "parasol" else ""
         if self.kind == "matrix":
-            return f"matrix[{','.join(self.systems)}] ({self.workload})"
+            return f"matrix[{','.join(self.systems)}] ({self.workload}){plant}"
         if self.kind == "world":
             suffix = ", screened" if self.screen == "on" else ""
-            return f"world[{self.world_grid_points()}{suffix}]"
+            return f"world[{self.world_grid_points()}{suffix}]{plant}"
         if self.kind == "faults":
             n = len(self.scenarios or BUILTIN_SCENARIOS)
-            return f"faults[{self.system}@{self.location} x{n}]"
-        return f"cells[{len(self.cells)}]"
+            return f"faults[{self.system}@{self.location} x{n}]{plant}"
+        return f"cells[{len(self.cells)}]{plant}"
 
 
 def _default_world() -> int:

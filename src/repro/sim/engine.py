@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.cooling.baseline import BaselineController
 from repro.cooling.regimes import CoolingMode
-from repro.cooling.units import AbruptCoolingUnits, CoolingUnits, SmoothCoolingUnits
+from repro.cooling.units import CoolingUnits, SmoothCoolingUnits
 from repro.core.coolair import CoolAir
 from repro.core.modeler import MonitoringSample
 from repro.core.predictor import PredictorState
@@ -73,8 +73,15 @@ def make_realsim(
     forecast_bias_c: float = 0.0,
     process_noise_c: float = 0.0,
     faults: Optional[FaultSchedule] = None,
+    plant: str = "parasol",
 ) -> SimSetup:
-    """Real-Sim: Parasol's abrupt cooling hardware."""
+    """Real-Sim: abrupt cooling hardware for the selected plant backend.
+
+    ``plant`` only changes hardware granularity for ``parasol`` (the
+    alternative plants model variable-speed equipment on both the real
+    and smooth settings).
+    """
+    from repro.cooling.backends import get_backend
     from repro.physics.thermal import ThermalPlantConfig
 
     # Served from the artifact store (docs/PERFORMANCE.md): generated once
@@ -84,13 +91,13 @@ def make_realsim(
     # The Hadoop deployment stores a full dataset copy on a covering subset
     # of servers, which must stay active at all times (Section 4.2).
     covering_subset(layout.all_servers())
-    plant = ThermalPlant(ThermalPlantConfig(process_noise_c=process_noise_c))
+    thermal = ThermalPlant(ThermalPlantConfig(process_noise_c=process_noise_c))
     return SimSetup(
         climate=climate,
         tmy=tmy,
         layout=layout,
-        plant=plant,
-        units=AbruptCoolingUnits(),
+        plant=thermal,
+        units=get_backend(plant).make_units(smooth=False),
         forecast=ForecastService(tmy, bias_c=forecast_bias_c),
         faults=FaultInjector(faults) if faults else None,
     )
@@ -101,10 +108,13 @@ def make_smoothsim(
     forecast_bias_c: float = 0.0,
     process_noise_c: float = 0.0,
     faults: Optional[FaultSchedule] = None,
+    plant: str = "parasol",
 ) -> SimSetup:
     """Smooth-Sim: fine-grained fan ramp and variable-speed compressor."""
-    setup = make_realsim(climate, forecast_bias_c, process_noise_c, faults)
-    return dataclasses.replace(setup, units=SmoothCoolingUnits())
+    from repro.cooling.backends import get_backend
+
+    setup = make_realsim(climate, forecast_bias_c, process_noise_c, faults, plant)
+    return dataclasses.replace(setup, units=get_backend(plant).make_units(smooth=True))
 
 
 # --------------------------------------------------------------------------
@@ -419,6 +429,7 @@ class DayRunner:
             outside_temp_c=outside_c,
             outside_rh_pct=outside_rh,
         )
+        setup.units.observe_boundary(outside_c, outside_rh)
         self._prev_readings = setup.layout.inlet_readings()
         self._prev_outside_c = setup.layout.outside_temp.read()
         self._prev_fan = setup.units.fc_fan_speed
@@ -438,6 +449,10 @@ class DayRunner:
         outside_c = self._weather.temperature_c(abs_t)
         outside_w = self._weather.mixing_ratio(abs_t)
         outside_rh = self._weather.relative_humidity_pct(abs_t)
+
+        # Boundary before plant_inputs: weather-coupled units (cooling
+        # tower capacity, chiller lift) read it when shaping the inputs.
+        units.observe_boundary(outside_c, outside_rh)
 
         pod_powers = layout.pod_it_power_w()
         inputs = units.plant_inputs()
@@ -470,8 +485,8 @@ class DayRunner:
         disk_util = min(1.0, 0.15 + 0.7 * per_active)
         disk_temps = layout.disks.step(state.pod_inlet_temp_c, disk_util, dt)
 
-        cooling_power = units.power_w()
         it_power = sum(pod_powers)
+        cooling_power, water_l = units.step_resources(it_power, dt)
         record = StepRecord(
             time_s=self._time_of_day_s,
             outside_temp_c=layout.outside_temp.read(),
@@ -486,6 +501,7 @@ class DayRunner:
             utilization=layout.utilization(),
             disk_temps_c=tuple(float(t) for t in disk_temps),
             degraded=self.degraded_control,
+            water_l=water_l,
         )
         if self.collect_monitoring:
             self.monitoring_log.append(

@@ -137,6 +137,9 @@ class LaneScenario:
     climate: Climate
     trace: Trace
     forecast_bias_c: float = 0.0
+    # The lane engine vectorizes the Parasol power laws only; alternative
+    # plants route to the scalar engine (experiments.effective_engine).
+    plant: str = "parasol"
 
 
 class _Lane:
@@ -179,6 +182,12 @@ class LaneRunner:
     ) -> None:
         if not scenarios:
             raise ConfigError("LaneRunner needs at least one scenario")
+        for scenario in scenarios:
+            if scenario.plant != "parasol":
+                raise ConfigError(
+                    "the lane engine only vectorizes the parasol plant; "
+                    f"got {scenario.plant!r} (use the scalar engine)"
+                )
         self.num_lanes = len(scenarios)
         self.model_step_s = MODEL_STEP_S
         self.control_period_s = CONTROL_PERIOD_S

@@ -15,10 +15,11 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import constants
 from repro.core.coolair import CoolAir
 from repro.core.config import CoolAirConfig
 from repro.core.modeler import CoolingModel
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.engine import (
     BaselineAdapter,
     CoolAirAdapter,
@@ -78,11 +79,24 @@ class FleetDayResult:
     def it_kwh(self) -> float:
         return sum(z.trace.it_energy_kwh() for z in self.zones)
 
-    def fleet_pue(self, delivery_overhead: float = 0.08) -> float:
+    @property
+    def water_l(self) -> float:
+        return sum(z.trace.water_liters() for z in self.zones)
+
+    def fleet_pue(
+        self,
+        delivery_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD,
+    ) -> float:
         """PUE over the whole fleet's energy, not a mean of zone PUEs."""
         if self.it_kwh <= 0:
-            raise ConfigError("fleet PUE undefined with zero IT energy")
+            raise SimulationError("PUE undefined with zero IT energy")
         return 1.0 + self.cooling_kwh / self.it_kwh + delivery_overhead
+
+    def fleet_wue(self) -> float:
+        """WUE over the whole fleet's water and IT energy, L/kWh."""
+        if self.it_kwh <= 0:
+            raise SimulationError("WUE undefined with zero IT energy")
+        return self.water_l / self.it_kwh
 
     def zone_spread_c(self) -> float:
         """Max-minus-min of zone maximum temperatures (zone imbalance)."""
@@ -101,6 +115,7 @@ class MultiZoneDatacenter:
         system: Union[str, CoolAirConfig],
         model: Optional[CoolingModel] = None,
         smooth_hardware: bool = True,
+        plant: str = "parasol",
     ) -> None:
         if num_zones < 1:
             raise ConfigError("num_zones must be >= 1")
@@ -114,11 +129,11 @@ class MultiZoneDatacenter:
         self.runners: List[DayRunner] = []
         for zone_trace in partition_trace(trace, num_zones):
             if is_baseline:
-                setup = make_realsim(climate)
+                setup = make_realsim(climate, plant=plant)
                 adapter = BaselineAdapter()
             else:
                 maker = make_smoothsim if smooth_hardware else make_realsim
-                setup = maker(climate)
+                setup = maker(climate, plant=plant)
                 coolair = CoolAir(
                     system, model, setup.layout, setup.forecast,
                     smooth_hardware=setup.smooth_hardware,

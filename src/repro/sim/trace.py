@@ -7,6 +7,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import constants
 from repro.cooling.regimes import CoolingMode
 from repro.errors import SimulationError
 
@@ -68,6 +69,9 @@ class StepRecord:
     # Whether the step ran under a degraded (safe-mode) control decision;
     # always False for the baseline and for fault-free runs.
     degraded: bool = False
+    # Water drawn by the cooling plant over this step, liters; always 0
+    # for the air-cooled plants (parasol, chiller).
+    water_l: float = 0.0
 
 
 class DayTrace:
@@ -107,6 +111,9 @@ class DayTrace:
     def inside_rh(self) -> np.ndarray:
         return np.array([r.inside_rh_pct for r in self.records])
 
+    def water_draws_l(self) -> np.ndarray:
+        return np.array([r.water_l for r in self.records])
+
     def modes(self) -> List[CoolingMode]:
         return [r.mode for r in self.records]
 
@@ -137,11 +144,27 @@ class DayTrace:
     def it_energy_kwh(self) -> float:
         return energy_kwh_from(self.it_powers_w(), self.times_s())
 
-    def pue(self, delivery_overhead: float = 0.08) -> float:
+    def water_liters(self) -> float:
+        """Total cooling water drawn over the day."""
+        if not self.records:
+            return 0.0
+        return float(np.sum(self.water_draws_l()))
+
+    def pue(
+        self,
+        delivery_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD,
+    ) -> float:
         it = self.it_energy_kwh()
         if it <= 0:
             raise SimulationError("PUE undefined with zero IT energy")
         return 1.0 + self.cooling_energy_kwh() / it + delivery_overhead
+
+    def wue(self) -> float:
+        """Water usage effectiveness: cooling water per IT energy, L/kWh."""
+        it = self.it_energy_kwh()
+        if it <= 0:
+            raise SimulationError("WUE undefined with zero IT energy")
+        return self.water_liters() / it
 
     def time_in_mode(self, mode: CoolingMode) -> float:
         """Fraction of the day spent in a cooling mode."""

@@ -49,6 +49,9 @@ class YearResult:
     cooling_kwh: float
     it_kwh: float
     delivery_overhead: float = constants.POWER_DELIVERY_PUE_OVERHEAD
+    # Cooling water drawn over the sampled days, liters; 0 for the
+    # air-cooled plants (parasol, chiller) and for pre-water cache entries.
+    water_l: float = 0.0
     # Per sampled day: fraction of steps under safe-mode (degraded)
     # control — all zeros unless the run injected faults
     # (docs/ROBUSTNESS.md).
@@ -105,12 +108,22 @@ class YearResult:
             raise SimulationError("PUE undefined with zero IT energy")
         return 1.0 + self.cooling_kwh / self.it_kwh + self.delivery_overhead
 
+    @property
+    def wue(self) -> float:
+        """Water usage effectiveness: cooling water per IT energy, L/kWh."""
+        if self.it_kwh <= 0:
+            raise SimulationError("WUE undefined with zero IT energy")
+        return self.water_l / self.it_kwh
+
     def summary_row(self) -> str:
+        # The WUE column appears only for water-drawing plants, keeping
+        # the default (parasol) row byte-identical to the pre-water form.
+        wue = f"  WUE={self.wue:4.2f}L/kWh" if self.water_l > 0 else ""
         return (
             f"{self.label:<16} {self.climate_name:<10} "
             f"viol={self.avg_violation_c:5.2f}C  "
             f"range avg={self.avg_range_c:5.1f} max={self.max_range_c:5.1f}C  "
-            f"PUE={self.pue:4.2f}  cooling={self.cooling_kwh:7.1f}kWh"
+            f"PUE={self.pue:4.2f}  cooling={self.cooling_kwh:7.1f}kWh{wue}"
         )
 
 
@@ -133,14 +146,16 @@ def run_year(
     forecast_bias_c: float = 0.0,
     violation_threshold_c: float = 30.0,
     keep_traces: bool = False,
+    plant: str = "parasol",
 ) -> YearResult:
     """Simulate a year of one management system at one location.
 
     ``system`` is the string ``"baseline"`` or a :class:`CoolAirConfig`
     (e.g. from :mod:`repro.core.versions`).  The baseline runs on the
     abrupt Parasol hardware it was designed for; CoolAir versions default
-    to the smooth hardware of Smooth-Sim (Section 5.1).  Traces are
-    deep-copied because temporal scheduling mutates job start times.
+    to the smooth hardware of Smooth-Sim (Section 5.1).  ``plant``
+    selects the cooling backend (:mod:`repro.cooling.backends`).  Traces
+    are deep-copied because temporal scheduling mutates job start times.
     """
     trace = copy.deepcopy(trace)
     is_baseline = isinstance(system, str)
@@ -148,13 +163,15 @@ def run_year(
         raise SimulationError(f"unknown system {system!r}")
 
     if is_baseline:
-        setup = make_realsim(climate, forecast_bias_c=forecast_bias_c)
+        setup = make_realsim(climate, forecast_bias_c=forecast_bias_c, plant=plant)
         adapter = BaselineAdapter()
         label = "Baseline"
     else:
         faults = system.faults if system.faults else None
         maker = make_smoothsim if smooth_hardware else make_realsim
-        setup = maker(climate, forecast_bias_c=forecast_bias_c, faults=faults)
+        setup = maker(
+            climate, forecast_bias_c=forecast_bias_c, faults=faults, plant=plant
+        )
         if model is None:
             gaps = faults.log_gaps if faults is not None else ()
             model = trained_cooling_model(log_gaps=gaps)
@@ -196,6 +213,7 @@ def run_year(
         result.daily_degraded_fraction.append(day_trace.degraded_fraction())
         result.cooling_kwh += day_trace.cooling_energy_kwh()
         result.it_kwh += day_trace.it_energy_kwh()
+        result.water_l += day_trace.water_liters()
         if keep_traces:
             traces.append(day_trace)
     if keep_traces:

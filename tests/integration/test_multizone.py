@@ -3,8 +3,14 @@
 import pytest
 
 from repro.core.versions import all_nd
-from repro.errors import ConfigError
-from repro.sim.multizone import FleetDayResult, MultiZoneDatacenter, partition_trace
+from repro.errors import ConfigError, SimulationError
+from repro.sim.multizone import (
+    FleetDayResult,
+    MultiZoneDatacenter,
+    ZoneDayResult,
+    partition_trace,
+)
+from repro.sim.trace import DayTrace
 from repro.weather.locations import NEWARK
 
 
@@ -74,3 +80,45 @@ class TestMultiZoneRuns:
             MultiZoneDatacenter(
                 NEWARK, facebook_trace, num_zones=2, system="magic"
             )
+
+
+class TestPueAccounting:
+    """fleet_pue and DayTrace.pue share one overhead constant and one
+    zero-IT failure mode (they drifted apart once; these pin the fix)."""
+
+    def test_single_zone_fleet_pue_equals_trace_pue(self, facebook_trace):
+        fleet = MultiZoneDatacenter(
+            NEWARK, facebook_trace, num_zones=1, system="baseline"
+        )
+        result = fleet.run_day(182)
+        assert result.fleet_pue() == pytest.approx(
+            result.zones[0].trace.pue()
+        )
+
+    def test_overhead_constant_is_shared(self, facebook_trace):
+        from repro import constants
+
+        fleet = MultiZoneDatacenter(
+            NEWARK, facebook_trace, num_zones=1, system="baseline"
+        )
+        result = fleet.run_day(182)
+        # Zeroing the overhead shifts both accountings by exactly the
+        # constant: neither side hardcodes its own copy.
+        delta = constants.POWER_DELIVERY_PUE_OVERHEAD
+        assert result.fleet_pue(delivery_overhead=0.0) == pytest.approx(
+            result.fleet_pue() - delta
+        )
+        assert result.zones[0].trace.pue(delivery_overhead=0.0) == (
+            pytest.approx(result.zones[0].trace.pue() - delta)
+        )
+
+    def test_zero_it_raises_simulation_error_everywhere(self):
+        empty = FleetDayResult(zones=[ZoneDayResult(0, DayTrace(day_of_year=1))])
+        with pytest.raises(SimulationError):
+            empty.fleet_pue()
+        with pytest.raises(SimulationError):
+            empty.fleet_wue()
+        with pytest.raises(SimulationError):
+            DayTrace(day_of_year=1).pue()
+        with pytest.raises(SimulationError):
+            DayTrace(day_of_year=1).wue()

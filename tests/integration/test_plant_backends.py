@@ -1,0 +1,159 @@
+"""End-to-end runs of the alternative cooling plants.
+
+The acceptance gates for the multi-backend plant layer: every backend
+runs a cached year through the same entry points the CLI uses, the
+``parasol`` default stays bit-identical to a plant-unaware call, and a
+small world sweep demonstrates the energy-vs-water tradeoff between the
+chiller (power-hungry, dry) and the cooling tower (frugal, thirsty).
+"""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+from repro.analysis import experiments
+from repro.weather.locations import NEWARK
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="workers must inherit the monkeypatched cache directory",
+)
+
+# One sampled day per year: each cell is a single simulated day.
+FAST_STRIDE = 365
+
+
+@pytest.fixture()
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(experiments, "CACHE_DIR", tmp_path / "cache")
+    monkeypatch.setattr(experiments, "_memory_cache", {})
+    return monkeypatch
+
+
+@pytest.mark.parametrize("plant", ["chiller", "cooling_tower", "hybrid"])
+def test_backend_runs_a_cached_year(fresh_caches, plant):
+    result = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant=plant
+    )
+    assert result.pue > 1.0
+    assert result.it_kwh > 0.0
+    assert result.water_l >= 0.0
+    # The run landed on disk under a plant-tagged key...
+    key = experiments.cache_key(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant=plant
+    )
+    assert f"-p{plant}-" in key
+    assert experiments.cache_path(key).exists()
+    # ...and a second call is a cache hit, not a re-simulation.
+    again = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant=plant
+    )
+    assert again is result
+
+
+def test_parasol_default_is_bit_identical(fresh_caches, tmp_path):
+    explicit = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant="parasol"
+    )
+    fresh_caches.setattr(experiments, "CACHE_DIR", tmp_path / "cache2")
+    fresh_caches.setattr(experiments, "_memory_cache", {})
+    implicit = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE
+    )
+    assert dataclasses.asdict(explicit) == dataclasses.asdict(implicit)
+    assert explicit.water_l == 0.0
+
+
+def test_tower_draws_water_chiller_draws_power(fresh_caches, tmp_path):
+    """The per-site version of the world tradeoff, on one Newark year."""
+    chiller = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant="chiller"
+    )
+    tower = experiments.year_result(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant="cooling_tower"
+    )
+    assert chiller.water_l == 0.0
+    assert tower.water_l > 0.0
+    assert tower.wue > 0.0
+    assert chiller.cooling_kwh > tower.cooling_kwh
+    assert chiller.pue > tower.pue
+
+
+def test_cli_year_reports_wue_for_wet_plants(fresh_caches, capsys):
+    from repro.cli import main
+
+    assert main([
+        "year", "--location", "Newark", "--system", "baseline",
+        "--sample-days", str(FAST_STRIDE), "--plant", "cooling_tower",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "WUE" in out
+
+    assert main([
+        "year", "--location", "Newark", "--system", "baseline",
+        "--sample-days", str(FAST_STRIDE),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "WUE" not in out  # the default plant's output is unchanged
+
+
+@fork_only
+def test_world_sweep_shows_energy_water_tradeoff(fresh_caches, tmp_path):
+    chiller = experiments.world_sweep(
+        num_locations=2,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        plant="chiller",
+    )
+    tower = experiments.world_sweep(
+        num_locations=2,
+        sample_every_days=FAST_STRIDE,
+        workers=1,
+        plant="cooling_tower",
+    )
+    # The tower sweats; the chiller stays dry but pays in PUE.
+    assert chiller.avg_baseline_wue == 0.0
+    assert tower.avg_baseline_wue > 0.0
+    assert chiller.avg_baseline_pue > tower.avg_baseline_pue
+    assert "WUE" in tower.headline()
+    assert "WUE" not in chiller.headline()
+
+
+@fork_only
+def test_service_runs_plant_campaigns(fresh_caches, tmp_path):
+    from repro.service import CampaignService, ThreadedService
+    from repro.service.client import ServiceClient
+    from repro.service.spec import CampaignSpec, CellSpec
+
+    spec = CampaignSpec(
+        kind="cells",
+        cells=(
+            CellSpec(
+                system="baseline",
+                location="Newark",
+                sample_every_days=FAST_STRIDE,
+            ),
+        ),
+        plant="cooling_tower",
+    )
+    service = CampaignService(workers=1)
+    threaded = ThreadedService(service)
+    address = threaded.start(socket_path=str(tmp_path / "service.sock"))
+    try:
+        with ServiceClient(socket_path=address) as client:
+            reply = client.submit(spec, stream=True)
+            events = list(client.events())
+            result = client.result(reply["job_id"])
+    finally:
+        threaded.stop()
+    assert events[-1]["event"] == "done" and events[-1]["failed"] == 0
+    (cell,) = result["cells"]
+    assert cell["plant"] == "cooling_tower"
+    year = experiments._result_from_json(cell["result"])
+    assert year.water_l > 0.0
+    # The service wrote the same plant-tagged cache entry the CLI reads.
+    key = experiments.cache_key(
+        "baseline", NEWARK, sample_every_days=FAST_STRIDE, plant="cooling_tower"
+    )
+    assert experiments.cache_path(key).exists()

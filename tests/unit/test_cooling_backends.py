@@ -1,0 +1,284 @@
+"""The cooling-plant backends: registry, curves, and resource draws.
+
+Pins the contracts docs/EXPERIMENTS.md documents:
+
+* the ``parasol`` backend is the pre-backend units verbatim (same
+  classes, zero water), so default results stay bit-identical;
+* the chiller COP curve hits its documented endpoints and never pays
+  less than the physics allows;
+* the tower's capacity collapses toward the wet-bulb cutoff and its
+  water draw is evaporation plus blowdown at the configured cycles of
+  concentration;
+* the hybrid plant picks free-cooling/tower/chiller regimes the way the
+  docstrings promise.
+"""
+
+import pytest
+
+from repro import constants
+from repro.cooling.backends import (
+    DEFAULT_PLANT,
+    PLANT_ENV_VAR,
+    PLANTS,
+    ChillerUnits,
+    CoolingTowerUnits,
+    HybridUnits,
+    chiller_cop,
+    chiller_lift_k,
+    chiller_power_w,
+    get_backend,
+    resolve_plant,
+    tower_capacity_factor,
+    tower_power_w,
+    tower_water_l,
+)
+from repro.cooling.regimes import CoolingCommand, CoolingMode
+from repro.cooling.units import AbruptCoolingUnits, SmoothCoolingUnits
+from repro.errors import ConfigError
+from repro.physics.psychrometrics import evaporation_l_per_kwh, wet_bulb_c
+
+
+def saturate(units, command, steps=10):
+    """Apply a command until the smooth ramp reaches its target."""
+    for _ in range(steps):
+        units.apply(command)
+
+
+AC_FULL = CoolingCommand(
+    mode=CoolingMode.AC_ON, ac_fan_speed=1.0, ac_compressor_duty=1.0
+)
+FC_FULL = CoolingCommand(mode=CoolingMode.FREE_COOLING, fc_fan_speed=1.0)
+
+
+class TestResolvePlant:
+    def test_default_is_parasol(self, monkeypatch):
+        monkeypatch.delenv(PLANT_ENV_VAR, raising=False)
+        assert resolve_plant() == DEFAULT_PLANT == "parasol"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(PLANT_ENV_VAR, "chiller")
+        assert resolve_plant() == "chiller"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(PLANT_ENV_VAR, "chiller")
+        assert resolve_plant("cooling_tower") == "cooling_tower"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.delenv(PLANT_ENV_VAR, raising=False)
+        with pytest.raises(ConfigError, match="unknown cooling plant"):
+            resolve_plant("swamp_cooler")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(PLANT_ENV_VAR, "swamp_cooler")
+        with pytest.raises(ConfigError, match="unknown cooling plant"):
+            resolve_plant()
+
+
+class TestRegistry:
+    def test_every_plant_registered(self):
+        for plant in PLANTS:
+            backend = get_backend(plant)
+            assert backend.name == plant
+
+    def test_parasol_is_the_legacy_units(self):
+        backend = get_backend("parasol")
+        assert type(backend.make_units(smooth=False)) is AbruptCoolingUnits
+        assert type(backend.make_units(smooth=True)) is SmoothCoolingUnits
+
+    def test_alternative_units_are_smooth_subclasses(self):
+        # SimSetup.smooth_hardware is an isinstance check against
+        # SmoothCoolingUnits; every alternative plant must satisfy it.
+        for plant in ("chiller", "cooling_tower", "hybrid"):
+            units = get_backend(plant).make_units(smooth=True)
+            assert isinstance(units, SmoothCoolingUnits)
+
+    def test_water_flags_match_step_resources(self):
+        assert not get_backend("parasol").uses_water
+        assert not get_backend("chiller").uses_water
+        assert get_backend("cooling_tower").uses_water
+        assert get_backend("hybrid").uses_water
+
+
+class TestChillerCurves:
+    def test_cop_reference_endpoint(self):
+        assert chiller_cop(constants.CHILLER_REFERENCE_LIFT_K) == pytest.approx(
+            constants.CHILLER_COP_AT_REFERENCE
+        )
+
+    def test_cop_halves_at_double_lift(self):
+        assert chiller_cop(2 * constants.CHILLER_REFERENCE_LIFT_K) == (
+            pytest.approx(constants.CHILLER_COP_AT_REFERENCE / 2.0)
+        )
+
+    def test_cop_saturates_at_low_lift(self):
+        assert chiller_cop(0.5) == constants.CHILLER_MAX_COP
+        assert chiller_cop(-3.0) == constants.CHILLER_MAX_COP
+
+    def test_cop_monotone_non_increasing_in_lift(self):
+        lifts = [2.0, 5.0, 10.0, 25.0, 40.0, 60.0]
+        cops = [chiller_cop(lift) for lift in lifts]
+        assert all(a >= b for a, b in zip(cops, cops[1:]))
+
+    def test_lift_grows_with_outside_temp(self):
+        temps = [-10.0, 0.0, 15.0, 30.0, 45.0]
+        lifts = [chiller_lift_k(t) for t in temps]
+        assert all(lift >= constants.CHILLER_MIN_LIFT_K for lift in lifts)
+        assert all(a <= b for a, b in zip(lifts, lifts[1:]))
+
+    def test_power_monotone_and_non_negative(self):
+        assert chiller_power_w(0.0, 30.0) == 0.0
+        assert chiller_power_w(-0.5, 30.0) == 0.0
+        duties = [0.1, 0.3, 0.6, 1.0]
+        powers = [chiller_power_w(d, 30.0) for d in duties]
+        assert all(p > 0 for p in powers)
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+        # Hotter outside -> lower COP -> more compressor power.
+        assert chiller_power_w(1.0, 40.0) > chiller_power_w(1.0, 10.0)
+
+
+class TestTowerCurves:
+    def test_capacity_full_below_band(self):
+        cold = constants.TOWER_CUTOFF_WB_C - constants.TOWER_CAPACITY_BAND_K
+        assert tower_capacity_factor(cold) == 1.0
+        assert tower_capacity_factor(cold - 10.0) == 1.0
+
+    def test_capacity_zero_at_cutoff(self):
+        assert tower_capacity_factor(constants.TOWER_CUTOFF_WB_C) == 0.0
+        assert tower_capacity_factor(constants.TOWER_CUTOFF_WB_C + 5.0) == 0.0
+
+    def test_capacity_ramps_linearly(self):
+        mid = constants.TOWER_CUTOFF_WB_C - constants.TOWER_CAPACITY_BAND_K / 2
+        assert tower_capacity_factor(mid) == pytest.approx(0.5)
+
+    def test_power_monotone_and_non_negative(self):
+        assert tower_power_w(0.0) == 0.0
+        assert tower_power_w(-1.0) == 0.0
+        duties = [0.1, 0.3, 0.6, 1.0]
+        powers = [tower_power_w(d) for d in duties]
+        assert all(p > 0 for p in powers)
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+        assert tower_power_w(1.0) == pytest.approx(
+            constants.TOWER_PUMP_FULL_W + constants.TOWER_FAN_FULL_W
+        )
+
+    def test_chiller_outdraws_tower_at_equal_duty(self):
+        # The energy-vs-water tradeoff the world sweep demonstrates
+        # rests on this inequality holding at every duty.
+        for duty in (0.1, 0.5, 1.0):
+            for temp in (0.0, 20.0, 40.0):
+                assert chiller_power_w(duty, temp) > tower_power_w(duty)
+
+    def test_water_is_evaporation_plus_blowdown(self):
+        # Reject exactly 1 kWh of heat: evaporation is the latent-heat
+        # quotient, blowdown adds 1/(COC-1) of it.
+        water = tower_water_l(1000.0, 3600.0)
+        evaporated = evaporation_l_per_kwh()
+        expected = evaporated * (
+            1.0 + 1.0 / (constants.TOWER_CYCLES_OF_CONCENTRATION - 1.0)
+        )
+        assert water == pytest.approx(expected)
+
+    def test_no_water_without_heat(self):
+        assert tower_water_l(0.0, 3600.0) == 0.0
+        assert tower_water_l(-100.0, 3600.0) == 0.0
+
+
+class TestParasolBitIdentity:
+    def test_step_resources_is_power_and_zero_water(self):
+        for smooth in (False, True):
+            units = get_backend("parasol").make_units(smooth=smooth)
+            saturate(units, FC_FULL)
+            power, water = units.step_resources(3000.0, 60.0)
+            assert power == units.power_w()
+            assert water == 0.0
+
+    def test_observe_boundary_does_not_change_power(self):
+        units = get_backend("parasol").make_units(smooth=True)
+        saturate(units, AC_FULL)
+        before = units.power_w()
+        units.observe_boundary(45.0, 90.0)
+        assert units.power_w() == before
+
+
+class TestChillerUnits:
+    def test_free_cooling_maps_to_mechanical(self):
+        units = ChillerUnits()
+        saturate(units, FC_FULL)
+        assert units.fc_fan_speed == 0.0
+        assert units.mode is CoolingMode.AC_ON
+        assert units.ac_compressor_duty > 0.0
+
+    def test_no_water(self):
+        units = ChillerUnits()
+        units.observe_boundary(35.0, 40.0)
+        saturate(units, AC_FULL)
+        _, water = units.step_resources(3000.0, 60.0)
+        assert water == 0.0
+
+    def test_power_tracks_outside_temp(self):
+        units = ChillerUnits()
+        saturate(units, AC_FULL)
+        units.observe_boundary(10.0, 50.0)
+        mild = units.power_w()
+        units.observe_boundary(40.0, 50.0)
+        assert units.power_w() > mild
+
+
+class TestCoolingTowerUnits:
+    def test_capacity_scales_plant_inputs(self):
+        units = CoolingTowerUnits()
+        saturate(units, AC_FULL)
+        mid_wb = constants.TOWER_CUTOFF_WB_C - constants.TOWER_CAPACITY_BAND_K / 2
+        units.observe_boundary(mid_wb, 100.0)  # saturated air: wb == db
+        assert wet_bulb_c(mid_wb, 100.0) == pytest.approx(mid_wb, abs=0.2)
+        inputs = units.plant_inputs()
+        assert inputs.ac_compressor_duty == pytest.approx(
+            units.ac_compressor_duty * units.capacity_factor()
+        )
+        assert 0.0 < units.capacity_factor() < 1.0
+
+    def test_water_drawn_when_rejecting_heat(self):
+        units = CoolingTowerUnits()
+        units.observe_boundary(5.0, 50.0)
+        saturate(units, AC_FULL)
+        _, water = units.step_resources(3000.0, 600.0)
+        assert water > 0.0
+
+    def test_no_water_when_idle(self):
+        units = CoolingTowerUnits()
+        units.observe_boundary(5.0, 50.0)
+        _, water = units.step_resources(3000.0, 600.0)
+        assert water == 0.0
+
+
+class TestHybridUnits:
+    def test_free_cooling_regime(self):
+        units = HybridUnits()
+        units.observe_boundary(15.0, 50.0)
+        saturate(units, FC_FULL)
+        assert units.active_regime == "free_cooling"
+
+    def test_tower_when_wet_bulb_permits(self):
+        units = HybridUnits()
+        units.observe_boundary(10.0, 50.0)
+        saturate(units, AC_FULL)
+        assert units.active_regime == "tower"
+        _, water = units.step_resources(3000.0, 600.0)
+        assert water > 0.0
+
+    def test_chiller_when_wet_bulb_too_high(self):
+        units = HybridUnits()
+        units.observe_boundary(35.0, 85.0)
+        assert wet_bulb_c(35.0, 85.0) > constants.TOWER_CUTOFF_WB_C
+        saturate(units, AC_FULL)
+        assert units.active_regime == "chiller"
+        _, water = units.step_resources(3000.0, 600.0)
+        assert water == 0.0
+
+    def test_off_after_reset(self):
+        units = HybridUnits()
+        units.observe_boundary(10.0, 50.0)
+        saturate(units, AC_FULL)
+        units.reset()
+        assert units.active_regime == "off"
+        assert units.power_w() == 0.0

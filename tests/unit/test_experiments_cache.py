@@ -136,6 +136,36 @@ class TestCacheVersioning:
         with pytest.raises(ValueError, match="unknown sim engine"):
             experiments.cache_key("baseline", NEWARK, engine="gpu")
 
+    def test_parasol_keys_are_pre_backend_keys(self):
+        """The default plant adds no token: old cache entries stay valid."""
+        from repro.weather.locations import NEWARK
+
+        key = experiments.cache_key("baseline", NEWARK)
+        assert experiments.cache_key("baseline", NEWARK, plant="parasol") == key
+        assert "-pparasol" not in key
+
+    def test_non_parasol_plants_get_their_own_lineage(self):
+        from repro.weather.locations import NEWARK
+
+        keys = {
+            plant: experiments.cache_key("baseline", NEWARK, plant=plant)
+            for plant in ("parasol", "chiller", "cooling_tower", "hybrid")
+        }
+        assert len(set(keys.values())) == 4
+        assert "-pchiller-" in keys["chiller"]
+        assert "-pcooling_tower-" in keys["cooling_tower"]
+        # Alternative plants run on the scalar engine (the lane engine
+        # only vectorizes parasol), and the key records that.
+        assert "-escalar-" in keys["chiller"]
+
+    def test_non_parasol_forces_scalar_engine(self):
+        assert experiments.effective_engine(
+            "baseline", "lanes", plant="chiller"
+        ) == "scalar"
+        assert experiments.effective_engine(
+            "baseline", "lanes", plant="parasol"
+        ) == "lanes"
+
     def test_exotic_timing_config_falls_back_to_scalar(self):
         from repro.core.versions import ALL_VERSIONS
 

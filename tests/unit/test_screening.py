@@ -191,12 +191,14 @@ class TestWorldSurrogate:
                 base_range - 4.0,
                 1.05 + 0.01 * features[:, 0],
                 1.06 + 0.005 * features[:, 0],
+                0.8 + 0.1 * features[:, 1],
+                0.7 + 0.05 * features[:, 1],
             ]
         )
 
     def test_stays_unfit_below_minimum_samples(self):
         features = np.random.default_rng(0).normal(size=(5, 7))
-        surrogate = WorldSurrogate().fit(features, np.ones((4, 5)))
+        surrogate = WorldSurrogate().fit(features, np.ones((6, 5)))
         assert not surrogate.is_fit
         widths = surrogate.interval_widths(features)
         assert all(np.isinf(w).all() for w in widths.values())
@@ -333,9 +335,10 @@ class TestScreeningCounters:
 
 
 class FakeResult:
-    def __init__(self, max_range_c, pue):
+    def __init__(self, max_range_c, pue, wue=0.0):
         self.max_range_c = max_range_c
         self.pue = pue
+        self.wue = wue
 
 
 def ground_truth(features):
@@ -346,6 +349,8 @@ def ground_truth(features):
         "coolair_max_range_c": max(0.0, base_range - 4.0),
         "baseline_pue": 1.06 + 0.01 * features[0],
         "coolair_pue": 1.07 + 0.005 * features[0],
+        "baseline_wue": 1.0 + 0.05 * features[1],
+        "coolair_wue": 0.9 + 0.04 * features[1],
     }
 
 
@@ -355,11 +360,15 @@ def simulate_tasks(session, accumulator, tasks):
         truth = ground_truth(climate_features(task.climate))
         if task.system == "baseline":
             result = FakeResult(
-                truth["baseline_max_range_c"], truth["baseline_pue"]
+                truth["baseline_max_range_c"],
+                truth["baseline_pue"],
+                truth["baseline_wue"],
             )
         else:
             result = FakeResult(
-                truth["coolair_max_range_c"], truth["coolair_pue"]
+                truth["coolair_max_range_c"],
+                truth["coolair_pue"],
+                truth["coolair_wue"],
             )
         accumulator.consume(0, task, result)
 

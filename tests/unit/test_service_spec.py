@@ -232,3 +232,43 @@ class TestScreeningFields:
         # Two cells (baseline + CoolAir) per shared coordinate.
         assert len(coarse_keys & dense_keys) == 2 * len(shared_names)
         assert coarse_keys != dense_keys
+
+
+class TestPlantField:
+    def test_default_plant_omitted_from_wire_form(self):
+        spec = CampaignSpec(kind="world", grid_points=24)
+        assert "plant" not in spec.to_json()
+        assert all(t.plant == "parasol" for t in spec.expand())
+
+    def test_unknown_plant_rejected(self):
+        with pytest.raises(SpecError, match="unknown cooling plant"):
+            CampaignSpec(kind="world", plant="swamp_cooler")
+
+    def test_plant_stamped_on_every_cell(self):
+        spec = CampaignSpec(
+            kind="matrix", systems=("baseline", "All-ND"), plant="chiller"
+        )
+        assert all(t.plant == "chiller" for t in spec.expand())
+
+    def test_plant_roundtrip_and_describe(self):
+        spec = CampaignSpec(kind="world", grid_points=24, plant="cooling_tower")
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert "cooling_tower" in spec.describe()
+        assert "parasol" not in CampaignSpec(kind="world").describe()
+
+    def test_plant_changes_cache_keys(self):
+        base = CampaignSpec(kind="world", grid_points=24, sample_every_days=365)
+        chiller = CampaignSpec(
+            kind="world", grid_points=24, sample_every_days=365, plant="chiller"
+        )
+        base_keys = {task_cache_key(t) for t in base.expand()}
+        chiller_keys = {task_cache_key(t) for t in chiller.expand()}
+        assert base_keys.isdisjoint(chiller_keys)
+        assert all("-pchiller-" in key for key in chiller_keys)
+
+    def test_descriptor_reports_plant(self):
+        spec = CampaignSpec(
+            kind="matrix", systems=("baseline",), plant="hybrid"
+        )
+        assert task_descriptor(spec.expand()[0])["plant"] == "hybrid"

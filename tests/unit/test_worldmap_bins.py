@@ -123,15 +123,17 @@ class TestAccumulatorServing:
 
     def test_serve_fills_location(self):
         acc = self.make()
-        acc.serve("g1", [12.0, 8.0, 1.08, 1.09], "surrogate_only")
-        assert acc.location_metrics("g1") == [12.0, 8.0, 1.08, 1.09]
+        acc.serve("g1", [12.0, 8.0, 1.08, 1.09, 0.5, 0.4], "surrogate_only")
+        assert acc.location_metrics("g1") == [12.0, 8.0, 1.08, 1.09, 0.5, 0.4]
         assert acc.provenance_counts() == {"surrogate_only": 1}
 
     def test_serve_unknown_location(self):
         from repro.errors import SimulationError
 
         with pytest.raises(SimulationError):
-            self.make().serve("nowhere", [1.0, 1.0, 1.0, 1.0], "surrogate_only")
+            self.make().serve(
+                "nowhere", [1.0, 1.0, 1.0, 1.0, 0.0, 0.0], "surrogate_only"
+            )
 
     def test_serve_wrong_width(self):
         from repro.errors import SimulationError
@@ -146,16 +148,17 @@ class TestAccumulatorServing:
                 self.climate = climate
 
         class Result:
-            def __init__(self, max_range_c, pue):
+            def __init__(self, max_range_c, pue, wue=0.0):
                 self.max_range_c = max_range_c
                 self.pue = pue
+                self.wue = wue
 
         acc = self.make()
         target = self.grid()[0]
         acc.consume(0, Task("baseline", target), Result(14.0, 1.10))
-        acc.serve("g0", [1.0, 1.0, 1.0, 1.0], "surrogate_only")
+        acc.serve("g0", [1.0, 1.0, 1.0, 1.0, 0.0, 0.0], "surrogate_only")
         acc.consume(0, Task("All-ND", target), Result(9.0, 1.11))
-        assert acc.location_metrics("g0") == [14.0, 9.0, 1.10, 1.11]
+        assert acc.location_metrics("g0") == [14.0, 9.0, 1.10, 1.11, 0.0, 0.0]
         assert acc.provenance_counts() == {"simulated": 1}
 
     def test_partial_summary_mid_stream(self):
@@ -165,7 +168,9 @@ class TestAccumulatorServing:
         with pytest.raises(SimulationError):
             acc.summary()
         assert acc.summary(partial=True).comparisons == ()
-        acc.serve("g2", [12.0, 8.0, 1.08, 1.09], "served_from_cluster")
+        acc.serve(
+            "g2", [12.0, 8.0, 1.08, 1.09, 0.5, 0.4], "served_from_cluster"
+        )
         partial = acc.summary(partial=True)
         assert len(partial.comparisons) == 1
         assert partial.comparisons[0].provenance == "served_from_cluster"
@@ -217,10 +222,10 @@ class TestWorldMapRendering:
 
     def test_bad_metric_and_raster(self):
         from repro.analysis.worldmap import render_world_map
-        from repro.errors import SimulationError
+        from repro.errors import ConfigError, SimulationError
 
         summary = self.summary_at([(40.0, 0.0, 1.0)])
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             render_world_map(summary, metric="violations")
         with pytest.raises(SimulationError):
             render_world_map(summary, width=4, height=2)
