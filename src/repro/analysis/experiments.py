@@ -169,7 +169,7 @@ def nutch_trace(deferrable: bool = False) -> Trace:
 
 
 def _result_to_json(result: YearResult) -> dict:
-    return {
+    payload = {
         "label": result.label,
         "climate_name": result.climate_name,
         "sampled_days": result.sampled_days,
@@ -183,6 +183,13 @@ def _result_to_json(result: YearResult) -> dict:
         "water_l": result.water_l,
         "daily_degraded_fraction": result.daily_degraded_fraction,
     }
+    # Regime occupancy only appears for runs that had any (the hybrid
+    # plant), keeping every other payload byte-identical to before the
+    # fields existed; absent keys load as the 0.0 defaults.
+    if result.tower_mech_hours or result.chiller_mech_hours:
+        payload["tower_mech_hours"] = result.tower_mech_hours
+        payload["chiller_mech_hours"] = result.chiller_mech_hours
+    return payload
 
 
 def _result_from_json(payload: dict) -> YearResult:
@@ -213,32 +220,19 @@ def effective_engine(
 ) -> str:
     """The simulation engine a run of ``system`` would actually use.
 
-    The lane engine supports the standard 120 s / 600 s timing only, no
-    fault injection, and only the parasol cooling plant (its vectorized
-    power laws are Parasol's); a config with exotic timing, a non-empty
-    :class:`~repro.faults.FaultSchedule`, or an alternative ``plant``
-    falls back to the scalar reference path (and is fingerprinted as
-    such, so the cache stays honest about which numeric path produced
-    each entry).
+    Thin wrapper over :func:`repro.sim.eligibility.decide_engine` (the
+    single statement of the rules) that resolves the requested engine
+    from ``REPRO_SIM_ENGINE``.  A config with exotic timing or a
+    non-empty :class:`~repro.faults.FaultSchedule` falls back to the
+    scalar reference path (and is fingerprinted as such, so the cache
+    stays honest about which numeric path produced each entry); every
+    cooling plant rides the lane engine.
     """
-    requested = engine or DEFAULT_SIM_ENGINE
-    if requested not in SIM_ENGINES:
-        raise ValueError(
-            f"unknown sim engine {requested!r}; choices: {SIM_ENGINES}"
-        )
-    if requested == "lanes" and plant != "parasol":
-        return "scalar"
-    if requested == "lanes" and not isinstance(system, str):
-        from repro.sim.lanes import CONTROL_PERIOD_S, MODEL_STEP_S
+    from repro.sim.eligibility import decide_engine
 
-        if (
-            system.model_step_s != MODEL_STEP_S
-            or system.control_period_s != CONTROL_PERIOD_S
-        ):
-            return "scalar"
-        if getattr(system, "faults", None):
-            return "scalar"
-    return requested
+    return decide_engine(
+        system, engine or DEFAULT_SIM_ENGINE, plant=plant
+    ).engine
 
 
 def _resolve_system(
@@ -271,17 +265,19 @@ def day_unfold_eligible(
       rescheduled); and
     * any temporal-scheduling policy other than ``NONE`` (the scheduler
       mutates job start times across days — All-DEF and Energy-DEF).
-    """
-    system, _ = _resolve_system(system)
-    if effective_engine(system, engine, plant) != "lanes":
-        return False
-    if deferrable:
-        return False
-    if isinstance(system, str):
-        return True
-    from repro.core.config import TemporalPolicy
 
-    return system.temporal is TemporalPolicy.NONE
+    Thin wrapper over :func:`repro.sim.eligibility.decide_engine`, which
+    states those rules once for every caller.
+    """
+    from repro.sim.eligibility import decide_engine
+
+    system, _ = _resolve_system(system)
+    return decide_engine(
+        system,
+        engine or DEFAULT_SIM_ENGINE,
+        plant=plant,
+        deferrable=deferrable,
+    ).day_unfold
 
 
 def cache_key(
@@ -402,8 +398,8 @@ def year_result(
     ``REPRO_DAY_UNFOLD``) unfolds an eligible cell's sampled days into
     that many lanes stepped in lockstep — bit-identical again, so the
     cache key does not record it.  ``plant`` selects the cooling backend
-    (default ``REPRO_PLANT`` or ``parasol``); non-parasol plants run on
-    the scalar engine.
+    (default ``REPRO_PLANT`` or ``parasol``); every backend rides the
+    lane engine through its lane-vectorized units.
     """
     from repro.cooling.backends import resolve_plant
 
@@ -445,9 +441,10 @@ def year_result(
             climate=climate,
             trace=trace,
             forecast_bias_c=forecast_bias_c,
+            plant=plant,
         )
         width = resolve_day_lanes(day_lanes)
-        if width > 1 and day_unfold_eligible(system, deferrable, engine):
+        if width > 1 and day_unfold_eligible(system, deferrable, engine, plant):
             result = run_year_unfolded(
                 scenario, width, model=model, sample_every_days=sample
             )

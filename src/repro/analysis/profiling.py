@@ -10,10 +10,12 @@ Times the three hot layers of a CoolAir simulation:
   seasonally spread days, under the All-ND CoolAir version on smooth
   hardware at Newark (the configuration the paper's Figures 8-10 sweep
   runs thousands of times);
-* **lane batches** — ``world_chunk`` and ``matrix``: worker-sized groups
-  of (climate, system) year runs stepped in lockstep by the lane engine
-  (:mod:`repro.sim.lanes`), measured against a recorded baseline that ran
-  the identical scenarios through the scalar path one at a time;
+* **lane batches** — ``world_chunk``, ``plant_world_chunk``, and
+  ``matrix``: worker-sized groups of (climate, system) year runs stepped
+  in lockstep by the lane engine (:mod:`repro.sim.lanes`), measured
+  against a recorded baseline that ran the identical scenarios through
+  the scalar path one at a time (``plant_world_chunk`` cycles the
+  non-parasol cooling backends across its lanes);
 * **world_100k** — the screened planetary sweep
   (:mod:`repro.analysis.screening`): climate-cluster dedupe, surrogate
   screening, and cluster/surrogate serving over a dense ``world_grid``.
@@ -84,6 +86,11 @@ CHUNK_TRACE_JOBS = 400
 CHUNK_WORLD_GRID = 24
 CHUNK_WORLD_STRIDE = 6
 MATRIX_LOCATIONS = ("Newark", "Chad")
+
+# plant_world_chunk: the world chunk again, but on the non-parasol
+# cooling backends, cycling so every backend appears in the batch (see
+# bench_plant_world_chunk).
+PLANT_CHUNK_PLANTS = ("chiller", "cooling_tower", "hybrid")
 
 # year_unfold: one All-ND year at Newark with its sampled days unfolded
 # into lockstep lanes (see bench_year_unfold).  Stride 46 samples 8 days,
@@ -345,6 +352,72 @@ def bench_world_chunk(
     run()  # warm TMY/forecast caches so repeats time the simulation
     median_s = _median_time(run, repeats)
     lanes = 2 * len(climates)
+    return {
+        "median_s": median_s,
+        "lanes": lanes,
+        "s_per_lane": median_s / lanes,
+    }
+
+
+def bench_plant_world_chunk(
+    model: CoolingModel,
+    repeats: int = 3,
+    quick: bool = False,
+    scalar: bool = False,
+) -> Dict[str, float]:
+    """The world chunk on the non-parasol plants, lane-batched.
+
+    The same worker-sized chunk as ``world_chunk`` — eight
+    (climate, system) year runs over three seasonally spread days — but
+    with the cooling plant cycling chiller / cooling_tower / hybrid
+    across the lanes, so every lane-vectorized backend is in the batch.
+    The recorded baseline ran the identical scenarios through the scalar
+    reference path one cell at a time (``scalar=True``, also used once
+    to record that entry) — the path plant campaigns were forced onto
+    before the backends grew lane variants — so ``speedup_vs_baseline``
+    reads as the lane-engine win for plant campaigns.
+    """
+    from repro.sim.lanes import LaneScenario, run_year_lanes
+    from repro.sim.yearsim import run_year
+
+    climates = world_grid(CHUNK_WORLD_GRID)[::CHUNK_WORLD_STRIDE]
+    if quick:
+        climates = climates[:1]
+    trace = FacebookTraceGenerator(num_jobs=CHUNK_TRACE_JOBS, seed=42).generate()
+    scenarios = []
+    for climate in climates:
+        for system in ("baseline", ALL_VERSIONS[BENCH_SYSTEM]()):
+            scenarios.append(
+                LaneScenario(
+                    system=system,
+                    climate=climate,
+                    trace=trace,
+                    plant=PLANT_CHUNK_PLANTS[
+                        len(scenarios) % len(PLANT_CHUNK_PLANTS)
+                    ],
+                )
+            )
+
+    def run() -> object:
+        if scalar:
+            return [
+                run_year(
+                    s.system,
+                    s.climate,
+                    s.trace,
+                    model=model,
+                    sample_every_days=CHUNK_SAMPLE_EVERY_DAYS,
+                    plant=s.plant,
+                )
+                for s in scenarios
+            ]
+        return run_year_lanes(
+            scenarios, model=model, sample_every_days=CHUNK_SAMPLE_EVERY_DAYS
+        )
+
+    run()  # warm TMY/forecast caches so repeats time the simulation
+    median_s = _median_time(run, repeats)
+    lanes = len(scenarios)
     return {
         "median_s": median_s,
         "lanes": lanes,
@@ -652,6 +725,9 @@ def run_bench(
         results["day_sim"] = bench_day_sim(model, repeats=1)
         results["year_unfold"] = bench_year_unfold(model, repeats=1)
         results["world_chunk"] = bench_world_chunk(model, repeats=1, quick=True)
+        results["plant_world_chunk"] = bench_plant_world_chunk(
+            model, repeats=1, quick=True
+        )
         results["world_100k"] = bench_world_100k(quick=True)
     else:
         results["plant_step"] = bench_plant_step()
@@ -660,6 +736,7 @@ def run_bench(
         results["year_sample"] = bench_year_sample(model)
         results["year_unfold"] = bench_year_unfold(model)
         results["world_chunk"] = bench_world_chunk(model)
+        results["plant_world_chunk"] = bench_plant_world_chunk(model)
         results["matrix"] = bench_matrix(model)
         results["world_sweep_stream"] = bench_world_sweep_stream()
         results["world_100k"] = bench_world_100k()
@@ -826,6 +903,12 @@ TRACKED_METRICS: Dict[str, Dict] = {
         "shape": ("days", "sample_every_days", "trace_jobs"),
     },
     "world_chunk": {
+        "metric": "s_per_lane", "better": "lower", "shape": ("lanes",),
+    },
+    # The recorded baseline ran the identical plant scenarios through the
+    # scalar reference path one cell at a time (the pre-lane fallback),
+    # so the comparison is lanes-vs-scalar at the same workload shape.
+    "plant_world_chunk": {
         "metric": "s_per_lane", "better": "lower", "shape": ("lanes",),
     },
     "matrix": {

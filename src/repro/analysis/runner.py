@@ -124,7 +124,8 @@ class YearTask:
     # dedupe in the service is unaffected).
     day_lanes: Optional[int] = None
     # Cooling plant backend (see repro.cooling.backends); non-parasol
-    # plants run on the scalar engine and carry their own cache keys.
+    # plants carry their own cache keys and ride the lane engine through
+    # their lane-vectorized units.
     plant: str = "parasol"
 
     def label(self) -> str:
@@ -388,6 +389,7 @@ def _run_lane_chunk(
                 climate=task.climate,
                 trace=trace,
                 forecast_bias_c=task.forecast_bias_c,
+                plant=task.plant,
             )
         )
     model = trained_cooling_model() if needs_model else None
@@ -464,6 +466,7 @@ def _run_day_chunk(
                 climate=task.climate,
                 trace=trace,
                 forecast_bias_c=task.forecast_bias_c,
+                plant=task.plant,
             )
         )
         days.append(int(day))
@@ -480,8 +483,9 @@ def _run_day_chunk(
             "max_rate_c_per_hour": day_metrics["max_rate_c_per_hour"],
             "cooling_kwh": day_metrics["cooling_kwh"],
             "it_kwh": day_metrics["it_kwh"],
-            # The lane engine is parasol-only; water is identically zero.
-            "water_l": 0.0,
+            "water_l": day_metrics["water_l"],
+            "tower_mech_hours": day_metrics["tower_mech_hours"],
+            "chiller_mech_hours": day_metrics["chiller_mech_hours"],
         }
         for day_metrics in metrics
     ]
@@ -970,6 +974,10 @@ def run_year_tasks(
             result.cooling_kwh += payload["cooling_kwh"]
             result.it_kwh += payload["it_kwh"]
             result.water_l += payload.get("water_l", 0.0)
+            result.tower_mech_hours += payload.get("tower_mech_hours", 0.0)
+            result.chiller_mech_hours += payload.get(
+                "chiller_mech_hours", 0.0
+            )
         key = task_key(index)
         if use_disk_cache:
             experiments._write_disk_entry(key, result)

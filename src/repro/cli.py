@@ -249,6 +249,20 @@ def cmd_day(args: argparse.Namespace) -> int:
             f"water ({plant}): {day.water_liters():.0f} L, "
             f"WUE {day.wue():.2f} L/kWh"
         )
+    if plant == "hybrid":
+        tower = day.mech_regime_fraction("tower")
+        chiller = day.mech_regime_fraction("chiller")
+        mech = tower + chiller
+        split = (
+            f" ({tower / mech * 100:.0f}% tower / "
+            f"{chiller / mech * 100:.0f}% chiller)"
+            if mech > 0
+            else ""
+        )
+        print(
+            f"regimes (hybrid): tower {tower * 24:.1f} h, "
+            f"chiller {chiller * 24:.1f} h of mechanical cooling{split}"
+        )
     if faults is not None:
         intervals = day.degradation_intervals()
         spans = ", ".join(f"{a/3600:.1f}h-{b/3600:.1f}h" for a, b in intervals)

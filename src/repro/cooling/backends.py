@@ -35,6 +35,8 @@ import dataclasses
 import os
 from typing import Dict, Optional, Tuple, Type
 
+import numpy as np
+
 from repro import constants
 from repro.cooling.regimes import CoolingCommand, CoolingMode
 from repro.cooling.units import (
@@ -44,7 +46,11 @@ from repro.cooling.units import (
     free_cooling_power_w,
 )
 from repro.errors import ConfigError
-from repro.physics.psychrometrics import evaporation_l_per_kwh, wet_bulb_c
+from repro.physics.psychrometrics import (
+    evaporation_l_per_kwh,
+    wet_bulb_c,
+    wet_bulb_c_array,
+)
 from repro.physics.thermal import PlantInputs
 
 PLANTS = ("parasol", "chiller", "cooling_tower", "hybrid")
@@ -127,6 +133,77 @@ def tower_water_l(heat_rejected_w: float, dt_s: float) -> float:
     evaporated = heat_kwh * evaporation_l_per_kwh()
     blowdown = evaporated / (constants.TOWER_CYCLES_OF_CONCENTRATION - 1.0)
     return evaporated + blowdown
+
+
+# --- lane-vectorized performance curves -----------------------------------
+#
+# Array counterparts of the scalar curves above, pinned *bit-identical*
+# per element (tests/unit/test_lane_backends.py): the lane engine is only
+# allowed to change speed, never trajectories.  Pure +-*/ chains and
+# min/max vectorize exactly (same IEEE operations in the same order);
+# the ``duty ** 3`` / ``fc ** 3`` power terms change only once per
+# control period, so the lane units below evaluate those through the
+# scalar functions element by element instead of risking a last-ulp
+# difference from ``numpy.power``.
+
+
+def chiller_power_w_array(
+    duty: np.ndarray, outside_temp_c: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`chiller_power_w` (with its lift/COP chain)."""
+    lift = np.maximum(
+        constants.CHILLER_MIN_LIFT_K,
+        outside_temp_c
+        + constants.CONDENSER_APPROACH_K
+        - constants.CHILLED_WATER_SUPPLY_C,
+    )
+    cop = np.minimum(
+        constants.CHILLER_MAX_COP,
+        constants.CHILLER_COP_AT_REFERENCE
+        * constants.CHILLER_REFERENCE_LIFT_K
+        / lift,
+    )
+    return np.where(
+        duty > 0.0, duty * constants.MECH_COOLING_CAPACITY_W / cop, 0.0
+    )
+
+
+def tower_capacity_factor_array(wet_bulb_temp_c: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`tower_capacity_factor`."""
+    margin = constants.TOWER_CUTOFF_WB_C - wet_bulb_temp_c
+    return np.maximum(
+        0.0, np.minimum(1.0, margin / constants.TOWER_CAPACITY_BAND_K)
+    )
+
+
+def tower_water_l_array(
+    heat_rejected_w: np.ndarray, dt_s: float
+) -> np.ndarray:
+    """Vectorized :func:`tower_water_l` (evaporation plus blowdown)."""
+    heat_kwh = heat_rejected_w * dt_s / 3.6e6
+    evaporated = heat_kwh * evaporation_l_per_kwh()
+    blowdown = evaporated / (constants.TOWER_CYCLES_OF_CONCENTRATION - 1.0)
+    return np.where(heat_rejected_w > 0.0, evaporated + blowdown, 0.0)
+
+
+def _tower_power_elementwise(duty: np.ndarray) -> np.ndarray:
+    """Scalar :func:`tower_power_w` per lane (the cubic fan term).
+
+    The ``float()`` casts keep the call exactly the scalar path —
+    ``np.float64.__pow__`` is not pinned to ``float.__pow__``'s rounding.
+    """
+    return np.fromiter(
+        (tower_power_w(float(d)) for d in duty), dtype=float, count=len(duty)
+    )
+
+
+def _free_cooling_power_elementwise(fc_fan_speed: np.ndarray) -> np.ndarray:
+    """Scalar :func:`free_cooling_power_w` per lane (the cubic fan law)."""
+    return np.fromiter(
+        (free_cooling_power_w(float(f)) for f in fc_fan_speed),
+        dtype=float,
+        count=len(fc_fan_speed),
+    )
 
 
 def _mechanical_command(command: CoolingCommand) -> CoolingCommand:
@@ -260,6 +337,180 @@ class HybridUnits(SmoothCoolingUnits):
         return self.power_w(), water
 
 
+# --- lane-vectorized backend units ----------------------------------------
+
+# Per-period mechanical-regime codes the lane engine trades in (the
+# array mirror of ``HybridUnits.active_regime``).
+LANE_REGIME_NONE = 0
+LANE_REGIME_TOWER = 1
+LANE_REGIME_CHILLER = 2
+
+#: ``active_regime`` string -> lane regime code ("free_cooling"/"off" -> 0).
+LANE_REGIME_CODES = {"tower": LANE_REGIME_TOWER, "chiller": LANE_REGIME_CHILLER}
+
+
+class LaneCoolingUnits:
+    """Array counterpart of the :class:`CoolingUnits` backend protocol.
+
+    One instance covers every lane of one backend inside a
+    :class:`~repro.sim.lanes.LaneRunner` batch.  Actuator state arrives
+    once per control period via :meth:`set_actuators` (gathered from the
+    per-lane scalar units, whose ramp/latch dynamics stay
+    authoritative), the weather boundary once per model step via
+    :meth:`observe_boundary`, and :meth:`step_resources` returns
+    per-lane ``(power_w, water_l)`` arrays pinned bit-identical to the
+    scalar :meth:`CoolingUnits.step_resources` chain
+    (tests/unit/test_lane_backends.py).
+    """
+
+    #: the thermal plant needs a capacity-scaled duty refresh every step
+    scales_duty = False
+
+    def __init__(self, num_lanes: int) -> None:
+        self.num_lanes = num_lanes
+        self.outside_temp_c = np.full(num_lanes, 20.0)
+        self.outside_rh_pct = np.full(num_lanes, 50.0)
+        self._fc = np.zeros(num_lanes)
+        self._ac_fan = np.zeros(num_lanes)
+        self._duty = np.zeros(num_lanes)
+        self._static_power = np.zeros(num_lanes)
+        self._no_water = np.zeros(num_lanes)
+
+    def observe_boundary(
+        self,
+        outside_temp_c: np.ndarray,
+        outside_rh_pct: np.ndarray,
+        wet_bulb: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record the raw per-lane weather (``wet_bulb`` may be supplied
+        precomputed from :func:`wet_bulb_c_array` over a whole day grid)."""
+        self.outside_temp_c = np.asarray(outside_temp_c, dtype=float)
+        self.outside_rh_pct = np.asarray(outside_rh_pct, dtype=float)
+
+    def set_actuators(
+        self,
+        fc_fan_speed: np.ndarray,
+        ac_fan_speed: np.ndarray,
+        ac_compressor_duty: np.ndarray,
+        regimes: Optional[np.ndarray] = None,
+    ) -> None:
+        """New per-lane actuator state for this control period."""
+        self._fc = fc_fan_speed
+        self._ac_fan = ac_fan_speed
+        self._duty = ac_compressor_duty
+
+    def effective_duty(self) -> np.ndarray:
+        """The compressor duty the thermal plant sees this step (the
+        array mirror of ``plant_inputs().ac_compressor_duty``)."""
+        return self._duty
+
+    def step_resources(
+        self, it_power_w: np.ndarray, dt_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self._static_power, self._no_water
+
+
+class LaneChillerUnits(LaneCoolingUnits):
+    """Lane variant of :class:`ChillerUnits`: dry, lift-coupled power."""
+
+    def set_actuators(self, fc_fan_speed, ac_fan_speed, ac_compressor_duty,
+                      regimes=None):
+        super().set_actuators(fc_fan_speed, ac_fan_speed, ac_compressor_duty)
+        self._static_power = (
+            SmoothCoolingUnits.AC_FAN_FULL_W * ac_fan_speed
+        )
+
+    def step_resources(self, it_power_w, dt_s):
+        power = self._static_power + chiller_power_w_array(
+            self._duty, self.outside_temp_c
+        )
+        return power, self._no_water
+
+
+class LaneCoolingTowerUnits(LaneCoolingUnits):
+    """Lane variant of :class:`CoolingTowerUnits`: capacity-scaled duty
+    and evaporative water, both tracking the per-step wet bulb."""
+
+    scales_duty = True
+
+    def __init__(self, num_lanes: int) -> None:
+        super().__init__(num_lanes)
+        self._capacity = tower_capacity_factor_array(
+            wet_bulb_c_array(self.outside_temp_c, self.outside_rh_pct)
+        )
+
+    def observe_boundary(self, outside_temp_c, outside_rh_pct, wet_bulb=None):
+        super().observe_boundary(outside_temp_c, outside_rh_pct)
+        if wet_bulb is None:
+            wet_bulb = wet_bulb_c_array(
+                self.outside_temp_c, self.outside_rh_pct
+            )
+        self._capacity = tower_capacity_factor_array(wet_bulb)
+
+    def set_actuators(self, fc_fan_speed, ac_fan_speed, ac_compressor_duty,
+                      regimes=None):
+        super().set_actuators(fc_fan_speed, ac_fan_speed, ac_compressor_duty)
+        self._static_power = (
+            SmoothCoolingUnits.AC_FAN_FULL_W * ac_fan_speed
+            + _tower_power_elementwise(ac_compressor_duty)
+        )
+
+    def effective_duty(self):
+        return self._duty * self._capacity
+
+    def step_resources(self, it_power_w, dt_s):
+        delivered = self._duty * self._capacity
+        heat_rejected_w = delivered * constants.MECH_COOLING_CAPACITY_W
+        return self._static_power, tower_water_l_array(heat_rejected_w, dt_s)
+
+
+class LaneHybridUnits(LaneCoolingTowerUnits):
+    """Lane variant of :class:`HybridUnits`: the free->tower->chiller
+    regime selection arrives as per-period codes (``LANE_REGIME_*``,
+    read off each lane's scalar units after ``apply``) and branches via
+    masks, mirroring :class:`LaneThermalPlant`'s AC-lane handling."""
+
+    def __init__(self, num_lanes: int) -> None:
+        super().__init__(num_lanes)
+        self._tower_mask = np.zeros(num_lanes, dtype=bool)
+
+    def set_actuators(self, fc_fan_speed, ac_fan_speed, ac_compressor_duty,
+                      regimes=None):
+        LaneCoolingUnits.set_actuators(
+            self, fc_fan_speed, ac_fan_speed, ac_compressor_duty
+        )
+        self._tower_mask = regimes == LANE_REGIME_TOWER
+        # Association order mirrors HybridUnits.power_w: free cooling,
+        # then the AC fan, then the selected mechanical path.
+        static = _free_cooling_power_elementwise(fc_fan_speed)
+        static = static + SmoothCoolingUnits.AC_FAN_FULL_W * ac_fan_speed
+        tower_lanes = np.flatnonzero(self._tower_mask)
+        if tower_lanes.size:
+            static[tower_lanes] += _tower_power_elementwise(
+                ac_compressor_duty[tower_lanes]
+            )
+        self._static_power = static
+
+    def effective_duty(self):
+        return np.where(
+            self._tower_mask, self._duty * self._capacity, self._duty
+        )
+
+    def step_resources(self, it_power_w, dt_s):
+        power = np.where(
+            self._tower_mask,
+            self._static_power,
+            self._static_power
+            + chiller_power_w_array(self._duty, self.outside_temp_c),
+        )
+        delivered = self._duty * self._capacity
+        heat_rejected_w = delivered * constants.MECH_COOLING_CAPACITY_W
+        water = np.where(
+            self._tower_mask, tower_water_l_array(heat_rejected_w, dt_s), 0.0
+        )
+        return power, water
+
+
 # --- the registry ---------------------------------------------------------
 
 
@@ -273,6 +524,9 @@ class CoolingBackend:
     uses_water: bool
     abrupt_cls: Type[CoolingUnits]
     smooth_cls: Type[CoolingUnits]
+    #: lane-vectorized counterpart; ``None`` for ``parasol``, whose power
+    #: laws the lane engine vectorizes natively (repro.sim.lanes).
+    lane_cls: Optional[Type[LaneCoolingUnits]] = None
 
     def make_units(self, smooth: bool = True) -> CoolingUnits:
         """Instantiate the plant's cooling units.
@@ -283,6 +537,14 @@ class CoolingBackend:
         """
         cls = self.smooth_cls if smooth else self.abrupt_cls
         return cls()
+
+    def make_lane_units(self, num_lanes: int) -> LaneCoolingUnits:
+        """The backend's array units for a ``num_lanes``-wide batch."""
+        if self.lane_cls is None:
+            raise ConfigError(
+                f"plant {self.name!r} has no lane-vectorized units"
+            )
+        return self.lane_cls(num_lanes)
 
 
 _REGISTRY: Dict[str, CoolingBackend] = {
@@ -301,6 +563,7 @@ _REGISTRY: Dict[str, CoolingBackend] = {
         uses_water=False,
         abrupt_cls=ChillerUnits,
         smooth_cls=ChillerUnits,
+        lane_cls=LaneChillerUnits,
     ),
     "cooling_tower": CoolingBackend(
         name="cooling_tower",
@@ -309,6 +572,7 @@ _REGISTRY: Dict[str, CoolingBackend] = {
         uses_water=True,
         abrupt_cls=CoolingTowerUnits,
         smooth_cls=CoolingTowerUnits,
+        lane_cls=LaneCoolingTowerUnits,
     ),
     "hybrid": CoolingBackend(
         name="hybrid",
@@ -317,6 +581,7 @@ _REGISTRY: Dict[str, CoolingBackend] = {
         uses_water=True,
         abrupt_cls=HybridUnits,
         smooth_cls=HybridUnits,
+        lane_cls=LaneHybridUnits,
     ),
 }
 

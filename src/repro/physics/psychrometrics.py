@@ -99,6 +99,25 @@ def _exp_elementwise(values: np.ndarray) -> np.ndarray:
     return out.reshape(values.shape)
 
 
+def _atan_elementwise(values: np.ndarray) -> np.ndarray:
+    """``math.atan`` over an array (``numpy.arctan`` is not guaranteed
+    correctly rounded, so it could diverge from the scalar path in the
+    last ulp)."""
+    flat = values.ravel()
+    out = np.fromiter((math.atan(v) for v in flat), dtype=float, count=flat.size)
+    return out.reshape(values.shape)
+
+
+def _pow15_elementwise(values: np.ndarray) -> np.ndarray:
+    """``v ** 1.5`` per element via the scalar ``float.__pow__`` (``numpy``
+    ``power`` carries the same last-ulp caveat as its transcendentals)."""
+    flat = values.ravel()
+    out = np.fromiter(
+        (float(v) ** 1.5 for v in flat), dtype=float, count=flat.size
+    )
+    return out.reshape(values.shape)
+
+
 def saturation_pressure_pa_array(temperatures_c: np.ndarray) -> np.ndarray:
     """Vectorized :func:`saturation_pressure_pa`; bit-identical per element."""
     temps = np.asarray(temperatures_c, dtype=float)
@@ -166,6 +185,34 @@ def wet_bulb_c(temperature_c: float, relative_humidity_pct: float) -> float:
         - 4.686035
     )
     return min(tw, t)  # the wet bulb never exceeds the dry bulb
+
+
+def wet_bulb_c_array(
+    temperatures_c: np.ndarray, relative_humidity_pct: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`wet_bulb_c`; bit-identical per element.
+
+    Mirrors the scalar Stull fit operation for operation: the ``sqrt``
+    stays vectorized (IEEE 754 requires it correctly rounded, so
+    ``numpy.sqrt`` equals ``math.sqrt``), while the ``atan`` calls and
+    the ``rh ** 1.5`` term go through the scalar routines element by
+    element — those are the operations ``numpy`` does not promise to
+    round identically.  The lane-vectorized cooling backends build their
+    tower-capacity grids on this guarantee.
+    """
+    rh_in = np.asarray(relative_humidity_pct, dtype=float)
+    if np.any(rh_in < 0.0) or np.any(rh_in > 100.0):
+        raise ConfigError("relative humidity out of [0, 100]")
+    t = np.asarray(temperatures_c, dtype=float)
+    rh = np.maximum(5.0, np.minimum(99.0, rh_in))
+    tw = (
+        t * _atan_elementwise(0.151977 * np.sqrt(rh + 8.313659))
+        + _atan_elementwise(t + rh)
+        - _atan_elementwise(rh - 1.676331)
+        + 0.00391838 * _pow15_elementwise(rh) * _atan_elementwise(0.023101 * rh)
+        - 4.686035
+    )
+    return np.minimum(tw, t)  # the wet bulb never exceeds the dry bulb
 
 
 LATENT_HEAT_VAPORIZATION_J_KG = 2.45e6

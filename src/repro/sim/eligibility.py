@@ -1,0 +1,113 @@
+"""The one place that decides which numeric path a cell runs on.
+
+Before this module, the lane/scalar/day-unfold decision was smeared
+across :func:`repro.analysis.experiments.effective_engine`, the campaign
+runner's partitioning, and defensive guards in :mod:`repro.sim.lanes`.
+They all agreed, but each restated a subset of the rules.  This module
+states the rules once; the callers above delegate here (the ``lanes.py``
+constructor keeps its guards purely as tripwires against being handed a
+config this module would have routed elsewhere).
+
+The rules, in order:
+
+* An unknown requested engine is an error (``lanes``/``scalar`` only).
+* ``scalar`` requested -> scalar, always (the pinned reference path).
+* Exotic timing (anything but the standard 120 s model step / 600 s
+  control period) -> scalar: the lane engine's rate-split caches assume
+  the standard grid.
+* A non-empty fault schedule -> scalar: faults are per-lane, per-day
+  mutable state the SoA batches do not model.
+* Everything else -> lanes.  Since the lane-vectorized cooling backends
+  landed, the plant no longer forces scalar: chiller, cooling_tower,
+  and hybrid cells ride lanes (and day-unfolding) bit-identically.
+
+Day-unfolding additionally requires every sampled day to be provably
+independent of the days before it:
+
+* scalar cells never unfold (faulted cells land here via the engine
+  rules above — fault schedules are day-granular state the unfold
+  cannot replay);
+* deferrable workloads never unfold (their traces exist to be
+  temporally rescheduled); and
+* any temporal-scheduling policy other than ``NONE`` never unfolds
+  (the scheduler mutates job start times across days).
+
+See the engine-eligibility table in ``docs/EXPERIMENTS.md`` for the
+same rules cell-shape by cell-shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.core.config import CoolAirConfig
+
+SIM_ENGINES = ("lanes", "scalar")
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineDecision:
+    """Where a cell runs, and why it cannot run faster.
+
+    ``engine`` is ``"lanes"`` or ``"scalar"``; ``day_unfold`` says
+    whether the cell's sampled days may be unfolded into sibling lanes.
+    ``reason`` carries the first rule that forced a downgrade (empty
+    when the cell rides the fast path end to end).
+    """
+
+    engine: str
+    day_unfold: bool
+    reason: str = ""
+
+
+def decide_engine(
+    system: Union[str, CoolAirConfig],
+    engine: Optional[str] = None,
+    plant: str = "parasol",
+    deferrable: bool = False,
+) -> EngineDecision:
+    """The single decision function for a cell's numeric path.
+
+    ``system`` is ``"baseline"`` (or any plain string) or a resolved
+    :class:`CoolAirConfig`; ``engine`` is the *requested* engine
+    (``None`` means "the default", which the caller resolves — this
+    function treats ``None`` as ``"lanes"`` since only the lane request
+    has anything to decide).  ``plant`` participates in the signature
+    because it used to force scalar; it deliberately no longer does.
+    """
+    requested = engine or "lanes"
+    if requested not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {requested!r}; choices: {SIM_ENGINES}"
+        )
+    if requested == "scalar":
+        return EngineDecision("scalar", False, "scalar engine requested")
+    if not isinstance(system, str):
+        from repro.sim.lanes import CONTROL_PERIOD_S, MODEL_STEP_S
+
+        if (
+            system.model_step_s != MODEL_STEP_S
+            or system.control_period_s != CONTROL_PERIOD_S
+        ):
+            return EngineDecision(
+                "scalar",
+                False,
+                "exotic timing (lane caches assume 120 s / 600 s)",
+            )
+        if getattr(system, "faults", None):
+            return EngineDecision(
+                "scalar", False, "fault schedules are scalar-only state"
+            )
+    if deferrable:
+        return EngineDecision(
+            "lanes", False, "deferrable traces are temporally rescheduled"
+        )
+    if not isinstance(system, str):
+        from repro.core.config import TemporalPolicy
+
+        if system.temporal is not TemporalPolicy.NONE:
+            return EngineDecision(
+                "lanes", False, "temporal scheduling couples days"
+            )
+    return EngineDecision("lanes", True)

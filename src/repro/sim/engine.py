@@ -502,6 +502,7 @@ class DayRunner:
             disk_temps_c=tuple(float(t) for t in disk_temps),
             degraded=self.degraded_control,
             water_l=water_l,
+            regime=getattr(units, "active_regime", ""),
         )
         if self.collect_monitoring:
             self.monitoring_log.append(

@@ -26,6 +26,14 @@ rate to keep that guarantee cheap to audit:
   :meth:`CoolingPredictor.predict_lanes` rollout and then reuse the
   scalar :meth:`CoolingOptimizer.decide_from_predictions` selection code.
 
+* **Per-backend lane units (non-parasol plants):** the chiller, tower,
+  and hybrid backends step as
+  :class:`~repro.cooling.backends.LaneCoolingUnits` arrays — actuator
+  state gathered per control period from the per-lane scalar units
+  (whose ramp/latch/regime dynamics stay authoritative), weather-coupled
+  power and water evaluated per model step.  See
+  :mod:`repro.sim.eligibility` for which cells ride lanes.
+
 Restrictions (asserted): no process noise, the standard 120 s model step /
 600 s control period, and the profile (not task-level Hadoop) workload.
 """
@@ -39,6 +47,13 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import constants
+from repro.cooling.backends import (
+    LANE_REGIME_CODES,
+    LANE_REGIME_CHILLER,
+    LANE_REGIME_TOWER,
+    LaneCoolingUnits,
+    get_backend,
+)
 from repro.cooling.baseline import LaneBaselineController
 from repro.cooling.regimes import CoolingCommand
 from repro.cooling.tks import (
@@ -47,7 +62,7 @@ from repro.cooling.tks import (
     LANE_CMD_CLOSED,
     LANE_CMD_FREE_COOLING,
 )
-from repro.cooling.units import AbruptCoolingUnits, SmoothCoolingUnits
+from repro.cooling.units import SmoothCoolingUnits
 from repro.core.coolair import CoolAir
 from repro.core.config import CoolAirConfig
 from repro.core.modeler import CoolingModel
@@ -55,7 +70,10 @@ from repro.core.predictor import CoolingPredictor, PredictorState
 from repro.datacenter.layout import DatacenterLayout, parasol_layout
 from repro.datacenter.server import PowerState
 from repro.errors import ConfigError, SimulationError
-from repro.physics.psychrometrics import absolute_to_relative_humidity_array
+from repro.physics.psychrometrics import (
+    absolute_to_relative_humidity_array,
+    wet_bulb_c_array,
+)
 from repro.physics.thermal import LaneDiskModel, LaneThermalPlant
 from repro.sim.campaign import trained_cooling_model
 from repro.sim.engine import ProfileWorkload
@@ -137,9 +155,27 @@ class LaneScenario:
     climate: Climate
     trace: Trace
     forecast_bias_c: float = 0.0
-    # The lane engine vectorizes the Parasol power laws only; alternative
-    # plants route to the scalar engine (experiments.effective_engine).
+    # Cooling backend (repro.cooling.backends).  Parasol's power laws are
+    # vectorized natively; the alternative plants step through their
+    # backend's LaneCoolingUnits.
     plant: str = "parasol"
+
+
+class _PlantGroup:
+    """The lanes of one non-parasol backend inside a batch."""
+
+    __slots__ = ("plant", "indices", "lunits", "needs_wet_bulb", "wb_grid")
+
+    def __init__(
+        self, plant: str, indices: np.ndarray, lunits: LaneCoolingUnits
+    ) -> None:
+        self.plant = plant
+        self.indices = indices
+        self.lunits = lunits
+        # Duty-scaling backends (tower, hybrid) read the wet bulb every
+        # step; run_day precomputes it over the whole day grid.
+        self.needs_wet_bulb = lunits.scales_duty
+        self.wb_grid: Optional[np.ndarray] = None
 
 
 class _Lane:
@@ -182,12 +218,6 @@ class LaneRunner:
     ) -> None:
         if not scenarios:
             raise ConfigError("LaneRunner needs at least one scenario")
-        for scenario in scenarios:
-            if scenario.plant != "parasol":
-                raise ConfigError(
-                    "the lane engine only vectorizes the parasol plant; "
-                    f"got {scenario.plant!r} (use the scalar engine)"
-                )
         self.num_lanes = len(scenarios)
         self.model_step_s = MODEL_STEP_S
         self.control_period_s = CONTROL_PERIOD_S
@@ -236,8 +266,11 @@ class LaneRunner:
             if profile is None:
                 shared_profiles[profile_key] = workload.profile
 
+            backend = get_backend(scenario.plant)
             if is_baseline:
-                units = AbruptCoolingUnits()
+                # make_realsim: the baseline runs on abrupt hardware (for
+                # parasol; the alternative plants are smooth either way).
+                units = backend.make_units(smooth=False)
                 coolair = None
                 label = "Baseline"
                 baseline_indices.append(index)
@@ -257,10 +290,7 @@ class LaneRunner:
                         "faulted cells must run on the scalar path (see "
                         "effective_engine)"
                     )
-                units = (
-                    SmoothCoolingUnits() if smooth_hardware
-                    else AbruptCoolingUnits()
-                )
+                units = backend.make_units(smooth=smooth_hardware)
                 forecast = ForecastService(
                     tmy, bias_c=scenario.forecast_bias_c
                 )
@@ -284,6 +314,27 @@ class LaneRunner:
         self._weather = LaneWeather(series_list, float(MODEL_STEP_S))
         self._plant = LaneThermalPlant(num)
         self._disks = LaneDiskModel(num, pods)
+
+        # Non-parasol lanes grouped by backend: each group steps one
+        # LaneCoolingUnits over its lanes' slices.
+        by_plant: Dict[str, List[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            if scenario.plant != "parasol":
+                by_plant.setdefault(scenario.plant, []).append(index)
+        self._plant_groups: List[_PlantGroup] = [
+            _PlantGroup(
+                plant,
+                np.asarray(indices, dtype=int),
+                get_backend(plant).make_lane_units(len(indices)),
+            )
+            for plant, indices in by_plant.items()
+        ]
+        self._is_plant_lane = np.zeros(num, dtype=bool)
+        for group in self._plant_groups:
+            self._is_plant_lane[group.indices] = True
+        self._scaling_plants = any(
+            group.lunits.scales_duty for group in self._plant_groups
+        )
 
         self._baseline_idx = np.asarray(baseline_indices, dtype=int)
         self._coolair_idx = coolair_indices
@@ -330,6 +381,11 @@ class LaneRunner:
         self._util = np.zeros(num)
         self._disk_util = np.zeros(num)
         self._modes: List = [None] * num
+        # Per-step plant resources (non-parasol lanes) and the hybrid
+        # regime, refreshed per control period from the scalar units.
+        self._water_step = np.zeros(num)
+        self._regime_code = np.zeros(num, dtype=np.int8)
+        self._regime_str: List[str] = [""] * num
         # Active-server count / utilization, recomputed only when the
         # active set can change: every coolair plan_compute, and day start
         # for baseline lanes (whose set then stays all-active).
@@ -346,9 +402,31 @@ class LaneRunner:
 
     # -- per-epoch pieces ----------------------------------------------------
 
-    def _control(self, step: int, grid_col: int, mix_grid: np.ndarray) -> None:
+    def _control(
+        self,
+        step: int,
+        grid_col: int,
+        temps_grid: np.ndarray,
+        rh_grid: np.ndarray,
+        mix_grid: np.ndarray,
+    ) -> None:
         """One control epoch: per-lane decisions, masked actuation."""
         interval = max(0, step) // self._steps_per_control
+
+        # The scalar engine refreshes each unit's weather boundary every
+        # model step, so at control time a unit sees the *previous* step's
+        # raw weather (the warmup-start seed on the first step).  Only the
+        # weather-coupled backends read it when applying a command (the
+        # hybrid's tower-vs-chiller pick), so the lane engine defers the
+        # refresh to here.
+        if self._plant_groups:
+            col = max(grid_col - 1, 0)
+            for group in self._plant_groups:
+                for lane_index in group.indices:
+                    self.lanes[lane_index].units.observe_boundary(
+                        float(temps_grid[lane_index, col]),
+                        float(rh_grid[lane_index, col]),
+                    )
 
         if self._baseline_ctrl is not None:
             bi = self._baseline_idx
@@ -431,12 +509,25 @@ class LaneRunner:
             pod_powers = lane.layout.pod_it_power_w()
             self._pod_powers[lane_index, :] = pod_powers
             self._it_power[lane_index] = sum(pod_powers)
-            inputs = lane.units.plant_inputs()
-            self._fc[lane_index] = inputs.fc_fan_speed
-            self._ac_fan[lane_index] = inputs.ac_fan_speed
-            self._duty[lane_index] = inputs.ac_compressor_duty
-            self._cooling_power[lane_index] = lane.units.power_w()
-            self._fan[lane_index] = lane.units.fc_fan_speed
+            # Raw actuator state (CoolingUnits.plant_inputs without the
+            # object): duty-scaling backends apply their capacity factor
+            # per step through their lane units, never here.
+            units = lane.units
+            self._fc[lane_index] = units.fc_fan_speed
+            self._ac_fan[lane_index] = units.ac_fan_speed
+            self._duty[lane_index] = units.ac_compressor_duty
+            if self._is_plant_lane[lane_index]:
+                # Weather-coupled power is stepped per model step by the
+                # lane units; record the hybrid's regime pick (constant
+                # within the period) for occupancy metrics and traces.
+                regime = getattr(units, "active_regime", "")
+                self._regime_str[lane_index] = regime
+                self._regime_code[lane_index] = LANE_REGIME_CODES.get(
+                    regime, 0
+                )
+            else:
+                self._cooling_power[lane_index] = units.power_w()
+            self._fan[lane_index] = units.fc_fan_speed
             self._util[lane_index] = self._util_cache[lane_index]
             self._modes[lane_index] = lane.units.mode
             # The scalar engine averages the utilizations of the active
@@ -483,9 +574,19 @@ class LaneRunner:
             self._disk_util[lane_index] = min(1.0, 0.15 + 0.7 * per_active)
         # Actuators and pod powers only change here; precompute the plant's
         # per-period invariants once (validates the actuator ranges too).
+        # Duty-scaling backends re-issue set_inputs per step with their
+        # capacity-scaled duty, reusing this call's cached power fold.
         self._plant.set_inputs(
             self._fc, self._ac_fan, self._duty, self._pod_powers
         )
+        for group in self._plant_groups:
+            idx = group.indices
+            group.lunits.set_actuators(
+                self._fc[idx],
+                self._ac_fan[idx],
+                self._duty[idx],
+                self._regime_code[idx],
+            )
 
     # -- day/year execution --------------------------------------------------
 
@@ -523,6 +624,13 @@ class LaneRunner:
         temps_grid, mix_grid, rh_grid = self._weather.day_grid(
             grid_days, -warmup_steps, warmup_steps + steps
         )
+        for group in self._plant_groups:
+            if group.needs_wet_bulb:
+                # One bit-identical Stull evaluation over the whole day
+                # grid instead of one per model step.
+                group.wb_grid = wet_bulb_c_array(
+                    temps_grid[group.indices], rh_grid[group.indices]
+                )
 
         # Day entry is a clean slate (mirrors DayRunner.run_day): actuators
         # off, controller latches cleared, disks at their initial
@@ -592,6 +700,9 @@ class LaneRunner:
         rec_outside = np.empty((steps, num))
         rec_cooling = np.empty((steps, num))
         rec_it = np.empty((steps, num))
+        if self._plant_groups:
+            rec_water = np.zeros((steps, num))
+            rec_regime = np.zeros((steps, num), dtype=np.int8)
         if keep_traces:
             rec_rh = np.empty((steps, num))
             rec_orh = np.empty((steps, num))
@@ -600,12 +711,13 @@ class LaneRunner:
             rec_util = np.empty((steps, num))
             rec_disks = np.empty((steps, num, self.num_pods))
             rec_modes: List[list] = [[] for _ in range(num)]
+            rec_regimes: List[List[str]] = [[] for _ in range(num)]
 
         spc = self._steps_per_control
         for step in range(-warmup_steps, steps):
             grid_col = step + warmup_steps
             if step % spc == 0:
-                self._control(step, grid_col, mix_grid)
+                self._control(step, grid_col, temps_grid, rh_grid, mix_grid)
                 self._refresh_period_caches(step, dt)
 
             # Rotate predictor history (DayRunner._advance_plant prologue).
@@ -615,6 +727,37 @@ class LaneRunner:
             )
             self._prev_outside[:] = self._outside_read
             self._prev_fan[:] = self._fan
+
+            if self._plant_groups:
+                # Mirror of the scalar _advance_plant prologue: boundary
+                # before plant_inputs, so the weather-coupled backends
+                # shape this step's inputs from this step's raw weather.
+                for group in self._plant_groups:
+                    idx = group.indices
+                    group.lunits.observe_boundary(
+                        temps_grid[idx, grid_col],
+                        rh_grid[idx, grid_col],
+                        wet_bulb=(
+                            group.wb_grid[:, grid_col]
+                            if group.wb_grid is not None
+                            else None
+                        ),
+                    )
+                if self._scaling_plants:
+                    eff_duty = self._duty.copy()
+                    for group in self._plant_groups:
+                        if group.lunits.scales_duty:
+                            eff_duty[group.indices] = (
+                                group.lunits.effective_duty()
+                            )
+                    self._plant.set_inputs(
+                        self._fc,
+                        self._ac_fan,
+                        eff_duty,
+                        self._pod_powers,
+                        validate=False,
+                        reuse_power=True,
+                    )
 
             plant_state = self._plant.step_outside(
                 temps_grid[:, grid_col], mix_grid[:, grid_col], dt
@@ -630,11 +773,25 @@ class LaneRunner:
             self._outside_rh_read[:] = _quantize_rh(rh_grid[:, grid_col])
             disk_temps = self._disks.step(inlets, self._disk_util, dt)
 
+            # Weather-coupled backends draw power (chiller lift) and
+            # water (tower evaporation) per step, after the plant step —
+            # the scalar step_resources position.
+            for group in self._plant_groups:
+                idx = group.indices
+                power, water = group.lunits.step_resources(
+                    self._it_power[idx], dt
+                )
+                self._cooling_power[idx] = power
+                self._water_step[idx] = water
+
             if step >= 0:
                 rec_temps[step] = self._readings
                 rec_outside[step] = self._outside_read
                 rec_cooling[step] = self._cooling_power
                 rec_it[step] = self._it_power
+                if self._plant_groups:
+                    rec_water[step] = self._water_step
+                    rec_regime[step] = self._regime_code
                 if keep_traces:
                     rec_rh[step] = self._cold_rh
                     rec_orh[step] = self._outside_rh_read
@@ -644,6 +801,9 @@ class LaneRunner:
                     rec_disks[step] = disk_temps
                     for lane_index in range(num):
                         rec_modes[lane_index].append(self._modes[lane_index])
+                        rec_regimes[lane_index].append(
+                            self._regime_str[lane_index]
+                        )
 
         times = np.arange(steps, dtype=float) * dt
         metrics = []
@@ -653,6 +813,25 @@ class LaneRunner:
             outside = np.ascontiguousarray(rec_outside[:, lane_index])
             cooling = np.ascontiguousarray(rec_cooling[:, lane_index])
             it = np.ascontiguousarray(rec_it[:, lane_index])
+            if self._is_plant_lane[lane_index]:
+                # Same formulas as DayTrace.water_liters / the mech-regime
+                # fractions, over the same 1-D per-step arrays.
+                water = np.ascontiguousarray(rec_water[:, lane_index])
+                water_l = float(np.sum(water))
+                regimes = rec_regime[:, lane_index]
+                tower_mech_hours = (
+                    int(np.count_nonzero(regimes == LANE_REGIME_TOWER))
+                    / steps
+                ) * 24.0
+                chiller_mech_hours = (
+                    int(np.count_nonzero(regimes == LANE_REGIME_CHILLER))
+                    / steps
+                ) * 24.0
+            else:
+                water = None
+                water_l = 0.0
+                tower_mech_hours = 0.0
+                chiller_mech_hours = 0.0
             metrics.append(
                 {
                     "worst_range_c": worst_sensor_range_from(temps),
@@ -662,6 +841,9 @@ class LaneRunner:
                     "cooling_kwh": energy_kwh_from(cooling, times),
                     "it_kwh": energy_kwh_from(it, times),
                     "max_rate_c_per_hour": max_rate_from(temps, times),
+                    "water_l": water_l,
+                    "tower_mech_hours": tower_mech_hours,
+                    "chiller_mech_hours": chiller_mech_hours,
                 }
             )
             if keep_traces:
@@ -686,6 +868,12 @@ class LaneRunner:
                                 float(t)
                                 for t in rec_disks[row, lane_index]
                             ),
+                            water_l=(
+                                float(water[row])
+                                if water is not None
+                                else 0.0
+                            ),
+                            regime=rec_regimes[lane_index][row],
                         )
                     )
                 traces.append(trace)
@@ -740,6 +928,11 @@ class LaneRunner:
                 result.daily_degraded_fraction.append(0.0)
                 result.cooling_kwh += day_metrics["cooling_kwh"]
                 result.it_kwh += day_metrics["it_kwh"]
+                result.water_l += day_metrics["water_l"]
+                result.tower_mech_hours += day_metrics["tower_mech_hours"]
+                result.chiller_mech_hours += (
+                    day_metrics["chiller_mech_hours"]
+                )
                 if keep_traces:
                     all_traces[lane_index].append(traces[lane_index])
         if keep_traces:
@@ -850,6 +1043,9 @@ def run_year_unfolded(
             result.daily_degraded_fraction.append(0.0)
             result.cooling_kwh += day_metrics["cooling_kwh"]
             result.it_kwh += day_metrics["it_kwh"]
+            result.water_l += day_metrics["water_l"]
+            result.tower_mech_hours += day_metrics["tower_mech_hours"]
+            result.chiller_mech_hours += day_metrics["chiller_mech_hours"]
             if keep_traces:
                 all_traces.append(trace)
     if keep_traces:

@@ -72,6 +72,9 @@ class StepRecord:
     # Water drawn by the cooling plant over this step, liters; always 0
     # for the air-cooled plants (parasol, chiller).
     water_l: float = 0.0
+    # The hybrid plant's active regime this step ("free_cooling",
+    # "tower", "chiller", or "off"); empty for single-regime plants.
+    regime: str = ""
 
 
 class DayTrace:
@@ -172,6 +175,14 @@ class DayTrace:
         if not modes:
             return 0.0
         return sum(1 for m in modes if m is mode) / len(modes)
+
+    def mech_regime_fraction(self, regime: str) -> float:
+        """Fraction of the day a hybrid plant spent in a mechanical
+        regime (``"tower"`` or ``"chiller"``); 0 for other plants."""
+        if not self.records:
+            return 0.0
+        count = sum(1 for r in self.records if r.regime == regime)
+        return count / len(self.records)
 
     def rh_violation_fraction(self, limit_pct: float = 80.0) -> float:
         """Fraction of steps with cold-aisle RH above the limit."""

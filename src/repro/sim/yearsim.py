@@ -52,6 +52,11 @@ class YearResult:
     # Cooling water drawn over the sampled days, liters; 0 for the
     # air-cooled plants (parasol, chiller) and for pre-water cache entries.
     water_l: float = 0.0
+    # Hybrid-plant regime occupancy over the sampled days: hours of
+    # mechanical cooling served by the tower vs the chiller (24 h per
+    # sampled day).  0 for single-regime plants and older cache entries.
+    tower_mech_hours: float = 0.0
+    chiller_mech_hours: float = 0.0
     # Per sampled day: fraction of steps under safe-mode (degraded)
     # control — all zeros unless the run injected faults
     # (docs/ROBUSTNESS.md).
@@ -214,6 +219,12 @@ def run_year(
         result.cooling_kwh += day_trace.cooling_energy_kwh()
         result.it_kwh += day_trace.it_energy_kwh()
         result.water_l += day_trace.water_liters()
+        result.tower_mech_hours += (
+            day_trace.mech_regime_fraction("tower") * 24.0
+        )
+        result.chiller_mech_hours += (
+            day_trace.mech_regime_fraction("chiller") * 24.0
+        )
         if keep_traces:
             traces.append(day_trace)
     if keep_traces:

@@ -19,9 +19,9 @@ import numpy as np
 import pytest
 
 from repro.core.versions import ALL_VERSIONS
-from repro.sim.lanes import LaneScenario, run_year_lanes
+from repro.sim.lanes import LaneScenario, run_year_lanes, run_year_unfolded
 from repro.sim.yearsim import run_year
-from repro.weather.locations import CHAD, NEWARK
+from repro.weather.locations import CHAD, NEWARK, SINGAPORE
 
 RESULT_FIELDS = (
     "label",
@@ -33,6 +33,9 @@ RESULT_FIELDS = (
     "daily_max_rate_c_per_hour",
     "cooling_kwh",
     "it_kwh",
+    "water_l",
+    "tower_mech_hours",
+    "chiller_mech_hours",
 )
 
 
@@ -116,6 +119,115 @@ def test_mixed_four_lane_batch_matches_scalar_elementwise(
                     f"{scalar_day.day_of_year} for {scalar_result.label} @ "
                     f"{scalar_result.climate_name}"
                 )
+
+
+def assert_traces_identical(lane_result, scalar_result):
+    lane_traces = lane_result.traces
+    scalar_traces = scalar_result.traces
+    assert len(lane_traces) == len(scalar_traces)
+    for lane_day, scalar_day in zip(lane_traces, scalar_traces):
+        assert len(lane_day.records) == len(scalar_day.records)
+        for lane_rec, scalar_rec in zip(lane_day.records, scalar_day.records):
+            assert lane_rec == scalar_rec, (
+                f"step record diverged at t={scalar_rec.time_s} on day "
+                f"{scalar_day.day_of_year} for {scalar_result.label} @ "
+                f"{scalar_result.climate_name}"
+            )
+
+
+PLANTS = ("chiller", "cooling_tower", "hybrid")
+
+
+def test_plant_lanes_match_scalar_elementwise(cooling_model, facebook_trace):
+    """Every non-parasol backend in one batch == its scalar run.
+
+    Three lanes — chiller, cooling_tower, hybrid — at a humid climate
+    (so the tower's wet-bulb capacity actually moves and the hybrid
+    visits both mechanical regimes), compared down to every step
+    record: temperatures, energies, water draw, and the hybrid's
+    per-step regime string.
+    """
+    scenarios = [
+        LaneScenario(
+            system="baseline",
+            climate=SINGAPORE,
+            trace=facebook_trace,
+            plant=plant,
+        )
+        for plant in PLANTS
+    ]
+    lane_results = run_year_lanes(
+        scenarios,
+        model=cooling_model,
+        sample_every_days=366,
+        keep_traces=True,
+    )
+    for plant, lane_result in zip(PLANTS, lane_results):
+        scalar_result = run_year(
+            "baseline",
+            SINGAPORE,
+            facebook_trace,
+            model=cooling_model,
+            sample_every_days=366,
+            keep_traces=True,
+            plant=plant,
+        )
+        assert_results_identical(lane_result, scalar_result)
+        assert_traces_identical(lane_result, scalar_result)
+        assert lane_result.wue == scalar_result.wue
+
+
+@pytest.mark.slow
+def test_plant_lanes_match_scalar_with_coolair(cooling_model, facebook_trace):
+    """CoolAir plant lanes (optimizer in the loop) == scalar, per backend."""
+    for plant in PLANTS:
+        (lane_result,) = run_year_lanes(
+            [
+                LaneScenario(
+                    system=ALL_VERSIONS["All-ND"](),
+                    climate=NEWARK,
+                    trace=facebook_trace,
+                    plant=plant,
+                )
+            ],
+            model=cooling_model,
+            sample_every_days=180,
+            keep_traces=True,
+        )
+        scalar_result = run_year(
+            ALL_VERSIONS["All-ND"](),
+            NEWARK,
+            facebook_trace,
+            model=cooling_model,
+            sample_every_days=180,
+            keep_traces=True,
+            plant=plant,
+        )
+        assert_results_identical(lane_result, scalar_result)
+        assert_traces_identical(lane_result, scalar_result)
+
+
+def test_plant_day_unfolding_matches_scalar(cooling_model, facebook_trace):
+    """Plant cells ride day-unfolding too: unfolded year == scalar year."""
+    for plant in ("cooling_tower", "hybrid"):
+        scenario = LaneScenario(
+            system="baseline",
+            climate=SINGAPORE,
+            trace=facebook_trace,
+            plant=plant,
+        )
+        unfolded = run_year_unfolded(
+            scenario, 2, model=cooling_model, sample_every_days=180
+        )
+        scalar_result = run_year(
+            "baseline",
+            SINGAPORE,
+            facebook_trace,
+            model=cooling_model,
+            sample_every_days=180,
+            plant=plant,
+        )
+        assert_results_identical(unfolded, scalar_result)
 
 
 def test_lane_results_independent_of_batch_grouping(

@@ -22,7 +22,7 @@ class TestQuickSuite:
         results = profiling.run_bench(quick=True, model=cooling_model)
         assert set(results) == {
             "plant_step", "optimizer_decision", "day_sim", "world_chunk",
-            "year_unfold", "world_100k",
+            "plant_world_chunk", "year_unfold", "world_100k",
         }
         for result in results.values():
             assert result["median_s"] > 0.0
@@ -31,6 +31,9 @@ class TestQuickSuite:
         # The quick world chunk is one climate x {baseline, All-ND}.
         assert results["world_chunk"]["lanes"] == 2
         assert results["world_chunk"]["s_per_lane"] > 0.0
+        # The plant chunk runs the same shape on the non-parasol lanes.
+        assert results["plant_world_chunk"]["lanes"] == 2
+        assert results["plant_world_chunk"]["s_per_lane"] > 0.0
         # The unfolded year runs at the same shape the baseline recorded,
         # so --check gates it even in quick mode.
         unfold = results["year_unfold"]

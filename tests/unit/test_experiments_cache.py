@@ -154,17 +154,18 @@ class TestCacheVersioning:
         assert len(set(keys.values())) == 4
         assert "-pchiller-" in keys["chiller"]
         assert "-pcooling_tower-" in keys["cooling_tower"]
-        # Alternative plants run on the scalar engine (the lane engine
-        # only vectorizes parasol), and the key records that.
-        assert "-escalar-" in keys["chiller"]
+        # Alternative plants ride the lane engine through their
+        # lane-vectorized units, and the key records that.
+        assert "-elanes-" in keys["chiller"]
 
-    def test_non_parasol_forces_scalar_engine(self):
+    def test_non_parasol_plants_ride_the_lane_engine(self):
+        for plant in ("parasol", "chiller", "cooling_tower", "hybrid"):
+            assert experiments.effective_engine(
+                "baseline", "lanes", plant=plant
+            ) == "lanes"
         assert experiments.effective_engine(
-            "baseline", "lanes", plant="chiller"
+            "baseline", "scalar", plant="chiller"
         ) == "scalar"
-        assert experiments.effective_engine(
-            "baseline", "lanes", plant="parasol"
-        ) == "lanes"
 
     def test_exotic_timing_config_falls_back_to_scalar(self):
         from repro.core.versions import ALL_VERSIONS

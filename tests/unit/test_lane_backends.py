@@ -1,0 +1,204 @@
+"""Property tests pinning the lane backend units to the scalar chain.
+
+Each lane-vectorized backend (``Lane*Units`` in
+``repro.cooling.backends``) promises *bit-identical* per-lane
+``(power_w, water_l)`` to the scalar ``CoolingUnits.step_resources``
+chain it replaces.  These tests drive both with random
+(duty, fan, outside °C, RH) batches and compare element-wise with exact
+equality — the optimizer's selection key amplifies any
+least-significant-bit drift into a different trajectory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling.backends import (
+    LANE_REGIME_CODES,
+    ChillerUnits,
+    CoolingTowerUnits,
+    HybridUnits,
+    LaneChillerUnits,
+    LaneCoolingTowerUnits,
+    LaneHybridUnits,
+    chiller_power_w,
+    chiller_power_w_array,
+    get_backend,
+    tower_capacity_factor,
+    tower_capacity_factor_array,
+    tower_water_l,
+    tower_water_l_array,
+)
+from repro.errors import ConfigError
+
+DT_S = 120.0
+IT_POWER_W = 1600.0
+
+duties = st.floats(min_value=0.0, max_value=1.0)
+fans = st.floats(min_value=0.0, max_value=1.0)
+temps = st.floats(min_value=-20.0, max_value=45.0)
+rhs = st.floats(min_value=0.0, max_value=100.0)
+
+# One lane of reachable actuator/boundary state.  The smooth command
+# application keeps the economizer and the AC path exclusive (FREE
+# zeroes ac, AC modes zero fc), so batches respect that invariant.
+mech_lanes = st.tuples(st.just(0.0), fans, duties, temps, rhs)
+free_lanes = st.tuples(fans, st.just(0.0), st.just(0.0), temps, rhs)
+
+
+def _columns(rows):
+    fc, fan, duty, temp, rh = (np.array(col) for col in zip(*rows))
+    return fc, fan, duty, temp, rh
+
+
+def _scalar_resources(units, fc, fan, duty, temp, rh):
+    """Force one reachable scalar state and step it."""
+    units.fc_fan_speed = float(fc)
+    units.ac_fan_speed = float(fan)
+    units.ac_compressor_duty = float(duty)
+    units.observe_boundary(float(temp), float(rh))
+    if isinstance(units, HybridUnits):
+        # Mirror HybridUnits._apply_command's regime refresh.
+        if units.ac_compressor_duty > 0.0 or units.ac_fan_speed > 0.0:
+            units._mech_regime = (
+                "tower" if units._tower_viable() else "chiller"
+            )
+        else:
+            units._mech_regime = None
+    return units.step_resources(IT_POWER_W, DT_S)
+
+
+def _lane_resources(lane_cls, scalar_cls, rows):
+    fc, fan, duty, temp, rh = _columns(rows)
+    regimes = None
+    if lane_cls is LaneHybridUnits:
+        codes = []
+        for row in rows:
+            probe = scalar_cls()
+            _scalar_resources(probe, *row)
+            codes.append(LANE_REGIME_CODES.get(probe.active_regime, 0))
+        regimes = np.array(codes, dtype=np.int8)
+    lunits = lane_cls(len(rows))
+    lunits.observe_boundary(temp, rh)
+    lunits.set_actuators(fc, fan, duty, regimes)
+    return lunits.step_resources(np.full(len(rows), IT_POWER_W), DT_S)
+
+
+class TestLaneBackendEquivalence:
+    """Lane (power, water) == scalar step_resources, element-wise."""
+
+    @given(rows=st.lists(mech_lanes, min_size=1, max_size=12))
+    def test_chiller(self, rows):
+        power, water = _lane_resources(LaneChillerUnits, ChillerUnits, rows)
+        scalar = [_scalar_resources(ChillerUnits(), *row) for row in rows]
+        assert power.tolist() == [p for p, _ in scalar]
+        assert water.tolist() == [w for _, w in scalar]
+
+    @given(rows=st.lists(mech_lanes, min_size=1, max_size=12))
+    def test_cooling_tower(self, rows):
+        power, water = _lane_resources(
+            LaneCoolingTowerUnits, CoolingTowerUnits, rows
+        )
+        scalar = [
+            _scalar_resources(CoolingTowerUnits(), *row) for row in rows
+        ]
+        assert power.tolist() == [p for p, _ in scalar]
+        assert water.tolist() == [w for _, w in scalar]
+
+    @given(
+        rows=st.lists(
+            st.one_of(mech_lanes, free_lanes), min_size=1, max_size=12
+        )
+    )
+    def test_hybrid(self, rows):
+        power, water = _lane_resources(LaneHybridUnits, HybridUnits, rows)
+        scalar = [_scalar_resources(HybridUnits(), *row) for row in rows]
+        assert power.tolist() == [p for p, _ in scalar]
+        assert water.tolist() == [w for _, w in scalar]
+
+    @given(
+        rows=st.lists(
+            st.one_of(mech_lanes, free_lanes), min_size=2, max_size=12
+        )
+    )
+    def test_hybrid_mixed_regimes_stay_per_lane(self, rows):
+        """A tower lane next to a chiller lane must not leak masks."""
+        power, water = _lane_resources(LaneHybridUnits, HybridUnits, rows)
+        for i, row in enumerate(rows):
+            p, w = _scalar_resources(HybridUnits(), *row)
+            assert float(power[i]) == p
+            assert float(water[i]) == w
+
+    def test_effective_duty_mirrors_plant_inputs(self):
+        """The duty the thermal plant sees matches plant_inputs()."""
+        rows = [
+            (0.0, 1.0, 0.8, 30.0, 40.0),
+            (0.0, 1.0, 0.5, 12.0, 90.0),
+            (0.0, 0.6, 0.3, 26.0, 70.0),
+        ]
+        fc, fan, duty, temp, rh = _columns(rows)
+        for lane_cls, scalar_cls in (
+            (LaneChillerUnits, ChillerUnits),
+            (LaneCoolingTowerUnits, CoolingTowerUnits),
+            (LaneHybridUnits, HybridUnits),
+        ):
+            regimes = None
+            if lane_cls is LaneHybridUnits:
+                codes = []
+                for row in rows:
+                    probe = scalar_cls()
+                    _scalar_resources(probe, *row)
+                    codes.append(LANE_REGIME_CODES.get(probe.active_regime, 0))
+                regimes = np.array(codes, dtype=np.int8)
+            lunits = lane_cls(len(rows))
+            lunits.observe_boundary(temp, rh)
+            lunits.set_actuators(fc, fan, duty, regimes)
+            expected = []
+            for row in rows:
+                units = scalar_cls()
+                _scalar_resources(units, *row)
+                expected.append(units.plant_inputs().ac_compressor_duty)
+            assert lunits.effective_duty().tolist() == expected
+
+
+class TestArrayCurves:
+    """The array twins of the scalar plant curves, on a dense grid."""
+
+    DUTIES = np.linspace(0.0, 1.0, 101)
+    TEMPS = np.linspace(-20.0, 45.0, 101)
+    WET_BULBS = np.linspace(-15.0, 30.0, 101)
+
+    def test_chiller_power_bit_identical(self):
+        vector = chiller_power_w_array(self.DUTIES, self.TEMPS)
+        scalar = [
+            chiller_power_w(d, t) for d, t in zip(self.DUTIES, self.TEMPS)
+        ]
+        assert vector.tolist() == scalar
+
+    def test_tower_capacity_bit_identical(self):
+        vector = tower_capacity_factor_array(self.WET_BULBS)
+        scalar = [tower_capacity_factor(wb) for wb in self.WET_BULBS]
+        assert vector.tolist() == scalar
+
+    def test_tower_water_bit_identical(self):
+        heat = self.DUTIES * 5500.0
+        vector = tower_water_l_array(heat, DT_S)
+        scalar = [tower_water_l(h, DT_S) for h in heat]
+        assert vector.tolist() == scalar
+
+
+class TestLaneUnitsRegistry:
+    def test_every_non_parasol_backend_has_lane_units(self):
+        for plant, lane_cls in (
+            ("chiller", LaneChillerUnits),
+            ("cooling_tower", LaneCoolingTowerUnits),
+            ("hybrid", LaneHybridUnits),
+        ):
+            lunits = get_backend(plant).make_lane_units(4)
+            assert isinstance(lunits, lane_cls)
+            assert lunits.num_lanes == 4
+
+    def test_parasol_has_no_lane_units_class(self):
+        """Parasol's physics live in the lane engine itself, not here."""
+        with pytest.raises(ConfigError):
+            get_backend("parasol").make_lane_units(4)

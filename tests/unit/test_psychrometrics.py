@@ -17,6 +17,8 @@ from repro.physics.psychrometrics import (
     saturation_mixing_ratio,
     saturation_pressure_pa,
     saturation_pressure_pa_array,
+    wet_bulb_c,
+    wet_bulb_c_array,
 )
 
 
@@ -150,6 +152,25 @@ class TestArrayVariants:
             absolute_to_relative_humidity(wi, t) for wi, t in zip(w, self.TEMPS)
         ]
         assert vector.tolist() == scalar
+
+    def test_wet_bulb_bit_identical(self):
+        vector = wet_bulb_c_array(self.TEMPS, self.RH)
+        scalar = [wet_bulb_c(t, rh) for t, rh in zip(self.TEMPS, self.RH)]
+        assert vector.tolist() == scalar
+
+    @given(
+        rh=st.floats(min_value=0.0, max_value=100.0),
+        temp=st.floats(min_value=-20.0, max_value=45.0),
+    )
+    def test_wet_bulb_property_matches_scalar(self, rh, temp):
+        vector = wet_bulb_c_array(np.array([temp]), np.array([rh]))
+        assert float(vector[0]) == wet_bulb_c(temp, rh)
+
+    def test_wet_bulb_validation_matches_scalar(self):
+        with pytest.raises(ConfigError):
+            wet_bulb_c_array(np.array([20.0]), np.array([101.0]))
+        with pytest.raises(ConfigError):
+            wet_bulb_c_array(np.array([20.0]), np.array([-1.0]))
 
     @given(
         rh=st.floats(min_value=1.0, max_value=99.0),
